@@ -1,0 +1,94 @@
+// Extension bench (not a paper figure): the future-work load balancer.
+//
+// The paper's conclusion proposes balancing "the produced traffic to
+// chargers by the suggested Offering Tables". This bench quantifies the
+// idea: a burst of vehicles in the same area asks for Offering Tables;
+// without balancing, they pile onto the same top charger, and most arrive
+// to find it occupied. The balanced ranker spreads the induced demand at a
+// small SC cost.
+
+#include <iostream>
+#include <set>
+
+#include "bench/bench_util.h"
+#include "common/table_writer.h"
+#include "core/load_balancer.h"
+
+using namespace ecocharge;
+using bench::BenchConfig;
+
+int main(int argc, char** argv) {
+  Logger::set_threshold(LogLevel::kWarning);
+  BenchConfig cfg = BenchConfig::FromArgs(argc, argv);
+
+  std::cout << "=== Extension: Offering-Table load balancing ===\n"
+            << "Burst of 12 vehicles per query point; top-pick diversity "
+               "and collision rate\n\n";
+
+  TableWriter table({"Dataset", "Ranker", "Distinct top picks",
+                     "Overloaded arrivals [%]", "Mean top SC"});
+  for (DatasetKind kind : AllDatasetKinds()) {
+    bench::PreparedWorld world = bench::Prepare(kind, cfg);
+    ScoreWeights weights = ScoreWeights::AWE();
+    EcoChargeOptions eco_opts;
+    eco_opts.radius_m = cfg.radius_m;
+    eco_opts.q_distance_m = 0.0;  // every vehicle computes fresh
+
+    const size_t kBurst = 12;
+    auto run = [&](Ranker& ranker, bool reset_between) {
+      double distinct_sum = 0.0;
+      double overload_sum = 0.0;
+      RunningStats top_sc;
+      size_t query_points = std::min<size_t>(world.states.size(), 8);
+      for (size_t q = 0; q < query_points; ++q) {
+        const VehicleState& state = world.states[q];
+        std::set<ChargerId> tops;
+        std::unordered_map<ChargerId, int> arrivals;
+        for (size_t v = 0; v < kBurst; ++v) {
+          if (reset_between) ranker.Reset();
+          OfferingTable t = ranker.Rank(state, cfg.k);
+          if (t.empty()) continue;
+          tops.insert(t.top().charger_id);
+          ++arrivals[t.top().charger_id];
+          top_sc.Add(world.env->estimator->ReferenceScore(
+              state, world.env->chargers[t.top().charger_id], weights));
+        }
+        distinct_sum += static_cast<double>(tops.size());
+        // Arrivals beyond the port count of a site are "overloaded".
+        int overloaded = 0;
+        for (const auto& [id, n] : arrivals) {
+          overloaded +=
+              std::max(0, n - world.env->chargers[id].num_ports);
+        }
+        overload_sum += 100.0 * overloaded / static_cast<double>(kBurst);
+        ranker.Reset();
+      }
+      return std::tuple<double, double, double>(
+          distinct_sum / 8.0, overload_sum / 8.0, top_sc.mean());
+    };
+
+    EcoChargeRanker plain(world.env->estimator.get(),
+                          world.env->charger_index.get(), weights, eco_opts);
+    BalancedEcoChargeRanker balanced(world.env->estimator.get(),
+                                     world.env->charger_index.get(), weights,
+                                     eco_opts);
+    auto [pd, po, psc] = run(plain, /*reset_between=*/true);
+    auto [bd, bo, bsc] = run(balanced, /*reset_between=*/false);
+    ECOCHARGE_CHECK(table
+                        .AddRow({std::string(DatasetName(kind)), "EcoCharge",
+                                 TableWriter::Fmt(pd, 1),
+                                 TableWriter::Fmt(po, 1),
+                                 TableWriter::Fmt(psc, 3)})
+                        .ok());
+    ECOCHARGE_CHECK(table
+                        .AddRow({std::string(DatasetName(kind)),
+                                 "EcoCharge-Balanced", TableWriter::Fmt(bd, 1),
+                                 TableWriter::Fmt(bo, 1),
+                                 TableWriter::Fmt(bsc, 3)})
+                        .ok());
+  }
+  table.RenderText(std::cout);
+  std::cout << "\n(Overloaded arrivals: vehicles sent to a site beyond its "
+               "port count, assuming all follow the top offer.)\n";
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Micro-benchmarks of the CkNN-EC core: EC estimation, the iterative
+// deepening intersection (eq. 6), and the EcoCharge hot paths (cache hit
+// vs. full regeneration) — the ablation knobs DESIGN.md calls out.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/cknn_ec.h"
+#include "core/ecocharge.h"
+#include "core/environment.h"
+#include "core/workload.h"
+
+namespace ecocharge {
+namespace {
+
+struct World {
+  std::unique_ptr<Environment> env;
+  std::vector<VehicleState> states;
+};
+
+World& SharedWorld() {
+  static World world = [] {
+    EnvironmentOptions eo;
+    eo.kind = DatasetKind::kOldenburg;
+    eo.dataset_scale = 0.01;
+    eo.num_chargers = 1000;
+    eo.seed = 42;
+    World w;
+    w.env = MakeEnvironment(eo).MoveValueUnsafe();
+    WorkloadOptions wo;
+    wo.max_trips = 10;
+    wo.max_states = 32;
+    w.states = BuildWorkload(w.env->dataset, wo);
+    return w;
+  }();
+  return world;
+}
+
+void BM_EstimateIntervals(benchmark::State& state) {
+  World& w = SharedWorld();
+  Rng rng(3);
+  for (auto _ : state) {
+    const VehicleState& vs = w.states[rng.NextBounded(w.states.size())];
+    const EvCharger& c =
+        w.env->chargers[rng.NextBounded(w.env->chargers.size())];
+    benchmark::DoNotOptimize(w.env->estimator->EstimateIntervals(vs, c));
+  }
+}
+BENCHMARK(BM_EstimateIntervals);
+
+void BM_ExactComponents(benchmark::State& state) {
+  World& w = SharedWorld();
+  Rng rng(3);
+  for (auto _ : state) {
+    const VehicleState& vs = w.states[rng.NextBounded(w.states.size())];
+    const EvCharger& c =
+        w.env->chargers[rng.NextBounded(w.env->chargers.size())];
+    benchmark::DoNotOptimize(w.env->estimator->ReferenceComponents(vs, c));
+  }
+}
+BENCHMARK(BM_ExactComponents);
+
+void BM_IterativeDeepening(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(17);
+  std::vector<ScoredCandidate> pool(n);
+  for (size_t i = 0; i < n; ++i) {
+    pool[i].charger_id = static_cast<ChargerId>(i);
+    double a = rng.NextDouble();
+    double b = rng.NextDouble();
+    pool[i].score = ScorePair{a, b};
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IterativeDeepeningIntersection(pool, 3));
+  }
+}
+BENCHMARK(BM_IterativeDeepening)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_EcoChargeFullQuery(benchmark::State& state) {
+  World& w = SharedWorld();
+  ScoreWeights weights = ScoreWeights::AWE();
+  EcoChargeOptions opts;
+  opts.q_distance_m = 0.0;  // force regeneration every query
+  EcoChargeRanker eco(w.env->estimator.get(), w.env->charger_index.get(),
+                      weights, opts);
+  Rng rng(3);
+  for (auto _ : state) {
+    const VehicleState& vs = w.states[rng.NextBounded(w.states.size())];
+    benchmark::DoNotOptimize(eco.Rank(vs, 3));
+  }
+}
+BENCHMARK(BM_EcoChargeFullQuery);
+
+void BM_EcoChargeCachedQuery(benchmark::State& state) {
+  World& w = SharedWorld();
+  ScoreWeights weights = ScoreWeights::AWE();
+  EcoChargeOptions opts;
+  opts.q_distance_m = 1e9;  // every repeat query is a cache hit
+  opts.cache_ttl_s = 1e12;
+  EcoChargeRanker eco(w.env->estimator.get(), w.env->charger_index.get(),
+                      weights, opts);
+  const VehicleState& vs = w.states.front();
+  eco.Rank(vs, 3);  // warm the cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eco.Rank(vs, 3));
+  }
+}
+BENCHMARK(BM_EcoChargeCachedQuery);
+
+void BM_BruteForceQuery(benchmark::State& state) {
+  World& w = SharedWorld();
+  ScoreWeights weights = ScoreWeights::AWE();
+  // One state, whole fleet, exact components — the per-table cost the
+  // paper's Brute-Force pays.
+  const VehicleState& vs = w.states.front();
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (const EvCharger& c : w.env->chargers) {
+      sum += w.env->estimator->ReferenceScore(vs, c, weights);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_BruteForceQuery)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ecocharge
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// Micro-benchmarks of the road-network substrate: point-to-point searches
+// (Dijkstra vs A*), bounded one-to-many expansion, and ALT lower bounds —
+// the operations the derouting EC spends its time in.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "graph/landmarks.h"
+#include "graph/shortest_path.h"
+
+namespace ecocharge {
+namespace {
+
+std::shared_ptr<RoadNetwork> SharedNetwork() {
+  static std::shared_ptr<RoadNetwork> network = [] {
+    GridNetworkOptions opts;
+    opts.nx = 40;
+    opts.ny = 30;
+    opts.spacing_m = 800.0;
+    opts.seed = 5;
+    return MakeGridNetwork(opts).MoveValueUnsafe();
+  }();
+  return network;
+}
+
+void BM_Dijkstra(benchmark::State& state) {
+  auto network = SharedNetwork();
+  DijkstraSearch search(*network);
+  Rng rng(11);
+  for (auto _ : state) {
+    NodeId s = static_cast<NodeId>(rng.NextBounded(network->NumNodes()));
+    NodeId t = static_cast<NodeId>(rng.NextBounded(network->NumNodes()));
+    benchmark::DoNotOptimize(search.ShortestPath(s, t));
+  }
+}
+BENCHMARK(BM_Dijkstra);
+
+void BM_AStar(benchmark::State& state) {
+  auto network = SharedNetwork();
+  DijkstraSearch search(*network);
+  Rng rng(11);
+  for (auto _ : state) {
+    NodeId s = static_cast<NodeId>(rng.NextBounded(network->NumNodes()));
+    NodeId t = static_cast<NodeId>(rng.NextBounded(network->NumNodes()));
+    benchmark::DoNotOptimize(search.AStar(s, t));
+  }
+}
+BENCHMARK(BM_AStar);
+
+void BM_OneToManyBounded(benchmark::State& state) {
+  auto network = SharedNetwork();
+  DijkstraSearch search(*network);
+  Rng rng(11);
+  double max_cost = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    NodeId s = static_cast<NodeId>(rng.NextBounded(network->NumNodes()));
+    benchmark::DoNotOptimize(search.OneToMany(s, max_cost, LengthCost));
+  }
+  state.SetLabel("radius_m=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_OneToManyBounded)->Arg(2000)->Arg(8000)->Arg(32000);
+
+void BM_LandmarkLowerBound(benchmark::State& state) {
+  auto network = SharedNetwork();
+  static LandmarkIndex landmarks(*network, 8);
+  Rng rng(11);
+  for (auto _ : state) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(network->NumNodes()));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(network->NumNodes()));
+    benchmark::DoNotOptimize(landmarks.LowerBound(u, v));
+  }
+}
+BENCHMARK(BM_LandmarkLowerBound);
+
+}  // namespace
+}  // namespace ecocharge
+
+BENCHMARK_MAIN();

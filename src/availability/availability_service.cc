@@ -1,0 +1,69 @@
+#include "availability/availability_service.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace ecocharge {
+
+AvailabilityService::AvailabilityService(uint64_t seed) : seed_(seed) {
+  archetypes_.reserve(kNumArchetypes);
+  for (int a = 0; a < kNumArchetypes; ++a) {
+    archetypes_.push_back(PopularTimes::ForArchetype(
+        static_cast<SiteArchetype>(a), seed ^ (0x51ED0000ULL + a)));
+  }
+}
+
+const PopularTimes& AvailabilityService::TimetableFor(
+    const EvCharger& charger) const {
+  return archetypes_[charger.timetable_id % archetypes_.size()];
+}
+
+double AvailabilityService::ExpectedBusyness(const EvCharger& charger,
+                                             SimTime t) const {
+  return TimetableFor(charger).BusynessAt(t);
+}
+
+double AvailabilityService::ActualAvailability(const EvCharger& charger,
+                                               SimTime t) const {
+  double busyness = ExpectedBusyness(charger, t);
+  // Occupied ports ~ Binomial(ports, busyness), drawn from a generator
+  // keyed by (seed, charger, hour) so truth is stable within an hour and
+  // identical across callers.
+  uint64_t hour = static_cast<uint64_t>(std::max(0.0, t) / kSecondsPerHour);
+  Rng draw(seed_ ^ (static_cast<uint64_t>(charger.id) + 1) *
+                       0x9E3779B97F4A7C15ULL ^
+           hour * 0xC2B2AE3D27D4EB4FULL);
+  int ports = std::max(1, charger.num_ports);
+  int occupied = 0;
+  for (int p = 0; p < ports; ++p) {
+    if (draw.NextBool(busyness)) ++occupied;
+  }
+  return static_cast<double>(ports - occupied) / static_cast<double>(ports);
+}
+
+AvailabilityForecast AvailabilityService::Forecast(const EvCharger& charger,
+                                                   SimTime now,
+                                                   SimTime target) const {
+  double expected_free = 1.0 - ExpectedBusyness(charger, target);
+  double lead_hours =
+      std::max(0.0, target - now) / kSecondsPerHour;
+  // Busy timetables are weekly aggregates: even a nowcast has substantial
+  // spread; the band widens mildly with lead time.
+  double half = 0.12 + 0.02 * std::min(lead_hours, 8.0);
+  uint64_t now_h = static_cast<uint64_t>(std::max(0.0, now) / kSecondsPerHour);
+  uint64_t tgt_h =
+      static_cast<uint64_t>(std::max(0.0, target) / kSecondsPerHour);
+  Rng noise(seed_ ^ (static_cast<uint64_t>(charger.id) + 1) *
+                        0xD6E8FEB86659FD93ULL ^
+            now_h * 0xA0761D6478BD642FULL ^ tgt_h * 0xE7037ED1A0B428DBULL);
+  double center = expected_free + noise.NextGaussian(0.0, half * 0.3);
+  AvailabilityForecast f;
+  f.min = std::clamp(center - half, 0.0, 1.0);
+  f.max = std::clamp(center + half, 0.0, 1.0);
+  if (f.min > f.max) std::swap(f.min, f.max);
+  return f;
+}
+
+}  // namespace ecocharge

@@ -1,0 +1,52 @@
+#ifndef ECOCHARGE_AVAILABILITY_AVAILABILITY_SERVICE_H_
+#define ECOCHARGE_AVAILABILITY_AVAILABILITY_SERVICE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "availability/popular_times.h"
+#include "energy/charger.h"
+
+namespace ecocharge {
+
+/// \brief Min/max band for the availability estimated component A.
+struct AvailabilityForecast {
+  double min = 0.0;  ///< lower bound on the free-port fraction
+  double max = 1.0;  ///< upper bound
+};
+
+/// \brief Produces the A estimated component: how likely a charger is to
+/// have a free port at the vehicle's ETA.
+///
+/// Ground truth: each charger's occupied-port count at hour granularity is
+/// a deterministic pseudo-random draw (hash of charger, hour) around its
+/// popular-times busyness — a site with busyness 0.8 usually has few free
+/// ports. Availability = free ports / total ports in [0, 1], 1 = free.
+/// The forecast band widens with lead time like the busy-timetable
+/// estimates the paper takes from Google Maps POI data.
+class AvailabilityService {
+ public:
+  /// \param seed drives both per-site histogram jitter and occupancy draws
+  explicit AvailabilityService(uint64_t seed);
+
+  /// Realized free-port fraction of `charger` at time `t`.
+  double ActualAvailability(const EvCharger& charger, SimTime t) const;
+
+  /// Interval estimate issued at `now` for time `target`; deterministic in
+  /// (seed, charger, now-hour, target-hour).
+  AvailabilityForecast Forecast(const EvCharger& charger, SimTime now,
+                                SimTime target) const;
+
+  /// Expected busyness of the charger's archetype at `t` (test hook).
+  double ExpectedBusyness(const EvCharger& charger, SimTime t) const;
+
+ private:
+  const PopularTimes& TimetableFor(const EvCharger& charger) const;
+
+  uint64_t seed_;
+  std::vector<PopularTimes> archetypes_;
+};
+
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_AVAILABILITY_AVAILABILITY_SERVICE_H_

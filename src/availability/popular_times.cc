@@ -1,0 +1,84 @@
+#include "availability/popular_times.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace ecocharge {
+
+std::string_view SiteArchetypeName(SiteArchetype a) {
+  switch (a) {
+    case SiteArchetype::kDowntown:
+      return "downtown";
+    case SiteArchetype::kCommuterHub:
+      return "commuter-hub";
+    case SiteArchetype::kShoppingMall:
+      return "shopping-mall";
+    case SiteArchetype::kHighwayRest:
+      return "highway-rest";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Gaussian bump centered at `peak_hour` with width `sigma` hours.
+double Bump(double hour, double peak_hour, double sigma) {
+  double d = hour - peak_hour;
+  return std::exp(-d * d / (2.0 * sigma * sigma));
+}
+
+double ArchetypeBusyness(SiteArchetype a, int day, double hour) {
+  bool weekend = day >= 5;
+  switch (a) {
+    case SiteArchetype::kDowntown: {
+      double base = weekend ? 0.15 : 0.25;
+      double office = weekend ? 0.2 : 0.6;
+      return base + office * Bump(hour, 13.0, 3.5);
+    }
+    case SiteArchetype::kCommuterHub: {
+      if (weekend) return 0.1 + 0.15 * Bump(hour, 14.0, 5.0);
+      return 0.1 + 0.7 * Bump(hour, 8.0, 1.5) + 0.65 * Bump(hour, 17.5, 1.8);
+    }
+    case SiteArchetype::kShoppingMall: {
+      double weekend_boost = weekend ? 0.25 : 0.0;
+      return 0.1 + weekend_boost + 0.55 * Bump(hour, 15.0, 3.0);
+    }
+    case SiteArchetype::kHighwayRest: {
+      return 0.2 + 0.2 * Bump(hour, 13.0, 5.0);
+    }
+  }
+  return 0.2;
+}
+
+}  // namespace
+
+PopularTimes PopularTimes::ForArchetype(SiteArchetype archetype,
+                                        uint64_t seed) {
+  Rng rng(seed);
+  double amplitude = rng.NextDouble(0.8, 1.2);
+  double phase = rng.NextDouble(-1.0, 1.0);  // hours of peak shift
+  PopularTimes pt;
+  for (int h = 0; h < 168; ++h) {
+    int day = h / 24;
+    double hour = static_cast<double>(h % 24) + 0.5 + phase;
+    if (hour >= 24.0) hour -= 24.0;
+    if (hour < 0.0) hour += 24.0;
+    double v = amplitude * ArchetypeBusyness(archetype, day, hour);
+    pt.buckets_[h] = std::clamp(v, 0.0, 1.0);
+  }
+  return pt;
+}
+
+double PopularTimes::BusynessAt(SimTime t) const {
+  double week_seconds = std::fmod(t, kSecondsPerWeek);
+  if (week_seconds < 0.0) week_seconds += kSecondsPerWeek;
+  double hour_pos = week_seconds / kSecondsPerHour;  // [0, 168)
+  int h0 = static_cast<int>(hour_pos) % 168;
+  int h1 = (h0 + 1) % 168;
+  double u = hour_pos - std::floor(hour_pos);
+  return buckets_[h0] * (1.0 - u) + buckets_[h1] * u;
+}
+
+}  // namespace ecocharge

@@ -1,0 +1,45 @@
+#ifndef ECOCHARGE_AVAILABILITY_POPULAR_TIMES_H_
+#define ECOCHARGE_AVAILABILITY_POPULAR_TIMES_H_
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "common/simtime.h"
+
+namespace ecocharge {
+
+/// \brief Site archetypes with distinct weekly demand shapes; the
+/// EvCharger::timetable_id indexes into these.
+enum class SiteArchetype : uint8_t {
+  kDowntown = 0,     ///< office-hours peak, quiet weekend mornings
+  kCommuterHub = 1,  ///< sharp morning and evening weekday spikes
+  kShoppingMall = 2, ///< midday/afternoon peak, strong weekends
+  kHighwayRest = 3,  ///< flat with mild daylight bump, no weekday pattern
+};
+
+inline constexpr int kNumArchetypes = 4;
+
+std::string_view SiteArchetypeName(SiteArchetype a);
+
+/// \brief A Google-Maps-style "popular times" weekly histogram: expected
+/// busyness in [0, 1] for each of the 168 hours of a week.
+class PopularTimes {
+ public:
+  /// The canonical histogram of an archetype, with site-specific noise
+  /// drawn from `seed` (amplitude and phase jitter).
+  static PopularTimes ForArchetype(SiteArchetype archetype, uint64_t seed);
+
+  /// Expected busyness at time `t`, linearly interpolated between hours.
+  double BusynessAt(SimTime t) const;
+
+  /// Raw hourly value, hour_of_week in [0, 168).
+  double bucket(int hour_of_week) const { return buckets_[hour_of_week]; }
+
+ private:
+  std::array<double, 168> buckets_{};
+};
+
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_AVAILABILITY_POPULAR_TIMES_H_

@@ -1,0 +1,48 @@
+#include "availability/queueing.h"
+
+#include <cmath>
+
+namespace ecocharge {
+namespace queueing {
+
+double OfferedLoad(double arrival_rate, double service_rate) {
+  if (service_rate <= 0.0) return HUGE_VAL;
+  return arrival_rate / service_rate;
+}
+
+double ErlangB(double offered_load, int servers) {
+  if (offered_load <= 0.0) return 0.0;
+  if (servers <= 0) return 1.0;
+  double b = 1.0;  // B with 0 servers
+  for (int k = 1; k <= servers; ++k) {
+    b = offered_load * b / (static_cast<double>(k) + offered_load * b);
+  }
+  return b;
+}
+
+double ErlangC(double offered_load, int servers) {
+  if (offered_load <= 0.0) return 0.0;
+  if (servers <= 0 || offered_load >= static_cast<double>(servers)) {
+    return 1.0;  // saturated: every arrival waits
+  }
+  double b = ErlangB(offered_load, servers);
+  double c = static_cast<double>(servers);
+  double rho = offered_load / c;
+  return b / (1.0 - rho * (1.0 - b));
+}
+
+double ExpectedWaitSeconds(double arrival_rate_per_s,
+                           double service_rate_per_s, int servers) {
+  double a = OfferedLoad(arrival_rate_per_s, service_rate_per_s);
+  double c = static_cast<double>(servers);
+  if (servers <= 0 || a >= c) return HUGE_VAL;
+  double pw = ErlangC(a, servers);
+  return pw / (c * service_rate_per_s - arrival_rate_per_s);
+}
+
+double AvailabilityProbability(double offered_load, int servers) {
+  return 1.0 - ErlangB(offered_load, servers);
+}
+
+}  // namespace queueing
+}  // namespace ecocharge

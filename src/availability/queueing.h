@@ -1,0 +1,42 @@
+#ifndef ECOCHARGE_AVAILABILITY_QUEUEING_H_
+#define ECOCHARGE_AVAILABILITY_QUEUEING_H_
+
+namespace ecocharge {
+
+/// \brief Erlang M/M/c steady-state formulas for charger-station queues.
+///
+/// An alternative, first-principles backing for the availability EC: a
+/// station with c ports, Poisson arrivals at rate lambda, and exponential
+/// service (charging) times at rate mu per port behaves as an M/M/c
+/// queue. ErlangC gives the probability an arriving vehicle must wait —
+/// i.e. 1 - ErlangC is the availability the popular-times histogram only
+/// approximates. Used by tests to validate the occupancy simulator's
+/// regime behaviour and available to users modeling stations directly.
+namespace queueing {
+
+/// Offered load a = lambda / mu (dimensionless Erlangs).
+double OfferedLoad(double arrival_rate, double service_rate);
+
+/// Erlang-B: probability all c servers are busy in a loss system
+/// (arrivals that find no port leave). Computed with the stable
+/// recurrence B(0) = 1, B(k) = a B(k-1) / (k + a B(k-1)).
+double ErlangB(double offered_load, int servers);
+
+/// Erlang-C: probability an arrival waits in an M/M/c queue with infinite
+/// buffer. Requires offered_load < servers for stability; returns 1.0 for
+/// unstable (saturated) inputs.
+double ErlangC(double offered_load, int servers);
+
+/// Expected waiting time in queue, seconds (W_q), for the given rates;
+/// infinite (HUGE_VAL) when saturated.
+double ExpectedWaitSeconds(double arrival_rate_per_s, double service_rate_per_s,
+                           int servers);
+
+/// Steady-state probability that at least one port is free in the loss
+/// model — the queueing-theoretic "availability" of a station.
+double AvailabilityProbability(double offered_load, int servers);
+
+}  // namespace queueing
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_AVAILABILITY_QUEUEING_H_

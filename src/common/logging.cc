@@ -1,0 +1,50 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstring>
+
+namespace ecocharge {
+
+namespace {
+
+std::atomic<int> g_threshold{static_cast<int>(LogLevel::kInfo)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kFatal:
+      return "FATAL";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash ? slash + 1 : path;
+}
+
+}  // namespace
+
+LogLevel Logger::threshold() {
+  return static_cast<LogLevel>(g_threshold.load(std::memory_order_relaxed));
+}
+
+void Logger::set_threshold(LogLevel level) {
+  g_threshold.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void Logger::Emit(LogLevel level, const char* file, int line,
+                  const std::string& message) {
+  if (level < threshold() && level != LogLevel::kFatal) return;
+  std::cerr << "[" << LevelName(level) << " " << Basename(file) << ":" << line
+            << "] " << message << "\n";
+}
+
+}  // namespace ecocharge

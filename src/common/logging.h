@@ -1,0 +1,61 @@
+#ifndef ECOCHARGE_COMMON_LOGGING_H_
+#define ECOCHARGE_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace ecocharge {
+
+/// \brief Log severities in increasing order.
+enum class LogLevel { kDebug = 0, kInfo, kWarning, kError, kFatal };
+
+/// \brief Minimal leveled logger writing to stderr.
+///
+/// The global threshold defaults to kInfo; benchmarks raise it to kWarning
+/// so that timing loops are not perturbed by I/O.
+class Logger {
+ public:
+  /// Returns the process-wide minimum level that is emitted.
+  static LogLevel threshold();
+
+  /// Sets the process-wide minimum level.
+  static void set_threshold(LogLevel level);
+
+  /// Emits one log line (used by the ECOCHARGE_LOG macro).
+  static void Emit(LogLevel level, const char* file, int line,
+                   const std::string& message);
+};
+
+/// \brief Internal stream collector for one log statement.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() {
+    Logger::Emit(level_, file_, line_, stream_.str());
+    if (level_ == LogLevel::kFatal) std::abort();
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+#define ECOCHARGE_LOG(level)                                                 \
+  ::ecocharge::LogMessage(::ecocharge::LogLevel::k##level, __FILE__,         \
+                          __LINE__)                                          \
+      .stream()
+
+/// \brief Checks an invariant; logs and aborts on failure (all builds).
+#define ECOCHARGE_CHECK(cond)                                 \
+  if (!(cond))                                                \
+  ECOCHARGE_LOG(Fatal) << "Check failed: " #cond " "
+
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_COMMON_LOGGING_H_

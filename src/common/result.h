@@ -1,0 +1,86 @@
+#ifndef ECOCHARGE_COMMON_RESULT_H_
+#define ECOCHARGE_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace ecocharge {
+
+/// \brief Either a value of type T or an error Status (Arrow-style).
+///
+/// A Result is never empty: it holds exactly one of a T or a non-OK Status.
+/// Constructing a Result from an OK status is a programming error and is
+/// converted to an Internal error so misuse is observable rather than UB.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding a value.
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a Result holding an error.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : payload_(std::move(status)) {
+    if (std::get<Status>(payload_).ok()) {
+      payload_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  /// True iff a value is present.
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// The status: OK when a value is present, the stored error otherwise.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(payload_);
+  }
+
+  /// Accesses the value. Precondition: ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(payload_));
+  }
+
+  /// Moves the value out. Precondition: ok().
+  T MoveValueUnsafe() { return std::get<T>(std::move(payload_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+/// \brief Assigns the value of a Result expression to `lhs`, or returns its
+/// error from the calling function.
+#define ECOCHARGE_ASSIGN_OR_RETURN(lhs, rexpr)               \
+  ECOCHARGE_ASSIGN_OR_RETURN_IMPL_(                          \
+      ECOCHARGE_CONCAT_(_result_, __LINE__), lhs, rexpr)
+
+#define ECOCHARGE_CONCAT_INNER_(a, b) a##b
+#define ECOCHARGE_CONCAT_(a, b) ECOCHARGE_CONCAT_INNER_(a, b)
+#define ECOCHARGE_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                     \
+  if (!tmp.ok()) return tmp.status();                     \
+  lhs = std::move(tmp).value()
+
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_COMMON_RESULT_H_

@@ -1,0 +1,51 @@
+#ifndef ECOCHARGE_COMMON_SIMTIME_H_
+#define ECOCHARGE_COMMON_SIMTIME_H_
+
+#include <cmath>
+
+namespace ecocharge {
+
+/// \brief Simulation time, in seconds since the simulation epoch.
+///
+/// The epoch is Monday 00:00 local time on day-of-year `kEpochDayOfYear`
+/// (mid-June, so solar curves are summer-like by default; dataset
+/// synthesizers override the season where relevant).
+using SimTime = double;
+
+inline constexpr double kSecondsPerMinute = 60.0;
+inline constexpr double kSecondsPerHour = 3600.0;
+inline constexpr double kSecondsPerDay = 86400.0;
+inline constexpr double kSecondsPerWeek = 7.0 * kSecondsPerDay;
+inline constexpr int kEpochDayOfYear = 167;  // June 16
+
+/// Hour of day in [0, 24).
+inline double HourOfDay(SimTime t) {
+  double day_seconds = std::fmod(t, kSecondsPerDay);
+  if (day_seconds < 0.0) day_seconds += kSecondsPerDay;
+  return day_seconds / kSecondsPerHour;
+}
+
+/// Day of week in [0, 7): 0 = Monday.
+inline int DayOfWeek(SimTime t) {
+  double week_seconds = std::fmod(t, kSecondsPerWeek);
+  if (week_seconds < 0.0) week_seconds += kSecondsPerWeek;
+  return static_cast<int>(week_seconds / kSecondsPerDay);
+}
+
+/// Day of year in [1, 365], advancing from the epoch day.
+inline int DayOfYear(SimTime t) {
+  int days = static_cast<int>(std::floor(t / kSecondsPerDay));
+  int doy = (kEpochDayOfYear - 1 + days) % 365;
+  if (doy < 0) doy += 365;
+  return doy + 1;
+}
+
+/// Hour-of-week bucket in [0, 168); the granularity of popular-times
+/// histograms.
+inline int HourOfWeek(SimTime t) {
+  return DayOfWeek(t) * 24 + static_cast<int>(HourOfDay(t));
+}
+
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_COMMON_SIMTIME_H_

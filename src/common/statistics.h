@@ -1,0 +1,68 @@
+#ifndef ECOCHARGE_COMMON_STATISTICS_H_
+#define ECOCHARGE_COMMON_STATISTICS_H_
+
+#include <cmath>
+#include <cstddef>
+
+namespace ecocharge {
+
+/// \brief Streaming mean/variance accumulator (Welford's algorithm).
+///
+/// Used for the paper's "mean and standard deviation ... based on
+/// approximately ten repetitions" reporting convention.
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void Add(double x) {
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (n_ == 1 || x < min_) min_ = x;
+    if (n_ == 1 || x > max_) max_ = x;
+  }
+
+  size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+  /// Population variance; 0 for fewer than two samples.
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_) : 0.0;
+  }
+
+  /// Sample (Bessel-corrected) standard deviation.
+  double stddev() const {
+    return n_ > 1 ? std::sqrt(m2_ / static_cast<double>(n_ - 1)) : 0.0;
+  }
+
+  /// Merges another accumulator into this one (parallel Welford).
+  void Merge(const RunningStats& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    double delta = other.mean_ - mean_;
+    size_t total = n_ + other.n_;
+    m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                           static_cast<double>(other.n_) /
+                           static_cast<double>(total);
+    mean_ += delta * static_cast<double>(other.n_) / static_cast<double>(total);
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+    n_ = total;
+  }
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_COMMON_STATISTICS_H_

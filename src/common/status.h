@@ -1,0 +1,109 @@
+#ifndef ECOCHARGE_COMMON_STATUS_H_
+#define ECOCHARGE_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace ecocharge {
+
+/// \brief Error categories used across the library.
+///
+/// Mirrors the RocksDB/Arrow convention: library functions that can fail
+/// return a Status (or Result<T>) instead of throwing, so errors can cross
+/// the public API boundary without exceptions.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kUnimplemented,
+  kIOError,
+  kInternal,
+};
+
+/// \brief Returns a short human-readable name for a status code.
+std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of an operation: a code plus an optional message.
+///
+/// The OK status carries no allocation; error statuses carry a message.
+/// Statuses are cheap to copy and move and are totally ordered only on
+/// ok()/!ok() — callers should branch on ok() and propagate otherwise.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// The status code.
+  StatusCode code() const { return code_; }
+
+  /// The error message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// \brief Propagates a non-OK status out of the calling function.
+#define ECOCHARGE_RETURN_NOT_OK(expr)              \
+  do {                                             \
+    ::ecocharge::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                     \
+  } while (false)
+
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_COMMON_STATUS_H_

@@ -1,0 +1,89 @@
+#include "common/table_writer.h"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+namespace ecocharge {
+
+namespace {
+
+std::string CsvEscape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+TableWriter::TableWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+Status TableWriter::AddRow(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    return Status::InvalidArgument("row has " + std::to_string(cells.size()) +
+                                   " cells, expected " +
+                                   std::to_string(headers_.size()));
+  }
+  rows_.push_back(std::move(cells));
+  return Status::OK();
+}
+
+std::string TableWriter::Fmt(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+void TableWriter::RenderText(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    os << "| ";
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c])) << row[c];
+      os << (c + 1 == row.size() ? " |" : " | ");
+    }
+    os << "\n";
+  };
+  emit_row(headers_);
+  os << "|";
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << "\n";
+  for (const auto& row : rows_) emit_row(row);
+}
+
+void TableWriter::RenderCsv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ",";
+      os << CsvEscape(row[c]);
+    }
+    os << "\n";
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+Status TableWriter::WriteCsvFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path);
+  RenderCsv(out);
+  if (!out) return Status::IOError("write failed for " + path);
+  return Status::OK();
+}
+
+}  // namespace ecocharge

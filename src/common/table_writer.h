@@ -1,0 +1,43 @@
+#ifndef ECOCHARGE_COMMON_TABLE_WRITER_H_
+#define ECOCHARGE_COMMON_TABLE_WRITER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ecocharge {
+
+/// \brief Collects rows and renders them as an aligned ASCII table and/or
+/// CSV. Used by the benchmark harness to print paper-style result tables.
+class TableWriter {
+ public:
+  /// Creates a writer with the given column headers.
+  explicit TableWriter(std::vector<std::string> headers);
+
+  /// Appends one row; must have exactly as many cells as there are headers.
+  Status AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats a double with `precision` decimals.
+  static std::string Fmt(double value, int precision = 2);
+
+  /// Renders an aligned, pipe-separated table.
+  void RenderText(std::ostream& os) const;
+
+  /// Renders RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+  void RenderCsv(std::ostream& os) const;
+
+  /// Writes CSV to a file path; parent directory must exist.
+  Status WriteCsvFile(const std::string& path) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_COMMON_TABLE_WRITER_H_

@@ -1,0 +1,117 @@
+#include "core/baselines.h"
+
+#include <algorithm>
+
+namespace ecocharge {
+
+namespace {
+
+/// Builds an exact-valued offering entry from realized components.
+OfferingEntry MakeTruthEntry(ChargerId id, const EcTruth& truth,
+                             const ScoreWeights& weights) {
+  OfferingEntry e;
+  e.charger_id = id;
+  double sc = ComputeExactScore(truth.level, truth.availability,
+                                truth.derouting, weights);
+  e.score = ScorePair{sc, sc};
+  e.ecs.level = Interval::Exact(truth.level);
+  e.ecs.availability = Interval::Exact(truth.availability);
+  e.ecs.derouting = Interval::Exact(truth.derouting);
+  e.ecs.eta_s = truth.eta_s;
+  e.eta_s = truth.eta_s;
+  return e;
+}
+
+OfferingTable MakeTable(const VehicleState& state,
+                        std::vector<OfferingEntry> entries, size_t k) {
+  SortOfferingEntries(entries);
+  if (entries.size() > k) entries.resize(k);
+  OfferingTable table;
+  table.generated_at = state.time;
+  table.location = state.position;
+  table.segment_index = state.segment_index;
+  table.entries = std::move(entries);
+  return table;
+}
+
+}  // namespace
+
+BruteForceRanker::BruteForceRanker(EcEstimator* estimator,
+                                   const ScoreWeights& weights)
+    : estimator_(estimator), weights_(weights) {}
+
+OfferingTable BruteForceRanker::Rank(const VehicleState& state, size_t k) {
+  const std::vector<EvCharger>& fleet = estimator_->fleet();
+  std::vector<OfferingEntry> entries;
+  entries.reserve(fleet.size());
+  for (const EvCharger& charger : fleet) {
+    EcTruth ref = estimator_->ReferenceComponents(state, charger);
+    entries.push_back(MakeTruthEntry(charger.id, ref, weights_));
+  }
+  return MakeTable(state, std::move(entries), k);
+}
+
+QuadtreeRanker::QuadtreeRanker(EcEstimator* estimator,
+                               const QuadTree* charger_index,
+                               const ScoreWeights& weights,
+                               size_t candidate_budget)
+    : estimator_(estimator),
+      charger_index_(charger_index),
+      weights_(weights),
+      candidate_budget_(candidate_budget) {}
+
+OfferingTable QuadtreeRanker::Rank(const VehicleState& state, size_t k) {
+  const std::vector<EvCharger>& fleet = estimator_->fleet();
+  std::vector<Neighbor> nearest =
+      charger_index_->Knn(state.position, std::max(candidate_budget_, k));
+  std::vector<OfferingEntry> entries;
+  entries.reserve(nearest.size());
+  for (const Neighbor& n : nearest) {
+    if (n.id >= fleet.size()) continue;
+    EcTruth ref = estimator_->ReferenceComponents(state, fleet[n.id]);
+    entries.push_back(MakeTruthEntry(n.id, ref, weights_));
+  }
+  return MakeTable(state, std::move(entries), k);
+}
+
+RandomRanker::RandomRanker(EcEstimator* estimator,
+                           const QuadTree* charger_index, double radius_m,
+                           uint64_t seed)
+    : estimator_(estimator),
+      charger_index_(charger_index),
+      radius_m_(radius_m),
+      seed_(seed),
+      rng_(seed) {}
+
+OfferingTable RandomRanker::Rank(const VehicleState& state, size_t k) {
+  const std::vector<EvCharger>& fleet = estimator_->fleet();
+  std::vector<Neighbor> in_range =
+      charger_index_->RangeSearch(state.position, radius_m_);
+  std::vector<uint32_t> ids;
+  ids.reserve(in_range.size());
+  for (const Neighbor& n : in_range) ids.push_back(n.id);
+  rng_.Shuffle(ids);
+  if (ids.size() > k) ids.resize(k);
+
+  std::vector<OfferingEntry> entries;
+  entries.reserve(ids.size());
+  for (uint32_t id : ids) {
+    if (id >= fleet.size()) continue;
+    // The random method does not evaluate objectives; fill the entry with
+    // cheap estimated intervals so the table still carries ETA context.
+    OfferingEntry e;
+    e.charger_id = id;
+    e.ecs = estimator_->EstimateIntervals(state, fleet[id]);
+    e.score = ScorePair{0.0, 0.0};  // deliberately unranked
+    e.eta_s = e.ecs.eta_s;
+    entries.push_back(e);
+  }
+  OfferingTable table;
+  table.generated_at = state.time;
+  table.location = state.position;
+  table.segment_index = state.segment_index;
+  table.entries = std::move(entries);
+  return table;
+}
+
+}  // namespace ecocharge

@@ -1,0 +1,77 @@
+#ifndef ECOCHARGE_CORE_BASELINES_H_
+#define ECOCHARGE_CORE_BASELINES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/ec_estimator.h"
+#include "core/ranker.h"
+#include "spatial/quadtree.h"
+
+namespace ecocharge {
+
+/// \brief The paper's Brute-Force baseline: exhaustively evaluates the
+/// exact (realized) SC of every charger in B and returns the true top-k.
+///
+/// By construction it attains SC = 100%; its cost — one network-exact
+/// derouting computation per charger per query — makes it the slowest
+/// method, as in the paper.
+class BruteForceRanker : public Ranker {
+ public:
+  BruteForceRanker(EcEstimator* estimator, const ScoreWeights& weights);
+
+  std::string_view name() const override { return "Brute-Force"; }
+  OfferingTable Rank(const VehicleState& state, size_t k) override;
+
+ private:
+  EcEstimator* estimator_;
+  ScoreWeights weights_;
+};
+
+/// \brief The Index-Quadtree baseline: uses the quadtree to retrieve the
+/// spatially nearest `candidate_budget` chargers, evaluates the exact SC
+/// only for those, and returns their top-k.
+///
+/// Faster than Brute-Force (it prices O(log n) retrieval plus a bounded
+/// candidate evaluation), but it can miss high-L/A chargers slightly
+/// farther away — the SC gap the paper reports (~80-85%).
+class QuadtreeRanker : public Ranker {
+ public:
+  /// \param charger_index quadtree over fleet positions (ids = fleet index)
+  /// \param candidate_budget how many spatial NNs are exactly evaluated
+  QuadtreeRanker(EcEstimator* estimator, const QuadTree* charger_index,
+                 const ScoreWeights& weights, size_t candidate_budget = 24);
+
+  std::string_view name() const override { return "Index-Quadtree"; }
+  OfferingTable Rank(const VehicleState& state, size_t k) override;
+
+ private:
+  EcEstimator* estimator_;
+  const QuadTree* charger_index_;
+  ScoreWeights weights_;
+  size_t candidate_budget_;
+};
+
+/// \brief The Random baseline: k uniform picks among the chargers within
+/// radius R, ignoring every objective.
+class RandomRanker : public Ranker {
+ public:
+  RandomRanker(EcEstimator* estimator, const QuadTree* charger_index,
+               double radius_m, uint64_t seed);
+
+  std::string_view name() const override { return "Random"; }
+  OfferingTable Rank(const VehicleState& state, size_t k) override;
+  void Reset() override { rng_ = Rng(seed_); }
+
+ private:
+  EcEstimator* estimator_;
+  const QuadTree* charger_index_;
+  double radius_m_;
+  uint64_t seed_;
+  Rng rng_;
+};
+
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_CORE_BASELINES_H_

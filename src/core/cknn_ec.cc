@@ -1,0 +1,157 @@
+#include "core/cknn_ec.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace ecocharge {
+
+namespace {
+
+/// Descending by `key(c)`, ties by id (deterministic).
+template <typename KeyFn>
+std::vector<uint32_t> RankBy(const std::vector<ScoredCandidate>& candidates,
+                             KeyFn key) {
+  std::vector<uint32_t> order(candidates.size());
+  for (uint32_t i = 0; i < candidates.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    double ka = key(candidates[a]);
+    double kb = key(candidates[b]);
+    if (ka != kb) return ka > kb;
+    return candidates[a].charger_id < candidates[b].charger_id;
+  });
+  return order;
+}
+
+}  // namespace
+
+std::vector<ScoredCandidate> IterativeDeepeningIntersection(
+    const std::vector<ScoredCandidate>& candidates, size_t k) {
+  std::vector<ScoredCandidate> result;
+  if (candidates.empty() || k == 0) return result;
+
+  std::vector<uint32_t> by_min = RankBy(
+      candidates, [](const ScoredCandidate& c) { return c.score.sc_min; });
+  std::vector<uint32_t> by_max = RankBy(
+      candidates, [](const ScoredCandidate& c) { return c.score.sc_max; });
+
+  // Deepen: take the top-d of both rankings, intersect, and grow d until
+  // the intersection holds k chargers or everything has been considered.
+  size_t n = candidates.size();
+  size_t depth = std::min(k, n);
+  std::vector<uint32_t> common;
+  while (true) {
+    std::unordered_set<uint32_t> min_set(by_min.begin(),
+                                         by_min.begin() + depth);
+    common.clear();
+    for (size_t i = 0; i < depth; ++i) {
+      if (min_set.count(by_max[i])) common.push_back(by_max[i]);
+    }
+    if (common.size() >= k || depth == n) break;
+    depth = std::min(n, depth * 2);
+  }
+
+  // Order the common chargers by score midpoint (the final sort of eq. 6)
+  // and keep k.
+  std::sort(common.begin(), common.end(), [&](uint32_t a, uint32_t b) {
+    double ka = candidates[a].score.Mid();
+    double kb = candidates[b].score.Mid();
+    if (ka != kb) return ka > kb;
+    return candidates[a].charger_id < candidates[b].charger_id;
+  });
+  if (common.size() > k) common.resize(k);
+  result.reserve(common.size());
+  for (uint32_t idx : common) result.push_back(candidates[idx]);
+  return result;
+}
+
+CknnEcProcessor::CknnEcProcessor(EcEstimator* estimator,
+                                 const QuadTree* charger_index,
+                                 const CknnEcOptions& options)
+    : estimator_(estimator),
+      charger_index_(charger_index),
+      options_(options) {}
+
+std::vector<ChargerId> CknnEcProcessor::FilterCandidates(
+    const Point& position) const {
+  std::vector<Neighbor> in_range =
+      charger_index_->RangeSearch(position, options_.radius_m);
+  std::vector<ChargerId> ids;
+  ids.reserve(in_range.size());
+  for (const Neighbor& n : in_range) ids.push_back(n.id);
+  return ids;
+}
+
+std::vector<ScoredCandidate> CknnEcProcessor::ScoreCandidates(
+    const VehicleState& state, const std::vector<ChargerId>& candidate_ids,
+    const ScoreWeights& weights) {
+  const std::vector<EvCharger>& fleet = estimator_->fleet();
+  std::vector<ScoredCandidate> scored;
+  scored.reserve(candidate_ids.size());
+  for (ChargerId id : candidate_ids) {
+    if (id >= fleet.size()) continue;
+    ScoredCandidate c;
+    c.charger_id = id;
+    c.ecs = estimator_->EstimateIntervals(state, fleet[id],
+                                          options_.derouting_norm_m);
+    c.score = ComputeScorePair(c.ecs, weights);
+    scored.push_back(c);
+  }
+  return scored;
+}
+
+std::vector<OfferingEntry> CknnEcProcessor::RefineAndRank(
+    const VehicleState& state, std::vector<ScoredCandidate> scored, size_t k,
+    const ScoreWeights& weights) {
+  // Intersection over a pool slightly deeper than k, so the exact-derouting
+  // refinement has alternatives to promote.
+  size_t pool = options_.refine_exact_derouting
+                    ? std::max(k, options_.refine_limit)
+                    : k;
+  std::vector<ScoredCandidate> selected;
+  if (options_.use_intersection) {
+    selected = IterativeDeepeningIntersection(scored, pool);
+  } else {
+    // Ablation path: plain top-`pool` by score midpoint.
+    std::sort(scored.begin(), scored.end(),
+              [](const ScoredCandidate& a, const ScoredCandidate& b) {
+                if (a.score.Mid() != b.score.Mid()) {
+                  return a.score.Mid() > b.score.Mid();
+                }
+                return a.charger_id < b.charger_id;
+              });
+    if (scored.size() > pool) scored.resize(pool);
+    selected = std::move(scored);
+  }
+
+  const std::vector<EvCharger>& fleet = estimator_->fleet();
+  std::vector<OfferingEntry> entries;
+  entries.reserve(selected.size());
+  for (size_t i = 0; i < selected.size(); ++i) {
+    ScoredCandidate& c = selected[i];
+    if (options_.refine_exact_derouting && i < options_.refine_limit) {
+      c.ecs = estimator_->EstimateWithExactDerouting(
+          state, fleet[c.charger_id], options_.derouting_norm_m);
+      c.score = ComputeScorePair(c.ecs, weights);
+    }
+    OfferingEntry e;
+    e.charger_id = c.charger_id;
+    e.score = c.score;
+    e.ecs = c.ecs;
+    e.eta_s = c.ecs.eta_s;
+    entries.push_back(e);
+  }
+  SortOfferingEntries(entries);
+  if (entries.size() > k) entries.resize(k);
+  return entries;
+}
+
+std::vector<OfferingEntry> CknnEcProcessor::Query(const VehicleState& state,
+                                                  size_t k,
+                                                  const ScoreWeights& weights) {
+  std::vector<ChargerId> candidates = FilterCandidates(state.position);
+  std::vector<ScoredCandidate> scored =
+      ScoreCandidates(state, candidates, weights);
+  return RefineAndRank(state, std::move(scored), k, weights);
+}
+
+}  // namespace ecocharge

@@ -1,0 +1,89 @@
+#ifndef ECOCHARGE_CORE_CKNN_EC_H_
+#define ECOCHARGE_CORE_CKNN_EC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/ec_estimator.h"
+#include "core/offering_table.h"
+#include "spatial/quadtree.h"
+
+namespace ecocharge {
+
+/// \brief A scored candidate inside the CkNN-EC pipeline.
+struct ScoredCandidate {
+  ChargerId charger_id = 0;
+  ScorePair score;
+  EcIntervals ecs;
+};
+
+/// \brief Eq. (6): intersection of the top-d rankings by SC_min and by
+/// SC_max, deepened iteratively until k common chargers are found (or the
+/// candidate pool is exhausted). Returns at most k candidates ordered by
+/// descending score midpoint.
+std::vector<ScoredCandidate> IterativeDeepeningIntersection(
+    const std::vector<ScoredCandidate>& candidates, size_t k);
+
+/// \brief Tuning of the CkNN-EC query processor.
+struct CknnEcOptions {
+  double radius_m = 50000.0;   ///< R: chargers beyond this are filtered out
+  size_t refine_limit = 8;     ///< refinement: exact derouting for this many
+  bool refine_exact_derouting = true;
+
+  /// Normalization constant for the D score inside this query's objective
+  /// — the "environment's maximum derouting distance", which the paper
+  /// scales with the user's radius (2R). 0 uses the estimator default.
+  double derouting_norm_m = 0.0;
+
+  /// Eq. 6's min/max-ranking intersection. Disabling it ranks candidates
+  /// by score midpoint only — the ablation DESIGN.md calls out (interval
+  /// robustness vs a single point estimate).
+  bool use_intersection = true;
+};
+
+/// \brief The CkNN-EC query processor (Section III-C).
+///
+/// Filtering phase: a quadtree range query keeps only chargers within R of
+/// the vehicle, and each survivor gets cheap interval ECs (forecast L, A;
+/// closed-form D bounds) folded into the SC_min/SC_max pair.
+/// Refinement phase: iterative-deepening intersection (eq. 6) selects the
+/// candidates, and the top `refine_limit` get network-exact derouting
+/// before the final ordering.
+class CknnEcProcessor {
+ public:
+  /// \param charger_index quadtree over the fleet's positions, where item
+  ///        ids equal positions in the fleet vector (not owned)
+  CknnEcProcessor(EcEstimator* estimator, const QuadTree* charger_index,
+                  const CknnEcOptions& options);
+
+  /// Candidate ids within R of `position` (the filtering phase's spatial
+  /// part), exposed so Dynamic Caching can reuse the candidate set.
+  std::vector<ChargerId> FilterCandidates(const Point& position) const;
+
+  /// Scores `candidate_ids` with estimated interval ECs.
+  std::vector<ScoredCandidate> ScoreCandidates(
+      const VehicleState& state, const std::vector<ChargerId>& candidate_ids,
+      const ScoreWeights& weights);
+
+  /// Full query: filter, score, intersect, refine. Returns the top-k
+  /// entries best-first.
+  std::vector<OfferingEntry> Query(const VehicleState& state, size_t k,
+                                   const ScoreWeights& weights);
+
+  /// Refinement on an already-scored pool (used by the cached path, which
+  /// skips filtering).
+  std::vector<OfferingEntry> RefineAndRank(
+      const VehicleState& state, std::vector<ScoredCandidate> scored,
+      size_t k, const ScoreWeights& weights);
+
+  const CknnEcOptions& options() const { return options_; }
+
+ private:
+  EcEstimator* estimator_;
+  const QuadTree* charger_index_;
+  CknnEcOptions options_;
+};
+
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_CORE_CKNN_EC_H_

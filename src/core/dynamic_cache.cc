@@ -1,0 +1,33 @@
+#include "core/dynamic_cache.h"
+
+namespace ecocharge {
+
+DynamicCache::DynamicCache(const DynamicCacheOptions& options)
+    : options_(options) {}
+
+const std::vector<ScoredCandidate>* DynamicCache::TryReuse(
+    const Point& position, SimTime now) {
+  if (!solution_.has_value()) {
+    ++misses_;
+    return nullptr;
+  }
+  bool moved_too_far =
+      Distance(position, solution_->anchor) > options_.q_distance_m;
+  bool stale = now - solution_->stored_at > options_.ttl_s || now <
+                   solution_->stored_at;
+  if (moved_too_far || stale) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return &solution_->candidates;
+}
+
+void DynamicCache::Store(const Point& position, SimTime now,
+                         std::vector<ScoredCandidate> candidates) {
+  solution_ = CachedSolution{position, now, std::move(candidates)};
+}
+
+void DynamicCache::Clear() { solution_.reset(); }
+
+}  // namespace ecocharge

@@ -1,0 +1,171 @@
+#include "core/ec_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ecocharge {
+
+EcEstimator::EcEstimator(std::shared_ptr<const RoadNetwork> network,
+                         const std::vector<EvCharger>* fleet,
+                         SolarEnergyService* energy,
+                         const AvailabilityService* availability,
+                         const CongestionModel* congestion,
+                         const EcEstimatorOptions& options)
+    : network_(std::move(network)),
+      fleet_(fleet),
+      energy_(energy),
+      availability_(availability),
+      options_(options),
+      derouting_(network_, congestion),
+      eis_(energy, availability, congestion) {
+  double best = -1.0;
+  for (size_t i = 0; i < fleet_->size(); ++i) {
+    const EvCharger& c = (*fleet_)[i];
+    double deliverable = std::min(c.RateKw(), c.pv_capacity_kw);
+    if (deliverable > best) {
+      best = deliverable;
+      best_site_index_ = i;
+    }
+  }
+}
+
+double EcEstimator::MaxFleetEnergyKwh(SimTime t, double window_s) {
+  // Quantize to the EIS forecast bucket so the value is pure in its key.
+  const double bucket_s = 15.0 * kSecondsPerMinute;
+  uint64_t bucket = static_cast<uint64_t>(std::max(0.0, t) / bucket_s);
+  uint64_t key = bucket * 1000003ULL +
+                 static_cast<uint64_t>(window_s / kSecondsPerMinute);
+  auto it = max_energy_cache_.find(key);
+  if (it != max_energy_cache_.end()) return it->second;
+  if (fleet_->empty()) return 0.0;
+  double value = energy_->ActualEnergyKwh(
+      (*fleet_)[best_site_index_], static_cast<double>(bucket) * bucket_s,
+      window_s);
+  max_energy_cache_[key] = value;
+  return value;
+}
+
+double EcEstimator::NormalizeEnergy(double kwh, double window_s, SimTime t) {
+  // Eq. 1: the environment's maximum charging level at this time window.
+  double denom = MaxFleetEnergyKwh(t, window_s);
+  if (denom <= 1e-9) return 0.0;  // night: nothing produces
+  return std::clamp(kwh / denom, 0.0, 1.0);
+}
+
+double EcEstimator::NormalizeDerouting(double extra_m, double norm_m) const {
+  if (!std::isfinite(extra_m)) return 1.0;
+  double denom = norm_m > 0.0 ? norm_m : options_.max_derouting_m;
+  return std::clamp(extra_m / denom, 0.0, 1.0);
+}
+
+DeroutingQuery EcEstimator::MakeQuery(const VehicleState& state) const {
+  DeroutingQuery q;
+  q.vehicle_position = state.position;
+  q.vehicle_node = state.node;
+  q.return_point_a = state.return_point_a;
+  q.return_point_b = state.return_point_b;
+  q.return_node_a = state.return_node_a;
+  q.return_node_b = state.return_node_b;
+  q.now = state.time;
+  return q;
+}
+
+EcIntervals EcEstimator::EstimateIntervals(const VehicleState& state,
+                                           const EvCharger& charger,
+                                           double derouting_norm_m) {
+  DeroutingQuery q = MakeQuery(state);
+  CongestionModel::Band band =
+      eis_.GetTraffic(RoadClass::kArterial, state.time, state.time);
+  DeroutingEstimate der = derouting_.Estimate(q, charger, band);
+  SimTime eta_time = state.time + der.eta_s;
+
+  EnergyForecast energy = eis_.GetEnergyForecast(charger, state.time,
+                                                 eta_time,
+                                                 state.charge_window_s);
+  AvailabilityForecast avail =
+      eis_.GetAvailability(charger, state.time, eta_time);
+
+  EcIntervals ecs;
+  ecs.level = Interval::FromUnordered(
+      NormalizeEnergy(energy.min_kwh, state.charge_window_s, eta_time),
+      NormalizeEnergy(energy.max_kwh, state.charge_window_s, eta_time));
+  ecs.availability = Interval::FromUnordered(avail.min, avail.max);
+  ecs.derouting = Interval::FromUnordered(
+      NormalizeDerouting(der.extra_distance_min_m, derouting_norm_m),
+      NormalizeDerouting(der.extra_distance_max_m, derouting_norm_m));
+  ecs.eta_s = der.eta_s;
+  return ecs;
+}
+
+void EcEstimator::ReviseDerouting(const VehicleState& state,
+                                  const EvCharger& charger, EcIntervals* ecs,
+                                  double derouting_norm_m) {
+  DeroutingQuery q = MakeQuery(state);
+  CongestionModel::Band band =
+      eis_.GetTraffic(RoadClass::kArterial, state.time, state.time);
+  DeroutingEstimate der = derouting_.Estimate(q, charger, band);
+  ecs->derouting = Interval::FromUnordered(
+      NormalizeDerouting(der.extra_distance_min_m, derouting_norm_m),
+      NormalizeDerouting(der.extra_distance_max_m, derouting_norm_m));
+  ecs->eta_s = der.eta_s;
+}
+
+EcIntervals EcEstimator::EstimateWithExactDerouting(const VehicleState& state,
+                                                    const EvCharger& charger,
+                                                    double derouting_norm_m) {
+  EcIntervals ecs = EstimateIntervals(state, charger, derouting_norm_m);
+  DeroutingEstimate exact = derouting_.Exact(MakeQuery(state), charger);
+  double d = NormalizeDerouting(exact.extra_distance_min_m, derouting_norm_m);
+  ecs.derouting = Interval::Exact(d);
+  ecs.eta_s = exact.eta_s;
+  return ecs;
+}
+
+EcTruth EcEstimator::Truth(const VehicleState& state,
+                           const EvCharger& charger) {
+  DeroutingEstimate der = derouting_.Exact(MakeQuery(state), charger);
+  EcTruth truth;
+  truth.derouting = NormalizeDerouting(der.extra_distance_min_m);
+  truth.eta_s = der.eta_s;
+  SimTime arrival = state.time + (std::isfinite(der.eta_s) ? der.eta_s : 0.0);
+  double kwh =
+      energy_->ActualEnergyKwh(charger, arrival, state.charge_window_s);
+  truth.level = NormalizeEnergy(kwh, state.charge_window_s, arrival);
+  truth.availability = availability_->ActualAvailability(charger, arrival);
+  return truth;
+}
+
+EcTruth EcEstimator::ReferenceComponents(const VehicleState& state,
+                                         const EvCharger& charger) {
+  DeroutingEstimate der = derouting_.Exact(MakeQuery(state), charger);
+  EcTruth ref;
+  ref.derouting = NormalizeDerouting(der.extra_distance_min_m);
+  ref.eta_s = der.eta_s;
+  SimTime arrival = state.time + (std::isfinite(der.eta_s) ? der.eta_s : 0.0);
+  EnergyForecast energy = eis_.GetEnergyForecast(charger, state.time, arrival,
+                                                 state.charge_window_s);
+  ref.level =
+      (NormalizeEnergy(energy.min_kwh, state.charge_window_s, arrival) +
+       NormalizeEnergy(energy.max_kwh, state.charge_window_s, arrival)) /
+      2.0;
+  AvailabilityForecast avail =
+      eis_.GetAvailability(charger, state.time, arrival);
+  ref.availability = (avail.min + avail.max) / 2.0;
+  return ref;
+}
+
+double EcEstimator::ReferenceScore(const VehicleState& state,
+                                   const EvCharger& charger,
+                                   const ScoreWeights& weights) {
+  EcTruth r = ReferenceComponents(state, charger);
+  return ComputeExactScore(r.level, r.availability, r.derouting, weights);
+}
+
+double EcEstimator::TrueScore(const VehicleState& state,
+                              const EvCharger& charger,
+                              const ScoreWeights& weights) {
+  EcTruth t = Truth(state, charger);
+  return ComputeExactScore(t.level, t.availability, t.derouting, weights);
+}
+
+}  // namespace ecocharge

@@ -1,0 +1,123 @@
+#ifndef ECOCHARGE_CORE_EC_ESTIMATOR_H_
+#define ECOCHARGE_CORE_EC_ESTIMATOR_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "availability/availability_service.h"
+#include "core/score.h"
+#include "core/vehicle_state.h"
+#include "eis/information_server.h"
+#include "energy/production.h"
+#include "traffic/derouting.h"
+
+namespace ecocharge {
+
+/// \brief Knobs of the EC normalization.
+struct EcEstimatorOptions {
+  /// Normalization constant for D: the "environment's maximum derouting
+  /// distance" of Eq. 3's discussion. Callers typically set it to 2R.
+  double max_derouting_m = 100000.0;
+};
+
+/// \brief Ground-truth (realized) components of one charger, normalized.
+struct EcTruth {
+  double level = 0.0;
+  double availability = 0.0;
+  double derouting = 0.0;
+  double eta_s = 0.0;
+};
+
+/// \brief Assembles the three Estimated Components for a charger.
+///
+/// Two fidelities mirror the paper's phases:
+///  - EstimateIntervals(): interval ECs from the forecast services via the
+///    EIS caches — cheap, used by the CkNN-EC filtering phase and by the
+///    production EcoCharge ranker.
+///  - Truth(): realized values with network-exact derouting — what actually
+///    happens; the Brute-Force oracle ranks by these, and the evaluation
+///    scores every method's picks against them.
+class EcEstimator {
+ public:
+  EcEstimator(std::shared_ptr<const RoadNetwork> network,
+              const std::vector<EvCharger>* fleet,
+              SolarEnergyService* energy,
+              const AvailabilityService* availability,
+              const CongestionModel* congestion,
+              const EcEstimatorOptions& options);
+
+  /// Interval ECs (normalized) for `charger` seen from `state`.
+  /// `derouting_norm_m` overrides the D normalization constant (the
+  /// "environment's maximum derouting distance", which scales with the
+  /// user's configured radius R); 0 keeps the estimator-wide default.
+  EcIntervals EstimateIntervals(const VehicleState& state,
+                                const EvCharger& charger,
+                                double derouting_norm_m = 0.0);
+
+  /// Like EstimateIntervals but with the derouting interval replaced by the
+  /// network-exact value — the refinement phase's upgrade path.
+  EcIntervals EstimateWithExactDerouting(const VehicleState& state,
+                                         const EvCharger& charger,
+                                         double derouting_norm_m = 0.0);
+
+  /// Recomputes only the derouting interval and ETA of `ecs` for a new
+  /// vehicle state, keeping the (possibly stale) L and A estimates — the
+  /// Dynamic Caching adaptation step.
+  void ReviseDerouting(const VehicleState& state, const EvCharger& charger,
+                       EcIntervals* ecs, double derouting_norm_m = 0.0);
+
+  /// Realized normalized components.
+  EcTruth Truth(const VehicleState& state, const EvCharger& charger);
+
+  /// Realized SC score under `weights`.
+  double TrueScore(const VehicleState& state, const EvCharger& charger,
+                   const ScoreWeights& weights);
+
+  /// Best-knowable components: forecast midpoints for L and A plus the
+  /// network-exact derouting cost. This is the objective the Brute-Force
+  /// oracle maximizes and every method is scored against — the estimation
+  /// noise of the upstream forecasts is identical for all methods, so the
+  /// metric isolates the *search* quality (the paper's SC%).
+  EcTruth ReferenceComponents(const VehicleState& state,
+                              const EvCharger& charger);
+
+  /// SC under the reference components.
+  double ReferenceScore(const VehicleState& state, const EvCharger& charger,
+                        const ScoreWeights& weights);
+
+  /// Normalizes raw kWh into the L score: relative to the best deliverable
+  /// energy over the fleet for a window starting near `t` (the paper's
+  /// Eq. 1, L(B) = max{s_t^b}). Returns 0 when nothing produces (night).
+  double NormalizeEnergy(double kwh, double window_s, SimTime t);
+
+  /// Normalizes raw extra meters into the D score; `norm_m` <= 0 uses the
+  /// estimator-wide default.
+  double NormalizeDerouting(double extra_m, double norm_m = 0.0) const;
+
+  const std::vector<EvCharger>& fleet() const { return *fleet_; }
+  DeroutingService& derouting_service() { return derouting_; }
+  InformationServer& information_server() { return eis_; }
+  const EcEstimatorOptions& options() const { return options_; }
+
+ private:
+  DeroutingQuery MakeQuery(const VehicleState& state) const;
+
+  /// Fleet-max deliverable energy for a window anchored at `t`'s
+  /// 15-minute bucket (cached; this is an environment property).
+  double MaxFleetEnergyKwh(SimTime t, double window_s);
+
+  std::shared_ptr<const RoadNetwork> network_;
+  const std::vector<EvCharger>* fleet_;
+  SolarEnergyService* energy_;
+  const AvailabilityService* availability_;
+  EcEstimatorOptions options_;
+  DeroutingService derouting_;
+  InformationServer eis_;
+  size_t best_site_index_ = 0;  // fleet index maximizing min(rate, pv)
+  std::unordered_map<uint64_t, double> max_energy_cache_;
+};
+
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_CORE_EC_ESTIMATOR_H_

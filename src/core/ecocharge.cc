@@ -1,0 +1,83 @@
+#include "core/ecocharge.h"
+
+namespace ecocharge {
+
+namespace {
+
+CknnEcOptions MainProcessorOptions(const EcoChargeOptions& o) {
+  CknnEcOptions c;
+  c.radius_m = o.radius_m;
+  c.refine_limit = o.refine_limit;
+  c.refine_exact_derouting = o.refine_exact_derouting;
+  c.use_intersection = o.use_intersection;
+  // The user's radius defines the environment the paper normalizes the
+  // derouting cost by: D = extra distance / (2R).
+  c.derouting_norm_m = 2.0 * o.radius_m;
+  return c;
+}
+
+CknnEcOptions CachedProcessorOptions(const EcoChargeOptions& o) {
+  CknnEcOptions c = MainProcessorOptions(o);
+  // The adaptation path trades a little accuracy for speed: estimated
+  // intervals only, no network-exact refinement.
+  c.refine_exact_derouting = false;
+  return c;
+}
+
+}  // namespace
+
+EcoChargeRanker::EcoChargeRanker(EcEstimator* estimator,
+                                 const QuadTree* charger_index,
+                                 const ScoreWeights& weights,
+                                 const EcoChargeOptions& options)
+    : estimator_(estimator),
+      weights_(weights),
+      options_(options),
+      processor_(estimator, charger_index, MainProcessorOptions(options)),
+      cached_processor_(estimator, charger_index,
+                        CachedProcessorOptions(options)),
+      cache_(DynamicCacheOptions{options.q_distance_m, options.cache_ttl_s}) {}
+
+OfferingTable EcoChargeRanker::Rank(const VehicleState& state, size_t k) {
+  OfferingTable table;
+  table.generated_at = state.time;
+  table.location = state.position;
+  table.segment_index = state.segment_index;
+
+  if (const std::vector<ScoredCandidate>* cached =
+          cache_.TryReuse(state.position, state.time)) {
+    // Adaptation: reuse the previously solved sub-problems. By default the
+    // recalculation is skipped entirely (the cached L/A/D stay as computed
+    // at the anchor position — the staleness the Q parameter trades away);
+    // optionally the derouting component is revised for the new position.
+    std::vector<ScoredCandidate> scored = *cached;
+    if (options_.adapt_revises_derouting) {
+      const std::vector<EvCharger>& fleet = estimator_->fleet();
+      for (ScoredCandidate& c : scored) {
+        if (c.charger_id >= fleet.size()) continue;
+        estimator_->ReviseDerouting(state, fleet[c.charger_id], &c.ecs,
+                                    2.0 * options_.radius_m);
+        c.score = ComputeScorePair(c.ecs, weights_);
+      }
+    }
+    table.entries =
+        cached_processor_.RefineAndRank(state, std::move(scored), k,
+                                        weights_);
+    table.adapted_from_cache = true;
+    return table;
+  }
+
+  // Full regeneration: filter within R, score, intersect, refine.
+  std::vector<ChargerId> candidates =
+      processor_.FilterCandidates(state.position);
+  std::vector<ScoredCandidate> scored =
+      processor_.ScoreCandidates(state, candidates, weights_);
+  cache_.Store(state.position, state.time, scored);
+  table.entries =
+      processor_.RefineAndRank(state, std::move(scored), k, weights_);
+  return table;
+}
+
+void EcoChargeRanker::Reset() { cache_.Clear(); }
+
+}  // namespace ecocharge

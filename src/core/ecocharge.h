@@ -1,0 +1,65 @@
+#ifndef ECOCHARGE_CORE_ECOCHARGE_H_
+#define ECOCHARGE_CORE_ECOCHARGE_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/cknn_ec.h"
+#include "core/dynamic_cache.h"
+#include "core/ranker.h"
+
+namespace ecocharge {
+
+/// \brief The user-facing configuration of EcoCharge (Algorithm 1).
+struct EcoChargeOptions {
+  double radius_m = 50000.0;       ///< R: search radius (paper default 50 km)
+  double q_distance_m = 5000.0;    ///< Q: cache-reuse distance (default 5 km)
+  double cache_ttl_s = 15.0 * kSecondsPerMinute;
+  size_t refine_limit = 8;         ///< exact-derouting refinements per query
+  bool refine_exact_derouting = true;
+
+  /// Eq. 6 intersection on/off (see CknnEcOptions::use_intersection).
+  bool use_intersection = true;
+
+  /// If true, the cache-adaptation path revises the derouting component
+  /// for the new position before re-ranking. The paper skips the
+  /// recalculation entirely while within Q (the accuracy/time trade-off
+  /// its Q-opt experiment sweeps), so the default is false.
+  bool adapt_revises_derouting = false;
+};
+
+/// \brief The EcoCharge renewable-hoarding algorithm.
+///
+/// Implements Algorithm 1 on top of the CkNN-EC processor:
+///  1. the trip is segmented upstream (workload.h);
+///  2. per vehicle state, the filtering phase collects chargers within R
+///     and scores interval ECs, the refinement phase intersects the
+///     SC_min/SC_max rankings (eq. 6) and exact-refines the leaders;
+///  3. Dynamic Caching adapts the previous Offering Table while the
+///     vehicle has moved less than Q and the estimates are fresh — the
+///     cached path skips the spatial filter and the exact refinement.
+class EcoChargeRanker : public Ranker {
+ public:
+  EcoChargeRanker(EcEstimator* estimator, const QuadTree* charger_index,
+                  const ScoreWeights& weights,
+                  const EcoChargeOptions& options);
+
+  std::string_view name() const override { return "EcoCharge"; }
+  OfferingTable Rank(const VehicleState& state, size_t k) override;
+  void Reset() override;
+
+  const DynamicCache& cache() const { return cache_; }
+  const EcoChargeOptions& options() const { return options_; }
+
+ private:
+  EcEstimator* estimator_;
+  ScoreWeights weights_;
+  EcoChargeOptions options_;
+  CknnEcProcessor processor_;
+  CknnEcProcessor cached_processor_;  // refinement disabled on the hit path
+  DynamicCache cache_;
+};
+
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_CORE_ECOCHARGE_H_

@@ -1,0 +1,55 @@
+#ifndef ECOCHARGE_CORE_ENVIRONMENT_H_
+#define ECOCHARGE_CORE_ENVIRONMENT_H_
+
+#include <memory>
+#include <vector>
+
+#include "availability/availability_service.h"
+#include "common/result.h"
+#include "core/ec_estimator.h"
+#include "energy/production.h"
+#include "spatial/quadtree.h"
+#include "traffic/congestion.h"
+#include "traj/dataset.h"
+
+namespace ecocharge {
+
+/// \brief One fully-wired simulation world: dataset + chargers + the
+/// ground-truth/forecast services + the EC estimator + the charger index.
+/// Everything benches, tests, and examples need to run rankers.
+///
+/// Heap-allocated (MakeEnvironment returns a unique_ptr) because the
+/// estimator holds pointers into the sibling members; moving the struct
+/// itself would dangle them.
+struct Environment {
+  Dataset dataset;
+  std::vector<EvCharger> chargers;
+  std::unique_ptr<SolarEnergyService> energy;
+  std::unique_ptr<AvailabilityService> availability;
+  std::unique_ptr<CongestionModel> congestion;
+  std::unique_ptr<EcEstimator> estimator;
+  std::unique_ptr<QuadTree> charger_index;  ///< ids = indices into chargers
+};
+
+/// \brief World-building knobs.
+struct EnvironmentOptions {
+  DatasetKind kind = DatasetKind::kOldenburg;
+  double dataset_scale = 0.01;     ///< see DatasetOptions::scale
+  size_t num_chargers = 1000;      ///< paper: >1,000 sites
+  double max_derouting_m = 100000.0;  ///< D normalization (2R by default)
+  uint64_t seed = 42;
+};
+
+/// Climate of each dataset's region (drives the weather Markov chain).
+ClimateParams DefaultClimate(DatasetKind kind);
+
+/// Latitude of each dataset's region (drives the solar model).
+double DefaultLatitude(DatasetKind kind);
+
+/// Builds a deterministic environment for (options).
+Result<std::unique_ptr<Environment>> MakeEnvironment(
+    const EnvironmentOptions& options);
+
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_CORE_ENVIRONMENT_H_

@@ -1,0 +1,64 @@
+#ifndef ECOCHARGE_CORE_EVALUATION_H_
+#define ECOCHARGE_CORE_EVALUATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/statistics.h"
+#include "core/ec_estimator.h"
+#include "core/ranker.h"
+
+namespace ecocharge {
+
+/// \brief Aggregated evaluation of one method over one workload, matching
+/// the paper's reporting: mean/stddev of CPU time F_t (ms per Offering
+/// Table) and of the Sustainability Score SC as a percentage of the
+/// Brute-Force optimum.
+struct MethodEvaluation {
+  std::string method;
+  RunningStats ft_ms;       ///< per-query generation time
+  RunningStats sc_percent;  ///< per-query SC relative to the oracle
+  size_t num_queries = 0;
+};
+
+/// \brief Scores rankers against the Brute-Force oracle.
+///
+/// The oracle's top-k reference-SC sum (see
+/// EcEstimator::ReferenceComponents) is computed once per vehicle state
+/// (outside any timed region) and cached; each evaluated method is then
+/// timed on Rank() alone, and its picks are re-scored with the reference
+/// components. SC% = 100 * sum(method picks' SC) / oracle sum.
+class Evaluator {
+ public:
+  /// \param estimator shared EC estimator (not owned)
+  /// \param weights objective weights the oracle and metrics use
+  Evaluator(EcEstimator* estimator, const ScoreWeights& weights);
+
+  /// Sets the vehicle states to evaluate on (resets oracle cache).
+  void SetWorkload(std::vector<VehicleState> states);
+
+  /// Evaluates `ranker` over the workload, `repetitions` passes. Between
+  /// passes Reset() is invoked; within a pass the ranker keeps its caches
+  /// so Dynamic Caching shows its real behaviour across a trip.
+  MethodEvaluation Evaluate(Ranker& ranker, size_t k, int repetitions = 3);
+
+  /// The oracle's per-state top-k true-SC sums (computed lazily).
+  const std::vector<double>& OracleScores(size_t k);
+
+  const std::vector<VehicleState>& workload() const { return states_; }
+
+ private:
+  double TrueSumOf(const VehicleState& state, const OfferingTable& table);
+  void ComputeOracle(size_t k);
+
+  EcEstimator* estimator_;
+  ScoreWeights weights_;
+  std::vector<VehicleState> states_;
+  std::vector<double> oracle_sums_;
+  size_t oracle_k_ = 0;
+  bool oracle_ready_ = false;
+};
+
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_CORE_EVALUATION_H_

@@ -1,0 +1,117 @@
+#include "core/fleet_sim.h"
+
+#include <algorithm>
+
+#include "core/environment.h"
+
+namespace ecocharge {
+
+FleetSimulator::FleetSimulator(Environment* env,
+                               const FleetSimOptions& options)
+    : env_(env), options_(options), rng_(options.seed) {}
+
+std::vector<FleetVehicle> FleetSimulator::MakeFleet(size_t max_vehicles) {
+  std::vector<FleetVehicle> fleet;
+  size_t count =
+      std::min(max_vehicles, env_->dataset.trajectories.size());
+  fleet.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    FleetVehicle v;
+    v.id = i;
+    v.ev_class = static_cast<EvClass>(i % 3);
+    v.initial_soc = rng_.NextDouble(0.35, 0.85);
+    v.trajectory = &env_->dataset.trajectories[i];
+    fleet.push_back(v);
+  }
+  return fleet;
+}
+
+VehicleOutcome FleetSimulator::RunVehicle(const FleetVehicle& vehicle,
+                                          Ranker& ranker) {
+  VehicleOutcome outcome;
+  outcome.vehicle_id = vehicle.id;
+  EvModel ev = EvModel::ForClass(vehicle.ev_class);
+  double soc = vehicle.initial_soc;
+
+  ranker.Reset();
+  std::vector<VehicleState> states =
+      TripStates(*env_->dataset.network, *vehicle.trajectory,
+                 options_.segment_length_m, options_.idle_window_s);
+  for (size_t i = 0; i < states.size(); ++i) {
+    const VehicleState& state = states[i];
+    // Drive the segment.
+    double seg_m = i + 1 < states.size()
+                       ? Distance(state.position, states[i + 1].position)
+                       : Distance(state.position, state.return_point_a);
+    double drive_kwh = ev.DriveEnergyKwh(seg_m);
+    outcome.driving_energy_kwh += drive_kwh;
+    soc -= drive_kwh / ev.battery_kwh();
+    if (soc <= 0.0) {
+      soc = 0.0;
+      outcome.stranded = true;
+      break;
+    }
+
+    // Decide whether this segment has an idle window worth charging in.
+    if (soc >= options_.min_soc_to_skip) continue;
+    if (!rng_.NextBool(options_.stop_probability)) continue;
+
+    OfferingTable table = ranker.Rank(state, options_.k);
+    if (table.empty()) continue;
+    const OfferingEntry& offer = table.top();
+    if (offer.charger_id >= env_->chargers.size()) continue;
+    const EvCharger& charger = env_->chargers[offer.charger_id];
+
+    // Pay the derouting in energy and distance (realized components).
+    EcTruth truth = env_->estimator->Truth(state, charger);
+    double extra_m =
+        truth.derouting * env_->estimator->options().max_derouting_m;
+    outcome.derouting_km += extra_m / 1000.0;
+    double deroute_kwh = ev.DriveEnergyKwh(extra_m);
+    outcome.driving_energy_kwh += deroute_kwh;
+    soc -= deroute_kwh / ev.battery_kwh();
+    if (soc <= 0.0) {
+      soc = 0.0;
+      outcome.stranded = true;
+      break;
+    }
+
+    ++outcome.charge_stops;
+    SimTime arrival = state.time + truth.eta_s;
+    if (truth.availability <= 0.0) {
+      ++outcome.failed_stops;  // site full on arrival; no charge
+      continue;
+    }
+
+    // Charge at the solar-backed rate actually available over the window.
+    double solar_kwh = env_->energy->ActualEnergyKwh(
+        charger, arrival, options_.idle_window_s);
+    double offered_kw =
+        solar_kwh / (options_.idle_window_s / kSecondsPerHour);
+    EvModel::ChargeResult session =
+        ev.SimulateCharge(soc, offered_kw, options_.idle_window_s);
+    outcome.clean_energy_kwh += session.energy_kwh;
+    soc = session.end_soc;
+  }
+  outcome.end_soc = soc;
+  return outcome;
+}
+
+FleetOutcome FleetSimulator::Run(const std::vector<FleetVehicle>& fleet,
+                                 Ranker& ranker) {
+  FleetOutcome outcome;
+  outcome.vehicles.reserve(fleet.size());
+  for (const FleetVehicle& vehicle : fleet) {
+    VehicleOutcome v = RunVehicle(vehicle, ranker);
+    outcome.total_clean_kwh += v.clean_energy_kwh;
+    outcome.total_derouting_km += v.derouting_km;
+    outcome.total_driving_kwh += v.driving_energy_kwh;
+    outcome.total_stops += v.charge_stops;
+    outcome.total_failed_stops += v.failed_stops;
+    if (v.stranded) ++outcome.stranded_vehicles;
+    outcome.vehicles.push_back(std::move(v));
+  }
+  return outcome;
+}
+
+}  // namespace ecocharge

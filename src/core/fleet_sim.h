@@ -1,0 +1,90 @@
+#ifndef ECOCHARGE_CORE_FLEET_SIM_H_
+#define ECOCHARGE_CORE_FLEET_SIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/environment.h"
+#include "core/ranker.h"
+#include "core/workload.h"
+#include "energy/ev.h"
+
+namespace ecocharge {
+
+/// \brief One simulated vehicle: its battery plus an itinerary of trips
+/// with idle windows between them.
+struct FleetVehicle {
+  uint64_t id = 0;
+  EvClass ev_class = EvClass::kSedan;
+  double initial_soc = 0.7;
+  const Trajectory* trajectory = nullptr;  ///< not owned
+};
+
+/// \brief Per-vehicle outcome of the fleet simulation.
+struct VehicleOutcome {
+  uint64_t vehicle_id = 0;
+  double end_soc = 0.0;
+  double clean_energy_kwh = 0.0;   ///< hoarded from solar excess
+  double derouting_km = 0.0;       ///< extra driving caused by charging stops
+  double driving_energy_kwh = 0.0;
+  int charge_stops = 0;
+  int failed_stops = 0;            ///< arrived at a fully occupied site
+  bool stranded = false;           ///< battery hit empty mid-trip
+};
+
+/// \brief Fleet-level aggregates.
+struct FleetOutcome {
+  std::vector<VehicleOutcome> vehicles;
+  double total_clean_kwh = 0.0;
+  double total_derouting_km = 0.0;
+  double total_driving_kwh = 0.0;
+  int total_stops = 0;
+  int total_failed_stops = 0;
+  int stranded_vehicles = 0;
+
+  /// Grid CO2 displaced by hoarded solar energy, kg (EU-average grid
+  /// intensity ~0.25 kg CO2e per kWh).
+  double Co2AvoidedKg() const { return total_clean_kwh * 0.25; }
+};
+
+/// \brief Simulation knobs.
+struct FleetSimOptions {
+  size_t k = 3;
+  double segment_length_m = 4000.0;
+  double idle_window_s = 45.0 * kSecondsPerMinute;  ///< idle time per stop
+  double stop_probability = 0.4;   ///< chance a vehicle charges per segment
+  double min_soc_to_skip = 0.85;   ///< full-enough vehicles skip stops
+  uint64_t seed = 77;
+};
+
+/// \brief Drives a whole fleet through its trajectories, letting each
+/// vehicle follow the ranker's top offer during idle windows and
+/// simulating the resulting charging sessions against the realized solar,
+/// availability, and traffic ground truth.
+///
+/// This is the intro's renewable-hoarding scenario made executable: it
+/// quantifies, in kWh and kg of CO2, what the CkNN-EC ranking buys over a
+/// policy like "always plug in at the nearest charger".
+class FleetSimulator {
+ public:
+  FleetSimulator(Environment* env, const FleetSimOptions& options);
+
+  /// Builds a fleet over the environment's trajectories (round-robin EV
+  /// classes, randomized initial state of charge).
+  std::vector<FleetVehicle> MakeFleet(size_t max_vehicles);
+
+  /// Runs the fleet with `ranker` deciding where to charge.
+  FleetOutcome Run(const std::vector<FleetVehicle>& fleet, Ranker& ranker);
+
+ private:
+  VehicleOutcome RunVehicle(const FleetVehicle& vehicle, Ranker& ranker);
+
+  Environment* env_;
+  FleetSimOptions options_;
+  Rng rng_;
+};
+
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_CORE_FLEET_SIM_H_

@@ -1,0 +1,84 @@
+#ifndef ECOCHARGE_CORE_INTERVAL_H_
+#define ECOCHARGE_CORE_INTERVAL_H_
+
+#include <algorithm>
+#include <cassert>
+#include <ostream>
+
+namespace ecocharge {
+
+/// \brief A closed interval [lo, hi] — the representation of every
+/// Estimated Component (EC): a quantity known only up to lower/upper
+/// estimation values.
+struct Interval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  constexpr Interval() = default;
+  constexpr Interval(double lo_in, double hi_in) : lo(lo_in), hi(hi_in) {
+    assert(lo_in <= hi_in);
+  }
+
+  /// An interval collapsed to one exact value.
+  static constexpr Interval Exact(double v) { return Interval{v, v}; }
+
+  /// Builds from possibly-unordered endpoints.
+  static Interval FromUnordered(double a, double b) {
+    return a <= b ? Interval{a, b} : Interval{b, a};
+  }
+
+  constexpr double Mid() const { return (lo + hi) / 2.0; }
+  constexpr double Width() const { return hi - lo; }
+  constexpr bool IsExact() const { return lo == hi; }
+
+  constexpr bool Contains(double v) const { return v >= lo && v <= hi; }
+  constexpr bool Intersects(const Interval& o) const {
+    return lo <= o.hi && o.lo <= hi;
+  }
+
+  /// Interval arithmetic (exact for these monotone operations).
+  constexpr Interval operator+(const Interval& o) const {
+    return Interval{lo + o.lo, hi + o.hi};
+  }
+  constexpr Interval operator-(const Interval& o) const {
+    return Interval{lo - o.hi, hi - o.lo};
+  }
+  Interval operator*(double s) const {
+    return s >= 0.0 ? Interval{lo * s, hi * s} : Interval{hi * s, lo * s};
+  }
+
+  /// Both endpoints clamped to [min_v, max_v].
+  Interval Clamped(double min_v, double max_v) const {
+    return Interval{std::clamp(lo, min_v, max_v),
+                    std::clamp(hi, min_v, max_v)};
+  }
+
+  /// Smallest interval covering both (hull).
+  Interval Union(const Interval& o) const {
+    return Interval{std::min(lo, o.lo), std::max(hi, o.hi)};
+  }
+
+  /// 1 - x, mapped endpoint-wise (used for the derouting term (1 - D)).
+  constexpr Interval Complement() const {
+    return Interval{1.0 - hi, 1.0 - lo};
+  }
+
+  constexpr bool operator==(const Interval& o) const {
+    return lo == o.lo && hi == o.hi;
+  }
+};
+
+/// Total order on possibly-overlapping intervals, used only for
+/// deterministic sorting: by midpoint, then lo.
+inline bool IntervalMidLess(const Interval& a, const Interval& b) {
+  if (a.Mid() != b.Mid()) return a.Mid() < b.Mid();
+  return a.lo < b.lo;
+}
+
+inline std::ostream& operator<<(std::ostream& os, const Interval& iv) {
+  return os << "[" << iv.lo << ", " << iv.hi << "]";
+}
+
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_CORE_INTERVAL_H_

@@ -1,0 +1,91 @@
+#include "core/load_balancer.h"
+
+#include <algorithm>
+
+namespace ecocharge {
+
+ChargerLoadBalancer::ChargerLoadBalancer(const LoadBalancerOptions& options)
+    : options_(options) {}
+
+void ChargerLoadBalancer::RecordAssignment(ChargerId charger, SimTime arrival,
+                                           double duration_s) {
+  pending_[charger].push_back({arrival, arrival + duration_s});
+  ++total_assignments_;
+}
+
+size_t ChargerLoadBalancer::PendingAt(ChargerId charger, SimTime t) const {
+  auto it = pending_.find(charger);
+  if (it == pending_.end()) return 0;
+  size_t count = 0;
+  for (const Window& w : it->second) {
+    if (t >= w.start && t < w.end) ++count;
+  }
+  return count;
+}
+
+double ChargerLoadBalancer::Penalty(ChargerId charger, SimTime t,
+                                    int num_ports) const {
+  size_t pending = PendingAt(charger, t);
+  if (pending == 0) return 0.0;
+  // penalty_per_pending is calibrated for a 2-port site; sites with more
+  // ports absorb induced demand proportionally.
+  double per_site = options_.penalty_per_pending *
+                    static_cast<double>(pending) * 2.0 /
+                    std::max(1, num_ports);
+  return std::min(options_.max_penalty, per_site);
+}
+
+void ChargerLoadBalancer::ExpireBefore(SimTime t) {
+  for (auto& [charger, windows] : pending_) {
+    while (!windows.empty() && windows.front().end <= t) {
+      windows.pop_front();
+    }
+  }
+}
+
+void ChargerLoadBalancer::Clear() {
+  pending_.clear();
+  total_assignments_ = 0;
+}
+
+BalancedEcoChargeRanker::BalancedEcoChargeRanker(
+    EcEstimator* estimator, const QuadTree* charger_index,
+    const ScoreWeights& weights, const EcoChargeOptions& eco_options,
+    const LoadBalancerOptions& balancer_options)
+    : estimator_(estimator),
+      inner_(estimator, charger_index, weights, eco_options),
+      balancer_(balancer_options) {}
+
+OfferingTable BalancedEcoChargeRanker::Rank(const VehicleState& state,
+                                            size_t k) {
+  // Ask the inner ranker for a deeper table so penalized leaders can be
+  // displaced by clean alternatives rather than just reshuffled.
+  OfferingTable table = inner_.Rank(state, std::max(k * 2, k + 2));
+  const std::vector<EvCharger>& fleet = estimator_->fleet();
+
+  for (OfferingEntry& e : table.entries) {
+    if (e.charger_id >= fleet.size()) continue;
+    SimTime arrival = state.time + e.eta_s;
+    double penalty = balancer_.Penalty(e.charger_id, arrival,
+                                       fleet[e.charger_id].num_ports);
+    e.score.sc_min -= penalty;
+    e.score.sc_max -= penalty;
+  }
+  SortOfferingEntries(table.entries);
+  if (table.entries.size() > k) table.entries.resize(k);
+
+  if (!table.empty()) {
+    const OfferingEntry& top = table.top();
+    balancer_.RecordAssignment(top.charger_id, state.time + top.eta_s,
+                               state.charge_window_s);
+  }
+  balancer_.ExpireBefore(state.time - kSecondsPerDay);
+  return table;
+}
+
+void BalancedEcoChargeRanker::Reset() {
+  inner_.Reset();
+  balancer_.Clear();
+}
+
+}  // namespace ecocharge

@@ -1,0 +1,87 @@
+#ifndef ECOCHARGE_CORE_LOAD_BALANCER_H_
+#define ECOCHARGE_CORE_LOAD_BALANCER_H_
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "core/ecocharge.h"
+
+namespace ecocharge {
+
+/// \brief Tuning of the fleet-level balancing extension.
+struct LoadBalancerOptions {
+  /// SC penalty per pending assignment on a (reference) 2-port site;
+  /// sites with more ports absorb induced demand proportionally.
+  double penalty_per_pending = 0.08;
+
+  /// Cap so the penalty never dominates the objective entirely.
+  double max_penalty = 0.5;
+};
+
+/// \brief Tracks which chargers recent Offering Tables have steered
+/// vehicles toward, and converts that induced demand into a score penalty.
+///
+/// This implements the paper's future-work item: "investigate the balance
+/// of the produced traffic to chargers by the suggested Offering Tables,
+/// and monitor the congestion to redirect drivers to alternative EV
+/// charging stations." Without it, every vehicle near the same sunny
+/// DC site is sent there simultaneously, and most arrive to find it taken.
+class ChargerLoadBalancer {
+ public:
+  explicit ChargerLoadBalancer(const LoadBalancerOptions& options = {});
+
+  /// Records that a vehicle was directed to `charger` and is expected to
+  /// occupy a port during [arrival, arrival + duration).
+  void RecordAssignment(ChargerId charger, SimTime arrival,
+                        double duration_s);
+
+  /// Number of assignments whose occupancy window covers `t`.
+  size_t PendingAt(ChargerId charger, SimTime t) const;
+
+  /// SC penalty for `charger` at time `t` given `num_ports`.
+  double Penalty(ChargerId charger, SimTime t, int num_ports) const;
+
+  /// Drops assignments that ended before `t` (call periodically).
+  void ExpireBefore(SimTime t);
+
+  void Clear();
+  size_t total_assignments() const { return total_assignments_; }
+
+ private:
+  struct Window {
+    SimTime start;
+    SimTime end;
+  };
+  LoadBalancerOptions options_;
+  std::unordered_map<ChargerId, std::deque<Window>> pending_;
+  size_t total_assignments_ = 0;
+};
+
+/// \brief EcoCharge with induced-demand awareness: ranks like EcoCharge,
+/// then re-sorts the Offering Table by penalty-adjusted score and records
+/// the top pick as an assignment (assuming the driver follows the top
+/// recommendation).
+class BalancedEcoChargeRanker : public Ranker {
+ public:
+  BalancedEcoChargeRanker(EcEstimator* estimator,
+                          const QuadTree* charger_index,
+                          const ScoreWeights& weights,
+                          const EcoChargeOptions& eco_options,
+                          const LoadBalancerOptions& balancer_options = {});
+
+  std::string_view name() const override { return "EcoCharge-Balanced"; }
+  OfferingTable Rank(const VehicleState& state, size_t k) override;
+  void Reset() override;
+
+  const ChargerLoadBalancer& balancer() const { return balancer_; }
+
+ private:
+  EcEstimator* estimator_;
+  EcoChargeRanker inner_;
+  ChargerLoadBalancer balancer_;
+};
+
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_CORE_LOAD_BALANCER_H_

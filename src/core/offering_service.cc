@@ -1,0 +1,59 @@
+#include "core/offering_service.h"
+
+namespace ecocharge {
+
+OfferingService::OfferingService(EcEstimator* estimator,
+                                 const QuadTree* charger_index,
+                                 const ScoreWeights& weights,
+                                 const EcoChargeOptions& options,
+                                 double client_ttl_s)
+    : estimator_(estimator),
+      charger_index_(charger_index),
+      weights_(weights),
+      options_(options),
+      client_ttl_s_(client_ttl_s) {}
+
+OfferingService::ClientState& OfferingService::ClientFor(uint64_t client_id) {
+  ClientState& client = clients_[client_id];
+  if (!client.ranker) {
+    client.ranker = std::make_unique<EcoChargeRanker>(
+        estimator_, charger_index_, weights_, options_);
+  }
+  return client;
+}
+
+OfferingTable OfferingService::Rank(uint64_t client_id,
+                                    const VehicleState& state, size_t k) {
+  ++stats_.requests;
+  ClientState& client = ClientFor(client_id);
+  client.last_seen = state.time;
+  OfferingTable table = client.ranker->Rank(state, k);
+  ++stats_.tables_served;
+  if (table.adapted_from_cache) ++stats_.cache_adaptations;
+  return table;
+}
+
+Result<std::string> OfferingService::Handle(uint64_t client_id,
+                                            const std::string& wire) {
+  Result<OfferingRequest> request = DecodeOfferingRequest(wire);
+  if (!request.ok()) {
+    ++stats_.requests;
+    ++stats_.malformed_requests;
+    return request.status();
+  }
+  OfferingTable table =
+      Rank(client_id, request.value().state, request.value().k);
+  return EncodeOfferingTable(table);
+}
+
+void OfferingService::EvictIdleClients(SimTime now) {
+  for (auto it = clients_.begin(); it != clients_.end();) {
+    if (now - it->second.last_seen > client_ttl_s_) {
+      it = clients_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace ecocharge

@@ -1,0 +1,71 @@
+#ifndef ECOCHARGE_CORE_OFFERING_SERVICE_H_
+#define ECOCHARGE_CORE_OFFERING_SERVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "core/ecocharge.h"
+#include "core/protocol.h"
+
+namespace ecocharge {
+
+/// \brief Request/serve statistics of one service instance.
+struct OfferingServiceStats {
+  uint64_t requests = 0;
+  uint64_t malformed_requests = 0;
+  uint64_t tables_served = 0;
+  uint64_t cache_adaptations = 0;
+};
+
+/// \brief The Mode-2 server loop: decodes wire requests, ranks with a
+/// per-client EcoCharge instance, and encodes the Offering Table reply.
+///
+/// Each client (vehicle) gets its own EcoChargeRanker so Dynamic Caching
+/// tracks that vehicle's movement — the paper's EIS serves many vehicles
+/// concurrently, each with its own solution cache. Client state is evicted
+/// after `client_ttl_s` of inactivity.
+class OfferingService {
+ public:
+  /// \param estimator shared EC estimator (not owned)
+  /// \param charger_index quadtree over the fleet (not owned)
+  OfferingService(EcEstimator* estimator, const QuadTree* charger_index,
+                  const ScoreWeights& weights,
+                  const EcoChargeOptions& options,
+                  double client_ttl_s = kSecondsPerHour);
+
+  /// Handles one wire request from `client_id`; returns the encoded reply
+  /// or an error for malformed input.
+  Result<std::string> Handle(uint64_t client_id, const std::string& wire);
+
+  /// Convenience for in-process callers: rank without serialization.
+  OfferingTable Rank(uint64_t client_id, const VehicleState& state, size_t k);
+
+  /// Drops the cached state of every client idle since before `now`.
+  void EvictIdleClients(SimTime now);
+
+  size_t active_clients() const { return clients_.size(); }
+  const OfferingServiceStats& stats() const { return stats_; }
+
+ private:
+  struct ClientState {
+    std::unique_ptr<EcoChargeRanker> ranker;
+    SimTime last_seen = 0.0;
+  };
+
+  ClientState& ClientFor(uint64_t client_id);
+
+  EcEstimator* estimator_;
+  const QuadTree* charger_index_;
+  ScoreWeights weights_;
+  EcoChargeOptions options_;
+  double client_ttl_s_;
+  std::unordered_map<uint64_t, ClientState> clients_;
+  OfferingServiceStats stats_;
+};
+
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_CORE_OFFERING_SERVICE_H_

@@ -1,0 +1,45 @@
+#include "core/offering_table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace ecocharge {
+
+std::vector<ChargerId> OfferingTable::ChargerIds() const {
+  std::vector<ChargerId> ids;
+  ids.reserve(entries.size());
+  for (const OfferingEntry& e : entries) ids.push_back(e.charger_id);
+  return ids;
+}
+
+std::string OfferingTable::ToString(
+    const std::vector<EvCharger>& fleet) const {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2);
+  os << "Offering Table @ t=" << generated_at / kSecondsPerHour << "h"
+     << " segment=" << segment_index
+     << (adapted_from_cache ? " (adapted from cache)" : "") << "\n";
+  int rank = 1;
+  for (const OfferingEntry& e : entries) {
+    os << "  #" << rank++ << " charger b" << e.charger_id;
+    if (e.charger_id < fleet.size()) {
+      os << " [" << ChargerTypeName(fleet[e.charger_id].type) << ", "
+         << fleet[e.charger_id].pv_capacity_kw << " kWp]";
+    }
+    os << " SC=(" << e.score.sc_min << ", " << e.score.sc_max << ")"
+       << " L=" << e.ecs.level << " A=" << e.ecs.availability
+       << " D=" << e.ecs.derouting << " ETA=" << e.eta_s / 60.0 << "min\n";
+  }
+  return os.str();
+}
+
+void SortOfferingEntries(std::vector<OfferingEntry>& entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const OfferingEntry& a, const OfferingEntry& b) {
+              if (a.SortKey() != b.SortKey()) return a.SortKey() > b.SortKey();
+              return a.charger_id < b.charger_id;
+            });
+}
+
+}  // namespace ecocharge

@@ -1,0 +1,51 @@
+#ifndef ECOCHARGE_CORE_OFFERING_TABLE_H_
+#define ECOCHARGE_CORE_OFFERING_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/score.h"
+#include "core/vehicle_state.h"
+#include "energy/charger.h"
+
+namespace ecocharge {
+
+/// \brief One row of an Offering Table: a recommended charger with its
+/// score and the EC values that produced it.
+struct OfferingEntry {
+  ChargerId charger_id = 0;
+  ScorePair score;        ///< eq. (4)/(5) pair used for the ranking
+  EcIntervals ecs;        ///< the intervals behind the score
+  double eta_s = 0.0;     ///< estimated drive time to the charger
+
+  /// Sort key: midpoint of the score pair (descending = best first).
+  double SortKey() const { return score.Mid(); }
+};
+
+/// \brief The Offering Table O: the ranked charger recommendations
+/// EcoCharge shows the driver for one vehicle state.
+struct OfferingTable {
+  SimTime generated_at = 0.0;
+  Point location;                 ///< vehicle position it was computed for
+  size_t segment_index = 0;       ///< which p_i it belongs to
+  bool adapted_from_cache = false;  ///< produced by Dynamic Caching reuse
+  std::vector<OfferingEntry> entries;  ///< best first
+
+  bool empty() const { return entries.empty(); }
+  size_t size() const { return entries.size(); }
+  const OfferingEntry& top() const { return entries.front(); }
+
+  /// Charger ids in rank order.
+  std::vector<ChargerId> ChargerIds() const;
+
+  /// Human-readable multi-line rendering (used by the examples).
+  std::string ToString(const std::vector<EvCharger>& fleet) const;
+};
+
+/// Sorts entries best-first (descending score midpoint, ties by id).
+void SortOfferingEntries(std::vector<OfferingEntry>& entries);
+
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_CORE_OFFERING_TABLE_H_

@@ -1,0 +1,38 @@
+#ifndef ECOCHARGE_CORE_PROTOCOL_H_
+#define ECOCHARGE_CORE_PROTOCOL_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "core/offering_table.h"
+#include "core/vehicle_state.h"
+
+namespace ecocharge {
+
+/// \brief Mode 2 wire protocol: the client ships its vehicle state, the
+/// EIS replies with an Offering Table.
+///
+/// The encoding is a line-oriented text format (one `key value...` pair
+/// per line, terminated by `end`), chosen for debuggability — the real
+/// deployment the paper describes used HTTP+JSON through Nginx; the
+/// semantics, not the syntax, are what the library reproduces.
+struct OfferingRequest {
+  VehicleState state;
+  size_t k = 3;
+};
+
+/// Serializes a request to the wire format.
+std::string EncodeOfferingRequest(const OfferingRequest& request);
+
+/// Parses a request; rejects malformed or incomplete messages.
+Result<OfferingRequest> DecodeOfferingRequest(const std::string& wire);
+
+/// Serializes an Offering Table (the response).
+std::string EncodeOfferingTable(const OfferingTable& table);
+
+/// Parses an Offering Table.
+Result<OfferingTable> DecodeOfferingTable(const std::string& wire);
+
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_CORE_PROTOCOL_H_

@@ -1,0 +1,31 @@
+#ifndef ECOCHARGE_CORE_RANKER_H_
+#define ECOCHARGE_CORE_RANKER_H_
+
+#include <string_view>
+
+#include "core/offering_table.h"
+#include "core/vehicle_state.h"
+
+namespace ecocharge {
+
+/// \brief A charger-ranking method: given a vehicle state, produce an
+/// Offering Table with the top-k chargers. Implemented by EcoCharge and by
+/// the paper's three baselines.
+class Ranker {
+ public:
+  virtual ~Ranker() = default;
+
+  /// Method name as printed in result tables.
+  virtual std::string_view name() const = 0;
+
+  /// Produces the Offering Table for `state`. k is the table size.
+  virtual OfferingTable Rank(const VehicleState& state, size_t k) = 0;
+
+  /// Clears any cross-query state (Dynamic Caching); called between trips
+  /// and between benchmark repetitions. Default: nothing to reset.
+  virtual void Reset() {}
+};
+
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_CORE_RANKER_H_

@@ -1,0 +1,47 @@
+#include "core/score.h"
+
+#include <cmath>
+
+namespace ecocharge {
+
+Status ScoreWeights::Validate() const {
+  if (w_level < 0.0 || w_availability < 0.0 || w_derouting < 0.0) {
+    return Status::InvalidArgument("weights must be non-negative");
+  }
+  double sum = w_level + w_availability + w_derouting;
+  if (std::abs(sum - 1.0) > 1e-9) {
+    return Status::InvalidArgument("weights must sum to 1, got " +
+                                   std::to_string(sum));
+  }
+  return Status::OK();
+}
+
+ScorePair ComputeScorePair(const EcIntervals& ecs, const ScoreWeights& w) {
+  ScorePair sc;
+  sc.sc_min = ecs.level.lo * w.w_level +
+              ecs.availability.lo * w.w_availability +
+              (1.0 - ecs.derouting.lo) * w.w_derouting;
+  sc.sc_max = ecs.level.hi * w.w_level +
+              ecs.availability.hi * w.w_availability +
+              (1.0 - ecs.derouting.hi) * w.w_derouting;
+  return sc;
+}
+
+double ComputeExactScore(double level, double availability, double derouting,
+                         const ScoreWeights& w) {
+  return level * w.w_level + availability * w.w_availability +
+         (1.0 - derouting) * w.w_derouting;
+}
+
+Interval ComputeScoreEnclosure(const EcIntervals& ecs,
+                               const ScoreWeights& w) {
+  double lo = ecs.level.lo * w.w_level +
+              ecs.availability.lo * w.w_availability +
+              (1.0 - ecs.derouting.hi) * w.w_derouting;
+  double hi = ecs.level.hi * w.w_level +
+              ecs.availability.hi * w.w_availability +
+              (1.0 - ecs.derouting.lo) * w.w_derouting;
+  return Interval::FromUnordered(lo, hi);
+}
+
+}  // namespace ecocharge

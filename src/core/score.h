@@ -1,0 +1,67 @@
+#ifndef ECOCHARGE_CORE_SCORE_H_
+#define ECOCHARGE_CORE_SCORE_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "core/interval.h"
+
+namespace ecocharge {
+
+/// \brief Weights of the SC weighted-sum objective (user-configurable;
+/// Section III-B). w1 scales the sustainable charging level L, w2 the
+/// availability A, w3 the derouting cost D.
+struct ScoreWeights {
+  double w_level = 1.0 / 3.0;
+  double w_availability = 1.0 / 3.0;
+  double w_derouting = 1.0 / 3.0;
+
+  /// The paper's four ablation distance functions (Section V-E).
+  static ScoreWeights AWE() { return {1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0}; }
+  static ScoreWeights OSC() { return {1.0, 0.0, 0.0}; }
+  static ScoreWeights OA() { return {0.0, 1.0, 0.0}; }
+  static ScoreWeights ODC() { return {0.0, 0.0, 1.0}; }
+
+  /// Weights must be non-negative and sum to 1 (within 1e-9).
+  Status Validate() const;
+};
+
+/// \brief Normalized estimated components of one charger: all in [0, 1].
+/// level/availability: higher is better; derouting: lower is better.
+struct EcIntervals {
+  Interval level;         ///< L, normalized clean-energy offer
+  Interval availability;  ///< A, free-port fraction
+  Interval derouting;     ///< D, normalized extra travel cost
+  double eta_s = 0.0;     ///< estimated arrival time offset, seconds
+};
+
+/// \brief The two rankings scores of eqs. (4) and (5).
+///
+/// Note the paper's construction: sc_min combines the *lower* estimates of
+/// L and A with the *lower* (optimistic) estimate of D, so sc_min is not a
+/// lower bound of sc_max — they are two rankings whose intersection (eq. 6)
+/// keeps chargers that score well under both estimate sets.
+struct ScorePair {
+  double sc_min = 0.0;
+  double sc_max = 0.0;
+
+  double Mid() const { return (sc_min + sc_max) / 2.0; }
+};
+
+/// Eq. (4)/(5): SC_min = L_min*w1 + A_min*w2 + (1-D_min)*w3, and the max
+/// analogue.
+ScorePair ComputeScorePair(const EcIntervals& ecs, const ScoreWeights& w);
+
+/// The exact score for known (non-interval) components:
+/// SC = L*w1 + A*w2 + (1-D)*w3. Inputs must already be normalized.
+double ComputeExactScore(double level, double availability, double derouting,
+                         const ScoreWeights& w);
+
+/// Rigorous enclosure of the score over all EC realizations: lower end uses
+/// pessimistic L, A and pessimistic (large) D; upper end the reverse.
+/// Provided alongside the paper-faithful ScorePair for display/tests.
+Interval ComputeScoreEnclosure(const EcIntervals& ecs, const ScoreWeights& w);
+
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_CORE_SCORE_H_

@@ -1,0 +1,112 @@
+#include "core/split_points.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace ecocharge {
+
+std::vector<SplitInterval> ContinuousNearestNeighbor(
+    const Point& a, const Point& b, const std::vector<Point>& sites) {
+  std::vector<SplitInterval> result;
+  if (sites.empty()) return result;
+
+  // dist^2 to site i at parameter t: |a - s_i|^2 + 2 t (b-a).(a - s_i)
+  //                                  + t^2 |b-a|^2.
+  // The shared quadratic term cancels in comparisons, leaving lines
+  // f_i(t) = c_i + m_i t.
+  size_t n = sites.size();
+  std::vector<double> c(n), m(n);
+  Point ab = b - a;
+  for (size_t i = 0; i < n; ++i) {
+    Point as = a - sites[i];
+    c[i] = as.NormSquared();
+    m[i] = 2.0 * ab.Dot(as);
+  }
+
+  auto value = [&](size_t i, double t) { return c[i] + m[i] * t; };
+
+  // Current winner at t = 0: smallest value, ties to smaller slope (the
+  // one that stays ahead), then smaller index for determinism.
+  size_t current = 0;
+  for (size_t i = 1; i < n; ++i) {
+    double d = value(i, 0.0) - value(current, 0.0);
+    if (d < 0.0 || (d == 0.0 && (m[i] < m[current] ||
+                                 (m[i] == m[current] && i < current)))) {
+      current = i;
+    }
+  }
+
+  double t = 0.0;
+  const double kEps = 1e-12;
+  while (t < 1.0) {
+    // Earliest crossing after t where some site beats the current one.
+    double best_cross = std::numeric_limits<double>::infinity();
+    size_t best_site = current;
+    for (size_t i = 0; i < n; ++i) {
+      if (i == current) continue;
+      double dm = m[i] - m[current];
+      if (dm >= 0.0) continue;  // never overtakes
+      // f_i(t*) == f_cur(t*)  =>  t* = (c_i - c_cur) / (m_cur - m_i).
+      double cross = (c[i] - c[current]) / (-dm);
+      if (cross <= t + kEps || cross >= 1.0) continue;
+      if (cross < best_cross ||
+          (cross == best_cross && m[i] < m[best_site])) {
+        best_cross = cross;
+        best_site = i;
+      }
+    }
+    if (!std::isfinite(best_cross)) {
+      result.push_back({t, 1.0, static_cast<uint32_t>(current)});
+      break;
+    }
+    result.push_back({t, best_cross, static_cast<uint32_t>(current)});
+    t = best_cross;
+    current = best_site;
+  }
+  return result;
+}
+
+std::vector<KnnSplitInterval> SampledContinuousKnn(
+    const Point& a, const Point& b, const std::vector<Point>& sites,
+    size_t k, size_t samples) {
+  std::vector<KnnSplitInterval> result;
+  if (sites.empty() || k == 0 || samples < 2) return result;
+  k = std::min(k, sites.size());
+
+  auto knn_at = [&](double t) {
+    Point p = a + (b - a) * t;
+    std::vector<uint32_t> ids(sites.size());
+    for (uint32_t i = 0; i < sites.size(); ++i) ids[i] = i;
+    std::partial_sort(ids.begin(), ids.begin() + k, ids.end(),
+                      [&](uint32_t x, uint32_t y) {
+                        double dx = DistanceSquared(sites[x], p);
+                        double dy = DistanceSquared(sites[y], p);
+                        if (dx != dy) return dx < dy;
+                        return x < y;
+                      });
+    ids.resize(k);
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  };
+
+  double step = 1.0 / static_cast<double>(samples - 1);
+  KnnSplitInterval open;
+  open.start_t = 0.0;
+  open.sites = knn_at(0.0);
+  for (size_t s = 1; s < samples; ++s) {
+    double t = static_cast<double>(s) * step;
+    std::vector<uint32_t> now = knn_at(t);
+    if (now != open.sites) {
+      open.end_t = t;
+      result.push_back(open);
+      open.start_t = t;
+      open.sites = std::move(now);
+    }
+  }
+  open.end_t = 1.0;
+  result.push_back(open);
+  return result;
+}
+
+}  // namespace ecocharge

@@ -1,0 +1,46 @@
+#ifndef ECOCHARGE_CORE_SPLIT_POINTS_H_
+#define ECOCHARGE_CORE_SPLIT_POINTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/point.h"
+
+namespace ecocharge {
+
+/// \brief One maximal sub-interval of a path segment sharing a single
+/// nearest neighbor (the <b, p> pairs of the paper's CkNN result; interval
+/// endpoints are the split points SL of Tao et al.).
+struct SplitInterval {
+  double start_t = 0.0;  ///< parametric start in [0, 1] along the segment
+  double end_t = 1.0;    ///< parametric end
+  uint32_t site = 0;     ///< index of the nearest site on this interval
+};
+
+/// \brief Exact continuous 1-NN along the segment a->b.
+///
+/// Because all squared site distances share the same quadratic term in the
+/// segment parameter t, pairwise comparisons are linear in t and the
+/// nearest site over t is the lower envelope of n lines — computed by a
+/// left-to-right sweep in O(n) per split point. Empty input yields an
+/// empty result.
+std::vector<SplitInterval> ContinuousNearestNeighbor(
+    const Point& a, const Point& b, const std::vector<Point>& sites);
+
+/// \brief Approximate continuous kNN: samples the segment at `samples`
+/// evenly spaced points, computes the exact kNN set at each, and merges
+/// runs with identical (unordered) kNN sets. Used where the full
+/// order-k Voronoi sweep is overkill.
+struct KnnSplitInterval {
+  double start_t = 0.0;
+  double end_t = 1.0;
+  std::vector<uint32_t> sites;  ///< the kNN set, sorted ascending
+};
+
+std::vector<KnnSplitInterval> SampledContinuousKnn(
+    const Point& a, const Point& b, const std::vector<Point>& sites,
+    size_t k, size_t samples = 64);
+
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_CORE_SPLIT_POINTS_H_

@@ -1,0 +1,26 @@
+#ifndef ECOCHARGE_CORE_VEHICLE_STATE_H_
+#define ECOCHARGE_CORE_VEHICLE_STATE_H_
+
+#include "common/simtime.h"
+#include "graph/road_network.h"
+
+namespace ecocharge {
+
+/// \brief Everything a ranker needs to know about one vehicle at one
+/// moment: where it is on its scheduled trip and how long it can charge.
+struct VehicleState {
+  Point position;                      ///< current location of m
+  NodeId node = kInvalidNode;          ///< snapped network node
+  SimTime time = 0.0;                  ///< current simulation time
+  Point return_point_a;                ///< end of current segment p_i
+  Point return_point_b;                ///< end of next segment p_{i+1}
+  NodeId return_node_a = kInvalidNode;
+  NodeId return_node_b = kInvalidNode;
+  double charge_window_s = kSecondsPerHour;  ///< idle time available
+  size_t segment_index = 0;            ///< which p_i of P this state is on
+  uint64_t trip_id = 0;                ///< owning trip, for grouping
+};
+
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_CORE_VEHICLE_STATE_H_

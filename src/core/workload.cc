@@ -1,0 +1,78 @@
+#include "core/workload.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace ecocharge {
+
+namespace {
+
+/// Timestamp of the trajectory when `arc_s` meters have been traveled.
+SimTime TimeAtArcLength(const Trajectory& traj, double arc_s) {
+  double acc = 0.0;
+  for (size_t i = 1; i < traj.size(); ++i) {
+    double hop = Distance(traj[i - 1].position, traj[i].position);
+    if (acc + hop >= arc_s && hop > 0.0) {
+      double u = (arc_s - acc) / hop;
+      return traj[i - 1].time + u * (traj[i].time - traj[i - 1].time);
+    }
+    acc += hop;
+  }
+  return traj.EndTime();
+}
+
+}  // namespace
+
+std::vector<VehicleState> TripStates(const RoadNetwork& network,
+                                     const Trajectory& trajectory,
+                                     double segment_length_m,
+                                     double charge_window_s) {
+  std::vector<VehicleState> states;
+  if (trajectory.size() < 2) return states;
+  Polyline trip = trajectory.AsPolyline();
+  std::vector<TripSegment> segments = SegmentTrip(trip, segment_length_m);
+  for (size_t i = 0; i < segments.size(); ++i) {
+    const TripSegment& seg = segments[i];
+    VehicleState state;
+    state.position = seg.start_point;
+    state.node = network.NearestNode(state.position);
+    state.time = TimeAtArcLength(trajectory, seg.start_s);
+    state.return_point_a = seg.end_point;
+    state.return_point_b =
+        i + 1 < segments.size() ? segments[i + 1].end_point : seg.end_point;
+    state.return_node_a = network.NearestNode(state.return_point_a);
+    state.return_node_b = network.NearestNode(state.return_point_b);
+    state.charge_window_s = charge_window_s;
+    state.segment_index = i;
+    state.trip_id = trajectory.object_id();
+    states.push_back(state);
+  }
+  return states;
+}
+
+std::vector<VehicleState> BuildWorkload(const Dataset& dataset,
+                                        const WorkloadOptions& options) {
+  std::vector<VehicleState> workload;
+  if (dataset.trajectories.empty() || !dataset.network) return workload;
+
+  std::vector<size_t> order(dataset.trajectories.size());
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(options.seed);
+  rng.Shuffle(order);
+
+  size_t trips = std::min(options.max_trips, order.size());
+  for (size_t t = 0; t < trips && workload.size() < options.max_states; ++t) {
+    std::vector<VehicleState> states =
+        TripStates(*dataset.network, dataset.trajectories[order[t]],
+                   options.segment_length_m, options.charge_window_s);
+    for (VehicleState& s : states) {
+      if (workload.size() >= options.max_states) break;
+      workload.push_back(s);
+    }
+  }
+  return workload;
+}
+
+}  // namespace ecocharge

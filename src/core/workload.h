@@ -1,0 +1,34 @@
+#ifndef ECOCHARGE_CORE_WORKLOAD_H_
+#define ECOCHARGE_CORE_WORKLOAD_H_
+
+#include <vector>
+
+#include "core/vehicle_state.h"
+#include "traj/dataset.h"
+
+namespace ecocharge {
+
+/// \brief How trajectories become per-segment query points.
+struct WorkloadOptions {
+  double segment_length_m = 4000.0;        ///< Step 1's ~3-5 km segments
+  double charge_window_s = kSecondsPerHour;  ///< idle time per stop
+  size_t max_trips = 50;     ///< trajectories sampled from the dataset
+  size_t max_states = 400;   ///< cap on total vehicle states
+  uint64_t seed = 123;       ///< trip sampling seed
+};
+
+/// Vehicle states of one trip: one per segment boundary, each carrying the
+/// segment-end return points the derouting cost needs.
+std::vector<VehicleState> TripStates(const RoadNetwork& network,
+                                     const Trajectory& trajectory,
+                                     double segment_length_m,
+                                     double charge_window_s);
+
+/// Samples trips from `dataset` and concatenates their states (bounded by
+/// WorkloadOptions::max_states). Deterministic in the options' seed.
+std::vector<VehicleState> BuildWorkload(const Dataset& dataset,
+                                        const WorkloadOptions& options);
+
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_CORE_WORKLOAD_H_

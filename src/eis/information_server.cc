@@ -1,0 +1,88 @@
+#include "eis/information_server.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ecocharge {
+
+namespace {
+
+// Upstream APIs serve 15-minute buckets; requests are snapped to the
+// bucket start so a response is a pure function of its cache key.
+constexpr double kBucketSeconds = 15.0 * kSecondsPerMinute;
+
+uint64_t Bucket(SimTime t) {
+  return static_cast<uint64_t>(std::max(0.0, t) / kBucketSeconds);
+}
+
+SimTime Snap(SimTime t) {
+  return static_cast<double>(Bucket(t)) * kBucketSeconds;
+}
+
+uint64_t MixKey(uint64_t a, uint64_t b, uint64_t c) {
+  uint64_t h = a * 0x9E3779B97F4A7C15ULL ^ (b + 0xC2B2AE3D27D4EB4FULL);
+  return (h ^ (h >> 29)) * 0xBF58476D1CE4E5B9ULL + c * 0x94D049BB133111EBULL;
+}
+
+}  // namespace
+
+InformationServer::InformationServer(SolarEnergyService* energy,
+                                     const AvailabilityService* availability,
+                                     const CongestionModel* congestion,
+                                     const EisOptions& options)
+    : energy_(energy),
+      availability_(availability),
+      congestion_(congestion),
+      weather_cache_(options.weather_ttl_s),
+      availability_cache_(options.availability_ttl_s),
+      traffic_cache_(options.traffic_ttl_s) {}
+
+EnergyForecast InformationServer::GetEnergyForecast(const EvCharger& charger,
+                                                    SimTime now,
+                                                    SimTime target,
+                                                    double window_s) {
+  uint64_t key = MixKey(charger.id + 1, Bucket(target), Bucket(now));
+  if (auto cached = weather_cache_.Get(key, now)) return *cached;
+  ++weather_calls_;
+  EnergyForecast f =
+      energy_->ForecastEnergyKwh(charger, Snap(now), Snap(target), window_s);
+  weather_cache_.Put(key, f, now);
+  return f;
+}
+
+AvailabilityForecast InformationServer::GetAvailability(
+    const EvCharger& charger, SimTime now, SimTime target) {
+  uint64_t key = MixKey(charger.id + 1, Bucket(target), Bucket(now));
+  if (auto cached = availability_cache_.Get(key, now)) return *cached;
+  ++availability_calls_;
+  AvailabilityForecast f =
+      availability_->Forecast(charger, Snap(now), Snap(target));
+  availability_cache_.Put(key, f, now);
+  return f;
+}
+
+CongestionModel::Band InformationServer::GetTraffic(RoadClass road_class,
+                                                    SimTime now,
+                                                    SimTime target) {
+  uint64_t key = MixKey(static_cast<uint64_t>(road_class) + 1,
+                        Bucket(target), Bucket(now));
+  if (auto cached = traffic_cache_.Get(key, now)) return *cached;
+  ++traffic_calls_;
+  CongestionModel::Band band =
+      congestion_->ForecastSpeedFactor(road_class, Snap(now), Snap(target));
+  traffic_cache_.Put(key, band, now);
+  return band;
+}
+
+EisCallStats InformationServer::Stats() const {
+  EisCallStats stats;
+  stats.weather_api_calls = weather_calls_;
+  stats.availability_api_calls = availability_calls_;
+  stats.traffic_api_calls = traffic_calls_;
+  stats.weather_cache = weather_cache_.stats();
+  stats.availability_cache = availability_cache_.stats();
+  stats.traffic_cache = traffic_cache_.stats();
+  return stats;
+}
+
+}  // namespace ecocharge

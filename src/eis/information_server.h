@@ -1,0 +1,82 @@
+#ifndef ECOCHARGE_EIS_INFORMATION_SERVER_H_
+#define ECOCHARGE_EIS_INFORMATION_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "availability/availability_service.h"
+#include "eis/ttl_cache.h"
+#include "energy/production.h"
+#include "traffic/congestion.h"
+
+namespace ecocharge {
+
+/// \brief TTLs for the three upstream "APIs" (weather, busy timetables,
+/// traffic), mirroring how often the real services refresh.
+struct EisOptions {
+  double weather_ttl_s = 30.0 * kSecondsPerMinute;
+  double availability_ttl_s = 15.0 * kSecondsPerMinute;
+  double traffic_ttl_s = 5.0 * kSecondsPerMinute;
+};
+
+/// \brief Aggregate upstream-call accounting.
+struct EisCallStats {
+  uint64_t weather_api_calls = 0;
+  uint64_t availability_api_calls = 0;
+  uint64_t traffic_api_calls = 0;
+  CacheStats weather_cache;
+  CacheStats availability_cache;
+  CacheStats traffic_cache;
+};
+
+/// \brief The EcoCharge Information Server (EIS).
+///
+/// Consolidates the external data sources behind per-source TTL caches so
+/// clients (vehicles) never trigger redundant upstream requests — the
+/// server half of the paper's architecture (Fig. 4). The underlying
+/// simulated services are the ground-truth/forecast models; the EIS only
+/// adds caching and accounting, exactly like the Laravel/Nginx deployment
+/// it stands in for.
+class InformationServer {
+ public:
+  InformationServer(SolarEnergyService* energy,
+                    const AvailabilityService* availability,
+                    const CongestionModel* congestion,
+                    const EisOptions& options = {});
+
+  /// L source: forecast clean-energy band for a charger's arrival window.
+  EnergyForecast GetEnergyForecast(const EvCharger& charger, SimTime now,
+                                   SimTime target, double window_s);
+
+  /// A source: availability band at the ETA.
+  AvailabilityForecast GetAvailability(const EvCharger& charger, SimTime now,
+                                       SimTime target);
+
+  /// D source: congestion band for a road class.
+  CongestionModel::Band GetTraffic(RoadClass road_class, SimTime now,
+                                   SimTime target);
+
+  /// Upstream call and cache counters.
+  EisCallStats Stats() const;
+
+ private:
+  SolarEnergyService* energy_;
+  const AvailabilityService* availability_;
+  const CongestionModel* congestion_;
+
+  // Keys quantize both the issue time and the target to the hour (the
+  // forecast granularity) and fold in the charger/road-class identity, so a
+  // cached response equals what the upstream service would return — the
+  // cache changes cost, never answers.
+  TtlCache<uint64_t, EnergyForecast> weather_cache_;
+  TtlCache<uint64_t, AvailabilityForecast> availability_cache_;
+  TtlCache<uint64_t, CongestionModel::Band> traffic_cache_;
+  uint64_t weather_calls_ = 0;
+  uint64_t availability_calls_ = 0;
+  uint64_t traffic_calls_ = 0;
+};
+
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_EIS_INFORMATION_SERVER_H_

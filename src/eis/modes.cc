@@ -1,0 +1,36 @@
+#include "eis/modes.h"
+
+namespace ecocharge {
+
+std::string_view ExecutionModeName(ExecutionMode mode) {
+  switch (mode) {
+    case ExecutionMode::kEmbedded:
+      return "Mode 1 (embedded)";
+    case ExecutionMode::kServer:
+      return "Mode 2 (server)";
+    case ExecutionMode::kEdge:
+      return "Mode 3 (edge)";
+  }
+  return "?";
+}
+
+double ModeLatencyModel::EndToEndMs(ExecutionMode mode, double compute_ms,
+                                    uint64_t api_batches) const {
+  double fetch = static_cast<double>(api_batches) * per_api_batch_ms;
+  switch (mode) {
+    case ExecutionMode::kEmbedded:
+      // Compute locally on the slow SoC; EC data arrives in batched,
+      // background-synced EIS responses, so only the marginal fetches for
+      // cache misses are on the critical path.
+      return compute_ms * embedded_cpu_factor + fetch;
+    case ExecutionMode::kServer:
+      // One request/response carrying the Offering Table; upstream data is
+      // already resident on the server.
+      return compute_ms + server_rtt_ms;
+    case ExecutionMode::kEdge:
+      return compute_ms * edge_cpu_factor + fetch;
+  }
+  return compute_ms;
+}
+
+}  // namespace ecocharge

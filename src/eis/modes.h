@@ -1,0 +1,43 @@
+#ifndef ECOCHARGE_EIS_MODES_H_
+#define ECOCHARGE_EIS_MODES_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace ecocharge {
+
+/// \brief Where EcoCharge executes (Section IV of the paper).
+enum class ExecutionMode : uint8_t {
+  kEmbedded = 1,  ///< Mode 1: vehicle's embedded OS (Android Automotive)
+  kServer = 2,    ///< Mode 2: centralized on the EIS
+  kEdge = 3,      ///< Mode 3: driver's phone (Android Auto / CarPlay)
+};
+
+std::string_view ExecutionModeName(ExecutionMode mode);
+
+/// \brief End-to-end latency model for the three modes.
+///
+/// The computation itself is identical across modes; what differs is the
+/// hardware speed and what must cross the network: Mode 2 ships one request
+/// and one Offering Table per query (one RTT); Modes 1/3 compute locally on
+/// slower CPUs against background-synced EIS data and only pay for the
+/// batched fetches that miss their local caches. Defaults are drawn from
+/// typical automotive SoC / phone / server performance ratios and cellular
+/// RTTs. Small compute favors local execution; past the crossover
+/// compute_ms > (rtt - fetch) / (cpu_factor - 1) the server mode wins.
+struct ModeLatencyModel {
+  double server_rtt_ms = 60.0;       ///< vehicle <-> EIS round trip
+  double embedded_cpu_factor = 2.6;  ///< automotive SoC vs server CPU
+  double edge_cpu_factor = 1.7;      ///< phone vs server CPU
+  double per_api_batch_ms = 8.0;     ///< marginal cost of one batched fetch
+
+  /// Total perceived latency for one Offering Table generation.
+  /// \param compute_ms measured algorithm time on the reference (server) CPU
+  /// \param api_batches upstream data fetches that missed local caches
+  double EndToEndMs(ExecutionMode mode, double compute_ms,
+                    uint64_t api_batches) const;
+};
+
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_EIS_MODES_H_

@@ -1,0 +1,95 @@
+#ifndef ECOCHARGE_EIS_TTL_CACHE_H_
+#define ECOCHARGE_EIS_TTL_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "common/simtime.h"
+
+namespace ecocharge {
+
+/// \brief Hit/miss counters for one cache instance.
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t expirations = 0;
+
+  double HitRate() const {
+    uint64_t total = hits + misses;
+    return total ? static_cast<double>(hits) / static_cast<double>(total)
+                 : 0.0;
+  }
+};
+
+/// \brief TTL cache over simulation time — the building block of the
+/// EcoCharge Information Server's "Dynamic Caching" of API responses.
+///
+/// Entries expire `ttl_seconds` after insertion (the paper's caching
+/// hypothesis: L, A, D responses naturally invalidate after a time point t).
+/// A simple size cap evicts by sweeping expired entries first, then
+/// clearing; the workloads here are small enough that LRU bookkeeping would
+/// be overhead without benefit.
+template <typename Key, typename Value>
+class TtlCache {
+ public:
+  explicit TtlCache(double ttl_seconds, size_t max_entries = 1 << 16)
+      : ttl_seconds_(ttl_seconds), max_entries_(max_entries) {}
+
+  /// Returns the cached value if present and fresh at `now`.
+  std::optional<Value> Get(const Key& key, SimTime now) {
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      ++stats_.misses;
+      return std::nullopt;
+    }
+    if (now - it->second.inserted_at > ttl_seconds_) {
+      ++stats_.expirations;
+      ++stats_.misses;
+      map_.erase(it);
+      return std::nullopt;
+    }
+    ++stats_.hits;
+    return it->second.value;
+  }
+
+  /// Inserts or refreshes an entry stamped at `now`.
+  void Put(const Key& key, const Value& value, SimTime now) {
+    if (map_.size() >= max_entries_) {
+      SweepExpired(now);
+      if (map_.size() >= max_entries_) map_.clear();
+    }
+    map_[key] = Entry{value, now};
+  }
+
+  /// Drops entries older than the TTL relative to `now`.
+  void SweepExpired(SimTime now) {
+    for (auto it = map_.begin(); it != map_.end();) {
+      if (now - it->second.inserted_at > ttl_seconds_) {
+        it = map_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  void Clear() { map_.clear(); }
+  size_t size() const { return map_.size(); }
+  double ttl_seconds() const { return ttl_seconds_; }
+  const CacheStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    Value value;
+    SimTime inserted_at;
+  };
+  double ttl_seconds_;
+  size_t max_entries_;
+  std::unordered_map<Key, Entry> map_;
+  CacheStats stats_;
+};
+
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_EIS_TTL_CACHE_H_

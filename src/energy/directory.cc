@@ -1,0 +1,107 @@
+#include "energy/directory.h"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "graph/road_network.h"
+
+namespace ecocharge {
+
+LatLng DatasetAnchor(int dataset_kind_index) {
+  switch (dataset_kind_index) {
+    case 0:
+      return LatLng{53.14, 8.21};     // Oldenburg
+    case 1:
+      return LatLng{36.50, -120.50};  // central California
+    case 2:
+      return LatLng{39.90, 116.40};   // Beijing (T-drive)
+    case 3:
+      return LatLng{39.98, 116.30};   // Beijing (Geolife)
+  }
+  return LatLng{0.0, 0.0};
+}
+
+Status ExportChargerDirectoryCsv(const std::vector<EvCharger>& fleet,
+                                 const Projection& projection,
+                                 std::ostream& os) {
+  os << "id,lat,lng,type,ports,pv_kw,timetable\n";
+  os << std::setprecision(12);
+  for (const EvCharger& c : fleet) {
+    LatLng ll = projection.Inverse(c.position);
+    os << c.id << "," << ll.lat << "," << ll.lng << ","
+       << static_cast<int>(c.type) << "," << c.num_ports << ","
+       << c.pv_capacity_kw << "," << c.timetable_id << "\n";
+  }
+  if (!os) return Status::IOError("stream write failed");
+  return Status::OK();
+}
+
+Status ExportChargerDirectoryCsvFile(const std::vector<EvCharger>& fleet,
+                                     const Projection& projection,
+                                     const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path);
+  return ExportChargerDirectoryCsv(fleet, projection, out);
+}
+
+Result<std::vector<EvCharger>> ImportChargerDirectoryCsv(
+    std::istream& is, const Projection& projection,
+    const RoadNetwork& network) {
+  std::string line;
+  if (!std::getline(is, line) ||
+      line.rfind("id,lat,lng", 0) != 0) {
+    return Status::IOError("missing directory CSV header");
+  }
+  std::vector<EvCharger> fleet;
+  size_t row = 1;
+  while (std::getline(is, line)) {
+    ++row;
+    if (line.empty()) continue;
+    std::istringstream cells(line);
+    std::string cell;
+    std::vector<std::string> fields;
+    while (std::getline(cells, cell, ',')) fields.push_back(cell);
+    if (fields.size() != 7) {
+      return Status::IOError("row " + std::to_string(row) + ": expected 7 "
+                             "fields, got " + std::to_string(fields.size()));
+    }
+    try {
+      EvCharger c;
+      c.id = static_cast<ChargerId>(std::stoul(fields[0]));
+      LatLng ll{std::stod(fields[1]), std::stod(fields[2])};
+      int type = std::stoi(fields[3]);
+      if (type < 0 || type > 3) {
+        return Status::IOError("row " + std::to_string(row) +
+                               ": invalid charger type");
+      }
+      c.type = static_cast<ChargerType>(type);
+      c.num_ports = std::stoi(fields[4]);
+      c.pv_capacity_kw = std::stod(fields[5]);
+      c.timetable_id = static_cast<uint32_t>(std::stoul(fields[6]));
+      if (c.num_ports < 1 || c.pv_capacity_kw < 0.0) {
+        return Status::IOError("row " + std::to_string(row) +
+                               ": implausible site parameters");
+      }
+      c.node = network.NearestNode(projection.Forward(ll));
+      c.position = network.NodePosition(c.node);
+      fleet.push_back(c);
+    } catch (const std::exception&) {
+      return Status::IOError("row " + std::to_string(row) +
+                             ": unparsable field");
+    }
+  }
+  return fleet;
+}
+
+Result<std::vector<EvCharger>> ImportChargerDirectoryCsvFile(
+    const std::string& path, const Projection& projection,
+    const RoadNetwork& network) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  return ImportChargerDirectoryCsv(in, projection, network);
+}
+
+}  // namespace ecocharge

@@ -1,0 +1,46 @@
+#ifndef ECOCHARGE_ENERGY_DIRECTORY_H_
+#define ECOCHARGE_ENERGY_DIRECTORY_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "energy/charger.h"
+#include "geo/latlng.h"
+
+namespace ecocharge {
+
+/// \brief Geographic anchor of each synthetic dataset: the real-world
+/// coordinate the planar frame's origin corresponds to.
+LatLng DatasetAnchor(int dataset_kind_index);
+
+/// \brief PlugShare-style charger directory exchange.
+///
+/// Real charger directories speak latitude/longitude; the library works in
+/// a projected planar frame. These helpers export a fleet as a geographic
+/// CSV (`id,lat,lng,type,ports,pv_kw,timetable`) and import one back,
+/// snapping each site to the nearest network node — the shape of the
+/// PlugShare ingestion path the paper's EIS implements.
+Status ExportChargerDirectoryCsv(const std::vector<EvCharger>& fleet,
+                                 const Projection& projection,
+                                 std::ostream& os);
+
+Status ExportChargerDirectoryCsvFile(const std::vector<EvCharger>& fleet,
+                                     const Projection& projection,
+                                     const std::string& path);
+
+/// Parses a directory CSV and places every site on its nearest node of
+/// `network`. Malformed rows fail the whole import (directories are
+/// curated data; silent row-dropping hides corruption).
+Result<std::vector<EvCharger>> ImportChargerDirectoryCsv(
+    std::istream& is, const Projection& projection,
+    const RoadNetwork& network);
+
+Result<std::vector<EvCharger>> ImportChargerDirectoryCsvFile(
+    const std::string& path, const Projection& projection,
+    const RoadNetwork& network);
+
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_ENERGY_DIRECTORY_H_

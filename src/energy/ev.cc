@@ -1,0 +1,92 @@
+#include "energy/ev.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ecocharge {
+
+std::string_view EvClassName(EvClass c) {
+  switch (c) {
+    case EvClass::kCompact:
+      return "compact";
+    case EvClass::kSedan:
+      return "sedan";
+    case EvClass::kSuv:
+      return "suv";
+  }
+  return "?";
+}
+
+EvModel EvModel::ForClass(EvClass ev_class) {
+  switch (ev_class) {
+    case EvClass::kCompact:
+      return EvModel(40.0, 0.15, 50.0);
+    case EvClass::kSedan:
+      return EvModel(70.0, 0.17, 150.0);
+    case EvClass::kSuv:
+      return EvModel(90.0, 0.21, 150.0);
+  }
+  return EvModel(40.0, 0.15, 50.0);
+}
+
+EvModel::EvModel(double battery_kwh, double consumption_kwh_per_km,
+                 double max_charge_kw)
+    : battery_kwh_(battery_kwh),
+      consumption_kwh_per_km_(consumption_kwh_per_km),
+      max_charge_kw_(max_charge_kw) {
+  assert(battery_kwh > 0.0);
+  assert(consumption_kwh_per_km > 0.0);
+  assert(max_charge_kw > 0.0);
+}
+
+double EvModel::DriveEnergyKwh(double meters) const {
+  return std::max(0.0, meters) / 1000.0 * consumption_kwh_per_km_;
+}
+
+double EvModel::RangeMeters(double soc) const {
+  soc = std::clamp(soc, 0.0, 1.0);
+  return soc * battery_kwh_ / consumption_kwh_per_km_ * 1000.0;
+}
+
+double EvModel::AcceptedPowerKw(double soc, double offered_kw) const {
+  soc = std::clamp(soc, 0.0, 1.0);
+  double base = std::min(std::max(0.0, offered_kw), max_charge_kw_);
+  if (soc <= 0.8) return base;
+  // Linear taper from 100% of rate at 80% SoC down to 15% at full.
+  double taper = 1.0 - (soc - 0.8) / 0.2 * 0.85;
+  return base * taper;
+}
+
+EvModel::ChargeResult EvModel::SimulateCharge(double start_soc,
+                                              double offered_kw,
+                                              double max_duration_s) const {
+  ChargeResult result;
+  double soc = std::clamp(start_soc, 0.0, 1.0);
+  double elapsed = 0.0;
+  double delivered = 0.0;
+  const double step_s = 60.0;
+  while (elapsed < max_duration_s && soc < 1.0) {
+    double dt = std::min(step_s, max_duration_s - elapsed);
+    double power = AcceptedPowerKw(soc, offered_kw);
+    if (power <= 0.0) break;
+    double kwh = power * dt / 3600.0;
+    double headroom = (1.0 - soc) * battery_kwh_;
+    if (kwh >= headroom) {
+      // Fill exactly to 100% and account the time proportionally.
+      double fraction = headroom / kwh;
+      delivered += headroom;
+      elapsed += dt * fraction;
+      soc = 1.0;
+      break;
+    }
+    delivered += kwh;
+    soc += kwh / battery_kwh_;
+    elapsed += dt;
+  }
+  result.end_soc = soc;
+  result.energy_kwh = delivered;
+  result.duration_s = elapsed;
+  return result;
+}
+
+}  // namespace ecocharge

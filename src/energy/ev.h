@@ -1,0 +1,72 @@
+#ifndef ECOCHARGE_ENERGY_EV_H_
+#define ECOCHARGE_ENERGY_EV_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/result.h"
+#include "energy/charger.h"
+
+namespace ecocharge {
+
+/// \brief EV powertrain classes with typical pack sizes and consumption.
+enum class EvClass : uint8_t {
+  kCompact = 0,  ///< ~40 kWh pack, 15 kWh/100km
+  kSedan = 1,    ///< ~70 kWh pack, 17 kWh/100km
+  kSuv = 2,      ///< ~90 kWh pack, 21 kWh/100km
+};
+
+std::string_view EvClassName(EvClass c);
+
+/// \brief Battery and consumption model of one vehicle m.
+///
+/// Charging power follows a simple CC/CV-style taper: full rate up to 80%
+/// state of charge, then a linear ramp down to 15% of the rate at 100% —
+/// the shape that makes hoarding-to-80% time-efficient in practice.
+class EvModel {
+ public:
+  /// Canonical parameters for a vehicle class.
+  static EvModel ForClass(EvClass ev_class);
+
+  /// \param battery_kwh usable pack capacity (> 0)
+  /// \param consumption_kwh_per_km driving consumption (> 0)
+  /// \param max_charge_kw the vehicle-side AC/DC intake limit (> 0)
+  EvModel(double battery_kwh, double consumption_kwh_per_km,
+          double max_charge_kw);
+
+  double battery_kwh() const { return battery_kwh_; }
+  double consumption_kwh_per_km() const { return consumption_kwh_per_km_; }
+  double max_charge_kw() const { return max_charge_kw_; }
+
+  /// Energy to drive `meters`, kWh.
+  double DriveEnergyKwh(double meters) const;
+
+  /// Range available from `soc` (state of charge in [0, 1]), meters.
+  double RangeMeters(double soc) const;
+
+  /// Accepted charging power at `soc` when the charger offers
+  /// `offered_kw`: min(offered, vehicle limit) x taper(soc).
+  double AcceptedPowerKw(double soc, double offered_kw) const;
+
+  /// \brief Result of simulating one charging session.
+  struct ChargeResult {
+    double end_soc = 0.0;       ///< state of charge when the session ends
+    double energy_kwh = 0.0;    ///< energy delivered
+    double duration_s = 0.0;    ///< time actually spent charging
+  };
+
+  /// Simulates charging from `start_soc` for up to `max_duration_s` at a
+  /// constant offered power, integrating the taper in 1-minute steps.
+  /// Stops early at 100% state of charge.
+  ChargeResult SimulateCharge(double start_soc, double offered_kw,
+                              double max_duration_s) const;
+
+ private:
+  double battery_kwh_;
+  double consumption_kwh_per_km_;
+  double max_charge_kw_;
+};
+
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_ENERGY_EV_H_

@@ -1,0 +1,40 @@
+#include "energy/grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ecocharge {
+
+double GridCarbonModel::IntensityAt(SimTime t) const {
+  double hour = HourOfDay(t);
+  // Two-lobe diurnal shape: a dip centered on solar noon (PV floods the
+  // mix) and a hump on the evening ramp (~19:00) when peakers run.
+  auto bump = [](double h, double center, double sigma) {
+    double d = h - center;
+    // Wrap around midnight so the 19:00 hump also shades early hours.
+    if (d > 12.0) d -= 24.0;
+    if (d < -12.0) d += 24.0;
+    return std::exp(-d * d / (2.0 * sigma * sigma));
+  };
+  double shape = 1.0 - diurnal_swing * bump(hour, 13.0, 3.0) +
+                 diurnal_swing * 0.8 * bump(hour, 19.5, 2.0);
+  return std::max(0.0, average_kg_per_kwh * shape);
+}
+
+double GridCarbonModel::AvoidedKg(double kwh, SimTime t0,
+                                  double duration_s) const {
+  if (kwh <= 0.0) return 0.0;
+  if (duration_s <= 0.0) return kwh * IntensityAt(t0);
+  const double step = 15.0 * kSecondsPerMinute;
+  double weighted = 0.0;
+  double covered = 0.0;
+  for (double offset = 0.0; offset < duration_s; offset += step) {
+    double dt = std::min(step, duration_s - offset);
+    weighted += IntensityAt(t0 + offset + dt / 2.0) * dt;
+    covered += dt;
+  }
+  double mean_intensity = weighted / covered;
+  return kwh * mean_intensity;
+}
+
+}  // namespace ecocharge

@@ -1,0 +1,33 @@
+#ifndef ECOCHARGE_ENERGY_GRID_H_
+#define ECOCHARGE_ENERGY_GRID_H_
+
+#include "common/simtime.h"
+
+namespace ecocharge {
+
+/// \brief Time-varying grid carbon intensity.
+///
+/// The point of renewable hoarding is that a kWh charged from solar excess
+/// displaces a kWh that would otherwise come from the grid — and the
+/// grid's marginal intensity varies over the day: low around solar noon
+/// (PV-heavy mix), high on the evening ramp when gas peakers cover the
+/// post-sunset demand. Accounting avoided CO2 with this curve (instead of
+/// a flat average) credits evening hoarding correctly.
+struct GridCarbonModel {
+  /// Annual average intensity, kg CO2e per kWh (EU-like default).
+  double average_kg_per_kwh = 0.25;
+
+  /// Peak-to-average swing of the diurnal curve (0 = flat).
+  double diurnal_swing = 0.4;
+
+  /// Marginal intensity at time `t`, kg CO2e per kWh (>= 0).
+  double IntensityAt(SimTime t) const;
+
+  /// CO2 displaced by `kwh` of clean charging during
+  /// [t0, t0 + duration_s], integrating the curve in 15-minute steps.
+  double AvoidedKg(double kwh, SimTime t0, double duration_s) const;
+};
+
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_ENERGY_GRID_H_

@@ -1,0 +1,110 @@
+#include "energy/weather.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ecocharge {
+
+std::string_view WeatherConditionName(WeatherCondition c) {
+  switch (c) {
+    case WeatherCondition::kSunny:
+      return "sunny";
+    case WeatherCondition::kPartlyCloudy:
+      return "partly-cloudy";
+    case WeatherCondition::kCloudy:
+      return "cloudy";
+    case WeatherCondition::kRain:
+      return "rain";
+  }
+  return "?";
+}
+
+double CloudTransmission(WeatherCondition c) {
+  switch (c) {
+    case WeatherCondition::kSunny:
+      return 1.0;
+    case WeatherCondition::kPartlyCloudy:
+      return 0.65;
+    case WeatherCondition::kCloudy:
+      return 0.30;
+    case WeatherCondition::kRain:
+      return 0.12;
+  }
+  return 0.0;
+}
+
+WeatherProcess::WeatherProcess(const ClimateParams& params, uint64_t seed)
+    : params_(params), rng_(seed) {
+  hours_.push_back(rng_.NextBool(params_.sunny_bias)
+                       ? WeatherCondition::kSunny
+                       : WeatherCondition::kPartlyCloudy);
+}
+
+WeatherCondition WeatherProcess::NextState(WeatherCondition current) {
+  if (rng_.NextBool(params_.persistence)) return current;
+  // Transition: biased random walk over the four states. A sunny climate
+  // pulls toward kSunny, a grey one toward kCloudy/kRain.
+  double b = params_.sunny_bias;
+  std::vector<double> weights = {b * b, 2.0 * b * (1.0 - b),
+                                 (1.0 - b) * (1.0 - b) * 0.7,
+                                 (1.0 - b) * (1.0 - b) * 0.3};
+  // Adjacent-state moves are more likely than jumps.
+  int cur = static_cast<int>(current);
+  for (int s = 0; s < 4; ++s) {
+    int gap = std::abs(s - cur);
+    weights[s] *= gap == 0 ? 0.5 : (gap == 1 ? 1.5 : 0.6);
+  }
+  return static_cast<WeatherCondition>(rng_.NextWeighted(weights));
+}
+
+void WeatherProcess::ExtendTo(size_t hour_index) {
+  while (hours_.size() <= hour_index) {
+    hours_.push_back(NextState(hours_.back()));
+  }
+}
+
+WeatherCondition WeatherProcess::ConditionAt(SimTime t) {
+  size_t hour_index =
+      static_cast<size_t>(std::max(0.0, t) / kSecondsPerHour);
+  ExtendTo(hour_index);
+  return hours_[hour_index];
+}
+
+WeatherForecaster::WeatherForecaster(WeatherProcess* process, uint64_t seed)
+    : process_(process), seed_(seed) {}
+
+double WeatherForecaster::HalfWidthAtLead(double lead_seconds) {
+  // Calibration: containment ~95% at <=12 h and ~90% at 3 days maps to a
+  // half-width ramp from 0.05 (nowcast) through 0.10 (12 h) to 0.30 (72 h),
+  // saturating at 0.40.
+  double lead_hours = std::max(0.0, lead_seconds) / kSecondsPerHour;
+  double width = 0.05 + 0.0042 * std::min(lead_hours, 12.0);
+  if (lead_hours > 12.0) width += 0.0033 * (std::min(lead_hours, 72.0) - 12.0);
+  return std::min(width, 0.40);
+}
+
+WeatherForecaster::Forecast WeatherForecaster::ForecastTransmission(
+    SimTime now, SimTime target) {
+  double truth = process_->TransmissionAt(std::max(now, target));
+  double lead = std::max(0.0, target - now);
+  double half = HalfWidthAtLead(lead);
+  // The forecast center drifts off the truth by a fraction of the interval
+  // half-width; the truth stays inside the band with high probability. The
+  // drift is drawn from an Rng seeded by (seed, now-hour, target-hour) so
+  // the forecast is a pure function of its inputs.
+  uint64_t now_h = static_cast<uint64_t>(std::max(0.0, now) / kSecondsPerHour);
+  uint64_t tgt_h =
+      static_cast<uint64_t>(std::max(0.0, target) / kSecondsPerHour);
+  Rng noise(seed_ ^ (now_h * 0x9E3779B97F4A7C15ULL) ^
+            (tgt_h * 0xC2B2AE3D27D4EB4FULL));
+  double center = truth + noise.NextGaussian(0.0, half * 0.35);
+  Forecast f;
+  f.transmission_min = std::clamp(center - half, 0.0, 1.0);
+  f.transmission_max = std::clamp(center + half, 0.0, 1.0);
+  if (f.transmission_min > f.transmission_max) {
+    std::swap(f.transmission_min, f.transmission_max);
+  }
+  return f;
+}
+
+}  // namespace ecocharge

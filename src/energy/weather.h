@@ -1,0 +1,95 @@
+#ifndef ECOCHARGE_ENERGY_WEATHER_H_
+#define ECOCHARGE_ENERGY_WEATHER_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/simtime.h"
+
+namespace ecocharge {
+
+/// \brief Sky condition; the hidden state behind the L estimated component.
+enum class WeatherCondition : uint8_t {
+  kSunny = 0,
+  kPartlyCloudy = 1,
+  kCloudy = 2,
+  kRain = 3,
+};
+
+std::string_view WeatherConditionName(WeatherCondition c);
+
+/// Fraction of clear-sky irradiance that reaches the panels under `c`.
+double CloudTransmission(WeatherCondition c);
+
+/// \brief Climate parameterization: the stationary tendency of the Markov
+/// weather process (sunnier for California-like sites, greyer for
+/// Oldenburg-like ones).
+struct ClimateParams {
+  double sunny_bias = 0.5;     ///< [0,1]; higher = sunnier climate
+  double persistence = 0.85;   ///< [0,1); probability of staying in state
+};
+
+/// \brief Hour-stepped Markov chain over WeatherCondition.
+///
+/// The realized sequence is the "ground truth" the forecaster estimates and
+/// the production traces consume. Deterministic in (params, seed, horizon).
+class WeatherProcess {
+ public:
+  WeatherProcess(const ClimateParams& params, uint64_t seed);
+
+  /// The realized condition for the hour containing `t` (t >= 0; the
+  /// sequence is extended lazily and cached).
+  WeatherCondition ConditionAt(SimTime t);
+
+  /// Realized cloud transmission factor at `t`.
+  double TransmissionAt(SimTime t) { return CloudTransmission(ConditionAt(t)); }
+
+  const ClimateParams& params() const { return params_; }
+
+ private:
+  void ExtendTo(size_t hour_index);
+  WeatherCondition NextState(WeatherCondition current);
+
+  ClimateParams params_;
+  Rng rng_;
+  std::vector<WeatherCondition> hours_;
+};
+
+/// \brief Interval forecast of the cloud transmission factor.
+///
+/// Mimics GFS/ECMWF accuracy decay (the paper cites 95-96% for <=12 h and
+/// 85-95% for 3 days): the returned interval is centered on the true
+/// realized transmission with a half-width that grows with lead time, so
+/// the truth is contained with the corresponding probability.
+class WeatherForecaster {
+ public:
+  /// \param process ground-truth weather (not owned; must outlive this)
+  /// \param seed randomizes the small center-offset errors
+  WeatherForecaster(WeatherProcess* process, uint64_t seed);
+
+  struct Forecast {
+    double transmission_min = 0.0;
+    double transmission_max = 1.0;
+  };
+
+  /// Forecast for target time `target`, issued at time `now`
+  /// (lead = target - now >= 0; negative leads are treated as nowcasts).
+  ///
+  /// Deterministic in (seed, now, target): repeated calls — and calls from
+  /// different rankers — see the identical forecast, which keeps the
+  /// baseline comparisons fair.
+  Forecast ForecastTransmission(SimTime now, SimTime target);
+
+  /// Interval half-width used at the given lead time, exposed for tests.
+  static double HalfWidthAtLead(double lead_seconds);
+
+ private:
+  WeatherProcess* process_;
+  uint64_t seed_;
+};
+
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_ENERGY_WEATHER_H_

@@ -1,0 +1,38 @@
+#include "geo/latlng.h"
+
+#include <cmath>
+
+namespace ecocharge {
+
+namespace {
+constexpr double kDegToRad = M_PI / 180.0;
+}  // namespace
+
+double HaversineMeters(const LatLng& a, const LatLng& b) {
+  double phi1 = a.lat * kDegToRad;
+  double phi2 = b.lat * kDegToRad;
+  double dphi = (b.lat - a.lat) * kDegToRad;
+  double dlmb = (b.lng - a.lng) * kDegToRad;
+  double s = std::sin(dphi / 2);
+  double t = std::sin(dlmb / 2);
+  double h = s * s + std::cos(phi1) * std::cos(phi2) * t * t;
+  return 2.0 * kEarthRadiusMeters * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+Projection::Projection(const LatLng& origin) : origin_(origin) {
+  meters_per_deg_lat_ = kEarthRadiusMeters * kDegToRad;
+  meters_per_deg_lng_ =
+      kEarthRadiusMeters * kDegToRad * std::cos(origin.lat * kDegToRad);
+}
+
+Point Projection::Forward(const LatLng& ll) const {
+  return Point{(ll.lng - origin_.lng) * meters_per_deg_lng_,
+               (ll.lat - origin_.lat) * meters_per_deg_lat_};
+}
+
+LatLng Projection::Inverse(const Point& p) const {
+  return LatLng{origin_.lat + p.y / meters_per_deg_lat_,
+                origin_.lng + p.x / meters_per_deg_lng_};
+}
+
+}  // namespace ecocharge

@@ -1,0 +1,57 @@
+#ifndef ECOCHARGE_GEO_LATLNG_H_
+#define ECOCHARGE_GEO_LATLNG_H_
+
+#include <ostream>
+
+#include "geo/point.h"
+
+namespace ecocharge {
+
+/// \brief WGS-84 geographic coordinate, degrees.
+struct LatLng {
+  double lat = 0.0;  ///< latitude, degrees, [-90, 90]
+  double lng = 0.0;  ///< longitude, degrees, [-180, 180]
+
+  constexpr LatLng() = default;
+  constexpr LatLng(double lat_in, double lng_in) : lat(lat_in), lng(lng_in) {}
+  constexpr bool operator==(const LatLng& o) const {
+    return lat == o.lat && lng == o.lng;
+  }
+};
+
+/// Mean Earth radius, meters (IUGG).
+inline constexpr double kEarthRadiusMeters = 6371008.8;
+
+/// Great-circle (haversine) distance between two coordinates, meters.
+double HaversineMeters(const LatLng& a, const LatLng& b);
+
+/// \brief Equirectangular projection anchored at a reference coordinate.
+///
+/// Accurate to well under 1% for the urban/regional extents the paper's
+/// datasets cover; chosen over UTM for simplicity and invertibility.
+class Projection {
+ public:
+  /// Creates a projection centered at `origin` (maps to Point{0,0}).
+  explicit Projection(const LatLng& origin);
+
+  /// Projects a geographic coordinate into the planar frame (meters).
+  Point Forward(const LatLng& ll) const;
+
+  /// Inverse projection back to geographic coordinates.
+  LatLng Inverse(const Point& p) const;
+
+  const LatLng& origin() const { return origin_; }
+
+ private:
+  LatLng origin_;
+  double meters_per_deg_lat_;
+  double meters_per_deg_lng_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const LatLng& ll) {
+  return os << "(" << ll.lat << ", " << ll.lng << ")";
+}
+
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_GEO_LATLNG_H_

@@ -1,0 +1,105 @@
+#include "geo/polyline.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ecocharge {
+
+Point ClosestPointOnSegment(const Point& a, const Point& b, const Point& p) {
+  Point ab = b - a;
+  double len2 = ab.NormSquared();
+  if (len2 == 0.0) return a;
+  double t = (p - a).Dot(ab) / len2;
+  t = std::clamp(t, 0.0, 1.0);
+  return a + ab * t;
+}
+
+double DistanceToSegment(const Point& a, const Point& b, const Point& p) {
+  return Distance(p, ClosestPointOnSegment(a, b, p));
+}
+
+Polyline::Polyline(std::vector<Point> points) : points_(std::move(points)) {
+  cumulative_.reserve(points_.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < points_.size(); ++i) {
+    if (i > 0) acc += Distance(points_[i - 1], points_[i]);
+    cumulative_.push_back(acc);
+  }
+}
+
+void Polyline::Append(const Point& p) {
+  double acc = cumulative_.empty()
+                   ? 0.0
+                   : cumulative_.back() + Distance(points_.back(), p);
+  points_.push_back(p);
+  cumulative_.push_back(acc);
+}
+
+double Polyline::Length() const {
+  return cumulative_.empty() ? 0.0 : cumulative_.back();
+}
+
+double Polyline::LengthUpTo(size_t i) const {
+  return cumulative_.empty() ? 0.0 : cumulative_[std::min(i, size() - 1)];
+}
+
+Point Polyline::At(double s) const {
+  if (points_.empty()) return Point{};
+  if (points_.size() == 1 || s <= 0.0) return points_.front();
+  if (s >= Length()) return points_.back();
+  // Binary search for the segment containing arc length s.
+  auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), s);
+  size_t i = static_cast<size_t>(it - cumulative_.begin());
+  // i >= 1 because cumulative_[0] == 0 <= s.
+  double seg_start = cumulative_[i - 1];
+  double seg_len = cumulative_[i] - seg_start;
+  double t = seg_len > 0.0 ? (s - seg_start) / seg_len : 0.0;
+  return points_[i - 1] + (points_[i] - points_[i - 1]) * t;
+}
+
+double Polyline::DistanceTo(const Point& p) const {
+  if (points_.empty()) return std::numeric_limits<double>::infinity();
+  if (points_.size() == 1) return Distance(points_[0], p);
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 1; i < points_.size(); ++i) {
+    best = std::min(best, DistanceToSegment(points_[i - 1], points_[i], p));
+  }
+  return best;
+}
+
+double Polyline::Project(const Point& p) const {
+  if (points_.size() < 2) return 0.0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  double best_s = 0.0;
+  for (size_t i = 1; i < points_.size(); ++i) {
+    Point c = ClosestPointOnSegment(points_[i - 1], points_[i], p);
+    double d = Distance(p, c);
+    if (d < best_dist) {
+      best_dist = d;
+      best_s = cumulative_[i - 1] + Distance(points_[i - 1], c);
+    }
+  }
+  return best_s;
+}
+
+Polyline Polyline::Slice(double s0, double s1) const {
+  Polyline out;
+  if (points_.empty()) return out;
+  s0 = std::clamp(s0, 0.0, Length());
+  s1 = std::clamp(s1, s0, Length());
+  out.Append(At(s0));
+  for (size_t i = 0; i < points_.size(); ++i) {
+    if (cumulative_[i] > s0 && cumulative_[i] < s1) out.Append(points_[i]);
+  }
+  Point end = At(s1);
+  if (out.points_.back() != end || out.size() == 1) out.Append(end);
+  return out;
+}
+
+BoundingBox Polyline::Bounds() const {
+  BoundingBox box;
+  for (const Point& p : points_) box.Extend(p);
+  return box;
+}
+
+}  // namespace ecocharge

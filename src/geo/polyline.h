@@ -1,0 +1,65 @@
+#ifndef ECOCHARGE_GEO_POLYLINE_H_
+#define ECOCHARGE_GEO_POLYLINE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "geo/bbox.h"
+#include "geo/point.h"
+
+namespace ecocharge {
+
+/// Closest point on segment [a, b] to `p`.
+Point ClosestPointOnSegment(const Point& a, const Point& b, const Point& p);
+
+/// Distance from `p` to segment [a, b].
+double DistanceToSegment(const Point& a, const Point& b, const Point& p);
+
+/// \brief An ordered sequence of planar points with arc-length queries.
+///
+/// Scheduled trips P and their segments p_i are polylines; the CkNN-EC
+/// processor walks them by arc length.
+class Polyline {
+ public:
+  Polyline() = default;
+  explicit Polyline(std::vector<Point> points);
+
+  /// Appends a vertex; updates cached cumulative lengths.
+  void Append(const Point& p);
+
+  const std::vector<Point>& points() const { return points_; }
+  size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+  const Point& front() const { return points_.front(); }
+  const Point& back() const { return points_.back(); }
+  const Point& operator[](size_t i) const { return points_[i]; }
+
+  /// Total arc length, meters.
+  double Length() const;
+
+  /// Cumulative arc length up to vertex `i` (0 for i == 0).
+  double LengthUpTo(size_t i) const;
+
+  /// Point at arc-length position `s` (clamped to [0, Length()]).
+  Point At(double s) const;
+
+  /// Minimum distance from `p` to the polyline.
+  double DistanceTo(const Point& p) const;
+
+  /// Arc-length position of the point on the polyline closest to `p`.
+  double Project(const Point& p) const;
+
+  /// Sub-polyline covering arc lengths [s0, s1] (clamped, s0 <= s1).
+  Polyline Slice(double s0, double s1) const;
+
+  /// Bounding box of all vertices.
+  BoundingBox Bounds() const;
+
+ private:
+  std::vector<Point> points_;
+  std::vector<double> cumulative_;  // cumulative_[i] = length up to vertex i
+};
+
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_GEO_POLYLINE_H_

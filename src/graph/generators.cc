@@ -1,0 +1,314 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.h"
+#include "spatial/kdtree.h"
+
+namespace ecocharge {
+
+namespace {
+
+/// Union-find used to patch disconnected components.
+class DisjointSet {
+ public:
+  explicit DisjointSet(size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  size_t Find(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  bool Union(size_t a, size_t b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return false;
+    parent_[a] = b;
+    return true;
+  }
+
+ private:
+  std::vector<size_t> parent_;
+};
+
+struct PendingEdge {
+  NodeId a;
+  NodeId b;
+  RoadClass road_class;
+};
+
+/// Adds edges joining components until one component remains: repeatedly
+/// connects each minor component's node to its nearest node in a different
+/// component (via kd-tree over all nodes).
+void PatchConnectivity(const std::vector<Point>& positions,
+                       std::vector<PendingEdge>& edges) {
+  DisjointSet ds(positions.size());
+  for (const PendingEdge& e : edges) ds.Union(e.a, e.b);
+
+  KdTree tree;
+  tree.Build(positions);
+  bool merged = true;
+  while (merged) {
+    merged = false;
+    // Group nodes by component root.
+    std::vector<size_t> root(positions.size());
+    size_t first_root = ds.Find(0);
+    bool multiple = false;
+    for (size_t i = 0; i < positions.size(); ++i) {
+      root[i] = ds.Find(i);
+      if (root[i] != first_root) multiple = true;
+    }
+    if (!multiple) break;
+    // For the first node found in a non-primary component, link it to its
+    // nearest foreign neighbor.
+    for (size_t i = 0; i < positions.size(); ++i) {
+      if (root[i] == first_root) continue;
+      std::vector<Neighbor> nn =
+          tree.Knn(positions[i], std::min<size_t>(positions.size(), 16));
+      for (const Neighbor& cand : nn) {
+        if (ds.Find(cand.id) != root[i]) {
+          edges.push_back({static_cast<NodeId>(i), cand.id,
+                           RoadClass::kArterial});
+          ds.Union(i, cand.id);
+          merged = true;
+          break;
+        }
+      }
+      if (merged) break;
+    }
+    if (!merged) {
+      // Fallback: directly join to node 0 (possible when the 16-NN
+      // neighborhood is entirely same-component).
+      for (size_t i = 0; i < positions.size(); ++i) {
+        if (ds.Find(i) != first_root) {
+          edges.push_back({static_cast<NodeId>(i), 0, RoadClass::kArterial});
+          ds.Union(i, 0);
+          merged = true;
+          break;
+        }
+      }
+    }
+  }
+}
+
+Result<std::shared_ptr<RoadNetwork>> BuildFrom(
+    const std::vector<Point>& positions, std::vector<PendingEdge> edges) {
+  PatchConnectivity(positions, edges);
+  GraphBuilder builder;
+  for (const Point& p : positions) builder.AddNode(p);
+  for (const PendingEdge& e : edges) {
+    ECOCHARGE_RETURN_NOT_OK(builder.AddBidirectional(e.a, e.b, e.road_class));
+  }
+  return builder.Build();
+}
+
+}  // namespace
+
+Result<std::shared_ptr<RoadNetwork>> MakeGridNetwork(
+    const GridNetworkOptions& options) {
+  if (options.nx < 2 || options.ny < 2) {
+    return Status::InvalidArgument("grid needs at least 2x2 nodes");
+  }
+  if (options.spacing_m <= 0.0) {
+    return Status::InvalidArgument("spacing must be positive");
+  }
+  Rng rng(options.seed);
+  std::vector<Point> positions;
+  positions.reserve(static_cast<size_t>(options.nx) * options.ny);
+  double jitter = options.spacing_m * options.jitter_fraction;
+  for (int y = 0; y < options.ny; ++y) {
+    for (int x = 0; x < options.nx; ++x) {
+      positions.push_back(Point{x * options.spacing_m +
+                                    rng.NextDouble(-jitter, jitter),
+                                y * options.spacing_m +
+                                    rng.NextDouble(-jitter, jitter)});
+    }
+  }
+  auto node_at = [&](int x, int y) {
+    return static_cast<NodeId>(y * options.nx + x);
+  };
+  auto line_class = [&](int index, int center) {
+    if (index == center) return RoadClass::kHighway;
+    if (options.arterial_every > 0 && index % options.arterial_every == 0) {
+      return RoadClass::kArterial;
+    }
+    return RoadClass::kLocal;
+  };
+  std::vector<PendingEdge> edges;
+  for (int y = 0; y < options.ny; ++y) {
+    RoadClass row_class = line_class(y, options.ny / 2);
+    for (int x = 0; x + 1 < options.nx; ++x) {
+      edges.push_back({node_at(x, y), node_at(x + 1, y), row_class});
+    }
+  }
+  for (int x = 0; x < options.nx; ++x) {
+    RoadClass col_class = line_class(x, options.nx / 2);
+    for (int y = 0; y + 1 < options.ny; ++y) {
+      edges.push_back({node_at(x, y), node_at(x, y + 1), col_class});
+    }
+  }
+  return BuildFrom(positions, std::move(edges));
+}
+
+Result<std::shared_ptr<RoadNetwork>> MakeRadialCity(
+    const RadialCityOptions& options) {
+  if (options.rings < 1 || options.spokes < 3) {
+    return Status::InvalidArgument("need >=1 ring and >=3 spokes");
+  }
+  Rng rng(options.seed);
+  std::vector<Point> positions;
+  positions.push_back(Point{0.0, 0.0});  // center
+  auto ring_node = [&](int ring, int spoke) {
+    // Rings are 1-based; node ids: 1 + (ring-1)*spokes + spoke.
+    return static_cast<NodeId>(1 + (ring - 1) * options.spokes + spoke);
+  };
+  double jitter = options.ring_spacing_m * options.jitter_fraction;
+  for (int ring = 1; ring <= options.rings; ++ring) {
+    double radius = ring * options.ring_spacing_m;
+    for (int spoke = 0; spoke < options.spokes; ++spoke) {
+      double angle = 2.0 * M_PI * spoke / options.spokes;
+      positions.push_back(
+          Point{radius * std::cos(angle) + rng.NextDouble(-jitter, jitter),
+                radius * std::sin(angle) + rng.NextDouble(-jitter, jitter)});
+    }
+  }
+  std::vector<PendingEdge> edges;
+  // Radial spokes: center -> ring1, ring_i -> ring_{i+1}. Inner radials are
+  // arterials, the outermost ring connector stays arterial, spokes 0 and
+  // spokes/2 form a highway axis.
+  for (int spoke = 0; spoke < options.spokes; ++spoke) {
+    RoadClass rc = (spoke == 0 || spoke == options.spokes / 2)
+                       ? RoadClass::kHighway
+                       : RoadClass::kArterial;
+    edges.push_back({0, ring_node(1, spoke), rc});
+    for (int ring = 1; ring < options.rings; ++ring) {
+      edges.push_back({ring_node(ring, spoke), ring_node(ring + 1, spoke), rc});
+    }
+  }
+  // Ring roads: local except the middle ring (arterial ring road).
+  for (int ring = 1; ring <= options.rings; ++ring) {
+    RoadClass rc = ring == (options.rings + 1) / 2 ? RoadClass::kArterial
+                                                   : RoadClass::kLocal;
+    for (int spoke = 0; spoke < options.spokes; ++spoke) {
+      edges.push_back({ring_node(ring, spoke),
+                       ring_node(ring, (spoke + 1) % options.spokes), rc});
+    }
+  }
+  return BuildFrom(positions, std::move(edges));
+}
+
+Result<std::shared_ptr<RoadNetwork>> MakeRandomGeometric(
+    const RandomGeometricOptions& options) {
+  if (options.num_nodes < 2) {
+    return Status::InvalidArgument("need at least 2 nodes");
+  }
+  if (options.k_nearest < 1) {
+    return Status::InvalidArgument("k_nearest must be >= 1");
+  }
+  Rng rng(options.seed);
+  std::vector<Point> positions;
+  positions.reserve(options.num_nodes);
+  for (size_t i = 0; i < options.num_nodes; ++i) {
+    positions.push_back(Point{rng.NextDouble(0.0, options.width_m),
+                              rng.NextDouble(0.0, options.height_m)});
+  }
+  KdTree tree;
+  tree.Build(positions);
+  std::vector<PendingEdge> edges;
+  for (size_t i = 0; i < positions.size(); ++i) {
+    std::vector<Neighbor> nn = tree.Knn(
+        positions[i], static_cast<size_t>(options.k_nearest) + 1);
+    int linked = 0;
+    for (const Neighbor& cand : nn) {
+      if (cand.id == i) continue;
+      RoadClass rc = linked == 0 ? RoadClass::kArterial : RoadClass::kLocal;
+      if (cand.id > i) {  // avoid duplicate undirected pairs
+        edges.push_back({static_cast<NodeId>(i), cand.id, rc});
+      }
+      if (++linked >= options.k_nearest) break;
+    }
+  }
+  return BuildFrom(positions, std::move(edges));
+}
+
+Result<std::shared_ptr<RoadNetwork>> MakeCorridorRegion(
+    const CorridorRegionOptions& options) {
+  if (options.num_cities < 1) {
+    return Status::InvalidArgument("need at least one city");
+  }
+  Rng rng(options.seed);
+  std::vector<Point> positions;
+  std::vector<PendingEdge> edges;
+  std::vector<NodeId> city_centers;
+
+  for (int city = 0; city < options.num_cities; ++city) {
+    double cx = rng.NextDouble(0.1, 0.9) * options.region_width_m;
+    double cy = rng.NextDouble(0.1, 0.9) * options.region_height_m;
+    NodeId base = static_cast<NodeId>(positions.size());
+    double jitter = options.city_spacing_m * 0.15;
+    for (int y = 0; y < options.city_ny; ++y) {
+      for (int x = 0; x < options.city_nx; ++x) {
+        positions.push_back(Point{
+            cx + (x - options.city_nx / 2) * options.city_spacing_m +
+                rng.NextDouble(-jitter, jitter),
+            cy + (y - options.city_ny / 2) * options.city_spacing_m +
+                rng.NextDouble(-jitter, jitter)});
+      }
+    }
+    auto node_at = [&](int x, int y) {
+      return static_cast<NodeId>(base + y * options.city_nx + x);
+    };
+    for (int y = 0; y < options.city_ny; ++y) {
+      RoadClass rc = y == options.city_ny / 2 ? RoadClass::kArterial
+                                              : RoadClass::kLocal;
+      for (int x = 0; x + 1 < options.city_nx; ++x) {
+        edges.push_back({node_at(x, y), node_at(x + 1, y), rc});
+      }
+    }
+    for (int x = 0; x < options.city_nx; ++x) {
+      RoadClass rc = x == options.city_nx / 2 ? RoadClass::kArterial
+                                              : RoadClass::kLocal;
+      for (int y = 0; y + 1 < options.city_ny; ++y) {
+        edges.push_back({node_at(x, y), node_at(x, y + 1), rc});
+      }
+    }
+    city_centers.push_back(
+        node_at(options.city_nx / 2, options.city_ny / 2));
+  }
+
+  // Highway corridors: chain cities in x-order, with waypoint nodes every
+  // ~10 km so trajectories can follow the corridor smoothly.
+  std::vector<size_t> order(city_centers.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return positions[city_centers[a]].x < positions[city_centers[b]].x;
+  });
+  for (size_t i = 0; i + 1 < order.size(); ++i) {
+    NodeId from = city_centers[order[i]];
+    NodeId to = city_centers[order[i + 1]];
+    Point a = positions[from];
+    Point b = positions[to];
+    double dist = Distance(a, b);
+    int hops = std::max(1, static_cast<int>(dist / 10000.0));
+    NodeId prev = from;
+    for (int h = 1; h < hops; ++h) {
+      double t = static_cast<double>(h) / hops;
+      Point mid = a + (b - a) * t;
+      mid.y += rng.NextGaussian(0.0, dist * 0.01);
+      NodeId wp = static_cast<NodeId>(positions.size());
+      positions.push_back(mid);
+      edges.push_back({prev, wp, RoadClass::kHighway});
+      prev = wp;
+    }
+    edges.push_back({prev, to, RoadClass::kHighway});
+  }
+  return BuildFrom(positions, std::move(edges));
+}
+
+}  // namespace ecocharge

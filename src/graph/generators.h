@@ -1,0 +1,73 @@
+#ifndef ECOCHARGE_GRAPH_GENERATORS_H_
+#define ECOCHARGE_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/result.h"
+#include "graph/road_network.h"
+
+namespace ecocharge {
+
+/// \brief Manhattan-style grid city (all edges bidirectional).
+///
+/// Every `arterial_every`-th row/column is an arterial; the central row and
+/// column are highways. Node positions are jittered so the network is not
+/// axis-degenerate. The result is strongly connected.
+struct GridNetworkOptions {
+  int nx = 20;                     ///< nodes along x
+  int ny = 20;                     ///< nodes along y
+  double spacing_m = 500.0;        ///< nominal block size
+  double jitter_fraction = 0.15;   ///< position noise as a fraction of spacing
+  int arterial_every = 5;          ///< every k-th line is an arterial
+  uint64_t seed = 1;
+};
+
+Result<std::shared_ptr<RoadNetwork>> MakeGridNetwork(
+    const GridNetworkOptions& options);
+
+/// \brief European-style ring-and-radial city (all edges bidirectional).
+struct RadialCityOptions {
+  int rings = 6;                  ///< concentric rings
+  int spokes = 12;                ///< radial roads
+  double ring_spacing_m = 800.0;  ///< distance between rings
+  double jitter_fraction = 0.1;
+  uint64_t seed = 1;
+};
+
+Result<std::shared_ptr<RoadNetwork>> MakeRadialCity(
+    const RadialCityOptions& options);
+
+/// \brief Random geometric graph: uniform nodes, each linked to its
+/// `k_nearest` neighbors, plus patch edges to guarantee connectivity.
+struct RandomGeometricOptions {
+  size_t num_nodes = 1000;
+  double width_m = 20000.0;
+  double height_m = 20000.0;
+  int k_nearest = 4;
+  uint64_t seed = 1;
+};
+
+Result<std::shared_ptr<RoadNetwork>> MakeRandomGeometric(
+    const RandomGeometricOptions& options);
+
+/// \brief Multi-city region: grid-city clusters joined by highway corridors.
+///
+/// Models large extents like the paper's California dataset (1,220 x 400 km
+/// with dense urban pockets along sparse long-haul corridors).
+struct CorridorRegionOptions {
+  int num_cities = 5;
+  int city_nx = 12;  ///< grid size of each city
+  int city_ny = 12;
+  double city_spacing_m = 600.0;   ///< block size inside cities
+  double region_width_m = 400000.0;
+  double region_height_m = 150000.0;
+  uint64_t seed = 1;
+};
+
+Result<std::shared_ptr<RoadNetwork>> MakeCorridorRegion(
+    const CorridorRegionOptions& options);
+
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_GRAPH_GENERATORS_H_

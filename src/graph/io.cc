@@ -1,0 +1,78 @@
+#include "graph/io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+
+namespace ecocharge {
+
+Status SaveRoadNetwork(const RoadNetwork& network, std::ostream& os) {
+  os << "ecg 1\n";
+  os << network.NumNodes() << " " << network.NumEdges() << "\n";
+  os << std::setprecision(17);
+  for (NodeId v = 0; v < network.NumNodes(); ++v) {
+    const Point& p = network.NodePosition(v);
+    os << p.x << " " << p.y << "\n";
+  }
+  for (EdgeId e = 0; e < network.NumEdges(); ++e) {
+    const Edge& edge = network.edge(e);
+    os << edge.from << " " << edge.to << " " << edge.length_m << " "
+       << static_cast<int>(edge.road_class) << "\n";
+  }
+  if (!os) return Status::IOError("stream write failed");
+  return Status::OK();
+}
+
+Status SaveRoadNetworkFile(const RoadNetwork& network,
+                           const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path);
+  return SaveRoadNetwork(network, out);
+}
+
+Result<std::shared_ptr<RoadNetwork>> LoadRoadNetwork(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  if (!(is >> magic >> version) || magic != "ecg" || version != 1) {
+    return Status::IOError("bad header: expected 'ecg 1'");
+  }
+  size_t num_nodes = 0, num_edges = 0;
+  if (!(is >> num_nodes >> num_edges)) {
+    return Status::IOError("bad counts line");
+  }
+  GraphBuilder builder;
+  for (size_t i = 0; i < num_nodes; ++i) {
+    double x, y;
+    if (!(is >> x >> y)) {
+      return Status::IOError("truncated node section at node " +
+                             std::to_string(i));
+    }
+    builder.AddNode(Point{x, y});
+  }
+  for (size_t i = 0; i < num_edges; ++i) {
+    NodeId from, to;
+    double length;
+    int road_class;
+    if (!(is >> from >> to >> length >> road_class)) {
+      return Status::IOError("truncated edge section at edge " +
+                             std::to_string(i));
+    }
+    if (road_class < 0 || road_class > 2) {
+      return Status::IOError("invalid road class " +
+                             std::to_string(road_class));
+    }
+    ECOCHARGE_RETURN_NOT_OK(builder.AddEdge(
+        from, to, static_cast<RoadClass>(road_class), length));
+  }
+  return builder.Build();
+}
+
+Result<std::shared_ptr<RoadNetwork>> LoadRoadNetworkFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  return LoadRoadNetwork(in);
+}
+
+}  // namespace ecocharge

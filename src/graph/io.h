@@ -1,0 +1,32 @@
+#ifndef ECOCHARGE_GRAPH_IO_H_
+#define ECOCHARGE_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "graph/road_network.h"
+
+namespace ecocharge {
+
+/// \brief Text serialization for road networks.
+///
+/// Format (whitespace separated):
+///   ecg 1                 -- magic + version
+///   <num_nodes> <num_edges>
+///   x y                   -- one line per node
+///   from to length class  -- one line per edge; class in {0,1,2}
+///
+/// Chosen over a binary format for diffability of the checked-in fixtures.
+Status SaveRoadNetwork(const RoadNetwork& network, std::ostream& os);
+Status SaveRoadNetworkFile(const RoadNetwork& network,
+                           const std::string& path);
+
+Result<std::shared_ptr<RoadNetwork>> LoadRoadNetwork(std::istream& is);
+Result<std::shared_ptr<RoadNetwork>> LoadRoadNetworkFile(
+    const std::string& path);
+
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_GRAPH_IO_H_

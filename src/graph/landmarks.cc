@@ -1,0 +1,85 @@
+#include "graph/landmarks.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace ecocharge {
+
+namespace {
+
+/// One-to-all Dijkstra; `forward` walks out-edges, otherwise in-edges (which
+/// computes distances *to* the source in the original graph).
+std::vector<double> OneToAll(const RoadNetwork& network, NodeId source,
+                             const EdgeCostFn& cost, bool forward) {
+  std::vector<double> dist(network.NumNodes(), kInfiniteCost);
+  struct Entry {
+    double d;
+    NodeId v;
+    bool operator>(const Entry& o) const { return d > o.d; }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  dist[source] = 0.0;
+  heap.push({0.0, source});
+  std::vector<char> settled(network.NumNodes(), 0);
+  while (!heap.empty()) {
+    auto [d, v] = heap.top();
+    heap.pop();
+    if (settled[v]) continue;
+    settled[v] = 1;
+    auto edge_ids = forward ? network.OutEdges(v) : network.InEdges(v);
+    for (EdgeId eid : edge_ids) {
+      const Edge& e = network.edge(eid);
+      NodeId w = forward ? e.to : e.from;
+      double nd = d + cost(e);
+      if (nd < dist[w]) {
+        dist[w] = nd;
+        heap.push({nd, w});
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+LandmarkIndex::LandmarkIndex(const RoadNetwork& network, size_t num_landmarks,
+                             const EdgeCostFn& cost) {
+  num_landmarks = std::min(num_landmarks, network.NumNodes());
+  if (num_landmarks == 0) return;
+
+  // Farthest-point selection over network distance: start from node 0, then
+  // repeatedly pick the node farthest from all chosen landmarks.
+  std::vector<double> min_dist(network.NumNodes(), kInfiniteCost);
+  NodeId next = 0;
+  for (size_t i = 0; i < num_landmarks; ++i) {
+    landmarks_.push_back(next);
+    from_.push_back(OneToAll(network, next, cost, /*forward=*/true));
+    to_.push_back(OneToAll(network, next, cost, /*forward=*/false));
+    const std::vector<double>& d = from_.back();
+    double best = -1.0;
+    for (NodeId v = 0; v < network.NumNodes(); ++v) {
+      if (d[v] < min_dist[v]) min_dist[v] = d[v];
+      if (min_dist[v] < kInfiniteCost && min_dist[v] > best) {
+        best = min_dist[v];
+        next = v;
+      }
+    }
+    if (best < 0.0) break;  // graph smaller than requested landmark count
+  }
+}
+
+double LandmarkIndex::LowerBound(NodeId u, NodeId v) const {
+  double bound = 0.0;
+  for (size_t i = 0; i < landmarks_.size(); ++i) {
+    // Triangle inequality both ways around landmark i:
+    //   d(u,v) >= d(L,v) - d(L,u)   and   d(u,v) >= d(u,L) - d(v,L)
+    double fwd = from_[i][v] - from_[i][u];
+    double bwd = to_[i][u] - to_[i][v];
+    if (std::isfinite(fwd)) bound = std::max(bound, fwd);
+    if (std::isfinite(bwd)) bound = std::max(bound, bwd);
+  }
+  return bound;
+}
+
+}  // namespace ecocharge

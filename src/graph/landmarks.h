@@ -1,0 +1,44 @@
+#ifndef ECOCHARGE_GRAPH_LANDMARKS_H_
+#define ECOCHARGE_GRAPH_LANDMARKS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/shortest_path.h"
+
+namespace ecocharge {
+
+/// \brief ALT (A*, Landmarks, Triangle inequality) lower bounds.
+///
+/// Precomputes shortest-path distances to/from a small set of landmarks
+/// chosen by farthest-point selection. LowerBound(u, v) then gives an
+/// admissible network-distance bound in O(#landmarks) — the CkNN-EC
+/// filtering phase uses it to prune chargers whose best-case derouting cost
+/// already disqualifies them, without running Dijkstra per charger.
+class LandmarkIndex {
+ public:
+  /// Builds distances for `num_landmarks` landmarks under `cost`.
+  LandmarkIndex(const RoadNetwork& network, size_t num_landmarks,
+                const EdgeCostFn& cost = LengthCost);
+
+  /// Admissible lower bound on the network distance u -> v.
+  double LowerBound(NodeId u, NodeId v) const;
+
+  size_t num_landmarks() const { return landmarks_.size(); }
+  const std::vector<NodeId>& landmarks() const { return landmarks_; }
+
+  /// Exact distance landmark i -> v (kInfiniteCost if unreachable).
+  double FromLandmark(size_t i, NodeId v) const { return from_[i][v]; }
+
+  /// Exact distance v -> landmark i.
+  double ToLandmark(size_t i, NodeId v) const { return to_[i][v]; }
+
+ private:
+  std::vector<NodeId> landmarks_;
+  std::vector<std::vector<double>> from_;  // from_[i][v]: landmark_i -> v
+  std::vector<std::vector<double>> to_;    // to_[i][v]:   v -> landmark_i
+};
+
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_GRAPH_LANDMARKS_H_

@@ -1,0 +1,127 @@
+#include "graph/road_network.h"
+
+#include <algorithm>
+
+namespace ecocharge {
+
+double FreeFlowSpeed(RoadClass road_class) {
+  switch (road_class) {
+    case RoadClass::kHighway:
+      return 120.0 / 3.6;  // 120 km/h
+    case RoadClass::kArterial:
+      return 60.0 / 3.6;  // 60 km/h
+    case RoadClass::kLocal:
+      return 30.0 / 3.6;  // 30 km/h
+  }
+  return 30.0 / 3.6;
+}
+
+NodeId RoadNetwork::NearestNode(const Point& p) const {
+  std::vector<Neighbor> nn = node_locator_.Knn(p, 1);
+  return nn.empty() ? kInvalidNode : nn[0].id;
+}
+
+bool RoadNetwork::IsStronglyConnected() const {
+  if (NumNodes() == 0) return false;
+  // Forward and backward BFS from node 0 must both cover all nodes.
+  auto bfs = [this](bool forward) {
+    std::vector<char> seen(NumNodes(), 0);
+    std::vector<NodeId> queue = {0};
+    seen[0] = 1;
+    size_t count = 1;
+    while (!queue.empty()) {
+      NodeId v = queue.back();
+      queue.pop_back();
+      auto edge_ids = forward ? OutEdges(v) : InEdges(v);
+      for (EdgeId e : edge_ids) {
+        NodeId w = forward ? edges_[e].to : edges_[e].from;
+        if (!seen[w]) {
+          seen[w] = 1;
+          ++count;
+          queue.push_back(w);
+        }
+      }
+    }
+    return count == NumNodes();
+  };
+  return bfs(true) && bfs(false);
+}
+
+NodeId GraphBuilder::AddNode(const Point& position) {
+  positions_.push_back(position);
+  return static_cast<NodeId>(positions_.size() - 1);
+}
+
+Status GraphBuilder::AddEdge(NodeId from, NodeId to, RoadClass road_class,
+                             double length_m) {
+  if (from >= positions_.size() || to >= positions_.size()) {
+    return Status::InvalidArgument("edge endpoint out of range");
+  }
+  if (from == to) {
+    return Status::InvalidArgument("self-loop edges are not allowed");
+  }
+  Edge e;
+  e.from = from;
+  e.to = to;
+  e.road_class = road_class;
+  e.length_m =
+      length_m >= 0.0 ? length_m : Distance(positions_[from], positions_[to]);
+  if (e.length_m <= 0.0) {
+    // Coincident nodes: give the edge a tiny positive length so Dijkstra's
+    // non-negativity and strict-progress assumptions hold.
+    e.length_m = 0.1;
+  }
+  edges_.push_back(e);
+  return Status::OK();
+}
+
+Status GraphBuilder::AddBidirectional(NodeId a, NodeId b, RoadClass road_class,
+                                      double length_m) {
+  ECOCHARGE_RETURN_NOT_OK(AddEdge(a, b, road_class, length_m));
+  return AddEdge(b, a, road_class, length_m);
+}
+
+Result<std::shared_ptr<RoadNetwork>> GraphBuilder::Build() {
+  if (positions_.empty()) {
+    return Status::InvalidArgument("cannot build an empty road network");
+  }
+  auto network = std::shared_ptr<RoadNetwork>(new RoadNetwork());
+  network->positions_ = positions_;
+  network->edges_ = edges_;
+
+  size_t n = positions_.size();
+  // CSR for outgoing edges.
+  network->out_offsets_.assign(n + 1, 0);
+  for (const Edge& e : edges_) ++network->out_offsets_[e.from + 1];
+  for (size_t v = 0; v < n; ++v) {
+    network->out_offsets_[v + 1] += network->out_offsets_[v];
+  }
+  network->out_adjacency_.resize(edges_.size());
+  {
+    std::vector<uint32_t> cursor(network->out_offsets_.begin(),
+                                 network->out_offsets_.end() - 1);
+    for (EdgeId e = 0; e < edges_.size(); ++e) {
+      network->out_adjacency_[cursor[edges_[e].from]++] = e;
+    }
+  }
+  // CSR for incoming edges.
+  network->in_offsets_.assign(n + 1, 0);
+  for (const Edge& e : edges_) ++network->in_offsets_[e.to + 1];
+  for (size_t v = 0; v < n; ++v) {
+    network->in_offsets_[v + 1] += network->in_offsets_[v];
+  }
+  network->in_adjacency_.resize(edges_.size());
+  {
+    std::vector<uint32_t> cursor(network->in_offsets_.begin(),
+                                 network->in_offsets_.end() - 1);
+    for (EdgeId e = 0; e < edges_.size(); ++e) {
+      network->in_adjacency_[cursor[edges_[e].to]++] = e;
+    }
+  }
+
+  for (const Point& p : positions_) network->bounds_.Extend(p);
+  network->node_locator_.Build(positions_);
+  return network;
+}
+
+}  // namespace ecocharge

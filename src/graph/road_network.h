@@ -1,0 +1,125 @@
+#ifndef ECOCHARGE_GRAPH_ROAD_NETWORK_H_
+#define ECOCHARGE_GRAPH_ROAD_NETWORK_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "geo/bbox.h"
+#include "geo/point.h"
+#include "spatial/grid_index.h"
+
+namespace ecocharge {
+
+using NodeId = uint32_t;
+using EdgeId = uint32_t;
+
+inline constexpr NodeId kInvalidNode = 0xFFFFFFFFu;
+
+/// \brief Functional road class; drives free-flow speed and congestion shape.
+enum class RoadClass : uint8_t {
+  kHighway = 0,   ///< motorway / freeway
+  kArterial = 1,  ///< major urban road
+  kLocal = 2,     ///< residential / access road
+};
+
+/// Free-flow speed for a road class, meters per second.
+double FreeFlowSpeed(RoadClass road_class);
+
+/// \brief One directed edge of the road network.
+struct Edge {
+  NodeId from = 0;
+  NodeId to = 0;
+  double length_m = 0.0;     ///< geometric length, meters
+  RoadClass road_class = RoadClass::kLocal;
+
+  /// Travel time at free-flow speed, seconds.
+  double FreeFlowSeconds() const {
+    return length_m / FreeFlowSpeed(road_class);
+  }
+};
+
+/// \brief Immutable directed road network G = (V, E) in CSR layout.
+///
+/// Matches the paper's system model: nodes carry planar coordinates, edges
+/// carry a weight (length / free-flow time; time-varying traffic multipliers
+/// come from the traffic module). Built via GraphBuilder; query-side state
+/// (shortest-path workspaces) lives outside so a network can be shared
+/// read-only across vehicles.
+class RoadNetwork {
+ public:
+  size_t NumNodes() const { return positions_.size(); }
+  size_t NumEdges() const { return edges_.size(); }
+
+  const Point& NodePosition(NodeId v) const { return positions_[v]; }
+  const std::vector<Point>& positions() const { return positions_; }
+
+  const Edge& edge(EdgeId e) const { return edges_[e]; }
+
+  /// Ids of edges leaving `v`.
+  std::span<const EdgeId> OutEdges(NodeId v) const {
+    return {out_adjacency_.data() + out_offsets_[v],
+            out_offsets_[v + 1] - out_offsets_[v]};
+  }
+
+  /// Ids of edges entering `v`.
+  std::span<const EdgeId> InEdges(NodeId v) const {
+    return {in_adjacency_.data() + in_offsets_[v],
+            in_offsets_[v + 1] - in_offsets_[v]};
+  }
+
+  /// The network's bounding box.
+  const BoundingBox& Bounds() const { return bounds_; }
+
+  /// Nearest node to an arbitrary point (grid-accelerated).
+  NodeId NearestNode(const Point& p) const;
+
+  /// True if every node can reach every other node (strong connectivity);
+  /// generator post-condition checked in tests.
+  bool IsStronglyConnected() const;
+
+ private:
+  friend class GraphBuilder;
+  RoadNetwork() = default;
+
+  std::vector<Point> positions_;
+  std::vector<Edge> edges_;
+  std::vector<uint32_t> out_offsets_;
+  std::vector<EdgeId> out_adjacency_;
+  std::vector<uint32_t> in_offsets_;
+  std::vector<EdgeId> in_adjacency_;
+  BoundingBox bounds_;
+  GridIndex node_locator_;
+};
+
+/// \brief Incrementally assembles a RoadNetwork.
+class GraphBuilder {
+ public:
+  /// Adds a node at `position`, returning its id.
+  NodeId AddNode(const Point& position);
+
+  /// Adds a directed edge; length defaults to the Euclidean node distance.
+  Status AddEdge(NodeId from, NodeId to, RoadClass road_class,
+                 double length_m = -1.0);
+
+  /// Adds both directions with identical attributes.
+  Status AddBidirectional(NodeId a, NodeId b, RoadClass road_class,
+                          double length_m = -1.0);
+
+  size_t NumNodes() const { return positions_.size(); }
+  size_t NumEdges() const { return edges_.size(); }
+
+  /// Finalizes into an immutable network. Fails on an empty graph.
+  Result<std::shared_ptr<RoadNetwork>> Build();
+
+ private:
+  std::vector<Point> positions_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_GRAPH_ROAD_NETWORK_H_

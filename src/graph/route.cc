@@ -1,0 +1,60 @@
+#include "graph/route.h"
+
+#include <algorithm>
+
+namespace ecocharge {
+
+Result<RouteMetrics> ResolveRoute(const RoadNetwork& network,
+                                  const std::vector<NodeId>& nodes) {
+  RouteMetrics metrics;
+  if (nodes.size() < 2) return metrics;  // a point (or empty) route
+  metrics.edges.reserve(nodes.size() - 1);
+  for (size_t i = 1; i < nodes.size(); ++i) {
+    if (nodes[i - 1] >= network.NumNodes() ||
+        nodes[i] >= network.NumNodes()) {
+      return Status::InvalidArgument("route node out of range");
+    }
+    EdgeId best = 0;
+    double best_length = kInfiniteCost;
+    for (EdgeId e : network.OutEdges(nodes[i - 1])) {
+      if (network.edge(e).to == nodes[i] &&
+          network.edge(e).length_m < best_length) {
+        best = e;
+        best_length = network.edge(e).length_m;
+      }
+    }
+    if (best_length == kInfiniteCost) {
+      return Status::InvalidArgument(
+          "route nodes " + std::to_string(nodes[i - 1]) + " -> " +
+          std::to_string(nodes[i]) + " are not adjacent");
+    }
+    const Edge& edge = network.edge(best);
+    metrics.edges.push_back(best);
+    metrics.length_m += edge.length_m;
+    metrics.free_flow_s += edge.FreeFlowSeconds();
+  }
+  return metrics;
+}
+
+Polyline RouteGeometry(const RoadNetwork& network,
+                       const std::vector<NodeId>& nodes) {
+  Polyline line;
+  for (NodeId v : nodes) {
+    if (v < network.NumNodes()) line.Append(network.NodePosition(v));
+  }
+  return line;
+}
+
+double CongestedTravelSeconds(
+    const RoadNetwork& network, const RouteMetrics& route,
+    const std::function<double(const Edge&)>& speed_factor) {
+  double total = 0.0;
+  for (EdgeId e : route.edges) {
+    const Edge& edge = network.edge(e);
+    double factor = std::clamp(speed_factor(edge), 1e-3, 1.0);
+    total += edge.FreeFlowSeconds() / factor;
+  }
+  return total;
+}
+
+}  // namespace ecocharge

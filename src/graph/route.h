@@ -1,0 +1,37 @@
+#ifndef ECOCHARGE_GRAPH_ROUTE_H_
+#define ECOCHARGE_GRAPH_ROUTE_H_
+
+#include <vector>
+
+#include "geo/polyline.h"
+#include "graph/shortest_path.h"
+
+namespace ecocharge {
+
+/// \brief Physical properties of a concrete route through the network.
+struct RouteMetrics {
+  double length_m = 0.0;
+  double free_flow_s = 0.0;       ///< travel time at free-flow speeds
+  std::vector<EdgeId> edges;      ///< the edges traversed, in order
+};
+
+/// Resolves the edge sequence and metrics of a node path (as returned by
+/// the shortest-path searches). When consecutive nodes are joined by
+/// multiple parallel edges, the cheapest by length is chosen. Fails if two
+/// consecutive nodes are not adjacent.
+Result<RouteMetrics> ResolveRoute(const RoadNetwork& network,
+                                  const std::vector<NodeId>& nodes);
+
+/// The route's geometry as a polyline over node positions.
+Polyline RouteGeometry(const RoadNetwork& network,
+                       const std::vector<NodeId>& nodes);
+
+/// Travel time of a resolved route under per-edge speed factors in (0, 1]
+/// supplied by `speed_factor(edge)` (e.g. the congestion model), seconds.
+double CongestedTravelSeconds(
+    const RoadNetwork& network, const RouteMetrics& route,
+    const std::function<double(const Edge&)>& speed_factor);
+
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_GRAPH_ROUTE_H_

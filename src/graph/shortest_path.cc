@@ -1,0 +1,302 @@
+#include "graph/shortest_path.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace ecocharge {
+
+double LengthCost(const Edge& e) { return e.length_m; }
+
+double FreeFlowTimeCost(const Edge& e) { return e.FreeFlowSeconds(); }
+
+DijkstraSearch::DijkstraSearch(const RoadNetwork& network)
+    : network_(network),
+      dist_(network.NumNodes(), kInfiniteCost),
+      parent_(network.NumNodes(), kInvalidNode),
+      version_(network.NumNodes(), 0) {}
+
+void DijkstraSearch::NewEpoch() {
+  ++epoch_;
+  if (epoch_ == 0) {
+    // Wrapped around: hard reset.
+    std::fill(version_.begin(), version_.end(), 0);
+    epoch_ = 1;
+  }
+  last_settled_ = 0;
+}
+
+std::vector<NodeId> DijkstraSearch::ReconstructPath(NodeId source,
+                                                    NodeId target) const {
+  std::vector<NodeId> nodes;
+  NodeId v = target;
+  while (v != kInvalidNode) {
+    nodes.push_back(v);
+    if (v == source) break;
+    v = parent_[v];
+  }
+  std::reverse(nodes.begin(), nodes.end());
+  return nodes;
+}
+
+namespace {
+
+struct HeapEntry {
+  double priority;
+  NodeId node;
+  bool operator>(const HeapEntry& o) const { return priority > o.priority; }
+};
+
+using MinHeap =
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>>;
+
+}  // namespace
+
+PathResult DijkstraSearch::ShortestPath(NodeId source, NodeId target,
+                                        const EdgeCostFn& cost) {
+  PathResult result;
+  if (source >= network_.NumNodes() || target >= network_.NumNodes()) {
+    return result;
+  }
+  NewEpoch();
+  MinHeap heap;
+  dist_[source] = 0.0;
+  parent_[source] = kInvalidNode;
+  version_[source] = epoch_;
+  heap.push({0.0, source});
+  std::vector<char> settled(network_.NumNodes(), 0);
+
+  while (!heap.empty()) {
+    auto [d, v] = heap.top();
+    heap.pop();
+    if (settled[v]) continue;
+    settled[v] = 1;
+    ++last_settled_;
+    if (v == target) {
+      result.cost = dist_[v];
+      result.nodes = ReconstructPath(source, target);
+      return result;
+    }
+    for (EdgeId eid : network_.OutEdges(v)) {
+      const Edge& e = network_.edge(eid);
+      double nd = dist_[v] + cost(e);
+      if (version_[e.to] != epoch_ || nd < dist_[e.to]) {
+        version_[e.to] = epoch_;
+        dist_[e.to] = nd;
+        parent_[e.to] = v;
+        heap.push({nd, e.to});
+      }
+    }
+  }
+  return result;  // unreachable
+}
+
+PathResult DijkstraSearch::AStar(NodeId source, NodeId target,
+                                 const EdgeCostFn& cost,
+                                 double heuristic_scale) {
+  PathResult result;
+  if (source >= network_.NumNodes() || target >= network_.NumNodes()) {
+    return result;
+  }
+  NewEpoch();
+  const Point& goal = network_.NodePosition(target);
+  auto h = [&](NodeId v) {
+    return Distance(network_.NodePosition(v), goal) * heuristic_scale;
+  };
+  MinHeap heap;
+  dist_[source] = 0.0;
+  parent_[source] = kInvalidNode;
+  version_[source] = epoch_;
+  heap.push({h(source), source});
+  std::vector<char> settled(network_.NumNodes(), 0);
+
+  while (!heap.empty()) {
+    auto [f, v] = heap.top();
+    heap.pop();
+    if (settled[v]) continue;
+    settled[v] = 1;
+    ++last_settled_;
+    if (v == target) {
+      result.cost = dist_[v];
+      result.nodes = ReconstructPath(source, target);
+      return result;
+    }
+    for (EdgeId eid : network_.OutEdges(v)) {
+      const Edge& e = network_.edge(eid);
+      double nd = dist_[v] + cost(e);
+      if (version_[e.to] != epoch_ || nd < dist_[e.to]) {
+        version_[e.to] = epoch_;
+        dist_[e.to] = nd;
+        parent_[e.to] = v;
+        heap.push({nd + h(e.to), e.to});
+      }
+    }
+  }
+  return result;
+}
+
+size_t DijkstraSearch::OneToMany(NodeId source, double max_cost,
+                                 const EdgeCostFn& cost,
+                                 std::vector<NodeId>* settled_out) {
+  if (source >= network_.NumNodes()) return 0;
+  NewEpoch();
+  if (settled_out) settled_out->clear();
+  MinHeap heap;
+  dist_[source] = 0.0;
+  parent_[source] = kInvalidNode;
+  version_[source] = epoch_;
+  heap.push({0.0, source});
+  std::vector<char> settled(network_.NumNodes(), 0);
+
+  while (!heap.empty()) {
+    auto [d, v] = heap.top();
+    heap.pop();
+    if (settled[v]) continue;
+    if (d > max_cost) break;
+    settled[v] = 1;
+    ++last_settled_;
+    if (settled_out) settled_out->push_back(v);
+    for (EdgeId eid : network_.OutEdges(v)) {
+      const Edge& e = network_.edge(eid);
+      double nd = dist_[v] + cost(e);
+      if (nd > max_cost) continue;
+      if (version_[e.to] != epoch_ || nd < dist_[e.to]) {
+        version_[e.to] = epoch_;
+        dist_[e.to] = nd;
+        parent_[e.to] = v;
+        heap.push({nd, e.to});
+      }
+    }
+  }
+  return last_settled_;
+}
+
+PathResult BidirectionalShortestPath(const RoadNetwork& network,
+                                     NodeId source, NodeId target,
+                                     const EdgeCostFn& cost) {
+  PathResult result;
+  size_t n = network.NumNodes();
+  if (source >= n || target >= n) return result;
+  if (source == target) {
+    result.cost = 0.0;
+    result.nodes = {source};
+    return result;
+  }
+
+  // State per direction: 0 = forward from source, 1 = backward from target.
+  std::vector<double> dist[2] = {std::vector<double>(n, kInfiniteCost),
+                                 std::vector<double>(n, kInfiniteCost)};
+  std::vector<NodeId> parent[2] = {std::vector<NodeId>(n, kInvalidNode),
+                                   std::vector<NodeId>(n, kInvalidNode)};
+  std::vector<char> settled[2] = {std::vector<char>(n, 0),
+                                  std::vector<char>(n, 0)};
+  MinHeap heap[2];
+  dist[0][source] = 0.0;
+  dist[1][target] = 0.0;
+  heap[0].push({0.0, source});
+  heap[1].push({0.0, target});
+
+  double best = kInfiniteCost;
+  NodeId meeting = kInvalidNode;
+
+  while (!heap[0].empty() || !heap[1].empty()) {
+    // Alternate on the smaller frontier top.
+    int side;
+    if (heap[0].empty()) {
+      side = 1;
+    } else if (heap[1].empty()) {
+      side = 0;
+    } else {
+      side = heap[0].top().priority <= heap[1].top().priority ? 0 : 1;
+    }
+    auto [d, v] = heap[side].top();
+    heap[side].pop();
+    if (settled[side][v]) continue;
+    settled[side][v] = 1;
+
+    // Termination: once the two settled radii together exceed the best
+    // connection found, no better path exists.
+    double other_top =
+        heap[1 - side].empty() ? kInfiniteCost : heap[1 - side].top().priority;
+    if (d + (std::isfinite(other_top) ? other_top : 0.0) >= best &&
+        std::isfinite(best)) {
+      break;
+    }
+
+    bool forward = side == 0;
+    auto edge_ids = forward ? network.OutEdges(v) : network.InEdges(v);
+    for (EdgeId eid : edge_ids) {
+      const Edge& e = network.edge(eid);
+      NodeId w = forward ? e.to : e.from;
+      double nd = d + cost(e);
+      if (nd < dist[side][w]) {
+        dist[side][w] = nd;
+        parent[side][w] = v;
+        heap[side].push({nd, w});
+      }
+      // Candidate connection through w.
+      double via = dist[side][w] + dist[1 - side][w];
+      if (via < best) {
+        best = via;
+        meeting = w;
+      }
+    }
+  }
+
+  if (meeting == kInvalidNode || !std::isfinite(best)) return result;
+  // Report the cost consistent with the final parent pointers (distances
+  // can only have improved since `best` was last updated).
+  result.cost = dist[0][meeting] + dist[1][meeting];
+  // Forward half: meeting back to source.
+  std::vector<NodeId> forward_half;
+  for (NodeId v = meeting; v != kInvalidNode; v = parent[0][v]) {
+    forward_half.push_back(v);
+    if (v == source) break;
+  }
+  std::reverse(forward_half.begin(), forward_half.end());
+  // Backward half: meeting toward target (parents lead to target).
+  std::vector<NodeId> backward_half;
+  for (NodeId v = parent[1][meeting]; v != kInvalidNode; v = parent[1][v]) {
+    backward_half.push_back(v);
+    if (v == target) break;
+  }
+  result.nodes = std::move(forward_half);
+  result.nodes.insert(result.nodes.end(), backward_half.begin(),
+                      backward_half.end());
+  return result;
+}
+
+PathResult BellmanFordShortestPath(const RoadNetwork& network, NodeId source,
+                                   NodeId target, const EdgeCostFn& cost) {
+  PathResult result;
+  size_t n = network.NumNodes();
+  if (source >= n || target >= n) return result;
+  std::vector<double> dist(n, kInfiniteCost);
+  std::vector<NodeId> parent(n, kInvalidNode);
+  dist[source] = 0.0;
+  bool changed = true;
+  for (size_t round = 0; round + 1 < n && changed; ++round) {
+    changed = false;
+    for (EdgeId eid = 0; eid < network.NumEdges(); ++eid) {
+      const Edge& e = network.edge(eid);
+      if (dist[e.from] == kInfiniteCost) continue;
+      double nd = dist[e.from] + cost(e);
+      if (nd < dist[e.to]) {
+        dist[e.to] = nd;
+        parent[e.to] = e.from;
+        changed = true;
+      }
+    }
+  }
+  if (dist[target] == kInfiniteCost) return result;
+  result.cost = dist[target];
+  NodeId v = target;
+  while (v != kInvalidNode) {
+    result.nodes.push_back(v);
+    if (v == source) break;
+    v = parent[v];
+  }
+  std::reverse(result.nodes.begin(), result.nodes.end());
+  return result;
+}
+
+}  // namespace ecocharge

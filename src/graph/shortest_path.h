@@ -1,0 +1,95 @@
+#ifndef ECOCHARGE_GRAPH_SHORTEST_PATH_H_
+#define ECOCHARGE_GRAPH_SHORTEST_PATH_H_
+
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "graph/road_network.h"
+
+namespace ecocharge {
+
+/// Sentinel for "unreachable".
+inline constexpr double kInfiniteCost = std::numeric_limits<double>::infinity();
+
+/// \brief Per-edge cost functor. Defaults to geometric length; the traffic
+/// module supplies time-dependent travel-time costs.
+using EdgeCostFn = std::function<double(const Edge&)>;
+
+/// Edge cost = length in meters.
+double LengthCost(const Edge& e);
+
+/// Edge cost = free-flow travel time in seconds.
+double FreeFlowTimeCost(const Edge& e);
+
+/// \brief A shortest path: total cost plus the node sequence.
+struct PathResult {
+  double cost = kInfiniteCost;
+  std::vector<NodeId> nodes;  ///< empty when unreachable
+
+  bool Reachable() const { return cost < kInfiniteCost; }
+};
+
+/// \brief Reusable Dijkstra workspace over one network.
+///
+/// Distances and parents are version-stamped so consecutive queries cost
+/// O(visited) rather than O(V) to reset — the pattern the CkNN literature
+/// uses for repeated searches from a moving query point.
+class DijkstraSearch {
+ public:
+  explicit DijkstraSearch(const RoadNetwork& network);
+
+  /// Single-source single-target; stops as soon as `target` is settled.
+  PathResult ShortestPath(NodeId source, NodeId target,
+                          const EdgeCostFn& cost = LengthCost);
+
+  /// A* with a Euclidean-distance admissible heuristic (only valid for
+  /// length costs, or time costs divided by max speed — the caller passes
+  /// `heuristic_scale` = 1/max_speed for time costs, 1.0 for length).
+  PathResult AStar(NodeId source, NodeId target,
+                   const EdgeCostFn& cost = LengthCost,
+                   double heuristic_scale = 1.0);
+
+  /// Single-source costs to every node within `max_cost` (unreached nodes
+  /// report kInfiniteCost). Returns the settled node count.
+  size_t OneToMany(NodeId source, double max_cost, const EdgeCostFn& cost,
+                   std::vector<NodeId>* settled = nullptr);
+
+  /// Cost to `v` after the last OneToMany/ShortestPath call that settled it
+  /// in the current epoch; kInfiniteCost otherwise.
+  double CostTo(NodeId v) const {
+    return version_[v] == epoch_ ? dist_[v] : kInfiniteCost;
+  }
+
+  /// Number of heap pops in the last query (exposed for benchmarks).
+  size_t last_settled_count() const { return last_settled_; }
+
+ private:
+  void NewEpoch();
+  std::vector<NodeId> ReconstructPath(NodeId source, NodeId target) const;
+
+  const RoadNetwork& network_;
+  std::vector<double> dist_;
+  std::vector<NodeId> parent_;
+  std::vector<uint32_t> version_;
+  uint32_t epoch_ = 0;
+  size_t last_settled_ = 0;
+};
+
+/// \brief Bellman-Ford reference implementation (O(VE)); used by tests as
+/// ground truth for Dijkstra/A*.
+PathResult BellmanFordShortestPath(const RoadNetwork& network, NodeId source,
+                                   NodeId target,
+                                   const EdgeCostFn& cost = LengthCost);
+
+/// \brief Bidirectional Dijkstra: alternating forward and backward
+/// expansions meeting in the middle; settles roughly half the nodes of the
+/// unidirectional search on long queries. Cost function must be symmetric
+/// in time (it is evaluated once per edge, like the other searches).
+PathResult BidirectionalShortestPath(const RoadNetwork& network,
+                                     NodeId source, NodeId target,
+                                     const EdgeCostFn& cost = LengthCost);
+
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_GRAPH_SHORTEST_PATH_H_

@@ -1,0 +1,50 @@
+#include "spatial/aknn.h"
+
+#include <algorithm>
+
+#include "spatial/grid_index.h"
+
+namespace ecocharge {
+
+std::vector<std::vector<Neighbor>> ComputeAllKnnNaive(
+    const std::vector<Point>& points, size_t k) {
+  std::vector<std::vector<Neighbor>> result(points.size());
+  for (uint32_t i = 0; i < points.size(); ++i) {
+    std::vector<Neighbor> all;
+    all.reserve(points.size() - 1);
+    for (uint32_t j = 0; j < points.size(); ++j) {
+      if (j == i) continue;
+      all.push_back({j, Distance(points[i], points[j])});
+    }
+    size_t take = std::min(k, all.size());
+    std::partial_sort(all.begin(), all.begin() + take, all.end(),
+                      spatial_internal::NeighborLess);
+    all.resize(take);
+    result[i] = std::move(all);
+  }
+  return result;
+}
+
+std::vector<std::vector<Neighbor>> ComputeAllKnn(
+    const std::vector<Point>& points, size_t k) {
+  std::vector<std::vector<Neighbor>> result(points.size());
+  if (points.empty() || k == 0) return result;
+
+  // One shared grid; per point, Knn(k+1) and drop the self hit. The grid's
+  // ring expansion makes each query O(k) expected on uniform data.
+  GridIndex grid;
+  grid.Build(points);
+  for (uint32_t i = 0; i < points.size(); ++i) {
+    std::vector<Neighbor> with_self = grid.Knn(points[i], k + 1);
+    std::vector<Neighbor>& row = result[i];
+    row.reserve(k);
+    for (const Neighbor& n : with_self) {
+      if (n.id == i) continue;
+      if (row.size() == k) break;
+      row.push_back(n);
+    }
+  }
+  return result;
+}
+
+}  // namespace ecocharge

@@ -1,0 +1,33 @@
+#ifndef ECOCHARGE_SPATIAL_AKNN_H_
+#define ECOCHARGE_SPATIAL_AKNN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "spatial/spatial_index.h"
+
+namespace ecocharge {
+
+/// \brief All-kNN (kNN self-join): for every point, its k nearest other
+/// points.
+///
+/// Section VI-B of the paper points at its authors' Spitfire operator as
+/// the building block for running EcoCharge centrally (Mode 2): the EIS
+/// can precompute the kNN graph over the charger directory and answer
+/// many vehicles from it. This is a single-node, main-memory version:
+/// a batched sweep over a uniform grid with ring expansion per point —
+/// O(n k) expected on uniform data versus the quadratic naive join.
+///
+/// Results exclude the point itself; ids with identical coordinates are
+/// each other's neighbors at distance 0. Every row is sorted ascending by
+/// (distance, id), matching the SpatialIndex convention.
+std::vector<std::vector<Neighbor>> ComputeAllKnn(
+    const std::vector<Point>& points, size_t k);
+
+/// Reference O(n^2) implementation for testing and small inputs.
+std::vector<std::vector<Neighbor>> ComputeAllKnnNaive(
+    const std::vector<Point>& points, size_t k);
+
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_SPATIAL_AKNN_H_

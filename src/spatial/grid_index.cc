@@ -1,0 +1,145 @@
+#include "spatial/grid_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace ecocharge {
+
+GridIndex::GridIndex(double target_points_per_cell)
+    : target_points_per_cell_(std::max(0.5, target_points_per_cell)) {}
+
+void GridIndex::CellOf(const Point& p, int* cx, int* cy) const {
+  *cx = std::clamp(
+      static_cast<int>((p.x - bounds_.min.x) / cell_size_), 0, nx_ - 1);
+  *cy = std::clamp(
+      static_cast<int>((p.y - bounds_.min.y) / cell_size_), 0, ny_ - 1);
+}
+
+void GridIndex::Build(std::vector<Point> points) {
+  points_ = std::move(points);
+  cells_.clear();
+  nx_ = ny_ = 0;
+  if (points_.empty()) return;
+
+  bounds_ = BoundingBox();
+  for (const Point& p : points_) bounds_.Extend(p);
+  double w = std::max(bounds_.Width(), 1.0);
+  double h = std::max(bounds_.Height(), 1.0);
+  double area = w * h;
+  cell_size_ = std::sqrt(area * target_points_per_cell_ /
+                         static_cast<double>(points_.size()));
+  cell_size_ = std::max(cell_size_, 1e-6);
+  nx_ = std::max(1, static_cast<int>(std::ceil(w / cell_size_)));
+  ny_ = std::max(1, static_cast<int>(std::ceil(h / cell_size_)));
+  // Cap the table size for pathological inputs (huge extent, few points).
+  const int64_t kMaxCells = 1 << 22;
+  while (static_cast<int64_t>(nx_) * ny_ > kMaxCells) {
+    cell_size_ *= 2.0;
+    nx_ = std::max(1, static_cast<int>(std::ceil(w / cell_size_)));
+    ny_ = std::max(1, static_cast<int>(std::ceil(h / cell_size_)));
+  }
+  cells_.assign(static_cast<size_t>(nx_) * ny_, {});
+  for (uint32_t id = 0; id < points_.size(); ++id) {
+    int cx, cy;
+    CellOf(points_[id], &cx, &cy);
+    cells_[CellIndex(cx, cy)].push_back(id);
+  }
+}
+
+std::vector<Neighbor> GridIndex::Knn(const Point& query, size_t k) const {
+  std::vector<Neighbor> result;
+  if (points_.empty() || k == 0) return result;
+
+  auto worse = [](const Neighbor& a, const Neighbor& b) {
+    return spatial_internal::NeighborLess(a, b);
+  };
+  std::priority_queue<Neighbor, std::vector<Neighbor>, decltype(worse)> best(
+      worse);
+
+  int qcx, qcy;
+  CellOf(query, &qcx, &qcy);
+
+  // Ring-by-ring expansion: ring r covers every cell whose Chebyshev
+  // distance from the query cell is exactly r. Points closer than
+  // (r-1)*cell_size are guaranteed found once ring r-1 is scanned, so we
+  // stop when the k-th distance is below that bound.
+  int max_ring = std::max(nx_, ny_);
+  for (int r = 0; r <= max_ring; ++r) {
+    if (best.size() == static_cast<size_t>(k)) {
+      double safe = static_cast<double>(r - 1) * cell_size_;
+      if (safe >= 0.0 && best.top().distance <= safe) break;
+    }
+    bool any_cell = false;
+    auto scan_cell = [&](int cx, int cy) {
+      if (cx < 0 || cy < 0 || cx >= nx_ || cy >= ny_) return;
+      any_cell = true;
+      for (uint32_t id : cells_[CellIndex(cx, cy)]) {
+        Neighbor cand{id, Distance(points_[id], query)};
+        if (best.size() < k) {
+          best.push(cand);
+        } else if (worse(cand, best.top())) {
+          best.pop();
+          best.push(cand);
+        }
+      }
+    };
+    if (r == 0) {
+      scan_cell(qcx, qcy);
+    } else {
+      for (int dx = -r; dx <= r; ++dx) {
+        scan_cell(qcx + dx, qcy - r);
+        scan_cell(qcx + dx, qcy + r);
+      }
+      for (int dy = -r + 1; dy <= r - 1; ++dy) {
+        scan_cell(qcx - r, qcy + dy);
+        scan_cell(qcx + r, qcy + dy);
+      }
+    }
+    if (!any_cell && best.size() == k) break;
+  }
+
+  result.resize(best.size());
+  for (size_t i = result.size(); i-- > 0;) {
+    result[i] = best.top();
+    best.pop();
+  }
+  return result;
+}
+
+std::vector<Neighbor> GridIndex::RangeSearch(const Point& query,
+                                             double radius) const {
+  std::vector<Neighbor> out;
+  if (points_.empty()) return out;
+  int cx0, cy0, cx1, cy1;
+  CellOf({query.x - radius, query.y - radius}, &cx0, &cy0);
+  CellOf({query.x + radius, query.y + radius}, &cx1, &cy1);
+  for (int cy = cy0; cy <= cy1; ++cy) {
+    for (int cx = cx0; cx <= cx1; ++cx) {
+      for (uint32_t id : cells_[CellIndex(cx, cy)]) {
+        double d = Distance(points_[id], query);
+        if (d <= radius) out.push_back({id, d});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(), spatial_internal::NeighborLess);
+  return out;
+}
+
+std::vector<uint32_t> GridIndex::BoxSearch(const BoundingBox& box) const {
+  std::vector<uint32_t> out;
+  if (points_.empty()) return out;
+  int cx0, cy0, cx1, cy1;
+  CellOf(box.min, &cx0, &cy0);
+  CellOf(box.max, &cx1, &cy1);
+  for (int cy = cy0; cy <= cy1; ++cy) {
+    for (int cx = cx0; cx <= cx1; ++cx) {
+      for (uint32_t id : cells_[CellIndex(cx, cy)]) {
+        if (box.Contains(points_[id])) out.push_back(id);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ecocharge

@@ -1,0 +1,51 @@
+#ifndef ECOCHARGE_SPATIAL_GRID_INDEX_H_
+#define ECOCHARGE_SPATIAL_GRID_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "spatial/spatial_index.h"
+
+namespace ecocharge {
+
+/// \brief Uniform-grid index, the main-memory structure the CkNN monitoring
+/// literature (Mouratidis/Hu/Yu, Section VI-B of the paper) builds on.
+///
+/// kNN expands rings of cells outward from the query cell until the k-th
+/// best distance is covered — the "iterative deepening of a range search"
+/// those systems use. Best when points are roughly uniform; the quadtree is
+/// preferred for heavily skewed charger layouts.
+class GridIndex : public SpatialIndex {
+ public:
+  /// \param target_points_per_cell controls the automatic cell size:
+  ///   cell_size = sqrt(area * target / n) when Build() is called.
+  explicit GridIndex(double target_points_per_cell = 4.0);
+
+  void Build(std::vector<Point> points) override;
+  size_t size() const override { return points_.size(); }
+  std::vector<Neighbor> Knn(const Point& query, size_t k) const override;
+  std::vector<Neighbor> RangeSearch(const Point& query,
+                                    double radius) const override;
+  std::vector<uint32_t> BoxSearch(const BoundingBox& box) const override;
+
+  double cell_size() const { return cell_size_; }
+  size_t num_cells() const { return cells_.size(); }
+
+ private:
+  int64_t CellIndex(int cx, int cy) const {
+    return static_cast<int64_t>(cy) * nx_ + cx;
+  }
+  void CellOf(const Point& p, int* cx, int* cy) const;
+
+  double target_points_per_cell_;
+  BoundingBox bounds_;
+  double cell_size_ = 1.0;
+  int nx_ = 0;
+  int ny_ = 0;
+  std::vector<Point> points_;
+  std::vector<std::vector<uint32_t>> cells_;
+};
+
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_SPATIAL_GRID_INDEX_H_

@@ -1,0 +1,127 @@
+#include "spatial/kdtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace ecocharge {
+
+void KdTree::Build(std::vector<Point> points) {
+  points_ = std::move(points);
+  nodes_.clear();
+  root_ = kNil;
+  if (points_.empty()) return;
+  nodes_.reserve(points_.size());
+  std::vector<uint32_t> ids(points_.size());
+  for (uint32_t i = 0; i < points_.size(); ++i) ids[i] = i;
+  root_ = BuildRecursive(ids, 0, ids.size(), 0);
+}
+
+uint32_t KdTree::BuildRecursive(std::vector<uint32_t>& ids, size_t lo,
+                                size_t hi, int depth) {
+  if (lo >= hi) return kNil;
+  uint8_t axis = static_cast<uint8_t>(depth & 1);
+  size_t mid = lo + (hi - lo) / 2;
+  std::nth_element(ids.begin() + lo, ids.begin() + mid, ids.begin() + hi,
+                   [&](uint32_t a, uint32_t b) {
+                     double va = axis == 0 ? points_[a].x : points_[a].y;
+                     double vb = axis == 0 ? points_[b].x : points_[b].y;
+                     if (va != vb) return va < vb;
+                     return a < b;
+                   });
+  uint32_t node_index = static_cast<uint32_t>(nodes_.size());
+  nodes_.push_back(Node{ids[mid], kNil, kNil, axis});
+  uint32_t left = BuildRecursive(ids, lo, mid, depth + 1);
+  uint32_t right = BuildRecursive(ids, mid + 1, hi, depth + 1);
+  nodes_[node_index].left = left;
+  nodes_[node_index].right = right;
+  return node_index;
+}
+
+std::vector<Neighbor> KdTree::Knn(const Point& query, size_t k) const {
+  std::vector<Neighbor> result;
+  if (root_ == kNil || k == 0) return result;
+
+  auto worse = [](const Neighbor& a, const Neighbor& b) {
+    return spatial_internal::NeighborLess(a, b);
+  };
+  std::priority_queue<Neighbor, std::vector<Neighbor>, decltype(worse)> best(
+      worse);
+
+  // Iterative DFS with pruning on the splitting-plane distance.
+  std::vector<uint32_t> stack = {root_};
+  while (!stack.empty()) {
+    uint32_t ni = stack.back();
+    stack.pop_back();
+    if (ni == kNil) continue;
+    const Node& node = nodes_[ni];
+    const Point& p = points_[node.point_id];
+    Neighbor cand{node.point_id, Distance(p, query)};
+    if (best.size() < k) {
+      best.push(cand);
+    } else if (worse(cand, best.top())) {
+      best.pop();
+      best.push(cand);
+    }
+    double qv = node.axis == 0 ? query.x : query.y;
+    double pv = node.axis == 0 ? p.x : p.y;
+    uint32_t near = qv < pv ? node.left : node.right;
+    uint32_t far = qv < pv ? node.right : node.left;
+    double plane = std::abs(qv - pv);
+    if (far != kNil && (best.size() < k || plane <= best.top().distance)) {
+      stack.push_back(far);
+    }
+    if (near != kNil) stack.push_back(near);
+  }
+
+  result.resize(best.size());
+  for (size_t i = result.size(); i-- > 0;) {
+    result[i] = best.top();
+    best.pop();
+  }
+  return result;
+}
+
+std::vector<Neighbor> KdTree::RangeSearch(const Point& query,
+                                          double radius) const {
+  std::vector<Neighbor> out;
+  if (root_ == kNil) return out;
+  std::vector<uint32_t> stack = {root_};
+  while (!stack.empty()) {
+    uint32_t ni = stack.back();
+    stack.pop_back();
+    if (ni == kNil) continue;
+    const Node& node = nodes_[ni];
+    const Point& p = points_[node.point_id];
+    double d = Distance(p, query);
+    if (d <= radius) out.push_back({node.point_id, d});
+    double qv = node.axis == 0 ? query.x : query.y;
+    double pv = node.axis == 0 ? p.x : p.y;
+    if (qv - radius <= pv && node.left != kNil) stack.push_back(node.left);
+    if (qv + radius >= pv && node.right != kNil) stack.push_back(node.right);
+  }
+  std::sort(out.begin(), out.end(), spatial_internal::NeighborLess);
+  return out;
+}
+
+std::vector<uint32_t> KdTree::BoxSearch(const BoundingBox& box) const {
+  std::vector<uint32_t> out;
+  if (root_ == kNil) return out;
+  std::vector<uint32_t> stack = {root_};
+  while (!stack.empty()) {
+    uint32_t ni = stack.back();
+    stack.pop_back();
+    if (ni == kNil) continue;
+    const Node& node = nodes_[ni];
+    const Point& p = points_[node.point_id];
+    if (box.Contains(p)) out.push_back(node.point_id);
+    double pv = node.axis == 0 ? p.x : p.y;
+    double lo = node.axis == 0 ? box.min.x : box.min.y;
+    double hi = node.axis == 0 ? box.max.x : box.max.y;
+    if (lo <= pv && node.left != kNil) stack.push_back(node.left);
+    if (hi >= pv && node.right != kNil) stack.push_back(node.right);
+  }
+  return out;
+}
+
+}  // namespace ecocharge

@@ -1,0 +1,47 @@
+#ifndef ECOCHARGE_SPATIAL_KDTREE_H_
+#define ECOCHARGE_SPATIAL_KDTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "spatial/spatial_index.h"
+
+namespace ecocharge {
+
+/// \brief Static balanced kd-tree built by median splits.
+///
+/// Included alongside the quadtree so the micro-benchmarks can compare
+/// index families; the EcoCharge pipeline itself uses the quadtree (to match
+/// the paper's baseline) and the grid (for CkNN monitoring experiments).
+class KdTree : public SpatialIndex {
+ public:
+  KdTree() = default;
+
+  void Build(std::vector<Point> points) override;
+  size_t size() const override { return points_.size(); }
+  std::vector<Neighbor> Knn(const Point& query, size_t k) const override;
+  std::vector<Neighbor> RangeSearch(const Point& query,
+                                    double radius) const override;
+  std::vector<uint32_t> BoxSearch(const BoundingBox& box) const override;
+
+ private:
+  static constexpr uint32_t kNil = 0xFFFFFFFFu;
+
+  struct Node {
+    uint32_t point_id = 0;
+    uint32_t left = kNil;
+    uint32_t right = kNil;
+    uint8_t axis = 0;
+  };
+
+  uint32_t BuildRecursive(std::vector<uint32_t>& ids, size_t lo, size_t hi,
+                          int depth);
+
+  std::vector<Point> points_;
+  std::vector<Node> nodes_;
+  uint32_t root_ = kNil;
+};
+
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_SPATIAL_KDTREE_H_

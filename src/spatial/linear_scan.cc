@@ -1,0 +1,45 @@
+#include "spatial/linear_scan.h"
+
+#include <algorithm>
+
+namespace ecocharge {
+
+void LinearScanIndex::Build(std::vector<Point> points) {
+  points_ = std::move(points);
+}
+
+std::vector<Neighbor> LinearScanIndex::Knn(const Point& query,
+                                           size_t k) const {
+  std::vector<Neighbor> all;
+  all.reserve(points_.size());
+  for (size_t i = 0; i < points_.size(); ++i) {
+    all.push_back({static_cast<uint32_t>(i), Distance(points_[i], query)});
+  }
+  size_t take = std::min(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + take, all.end(),
+                    spatial_internal::NeighborLess);
+  all.resize(take);
+  return all;
+}
+
+std::vector<Neighbor> LinearScanIndex::RangeSearch(const Point& query,
+                                                   double radius) const {
+  std::vector<Neighbor> out;
+  for (size_t i = 0; i < points_.size(); ++i) {
+    double d = Distance(points_[i], query);
+    if (d <= radius) out.push_back({static_cast<uint32_t>(i), d});
+  }
+  std::sort(out.begin(), out.end(), spatial_internal::NeighborLess);
+  return out;
+}
+
+std::vector<uint32_t> LinearScanIndex::BoxSearch(
+    const BoundingBox& box) const {
+  std::vector<uint32_t> out;
+  for (size_t i = 0; i < points_.size(); ++i) {
+    if (box.Contains(points_[i])) out.push_back(static_cast<uint32_t>(i));
+  }
+  return out;
+}
+
+}  // namespace ecocharge

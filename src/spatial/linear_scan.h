@@ -1,0 +1,29 @@
+#ifndef ECOCHARGE_SPATIAL_LINEAR_SCAN_H_
+#define ECOCHARGE_SPATIAL_LINEAR_SCAN_H_
+
+#include <vector>
+
+#include "spatial/spatial_index.h"
+
+namespace ecocharge {
+
+/// \brief O(n) reference implementation; the ground truth the tree indexes
+/// are tested against, and the core of the paper's Brute-Force baseline.
+class LinearScanIndex : public SpatialIndex {
+ public:
+  LinearScanIndex() = default;
+
+  void Build(std::vector<Point> points) override;
+  size_t size() const override { return points_.size(); }
+  std::vector<Neighbor> Knn(const Point& query, size_t k) const override;
+  std::vector<Neighbor> RangeSearch(const Point& query,
+                                    double radius) const override;
+  std::vector<uint32_t> BoxSearch(const BoundingBox& box) const override;
+
+ private:
+  std::vector<Point> points_;
+};
+
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_SPATIAL_LINEAR_SCAN_H_

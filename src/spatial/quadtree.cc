@@ -1,0 +1,195 @@
+#include "spatial/quadtree.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace ecocharge {
+
+QuadTree::QuadTree(size_t bucket_capacity, int max_depth)
+    : bucket_capacity_(std::max<size_t>(1, bucket_capacity)),
+      max_depth_(max_depth) {}
+
+void QuadTree::Build(std::vector<Point> points) {
+  points_ = std::move(points);
+  nodes_.clear();
+  if (points_.empty()) return;
+
+  BoundingBox bounds;
+  for (const Point& p : points_) bounds.Extend(p);
+  // Expand slightly so boundary points are strictly inside and a degenerate
+  // (all-identical) cloud still yields a valid box.
+  double margin = std::max(1.0, std::max(bounds.Width(), bounds.Height())) *
+                  1e-9;
+  bounds = bounds.Expanded(margin);
+
+  Node root;
+  root.bounds = bounds;
+  nodes_.push_back(std::move(root));
+  for (uint32_t id = 0; id < points_.size(); ++id) Insert(0, id);
+}
+
+int QuadTree::QuadrantOf(const Node& node, const Point& p) const {
+  Point c = node.bounds.Center();
+  int q = 0;
+  if (p.x >= c.x) q |= 1;
+  if (p.y >= c.y) q |= 2;
+  return q;
+}
+
+void QuadTree::Split(uint32_t node_index) {
+  // Note: creates the four children and redistributes items; the vector of
+  // nodes may reallocate, so re-fetch the node after each push_back.
+  Point c = nodes_[node_index].bounds.Center();
+  BoundingBox b = nodes_[node_index].bounds;
+  int child_depth = nodes_[node_index].depth + 1;
+  BoundingBox quads[4] = {
+      {{b.min.x, b.min.y}, {c.x, c.y}},
+      {{c.x, b.min.y}, {b.max.x, c.y}},
+      {{b.min.x, c.y}, {c.x, b.max.y}},
+      {{c.x, c.y}, {b.max.x, b.max.y}},
+  };
+  uint32_t first_child = static_cast<uint32_t>(nodes_.size());
+  for (int q = 0; q < 4; ++q) {
+    Node child;
+    child.bounds = quads[q];
+    child.depth = child_depth;
+    nodes_.push_back(std::move(child));
+  }
+  Node& node = nodes_[node_index];
+  for (int q = 0; q < 4; ++q) node.children[q] = first_child + q;
+  node.is_leaf = false;
+  std::vector<uint32_t> items = std::move(node.items);
+  node.items.clear();
+  for (uint32_t id : items) {
+    int q = QuadrantOf(nodes_[node_index], points_[id]);
+    nodes_[nodes_[node_index].children[q]].items.push_back(id);
+  }
+  // A child may now itself exceed capacity (all items in one quadrant);
+  // Insert() handles further splits lazily on the next insertion, so force
+  // the invariant here.
+  for (int q = 0; q < 4; ++q) {
+    uint32_t ci = nodes_[node_index].children[q];
+    if (nodes_[ci].items.size() > bucket_capacity_ &&
+        nodes_[ci].depth < max_depth_) {
+      Split(ci);
+    }
+  }
+}
+
+void QuadTree::Insert(uint32_t node_index, uint32_t point_id) {
+  uint32_t current = node_index;
+  while (!nodes_[current].is_leaf) {
+    int q = QuadrantOf(nodes_[current], points_[point_id]);
+    current = nodes_[current].children[q];
+  }
+  nodes_[current].items.push_back(point_id);
+  if (nodes_[current].items.size() > bucket_capacity_ &&
+      nodes_[current].depth < max_depth_) {
+    Split(current);
+  }
+}
+
+int QuadTree::depth() const {
+  int d = 0;
+  for (const Node& n : nodes_) d = std::max(d, n.depth);
+  return d;
+}
+
+std::vector<Neighbor> QuadTree::Knn(const Point& query, size_t k) const {
+  std::vector<Neighbor> result;
+  if (nodes_.empty() || k == 0) return result;
+
+  // Best-first search: a min-heap over (distance-to-box, node) frontier and
+  // a max-heap of the k best points found so far.
+  struct Frontier {
+    double dist;
+    uint32_t node;
+    bool operator>(const Frontier& o) const { return dist > o.dist; }
+  };
+  std::priority_queue<Frontier, std::vector<Frontier>, std::greater<>> open;
+  open.push({nodes_[0].bounds.DistanceTo(query), 0});
+
+  auto worse = [](const Neighbor& a, const Neighbor& b) {
+    return spatial_internal::NeighborLess(a, b);
+  };
+  std::priority_queue<Neighbor, std::vector<Neighbor>, decltype(worse)> best(
+      worse);
+
+  while (!open.empty()) {
+    Frontier f = open.top();
+    open.pop();
+    if (best.size() == k && f.dist > best.top().distance) break;
+    const Node& node = nodes_[f.node];
+    if (node.is_leaf) {
+      for (uint32_t id : node.items) {
+        double d = Distance(points_[id], query);
+        Neighbor cand{id, d};
+        if (best.size() < k) {
+          best.push(cand);
+        } else if (worse(cand, best.top())) {
+          best.pop();
+          best.push(cand);
+        }
+      }
+    } else {
+      for (uint32_t child : node.children) {
+        double d = nodes_[child].bounds.DistanceTo(query);
+        if (best.size() < k || d <= best.top().distance) {
+          open.push({d, child});
+        }
+      }
+    }
+  }
+
+  result.resize(best.size());
+  for (size_t i = result.size(); i-- > 0;) {
+    result[i] = best.top();
+    best.pop();
+  }
+  return result;
+}
+
+std::vector<Neighbor> QuadTree::RangeSearch(const Point& query,
+                                            double radius) const {
+  std::vector<Neighbor> out;
+  if (nodes_.empty()) return out;
+  std::vector<uint32_t> stack = {0};
+  while (!stack.empty()) {
+    uint32_t ni = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[ni];
+    if (node.bounds.DistanceTo(query) > radius) continue;
+    if (node.is_leaf) {
+      for (uint32_t id : node.items) {
+        double d = Distance(points_[id], query);
+        if (d <= radius) out.push_back({id, d});
+      }
+    } else {
+      for (uint32_t child : node.children) stack.push_back(child);
+    }
+  }
+  std::sort(out.begin(), out.end(), spatial_internal::NeighborLess);
+  return out;
+}
+
+std::vector<uint32_t> QuadTree::BoxSearch(const BoundingBox& box) const {
+  std::vector<uint32_t> out;
+  if (nodes_.empty()) return out;
+  std::vector<uint32_t> stack = {0};
+  while (!stack.empty()) {
+    uint32_t ni = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[ni];
+    if (!node.bounds.Intersects(box)) continue;
+    if (node.is_leaf) {
+      for (uint32_t id : node.items) {
+        if (box.Contains(points_[id])) out.push_back(id);
+      }
+    } else {
+      for (uint32_t child : node.children) stack.push_back(child);
+    }
+  }
+  return out;
+}
+
+}  // namespace ecocharge

@@ -1,0 +1,59 @@
+#ifndef ECOCHARGE_SPATIAL_QUADTREE_H_
+#define ECOCHARGE_SPATIAL_QUADTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "spatial/spatial_index.h"
+
+namespace ecocharge {
+
+/// \brief Point-region quadtree; the paper's "Index-Quadtree" baseline.
+///
+/// Space is recursively split into four quadrants once a leaf exceeds its
+/// bucket capacity. kNN runs best-first over quadrants ordered by minimum
+/// distance; range and box queries prune whole quadrants. Nodes live in a
+/// flat arena (indices, not pointers) for locality.
+class QuadTree : public SpatialIndex {
+ public:
+  /// \param bucket_capacity maximum points per leaf before it splits
+  /// \param max_depth hard split limit (guards degenerate duplicates)
+  explicit QuadTree(size_t bucket_capacity = 16, int max_depth = 32);
+
+  void Build(std::vector<Point> points) override;
+  size_t size() const override { return points_.size(); }
+  std::vector<Neighbor> Knn(const Point& query, size_t k) const override;
+  std::vector<Neighbor> RangeSearch(const Point& query,
+                                    double radius) const override;
+  std::vector<uint32_t> BoxSearch(const BoundingBox& box) const override;
+
+  /// Number of tree nodes (internal + leaves); exposed for tests/benches.
+  size_t num_tree_nodes() const { return nodes_.size(); }
+
+  /// Depth of the deepest leaf.
+  int depth() const;
+
+ private:
+  static constexpr uint32_t kNoChild = 0xFFFFFFFFu;
+
+  struct Node {
+    BoundingBox bounds;
+    uint32_t children[4] = {kNoChild, kNoChild, kNoChild, kNoChild};
+    std::vector<uint32_t> items;  // point ids; only leaves hold items
+    bool is_leaf = true;
+    int depth = 0;
+  };
+
+  void Insert(uint32_t node_index, uint32_t point_id);
+  void Split(uint32_t node_index);
+  int QuadrantOf(const Node& node, const Point& p) const;
+
+  size_t bucket_capacity_;
+  int max_depth_;
+  std::vector<Point> points_;
+  std::vector<Node> nodes_;  // nodes_[0] is the root when non-empty
+};
+
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_SPATIAL_QUADTREE_H_

@@ -1,0 +1,207 @@
+#include "spatial/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace ecocharge {
+
+RTree::RTree(size_t leaf_capacity)
+    : leaf_capacity_(std::max<size_t>(2, leaf_capacity)) {}
+
+void RTree::Build(std::vector<Point> points) {
+  points_ = std::move(points);
+  nodes_.clear();
+  root_ = 0;
+  height_ = 0;
+  if (points_.empty()) return;
+
+  // STR leaf packing: sort ids by x, cut into vertical slabs of
+  // ~sqrt(n/capacity) leaves each, sort each slab by y, chop into leaves.
+  std::vector<uint32_t> ids(points_.size());
+  for (uint32_t i = 0; i < points_.size(); ++i) ids[i] = i;
+  std::sort(ids.begin(), ids.end(), [&](uint32_t a, uint32_t b) {
+    if (points_[a].x != points_[b].x) return points_[a].x < points_[b].x;
+    return a < b;
+  });
+
+  size_t num_leaves =
+      (points_.size() + leaf_capacity_ - 1) / leaf_capacity_;
+  size_t slabs = std::max<size_t>(
+      1, static_cast<size_t>(std::ceil(std::sqrt(
+             static_cast<double>(num_leaves)))));
+  size_t per_slab =
+      (points_.size() + slabs - 1) / slabs;
+
+  std::vector<uint32_t> leaf_nodes;
+  for (size_t s = 0; s < slabs; ++s) {
+    size_t begin = s * per_slab;
+    if (begin >= ids.size()) break;
+    size_t end = std::min(ids.size(), begin + per_slab);
+    std::sort(ids.begin() + begin, ids.begin() + end,
+              [&](uint32_t a, uint32_t b) {
+                if (points_[a].y != points_[b].y) {
+                  return points_[a].y < points_[b].y;
+                }
+                return a < b;
+              });
+    for (size_t i = begin; i < end; i += leaf_capacity_) {
+      Node leaf;
+      leaf.is_leaf = true;
+      size_t stop = std::min(end, i + leaf_capacity_);
+      for (size_t j = i; j < stop; ++j) {
+        leaf.entries.push_back(ids[j]);
+        leaf.bounds.Extend(points_[ids[j]]);
+      }
+      leaf_nodes.push_back(static_cast<uint32_t>(nodes_.size()));
+      nodes_.push_back(std::move(leaf));
+    }
+  }
+
+  std::vector<uint32_t> level = leaf_nodes;
+  height_ = 1;
+  while (level.size() > 1) {
+    level = PackLevel(level);
+    ++height_;
+  }
+  root_ = level.front();
+}
+
+std::vector<uint32_t> RTree::PackLevel(
+    const std::vector<uint32_t>& child_nodes) {
+  // Same STR recipe one level up, using child centers as sort keys.
+  std::vector<uint32_t> order = child_nodes;
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    double ax = nodes_[a].bounds.Center().x;
+    double bx = nodes_[b].bounds.Center().x;
+    if (ax != bx) return ax < bx;
+    return a < b;
+  });
+  size_t num_parents =
+      (order.size() + leaf_capacity_ - 1) / leaf_capacity_;
+  size_t slabs = std::max<size_t>(
+      1, static_cast<size_t>(
+             std::ceil(std::sqrt(static_cast<double>(num_parents)))));
+  size_t per_slab = (order.size() + slabs - 1) / slabs;
+
+  std::vector<uint32_t> parents;
+  for (size_t s = 0; s < slabs; ++s) {
+    size_t begin = s * per_slab;
+    if (begin >= order.size()) break;
+    size_t end = std::min(order.size(), begin + per_slab);
+    std::sort(order.begin() + begin, order.begin() + end,
+              [&](uint32_t a, uint32_t b) {
+                double ay = nodes_[a].bounds.Center().y;
+                double by = nodes_[b].bounds.Center().y;
+                if (ay != by) return ay < by;
+                return a < b;
+              });
+    for (size_t i = begin; i < end; i += leaf_capacity_) {
+      Node parent;
+      parent.is_leaf = false;
+      size_t stop = std::min(end, i + leaf_capacity_);
+      for (size_t j = i; j < stop; ++j) {
+        parent.entries.push_back(order[j]);
+        parent.bounds.Extend(nodes_[order[j]].bounds);
+      }
+      parents.push_back(static_cast<uint32_t>(nodes_.size()));
+      nodes_.push_back(std::move(parent));
+    }
+  }
+  return parents;
+}
+
+std::vector<Neighbor> RTree::Knn(const Point& query, size_t k) const {
+  std::vector<Neighbor> result;
+  if (nodes_.empty() || k == 0) return result;
+
+  struct Frontier {
+    double dist;
+    uint32_t node;
+    bool operator>(const Frontier& o) const { return dist > o.dist; }
+  };
+  std::priority_queue<Frontier, std::vector<Frontier>, std::greater<>> open;
+  open.push({nodes_[root_].bounds.DistanceTo(query), root_});
+
+  auto worse = [](const Neighbor& a, const Neighbor& b) {
+    return spatial_internal::NeighborLess(a, b);
+  };
+  std::priority_queue<Neighbor, std::vector<Neighbor>, decltype(worse)> best(
+      worse);
+
+  while (!open.empty()) {
+    Frontier f = open.top();
+    open.pop();
+    if (best.size() == k && f.dist > best.top().distance) break;
+    const Node& node = nodes_[f.node];
+    if (node.is_leaf) {
+      for (uint32_t id : node.entries) {
+        Neighbor cand{id, Distance(points_[id], query)};
+        if (best.size() < k) {
+          best.push(cand);
+        } else if (worse(cand, best.top())) {
+          best.pop();
+          best.push(cand);
+        }
+      }
+    } else {
+      for (uint32_t child : node.entries) {
+        double d = nodes_[child].bounds.DistanceTo(query);
+        if (best.size() < k || d <= best.top().distance) {
+          open.push({d, child});
+        }
+      }
+    }
+  }
+  result.resize(best.size());
+  for (size_t i = result.size(); i-- > 0;) {
+    result[i] = best.top();
+    best.pop();
+  }
+  return result;
+}
+
+std::vector<Neighbor> RTree::RangeSearch(const Point& query,
+                                         double radius) const {
+  std::vector<Neighbor> out;
+  if (nodes_.empty()) return out;
+  std::vector<uint32_t> stack = {root_};
+  while (!stack.empty()) {
+    uint32_t ni = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[ni];
+    if (node.bounds.DistanceTo(query) > radius) continue;
+    if (node.is_leaf) {
+      for (uint32_t id : node.entries) {
+        double d = Distance(points_[id], query);
+        if (d <= radius) out.push_back({id, d});
+      }
+    } else {
+      for (uint32_t child : node.entries) stack.push_back(child);
+    }
+  }
+  std::sort(out.begin(), out.end(), spatial_internal::NeighborLess);
+  return out;
+}
+
+std::vector<uint32_t> RTree::BoxSearch(const BoundingBox& box) const {
+  std::vector<uint32_t> out;
+  if (nodes_.empty()) return out;
+  std::vector<uint32_t> stack = {root_};
+  while (!stack.empty()) {
+    uint32_t ni = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[ni];
+    if (!node.bounds.Intersects(box)) continue;
+    if (node.is_leaf) {
+      for (uint32_t id : node.entries) {
+        if (box.Contains(points_[id])) out.push_back(id);
+      }
+    } else {
+      for (uint32_t child : node.entries) stack.push_back(child);
+    }
+  }
+  return out;
+}
+
+}  // namespace ecocharge

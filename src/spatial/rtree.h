@@ -1,0 +1,52 @@
+#ifndef ECOCHARGE_SPATIAL_RTREE_H_
+#define ECOCHARGE_SPATIAL_RTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "spatial/spatial_index.h"
+
+namespace ecocharge {
+
+/// \brief Static R-tree bulk-loaded with Sort-Tile-Recursive packing.
+///
+/// Rounds out the index family next to the quadtree (the paper's baseline),
+/// kd-tree, and grid: STR produces near-optimally packed leaves for static
+/// point sets like a charger directory, trading build-time sorting for
+/// tight bounding boxes and shallow trees.
+class RTree : public SpatialIndex {
+ public:
+  /// \param leaf_capacity entries per leaf (and fanout of inner nodes)
+  explicit RTree(size_t leaf_capacity = 16);
+
+  void Build(std::vector<Point> points) override;
+  size_t size() const override { return points_.size(); }
+  std::vector<Neighbor> Knn(const Point& query, size_t k) const override;
+  std::vector<Neighbor> RangeSearch(const Point& query,
+                                    double radius) const override;
+  std::vector<uint32_t> BoxSearch(const BoundingBox& box) const override;
+
+  size_t num_tree_nodes() const { return nodes_.size(); }
+  int height() const { return height_; }
+
+ private:
+  struct Node {
+    BoundingBox bounds;
+    // Leaves hold point ids; inner nodes hold child node indices.
+    std::vector<uint32_t> entries;
+    bool is_leaf = true;
+  };
+
+  /// Packs one level of nodes (returns the indices of the parent level).
+  std::vector<uint32_t> PackLevel(const std::vector<uint32_t>& child_nodes);
+
+  size_t leaf_capacity_;
+  std::vector<Point> points_;
+  std::vector<Node> nodes_;
+  uint32_t root_ = 0;
+  int height_ = 0;
+};
+
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_SPATIAL_RTREE_H_

@@ -1,0 +1,61 @@
+#ifndef ECOCHARGE_SPATIAL_SPATIAL_INDEX_H_
+#define ECOCHARGE_SPATIAL_SPATIAL_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/bbox.h"
+#include "geo/point.h"
+
+namespace ecocharge {
+
+/// \brief One kNN answer: the item's id and its distance to the query.
+struct Neighbor {
+  uint32_t id = 0;
+  double distance = 0.0;
+
+  bool operator==(const Neighbor& o) const {
+    return id == o.id && distance == o.distance;
+  }
+};
+
+/// \brief Read-only kNN/range interface over a static set of points.
+///
+/// Items are identified by their index in the point vector handed to
+/// Build(); payloads (chargers, graph nodes, ...) live outside the index.
+/// All implementations return kNN results sorted ascending by distance with
+/// ties broken by id, so results are comparable across index types in tests.
+class SpatialIndex {
+ public:
+  virtual ~SpatialIndex() = default;
+
+  /// (Re)builds the index over `points`; ids are the vector positions.
+  virtual void Build(std::vector<Point> points) = 0;
+
+  /// Number of indexed points.
+  virtual size_t size() const = 0;
+
+  /// The k nearest items to `query` (fewer if the index holds fewer).
+  virtual std::vector<Neighbor> Knn(const Point& query, size_t k) const = 0;
+
+  /// All items within `radius` of `query`, sorted ascending by distance.
+  virtual std::vector<Neighbor> RangeSearch(const Point& query,
+                                            double radius) const = 0;
+
+  /// All item ids inside `box` (unordered).
+  virtual std::vector<uint32_t> BoxSearch(const BoundingBox& box) const = 0;
+};
+
+namespace spatial_internal {
+
+/// Canonical ordering shared by implementations: ascending distance, then id.
+inline bool NeighborLess(const Neighbor& a, const Neighbor& b) {
+  if (a.distance != b.distance) return a.distance < b.distance;
+  return a.id < b.id;
+}
+
+}  // namespace spatial_internal
+
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_SPATIAL_SPATIAL_INDEX_H_

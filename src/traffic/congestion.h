@@ -1,0 +1,46 @@
+#ifndef ECOCHARGE_TRAFFIC_CONGESTION_H_
+#define ECOCHARGE_TRAFFIC_CONGESTION_H_
+
+#include <cstdint>
+
+#include "common/simtime.h"
+#include "graph/road_network.h"
+
+namespace ecocharge {
+
+/// \brief Time-of-day traffic model.
+///
+/// Produces a speed factor in (0, 1]: the fraction of free-flow speed
+/// actually achievable on a road class at a given time. Weekday rush hours
+/// (7-9, 16-19) depress highways and arterials most; weekends are mild.
+/// The realized factor adds deterministic per-hour noise around the
+/// profile; forecasts return a band that widens with lead time — the D
+/// estimated component's uncertainty source.
+class CongestionModel {
+ public:
+  explicit CongestionModel(uint64_t seed);
+
+  /// The deterministic diurnal profile (no noise).
+  double ExpectedSpeedFactor(RoadClass road_class, SimTime t) const;
+
+  /// Realized factor: profile x noise(seed, class, hour), clamped to
+  /// [0.15, 1].
+  double ActualSpeedFactor(RoadClass road_class, SimTime t) const;
+
+  /// \brief Min/max band on the speed factor.
+  struct Band {
+    double min = 0.15;
+    double max = 1.0;
+  };
+
+  /// Forecast band issued at `now` for `target`; pure in its inputs.
+  Band ForecastSpeedFactor(RoadClass road_class, SimTime now,
+                           SimTime target) const;
+
+ private:
+  uint64_t seed_;
+};
+
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_TRAFFIC_CONGESTION_H_

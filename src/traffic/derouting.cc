@@ -1,0 +1,107 @@
+#include "traffic/derouting.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ecocharge {
+
+DeroutingService::DeroutingService(
+    std::shared_ptr<const RoadNetwork> network,
+    const CongestionModel* congestion, double detour_factor)
+    : network_(std::move(network)),
+      congestion_(congestion),
+      detour_factor_(detour_factor),
+      search_(*network_) {}
+
+double DeroutingService::CruiseSpeed(SimTime t) const {
+  return FreeFlowSpeed(RoadClass::kArterial) *
+         congestion_->ActualSpeedFactor(RoadClass::kArterial, t);
+}
+
+DeroutingEstimate DeroutingService::Estimate(const DeroutingQuery& query,
+                                             const EvCharger& charger) const {
+  return Estimate(query, charger,
+                  congestion_->ForecastSpeedFactor(RoadClass::kArterial,
+                                                   query.now, query.now));
+}
+
+DeroutingEstimate DeroutingService::Estimate(
+    const DeroutingQuery& query, const EvCharger& charger,
+    const CongestionModel::Band& band) const {
+  double to_charger = Distance(query.vehicle_position, charger.position);
+  double back = std::min(Distance(charger.position, query.return_point_a),
+                         Distance(charger.position, query.return_point_b));
+  double on_route =
+      std::min(Distance(query.vehicle_position, query.return_point_a),
+               Distance(query.vehicle_position, query.return_point_b));
+  // Euclidean distances are admissible lower bounds on network distance;
+  // the detour factor gives the typical upper estimate. The congestion
+  // band converts "distance" into "effective cost distance" (congested
+  // roads cost proportionally more time/energy).
+  double optimistic = std::max(0.0, to_charger + back - on_route);
+  double pessimistic =
+      std::max(0.0, (to_charger + back) * detour_factor_ - on_route);
+  DeroutingEstimate est;
+  est.extra_distance_min_m = optimistic;
+  // Slow traffic (band.min) inflates the effective pessimistic cost.
+  est.extra_distance_max_m = pessimistic / std::max(band.min, 0.10);
+  if (est.extra_distance_max_m < est.extra_distance_min_m) {
+    est.extra_distance_max_m = est.extra_distance_min_m;
+  }
+  double speed = FreeFlowSpeed(RoadClass::kArterial) *
+                 (band.min + band.max) * 0.5;
+  est.eta_s = to_charger * detour_factor_ / std::max(speed, 1.0);
+  return est;
+}
+
+double DeroutingService::DirectCost(NodeId m, NodeId ra, NodeId rb,
+                                    SimTime now, const EdgeCostFn& cost) {
+  DirectKey key{m, ra, rb, now};
+  if (key == direct_key_) return direct_cost_;
+  PathResult direct_a = search_.AStar(m, ra, cost);
+  PathResult direct_b = search_.AStar(m, rb, cost);
+  direct_key_ = key;
+  direct_cost_ = std::min(direct_a.cost, direct_b.cost);
+  return direct_cost_;
+}
+
+DeroutingEstimate DeroutingService::Exact(const DeroutingQuery& query,
+                                          const EvCharger& charger) {
+  DeroutingEstimate est;
+  NodeId m = query.vehicle_node != kInvalidNode
+                 ? query.vehicle_node
+                 : network_->NearestNode(query.vehicle_position);
+  NodeId ra = query.return_node_a != kInvalidNode
+                  ? query.return_node_a
+                  : network_->NearestNode(query.return_point_a);
+  NodeId rb = query.return_node_b != kInvalidNode
+                  ? query.return_node_b
+                  : network_->NearestNode(query.return_point_b);
+
+  // Cost = congested travel distance: length / speed_factor(class, now),
+  // i.e. congested roads count longer, matching Eq. 3's weighted edges.
+  SimTime now = query.now;
+  auto cost = [this, now](const Edge& e) {
+    return e.length_m /
+           congestion_->ActualSpeedFactor(e.road_class, now);
+  };
+
+  PathResult to_b = search_.AStar(m, charger.node, cost);
+  if (!to_b.Reachable()) {
+    est.extra_distance_min_m = est.extra_distance_max_m = kInfiniteCost;
+    est.eta_s = kInfiniteCost;
+    return est;
+  }
+  PathResult back_a = search_.AStar(charger.node, ra, cost);
+  PathResult back_b = search_.AStar(charger.node, rb, cost);
+  double back = std::min(back_a.cost, back_b.cost);
+  double direct = DirectCost(m, ra, rb, now, cost);
+  double extra = to_b.cost + (std::isfinite(back) ? back : 0.0) -
+                 (std::isfinite(direct) ? direct : 0.0);
+  extra = std::max(0.0, extra);
+  est.extra_distance_min_m = est.extra_distance_max_m = extra;
+  est.eta_s = to_b.cost / std::max(CruiseSpeed(now), 1.0);
+  return est;
+}
+
+}  // namespace ecocharge

@@ -1,0 +1,96 @@
+#ifndef ECOCHARGE_TRAFFIC_DEROUTING_H_
+#define ECOCHARGE_TRAFFIC_DEROUTING_H_
+
+#include <memory>
+
+#include "energy/charger.h"
+#include "graph/shortest_path.h"
+#include "traffic/congestion.h"
+
+namespace ecocharge {
+
+/// \brief The derouting estimated component D for one charger.
+///
+/// Extra distance = d(m -> b) + min(d(b -> r_i), d(b -> r_{i+1})) minus the
+/// on-route distance the vehicle would have covered anyway — the paper's
+/// "reach the charger and return to the scheduled trip, whichever return
+/// point deroutes less". eta_s is the estimated drive time m -> b, which
+/// anchors the L and A forecasts.
+struct DeroutingEstimate {
+  double extra_distance_min_m = 0.0;  ///< optimistic (clear traffic) bound
+  double extra_distance_max_m = 0.0;  ///< pessimistic bound
+  double eta_s = 0.0;                 ///< estimated time of arrival at b
+};
+
+/// \brief Vehicle-side query context for derouting computations.
+struct DeroutingQuery {
+  Point vehicle_position;
+  NodeId vehicle_node = kInvalidNode;  ///< snap of vehicle_position
+  Point return_point_a;                ///< end of current segment p_i
+  Point return_point_b;                ///< end of next segment p_{i+1}
+  NodeId return_node_a = kInvalidNode;
+  NodeId return_node_b = kInvalidNode;
+  SimTime now = 0.0;
+};
+
+/// \brief Computes derouting costs in two fidelities.
+///
+/// Estimate(): closed-form from Euclidean distances x a road-detour factor
+/// x the congestion band — O(1) per charger, used by the CkNN-EC filtering
+/// phase. Exact(): time-aware A* over the network — used by the refinement
+/// phase and by the Brute-Force oracle (this is where the baselines spend
+/// their CPU time, matching the paper's cost profile).
+class DeroutingService {
+ public:
+  /// \param detour_factor typical network/Euclidean distance ratio (~1.3)
+  DeroutingService(std::shared_ptr<const RoadNetwork> network,
+                   const CongestionModel* congestion,
+                   double detour_factor = 1.3);
+
+  /// O(1) interval estimate; fetches the congestion band itself.
+  DeroutingEstimate Estimate(const DeroutingQuery& query,
+                             const EvCharger& charger) const;
+
+  /// O(1) interval estimate with a caller-provided congestion band (the
+  /// EC estimator passes the EIS-cached band so the architecture's traffic
+  /// API is exercised).
+  DeroutingEstimate Estimate(const DeroutingQuery& query,
+                             const EvCharger& charger,
+                             const CongestionModel::Band& band) const;
+
+  /// Network-exact cost under realized traffic (min == max).
+  DeroutingEstimate Exact(const DeroutingQuery& query,
+                          const EvCharger& charger);
+
+  /// Cruise speed used to turn distances into ETAs, m/s (arterial pace
+  /// scaled by current congestion).
+  double CruiseSpeed(SimTime t) const;
+
+  const RoadNetwork& network() const { return *network_; }
+
+ private:
+  double DirectCost(NodeId m, NodeId ra, NodeId rb, SimTime now,
+                    const EdgeCostFn& cost);
+
+  std::shared_ptr<const RoadNetwork> network_;
+  const CongestionModel* congestion_;
+  double detour_factor_;
+  DijkstraSearch search_;
+
+  // Memo for the charger-independent on-route cost d(m -> {r_a, r_b});
+  // Brute-Force evaluates every charger under the same vehicle state, so
+  // this turns 2 of the 5 A* runs per charger into 2 per query.
+  struct DirectKey {
+    NodeId m = kInvalidNode;
+    NodeId ra = kInvalidNode;
+    NodeId rb = kInvalidNode;
+    SimTime now = -1.0;
+    bool operator==(const DirectKey&) const = default;
+  };
+  DirectKey direct_key_;
+  double direct_cost_ = 0.0;
+};
+
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_TRAFFIC_DEROUTING_H_

@@ -1,0 +1,98 @@
+#include "traj/brinkhoff.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "graph/shortest_path.h"
+
+namespace ecocharge {
+
+namespace {
+
+/// Walks `path` (node ids) at per-edge speeds scaled by `speed_factor`,
+/// appending samples every `sample_interval_s` to `out`.
+SimTime WalkPath(const RoadNetwork& network, const std::vector<NodeId>& path,
+                 double speed_factor, double sample_interval_s, SimTime start,
+                 Trajectory* out) {
+  SimTime now = start;
+  SimTime next_sample = start;
+  if (out->empty()) {
+    out->Append({network.NodePosition(path.front()), now});
+    next_sample = now + sample_interval_s;
+  }
+  for (size_t i = 1; i < path.size(); ++i) {
+    const Point& a = network.NodePosition(path[i - 1]);
+    const Point& b = network.NodePosition(path[i]);
+    double length = Distance(a, b);
+    // Speed along this hop: free-flow for the best class connecting the two
+    // nodes would require an edge lookup; the dominant factor is the driver
+    // class, so use arterial free-flow as the base pace.
+    double speed = FreeFlowSpeed(RoadClass::kArterial) * speed_factor;
+    double hop_time = length / speed;
+    SimTime hop_end = now + hop_time;
+    while (next_sample <= hop_end && hop_time > 0.0) {
+      double u = (next_sample - now) / hop_time;
+      out->Append({a + (b - a) * u, next_sample});
+      next_sample += sample_interval_s;
+    }
+    now = hop_end;
+  }
+  out->Append({network.NodePosition(path.back()), now});
+  return now;
+}
+
+}  // namespace
+
+Result<std::vector<Trajectory>> GenerateBrinkhoffTrajectories(
+    const RoadNetwork& network, const BrinkhoffOptions& options) {
+  if (options.num_objects == 0) {
+    return Status::InvalidArgument("num_objects must be positive");
+  }
+  if (network.NumNodes() < 2) {
+    return Status::InvalidArgument("network too small for trajectories");
+  }
+  Rng rng(options.seed);
+  DijkstraSearch search(network);
+  std::vector<Trajectory> trajectories;
+  trajectories.reserve(options.num_objects);
+
+  for (size_t obj = 0; obj < options.num_objects; ++obj) {
+    // Speed classes 0.8x / 1.0x / 1.25x of free flow, like Brinkhoff's
+    // object classes.
+    int cls = static_cast<int>(
+        rng.NextBounded(static_cast<uint64_t>(options.num_speed_classes)));
+    double speed_factor =
+        0.8 * std::pow(1.25, cls * 2.0 /
+                                 std::max(1, options.num_speed_classes - 1));
+    Trajectory traj(obj, {});
+    SimTime t =
+        options.start_time + rng.NextDouble(0.0, options.start_time_spread_s);
+    NodeId current =
+        static_cast<NodeId>(rng.NextBounded(network.NumNodes()));
+    int trips_done = 0;
+    int attempts = 0;
+    while (trips_done < options.trip_count && attempts < 64) {
+      NodeId dest = static_cast<NodeId>(rng.NextBounded(network.NumNodes()));
+      ++attempts;
+      if (dest == current) continue;
+      if (Distance(network.NodePosition(current),
+                   network.NodePosition(dest)) < options.min_trip_length_m) {
+        continue;
+      }
+      PathResult path = search.AStar(current, dest, LengthCost);
+      if (!path.Reachable() || path.nodes.size() < 2) continue;
+      t = WalkPath(network, path.nodes, speed_factor,
+                   options.sample_interval_s, t, &traj);
+      current = dest;
+      ++trips_done;
+    }
+    if (traj.size() >= 2) trajectories.push_back(std::move(traj));
+  }
+  if (trajectories.empty()) {
+    return Status::Internal("failed to generate any trajectory");
+  }
+  return trajectories;
+}
+
+}  // namespace ecocharge

@@ -1,0 +1,39 @@
+#ifndef ECOCHARGE_TRAJ_BRINKHOFF_H_
+#define ECOCHARGE_TRAJ_BRINKHOFF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/road_network.h"
+#include "traj/trajectory.h"
+
+namespace ecocharge {
+
+/// \brief Network-constrained moving-object generator in the spirit of
+/// Brinkhoff's spatio-temporal generator (the tool the paper used for the
+/// Oldenburg dataset).
+///
+/// Each object starts at a random node, picks a random destination, drives
+/// the fastest path at a speed-class-dependent pace (modulated per edge by
+/// the road class's free-flow speed), then immediately picks the next
+/// destination until `trip_count` trips are done. Positions are sampled at
+/// a fixed interval.
+struct BrinkhoffOptions {
+  size_t num_objects = 100;
+  int trip_count = 1;                 ///< trips per object
+  double sample_interval_s = 30.0;    ///< position sampling period
+  int num_speed_classes = 3;          ///< slow / medium / fast drivers
+  double min_trip_length_m = 2000.0;  ///< reject shorter random trips
+  SimTime start_time = 8.0 * kSecondsPerHour;  ///< Monday 08:00
+  double start_time_spread_s = 2.0 * kSecondsPerHour;
+  uint64_t seed = 1;
+};
+
+/// Generates `options.num_objects` trajectories over `network`.
+Result<std::vector<Trajectory>> GenerateBrinkhoffTrajectories(
+    const RoadNetwork& network, const BrinkhoffOptions& options);
+
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_TRAJ_BRINKHOFF_H_

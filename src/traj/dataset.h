@@ -1,0 +1,56 @@
+#ifndef ECOCHARGE_TRAJ_DATASET_H_
+#define ECOCHARGE_TRAJ_DATASET_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/road_network.h"
+#include "traj/trajectory.h"
+
+namespace ecocharge {
+
+/// \brief The four evaluation workloads of the paper (Section V-A).
+///
+/// Each synthesizer reproduces the shape of its namesake: spatial extent,
+/// network style, object count, and sampling rate. The absolute trajectory
+/// counts are scaled by DatasetOptions::scale so tests can run on tiny
+/// instances while benchmarks use larger ones.
+enum class DatasetKind {
+  kOldenburg,   ///< synthetic Brinkhoff traces, 45 x 35 km urban grid
+  kCalifornia,  ///< 1,220 x 400 km corridor region, trip dataset
+  kTDrive,      ///< Beijing taxi fleet, dense urban grid, sparse sampling
+  kGeolife,     ///< multi-modal dense traces (1-5 s sampling)
+};
+
+/// All four kinds, in the paper's order.
+std::vector<DatasetKind> AllDatasetKinds();
+
+/// Human-readable name ("Oldenburg", ...).
+std::string_view DatasetName(DatasetKind kind);
+
+/// \brief Scaling knobs for dataset synthesis.
+struct DatasetOptions {
+  /// Fraction of the paper's trajectory count to generate (1.0 = full:
+  /// 4,000 / 7,000 / 10,357 / 17,621 objects). Benchmarks use ~0.01-0.05;
+  /// the count only multiplies evaluation queries, not per-query cost.
+  double scale = 0.01;
+  uint64_t seed = 7;
+};
+
+/// \brief A generated workload: road network plus vehicle trajectories.
+struct Dataset {
+  std::string name;
+  DatasetKind kind = DatasetKind::kOldenburg;
+  std::shared_ptr<RoadNetwork> network;
+  std::vector<Trajectory> trajectories;
+};
+
+/// Synthesizes the requested dataset. Deterministic in (kind, options).
+Result<Dataset> MakeDataset(DatasetKind kind, const DatasetOptions& options);
+
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_TRAJ_DATASET_H_

@@ -1,0 +1,76 @@
+#include "traj/io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+
+namespace ecocharge {
+
+Status SaveTrajectories(const std::vector<Trajectory>& trajectories,
+                        std::ostream& os) {
+  os << "ect 1\n" << trajectories.size() << "\n";
+  os << std::setprecision(17);
+  for (const Trajectory& t : trajectories) {
+    os << t.object_id() << " " << t.size() << "\n";
+    for (const TrajectoryPoint& p : t.points()) {
+      os << p.position.x << " " << p.position.y << " " << p.time << "\n";
+    }
+  }
+  if (!os) return Status::IOError("stream write failed");
+  return Status::OK();
+}
+
+Status SaveTrajectoriesFile(const std::vector<Trajectory>& trajectories,
+                            const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path);
+  return SaveTrajectories(trajectories, out);
+}
+
+Result<std::vector<Trajectory>> LoadTrajectories(std::istream& is) {
+  std::string magic;
+  int version = 0;
+  if (!(is >> magic >> version) || magic != "ect" || version != 1) {
+    return Status::IOError("bad header: expected 'ect 1'");
+  }
+  size_t count = 0;
+  if (!(is >> count)) return Status::IOError("bad trajectory count");
+  std::vector<Trajectory> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t object_id = 0;
+    size_t num_points = 0;
+    if (!(is >> object_id >> num_points)) {
+      return Status::IOError("truncated header for trajectory " +
+                             std::to_string(i));
+    }
+    std::vector<TrajectoryPoint> points;
+    points.reserve(num_points);
+    double last_time = -std::numeric_limits<double>::infinity();
+    for (size_t j = 0; j < num_points; ++j) {
+      double x, y, t;
+      if (!(is >> x >> y >> t)) {
+        return Status::IOError("truncated samples in trajectory " +
+                               std::to_string(i));
+      }
+      if (t < last_time) {
+        return Status::IOError("timestamps not monotone in trajectory " +
+                               std::to_string(i));
+      }
+      last_time = t;
+      points.push_back({Point{x, y}, t});
+    }
+    out.emplace_back(object_id, std::move(points));
+  }
+  return out;
+}
+
+Result<std::vector<Trajectory>> LoadTrajectoriesFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  return LoadTrajectories(in);
+}
+
+}  // namespace ecocharge

@@ -1,0 +1,31 @@
+#ifndef ECOCHARGE_TRAJ_IO_H_
+#define ECOCHARGE_TRAJ_IO_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "traj/trajectory.h"
+
+namespace ecocharge {
+
+/// \brief Text serialization for trajectory sets.
+///
+/// Format (whitespace separated, loosely modeled on the Geolife .plt
+/// convention of one sample per line):
+///   ect 1                     -- magic + version
+///   <num_trajectories>
+///   <object_id> <num_points>  -- per trajectory
+///   x y t                     -- one line per sample
+Status SaveTrajectories(const std::vector<Trajectory>& trajectories,
+                        std::ostream& os);
+Status SaveTrajectoriesFile(const std::vector<Trajectory>& trajectories,
+                            const std::string& path);
+
+Result<std::vector<Trajectory>> LoadTrajectories(std::istream& is);
+Result<std::vector<Trajectory>> LoadTrajectoriesFile(const std::string& path);
+
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_TRAJ_IO_H_

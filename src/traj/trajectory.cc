@@ -1,0 +1,74 @@
+#include "traj/trajectory.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ecocharge {
+
+void Trajectory::Append(const TrajectoryPoint& p) {
+  assert(points_.empty() || p.time >= points_.back().time);
+  points_.push_back(p);
+}
+
+double Trajectory::LengthMeters() const {
+  double total = 0.0;
+  for (size_t i = 1; i < points_.size(); ++i) {
+    total += Distance(points_[i - 1].position, points_[i].position);
+  }
+  return total;
+}
+
+Point Trajectory::PositionAt(SimTime t) const {
+  if (points_.empty()) return Point{};
+  if (t <= points_.front().time) return points_.front().position;
+  if (t >= points_.back().time) return points_.back().position;
+  // Binary search the first sample at or after t.
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), t,
+      [](const TrajectoryPoint& p, SimTime value) { return p.time < value; });
+  const TrajectoryPoint& hi = *it;
+  const TrajectoryPoint& lo = *(it - 1);
+  double span = hi.time - lo.time;
+  if (span <= 0.0) return lo.position;
+  double u = (t - lo.time) / span;
+  return lo.position + (hi.position - lo.position) * u;
+}
+
+Polyline Trajectory::AsPolyline() const {
+  Polyline line;
+  for (const TrajectoryPoint& p : points_) line.Append(p.position);
+  return line;
+}
+
+std::vector<TripSegment> SegmentTrip(const Polyline& trip,
+                                     double segment_length_m) {
+  std::vector<TripSegment> segments;
+  double total = trip.Length();
+  if (trip.size() < 2 || total <= 0.0 || segment_length_m <= 0.0) {
+    if (trip.size() >= 1) {
+      TripSegment s;
+      s.index = 0;
+      s.start_s = 0.0;
+      s.end_s = total;
+      s.start_point = trip.front();
+      s.end_point = trip.back();
+      segments.push_back(s);
+    }
+    return segments;
+  }
+  size_t count = std::max<size_t>(1, static_cast<size_t>(total /
+                                                         segment_length_m));
+  double step = total / static_cast<double>(count);
+  for (size_t i = 0; i < count; ++i) {
+    TripSegment s;
+    s.index = i;
+    s.start_s = step * static_cast<double>(i);
+    s.end_s = (i + 1 == count) ? total : step * static_cast<double>(i + 1);
+    s.start_point = trip.At(s.start_s);
+    s.end_point = trip.At(s.end_s);
+    segments.push_back(s);
+  }
+  return segments;
+}
+
+}  // namespace ecocharge

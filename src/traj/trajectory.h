@@ -1,0 +1,72 @@
+#ifndef ECOCHARGE_TRAJ_TRAJECTORY_H_
+#define ECOCHARGE_TRAJ_TRAJECTORY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/simtime.h"
+#include "geo/polyline.h"
+
+namespace ecocharge {
+
+/// \brief One timestamped sample of a moving object.
+struct TrajectoryPoint {
+  Point position;
+  SimTime time = 0.0;
+};
+
+/// \brief A time-ordered sequence of position samples for one vehicle.
+class Trajectory {
+ public:
+  Trajectory() = default;
+  Trajectory(uint64_t object_id, std::vector<TrajectoryPoint> points)
+      : object_id_(object_id), points_(std::move(points)) {}
+
+  uint64_t object_id() const { return object_id_; }
+  const std::vector<TrajectoryPoint>& points() const { return points_; }
+  size_t size() const { return points_.size(); }
+  bool empty() const { return points_.empty(); }
+  const TrajectoryPoint& operator[](size_t i) const { return points_[i]; }
+
+  /// Appends a sample; timestamps must be non-decreasing (checked in debug).
+  void Append(const TrajectoryPoint& p);
+
+  SimTime StartTime() const { return empty() ? 0.0 : points_.front().time; }
+  SimTime EndTime() const { return empty() ? 0.0 : points_.back().time; }
+  double DurationSeconds() const { return EndTime() - StartTime(); }
+
+  /// Total traveled distance, meters.
+  double LengthMeters() const;
+
+  /// Linearly interpolated position at time `t` (clamped to the range).
+  Point PositionAt(SimTime t) const;
+
+  /// The spatial footprint as a polyline (timestamps dropped).
+  Polyline AsPolyline() const;
+
+ private:
+  uint64_t object_id_ = 0;
+  std::vector<TrajectoryPoint> points_;
+};
+
+/// \brief One ~3-5 km piece p_i of a scheduled trip P (Step 1 of the
+/// EcoCharge algorithm).
+struct TripSegment {
+  size_t index = 0;        ///< position within the trip
+  double start_s = 0.0;    ///< arc-length where the segment starts
+  double end_s = 0.0;      ///< arc-length where it ends
+  Point start_point;
+  Point end_point;
+
+  double LengthMeters() const { return end_s - start_s; }
+};
+
+/// Splits `trip` into consecutive segments of roughly `segment_length_m`
+/// (the final segment absorbs the remainder; a trip shorter than one
+/// segment yields a single segment). Precondition: trip has >= 2 points.
+std::vector<TripSegment> SegmentTrip(const Polyline& trip,
+                                     double segment_length_m);
+
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_TRAJ_TRAJECTORY_H_

@@ -1,0 +1,78 @@
+#include "spatial/aknn.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace ecocharge {
+namespace {
+
+TEST(AknnTest, EmptyAndZeroK) {
+  EXPECT_TRUE(ComputeAllKnn({}, 3).empty());
+  auto rows = ComputeAllKnn(testing_util::RandomCloud(5), 0);
+  for (const auto& row : rows) EXPECT_TRUE(row.empty());
+}
+
+TEST(AknnTest, ExcludesSelf) {
+  auto rows = ComputeAllKnn(testing_util::RandomCloud(50), 5);
+  for (uint32_t i = 0; i < rows.size(); ++i) {
+    for (const Neighbor& n : rows[i]) {
+      EXPECT_NE(n.id, i);
+    }
+  }
+}
+
+TEST(AknnTest, MatchesNaiveJoin) {
+  auto cloud = testing_util::RandomCloud(300, 5000.0, 4000.0, 21);
+  auto fast = ComputeAllKnn(cloud, 6);
+  auto naive = ComputeAllKnnNaive(cloud, 6);
+  ASSERT_EQ(fast.size(), naive.size());
+  for (size_t i = 0; i < fast.size(); ++i) {
+    ASSERT_EQ(fast[i].size(), naive[i].size()) << "row " << i;
+    for (size_t j = 0; j < fast[i].size(); ++j) {
+      EXPECT_EQ(fast[i][j].id, naive[i][j].id) << "row " << i << " pos " << j;
+      EXPECT_NEAR(fast[i][j].distance, naive[i][j].distance, 1e-9);
+    }
+  }
+}
+
+TEST(AknnTest, RowsSortedAscending) {
+  auto rows = ComputeAllKnn(testing_util::RandomCloud(100), 8);
+  for (const auto& row : rows) {
+    for (size_t j = 1; j < row.size(); ++j) {
+      EXPECT_LE(row[j - 1].distance, row[j].distance);
+    }
+  }
+}
+
+TEST(AknnTest, KLargerThanNMinusOne) {
+  auto rows = ComputeAllKnn(testing_util::RandomCloud(4), 10);
+  for (const auto& row : rows) {
+    EXPECT_EQ(row.size(), 3u);  // n - 1 neighbors exist
+  }
+}
+
+TEST(AknnTest, DuplicatePointsAreMutualZeroDistanceNeighbors) {
+  std::vector<Point> cloud = {{1, 1}, {1, 1}, {5, 5}};
+  auto rows = ComputeAllKnn(cloud, 1);
+  EXPECT_EQ(rows[0][0].id, 1u);
+  EXPECT_EQ(rows[0][0].distance, 0.0);
+  EXPECT_EQ(rows[1][0].id, 0u);
+  EXPECT_EQ(rows[2][0].distance, Distance({1, 1}, {5, 5}));
+}
+
+TEST(AknnTest, KnnGraphSymmetryStatistics) {
+  // On uniform data a substantial share of 1-NN relations are mutual —
+  // a sanity check that the join is geometrically meaningful.
+  auto cloud = testing_util::RandomCloud(500, 10000, 10000, 33);
+  auto rows = ComputeAllKnn(cloud, 1);
+  int mutual = 0;
+  for (uint32_t i = 0; i < rows.size(); ++i) {
+    uint32_t nn = rows[i][0].id;
+    if (rows[nn][0].id == i) ++mutual;
+  }
+  EXPECT_GT(mutual, static_cast<int>(rows.size() / 2));
+}
+
+}  // namespace
+}  // namespace ecocharge

@@ -1,0 +1,149 @@
+#include "availability/availability_service.h"
+
+#include <gtest/gtest.h>
+
+#include "availability/popular_times.h"
+
+namespace ecocharge {
+namespace {
+
+EvCharger SiteWith(uint32_t timetable_id, int ports = 4) {
+  EvCharger c;
+  c.id = 17;
+  c.timetable_id = timetable_id;
+  c.num_ports = ports;
+  return c;
+}
+
+TEST(PopularTimesTest, ValuesInUnitRange) {
+  for (int a = 0; a < kNumArchetypes; ++a) {
+    PopularTimes pt =
+        PopularTimes::ForArchetype(static_cast<SiteArchetype>(a), 5);
+    for (int h = 0; h < 168; ++h) {
+      EXPECT_GE(pt.bucket(h), 0.0);
+      EXPECT_LE(pt.bucket(h), 1.0);
+    }
+  }
+}
+
+TEST(PopularTimesTest, CommuterHubHasRushPeaks) {
+  PopularTimes pt =
+      PopularTimes::ForArchetype(SiteArchetype::kCommuterHub, 5);
+  // Tuesday 08:00 and 17:30 busier than 03:00 and 13:00.
+  SimTime tue = kSecondsPerDay;
+  double morning = pt.BusynessAt(tue + 8.0 * kSecondsPerHour);
+  double evening = pt.BusynessAt(tue + 17.5 * kSecondsPerHour);
+  double night = pt.BusynessAt(tue + 3.0 * kSecondsPerHour);
+  EXPECT_GT(morning, night + 0.2);
+  EXPECT_GT(evening, night + 0.2);
+}
+
+TEST(PopularTimesTest, MallPeaksOnWeekendAfternoon) {
+  PopularTimes pt =
+      PopularTimes::ForArchetype(SiteArchetype::kShoppingMall, 5);
+  SimTime sat = 5 * kSecondsPerDay;
+  SimTime tue = 1 * kSecondsPerDay;
+  EXPECT_GT(pt.BusynessAt(sat + 15.0 * kSecondsPerHour),
+            pt.BusynessAt(tue + 15.0 * kSecondsPerHour));
+}
+
+TEST(PopularTimesTest, InterpolationIsContinuous) {
+  PopularTimes pt = PopularTimes::ForArchetype(SiteArchetype::kDowntown, 5);
+  for (double t = 0.0; t < kSecondsPerWeek; t += 977.0) {
+    double a = pt.BusynessAt(t);
+    double b = pt.BusynessAt(t + 10.0);
+    EXPECT_LT(std::abs(a - b), 0.05);
+  }
+}
+
+TEST(PopularTimesTest, SeedJittersSites) {
+  PopularTimes a = PopularTimes::ForArchetype(SiteArchetype::kDowntown, 1);
+  PopularTimes b = PopularTimes::ForArchetype(SiteArchetype::kDowntown, 2);
+  bool any_diff = false;
+  for (int h = 0; h < 168; ++h) {
+    if (a.bucket(h) != b.bucket(h)) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(AvailabilityServiceTest, ActualInUnitRangeAndQuantized) {
+  AvailabilityService service(7);
+  EvCharger c = SiteWith(0, 4);
+  for (int h = 0; h < 100; ++h) {
+    double a = service.ActualAvailability(c, h * kSecondsPerHour);
+    EXPECT_GE(a, 0.0);
+    EXPECT_LE(a, 1.0);
+    // Quantized to quarters with 4 ports.
+    EXPECT_NEAR(a * 4, std::round(a * 4), 1e-9);
+  }
+}
+
+TEST(AvailabilityServiceTest, ActualStableWithinHourAcrossCalls) {
+  AvailabilityService service(7);
+  EvCharger c = SiteWith(1);
+  SimTime t = 9.5 * kSecondsPerHour;
+  double a = service.ActualAvailability(c, t);
+  EXPECT_EQ(service.ActualAvailability(c, t + 60.0), a);
+  EXPECT_EQ(service.ActualAvailability(c, t), a);
+}
+
+TEST(AvailabilityServiceTest, BusySitesLessAvailableOnAverage) {
+  AvailabilityService service(7);
+  EvCharger commuter = SiteWith(1, 4);  // commuter hub
+  double rush_sum = 0.0, night_sum = 0.0;
+  int days = 30;
+  for (int d = 0; d < days; ++d) {
+    // Weekday rush vs weekday night.
+    SimTime day = (d % 5) * kSecondsPerDay + (d / 5) * kSecondsPerWeek;
+    rush_sum +=
+        service.ActualAvailability(commuter, day + 8.0 * kSecondsPerHour);
+    night_sum +=
+        service.ActualAvailability(commuter, day + 3.0 * kSecondsPerHour);
+  }
+  EXPECT_GT(night_sum, rush_sum);
+}
+
+TEST(AvailabilityServiceTest, ForecastOrderedAndPure) {
+  AvailabilityService service(7);
+  EvCharger c = SiteWith(2);
+  AvailabilityForecast a = service.Forecast(c, 1000.0, 5000.0);
+  AvailabilityForecast b = service.Forecast(c, 1000.0, 5000.0);
+  EXPECT_EQ(a.min, b.min);
+  EXPECT_EQ(a.max, b.max);
+  EXPECT_LE(a.min, a.max);
+  EXPECT_GE(a.min, 0.0);
+  EXPECT_LE(a.max, 1.0);
+}
+
+TEST(AvailabilityServiceTest, ForecastWidensWithLead) {
+  AvailabilityService service(7);
+  EvCharger c = SiteWith(0);
+  SimTime now = 8.0 * kSecondsPerHour;
+  double near_width = 0.0, far_width = 0.0;
+  for (int d = 0; d < 20; ++d) {
+    SimTime base = now + d * kSecondsPerDay;
+    AvailabilityForecast near = service.Forecast(c, base, base + 600.0);
+    AvailabilityForecast far =
+        service.Forecast(c, base, base + 8.0 * kSecondsPerHour);
+    near_width += near.max - near.min;
+    far_width += far.max - far.min;
+  }
+  EXPECT_GT(far_width, near_width);
+}
+
+TEST(AvailabilityServiceTest, ForecastTracksExpectedBusyness) {
+  AvailabilityService service(7);
+  EvCharger c = SiteWith(1);  // commuter hub
+  SimTime tue = kSecondsPerDay;
+  AvailabilityForecast rush =
+      service.Forecast(c, tue + 7.5 * kSecondsPerHour,
+                       tue + 8.0 * kSecondsPerHour);
+  AvailabilityForecast night =
+      service.Forecast(c, tue + 2.5 * kSecondsPerHour,
+                       tue + 3.0 * kSecondsPerHour);
+  // Rush-hour forecast should promise less availability.
+  EXPECT_LT((rush.min + rush.max) / 2, (night.min + night.max) / 2);
+}
+
+}  // namespace
+}  // namespace ecocharge

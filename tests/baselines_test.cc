@@ -1,0 +1,132 @@
+#include "core/baselines.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace ecocharge {
+namespace {
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = testing_util::TinyEnvironment(50);
+    ASSERT_NE(env_, nullptr);
+    states_ = testing_util::TinyWorkload(*env_, 3);
+    ASSERT_FALSE(states_.empty());
+    weights_ = ScoreWeights::AWE();
+  }
+
+  std::unique_ptr<Environment> env_;
+  std::vector<VehicleState> states_;
+  ScoreWeights weights_;
+};
+
+TEST_F(BaselinesTest, BruteForceFindsTheReferenceOptimum) {
+  BruteForceRanker brute(env_->estimator.get(), weights_);
+  const VehicleState& state = states_[0];
+  OfferingTable table = brute.Rank(state, 3);
+  ASSERT_EQ(table.size(), 3u);
+  // No charger outside the table scores higher than the worst inside.
+  double worst_inside = table.entries.back().score.Mid();
+  std::vector<ChargerId> picked = table.ChargerIds();
+  std::set<ChargerId> chosen(picked.begin(), picked.end());
+  for (const EvCharger& c : env_->chargers) {
+    if (chosen.count(c.id)) continue;
+    double sc = env_->estimator->ReferenceScore(state, c, weights_);
+    EXPECT_LE(sc, worst_inside + 1e-9) << "charger " << c.id;
+  }
+}
+
+TEST_F(BaselinesTest, BruteForceEntriesAreExactIntervals) {
+  BruteForceRanker brute(env_->estimator.get(), weights_);
+  OfferingTable table = brute.Rank(states_[0], 3);
+  for (const OfferingEntry& e : table.entries) {
+    EXPECT_TRUE(e.ecs.level.IsExact());
+    EXPECT_TRUE(e.ecs.availability.IsExact());
+    EXPECT_TRUE(e.ecs.derouting.IsExact());
+    EXPECT_DOUBLE_EQ(e.score.sc_min, e.score.sc_max);
+  }
+}
+
+TEST_F(BaselinesTest, QuadtreePicksFromNearestCandidates) {
+  const size_t budget = 10;
+  QuadtreeRanker quadtree(env_->estimator.get(), env_->charger_index.get(),
+                          weights_, budget);
+  const VehicleState& state = states_[0];
+  OfferingTable table = quadtree.Rank(state, 3);
+  ASSERT_EQ(table.size(), 3u);
+  // Every pick must be one of the `budget` spatially nearest chargers.
+  auto nearest = env_->charger_index->Knn(state.position, budget);
+  std::set<uint32_t> candidate_ids;
+  for (const Neighbor& n : nearest) candidate_ids.insert(n.id);
+  for (ChargerId id : table.ChargerIds()) {
+    EXPECT_TRUE(candidate_ids.count(id)) << "charger " << id;
+  }
+}
+
+TEST_F(BaselinesTest, QuadtreeNeverBeatsBruteForce) {
+  BruteForceRanker brute(env_->estimator.get(), weights_);
+  QuadtreeRanker quadtree(env_->estimator.get(), env_->charger_index.get(),
+                          weights_, 8);
+  for (const VehicleState& state : states_) {
+    double bf_sum = 0.0, qt_sum = 0.0;
+    for (ChargerId id : brute.Rank(state, 3).ChargerIds()) {
+      bf_sum +=
+          env_->estimator->ReferenceScore(state, env_->chargers[id], weights_);
+    }
+    for (ChargerId id : quadtree.Rank(state, 3).ChargerIds()) {
+      qt_sum +=
+          env_->estimator->ReferenceScore(state, env_->chargers[id], weights_);
+    }
+    EXPECT_LE(qt_sum, bf_sum + 1e-9);
+  }
+}
+
+TEST_F(BaselinesTest, RandomStaysWithinRadius) {
+  const double radius = 10000.0;
+  RandomRanker random(env_->estimator.get(), env_->charger_index.get(),
+                      radius, 3);
+  for (const VehicleState& state : states_) {
+    OfferingTable table = random.Rank(state, 3);
+    for (ChargerId id : table.ChargerIds()) {
+      EXPECT_LE(Distance(env_->chargers[id].position, state.position),
+                radius + 1e-9);
+    }
+  }
+}
+
+TEST_F(BaselinesTest, RandomIsReproducibleAfterReset) {
+  RandomRanker random(env_->estimator.get(), env_->charger_index.get(),
+                      50000.0, 3);
+  OfferingTable first = random.Rank(states_[0], 3);
+  random.Rank(states_[0], 3);  // advance the stream
+  random.Reset();
+  OfferingTable again = random.Rank(states_[0], 3);
+  EXPECT_EQ(first.ChargerIds(), again.ChargerIds());
+}
+
+TEST_F(BaselinesTest, RandomReturnsDistinctChargers) {
+  RandomRanker random(env_->estimator.get(), env_->charger_index.get(),
+                      50000.0, 7);
+  OfferingTable table = random.Rank(states_[0], 5);
+  std::vector<ChargerId> picked = table.ChargerIds();
+  std::set<ChargerId> ids(picked.begin(), picked.end());
+  EXPECT_EQ(ids.size(), table.size());
+}
+
+TEST_F(BaselinesTest, NamesMatchPaper) {
+  BruteForceRanker brute(env_->estimator.get(), weights_);
+  QuadtreeRanker quadtree(env_->estimator.get(), env_->charger_index.get(),
+                          weights_);
+  RandomRanker random(env_->estimator.get(), env_->charger_index.get(),
+                      50000.0, 1);
+  EXPECT_EQ(brute.name(), "Brute-Force");
+  EXPECT_EQ(quadtree.name(), "Index-Quadtree");
+  EXPECT_EQ(random.name(), "Random");
+}
+
+}  // namespace
+}  // namespace ecocharge

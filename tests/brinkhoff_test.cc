@@ -1,0 +1,133 @@
+#include "traj/brinkhoff.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace ecocharge {
+namespace {
+
+std::shared_ptr<RoadNetwork> Network() {
+  GridNetworkOptions opts;
+  opts.nx = 12;
+  opts.ny = 12;
+  opts.spacing_m = 400.0;
+  opts.seed = 2;
+  return MakeGridNetwork(opts).MoveValueUnsafe();
+}
+
+TEST(BrinkhoffTest, GeneratesRequestedObjects) {
+  auto network = Network();
+  BrinkhoffOptions opts;
+  opts.num_objects = 25;
+  opts.seed = 10;
+  auto trajs = GenerateBrinkhoffTrajectories(*network, opts).MoveValueUnsafe();
+  EXPECT_EQ(trajs.size(), 25u);
+  for (const Trajectory& t : trajs) {
+    EXPECT_GE(t.size(), 2u);
+    EXPECT_GE(t.LengthMeters(), opts.min_trip_length_m * 0.9);
+  }
+}
+
+TEST(BrinkhoffTest, TimestampsAreMonotonic) {
+  auto network = Network();
+  BrinkhoffOptions opts;
+  opts.num_objects = 10;
+  auto trajs = GenerateBrinkhoffTrajectories(*network, opts).MoveValueUnsafe();
+  for (const Trajectory& t : trajs) {
+    for (size_t i = 1; i < t.size(); ++i) {
+      EXPECT_GE(t[i].time, t[i - 1].time);
+    }
+  }
+}
+
+TEST(BrinkhoffTest, SamplesStayNearNetwork) {
+  // Every sample lies on an edge between network nodes, so it must be
+  // close to some node (within half the longest edge).
+  auto network = Network();
+  BrinkhoffOptions opts;
+  opts.num_objects = 8;
+  auto trajs = GenerateBrinkhoffTrajectories(*network, opts).MoveValueUnsafe();
+  for (const Trajectory& t : trajs) {
+    for (const TrajectoryPoint& p : t.points()) {
+      NodeId nearest = network->NearestNode(p.position);
+      double d = Distance(network->NodePosition(nearest), p.position);
+      EXPECT_LT(d, 600.0);
+    }
+  }
+}
+
+TEST(BrinkhoffTest, SpeedsArePlausible) {
+  auto network = Network();
+  BrinkhoffOptions opts;
+  opts.num_objects = 10;
+  opts.sample_interval_s = 10.0;
+  auto trajs = GenerateBrinkhoffTrajectories(*network, opts).MoveValueUnsafe();
+  for (const Trajectory& t : trajs) {
+    for (size_t i = 1; i < t.size(); ++i) {
+      double dt = t[i].time - t[i - 1].time;
+      if (dt <= 0.0) continue;
+      double speed = Distance(t[i].position, t[i - 1].position) / dt;
+      EXPECT_LE(speed, 40.0);  // < 144 km/h
+    }
+  }
+}
+
+TEST(BrinkhoffTest, StartTimesSpread) {
+  auto network = Network();
+  BrinkhoffOptions opts;
+  opts.num_objects = 20;
+  opts.start_time = 8.0 * kSecondsPerHour;
+  opts.start_time_spread_s = 2.0 * kSecondsPerHour;
+  auto trajs = GenerateBrinkhoffTrajectories(*network, opts).MoveValueUnsafe();
+  double min_start = 1e18, max_start = -1e18;
+  for (const Trajectory& t : trajs) {
+    min_start = std::min(min_start, t.StartTime());
+    max_start = std::max(max_start, t.StartTime());
+    EXPECT_GE(t.StartTime(), opts.start_time);
+    EXPECT_LE(t.StartTime(), opts.start_time + opts.start_time_spread_s);
+  }
+  EXPECT_GT(max_start - min_start, 0.0);
+}
+
+TEST(BrinkhoffTest, MultiTripProducesLongerTrajectories) {
+  auto network = Network();
+  BrinkhoffOptions one, three;
+  one.num_objects = three.num_objects = 10;
+  one.trip_count = 1;
+  three.trip_count = 3;
+  one.seed = three.seed = 4;
+  auto t1 = GenerateBrinkhoffTrajectories(*network, one).MoveValueUnsafe();
+  auto t3 = GenerateBrinkhoffTrajectories(*network, three).MoveValueUnsafe();
+  double len1 = 0.0, len3 = 0.0;
+  for (const auto& t : t1) len1 += t.LengthMeters();
+  for (const auto& t : t3) len3 += t.LengthMeters();
+  EXPECT_GT(len3, len1 * 1.5);
+}
+
+TEST(BrinkhoffTest, DeterministicInSeed) {
+  auto network = Network();
+  BrinkhoffOptions opts;
+  opts.num_objects = 5;
+  opts.seed = 33;
+  auto a = GenerateBrinkhoffTrajectories(*network, opts).MoveValueUnsafe();
+  auto b = GenerateBrinkhoffTrajectories(*network, opts).MoveValueUnsafe();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].size(), b[i].size());
+    for (size_t j = 0; j < a[i].size(); ++j) {
+      EXPECT_EQ(a[i][j].position, b[i][j].position);
+      EXPECT_EQ(a[i][j].time, b[i][j].time);
+    }
+  }
+}
+
+TEST(BrinkhoffTest, RejectsBadInput) {
+  auto network = Network();
+  BrinkhoffOptions opts;
+  opts.num_objects = 0;
+  EXPECT_FALSE(GenerateBrinkhoffTrajectories(*network, opts).ok());
+}
+
+}  // namespace
+}  // namespace ecocharge

@@ -1,0 +1,109 @@
+#include "energy/charger.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace ecocharge {
+namespace {
+
+std::shared_ptr<RoadNetwork> Network() {
+  GridNetworkOptions opts;
+  opts.nx = 15;
+  opts.ny = 15;
+  opts.seed = 8;
+  return MakeGridNetwork(opts).MoveValueUnsafe();
+}
+
+TEST(ChargerTest, RatesMatchTypes) {
+  EXPECT_EQ(ChargerRateKw(ChargerType::kAc11), 11.0);
+  EXPECT_EQ(ChargerRateKw(ChargerType::kAc22), 22.0);
+  EXPECT_EQ(ChargerRateKw(ChargerType::kDc50), 50.0);
+  EXPECT_EQ(ChargerRateKw(ChargerType::kDc150), 150.0);
+}
+
+TEST(ChargerFleetTest, GeneratesRequestedCount) {
+  auto network = Network();
+  ChargerFleetOptions opts;
+  opts.num_chargers = 100;
+  auto fleet = GenerateChargerFleet(*network, opts).MoveValueUnsafe();
+  ASSERT_EQ(fleet.size(), 100u);
+  for (size_t i = 0; i < fleet.size(); ++i) {
+    EXPECT_EQ(fleet[i].id, i);
+    EXPECT_LT(fleet[i].node, network->NumNodes());
+    EXPECT_EQ(fleet[i].position, network->NodePosition(fleet[i].node));
+    EXPECT_GE(fleet[i].pv_capacity_kw, opts.min_pv_kw);
+    EXPECT_LE(fleet[i].pv_capacity_kw, opts.max_pv_kw);
+    EXPECT_GE(fleet[i].num_ports, 1);
+  }
+}
+
+TEST(ChargerFleetTest, DistinctNodesWhilePossible) {
+  auto network = Network();  // 225 nodes
+  ChargerFleetOptions opts;
+  opts.num_chargers = 200;
+  auto fleet = GenerateChargerFleet(*network, opts).MoveValueUnsafe();
+  std::set<NodeId> nodes;
+  for (const EvCharger& c : fleet) nodes.insert(c.node);
+  EXPECT_EQ(nodes.size(), 200u);
+}
+
+TEST(ChargerFleetTest, MoreChargersThanNodesShareSites) {
+  auto network = Network();
+  ChargerFleetOptions opts;
+  opts.num_chargers = 400;  // > 225 nodes
+  auto fleet = GenerateChargerFleet(*network, opts).MoveValueUnsafe();
+  EXPECT_EQ(fleet.size(), 400u);
+}
+
+TEST(ChargerFleetTest, DcFractionApproximatelyRespected) {
+  auto network = Network();
+  ChargerFleetOptions opts;
+  opts.num_chargers = 2000;
+  opts.dc_fraction = 0.3;
+  auto fleet = GenerateChargerFleet(*network, opts).MoveValueUnsafe();
+  int dc = 0;
+  for (const EvCharger& c : fleet) {
+    if (c.type == ChargerType::kDc50 || c.type == ChargerType::kDc150) ++dc;
+  }
+  EXPECT_NEAR(static_cast<double>(dc) / fleet.size(), 0.3, 0.04);
+}
+
+TEST(ChargerFleetTest, TimetableIdsCoverArchetypes) {
+  auto network = Network();
+  ChargerFleetOptions opts;
+  opts.num_chargers = 200;
+  auto fleet = GenerateChargerFleet(*network, opts).MoveValueUnsafe();
+  std::set<uint32_t> ids;
+  for (const EvCharger& c : fleet) ids.insert(c.timetable_id);
+  EXPECT_EQ(ids.size(), 4u);
+}
+
+TEST(ChargerFleetTest, DeterministicInSeed) {
+  auto network = Network();
+  ChargerFleetOptions opts;
+  opts.num_chargers = 50;
+  opts.seed = 123;
+  auto a = GenerateChargerFleet(*network, opts).MoveValueUnsafe();
+  auto b = GenerateChargerFleet(*network, opts).MoveValueUnsafe();
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].node, b[i].node);
+    EXPECT_EQ(a[i].type, b[i].type);
+    EXPECT_EQ(a[i].pv_capacity_kw, b[i].pv_capacity_kw);
+  }
+}
+
+TEST(ChargerFleetTest, RejectsBadOptions) {
+  auto network = Network();
+  ChargerFleetOptions opts;
+  opts.num_chargers = 0;
+  EXPECT_FALSE(GenerateChargerFleet(*network, opts).ok());
+  opts.num_chargers = 10;
+  opts.dc_fraction = 1.5;
+  EXPECT_FALSE(GenerateChargerFleet(*network, opts).ok());
+}
+
+}  // namespace
+}  // namespace ecocharge

@@ -1,0 +1,91 @@
+#include "traj/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace ecocharge {
+namespace {
+
+class DatasetTest : public ::testing::TestWithParam<DatasetKind> {};
+
+TEST_P(DatasetTest, SynthesizesValidWorld) {
+  DatasetOptions opts;
+  opts.scale = 0.002;
+  opts.seed = 7;
+  auto result = MakeDataset(GetParam(), opts);
+  ASSERT_TRUE(result.ok()) << result.status();
+  const Dataset& ds = result.value();
+  EXPECT_EQ(ds.kind, GetParam());
+  EXPECT_EQ(ds.name, DatasetName(GetParam()));
+  ASSERT_NE(ds.network, nullptr);
+  EXPECT_TRUE(ds.network->IsStronglyConnected());
+  EXPECT_GE(ds.trajectories.size(), 10u);
+  for (const Trajectory& t : ds.trajectories) {
+    EXPECT_GE(t.size(), 2u);
+  }
+}
+
+TEST_P(DatasetTest, DeterministicInSeed) {
+  DatasetOptions opts;
+  opts.scale = 0.002;
+  opts.seed = 21;
+  auto a = MakeDataset(GetParam(), opts).MoveValueUnsafe();
+  auto b = MakeDataset(GetParam(), opts).MoveValueUnsafe();
+  ASSERT_EQ(a.trajectories.size(), b.trajectories.size());
+  EXPECT_EQ(a.network->NumNodes(), b.network->NumNodes());
+  EXPECT_EQ(a.trajectories[0].size(), b.trajectories[0].size());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, DatasetTest,
+                         ::testing::ValuesIn(AllDatasetKinds()),
+                         [](const auto& info) {
+                           std::string n(DatasetName(info.param));
+                           n.erase(std::remove(n.begin(), n.end(), '-'),
+                                   n.end());
+                           return n;
+                         });
+
+TEST(DatasetScaleTest, ScaleControlsTrajectoryCount) {
+  DatasetOptions small, large;
+  small.scale = 0.002;
+  large.scale = 0.01;
+  auto a = MakeDataset(DatasetKind::kOldenburg, small).MoveValueUnsafe();
+  auto b = MakeDataset(DatasetKind::kOldenburg, large).MoveValueUnsafe();
+  EXPECT_GT(b.trajectories.size(), a.trajectories.size());
+  // Paper counts at those scales: 4000 * 0.01 = 40.
+  EXPECT_EQ(b.trajectories.size(), 40u);
+}
+
+TEST(DatasetScaleTest, RelativeSizesMatchPaperOrder) {
+  DatasetOptions opts;
+  opts.scale = 0.005;
+  size_t counts[4];
+  int i = 0;
+  for (DatasetKind kind : AllDatasetKinds()) {
+    counts[i++] = MakeDataset(kind, opts).MoveValueUnsafe().trajectories.size();
+  }
+  // Oldenburg(4000) < California(7000) < T-drive(10357) < Geolife(17621).
+  EXPECT_LT(counts[0], counts[1]);
+  EXPECT_LT(counts[1], counts[2]);
+  EXPECT_LT(counts[2], counts[3]);
+}
+
+TEST(DatasetScaleTest, RejectsBadScale) {
+  DatasetOptions opts;
+  opts.scale = 0.0;
+  EXPECT_FALSE(MakeDataset(DatasetKind::kOldenburg, opts).ok());
+  opts.scale = 1.5;
+  EXPECT_FALSE(MakeDataset(DatasetKind::kOldenburg, opts).ok());
+}
+
+TEST(DatasetNamesTest, AllDistinct) {
+  auto kinds = AllDatasetKinds();
+  EXPECT_EQ(kinds.size(), 4u);
+  for (size_t i = 0; i < kinds.size(); ++i) {
+    for (size_t j = i + 1; j < kinds.size(); ++j) {
+      EXPECT_NE(DatasetName(kinds[i]), DatasetName(kinds[j]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ecocharge

@@ -1,0 +1,158 @@
+#include "traffic/derouting.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+
+namespace ecocharge {
+namespace {
+
+class DeroutingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    GridNetworkOptions opts;
+    opts.nx = 12;
+    opts.ny = 12;
+    opts.spacing_m = 500.0;
+    opts.jitter_fraction = 0.05;
+    opts.seed = 4;
+    network_ = MakeGridNetwork(opts).MoveValueUnsafe();
+    congestion_ = std::make_unique<CongestionModel>(9);
+    service_ = std::make_unique<DeroutingService>(network_, congestion_.get());
+  }
+
+  DeroutingQuery QueryAt(NodeId m, NodeId ra, NodeId rb,
+                         SimTime now = 10.0 * kSecondsPerHour) {
+    DeroutingQuery q;
+    q.vehicle_node = m;
+    q.vehicle_position = network_->NodePosition(m);
+    q.return_node_a = ra;
+    q.return_point_a = network_->NodePosition(ra);
+    q.return_node_b = rb;
+    q.return_point_b = network_->NodePosition(rb);
+    q.now = now;
+    return q;
+  }
+
+  EvCharger ChargerAt(NodeId node) {
+    EvCharger c;
+    c.id = 3;
+    c.node = node;
+    c.position = network_->NodePosition(node);
+    return c;
+  }
+
+  std::shared_ptr<RoadNetwork> network_;
+  std::unique_ptr<CongestionModel> congestion_;
+  std::unique_ptr<DeroutingService> service_;
+};
+
+TEST_F(DeroutingTest, ChargerOnRouteCostsNothingExtra) {
+  // Vehicle at node 0, returning to node 2 (same row); charger at node 1
+  // lies between them: extra cost ~0 (paths are near-collinear).
+  DeroutingQuery q = QueryAt(0, 2, 2);
+  DeroutingEstimate exact = service_->Exact(q, ChargerAt(1));
+  EXPECT_LT(exact.extra_distance_min_m, 400.0);
+}
+
+TEST_F(DeroutingTest, OffRouteChargerCostsExtra) {
+  // Charger far off the direct route.
+  DeroutingQuery q = QueryAt(0, 2, 2);
+  NodeId far = 11 * 12 + 11;  // opposite corner
+  DeroutingEstimate exact = service_->Exact(q, ChargerAt(far));
+  EXPECT_GT(exact.extra_distance_min_m, 5000.0);
+  EXPECT_GT(exact.eta_s, 0.0);
+}
+
+TEST_F(DeroutingTest, EstimateLowerBoundsNeverExceedExactByMuch) {
+  // The optimistic estimate (Euclidean-based) must not exceed the exact
+  // network cost: Euclidean is admissible, and the on-route subtraction
+  // in the estimate uses a lower bound of the direct distance.
+  Rng rng(6);
+  for (int trial = 0; trial < 40; ++trial) {
+    NodeId m = static_cast<NodeId>(rng.NextBounded(network_->NumNodes()));
+    NodeId ra = static_cast<NodeId>(rng.NextBounded(network_->NumNodes()));
+    NodeId b = static_cast<NodeId>(rng.NextBounded(network_->NumNodes()));
+    DeroutingQuery q = QueryAt(m, ra, ra);
+    EvCharger charger = ChargerAt(b);
+    DeroutingEstimate est = service_->Estimate(q, charger);
+    DeroutingEstimate exact = service_->Exact(q, charger);
+    EXPECT_LE(est.extra_distance_min_m, exact.extra_distance_min_m * 1.05 +
+                                            1500.0)
+        << "m=" << m << " ra=" << ra << " b=" << b;
+  }
+}
+
+TEST_F(DeroutingTest, EstimateIntervalIsOrdered) {
+  Rng rng(8);
+  for (int trial = 0; trial < 40; ++trial) {
+    NodeId m = static_cast<NodeId>(rng.NextBounded(network_->NumNodes()));
+    NodeId ra = static_cast<NodeId>(rng.NextBounded(network_->NumNodes()));
+    NodeId b = static_cast<NodeId>(rng.NextBounded(network_->NumNodes()));
+    DeroutingEstimate est =
+        service_->Estimate(QueryAt(m, ra, ra), ChargerAt(b));
+    EXPECT_LE(est.extra_distance_min_m, est.extra_distance_max_m);
+    EXPECT_GE(est.extra_distance_min_m, 0.0);
+    EXPECT_GE(est.eta_s, 0.0);
+  }
+}
+
+TEST_F(DeroutingTest, ExactMatchesManualDecomposition) {
+  // Exact derouting = d(m->b) + min(d(b->ra), d(b->rb)) - min(d(m->ra),
+  // d(m->rb)) under the same congested edge costs.
+  NodeId m = 0, ra = 11, rb = 12, b_node = 13;
+  SimTime now = 10.0 * kSecondsPerHour;
+  DeroutingEstimate exact =
+      service_->Exact(QueryAt(m, ra, rb, now), ChargerAt(b_node));
+
+  DijkstraSearch search(*network_);
+  auto cost = [&](const Edge& e) {
+    return e.length_m / congestion_->ActualSpeedFactor(e.road_class, now);
+  };
+  double to_b = search.AStar(m, b_node, cost).cost;
+  double back = std::min(search.AStar(b_node, ra, cost).cost,
+                         search.AStar(b_node, rb, cost).cost);
+  double direct = std::min(search.AStar(m, ra, cost).cost,
+                           search.AStar(m, rb, cost).cost);
+  double expected = std::max(0.0, to_b + back - direct);
+  EXPECT_NEAR(exact.extra_distance_min_m, expected, 1e-6);
+}
+
+TEST_F(DeroutingTest, ExtraCostNeverNegative) {
+  Rng rng(14);
+  for (int trial = 0; trial < 30; ++trial) {
+    NodeId m = static_cast<NodeId>(rng.NextBounded(network_->NumNodes()));
+    NodeId ra = static_cast<NodeId>(rng.NextBounded(network_->NumNodes()));
+    NodeId rb = static_cast<NodeId>(rng.NextBounded(network_->NumNodes()));
+    NodeId b = static_cast<NodeId>(rng.NextBounded(network_->NumNodes()));
+    DeroutingEstimate exact =
+        service_->Exact(QueryAt(m, ra, rb), ChargerAt(b));
+    EXPECT_GE(exact.extra_distance_min_m, 0.0);
+  }
+}
+
+TEST_F(DeroutingTest, RushHourRaisesExactCost) {
+  DeroutingQuery rush = QueryAt(0, 143, 143, kSecondsPerDay +
+                                                 8.0 * kSecondsPerHour);
+  DeroutingQuery night = QueryAt(0, 143, 143, kSecondsPerDay +
+                                                  3.0 * kSecondsPerHour);
+  EvCharger c = ChargerAt(77);
+  double rush_eta = service_->Exact(rush, c).eta_s;
+  double night_eta = service_->Exact(night, c).eta_s;
+  EXPECT_GT(rush_eta, night_eta);
+}
+
+TEST_F(DeroutingTest, SnapsPositionsWhenNodesMissing) {
+  DeroutingQuery q;
+  q.vehicle_position = network_->NodePosition(5) + Point{10.0, -15.0};
+  q.return_point_a = network_->NodePosition(100) + Point{-5.0, 4.0};
+  q.return_point_b = q.return_point_a;
+  q.now = 10.0 * kSecondsPerHour;
+  // Leave node ids invalid; the service must snap.
+  DeroutingEstimate exact = service_->Exact(q, ChargerAt(50));
+  EXPECT_TRUE(std::isfinite(exact.extra_distance_min_m));
+}
+
+}  // namespace
+}  // namespace ecocharge

@@ -1,0 +1,98 @@
+// Reproducibility guarantees: the entire pipeline — dataset synthesis,
+// forecasts, ranking, evaluation — is a pure function of its seeds.
+// Parameterized over all four datasets.
+
+#include <gtest/gtest.h>
+
+#include "core/baselines.h"
+#include "core/ecocharge.h"
+#include "core/environment.h"
+#include "core/workload.h"
+
+namespace ecocharge {
+namespace {
+
+class DeterminismTest : public ::testing::TestWithParam<DatasetKind> {
+ protected:
+  static std::unique_ptr<Environment> Make(DatasetKind kind, uint64_t seed) {
+    EnvironmentOptions opts;
+    opts.kind = kind;
+    opts.dataset_scale = 0.003;
+    opts.num_chargers = 40;
+    opts.seed = seed;
+    auto result = MakeEnvironment(opts);
+    EXPECT_TRUE(result.ok());
+    return result.ok() ? std::move(result).MoveValueUnsafe() : nullptr;
+  }
+};
+
+TEST_P(DeterminismTest, IdenticalWorldsFromIdenticalSeeds) {
+  auto a = Make(GetParam(), 11);
+  auto b = Make(GetParam(), 11);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  ASSERT_EQ(a->dataset.network->NumNodes(), b->dataset.network->NumNodes());
+  ASSERT_EQ(a->chargers.size(), b->chargers.size());
+  for (size_t i = 0; i < a->chargers.size(); ++i) {
+    EXPECT_EQ(a->chargers[i].node, b->chargers[i].node);
+    EXPECT_EQ(a->chargers[i].pv_capacity_kw, b->chargers[i].pv_capacity_kw);
+  }
+  ASSERT_EQ(a->dataset.trajectories.size(), b->dataset.trajectories.size());
+}
+
+TEST_P(DeterminismTest, RankingsReproduceAcrossProcWorlds) {
+  auto a = Make(GetParam(), 11);
+  auto b = Make(GetParam(), 11);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  WorkloadOptions wo;
+  wo.max_trips = 2;
+  wo.max_states = 3;
+  auto states_a = BuildWorkload(a->dataset, wo);
+  auto states_b = BuildWorkload(b->dataset, wo);
+  ASSERT_EQ(states_a.size(), states_b.size());
+  ASSERT_FALSE(states_a.empty());
+
+  ScoreWeights w = ScoreWeights::AWE();
+  BruteForceRanker brute_a(a->estimator.get(), w);
+  BruteForceRanker brute_b(b->estimator.get(), w);
+  EcoChargeRanker eco_a(a->estimator.get(), a->charger_index.get(), w,
+                        EcoChargeOptions{});
+  EcoChargeRanker eco_b(b->estimator.get(), b->charger_index.get(), w,
+                        EcoChargeOptions{});
+  for (size_t i = 0; i < states_a.size(); ++i) {
+    EXPECT_EQ(brute_a.Rank(states_a[i], 3).ChargerIds(),
+              brute_b.Rank(states_b[i], 3).ChargerIds());
+    EXPECT_EQ(eco_a.Rank(states_a[i], 3).ChargerIds(),
+              eco_b.Rank(states_b[i], 3).ChargerIds());
+  }
+}
+
+TEST_P(DeterminismTest, DifferentSeedsDiffer) {
+  auto a = Make(GetParam(), 11);
+  auto b = Make(GetParam(), 12);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  bool any_difference =
+      a->chargers.size() != b->chargers.size() ||
+      a->dataset.trajectories.size() != b->dataset.trajectories.size();
+  for (size_t i = 0; !any_difference && i < a->chargers.size(); ++i) {
+    if (a->chargers[i].node != b->chargers[i].node ||
+        a->chargers[i].pv_capacity_kw != b->chargers[i].pv_capacity_kw) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DeterminismTest,
+                         ::testing::ValuesIn(AllDatasetKinds()),
+                         [](const auto& info) {
+                           std::string n(DatasetName(info.param));
+                           n.erase(std::remove(n.begin(), n.end(), '-'),
+                                   n.end());
+                           return n;
+                         });
+
+}  // namespace
+}  // namespace ecocharge

@@ -1,0 +1,104 @@
+#include "energy/directory.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace ecocharge {
+namespace {
+
+class DirectoryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    GridNetworkOptions opts;
+    opts.nx = 10;
+    opts.ny = 10;
+    opts.spacing_m = 500.0;
+    opts.seed = 3;
+    network_ = MakeGridNetwork(opts).MoveValueUnsafe();
+    ChargerFleetOptions fleet_opts;
+    fleet_opts.num_chargers = 30;
+    fleet_opts.seed = 4;
+    fleet_ = GenerateChargerFleet(*network_, fleet_opts).MoveValueUnsafe();
+    projection_ = std::make_unique<Projection>(DatasetAnchor(0));
+  }
+
+  std::shared_ptr<RoadNetwork> network_;
+  std::vector<EvCharger> fleet_;
+  std::unique_ptr<Projection> projection_;
+};
+
+TEST_F(DirectoryTest, RoundTripPreservesSites) {
+  std::stringstream buffer;
+  ASSERT_TRUE(ExportChargerDirectoryCsv(fleet_, *projection_, buffer).ok());
+  auto imported =
+      ImportChargerDirectoryCsv(buffer, *projection_, *network_);
+  ASSERT_TRUE(imported.ok()) << imported.status();
+  const std::vector<EvCharger>& got = imported.value();
+  ASSERT_EQ(got.size(), fleet_.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, fleet_[i].id);
+    EXPECT_EQ(got[i].type, fleet_[i].type);
+    EXPECT_EQ(got[i].num_ports, fleet_[i].num_ports);
+    EXPECT_NEAR(got[i].pv_capacity_kw, fleet_[i].pv_capacity_kw, 1e-6);
+    // Geographic round trip re-snaps to the original node.
+    EXPECT_EQ(got[i].node, fleet_[i].node);
+  }
+}
+
+TEST_F(DirectoryTest, CoordinatesAreNearAnchor) {
+  std::stringstream buffer;
+  ASSERT_TRUE(ExportChargerDirectoryCsv(fleet_, *projection_, buffer).ok());
+  std::string header;
+  std::getline(buffer, header);
+  std::string line;
+  std::getline(buffer, line);
+  std::istringstream cells(line);
+  std::string id, lat, lng;
+  std::getline(cells, id, ',');
+  std::getline(cells, lat, ',');
+  std::getline(cells, lng, ',');
+  // Oldenburg anchor (53.14, 8.21); a 5 km grid stays well within a degree.
+  EXPECT_NEAR(std::stod(lat), 53.14, 0.2);
+  EXPECT_NEAR(std::stod(lng), 8.21, 0.2);
+}
+
+TEST_F(DirectoryTest, RejectsMissingHeader) {
+  std::stringstream buffer("1,53.1,8.2,0,2,20,0\n");
+  EXPECT_FALSE(
+      ImportChargerDirectoryCsv(buffer, *projection_, *network_).ok());
+}
+
+TEST_F(DirectoryTest, RejectsWrongFieldCount) {
+  std::stringstream buffer("id,lat,lng,type,ports,pv_kw,timetable\n1,53.1\n");
+  EXPECT_FALSE(
+      ImportChargerDirectoryCsv(buffer, *projection_, *network_).ok());
+}
+
+TEST_F(DirectoryTest, RejectsInvalidValues) {
+  std::stringstream bad_type(
+      "id,lat,lng,type,ports,pv_kw,timetable\n1,53.1,8.2,9,2,20,0\n");
+  EXPECT_FALSE(
+      ImportChargerDirectoryCsv(bad_type, *projection_, *network_).ok());
+  std::stringstream bad_ports(
+      "id,lat,lng,type,ports,pv_kw,timetable\n1,53.1,8.2,0,0,20,0\n");
+  EXPECT_FALSE(
+      ImportChargerDirectoryCsv(bad_ports, *projection_, *network_).ok());
+  std::stringstream not_numeric(
+      "id,lat,lng,type,ports,pv_kw,timetable\n1,abc,8.2,0,2,20,0\n");
+  EXPECT_FALSE(
+      ImportChargerDirectoryCsv(not_numeric, *projection_, *network_).ok());
+}
+
+TEST_F(DirectoryTest, AnchorsDistinctPerDataset) {
+  for (int a = 0; a < 4; ++a) {
+    for (int b = a + 1; b < 4; ++b) {
+      EXPECT_FALSE(DatasetAnchor(a) == DatasetAnchor(b));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ecocharge

@@ -1,0 +1,68 @@
+#include "core/environment.h"
+
+#include <gtest/gtest.h>
+
+namespace ecocharge {
+namespace {
+
+TEST(EnvironmentTest, BuildsAllPieces) {
+  EnvironmentOptions opts;
+  opts.kind = DatasetKind::kOldenburg;
+  opts.dataset_scale = 0.003;
+  opts.num_chargers = 25;
+  opts.seed = 9;
+  auto result = MakeEnvironment(opts);
+  ASSERT_TRUE(result.ok()) << result.status();
+  auto env = std::move(result).MoveValueUnsafe();
+  EXPECT_EQ(env->chargers.size(), 25u);
+  EXPECT_NE(env->dataset.network, nullptr);
+  EXPECT_NE(env->energy, nullptr);
+  EXPECT_NE(env->availability, nullptr);
+  EXPECT_NE(env->congestion, nullptr);
+  EXPECT_NE(env->estimator, nullptr);
+  ASSERT_NE(env->charger_index, nullptr);
+  EXPECT_EQ(env->charger_index->size(), 25u);
+  // Estimator is wired against the same fleet.
+  EXPECT_EQ(&env->estimator->fleet(), &env->chargers);
+}
+
+TEST(EnvironmentTest, ChargerIndexIdsMatchFleetPositions) {
+  EnvironmentOptions opts;
+  opts.dataset_scale = 0.003;
+  opts.num_chargers = 30;
+  auto env = MakeEnvironment(opts).MoveValueUnsafe();
+  for (const EvCharger& c : env->chargers) {
+    auto nn = env->charger_index->Knn(c.position, 1);
+    ASSERT_FALSE(nn.empty());
+    // The nearest indexed point to a charger is itself (or a co-located
+    // twin at distance 0).
+    EXPECT_EQ(nn[0].distance, 0.0);
+  }
+}
+
+TEST(EnvironmentTest, ClimateAndLatitudeVaryByDataset) {
+  EXPECT_GT(DefaultClimate(DatasetKind::kCalifornia).sunny_bias,
+            DefaultClimate(DatasetKind::kOldenburg).sunny_bias);
+  EXPECT_GT(DefaultLatitude(DatasetKind::kOldenburg),
+            DefaultLatitude(DatasetKind::kCalifornia));
+}
+
+TEST(EnvironmentTest, PropagatesDatasetErrors) {
+  EnvironmentOptions opts;
+  opts.dataset_scale = -1.0;
+  EXPECT_FALSE(MakeEnvironment(opts).ok());
+}
+
+TEST(EnvironmentTest, MaxDeroutingFlowsToEstimator) {
+  EnvironmentOptions opts;
+  opts.dataset_scale = 0.003;
+  opts.num_chargers = 10;
+  opts.max_derouting_m = 12345.0;
+  auto env = MakeEnvironment(opts).MoveValueUnsafe();
+  EXPECT_EQ(env->estimator->options().max_derouting_m, 12345.0);
+  EXPECT_DOUBLE_EQ(env->estimator->NormalizeDerouting(12345.0), 1.0);
+  EXPECT_DOUBLE_EQ(env->estimator->NormalizeDerouting(12345.0 / 2), 0.5);
+}
+
+}  // namespace
+}  // namespace ecocharge

@@ -1,0 +1,98 @@
+#include "energy/ev.h"
+
+#include <gtest/gtest.h>
+
+namespace ecocharge {
+namespace {
+
+TEST(EvModelTest, ClassPresetsAreOrdered) {
+  EvModel compact = EvModel::ForClass(EvClass::kCompact);
+  EvModel sedan = EvModel::ForClass(EvClass::kSedan);
+  EvModel suv = EvModel::ForClass(EvClass::kSuv);
+  EXPECT_LT(compact.battery_kwh(), sedan.battery_kwh());
+  EXPECT_LT(sedan.battery_kwh(), suv.battery_kwh());
+  EXPECT_LT(compact.consumption_kwh_per_km(), suv.consumption_kwh_per_km());
+}
+
+TEST(EvModelTest, DriveEnergyScalesLinearly) {
+  EvModel ev(50.0, 0.2, 100.0);
+  EXPECT_DOUBLE_EQ(ev.DriveEnergyKwh(10000.0), 2.0);
+  EXPECT_DOUBLE_EQ(ev.DriveEnergyKwh(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(ev.DriveEnergyKwh(-5.0), 0.0);
+}
+
+TEST(EvModelTest, RangeMatchesConsumption) {
+  EvModel ev(50.0, 0.2, 100.0);
+  EXPECT_DOUBLE_EQ(ev.RangeMeters(1.0), 250000.0);
+  EXPECT_DOUBLE_EQ(ev.RangeMeters(0.5), 125000.0);
+  EXPECT_DOUBLE_EQ(ev.RangeMeters(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(ev.RangeMeters(2.0), 250000.0);  // clamped
+}
+
+TEST(EvModelTest, AcceptedPowerRespectsBothLimits) {
+  EvModel ev(50.0, 0.2, 50.0);
+  EXPECT_DOUBLE_EQ(ev.AcceptedPowerKw(0.5, 150.0), 50.0);  // vehicle limit
+  EXPECT_DOUBLE_EQ(ev.AcceptedPowerKw(0.5, 11.0), 11.0);   // charger limit
+}
+
+TEST(EvModelTest, TaperAbove80Percent) {
+  EvModel ev(50.0, 0.2, 100.0);
+  double at80 = ev.AcceptedPowerKw(0.80, 100.0);
+  double at90 = ev.AcceptedPowerKw(0.90, 100.0);
+  double at100 = ev.AcceptedPowerKw(1.0, 100.0);
+  EXPECT_DOUBLE_EQ(at80, 100.0);
+  EXPECT_LT(at90, at80);
+  EXPECT_NEAR(at100, 15.0, 1e-9);
+}
+
+TEST(EvModelTest, ChargeSessionConservesEnergy) {
+  EvModel ev(50.0, 0.2, 100.0);
+  auto result = ev.SimulateCharge(0.2, 50.0, 3600.0);
+  EXPECT_NEAR(result.energy_kwh, (result.end_soc - 0.2) * 50.0, 1e-6);
+  EXPECT_GT(result.end_soc, 0.2);
+  EXPECT_LE(result.end_soc, 1.0);
+  EXPECT_LE(result.duration_s, 3600.0);
+}
+
+TEST(EvModelTest, BelowTaperChargeIsLinear) {
+  // 0.2 -> within the flat region: one hour at 25 kW = 25 kWh.
+  EvModel ev(100.0, 0.2, 100.0);
+  auto result = ev.SimulateCharge(0.2, 25.0, 3600.0);
+  EXPECT_NEAR(result.energy_kwh, 25.0, 0.1);
+  EXPECT_NEAR(result.end_soc, 0.45, 0.01);
+}
+
+TEST(EvModelTest, StopsAtFull) {
+  EvModel ev(10.0, 0.15, 50.0);
+  auto result = ev.SimulateCharge(0.95, 50.0, 4.0 * 3600.0);
+  EXPECT_DOUBLE_EQ(result.end_soc, 1.0);
+  EXPECT_NEAR(result.energy_kwh, 0.5, 1e-6);
+  EXPECT_LT(result.duration_s, 4.0 * 3600.0);
+}
+
+TEST(EvModelTest, TaperSlowsTopUp) {
+  // Charging 0.6->0.8 is faster than 0.8->1.0 for the same energy.
+  EvModel ev(50.0, 0.2, 50.0);
+  auto low = ev.SimulateCharge(0.6, 50.0, 10.0 * 3600.0);
+  // Find time to add 10 kWh from 0.6 (0.2 of soc).
+  auto high = ev.SimulateCharge(0.8, 50.0, 10.0 * 3600.0);
+  // Both sessions add 10 kWh (0.6->0.8 capped... low runs to full).
+  // Compare instantaneous powers instead for robustness:
+  EXPECT_GT(ev.AcceptedPowerKw(0.7, 50.0), ev.AcceptedPowerKw(0.9, 50.0));
+  EXPECT_GE(high.duration_s, 0.0);
+  EXPECT_GE(low.energy_kwh, high.energy_kwh);
+}
+
+TEST(EvModelTest, ZeroPowerChargesNothing) {
+  EvModel ev(50.0, 0.2, 50.0);
+  auto result = ev.SimulateCharge(0.5, 0.0, 3600.0);
+  EXPECT_DOUBLE_EQ(result.end_soc, 0.5);
+  EXPECT_DOUBLE_EQ(result.energy_kwh, 0.0);
+}
+
+TEST(EvModelTest, ClassNamesDistinct) {
+  EXPECT_NE(EvClassName(EvClass::kCompact), EvClassName(EvClass::kSuv));
+}
+
+}  // namespace
+}  // namespace ecocharge

@@ -1,0 +1,92 @@
+#include "core/evaluation.h"
+
+#include <gtest/gtest.h>
+
+#include "core/baselines.h"
+#include "core/ecocharge.h"
+#include "tests/test_util.h"
+
+namespace ecocharge {
+namespace {
+
+class EvaluationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = testing_util::TinyEnvironment(40);
+    ASSERT_NE(env_, nullptr);
+    states_ = testing_util::TinyWorkload(*env_, 4);
+    ASSERT_FALSE(states_.empty());
+    weights_ = ScoreWeights::AWE();
+    evaluator_ = std::make_unique<Evaluator>(env_->estimator.get(), weights_);
+    evaluator_->SetWorkload(states_);
+  }
+
+  std::unique_ptr<Environment> env_;
+  std::vector<VehicleState> states_;
+  ScoreWeights weights_;
+  std::unique_ptr<Evaluator> evaluator_;
+};
+
+TEST_F(EvaluationTest, BruteForceScoresExactlyHundredPercent) {
+  BruteForceRanker brute(env_->estimator.get(), weights_);
+  MethodEvaluation m = evaluator_->Evaluate(brute, 3, 1);
+  EXPECT_EQ(m.num_queries, states_.size());
+  EXPECT_NEAR(m.sc_percent.mean(), 100.0, 1e-9);
+  EXPECT_NEAR(m.sc_percent.stddev(), 0.0, 1e-9);
+  EXPECT_GT(m.ft_ms.mean(), 0.0);
+}
+
+TEST_F(EvaluationTest, OracleScoresArePositiveAndCached) {
+  const std::vector<double>& first = evaluator_->OracleScores(3);
+  ASSERT_EQ(first.size(), states_.size());
+  for (double v : first) EXPECT_GT(v, 0.0);
+  // Second call returns the cached vector (same address).
+  const std::vector<double>& second = evaluator_->OracleScores(3);
+  EXPECT_EQ(&first, &second);
+}
+
+TEST_F(EvaluationTest, ChangingKRecomputesOracle) {
+  double k3_first = evaluator_->OracleScores(3)[0];
+  double k1_first = evaluator_->OracleScores(1)[0];
+  EXPECT_GT(k3_first, k1_first);  // 3 chargers sum more than 1
+}
+
+TEST_F(EvaluationTest, MethodsNeverExceedHundredPercent) {
+  QuadtreeRanker quadtree(env_->estimator.get(), env_->charger_index.get(),
+                          weights_, 8);
+  RandomRanker random(env_->estimator.get(), env_->charger_index.get(),
+                      50000.0, 3);
+  for (Ranker* r : std::initializer_list<Ranker*>{&quadtree, &random}) {
+    MethodEvaluation m = evaluator_->Evaluate(*r, 3, 1);
+    EXPECT_LE(m.sc_percent.max(), 100.0 + 1e-9);
+    EXPECT_GE(m.sc_percent.min(), 0.0);
+  }
+}
+
+TEST_F(EvaluationTest, RandomScoresWorseThanEcoCharge) {
+  EcoChargeOptions opts;
+  EcoChargeRanker eco(env_->estimator.get(), env_->charger_index.get(),
+                      weights_, opts);
+  RandomRanker random(env_->estimator.get(), env_->charger_index.get(),
+                      50000.0, 3);
+  MethodEvaluation eco_eval = evaluator_->Evaluate(eco, 3, 1);
+  MethodEvaluation rnd_eval = evaluator_->Evaluate(random, 3, 1);
+  EXPECT_GT(eco_eval.sc_percent.mean(), rnd_eval.sc_percent.mean());
+}
+
+TEST_F(EvaluationTest, RepetitionsMultiplyObservations) {
+  RandomRanker random(env_->estimator.get(), env_->charger_index.get(),
+                      50000.0, 3);
+  MethodEvaluation one = evaluator_->Evaluate(random, 3, 1);
+  MethodEvaluation three = evaluator_->Evaluate(random, 3, 3);
+  EXPECT_EQ(one.sc_percent.count(), states_.size());
+  EXPECT_EQ(three.sc_percent.count(), 3 * states_.size());
+}
+
+TEST_F(EvaluationTest, MethodNameIsReported) {
+  BruteForceRanker brute(env_->estimator.get(), weights_);
+  EXPECT_EQ(evaluator_->Evaluate(brute, 2, 1).method, "Brute-Force");
+}
+
+}  // namespace
+}  // namespace ecocharge

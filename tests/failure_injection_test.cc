@@ -1,0 +1,171 @@
+// Failure injection: the pipeline must degrade gracefully when the world
+// is hostile — unreachable chargers, night-time zero production, saturated
+// sites, an empty fleet region.
+
+#include <gtest/gtest.h>
+
+#include "core/baselines.h"
+#include "core/ecocharge.h"
+#include "tests/test_util.h"
+
+namespace ecocharge {
+namespace {
+
+/// A world whose network has a disconnected island holding charger 0: an
+/// on-road fleet can never reach it.
+struct IslandWorld {
+  std::shared_ptr<RoadNetwork> network;
+  std::vector<EvCharger> chargers;
+  std::unique_ptr<SolarEnergyService> energy;
+  std::unique_ptr<AvailabilityService> availability;
+  std::unique_ptr<CongestionModel> congestion;
+  std::unique_ptr<EcEstimator> estimator;
+  std::unique_ptr<QuadTree> index;
+};
+
+IslandWorld MakeIslandWorld() {
+  IslandWorld world;
+  GraphBuilder builder;
+  // Mainland: a 4-node square ring at the origin.
+  NodeId a = builder.AddNode({0, 0});
+  NodeId b = builder.AddNode({1000, 0});
+  NodeId c = builder.AddNode({1000, 1000});
+  NodeId d = builder.AddNode({0, 1000});
+  EXPECT_TRUE(builder.AddBidirectional(a, b, RoadClass::kLocal).ok());
+  EXPECT_TRUE(builder.AddBidirectional(b, c, RoadClass::kLocal).ok());
+  EXPECT_TRUE(builder.AddBidirectional(c, d, RoadClass::kLocal).ok());
+  EXPECT_TRUE(builder.AddBidirectional(d, a, RoadClass::kLocal).ok());
+  // Island: two nodes 2 km east, connected only to each other — and very
+  // close to the vehicle as the crow flies.
+  NodeId island1 = builder.AddNode({1500, 500});
+  NodeId island2 = builder.AddNode({1600, 500});
+  EXPECT_TRUE(
+      builder.AddBidirectional(island1, island2, RoadClass::kLocal).ok());
+  world.network = builder.Build().MoveValueUnsafe();
+
+  // Charger 0 on the island (excellent on paper), charger 1 on the ring.
+  EvCharger island_charger;
+  island_charger.id = 0;
+  island_charger.node = island1;
+  island_charger.position = world.network->NodePosition(island1);
+  island_charger.type = ChargerType::kDc150;
+  island_charger.pv_capacity_kw = 150.0;
+  EvCharger road_charger;
+  road_charger.id = 1;
+  road_charger.node = c;
+  road_charger.position = world.network->NodePosition(c);
+  road_charger.type = ChargerType::kAc11;
+  road_charger.pv_capacity_kw = 10.0;
+  world.chargers = {island_charger, road_charger};
+
+  world.energy = std::make_unique<SolarEnergyService>(
+      SolarModel{}, ClimateParams{0.9, 0.9}, 5);
+  world.availability = std::make_unique<AvailabilityService>(6);
+  world.congestion = std::make_unique<CongestionModel>(7);
+  EcEstimatorOptions opts;
+  opts.max_derouting_m = 10000.0;
+  world.estimator = std::make_unique<EcEstimator>(
+      world.network, &world.chargers, world.energy.get(),
+      world.availability.get(), world.congestion.get(), opts);
+  std::vector<Point> points;
+  for (const EvCharger& ch : world.chargers) points.push_back(ch.position);
+  world.index = std::make_unique<QuadTree>();
+  world.index->Build(points);
+  return world;
+}
+
+VehicleState MidMorningStateAt(const RoadNetwork& network, NodeId at,
+                               NodeId to) {
+  VehicleState s;
+  s.node = at;
+  s.position = network.NodePosition(at);
+  s.return_node_a = s.return_node_b = to;
+  s.return_point_a = s.return_point_b = network.NodePosition(to);
+  s.time = 10.0 * kSecondsPerHour;
+  return s;
+}
+
+TEST(FailureInjectionTest, UnreachableChargerGetsWorstDerouting) {
+  IslandWorld world = MakeIslandWorld();
+  VehicleState state = MidMorningStateAt(*world.network, 1, 2);
+  EcTruth island = world.estimator->ReferenceComponents(
+      state, world.chargers[0]);
+  EXPECT_EQ(island.derouting, 1.0);  // infinite cost clamps to the maximum
+  EcTruth road =
+      world.estimator->ReferenceComponents(state, world.chargers[1]);
+  EXPECT_LT(road.derouting, 1.0);
+}
+
+TEST(FailureInjectionTest, BruteForcePrefersReachableCharger) {
+  IslandWorld world = MakeIslandWorld();
+  BruteForceRanker brute(world.estimator.get(), ScoreWeights::AWE());
+  VehicleState state = MidMorningStateAt(*world.network, 1, 2);
+  OfferingTable table = brute.Rank(state, 1);
+  ASSERT_EQ(table.size(), 1u);
+  // The island DC-150 is spatially closest and sunniest, but unreachable;
+  // the modest road charger must win.
+  EXPECT_EQ(table.top().charger_id, 1u);
+}
+
+TEST(FailureInjectionTest, EcoChargeSurvivesUnreachableCandidates) {
+  IslandWorld world = MakeIslandWorld();
+  EcoChargeOptions opts;
+  opts.radius_m = 50000.0;
+  EcoChargeRanker eco(world.estimator.get(), world.index.get(),
+                      ScoreWeights::AWE(), opts);
+  VehicleState state = MidMorningStateAt(*world.network, 1, 2);
+  OfferingTable table = eco.Rank(state, 2);
+  ASSERT_FALSE(table.empty());
+  // After exact refinement, the reachable charger ranks first.
+  EXPECT_EQ(table.top().charger_id, 1u);
+}
+
+TEST(FailureInjectionTest, NightQueriesYieldZeroLevelNotCrash) {
+  auto env = testing_util::TinyEnvironment(30);
+  ASSERT_NE(env, nullptr);
+  auto states = testing_util::TinyWorkload(*env, 2);
+  ASSERT_FALSE(states.empty());
+  VehicleState night = states[0];
+  // 23:30 with a 30-minute window: even with the ETA offset, the whole
+  // charge window stays in astronomical night (Oldenburg midsummer dawn
+  // is ~03:30).
+  night.time = 23.5 * kSecondsPerHour;
+  night.charge_window_s = 30.0 * kSecondsPerMinute;
+  for (const EvCharger& c : env->chargers) {
+    EcTruth truth = env->estimator->Truth(night, c);
+    EXPECT_EQ(truth.level, 0.0);
+  }
+  EcoChargeRanker eco(env->estimator.get(), env->charger_index.get(),
+                      ScoreWeights::AWE(), EcoChargeOptions{});
+  OfferingTable table = eco.Rank(night, 3);
+  // Ranking still works — availability and derouting break the tie.
+  EXPECT_FALSE(table.empty());
+}
+
+TEST(FailureInjectionTest, LevelOnlyWeightsAtNightStillRank) {
+  auto env = testing_util::TinyEnvironment(30);
+  ASSERT_NE(env, nullptr);
+  auto states = testing_util::TinyWorkload(*env, 1);
+  ASSERT_FALSE(states.empty());
+  VehicleState night = states[0];
+  night.time = 1.0 * kSecondsPerHour;
+  EcoChargeRanker eco(env->estimator.get(), env->charger_index.get(),
+                      ScoreWeights::OSC(), EcoChargeOptions{});
+  OfferingTable table = eco.Rank(night, 3);
+  EXPECT_FALSE(table.empty());  // all-zero scores, deterministic order
+}
+
+TEST(FailureInjectionTest, KZeroProducesEmptyTableEverywhere) {
+  auto env = testing_util::TinyEnvironment(30);
+  ASSERT_NE(env, nullptr);
+  auto states = testing_util::TinyWorkload(*env, 1);
+  ASSERT_FALSE(states.empty());
+  EcoChargeRanker eco(env->estimator.get(), env->charger_index.get(),
+                      ScoreWeights::AWE(), EcoChargeOptions{});
+  BruteForceRanker brute(env->estimator.get(), ScoreWeights::AWE());
+  EXPECT_TRUE(eco.Rank(states[0], 0).empty());
+  EXPECT_TRUE(brute.Rank(states[0], 0).empty());
+}
+
+}  // namespace
+}  // namespace ecocharge

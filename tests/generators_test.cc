@@ -1,0 +1,127 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+namespace ecocharge {
+namespace {
+
+TEST(GridNetworkTest, SizeAndConnectivity) {
+  GridNetworkOptions opts;
+  opts.nx = 10;
+  opts.ny = 12;
+  opts.seed = 1;
+  auto network = MakeGridNetwork(opts).MoveValueUnsafe();
+  EXPECT_EQ(network->NumNodes(), 120u);
+  EXPECT_TRUE(network->IsStronglyConnected());
+  // Grid edge count: 2 * (nx-1)*ny + 2 * nx*(ny-1) directed edges.
+  EXPECT_GE(network->NumEdges(), 2u * (9 * 12 + 10 * 11));
+}
+
+TEST(GridNetworkTest, RejectsDegenerateOptions) {
+  GridNetworkOptions opts;
+  opts.nx = 1;
+  EXPECT_FALSE(MakeGridNetwork(opts).ok());
+  opts.nx = 5;
+  opts.spacing_m = -1.0;
+  EXPECT_FALSE(MakeGridNetwork(opts).ok());
+}
+
+TEST(GridNetworkTest, ContainsAllRoadClasses) {
+  GridNetworkOptions opts;
+  opts.nx = 11;
+  opts.ny = 11;
+  auto network = MakeGridNetwork(opts).MoveValueUnsafe();
+  bool has[3] = {false, false, false};
+  for (EdgeId e = 0; e < network->NumEdges(); ++e) {
+    has[static_cast<int>(network->edge(e).road_class)] = true;
+  }
+  EXPECT_TRUE(has[0]);  // highway
+  EXPECT_TRUE(has[1]);  // arterial
+  EXPECT_TRUE(has[2]);  // local
+}
+
+TEST(GridNetworkTest, DeterministicInSeed) {
+  GridNetworkOptions opts;
+  opts.seed = 77;
+  auto a = MakeGridNetwork(opts).MoveValueUnsafe();
+  auto b = MakeGridNetwork(opts).MoveValueUnsafe();
+  ASSERT_EQ(a->NumNodes(), b->NumNodes());
+  for (NodeId v = 0; v < a->NumNodes(); ++v) {
+    EXPECT_EQ(a->NodePosition(v), b->NodePosition(v));
+  }
+  opts.seed = 78;
+  auto c = MakeGridNetwork(opts).MoveValueUnsafe();
+  bool any_diff = false;
+  for (NodeId v = 0; v < a->NumNodes(); ++v) {
+    if (!(a->NodePosition(v) == c->NodePosition(v))) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RadialCityTest, SizeAndConnectivity) {
+  RadialCityOptions opts;
+  opts.rings = 5;
+  opts.spokes = 8;
+  auto network = MakeRadialCity(opts).MoveValueUnsafe();
+  EXPECT_EQ(network->NumNodes(), 1u + 5u * 8u);
+  EXPECT_TRUE(network->IsStronglyConnected());
+}
+
+TEST(RadialCityTest, RejectsTooFewSpokes) {
+  RadialCityOptions opts;
+  opts.spokes = 2;
+  EXPECT_FALSE(MakeRadialCity(opts).ok());
+}
+
+TEST(RandomGeometricTest, ConnectivityIsPatched) {
+  RandomGeometricOptions opts;
+  opts.num_nodes = 300;
+  opts.k_nearest = 2;  // sparse: disconnected components are likely
+  opts.seed = 5;
+  auto network = MakeRandomGeometric(opts).MoveValueUnsafe();
+  EXPECT_EQ(network->NumNodes(), 300u);
+  EXPECT_TRUE(network->IsStronglyConnected());
+}
+
+TEST(RandomGeometricTest, RejectsBadOptions) {
+  RandomGeometricOptions opts;
+  opts.num_nodes = 1;
+  EXPECT_FALSE(MakeRandomGeometric(opts).ok());
+  opts.num_nodes = 10;
+  opts.k_nearest = 0;
+  EXPECT_FALSE(MakeRandomGeometric(opts).ok());
+}
+
+TEST(CorridorRegionTest, CitiesPlusCorridors) {
+  CorridorRegionOptions opts;
+  opts.num_cities = 4;
+  opts.city_nx = 6;
+  opts.city_ny = 6;
+  opts.seed = 9;
+  auto network = MakeCorridorRegion(opts).MoveValueUnsafe();
+  EXPECT_GE(network->NumNodes(), 4u * 36u);
+  EXPECT_TRUE(network->IsStronglyConnected());
+  // Corridors must contribute highway edges.
+  bool has_highway = false;
+  for (EdgeId e = 0; e < network->NumEdges(); ++e) {
+    if (network->edge(e).road_class == RoadClass::kHighway) {
+      has_highway = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(has_highway);
+}
+
+TEST(CorridorRegionTest, SpansRequestedExtent) {
+  CorridorRegionOptions opts;
+  opts.num_cities = 5;
+  opts.region_width_m = 200000.0;
+  opts.region_height_m = 80000.0;
+  auto network = MakeCorridorRegion(opts).MoveValueUnsafe();
+  // Cities are placed in [0.1, 0.9] of the region; the extent should be a
+  // substantial fraction of it.
+  EXPECT_GT(network->Bounds().Width(), 0.3 * opts.region_width_m);
+}
+
+}  // namespace
+}  // namespace ecocharge

@@ -1,0 +1,87 @@
+#include "graph/io.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/shortest_path.h"
+
+namespace ecocharge {
+namespace {
+
+TEST(GraphIoTest, RoundTripPreservesStructure) {
+  GridNetworkOptions opts;
+  opts.nx = 6;
+  opts.ny = 5;
+  opts.seed = 4;
+  auto original = MakeGridNetwork(opts).MoveValueUnsafe();
+
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveRoadNetwork(*original, buffer).ok());
+  auto loaded_result = LoadRoadNetwork(buffer);
+  ASSERT_TRUE(loaded_result.ok()) << loaded_result.status();
+  auto loaded = loaded_result.MoveValueUnsafe();
+
+  ASSERT_EQ(loaded->NumNodes(), original->NumNodes());
+  ASSERT_EQ(loaded->NumEdges(), original->NumEdges());
+  for (NodeId v = 0; v < original->NumNodes(); ++v) {
+    EXPECT_EQ(loaded->NodePosition(v), original->NodePosition(v));
+  }
+  for (EdgeId e = 0; e < original->NumEdges(); ++e) {
+    EXPECT_EQ(loaded->edge(e).from, original->edge(e).from);
+    EXPECT_EQ(loaded->edge(e).to, original->edge(e).to);
+    EXPECT_EQ(loaded->edge(e).length_m, original->edge(e).length_m);
+    EXPECT_EQ(loaded->edge(e).road_class, original->edge(e).road_class);
+  }
+}
+
+TEST(GraphIoTest, RoundTripPreservesShortestPaths) {
+  GridNetworkOptions opts;
+  opts.nx = 7;
+  opts.ny = 7;
+  auto original = MakeGridNetwork(opts).MoveValueUnsafe();
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveRoadNetwork(*original, buffer).ok());
+  auto loaded = LoadRoadNetwork(buffer).MoveValueUnsafe();
+
+  DijkstraSearch s1(*original), s2(*loaded);
+  EXPECT_DOUBLE_EQ(s1.ShortestPath(0, 48).cost, s2.ShortestPath(0, 48).cost);
+}
+
+TEST(GraphIoTest, RejectsBadMagic) {
+  std::stringstream buffer("xyz 1\n1 0\n0 0\n");
+  EXPECT_FALSE(LoadRoadNetwork(buffer).ok());
+}
+
+TEST(GraphIoTest, RejectsWrongVersion) {
+  std::stringstream buffer("ecg 99\n1 0\n0 0\n");
+  EXPECT_FALSE(LoadRoadNetwork(buffer).ok());
+}
+
+TEST(GraphIoTest, RejectsTruncatedNodes) {
+  std::stringstream buffer("ecg 1\n3 0\n0 0\n1 1\n");
+  EXPECT_FALSE(LoadRoadNetwork(buffer).ok());
+}
+
+TEST(GraphIoTest, RejectsTruncatedEdges) {
+  std::stringstream buffer("ecg 1\n2 2\n0 0\n1 1\n0 1 10.0 0\n");
+  EXPECT_FALSE(LoadRoadNetwork(buffer).ok());
+}
+
+TEST(GraphIoTest, RejectsInvalidRoadClass) {
+  std::stringstream buffer("ecg 1\n2 1\n0 0\n1 1\n0 1 10.0 7\n");
+  EXPECT_FALSE(LoadRoadNetwork(buffer).ok());
+}
+
+TEST(GraphIoTest, RejectsOutOfRangeEdge) {
+  std::stringstream buffer("ecg 1\n2 1\n0 0\n1 1\n0 9 10.0 0\n");
+  EXPECT_FALSE(LoadRoadNetwork(buffer).ok());
+}
+
+TEST(GraphIoTest, FileApiFailsOnMissingPath) {
+  EXPECT_FALSE(LoadRoadNetworkFile("/no/such/file.ecg").ok());
+}
+
+}  // namespace
+}  // namespace ecocharge

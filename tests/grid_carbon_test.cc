@@ -1,0 +1,71 @@
+#include "energy/grid.h"
+
+#include <gtest/gtest.h>
+
+namespace ecocharge {
+namespace {
+
+TEST(GridCarbonTest, NoonDipEveningPeak) {
+  GridCarbonModel model;
+  double noon = model.IntensityAt(13.0 * kSecondsPerHour);
+  double evening = model.IntensityAt(19.5 * kSecondsPerHour);
+  double night = model.IntensityAt(3.0 * kSecondsPerHour);
+  EXPECT_LT(noon, night);
+  EXPECT_GT(evening, night);
+  EXPECT_GT(evening, noon);
+}
+
+TEST(GridCarbonTest, FlatWhenSwingIsZero) {
+  GridCarbonModel model;
+  model.diurnal_swing = 0.0;
+  for (int h = 0; h < 24; ++h) {
+    EXPECT_DOUBLE_EQ(model.IntensityAt(h * kSecondsPerHour),
+                     model.average_kg_per_kwh);
+  }
+}
+
+TEST(GridCarbonTest, IntensityNeverNegative) {
+  GridCarbonModel model;
+  model.diurnal_swing = 2.0;  // exaggerated swing
+  for (double h = 0.0; h < 24.0; h += 0.25) {
+    EXPECT_GE(model.IntensityAt(h * kSecondsPerHour), 0.0);
+  }
+}
+
+TEST(GridCarbonTest, AvoidedScalesWithEnergy) {
+  GridCarbonModel model;
+  SimTime t = 12.0 * kSecondsPerHour;
+  double one = model.AvoidedKg(1.0, t, 3600.0);
+  double ten = model.AvoidedKg(10.0, t, 3600.0);
+  EXPECT_NEAR(ten, 10.0 * one, 1e-9);
+  EXPECT_EQ(model.AvoidedKg(0.0, t, 3600.0), 0.0);
+  EXPECT_EQ(model.AvoidedKg(-1.0, t, 3600.0), 0.0);
+}
+
+TEST(GridCarbonTest, WindowAveragesTheCurve) {
+  GridCarbonModel model;
+  // Charging across the evening peak must credit more CO2 than the same
+  // kWh at the midday dip.
+  double evening = model.AvoidedKg(5.0, 18.5 * kSecondsPerHour,
+                                   2.0 * kSecondsPerHour);
+  double midday =
+      model.AvoidedKg(5.0, 12.0 * kSecondsPerHour, 2.0 * kSecondsPerHour);
+  EXPECT_GT(evening, midday);
+}
+
+TEST(GridCarbonTest, ZeroDurationUsesPointIntensity) {
+  GridCarbonModel model;
+  SimTime t = 10.0 * kSecondsPerHour;
+  EXPECT_DOUBLE_EQ(model.AvoidedKg(2.0, t, 0.0),
+                   2.0 * model.IntensityAt(t));
+}
+
+TEST(GridCarbonTest, WrapAroundMidnightContinuous) {
+  GridCarbonModel model;
+  double before = model.IntensityAt(23.95 * kSecondsPerHour);
+  double after = model.IntensityAt(24.05 * kSecondsPerHour);
+  EXPECT_NEAR(before, after, 0.01);
+}
+
+}  // namespace
+}  // namespace ecocharge

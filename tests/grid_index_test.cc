@@ -1,0 +1,67 @@
+#include "spatial/grid_index.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace ecocharge {
+namespace {
+
+TEST(GridIndexTest, CellSizeTracksDensity) {
+  GridIndex sparse(4.0), dense(4.0);
+  sparse.Build(testing_util::RandomCloud(100, 10000, 10000));
+  dense.Build(testing_util::RandomCloud(10000, 10000, 10000));
+  EXPECT_GT(sparse.cell_size(), dense.cell_size());
+}
+
+TEST(GridIndexTest, QueriesOutsideBoundsStillCorrect) {
+  GridIndex grid;
+  auto cloud = testing_util::RandomCloud(200);
+  grid.Build(cloud);
+  // Query far outside the indexed extent; ring expansion must still find
+  // the true nearest points.
+  auto nn = grid.Knn({-50000.0, -50000.0}, 5);
+  ASSERT_EQ(nn.size(), 5u);
+  for (size_t i = 1; i < nn.size(); ++i) {
+    EXPECT_LE(nn[i - 1].distance, nn[i].distance);
+  }
+}
+
+TEST(GridIndexTest, HandlesExtremeAspectRatio) {
+  GridIndex grid;
+  std::vector<Point> line;
+  for (int i = 0; i < 500; ++i) {
+    line.push_back({static_cast<double>(i) * 100.0, 0.0});
+  }
+  grid.Build(line);
+  auto nn = grid.Knn({25000.0, 10.0}, 3);
+  ASSERT_EQ(nn.size(), 3u);
+  EXPECT_EQ(nn[0].id, 250u);
+}
+
+TEST(GridIndexTest, CellTableBounded) {
+  // Pathological: 2 points spread over a huge extent must not allocate an
+  // unbounded number of cells.
+  GridIndex grid;
+  grid.Build({{0.0, 0.0}, {1e9, 1e9}});
+  EXPECT_LE(grid.num_cells(), static_cast<size_t>(1) << 22);
+  auto nn = grid.Knn({1.0, 1.0}, 2);
+  EXPECT_EQ(nn.size(), 2u);
+}
+
+TEST(GridIndexTest, RangeOnCellBoundary) {
+  GridIndex grid(1.0);
+  std::vector<Point> cloud;
+  for (int x = 0; x < 10; ++x) {
+    for (int y = 0; y < 10; ++y) {
+      cloud.push_back({x * 10.0, y * 10.0});
+    }
+  }
+  grid.Build(cloud);
+  auto hits = grid.RangeSearch({50.0, 50.0}, 10.0);
+  // Center + the four axis neighbors at exactly distance 10.
+  EXPECT_EQ(hits.size(), 5u);
+}
+
+}  // namespace
+}  // namespace ecocharge

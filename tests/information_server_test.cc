@@ -1,0 +1,108 @@
+#include "eis/information_server.h"
+
+#include <gtest/gtest.h>
+
+namespace ecocharge {
+namespace {
+
+class InformationServerTest : public ::testing::Test {
+ protected:
+  InformationServerTest()
+      : energy_(SolarModel{}, ClimateParams{}, 11),
+        availability_(12),
+        congestion_(13),
+        server_(&energy_, &availability_, &congestion_) {}
+
+  EvCharger Charger(ChargerId id = 0) {
+    EvCharger c;
+    c.id = id;
+    c.pv_capacity_kw = 40.0;
+    c.type = ChargerType::kAc22;
+    return c;
+  }
+
+  SolarEnergyService energy_;
+  AvailabilityService availability_;
+  CongestionModel congestion_;
+  InformationServer server_;
+};
+
+TEST_F(InformationServerTest, CachesIdenticalRequests) {
+  EvCharger c = Charger();
+  SimTime now = 9.0 * kSecondsPerHour;
+  SimTime target = now + 1800.0;
+  EnergyForecast a = server_.GetEnergyForecast(c, now, target, 3600.0);
+  EnergyForecast b = server_.GetEnergyForecast(c, now, target, 3600.0);
+  EXPECT_EQ(a.min_kwh, b.min_kwh);
+  EXPECT_EQ(a.max_kwh, b.max_kwh);
+  EisCallStats stats = server_.Stats();
+  EXPECT_EQ(stats.weather_api_calls, 1u);
+  EXPECT_EQ(stats.weather_cache.hits, 1u);
+}
+
+TEST_F(InformationServerTest, SameBucketSharesResponse) {
+  // Two targets inside the same 15-minute bucket produce one upstream call.
+  EvCharger c = Charger();
+  SimTime now = 9.0 * kSecondsPerHour;
+  server_.GetEnergyForecast(c, now, now + 60.0, 3600.0);
+  server_.GetEnergyForecast(c, now, now + 500.0, 3600.0);
+  EXPECT_EQ(server_.Stats().weather_api_calls, 1u);
+}
+
+TEST_F(InformationServerTest, DifferentBucketsDifferentCalls) {
+  EvCharger c = Charger();
+  SimTime now = 9.0 * kSecondsPerHour;
+  server_.GetEnergyForecast(c, now, now + 60.0, 3600.0);
+  server_.GetEnergyForecast(c, now, now + 2000.0, 3600.0);  // next bucket
+  EXPECT_EQ(server_.Stats().weather_api_calls, 2u);
+}
+
+TEST_F(InformationServerTest, DifferentChargersDifferentCalls) {
+  SimTime now = 9.0 * kSecondsPerHour;
+  server_.GetAvailability(Charger(1), now, now + 600.0);
+  server_.GetAvailability(Charger(2), now, now + 600.0);
+  EXPECT_EQ(server_.Stats().availability_api_calls, 2u);
+}
+
+TEST_F(InformationServerTest, ResponsesArePureFunctionsOfKey) {
+  // The response for a key must not depend on cache warm-state: drop the
+  // cache by letting the TTL expire and verify the recomputed value
+  // matches the original.
+  EisOptions opts;
+  opts.availability_ttl_s = 1.0;
+  InformationServer fresh(&energy_, &availability_, &congestion_, opts);
+  EvCharger c = Charger(4);
+  SimTime now = 14.0 * kSecondsPerHour;
+  AvailabilityForecast first = fresh.GetAvailability(c, now, now + 600.0);
+  // Expire (age > 1 s), then re-request at a slightly later time within
+  // the same 15-minute bucket.
+  AvailabilityForecast second =
+      fresh.GetAvailability(c, now + 30.0, now + 630.0);
+  EXPECT_EQ(first.min, second.min);
+  EXPECT_EQ(first.max, second.max);
+  EXPECT_EQ(fresh.Stats().availability_api_calls, 2u);
+}
+
+TEST_F(InformationServerTest, TrafficKeyedByRoadClass) {
+  SimTime now = 8.0 * kSecondsPerHour;
+  auto highway = server_.GetTraffic(RoadClass::kHighway, now, now);
+  auto local = server_.GetTraffic(RoadClass::kLocal, now, now);
+  EXPECT_EQ(server_.Stats().traffic_api_calls, 2u);
+  // Rush hour: highways slower than locals.
+  EXPECT_LT(highway.max, local.max + 1e-12);
+}
+
+TEST_F(InformationServerTest, ForecastMatchesUnderlyingService) {
+  // The EIS must return what the upstream service would (for the snapped
+  // bucket time) — caching changes cost, not answers.
+  EvCharger c = Charger(9);
+  SimTime now = 10.0 * kSecondsPerHour;     // exactly on a bucket boundary
+  SimTime target = 10.5 * kSecondsPerHour;  // also on a boundary
+  AvailabilityForecast via_eis = server_.GetAvailability(c, now, target);
+  AvailabilityForecast direct = availability_.Forecast(c, now, target);
+  EXPECT_EQ(via_eis.min, direct.min);
+  EXPECT_EQ(via_eis.max, direct.max);
+}
+
+}  // namespace
+}  // namespace ecocharge

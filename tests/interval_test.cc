@@ -1,0 +1,108 @@
+#include "core/interval.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace ecocharge {
+namespace {
+
+TEST(IntervalTest, ExactCollapses) {
+  Interval iv = Interval::Exact(3.5);
+  EXPECT_TRUE(iv.IsExact());
+  EXPECT_EQ(iv.Mid(), 3.5);
+  EXPECT_EQ(iv.Width(), 0.0);
+}
+
+TEST(IntervalTest, FromUnorderedSwaps) {
+  Interval iv = Interval::FromUnordered(5.0, 2.0);
+  EXPECT_EQ(iv.lo, 2.0);
+  EXPECT_EQ(iv.hi, 5.0);
+}
+
+TEST(IntervalTest, ContainsAndIntersects) {
+  Interval iv{1.0, 3.0};
+  EXPECT_TRUE(iv.Contains(1.0));
+  EXPECT_TRUE(iv.Contains(3.0));
+  EXPECT_FALSE(iv.Contains(3.0001));
+  EXPECT_TRUE(iv.Intersects({3.0, 5.0}));  // touching counts
+  EXPECT_FALSE(iv.Intersects({3.1, 5.0}));
+  EXPECT_TRUE(iv.Intersects({0.0, 10.0}));  // containment
+}
+
+TEST(IntervalTest, AdditionIsExactEnclosure) {
+  Interval a{1.0, 2.0}, b{-1.0, 4.0};
+  Interval sum = a + b;
+  EXPECT_EQ(sum.lo, 0.0);
+  EXPECT_EQ(sum.hi, 6.0);
+}
+
+TEST(IntervalTest, SubtractionFlipsOperand) {
+  Interval a{1.0, 2.0}, b{0.5, 3.0};
+  Interval diff = a - b;
+  EXPECT_EQ(diff.lo, -2.0);
+  EXPECT_EQ(diff.hi, 1.5);
+}
+
+TEST(IntervalTest, ScalarMultiplicationHandlesSign) {
+  Interval iv{1.0, 2.0};
+  Interval pos = iv * 3.0;
+  EXPECT_EQ(pos.lo, 3.0);
+  EXPECT_EQ(pos.hi, 6.0);
+  Interval neg = iv * -1.0;
+  EXPECT_EQ(neg.lo, -2.0);
+  EXPECT_EQ(neg.hi, -1.0);
+}
+
+TEST(IntervalTest, ComplementFor1MinusX) {
+  Interval d{0.2, 0.7};
+  Interval c = d.Complement();
+  EXPECT_NEAR(c.lo, 0.3, 1e-12);
+  EXPECT_NEAR(c.hi, 0.8, 1e-12);
+}
+
+TEST(IntervalTest, ClampedStaysOrdered) {
+  Interval iv{-0.5, 1.5};
+  Interval c = iv.Clamped(0.0, 1.0);
+  EXPECT_EQ(c.lo, 0.0);
+  EXPECT_EQ(c.hi, 1.0);
+}
+
+TEST(IntervalTest, UnionIsHull) {
+  Interval a{0.0, 1.0}, b{3.0, 4.0};
+  Interval u = a.Union(b);
+  EXPECT_EQ(u.lo, 0.0);
+  EXPECT_EQ(u.hi, 4.0);
+}
+
+TEST(IntervalPropertyTest, ArithmeticEnclosesPointwiseSamples) {
+  // Fundamental soundness of interval arithmetic: for random x in a and
+  // y in b, x+y lies in a+b and x-y in a-b.
+  Rng rng(55);
+  for (int trial = 0; trial < 200; ++trial) {
+    Interval a = Interval::FromUnordered(rng.NextDouble(-10, 10),
+                                         rng.NextDouble(-10, 10));
+    Interval b = Interval::FromUnordered(rng.NextDouble(-10, 10),
+                                         rng.NextDouble(-10, 10));
+    double x = rng.NextDouble(a.lo, a.hi == a.lo ? a.lo + 1e-12 : a.hi);
+    double y = rng.NextDouble(b.lo, b.hi == b.lo ? b.lo + 1e-12 : b.hi);
+    EXPECT_TRUE((a + b).Contains(x + y));
+    EXPECT_TRUE((a - b).Contains(x - y));
+    double s = rng.NextDouble(-3.0, 3.0);
+    Interval scaled = a * s;
+    EXPECT_GE(x * s, scaled.lo - 1e-9);
+    EXPECT_LE(x * s, scaled.hi + 1e-9);
+  }
+}
+
+TEST(IntervalTest, MidLessOrderingIsDeterministic) {
+  Interval a{0.0, 1.0};  // mid 0.5
+  Interval b{0.25, 0.75};  // mid 0.5, higher lo
+  EXPECT_TRUE(IntervalMidLess(a, b));
+  EXPECT_FALSE(IntervalMidLess(b, a));
+  Interval c{0.0, 2.0};  // mid 1.0
+  EXPECT_TRUE(IntervalMidLess(a, c));
+}
+
+}  // namespace
+}  // namespace ecocharge

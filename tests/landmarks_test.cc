@@ -1,0 +1,90 @@
+#include "graph/landmarks.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+
+namespace ecocharge {
+namespace {
+
+std::shared_ptr<RoadNetwork> Network() {
+  GridNetworkOptions opts;
+  opts.nx = 10;
+  opts.ny = 10;
+  opts.spacing_m = 300.0;
+  opts.seed = 6;
+  return MakeGridNetwork(opts).MoveValueUnsafe();
+}
+
+TEST(LandmarkTest, RequestedCountOrNodeBound) {
+  auto network = Network();
+  LandmarkIndex small(*network, 4);
+  EXPECT_EQ(small.num_landmarks(), 4u);
+  LandmarkIndex over(*network, 1000);
+  EXPECT_LE(over.num_landmarks(), network->NumNodes());
+}
+
+TEST(LandmarkTest, LowerBoundIsAdmissible) {
+  // The core ALT property: LowerBound(u, v) <= true network distance, for
+  // every random pair.
+  auto network = Network();
+  LandmarkIndex landmarks(*network, 6);
+  DijkstraSearch search(*network);
+  Rng rng(31);
+  for (int trial = 0; trial < 100; ++trial) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(network->NumNodes()));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(network->NumNodes()));
+    double truth = search.ShortestPath(u, v).cost;
+    double bound = landmarks.LowerBound(u, v);
+    EXPECT_LE(bound, truth + 1e-6) << u << "->" << v;
+    EXPECT_GE(bound, 0.0);
+  }
+}
+
+TEST(LandmarkTest, BoundIsExactFromLandmark) {
+  auto network = Network();
+  LandmarkIndex landmarks(*network, 4);
+  DijkstraSearch search(*network);
+  // From a landmark itself the triangle inequality is tight.
+  NodeId lm = landmarks.landmarks()[0];
+  Rng rng(37);
+  for (int trial = 0; trial < 20; ++trial) {
+    NodeId v = static_cast<NodeId>(rng.NextBounded(network->NumNodes()));
+    double truth = search.ShortestPath(lm, v).cost;
+    EXPECT_NEAR(landmarks.LowerBound(lm, v), truth, 1e-6);
+  }
+}
+
+TEST(LandmarkTest, MoreLandmarksTightenBounds) {
+  auto network = Network();
+  LandmarkIndex few(*network, 2);
+  LandmarkIndex many(*network, 8);
+  Rng rng(41);
+  double few_sum = 0.0, many_sum = 0.0;
+  for (int trial = 0; trial < 50; ++trial) {
+    NodeId u = static_cast<NodeId>(rng.NextBounded(network->NumNodes()));
+    NodeId v = static_cast<NodeId>(rng.NextBounded(network->NumNodes()));
+    few_sum += few.LowerBound(u, v);
+    many_sum += many.LowerBound(u, v);
+    // Pointwise: the 8-landmark set contains the 2-landmark set (farthest
+    // point selection is prefix-stable), so bounds can only improve.
+    EXPECT_GE(many.LowerBound(u, v), few.LowerBound(u, v) - 1e-9);
+  }
+  EXPECT_GE(many_sum, few_sum);
+}
+
+TEST(LandmarkTest, LandmarksAreSpread) {
+  auto network = Network();
+  LandmarkIndex landmarks(*network, 4);
+  // Farthest-point selection must not pick duplicates.
+  const auto& lms = landmarks.landmarks();
+  for (size_t i = 0; i < lms.size(); ++i) {
+    for (size_t j = i + 1; j < lms.size(); ++j) {
+      EXPECT_NE(lms[i], lms[j]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ecocharge

@@ -1,0 +1,134 @@
+#include "core/load_balancer.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace ecocharge {
+namespace {
+
+TEST(LoadBalancerTest, PendingWindowsCounted) {
+  ChargerLoadBalancer balancer;
+  balancer.RecordAssignment(5, 100.0, 60.0);
+  balancer.RecordAssignment(5, 120.0, 60.0);
+  EXPECT_EQ(balancer.PendingAt(5, 130.0), 2u);
+  EXPECT_EQ(balancer.PendingAt(5, 110.0), 1u);
+  EXPECT_EQ(balancer.PendingAt(5, 200.0), 0u);
+  EXPECT_EQ(balancer.PendingAt(6, 130.0), 0u);
+  EXPECT_EQ(balancer.total_assignments(), 2u);
+}
+
+TEST(LoadBalancerTest, WindowBoundariesHalfOpen) {
+  ChargerLoadBalancer balancer;
+  balancer.RecordAssignment(1, 100.0, 50.0);
+  EXPECT_EQ(balancer.PendingAt(1, 100.0), 1u);  // start inclusive
+  EXPECT_EQ(balancer.PendingAt(1, 150.0), 0u);  // end exclusive
+}
+
+TEST(LoadBalancerTest, PenaltyScalesAndCaps) {
+  LoadBalancerOptions opts;
+  opts.penalty_per_pending = 0.1;
+  opts.max_penalty = 0.25;
+  ChargerLoadBalancer balancer(opts);
+  EXPECT_EQ(balancer.Penalty(1, 100.0, 2), 0.0);
+  balancer.RecordAssignment(1, 90.0, 60.0);
+  double one = balancer.Penalty(1, 100.0, 2);
+  EXPECT_GT(one, 0.0);
+  balancer.RecordAssignment(1, 90.0, 60.0);
+  balancer.RecordAssignment(1, 90.0, 60.0);
+  balancer.RecordAssignment(1, 90.0, 60.0);
+  balancer.RecordAssignment(1, 90.0, 60.0);
+  balancer.RecordAssignment(1, 90.0, 60.0);
+  EXPECT_LE(balancer.Penalty(1, 100.0, 2), opts.max_penalty + 1e-12);
+}
+
+TEST(LoadBalancerTest, MorePortsAbsorbDemand) {
+  ChargerLoadBalancer balancer;
+  balancer.RecordAssignment(1, 0.0, 100.0);
+  balancer.RecordAssignment(2, 0.0, 100.0);
+  EXPECT_GT(balancer.Penalty(1, 50.0, 1), balancer.Penalty(2, 50.0, 8));
+}
+
+TEST(LoadBalancerTest, ExpireDropsOldWindows) {
+  ChargerLoadBalancer balancer;
+  balancer.RecordAssignment(1, 0.0, 100.0);
+  balancer.RecordAssignment(1, 500.0, 100.0);
+  balancer.ExpireBefore(200.0);
+  EXPECT_EQ(balancer.PendingAt(1, 50.0), 0u);
+  EXPECT_EQ(balancer.PendingAt(1, 550.0), 1u);
+}
+
+TEST(LoadBalancerTest, ClearResetsEverything) {
+  ChargerLoadBalancer balancer;
+  balancer.RecordAssignment(1, 0.0, 100.0);
+  balancer.Clear();
+  EXPECT_EQ(balancer.PendingAt(1, 50.0), 0u);
+  EXPECT_EQ(balancer.total_assignments(), 0u);
+}
+
+class BalancedRankerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = testing_util::TinyEnvironment(60);
+    ASSERT_NE(env_, nullptr);
+    states_ = testing_util::TinyWorkload(*env_, 4);
+    ASSERT_FALSE(states_.empty());
+  }
+  std::unique_ptr<Environment> env_;
+  std::vector<VehicleState> states_;
+};
+
+TEST_F(BalancedRankerTest, RecordsOneAssignmentPerQuery) {
+  BalancedEcoChargeRanker ranker(env_->estimator.get(),
+                                 env_->charger_index.get(),
+                                 ScoreWeights::AWE(), EcoChargeOptions{});
+  for (const VehicleState& s : states_) ranker.Rank(s, 3);
+  EXPECT_EQ(ranker.balancer().total_assignments(), states_.size());
+}
+
+TEST_F(BalancedRankerTest, SpreadsSimultaneousDemand) {
+  // A fleet of vehicles at the same place and time: the unbalanced ranker
+  // sends everyone to the same top charger; the balanced one diversifies.
+  EcoChargeOptions opts;
+  opts.q_distance_m = 0.0;  // isolate the balancing effect from caching
+  LoadBalancerOptions strong;
+  strong.penalty_per_pending = 0.3;
+  BalancedEcoChargeRanker balanced(env_->estimator.get(),
+                                   env_->charger_index.get(),
+                                   ScoreWeights::AWE(), opts, strong);
+  EcoChargeRanker plain(env_->estimator.get(), env_->charger_index.get(),
+                        ScoreWeights::AWE(), opts);
+
+  const VehicleState& base = states_[0];
+  std::set<ChargerId> balanced_tops, plain_tops;
+  for (int vehicle = 0; vehicle < 6; ++vehicle) {
+    balanced_tops.insert(balanced.Rank(base, 3).top().charger_id);
+    plain.Reset();
+    plain_tops.insert(plain.Rank(base, 3).top().charger_id);
+  }
+  EXPECT_EQ(plain_tops.size(), 1u);
+  EXPECT_GT(balanced_tops.size(), 1u);
+}
+
+TEST_F(BalancedRankerTest, ResetClearsAssignments) {
+  BalancedEcoChargeRanker ranker(env_->estimator.get(),
+                                 env_->charger_index.get(),
+                                 ScoreWeights::AWE(), EcoChargeOptions{});
+  ranker.Rank(states_[0], 3);
+  ranker.Reset();
+  EXPECT_EQ(ranker.balancer().total_assignments(), 0u);
+}
+
+TEST_F(BalancedRankerTest, StillReturnsKEntries) {
+  BalancedEcoChargeRanker ranker(env_->estimator.get(),
+                                 env_->charger_index.get(),
+                                 ScoreWeights::AWE(), EcoChargeOptions{});
+  OfferingTable t = ranker.Rank(states_[0], 3);
+  EXPECT_EQ(t.size(), 3u);
+  for (size_t i = 1; i < t.size(); ++i) {
+    EXPECT_GE(t.entries[i - 1].SortKey(), t.entries[i].SortKey());
+  }
+}
+
+}  // namespace
+}  // namespace ecocharge

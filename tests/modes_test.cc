@@ -1,0 +1,62 @@
+#include "eis/modes.h"
+
+#include <gtest/gtest.h>
+
+namespace ecocharge {
+namespace {
+
+TEST(ModesTest, NamesDistinct) {
+  EXPECT_NE(ExecutionModeName(ExecutionMode::kEmbedded),
+            ExecutionModeName(ExecutionMode::kServer));
+  EXPECT_NE(ExecutionModeName(ExecutionMode::kServer),
+            ExecutionModeName(ExecutionMode::kEdge));
+}
+
+TEST(ModesTest, ServerModeIndependentOfApiBatches) {
+  ModeLatencyModel model;
+  double a = model.EndToEndMs(ExecutionMode::kServer, 10.0, 0);
+  double b = model.EndToEndMs(ExecutionMode::kServer, 10.0, 5);
+  EXPECT_EQ(a, b);  // server already holds the data
+}
+
+TEST(ModesTest, EmbeddedSlowerThanEdgeSlowerThanServerCpu) {
+  ModeLatencyModel model;
+  double embedded = model.EndToEndMs(ExecutionMode::kEmbedded, 100.0, 1);
+  double edge = model.EndToEndMs(ExecutionMode::kEdge, 100.0, 1);
+  double server = model.EndToEndMs(ExecutionMode::kServer, 100.0, 1);
+  EXPECT_GT(embedded, edge);
+  EXPECT_GT(edge, server);
+}
+
+TEST(ModesTest, TinyComputeFavorsLocalExecution) {
+  // With negligible compute the local modes skip the round trip and win.
+  ModeLatencyModel model;
+  double embedded = model.EndToEndMs(ExecutionMode::kEmbedded, 0.1, 1);
+  double server = model.EndToEndMs(ExecutionMode::kServer, 0.1, 1);
+  EXPECT_LT(embedded, server);
+}
+
+TEST(ModesTest, CrossoverAtExpectedComputeTime) {
+  // Mode 2 total: c + rtt. Mode 1 total: c*f + fetch. Mode 1 loses once
+  // c (f - 1) > rtt - fetch.
+  ModeLatencyModel model;
+  double crossover = (model.server_rtt_ms - model.per_api_batch_ms) /
+                     (model.embedded_cpu_factor - 1.0);
+  double below = crossover * 0.5;
+  double above = crossover * 2.0;
+  EXPECT_LT(model.EndToEndMs(ExecutionMode::kEmbedded, below, 1),
+            model.EndToEndMs(ExecutionMode::kServer, below, 1));
+  EXPECT_GT(model.EndToEndMs(ExecutionMode::kEmbedded, above, 1),
+            model.EndToEndMs(ExecutionMode::kServer, above, 1));
+}
+
+TEST(ModesTest, LatencyScalesWithCompute) {
+  ModeLatencyModel model;
+  for (ExecutionMode mode : {ExecutionMode::kEmbedded, ExecutionMode::kServer,
+                             ExecutionMode::kEdge}) {
+    EXPECT_LT(model.EndToEndMs(mode, 1.0, 1), model.EndToEndMs(mode, 50.0, 1));
+  }
+}
+
+}  // namespace
+}  // namespace ecocharge

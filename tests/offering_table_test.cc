@@ -1,0 +1,63 @@
+#include "core/offering_table.h"
+
+#include <gtest/gtest.h>
+
+namespace ecocharge {
+namespace {
+
+OfferingEntry Entry(ChargerId id, double sc) {
+  OfferingEntry e;
+  e.charger_id = id;
+  e.score = ScorePair{sc, sc};
+  return e;
+}
+
+TEST(OfferingTableTest, SortIsDescendingWithIdTies) {
+  std::vector<OfferingEntry> entries = {Entry(3, 0.5), Entry(1, 0.9),
+                                        Entry(7, 0.5), Entry(2, 0.7)};
+  SortOfferingEntries(entries);
+  EXPECT_EQ(entries[0].charger_id, 1u);
+  EXPECT_EQ(entries[1].charger_id, 2u);
+  EXPECT_EQ(entries[2].charger_id, 3u);  // tie with 7 -> lower id first
+  EXPECT_EQ(entries[3].charger_id, 7u);
+}
+
+TEST(OfferingTableTest, ChargerIdsPreserveRankOrder) {
+  OfferingTable table;
+  table.entries = {Entry(4, 0.9), Entry(2, 0.8), Entry(9, 0.1)};
+  std::vector<ChargerId> ids = table.ChargerIds();
+  EXPECT_EQ(ids, (std::vector<ChargerId>{4, 2, 9}));
+  EXPECT_EQ(table.top().charger_id, 4u);
+  EXPECT_EQ(table.size(), 3u);
+  EXPECT_FALSE(table.empty());
+}
+
+TEST(OfferingTableTest, ToStringListsEntries) {
+  OfferingTable table;
+  table.generated_at = 9.0 * kSecondsPerHour;
+  table.entries = {Entry(0, 0.8)};
+  std::vector<EvCharger> fleet(1);
+  fleet[0].id = 0;
+  fleet[0].type = ChargerType::kDc50;
+  std::string s = table.ToString(fleet);
+  EXPECT_NE(s.find("charger b0"), std::string::npos);
+  EXPECT_NE(s.find("DC-50kW"), std::string::npos);
+}
+
+TEST(OfferingTableTest, ToStringMarksCacheAdaptation) {
+  OfferingTable table;
+  table.adapted_from_cache = true;
+  std::string s = table.ToString({});
+  EXPECT_NE(s.find("adapted from cache"), std::string::npos);
+}
+
+TEST(OfferingTableTest, ToStringHandlesUnknownCharger) {
+  OfferingTable table;
+  table.entries = {Entry(42, 0.5)};
+  // Fleet smaller than the id: no metadata, but no crash either.
+  std::string s = table.ToString({});
+  EXPECT_NE(s.find("b42"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ecocharge

@@ -1,0 +1,118 @@
+#include "geo/polyline.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace ecocharge {
+namespace {
+
+Polyline LShape() {
+  return Polyline({{0, 0}, {10, 0}, {10, 10}});
+}
+
+TEST(SegmentTest, ClosestPointClampsToEndpoints) {
+  Point a{0, 0}, b{10, 0};
+  EXPECT_EQ(ClosestPointOnSegment(a, b, {5, 3}), (Point{5, 0}));
+  EXPECT_EQ(ClosestPointOnSegment(a, b, {-4, 2}), a);
+  EXPECT_EQ(ClosestPointOnSegment(a, b, {15, -2}), b);
+}
+
+TEST(SegmentTest, DegenerateSegment) {
+  Point a{2, 2};
+  EXPECT_EQ(ClosestPointOnSegment(a, a, {5, 6}), a);
+  EXPECT_DOUBLE_EQ(DistanceToSegment(a, a, {5, 6}), 5.0);
+}
+
+TEST(PolylineTest, LengthAccumulates) {
+  Polyline line = LShape();
+  EXPECT_DOUBLE_EQ(line.Length(), 20.0);
+  EXPECT_DOUBLE_EQ(line.LengthUpTo(0), 0.0);
+  EXPECT_DOUBLE_EQ(line.LengthUpTo(1), 10.0);
+  EXPECT_DOUBLE_EQ(line.LengthUpTo(2), 20.0);
+}
+
+TEST(PolylineTest, AppendMatchesConstructor) {
+  Polyline a = LShape();
+  Polyline b;
+  b.Append({0, 0});
+  b.Append({10, 0});
+  b.Append({10, 10});
+  EXPECT_DOUBLE_EQ(a.Length(), b.Length());
+  EXPECT_EQ(a.points(), b.points());
+}
+
+TEST(PolylineTest, AtInterpolatesAlongArcLength) {
+  Polyline line = LShape();
+  EXPECT_EQ(line.At(0.0), (Point{0, 0}));
+  EXPECT_EQ(line.At(5.0), (Point{5, 0}));
+  EXPECT_EQ(line.At(10.0), (Point{10, 0}));
+  EXPECT_EQ(line.At(15.0), (Point{10, 5}));
+  EXPECT_EQ(line.At(20.0), (Point{10, 10}));
+  // Clamping.
+  EXPECT_EQ(line.At(-3.0), (Point{0, 0}));
+  EXPECT_EQ(line.At(99.0), (Point{10, 10}));
+}
+
+TEST(PolylineTest, DistanceToNearestSegment) {
+  Polyline line = LShape();
+  EXPECT_DOUBLE_EQ(line.DistanceTo({5, 2}), 2.0);
+  EXPECT_DOUBLE_EQ(line.DistanceTo({12, 5}), 2.0);
+  EXPECT_DOUBLE_EQ(line.DistanceTo({10, 10}), 0.0);
+}
+
+TEST(PolylineTest, ProjectReturnsArcLengthOfClosestPoint) {
+  Polyline line = LShape();
+  EXPECT_DOUBLE_EQ(line.Project({5, 3}), 5.0);
+  EXPECT_DOUBLE_EQ(line.Project({13, 7}), 17.0);
+  EXPECT_DOUBLE_EQ(line.Project({-5, -5}), 0.0);
+}
+
+TEST(PolylineTest, ProjectAtInverse) {
+  // For points on the line, At(Project(p)) == p.
+  Polyline line = LShape();
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    double s = rng.NextDouble(0.0, line.Length());
+    Point p = line.At(s);
+    EXPECT_NEAR(line.Project(p), s, 1e-9);
+  }
+}
+
+TEST(PolylineTest, SliceCoversRequestedRange) {
+  Polyline line = LShape();
+  Polyline mid = line.Slice(5.0, 15.0);
+  EXPECT_NEAR(mid.Length(), 10.0, 1e-9);
+  EXPECT_EQ(mid.front(), (Point{5, 0}));
+  EXPECT_EQ(mid.back(), (Point{10, 5}));
+  // Interior vertex (10, 0) must be preserved.
+  EXPECT_EQ(mid.size(), 3u);
+}
+
+TEST(PolylineTest, SliceClampsAndOrders) {
+  Polyline line = LShape();
+  Polyline all = line.Slice(-5.0, 100.0);
+  EXPECT_NEAR(all.Length(), 20.0, 1e-9);
+  Polyline empty_ish = line.Slice(7.0, 7.0);
+  EXPECT_NEAR(empty_ish.Length(), 0.0, 1e-9);
+  EXPECT_GE(empty_ish.size(), 1u);
+}
+
+TEST(PolylineTest, BoundsCoverAllVertices) {
+  Polyline line = LShape();
+  BoundingBox box = line.Bounds();
+  EXPECT_EQ(box.min, (Point{0, 0}));
+  EXPECT_EQ(box.max, (Point{10, 10}));
+}
+
+TEST(PolylineTest, EmptyAndSinglePoint) {
+  Polyline empty;
+  EXPECT_EQ(empty.Length(), 0.0);
+  Polyline single({{3, 4}});
+  EXPECT_EQ(single.Length(), 0.0);
+  EXPECT_EQ(single.At(10.0), (Point{3, 4}));
+  EXPECT_DOUBLE_EQ(single.DistanceTo({0, 0}), 5.0);
+}
+
+}  // namespace
+}  // namespace ecocharge

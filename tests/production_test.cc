@@ -1,0 +1,132 @@
+#include "energy/production.h"
+
+#include <gtest/gtest.h>
+
+namespace ecocharge {
+namespace {
+
+EvCharger TestCharger(ChargerType type = ChargerType::kAc22,
+                      double pv_kw = 40.0) {
+  EvCharger c;
+  c.id = 1;
+  c.type = type;
+  c.pv_capacity_kw = pv_kw;
+  return c;
+}
+
+TEST(ProductionTraceTest, SlotsCoverRequestedSpan) {
+  SolarModel solar;
+  WeatherProcess weather(ClimateParams{}, 3);
+  auto trace = ProductionTrace::Generate(30.0, solar, &weather, 0.0,
+                                         kSecondsPerDay)
+                   .MoveValueUnsafe();
+  EXPECT_EQ(trace.num_slots(), 96u);  // 24h at 15-min
+}
+
+TEST(ProductionTraceTest, NightSlotsAreZero) {
+  SolarModel solar;
+  WeatherProcess weather(ClimateParams{}, 3);
+  auto trace = ProductionTrace::Generate(30.0, solar, &weather, 0.0,
+                                         kSecondsPerDay)
+                   .MoveValueUnsafe();
+  // Slots 0..3 are 00:00-01:00.
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(trace.kwh_per_slot()[i], 0.0);
+  }
+  // Midday slot produces.
+  EXPECT_GT(trace.kwh_per_slot()[48], 0.0);
+}
+
+TEST(ProductionTraceTest, EnergyBetweenProrates) {
+  SolarModel solar;
+  WeatherProcess weather(ClimateParams{1.0, 1.0}, 3);  // always sunny-ish
+  auto trace = ProductionTrace::Generate(30.0, solar, &weather, 0.0,
+                                         kSecondsPerDay)
+                   .MoveValueUnsafe();
+  double full = trace.EnergyBetween(0.0, kSecondsPerDay);
+  double halves = trace.EnergyBetween(0.0, kSecondsPerDay / 2) +
+                  trace.EnergyBetween(kSecondsPerDay / 2, kSecondsPerDay);
+  EXPECT_NEAR(full, halves, 1e-9);
+  // Partial slot: half of slot 48.
+  double slot48 = trace.kwh_per_slot()[48];
+  double t0 = 48 * ProductionTrace::kSlotSeconds;
+  EXPECT_NEAR(
+      trace.EnergyBetween(t0, t0 + ProductionTrace::kSlotSeconds / 2),
+      slot48 / 2, 1e-9);
+}
+
+TEST(ProductionTraceTest, OutOfRangeContributesZero) {
+  SolarModel solar;
+  WeatherProcess weather(ClimateParams{}, 3);
+  auto trace =
+      ProductionTrace::Generate(30.0, solar, &weather, 0.0, kSecondsPerHour)
+          .MoveValueUnsafe();
+  EXPECT_EQ(trace.EnergyBetween(-100.0, 0.0), 0.0);
+  EXPECT_EQ(trace.EnergyBetween(kSecondsPerDay, 2 * kSecondsPerDay), 0.0);
+  EXPECT_EQ(trace.EnergyBetween(50.0, 50.0), 0.0);
+}
+
+TEST(ProductionTraceTest, RejectsBadArgs) {
+  SolarModel solar;
+  WeatherProcess weather(ClimateParams{}, 3);
+  EXPECT_FALSE(
+      ProductionTrace::Generate(-1.0, solar, &weather, 0.0, 100.0).ok());
+  EXPECT_FALSE(
+      ProductionTrace::Generate(10.0, solar, &weather, 100.0, 0.0).ok());
+}
+
+TEST(SolarEnergyServiceTest, ActualEnergyCappedByRate) {
+  SolarModel solar;
+  SolarEnergyService service(solar, ClimateParams{1.0, 1.0}, 5);
+  // Tiny 11 kW AC charger with huge PV: one hour at noon delivers at most
+  // 11 kWh.
+  EvCharger small = TestCharger(ChargerType::kAc11, 500.0);
+  SimTime noon = 12.0 * kSecondsPerHour;
+  double kwh = service.ActualEnergyKwh(small, noon, kSecondsPerHour);
+  EXPECT_LE(kwh, 11.0 + 1e-9);
+  EXPECT_GT(kwh, 5.0);
+}
+
+TEST(SolarEnergyServiceTest, ActualEnergyZeroAtNight) {
+  SolarModel solar;
+  SolarEnergyService service(solar, ClimateParams{}, 5);
+  double kwh = service.ActualEnergyKwh(TestCharger(), 0.0, kSecondsPerHour);
+  EXPECT_EQ(kwh, 0.0);
+}
+
+TEST(SolarEnergyServiceTest, ForecastBracketsOrdered) {
+  SolarModel solar;
+  SolarEnergyService service(solar, ClimateParams{}, 5);
+  EvCharger c = TestCharger();
+  for (int h = 6; h < 20; ++h) {
+    EnergyForecast f = service.ForecastEnergyKwh(
+        c, h * kSecondsPerHour, (h + 1) * kSecondsPerHour, kSecondsPerHour);
+    EXPECT_LE(f.min_kwh, f.max_kwh);
+    EXPECT_GE(f.min_kwh, 0.0);
+  }
+}
+
+TEST(SolarEnergyServiceTest, MaxDeliverableScalesWithWindow) {
+  SolarModel solar;
+  SolarEnergyService service(solar, ClimateParams{}, 5);
+  std::vector<EvCharger> fleet = {TestCharger(ChargerType::kAc11, 100.0),
+                                  TestCharger(ChargerType::kDc50, 30.0)};
+  // Best deliverable per hour: min(50, 30) = 30 kWh beats min(11, 100).
+  EXPECT_DOUBLE_EQ(service.MaxDeliverableKwh(fleet, kSecondsPerHour), 30.0);
+  EXPECT_DOUBLE_EQ(service.MaxDeliverableKwh(fleet, kSecondsPerHour / 2),
+                   15.0);
+}
+
+TEST(SolarEnergyServiceTest, BiggerPvProducesMore) {
+  SolarModel solar;
+  SolarEnergyService service(solar, ClimateParams{1.0, 1.0}, 5);
+  SimTime noon = 12.0 * kSecondsPerHour;
+  double small = service.ActualEnergyKwh(
+      TestCharger(ChargerType::kDc150, 20.0), noon, kSecondsPerHour);
+  double large = service.ActualEnergyKwh(
+      TestCharger(ChargerType::kDc150, 80.0), noon, kSecondsPerHour);
+  EXPECT_GT(large, small * 2);
+}
+
+}  // namespace
+}  // namespace ecocharge

@@ -1,0 +1,81 @@
+#include "spatial/quadtree.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace ecocharge {
+namespace {
+
+TEST(QuadTreeTest, SplitsWhenBucketOverflows) {
+  QuadTree tree(/*bucket_capacity=*/4);
+  tree.Build(testing_util::RandomCloud(100));
+  EXPECT_GT(tree.num_tree_nodes(), 1u);
+  EXPECT_GT(tree.depth(), 0);
+}
+
+TEST(QuadTreeTest, NoSplitUnderCapacity) {
+  QuadTree tree(/*bucket_capacity=*/64);
+  tree.Build(testing_util::RandomCloud(10));
+  EXPECT_EQ(tree.num_tree_nodes(), 1u);
+  EXPECT_EQ(tree.depth(), 0);
+}
+
+TEST(QuadTreeTest, MaxDepthBoundsDegenerateInput) {
+  // 100 identical points can never be separated; the depth cap must stop
+  // the recursion.
+  QuadTree tree(/*bucket_capacity=*/2, /*max_depth=*/6);
+  std::vector<Point> same(100, Point{1.0, 1.0});
+  tree.Build(same);
+  EXPECT_LE(tree.depth(), 6);
+  EXPECT_EQ(tree.Knn({1.0, 1.0}, 100).size(), 100u);
+}
+
+TEST(QuadTreeTest, DepthGrowsLogarithmically) {
+  QuadTree small(8), large(8);
+  small.Build(testing_util::RandomCloud(100, 10000, 10000, 1));
+  large.Build(testing_util::RandomCloud(10000, 10000, 10000, 1));
+  // 100x the points should add only a handful of levels.
+  EXPECT_LE(large.depth(), small.depth() + 6);
+}
+
+TEST(QuadTreeTest, KnnOrderedByDistance) {
+  QuadTree tree;
+  tree.Build(testing_util::RandomCloud(300));
+  auto nn = tree.Knn({5000, 4000}, 25);
+  ASSERT_EQ(nn.size(), 25u);
+  for (size_t i = 1; i < nn.size(); ++i) {
+    EXPECT_LE(nn[i - 1].distance, nn[i].distance);
+  }
+}
+
+TEST(QuadTreeTest, RangeSearchHonorsExactBoundary) {
+  QuadTree tree;
+  tree.Build({{0, 0}, {3, 0}, {5, 0}});
+  auto hits = tree.RangeSearch({0, 0}, 3.0);
+  ASSERT_EQ(hits.size(), 2u);  // distance exactly 3 is included
+  EXPECT_EQ(hits[0].id, 0u);
+  EXPECT_EQ(hits[1].id, 1u);
+}
+
+TEST(QuadTreeTest, BucketCapacityOneWorks) {
+  QuadTree tree(/*bucket_capacity=*/1);
+  auto cloud = testing_util::RandomCloud(64);
+  tree.Build(cloud);
+  auto nn = tree.Knn(cloud[10], 1);
+  ASSERT_EQ(nn.size(), 1u);
+  EXPECT_EQ(nn[0].id, 10u);
+  EXPECT_EQ(nn[0].distance, 0.0);
+}
+
+TEST(QuadTreeTest, RebuildReplacesContents) {
+  QuadTree tree;
+  tree.Build(testing_util::RandomCloud(50));
+  EXPECT_EQ(tree.size(), 50u);
+  tree.Build(testing_util::RandomCloud(5));
+  EXPECT_EQ(tree.size(), 5u);
+  EXPECT_EQ(tree.Knn({0, 0}, 100).size(), 5u);
+}
+
+}  // namespace
+}  // namespace ecocharge

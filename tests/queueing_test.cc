@@ -1,0 +1,117 @@
+#include "availability/queueing.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace ecocharge {
+namespace {
+
+using queueing::AvailabilityProbability;
+using queueing::ErlangB;
+using queueing::ErlangC;
+using queueing::ExpectedWaitSeconds;
+using queueing::OfferedLoad;
+
+TEST(ErlangTest, KnownValues) {
+  // Classic tabulated values: B(a=2, c=2) = 0.4, B(a=1, c=1) = 0.5.
+  EXPECT_NEAR(ErlangB(2.0, 2), 0.4, 1e-12);
+  EXPECT_NEAR(ErlangB(1.0, 1), 0.5, 1e-12);
+  // C(a=2, c=4): textbook value ~0.1739.
+  EXPECT_NEAR(ErlangC(2.0, 4), 0.1739, 5e-4);
+}
+
+TEST(ErlangTest, EdgeCases) {
+  EXPECT_EQ(ErlangB(0.0, 3), 0.0);
+  EXPECT_EQ(ErlangB(5.0, 0), 1.0);
+  EXPECT_EQ(ErlangC(0.0, 3), 0.0);
+  EXPECT_EQ(ErlangC(4.0, 4), 1.0);  // saturated
+  EXPECT_EQ(ErlangC(9.0, 4), 1.0);
+}
+
+TEST(ErlangTest, BDecreasesWithServers) {
+  for (int c = 1; c < 12; ++c) {
+    EXPECT_GT(ErlangB(3.0, c), ErlangB(3.0, c + 1));
+  }
+}
+
+TEST(ErlangTest, BIncreasesWithLoad) {
+  for (double a = 0.5; a < 8.0; a += 0.5) {
+    EXPECT_LT(ErlangB(a, 4), ErlangB(a + 0.5, 4));
+  }
+}
+
+TEST(ErlangTest, CIsAtLeastB) {
+  // Waiting (C) is more likely than loss (B) at the same load: the queue
+  // holds arrivals that the loss system would drop.
+  Rng rng(9);
+  for (int trial = 0; trial < 100; ++trial) {
+    int c = 1 + static_cast<int>(rng.NextBounded(10));
+    double a = rng.NextDouble(0.05, c - 0.05);
+    EXPECT_GE(ErlangC(a, c), ErlangB(a, c) - 1e-12) << a << " " << c;
+  }
+}
+
+TEST(ErlangTest, ProbabilitiesInUnitRange) {
+  Rng rng(10);
+  for (int trial = 0; trial < 200; ++trial) {
+    int c = 1 + static_cast<int>(rng.NextBounded(16));
+    double a = rng.NextDouble(0.0, 20.0);
+    double b = ErlangB(a, c);
+    EXPECT_GE(b, 0.0);
+    EXPECT_LE(b, 1.0);
+    double pc = ErlangC(a, c);
+    EXPECT_GE(pc, 0.0);
+    EXPECT_LE(pc, 1.0);
+  }
+}
+
+TEST(QueueingTest, OfferedLoadBasics) {
+  EXPECT_DOUBLE_EQ(OfferedLoad(2.0, 4.0), 0.5);
+  EXPECT_EQ(OfferedLoad(1.0, 0.0), HUGE_VAL);
+}
+
+TEST(QueueingTest, WaitTimeGrowsTowardSaturation) {
+  // c = 2 ports, service rate 1/1800 s (30-minute charges).
+  double mu = 1.0 / 1800.0;
+  double light = ExpectedWaitSeconds(0.5 * mu, mu, 2);
+  double heavy = ExpectedWaitSeconds(1.8 * mu, mu, 2);
+  EXPECT_LT(light, heavy);
+  EXPECT_EQ(ExpectedWaitSeconds(2.0 * mu, mu, 2), HUGE_VAL);
+}
+
+TEST(QueueingTest, AvailabilityComplementsBlocking) {
+  EXPECT_NEAR(AvailabilityProbability(2.0, 2), 0.6, 1e-12);
+  EXPECT_NEAR(AvailabilityProbability(0.0, 4), 1.0, 1e-12);
+}
+
+TEST(QueueingTest, MatchesMonteCarloLossSystem) {
+  // Simulate an M/M/c loss system and compare the blocking fraction with
+  // Erlang-B. a = 1.5 Erlangs, c = 3.
+  const double lambda = 1.0, mu = 1.0 / 1.5;
+  const int c = 3;
+  Rng rng(123);
+  double t = 0.0;
+  std::vector<double> busy_until;
+  int arrivals = 0, blocked = 0;
+  while (arrivals < 200000) {
+    t += rng.NextExponential(lambda);
+    busy_until.erase(
+        std::remove_if(busy_until.begin(), busy_until.end(),
+                       [&](double end) { return end <= t; }),
+        busy_until.end());
+    ++arrivals;
+    if (static_cast<int>(busy_until.size()) >= c) {
+      ++blocked;
+    } else {
+      busy_until.push_back(t + rng.NextExponential(mu));
+    }
+  }
+  double simulated = static_cast<double>(blocked) / arrivals;
+  EXPECT_NEAR(simulated, ErlangB(lambda / mu, c), 0.01);
+}
+
+}  // namespace
+}  // namespace ecocharge

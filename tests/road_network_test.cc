@@ -1,0 +1,125 @@
+#include "graph/road_network.h"
+
+#include <gtest/gtest.h>
+
+namespace ecocharge {
+namespace {
+
+std::shared_ptr<RoadNetwork> Triangle() {
+  GraphBuilder builder;
+  NodeId a = builder.AddNode({0, 0});
+  NodeId b = builder.AddNode({100, 0});
+  NodeId c = builder.AddNode({0, 100});
+  EXPECT_TRUE(builder.AddBidirectional(a, b, RoadClass::kLocal).ok());
+  EXPECT_TRUE(builder.AddBidirectional(b, c, RoadClass::kArterial).ok());
+  EXPECT_TRUE(builder.AddBidirectional(c, a, RoadClass::kHighway).ok());
+  return builder.Build().MoveValueUnsafe();
+}
+
+TEST(GraphBuilderTest, EmptyGraphFails) {
+  GraphBuilder builder;
+  EXPECT_FALSE(builder.Build().ok());
+}
+
+TEST(GraphBuilderTest, RejectsBadEndpoints) {
+  GraphBuilder builder;
+  builder.AddNode({0, 0});
+  EXPECT_FALSE(builder.AddEdge(0, 5, RoadClass::kLocal).ok());
+  EXPECT_FALSE(builder.AddEdge(0, 0, RoadClass::kLocal).ok());
+}
+
+TEST(GraphBuilderTest, DefaultLengthIsEuclidean) {
+  auto network = Triangle();
+  // Edge 0 is a -> b with length 100.
+  EXPECT_DOUBLE_EQ(network->edge(0).length_m, 100.0);
+}
+
+TEST(GraphBuilderTest, ExplicitLengthOverrides) {
+  GraphBuilder builder;
+  NodeId a = builder.AddNode({0, 0});
+  NodeId b = builder.AddNode({100, 0});
+  ASSERT_TRUE(builder.AddEdge(a, b, RoadClass::kLocal, 250.0).ok());
+  auto network = builder.Build().MoveValueUnsafe();
+  EXPECT_DOUBLE_EQ(network->edge(0).length_m, 250.0);
+}
+
+TEST(GraphBuilderTest, CoincidentNodesGetPositiveLength) {
+  GraphBuilder builder;
+  NodeId a = builder.AddNode({5, 5});
+  NodeId b = builder.AddNode({5, 5});
+  ASSERT_TRUE(builder.AddEdge(a, b, RoadClass::kLocal).ok());
+  auto network = builder.Build().MoveValueUnsafe();
+  EXPECT_GT(network->edge(0).length_m, 0.0);
+}
+
+TEST(RoadNetworkTest, CsrAdjacencyIsConsistent) {
+  auto network = Triangle();
+  EXPECT_EQ(network->NumNodes(), 3u);
+  EXPECT_EQ(network->NumEdges(), 6u);
+  size_t out_total = 0, in_total = 0;
+  for (NodeId v = 0; v < network->NumNodes(); ++v) {
+    out_total += network->OutEdges(v).size();
+    in_total += network->InEdges(v).size();
+    for (EdgeId e : network->OutEdges(v)) {
+      EXPECT_EQ(network->edge(e).from, v);
+    }
+    for (EdgeId e : network->InEdges(v)) {
+      EXPECT_EQ(network->edge(e).to, v);
+    }
+  }
+  EXPECT_EQ(out_total, network->NumEdges());
+  EXPECT_EQ(in_total, network->NumEdges());
+}
+
+TEST(RoadNetworkTest, BoundsCoverNodes) {
+  auto network = Triangle();
+  EXPECT_TRUE(network->Bounds().Contains({0, 0}));
+  EXPECT_TRUE(network->Bounds().Contains({100, 0}));
+  EXPECT_FALSE(network->Bounds().Contains({101, 101}));
+}
+
+TEST(RoadNetworkTest, NearestNodeSnaps) {
+  auto network = Triangle();
+  EXPECT_EQ(network->NearestNode({2, 3}), 0u);
+  EXPECT_EQ(network->NearestNode({98, 5}), 1u);
+  EXPECT_EQ(network->NearestNode({-5, 120}), 2u);
+}
+
+TEST(RoadNetworkTest, StrongConnectivityDetection) {
+  auto network = Triangle();
+  EXPECT_TRUE(network->IsStronglyConnected());
+
+  GraphBuilder builder;
+  NodeId a = builder.AddNode({0, 0});
+  NodeId b = builder.AddNode({1, 0});
+  builder.AddNode({2, 0});  // isolated node c
+  ASSERT_TRUE(builder.AddBidirectional(a, b, RoadClass::kLocal).ok());
+  auto broken = builder.Build().MoveValueUnsafe();
+  EXPECT_FALSE(broken->IsStronglyConnected());
+}
+
+TEST(RoadNetworkTest, DirectedOnlyIsNotStronglyConnected) {
+  GraphBuilder builder;
+  NodeId a = builder.AddNode({0, 0});
+  NodeId b = builder.AddNode({1, 0});
+  ASSERT_TRUE(builder.AddEdge(a, b, RoadClass::kLocal).ok());
+  auto network = builder.Build().MoveValueUnsafe();
+  EXPECT_FALSE(network->IsStronglyConnected());
+}
+
+TEST(RoadClassTest, SpeedsAreOrdered) {
+  EXPECT_GT(FreeFlowSpeed(RoadClass::kHighway),
+            FreeFlowSpeed(RoadClass::kArterial));
+  EXPECT_GT(FreeFlowSpeed(RoadClass::kArterial),
+            FreeFlowSpeed(RoadClass::kLocal));
+}
+
+TEST(EdgeTest, FreeFlowSecondsUsesClassSpeed) {
+  Edge e;
+  e.length_m = 1000.0;
+  e.road_class = RoadClass::kHighway;
+  EXPECT_NEAR(e.FreeFlowSeconds(), 1000.0 / (120.0 / 3.6), 1e-9);
+}
+
+}  // namespace
+}  // namespace ecocharge

@@ -1,0 +1,77 @@
+#include "graph/route.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace ecocharge {
+namespace {
+
+std::shared_ptr<RoadNetwork> Grid() {
+  GridNetworkOptions opts;
+  opts.nx = 6;
+  opts.ny = 6;
+  opts.spacing_m = 300.0;
+  opts.seed = 12;
+  return MakeGridNetwork(opts).MoveValueUnsafe();
+}
+
+TEST(RouteTest, ResolvesShortestPathMetrics) {
+  auto network = Grid();
+  DijkstraSearch search(*network);
+  PathResult path = search.ShortestPath(0, 35);
+  ASSERT_TRUE(path.Reachable());
+  auto metrics = ResolveRoute(*network, path.nodes);
+  ASSERT_TRUE(metrics.ok()) << metrics.status();
+  EXPECT_NEAR(metrics.value().length_m, path.cost, 1e-9);
+  EXPECT_EQ(metrics.value().edges.size(), path.nodes.size() - 1);
+  EXPECT_GT(metrics.value().free_flow_s, 0.0);
+}
+
+TEST(RouteTest, TrivialRoutes) {
+  auto network = Grid();
+  auto empty = ResolveRoute(*network, {});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty.value().length_m, 0.0);
+  auto single = ResolveRoute(*network, {3});
+  ASSERT_TRUE(single.ok());
+  EXPECT_TRUE(single.value().edges.empty());
+}
+
+TEST(RouteTest, RejectsNonAdjacentNodes) {
+  auto network = Grid();
+  // 0 and 2 are two hops apart in the grid.
+  EXPECT_FALSE(ResolveRoute(*network, {0, 2}).ok());
+  EXPECT_FALSE(ResolveRoute(*network, {0, 100000}).ok());
+}
+
+TEST(RouteTest, GeometryFollowsNodes) {
+  auto network = Grid();
+  DijkstraSearch search(*network);
+  PathResult path = search.ShortestPath(0, 5);
+  Polyline line = RouteGeometry(*network, path.nodes);
+  ASSERT_EQ(line.size(), path.nodes.size());
+  EXPECT_EQ(line.front(), network->NodePosition(path.nodes.front()));
+  EXPECT_EQ(line.back(), network->NodePosition(path.nodes.back()));
+  EXPECT_NEAR(line.Length(), path.cost, 1e-6);
+}
+
+TEST(RouteTest, CongestionSlowsTravel) {
+  auto network = Grid();
+  DijkstraSearch search(*network);
+  PathResult path = search.ShortestPath(0, 35);
+  auto metrics = ResolveRoute(*network, path.nodes).MoveValueUnsafe();
+  double free = CongestedTravelSeconds(*network, metrics,
+                                       [](const Edge&) { return 1.0; });
+  EXPECT_NEAR(free, metrics.free_flow_s, 1e-9);
+  double jammed = CongestedTravelSeconds(*network, metrics,
+                                         [](const Edge&) { return 0.5; });
+  EXPECT_NEAR(jammed, 2.0 * free, 1e-9);
+  // Factor is clamped away from zero: no infinities.
+  double gridlock = CongestedTravelSeconds(*network, metrics,
+                                           [](const Edge&) { return 0.0; });
+  EXPECT_TRUE(std::isfinite(gridlock));
+}
+
+}  // namespace
+}  // namespace ecocharge

@@ -1,0 +1,64 @@
+#include "spatial/rtree.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace ecocharge {
+namespace {
+
+TEST(RTreeTest, HeightIsLogarithmic) {
+  RTree small(8), large(8);
+  small.Build(testing_util::RandomCloud(64));
+  large.Build(testing_util::RandomCloud(10000));
+  EXPECT_LE(small.height(), 3);
+  // 10000 points, fanout 8: height around ceil(log_8(10000/8)) + 1 = 4.
+  EXPECT_LE(large.height(), 6);
+  EXPECT_GT(large.height(), small.height());
+}
+
+TEST(RTreeTest, StrPackingFillsLeaves) {
+  RTree tree(16);
+  tree.Build(testing_util::RandomCloud(1600));
+  // 1600 points at capacity 16: 100 leaves; STR packs near-full, so the
+  // whole tree has few nodes (100 leaves + ~8 inner + root).
+  EXPECT_LE(tree.num_tree_nodes(), 120u);
+}
+
+TEST(RTreeTest, SingleLeafTree) {
+  RTree tree(16);
+  tree.Build(testing_util::RandomCloud(10));
+  EXPECT_EQ(tree.num_tree_nodes(), 1u);
+  EXPECT_EQ(tree.height(), 1);
+  EXPECT_EQ(tree.Knn({0, 0}, 10).size(), 10u);
+}
+
+TEST(RTreeTest, MinimalCapacityClamped) {
+  RTree tree(0);  // clamped to 2
+  tree.Build(testing_util::RandomCloud(50));
+  auto nn = tree.Knn({5000, 4000}, 5);
+  EXPECT_EQ(nn.size(), 5u);
+}
+
+TEST(RTreeTest, KnnOrdered) {
+  RTree tree;
+  tree.Build(testing_util::RandomCloud(500));
+  auto nn = tree.Knn({2000, 2000}, 30);
+  ASSERT_EQ(nn.size(), 30u);
+  for (size_t i = 1; i < nn.size(); ++i) {
+    EXPECT_LE(nn[i - 1].distance, nn[i].distance);
+  }
+}
+
+TEST(RTreeTest, RebuildReplaces) {
+  RTree tree;
+  tree.Build(testing_util::RandomCloud(100));
+  tree.Build(testing_util::RandomCloud(3));
+  EXPECT_EQ(tree.size(), 3u);
+  EXPECT_EQ(tree.Knn({0, 0}, 10).size(), 3u);
+}
+
+}  // namespace
+}  // namespace ecocharge

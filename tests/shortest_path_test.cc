@@ -1,0 +1,239 @@
+#include "graph/shortest_path.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+
+namespace ecocharge {
+namespace {
+
+std::shared_ptr<RoadNetwork> SmallGrid(uint64_t seed = 3) {
+  GridNetworkOptions opts;
+  opts.nx = 8;
+  opts.ny = 8;
+  opts.spacing_m = 200.0;
+  opts.seed = seed;
+  return MakeGridNetwork(opts).MoveValueUnsafe();
+}
+
+TEST(DijkstraTest, TrivialSourceEqualsTarget) {
+  auto network = SmallGrid();
+  DijkstraSearch search(*network);
+  PathResult r = search.ShortestPath(5, 5);
+  EXPECT_TRUE(r.Reachable());
+  EXPECT_EQ(r.cost, 0.0);
+  ASSERT_EQ(r.nodes.size(), 1u);
+  EXPECT_EQ(r.nodes[0], 5u);
+}
+
+TEST(DijkstraTest, InvalidNodesUnreachable) {
+  auto network = SmallGrid();
+  DijkstraSearch search(*network);
+  EXPECT_FALSE(search.ShortestPath(0, 100000).Reachable());
+  EXPECT_FALSE(search.ShortestPath(100000, 0).Reachable());
+}
+
+TEST(DijkstraTest, PathEndpointsAndContinuity) {
+  auto network = SmallGrid();
+  DijkstraSearch search(*network);
+  PathResult r = search.ShortestPath(0, 63);
+  ASSERT_TRUE(r.Reachable());
+  EXPECT_EQ(r.nodes.front(), 0u);
+  EXPECT_EQ(r.nodes.back(), 63u);
+  // Consecutive nodes must be joined by an edge; costs must sum up.
+  double total = 0.0;
+  for (size_t i = 1; i < r.nodes.size(); ++i) {
+    bool found = false;
+    for (EdgeId e : network->OutEdges(r.nodes[i - 1])) {
+      if (network->edge(e).to == r.nodes[i]) {
+        total += network->edge(e).length_m;
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "no edge " << r.nodes[i - 1] << "->" << r.nodes[i];
+  }
+  EXPECT_NEAR(total, r.cost, 1e-9);
+}
+
+TEST(DijkstraTest, MatchesBellmanFordOnRandomPairs) {
+  auto network = SmallGrid();
+  DijkstraSearch search(*network);
+  Rng rng(9);
+  for (int trial = 0; trial < 20; ++trial) {
+    NodeId s = static_cast<NodeId>(rng.NextBounded(network->NumNodes()));
+    NodeId t = static_cast<NodeId>(rng.NextBounded(network->NumNodes()));
+    PathResult dij = search.ShortestPath(s, t);
+    PathResult bf = BellmanFordShortestPath(*network, s, t);
+    ASSERT_EQ(dij.Reachable(), bf.Reachable());
+    if (dij.Reachable()) {
+      EXPECT_NEAR(dij.cost, bf.cost, 1e-6) << s << "->" << t;
+    }
+  }
+}
+
+TEST(AStarTest, MatchesDijkstraOnLengthCost) {
+  auto network = SmallGrid();
+  DijkstraSearch search(*network);
+  Rng rng(11);
+  for (int trial = 0; trial < 30; ++trial) {
+    NodeId s = static_cast<NodeId>(rng.NextBounded(network->NumNodes()));
+    NodeId t = static_cast<NodeId>(rng.NextBounded(network->NumNodes()));
+    double dij = search.ShortestPath(s, t).cost;
+    double astar = search.AStar(s, t).cost;
+    EXPECT_NEAR(dij, astar, 1e-6);
+  }
+}
+
+TEST(AStarTest, SettlesNoMoreThanDijkstra) {
+  auto network = SmallGrid();
+  DijkstraSearch search(*network);
+  size_t dij_settled = 0, astar_settled = 0;
+  Rng rng(13);
+  for (int trial = 0; trial < 20; ++trial) {
+    NodeId s = static_cast<NodeId>(rng.NextBounded(network->NumNodes()));
+    NodeId t = static_cast<NodeId>(rng.NextBounded(network->NumNodes()));
+    search.ShortestPath(s, t);
+    dij_settled += search.last_settled_count();
+    search.AStar(s, t);
+    astar_settled += search.last_settled_count();
+  }
+  EXPECT_LE(astar_settled, dij_settled);
+}
+
+TEST(AStarTest, TimeCostWithScaledHeuristicIsExact) {
+  auto network = SmallGrid();
+  DijkstraSearch search(*network);
+  // For time costs the admissible heuristic divides by the max speed.
+  double inv_max_speed = 1.0 / FreeFlowSpeed(RoadClass::kHighway);
+  Rng rng(15);
+  for (int trial = 0; trial < 20; ++trial) {
+    NodeId s = static_cast<NodeId>(rng.NextBounded(network->NumNodes()));
+    NodeId t = static_cast<NodeId>(rng.NextBounded(network->NumNodes()));
+    double dij = search.ShortestPath(s, t, FreeFlowTimeCost).cost;
+    double astar = search.AStar(s, t, FreeFlowTimeCost, inv_max_speed).cost;
+    EXPECT_NEAR(dij, astar, 1e-6);
+  }
+}
+
+TEST(OneToManyTest, RespectsCostBound) {
+  auto network = SmallGrid();
+  DijkstraSearch search(*network);
+  std::vector<NodeId> settled;
+  search.OneToMany(0, 500.0, LengthCost, &settled);
+  ASSERT_FALSE(settled.empty());
+  for (NodeId v : settled) {
+    EXPECT_LE(search.CostTo(v), 500.0);
+  }
+  // Unsettled nodes report infinity.
+  bool found_unreached = false;
+  for (NodeId v = 0; v < network->NumNodes(); ++v) {
+    if (search.CostTo(v) == kInfiniteCost) found_unreached = true;
+  }
+  EXPECT_TRUE(found_unreached);
+}
+
+TEST(OneToManyTest, UnboundedCoversWholeNetwork) {
+  auto network = SmallGrid();
+  DijkstraSearch search(*network);
+  size_t settled = search.OneToMany(0, kInfiniteCost, LengthCost);
+  EXPECT_EQ(settled, network->NumNodes());
+}
+
+TEST(OneToManyTest, CostsMatchPointToPoint) {
+  auto network = SmallGrid();
+  DijkstraSearch one_to_many(*network);
+  DijkstraSearch point(*network);
+  one_to_many.OneToMany(7, kInfiniteCost, LengthCost);
+  Rng rng(21);
+  for (int trial = 0; trial < 10; ++trial) {
+    NodeId t = static_cast<NodeId>(rng.NextBounded(network->NumNodes()));
+    double expected = point.ShortestPath(7, t).cost;
+    EXPECT_NEAR(one_to_many.CostTo(t), expected, 1e-9);
+  }
+}
+
+TEST(DijkstraTest, EpochReuseIsolatesQueries) {
+  auto network = SmallGrid();
+  DijkstraSearch search(*network);
+  search.OneToMany(0, kInfiniteCost, LengthCost);
+  double d_before = search.CostTo(42);
+  // A bounded search from elsewhere must not leak stale distances.
+  search.OneToMany(63, 1.0, LengthCost);
+  EXPECT_EQ(search.CostTo(42), kInfiniteCost);
+  search.OneToMany(0, kInfiniteCost, LengthCost);
+  EXPECT_NEAR(search.CostTo(42), d_before, 1e-12);
+}
+
+TEST(BidirectionalTest, MatchesDijkstraOnRandomPairs) {
+  auto network = SmallGrid();
+  DijkstraSearch search(*network);
+  Rng rng(51);
+  for (int trial = 0; trial < 40; ++trial) {
+    NodeId s = static_cast<NodeId>(rng.NextBounded(network->NumNodes()));
+    NodeId t = static_cast<NodeId>(rng.NextBounded(network->NumNodes()));
+    PathResult uni = search.ShortestPath(s, t);
+    PathResult bi = BidirectionalShortestPath(*network, s, t);
+    ASSERT_EQ(uni.Reachable(), bi.Reachable()) << s << "->" << t;
+    if (uni.Reachable()) {
+      EXPECT_NEAR(uni.cost, bi.cost, 1e-6) << s << "->" << t;
+    }
+  }
+}
+
+TEST(BidirectionalTest, PathIsValidAndCostConsistent) {
+  auto network = SmallGrid();
+  Rng rng(53);
+  for (int trial = 0; trial < 20; ++trial) {
+    NodeId s = static_cast<NodeId>(rng.NextBounded(network->NumNodes()));
+    NodeId t = static_cast<NodeId>(rng.NextBounded(network->NumNodes()));
+    PathResult bi = BidirectionalShortestPath(*network, s, t);
+    if (!bi.Reachable()) continue;
+    ASSERT_FALSE(bi.nodes.empty());
+    EXPECT_EQ(bi.nodes.front(), s);
+    EXPECT_EQ(bi.nodes.back(), t);
+    double total = 0.0;
+    for (size_t i = 1; i < bi.nodes.size(); ++i) {
+      bool found = false;
+      for (EdgeId e : network->OutEdges(bi.nodes[i - 1])) {
+        if (network->edge(e).to == bi.nodes[i]) {
+          total += network->edge(e).length_m;
+          found = true;
+          break;
+        }
+      }
+      ASSERT_TRUE(found);
+    }
+    EXPECT_NEAR(total, bi.cost, 1e-6);
+  }
+}
+
+TEST(BidirectionalTest, TrivialAndInvalidCases) {
+  auto network = SmallGrid();
+  PathResult same = BidirectionalShortestPath(*network, 4, 4);
+  EXPECT_EQ(same.cost, 0.0);
+  ASSERT_EQ(same.nodes.size(), 1u);
+  EXPECT_FALSE(
+      BidirectionalShortestPath(*network, 0, 1000000).Reachable());
+}
+
+TEST(DijkstraTest, CustomCostChangesRoute) {
+  // Two routes a->b: direct long local road vs detour over fast highway.
+  GraphBuilder builder;
+  NodeId a = builder.AddNode({0, 0});
+  NodeId b = builder.AddNode({1000, 0});
+  NodeId c = builder.AddNode({500, 400});
+  ASSERT_TRUE(builder.AddEdge(a, b, RoadClass::kLocal, 1000.0).ok());
+  ASSERT_TRUE(builder.AddEdge(a, c, RoadClass::kHighway, 700.0).ok());
+  ASSERT_TRUE(builder.AddEdge(c, b, RoadClass::kHighway, 700.0).ok());
+  auto network = builder.Build().MoveValueUnsafe();
+  DijkstraSearch search(*network);
+  // By length the direct road wins.
+  EXPECT_EQ(search.ShortestPath(a, b, LengthCost).nodes.size(), 2u);
+  // By time the highway detour wins (1400m @ 120km/h < 1000m @ 30km/h).
+  EXPECT_EQ(search.ShortestPath(a, b, FreeFlowTimeCost).nodes.size(), 3u);
+}
+
+}  // namespace
+}  // namespace ecocharge

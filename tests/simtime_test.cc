@@ -1,0 +1,51 @@
+#include "common/simtime.h"
+
+#include <gtest/gtest.h>
+
+namespace ecocharge {
+namespace {
+
+TEST(SimTimeTest, EpochIsMondayMidnight) {
+  EXPECT_EQ(DayOfWeek(0.0), 0);
+  EXPECT_DOUBLE_EQ(HourOfDay(0.0), 0.0);
+  EXPECT_EQ(DayOfYear(0.0), kEpochDayOfYear);
+}
+
+TEST(SimTimeTest, HourOfDayProgresses) {
+  EXPECT_DOUBLE_EQ(HourOfDay(kSecondsPerHour * 7.5), 7.5);
+  EXPECT_DOUBLE_EQ(HourOfDay(kSecondsPerDay + kSecondsPerHour * 3.0), 3.0);
+}
+
+TEST(SimTimeTest, DayOfWeekWraps) {
+  EXPECT_EQ(DayOfWeek(kSecondsPerDay * 4.5), 4);      // Friday
+  EXPECT_EQ(DayOfWeek(kSecondsPerDay * 6.99), 6);     // Sunday
+  EXPECT_EQ(DayOfWeek(kSecondsPerWeek), 0);           // Monday again
+  EXPECT_EQ(DayOfWeek(kSecondsPerWeek * 3 + kSecondsPerDay), 1);
+}
+
+TEST(SimTimeTest, DayOfYearAdvancesAndWraps) {
+  EXPECT_EQ(DayOfYear(kSecondsPerDay), kEpochDayOfYear + 1);
+  // 365 days later we are back at the epoch day.
+  EXPECT_EQ(DayOfYear(kSecondsPerDay * 365), kEpochDayOfYear);
+  // Enough days to wrap past December 31.
+  int doy = DayOfYear(kSecondsPerDay * 250);
+  EXPECT_GE(doy, 1);
+  EXPECT_LE(doy, 365);
+}
+
+TEST(SimTimeTest, HourOfWeekBuckets) {
+  EXPECT_EQ(HourOfWeek(0.0), 0);
+  EXPECT_EQ(HourOfWeek(kSecondsPerHour * 25.0), 25);
+  EXPECT_EQ(HourOfWeek(kSecondsPerWeek - 1.0), 167);
+  EXPECT_EQ(HourOfWeek(kSecondsPerWeek), 0);
+}
+
+TEST(SimTimeTest, NegativeTimesAreNormalized) {
+  EXPECT_GE(HourOfDay(-3600.0), 0.0);
+  EXPECT_LT(HourOfDay(-3600.0), 24.0);
+  EXPECT_GE(DayOfWeek(-1.0), 0);
+  EXPECT_LE(DayOfWeek(-1.0), 6);
+}
+
+}  // namespace
+}  // namespace ecocharge

@@ -1,0 +1,81 @@
+#include "energy/solar.h"
+
+#include <gtest/gtest.h>
+
+namespace ecocharge {
+namespace {
+
+TEST(SolarTest, NightHasZeroIrradiance) {
+  SolarModel model;
+  EXPECT_EQ(model.ClearSkyIrradiance(172, 0.0), 0.0);
+  EXPECT_EQ(model.ClearSkyIrradiance(172, 23.5), 0.0);
+  EXPECT_EQ(model.ClearSkyIrradiance(355, 22.0), 0.0);
+}
+
+TEST(SolarTest, NoonPeaks) {
+  SolarModel model;
+  double noon = model.ClearSkyIrradiance(172, 12.0);
+  EXPECT_GT(noon, model.ClearSkyIrradiance(172, 9.0));
+  EXPECT_GT(noon, model.ClearSkyIrradiance(172, 15.0));
+  EXPECT_GT(noon, 500.0);
+  EXPECT_LT(noon, kSolarConstant);
+}
+
+TEST(SolarTest, SummerBeatsWinter) {
+  SolarModel model;
+  model.latitude_deg = 50.0;
+  EXPECT_GT(model.ClearSkyIrradiance(172, 12.0),   // ~June 21
+            model.ClearSkyIrradiance(355, 12.0));  // ~Dec 21
+}
+
+TEST(SolarTest, LowerLatitudeStrongerSun) {
+  SolarModel north, south;
+  north.latitude_deg = 60.0;
+  south.latitude_deg = 20.0;
+  EXPECT_GT(south.ClearSkyIrradiance(80, 12.0),
+            north.ClearSkyIrradiance(80, 12.0));
+}
+
+TEST(SolarTest, ElevationSymmetricAroundNoon) {
+  SolarModel model;
+  EXPECT_NEAR(model.ElevationDeg(100, 10.0), model.ElevationDeg(100, 14.0),
+              1e-9);
+}
+
+TEST(SolarTest, ElevationNegativeAtMidnight) {
+  SolarModel model;
+  model.latitude_deg = 38.0;
+  EXPECT_LT(model.ElevationDeg(172, 0.0), 0.0);
+}
+
+TEST(SolarTest, PolarSummerDayNeverSets) {
+  SolarModel model;
+  model.latitude_deg = 75.0;  // above the arctic circle
+  // Around the June solstice the sun stays up all day.
+  EXPECT_GT(model.ElevationDeg(172, 0.0), 0.0);
+  EXPECT_GT(model.ClearSkyIrradiance(172, 0.0), 0.0);
+}
+
+TEST(SolarTest, SimTimeOverloadConsistent) {
+  SolarModel model;
+  // Epoch is day kEpochDayOfYear at hour 0.
+  SimTime noon = 12.0 * kSecondsPerHour;
+  EXPECT_DOUBLE_EQ(model.ClearSkyIrradiance(noon),
+                   model.ClearSkyIrradiance(kEpochDayOfYear, 12.0));
+}
+
+TEST(SolarTest, IrradianceContinuousAcrossSunrise) {
+  SolarModel model;
+  // Scan the morning in 1-minute steps: no jumps greater than a few W/m^2
+  // per step.
+  double prev = model.ClearSkyIrradiance(172, 4.0);
+  for (double h = 4.0; h <= 9.0; h += 1.0 / 60.0) {
+    double cur = model.ClearSkyIrradiance(172, h);
+    EXPECT_GE(cur, prev - 1e-9);  // monotone rising before noon
+    EXPECT_LT(cur - prev, 5.0);
+    prev = cur;
+  }
+}
+
+}  // namespace
+}  // namespace ecocharge

@@ -1,0 +1,141 @@
+#include "core/split_points.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tests/test_util.h"
+
+namespace ecocharge {
+namespace {
+
+uint32_t NearestSiteAt(const Point& a, const Point& b, double t,
+                       const std::vector<Point>& sites) {
+  Point p = a + (b - a) * t;
+  uint32_t best = 0;
+  double best_d = DistanceSquared(sites[0], p);
+  for (uint32_t i = 1; i < sites.size(); ++i) {
+    double d = DistanceSquared(sites[i], p);
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+TEST(ContinuousNnTest, EmptySites) {
+  EXPECT_TRUE(ContinuousNearestNeighbor({0, 0}, {1, 0}, {}).empty());
+}
+
+TEST(ContinuousNnTest, SingleSiteCoversWholeSegment) {
+  auto splits = ContinuousNearestNeighbor({0, 0}, {10, 0}, {{5, 5}});
+  ASSERT_EQ(splits.size(), 1u);
+  EXPECT_EQ(splits[0].start_t, 0.0);
+  EXPECT_EQ(splits[0].end_t, 1.0);
+  EXPECT_EQ(splits[0].site, 0u);
+}
+
+TEST(ContinuousNnTest, TwoSitesSplitAtBisector) {
+  // Sites above the segment at x=0 and x=10: the split is at t=0.5.
+  auto splits =
+      ContinuousNearestNeighbor({0, 0}, {10, 0}, {{0, 3}, {10, 3}});
+  ASSERT_EQ(splits.size(), 2u);
+  EXPECT_EQ(splits[0].site, 0u);
+  EXPECT_NEAR(splits[0].end_t, 0.5, 1e-9);
+  EXPECT_EQ(splits[1].site, 1u);
+  EXPECT_NEAR(splits[1].start_t, 0.5, 1e-9);
+  EXPECT_EQ(splits[1].end_t, 1.0);
+}
+
+TEST(ContinuousNnTest, IntervalsTileTheSegment) {
+  auto sites = testing_util::RandomCloud(40, 100.0, 100.0, 3);
+  auto splits = ContinuousNearestNeighbor({0, 50}, {100, 50}, sites);
+  ASSERT_FALSE(splits.empty());
+  EXPECT_EQ(splits.front().start_t, 0.0);
+  EXPECT_EQ(splits.back().end_t, 1.0);
+  for (size_t i = 1; i < splits.size(); ++i) {
+    EXPECT_DOUBLE_EQ(splits[i].start_t, splits[i - 1].end_t);
+    EXPECT_NE(splits[i].site, splits[i - 1].site);
+  }
+}
+
+TEST(ContinuousNnTest, MatchesPointwiseBruteForce) {
+  // Property: inside every reported interval, the brute-force nearest site
+  // equals the interval's site (checked at interval midpoints and near
+  // both ends).
+  Rng rng(83);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto sites = testing_util::RandomCloud(30, 100.0, 80.0, 100 + trial);
+    Point a{rng.NextDouble(0, 100), rng.NextDouble(0, 80)};
+    Point b{rng.NextDouble(0, 100), rng.NextDouble(0, 80)};
+    auto splits = ContinuousNearestNeighbor(a, b, sites);
+    for (const SplitInterval& si : splits) {
+      double width = si.end_t - si.start_t;
+      for (double frac : {0.5, 0.05, 0.95}) {
+        double t = si.start_t + frac * width;
+        EXPECT_EQ(NearestSiteAt(a, b, t, sites), si.site)
+            << "trial " << trial << " t=" << t;
+      }
+    }
+  }
+}
+
+TEST(ContinuousNnTest, DegenerateSegment) {
+  // a == b: one interval with the nearest site to that point.
+  auto splits =
+      ContinuousNearestNeighbor({5, 5}, {5, 5}, {{0, 0}, {6, 6}, {9, 9}});
+  ASSERT_EQ(splits.size(), 1u);
+  EXPECT_EQ(splits[0].site, 1u);
+}
+
+TEST(SampledKnnTest, CoversSegmentWithSortedSets) {
+  auto sites = testing_util::RandomCloud(25, 100.0, 100.0, 9);
+  auto splits = SampledContinuousKnn({0, 0}, {100, 100}, sites, 3, 64);
+  ASSERT_FALSE(splits.empty());
+  EXPECT_EQ(splits.front().start_t, 0.0);
+  EXPECT_EQ(splits.back().end_t, 1.0);
+  for (const KnnSplitInterval& si : splits) {
+    EXPECT_EQ(si.sites.size(), 3u);
+    EXPECT_TRUE(std::is_sorted(si.sites.begin(), si.sites.end()));
+  }
+  for (size_t i = 1; i < splits.size(); ++i) {
+    EXPECT_EQ(splits[i].start_t, splits[i - 1].end_t);
+    EXPECT_NE(splits[i].sites, splits[i - 1].sites);
+  }
+}
+
+TEST(SampledKnnTest, K1AgreesWithExactSweep) {
+  // The sampled 1-NN intervals must agree with the exact sweep at the
+  // sample points themselves.
+  auto sites = testing_util::RandomCloud(20, 50.0, 50.0, 17);
+  Point a{0, 25}, b{50, 25};
+  auto exact = ContinuousNearestNeighbor(a, b, sites);
+  auto sampled = SampledContinuousKnn(a, b, sites, 1, 256);
+  // Each sampled interval's site must match the exact interval containing
+  // its midpoint.
+  for (const KnnSplitInterval& si : sampled) {
+    double mid = (si.start_t + si.end_t) / 2;
+    for (const SplitInterval& ei : exact) {
+      if (mid >= ei.start_t && mid <= ei.end_t) {
+        EXPECT_EQ(si.sites[0], ei.site);
+        break;
+      }
+    }
+  }
+}
+
+TEST(SampledKnnTest, KClampedToSiteCount) {
+  auto splits = SampledContinuousKnn({0, 0}, {10, 0}, {{1, 1}, {2, 2}}, 5, 16);
+  for (const auto& si : splits) {
+    EXPECT_EQ(si.sites.size(), 2u);
+  }
+}
+
+TEST(SampledKnnTest, EmptyInputs) {
+  EXPECT_TRUE(SampledContinuousKnn({0, 0}, {1, 0}, {}, 3).empty());
+  EXPECT_TRUE(
+      SampledContinuousKnn({0, 0}, {1, 0}, {{1, 1}}, 0).empty());
+}
+
+}  // namespace
+}  // namespace ecocharge

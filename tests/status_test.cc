@@ -1,0 +1,85 @@
+#include "common/status.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace ecocharge {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_TRUE(s.message().empty());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryHelpersCarryCodeAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode code;
+  };
+  const Case cases[] = {
+      {Status::InvalidArgument("a"), StatusCode::kInvalidArgument},
+      {Status::NotFound("b"), StatusCode::kNotFound},
+      {Status::OutOfRange("c"), StatusCode::kOutOfRange},
+      {Status::AlreadyExists("d"), StatusCode::kAlreadyExists},
+      {Status::FailedPrecondition("e"), StatusCode::kFailedPrecondition},
+      {Status::Unimplemented("f"), StatusCode::kUnimplemented},
+      {Status::IOError("g"), StatusCode::kIOError},
+      {Status::Internal("h"), StatusCode::kInternal},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_FALSE(c.status.message().empty());
+  }
+}
+
+TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {
+  Status s = Status::NotFound("missing charger 17");
+  EXPECT_EQ(s.ToString(), "NotFound: missing charger 17");
+}
+
+TEST(StatusTest, StreamOperatorMatchesToString) {
+  Status s = Status::IOError("disk");
+  std::ostringstream os;
+  os << s;
+  EXPECT_EQ(os.str(), s.ToString());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::IOError("x"));
+}
+
+TEST(StatusTest, CodeNamesAreDistinct) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+  EXPECT_NE(StatusCodeToString(StatusCode::kNotFound),
+            StatusCodeToString(StatusCode::kIOError));
+}
+
+Status FailingStep() { return Status::InvalidArgument("boom"); }
+Status OkStep() { return Status::OK(); }
+
+Status UsesReturnNotOk(bool fail) {
+  ECOCHARGE_RETURN_NOT_OK(OkStep());
+  if (fail) {
+    ECOCHARGE_RETURN_NOT_OK(FailingStep());
+  }
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkPropagatesErrors) {
+  EXPECT_TRUE(UsesReturnNotOk(false).ok());
+  Status s = UsesReturnNotOk(true);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "boom");
+}
+
+}  // namespace
+}  // namespace ecocharge

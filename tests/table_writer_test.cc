@@ -1,0 +1,68 @@
+#include "common/table_writer.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace ecocharge {
+namespace {
+
+TEST(TableWriterTest, RejectsWrongArity) {
+  TableWriter t({"a", "b"});
+  EXPECT_FALSE(t.AddRow({"only-one"}).ok());
+  EXPECT_TRUE(t.AddRow({"x", "y"}).ok());
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(TableWriterTest, TextRenderingAlignsColumns) {
+  TableWriter t({"name", "v"});
+  ASSERT_TRUE(t.AddRow({"long-name-here", "1"}).ok());
+  ASSERT_TRUE(t.AddRow({"x", "22"}).ok());
+  std::ostringstream os;
+  t.RenderText(os);
+  std::istringstream is(os.str());
+  std::string line;
+  std::vector<size_t> lengths;
+  while (std::getline(is, line)) lengths.push_back(line.size());
+  ASSERT_EQ(lengths.size(), 4u);  // header + separator + 2 rows
+  EXPECT_EQ(lengths[0], lengths[2]);
+  EXPECT_EQ(lengths[0], lengths[3]);
+}
+
+TEST(TableWriterTest, CsvEscapesSpecialCharacters) {
+  TableWriter t({"a"});
+  ASSERT_TRUE(t.AddRow({"has,comma"}).ok());
+  ASSERT_TRUE(t.AddRow({"has\"quote"}).ok());
+  ASSERT_TRUE(t.AddRow({"plain"}).ok());
+  std::ostringstream os;
+  t.RenderCsv(os);
+  EXPECT_EQ(os.str(), "a\n\"has,comma\"\n\"has\"\"quote\"\nplain\n");
+}
+
+TEST(TableWriterTest, FmtPrecision) {
+  EXPECT_EQ(TableWriter::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TableWriter::Fmt(3.0, 0), "3");
+  EXPECT_EQ(TableWriter::Fmt(-1.005, 1), "-1.0");
+}
+
+TEST(TableWriterTest, WriteCsvFileRoundTrips) {
+  TableWriter t({"k", "v"});
+  ASSERT_TRUE(t.AddRow({"a", "1"}).ok());
+  std::string path = ::testing::TempDir() + "/table_writer_test.csv";
+  ASSERT_TRUE(t.WriteCsvFile(path).ok());
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), "k,v\na,1\n");
+  std::remove(path.c_str());
+}
+
+TEST(TableWriterTest, WriteCsvFileFailsOnBadPath) {
+  TableWriter t({"a"});
+  EXPECT_FALSE(t.WriteCsvFile("/nonexistent-dir-xyz/file.csv").ok());
+}
+
+}  // namespace
+}  // namespace ecocharge

@@ -1,0 +1,54 @@
+#ifndef ECOCHARGE_TESTS_TEST_UTIL_H_
+#define ECOCHARGE_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/environment.h"
+#include "core/workload.h"
+#include "geo/point.h"
+
+namespace ecocharge {
+namespace testing_util {
+
+/// Uniform random point cloud in [0, w] x [0, h].
+inline std::vector<Point> RandomCloud(size_t n, double w = 10000.0,
+                                      double h = 8000.0, uint64_t seed = 5) {
+  Rng rng(seed);
+  std::vector<Point> points;
+  points.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    points.push_back({rng.NextDouble(0.0, w), rng.NextDouble(0.0, h)});
+  }
+  return points;
+}
+
+/// A small but fully functional world for integration-style tests: the
+/// Oldenburg dataset at minimum scale with `num_chargers` sites.
+inline std::unique_ptr<Environment> TinyEnvironment(size_t num_chargers = 60,
+                                                    uint64_t seed = 42) {
+  EnvironmentOptions opts;
+  opts.kind = DatasetKind::kOldenburg;
+  opts.dataset_scale = 0.003;  // minimum trajectory count
+  opts.num_chargers = num_chargers;
+  opts.max_derouting_m = 60000.0;
+  opts.seed = seed;
+  auto result = MakeEnvironment(opts);
+  if (!result.ok()) return nullptr;
+  return std::move(result).MoveValueUnsafe();
+}
+
+/// A handful of vehicle states drawn from `env`'s trajectories.
+inline std::vector<VehicleState> TinyWorkload(const Environment& env,
+                                              size_t max_states = 6) {
+  WorkloadOptions wo;
+  wo.max_trips = 4;
+  wo.max_states = max_states;
+  return BuildWorkload(env.dataset, wo);
+}
+
+}  // namespace testing_util
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_TESTS_TEST_UTIL_H_

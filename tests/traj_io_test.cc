@@ -1,0 +1,63 @@
+#include "traj/io.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace ecocharge {
+namespace {
+
+std::vector<Trajectory> Sample() {
+  return {
+      Trajectory(7, {{{0, 0}, 0.0}, {{10.5, -3.25}, 30.0}, {{20, 0}, 55.5}}),
+      Trajectory(9, {{{100, 100}, 10.0}, {{110, 100}, 20.0}}),
+  };
+}
+
+TEST(TrajIoTest, RoundTrip) {
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveTrajectories(Sample(), buffer).ok());
+  auto loaded = LoadTrajectories(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  const std::vector<Trajectory>& got = loaded.value();
+  std::vector<Trajectory> want = Sample();
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].object_id(), want[i].object_id());
+    ASSERT_EQ(got[i].size(), want[i].size());
+    for (size_t j = 0; j < got[i].size(); ++j) {
+      EXPECT_EQ(got[i][j].position, want[i][j].position);
+      EXPECT_EQ(got[i][j].time, want[i][j].time);
+    }
+  }
+}
+
+TEST(TrajIoTest, EmptySetRoundTrips) {
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveTrajectories({}, buffer).ok());
+  auto loaded = LoadTrajectories(buffer);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded.value().empty());
+}
+
+TEST(TrajIoTest, RejectsBadMagic) {
+  std::stringstream buffer("nope 1\n0\n");
+  EXPECT_FALSE(LoadTrajectories(buffer).ok());
+}
+
+TEST(TrajIoTest, RejectsTruncatedSamples) {
+  std::stringstream buffer("ect 1\n1\n3 2\n0 0 0\n");
+  EXPECT_FALSE(LoadTrajectories(buffer).ok());
+}
+
+TEST(TrajIoTest, RejectsNonMonotoneTimestamps) {
+  std::stringstream buffer("ect 1\n1\n3 2\n0 0 10\n1 1 5\n");
+  EXPECT_FALSE(LoadTrajectories(buffer).ok());
+}
+
+TEST(TrajIoTest, FileApiFailsOnMissingPath) {
+  EXPECT_FALSE(LoadTrajectoriesFile("/no/such/file.ect").ok());
+}
+
+}  // namespace
+}  // namespace ecocharge

@@ -1,0 +1,97 @@
+#include "traj/trajectory.h"
+
+#include <gtest/gtest.h>
+
+namespace ecocharge {
+namespace {
+
+Trajectory Straight() {
+  // 0..1000 m east over 100 s at 10 m/s.
+  return Trajectory(1, {{{0, 0}, 0.0}, {{500, 0}, 50.0}, {{1000, 0}, 100.0}});
+}
+
+TEST(TrajectoryTest, BasicAccessors) {
+  Trajectory t = Straight();
+  EXPECT_EQ(t.object_id(), 1u);
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_DOUBLE_EQ(t.StartTime(), 0.0);
+  EXPECT_DOUBLE_EQ(t.EndTime(), 100.0);
+  EXPECT_DOUBLE_EQ(t.DurationSeconds(), 100.0);
+  EXPECT_DOUBLE_EQ(t.LengthMeters(), 1000.0);
+}
+
+TEST(TrajectoryTest, PositionInterpolation) {
+  Trajectory t = Straight();
+  EXPECT_EQ(t.PositionAt(0.0), (Point{0, 0}));
+  EXPECT_EQ(t.PositionAt(25.0), (Point{250, 0}));
+  EXPECT_EQ(t.PositionAt(75.0), (Point{750, 0}));
+  EXPECT_EQ(t.PositionAt(100.0), (Point{1000, 0}));
+  // Clamped outside the time range.
+  EXPECT_EQ(t.PositionAt(-5.0), (Point{0, 0}));
+  EXPECT_EQ(t.PositionAt(500.0), (Point{1000, 0}));
+}
+
+TEST(TrajectoryTest, AsPolylineDropsTime) {
+  Polyline line = Straight().AsPolyline();
+  EXPECT_EQ(line.size(), 3u);
+  EXPECT_DOUBLE_EQ(line.Length(), 1000.0);
+}
+
+TEST(TrajectoryTest, EmptyTrajectory) {
+  Trajectory t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.PositionAt(10.0), Point{});
+  EXPECT_EQ(t.LengthMeters(), 0.0);
+}
+
+TEST(SegmentTripTest, EvenPartition) {
+  Polyline trip({{0, 0}, {12000, 0}});
+  std::vector<TripSegment> segments = SegmentTrip(trip, 4000.0);
+  ASSERT_EQ(segments.size(), 3u);
+  for (size_t i = 0; i < segments.size(); ++i) {
+    EXPECT_EQ(segments[i].index, i);
+    EXPECT_NEAR(segments[i].LengthMeters(), 4000.0, 1e-9);
+  }
+  EXPECT_EQ(segments.front().start_point, (Point{0, 0}));
+  EXPECT_EQ(segments.back().end_point, (Point{12000, 0}));
+}
+
+TEST(SegmentTripTest, SegmentsAreContiguous) {
+  Polyline trip({{0, 0}, {5000, 2000}, {9000, -1000}, {15000, 0}});
+  std::vector<TripSegment> segments = SegmentTrip(trip, 3500.0);
+  ASSERT_GE(segments.size(), 2u);
+  for (size_t i = 1; i < segments.size(); ++i) {
+    EXPECT_DOUBLE_EQ(segments[i].start_s, segments[i - 1].end_s);
+    EXPECT_EQ(segments[i].start_point, segments[i - 1].end_point);
+  }
+  EXPECT_NEAR(segments.back().end_s, trip.Length(), 1e-9);
+}
+
+TEST(SegmentTripTest, ShortTripYieldsOneSegment) {
+  Polyline trip({{0, 0}, {1000, 0}});
+  std::vector<TripSegment> segments = SegmentTrip(trip, 5000.0);
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_NEAR(segments[0].LengthMeters(), 1000.0, 1e-9);
+}
+
+TEST(SegmentTripTest, RemainderGoesToLastSegment) {
+  Polyline trip({{0, 0}, {10000, 0}});
+  std::vector<TripSegment> segments = SegmentTrip(trip, 4000.0);
+  // 10 km / 4 km -> 2 segments of 5 km each (count = floor(10/4) = 2).
+  ASSERT_EQ(segments.size(), 2u);
+  EXPECT_NEAR(segments[0].LengthMeters() + segments[1].LengthMeters(),
+              10000.0, 1e-9);
+}
+
+TEST(SegmentTripTest, DegenerateInputs) {
+  Polyline single({{5, 5}});
+  auto segs = SegmentTrip(single, 1000.0);
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].LengthMeters(), 0.0);
+
+  Polyline empty;
+  EXPECT_TRUE(SegmentTrip(empty, 1000.0).empty());
+}
+
+}  // namespace
+}  // namespace ecocharge

@@ -1,0 +1,80 @@
+#include "eis/ttl_cache.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace ecocharge {
+namespace {
+
+TEST(TtlCacheTest, MissThenHit) {
+  TtlCache<int, std::string> cache(60.0);
+  EXPECT_FALSE(cache.Get(1, 0.0).has_value());
+  cache.Put(1, "a", 0.0);
+  auto hit = cache.Get(1, 30.0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "a");
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(TtlCacheTest, ExpiresAfterTtl) {
+  TtlCache<int, int> cache(60.0);
+  cache.Put(1, 42, 0.0);
+  EXPECT_TRUE(cache.Get(1, 60.0).has_value());   // exactly at TTL: fresh
+  EXPECT_FALSE(cache.Get(1, 60.1).has_value());  // past TTL: gone
+  EXPECT_EQ(cache.stats().expirations, 1u);
+  // The expired entry was erased.
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(TtlCacheTest, PutRefreshesTimestamp) {
+  TtlCache<int, int> cache(60.0);
+  cache.Put(1, 42, 0.0);
+  cache.Put(1, 43, 50.0);
+  auto hit = cache.Get(1, 100.0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 43);
+}
+
+TEST(TtlCacheTest, NegativeAgeIsFresh) {
+  // Simulation time can restart (new repetition); entries from the
+  // "future" stay valid since values are pure functions of the key.
+  TtlCache<int, int> cache(10.0);
+  cache.Put(1, 7, 1000.0);
+  EXPECT_TRUE(cache.Get(1, 0.0).has_value());
+}
+
+TEST(TtlCacheTest, SweepRemovesOnlyExpired) {
+  TtlCache<int, int> cache(60.0);
+  cache.Put(1, 1, 0.0);
+  cache.Put(2, 2, 100.0);
+  cache.SweepExpired(100.0);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.Get(2, 100.0).has_value());
+}
+
+TEST(TtlCacheTest, SizeCapTriggersEviction) {
+  TtlCache<int, int> cache(60.0, /*max_entries=*/4);
+  for (int i = 0; i < 10; ++i) cache.Put(i, i, 0.0);
+  EXPECT_LE(cache.size(), 4u);
+}
+
+TEST(TtlCacheTest, ClearEmptiesCache) {
+  TtlCache<int, int> cache(60.0);
+  cache.Put(1, 1, 0.0);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Get(1, 0.0).has_value());
+}
+
+TEST(TtlCacheTest, HitRateComputation) {
+  CacheStats stats;
+  EXPECT_EQ(stats.HitRate(), 0.0);
+  stats.hits = 3;
+  stats.misses = 1;
+  EXPECT_DOUBLE_EQ(stats.HitRate(), 0.75);
+}
+
+}  // namespace
+}  // namespace ecocharge

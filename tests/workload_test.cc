@@ -1,0 +1,103 @@
+#include "core/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace ecocharge {
+namespace {
+
+class WorkloadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = testing_util::TinyEnvironment(30);
+    ASSERT_NE(env_, nullptr);
+  }
+  std::unique_ptr<Environment> env_;
+};
+
+TEST_F(WorkloadTest, TripStatesFollowSegments) {
+  const Trajectory& trip = env_->dataset.trajectories.front();
+  std::vector<VehicleState> states =
+      TripStates(*env_->dataset.network, trip, 3000.0, kSecondsPerHour);
+  ASSERT_FALSE(states.empty());
+  Polyline line = trip.AsPolyline();
+  size_t expected =
+      SegmentTrip(line, 3000.0).size();
+  EXPECT_EQ(states.size(), expected);
+  for (size_t i = 0; i < states.size(); ++i) {
+    EXPECT_EQ(states[i].segment_index, i);
+    EXPECT_EQ(states[i].trip_id, trip.object_id());
+    EXPECT_NE(states[i].node, kInvalidNode);
+    EXPECT_NE(states[i].return_node_a, kInvalidNode);
+    EXPECT_EQ(states[i].charge_window_s, kSecondsPerHour);
+  }
+}
+
+TEST_F(WorkloadTest, TimesAreMonotonicAlongTrip) {
+  const Trajectory& trip = env_->dataset.trajectories.front();
+  std::vector<VehicleState> states =
+      TripStates(*env_->dataset.network, trip, 3000.0, kSecondsPerHour);
+  for (size_t i = 1; i < states.size(); ++i) {
+    EXPECT_GE(states[i].time, states[i - 1].time);
+  }
+  EXPECT_GE(states.front().time, trip.StartTime());
+  EXPECT_LE(states.back().time, trip.EndTime());
+}
+
+TEST_F(WorkloadTest, ReturnPointsChainSegments) {
+  const Trajectory& trip = env_->dataset.trajectories.front();
+  std::vector<VehicleState> states =
+      TripStates(*env_->dataset.network, trip, 2500.0, kSecondsPerHour);
+  for (size_t i = 0; i + 1 < states.size(); ++i) {
+    // This segment's end is the next segment's start position.
+    EXPECT_EQ(states[i].return_point_a, states[i + 1].position);
+  }
+  // Last state's return points coincide (no next segment).
+  EXPECT_EQ(states.back().return_point_a, states.back().return_point_b);
+}
+
+TEST_F(WorkloadTest, BuildWorkloadHonorsCaps) {
+  WorkloadOptions wo;
+  wo.max_trips = 2;
+  wo.max_states = 5;
+  std::vector<VehicleState> states = BuildWorkload(env_->dataset, wo);
+  EXPECT_LE(states.size(), 5u);
+  EXPECT_FALSE(states.empty());
+}
+
+TEST_F(WorkloadTest, BuildWorkloadDeterministicInSeed) {
+  WorkloadOptions wo;
+  wo.max_trips = 3;
+  wo.max_states = 10;
+  wo.seed = 5;
+  auto a = BuildWorkload(env_->dataset, wo);
+  auto b = BuildWorkload(env_->dataset, wo);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].position, b[i].position);
+    EXPECT_EQ(a[i].time, b[i].time);
+  }
+  wo.seed = 6;
+  auto c = BuildWorkload(env_->dataset, wo);
+  bool differs = a.size() != c.size();
+  for (size_t i = 0; !differs && i < a.size(); ++i) {
+    if (!(a[i].position == c[i].position)) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST_F(WorkloadTest, EmptyDatasetYieldsEmptyWorkload) {
+  Dataset empty;
+  WorkloadOptions wo;
+  EXPECT_TRUE(BuildWorkload(empty, wo).empty());
+}
+
+TEST_F(WorkloadTest, ShortTrajectoryYieldsNoStates) {
+  Trajectory stub(99, {{{0, 0}, 0.0}});
+  EXPECT_TRUE(
+      TripStates(*env_->dataset.network, stub, 3000.0, 3600.0).empty());
+}
+
+}  // namespace
+}  // namespace ecocharge
