@@ -30,7 +30,8 @@ int main(int argc, char** argv) {
             << "km Q=" << cfg.q_distance_m / 1000.0
             << "km chargers=" << cfg.num_chargers
             << " states=" << cfg.max_states << " reps=" << cfg.repetitions
-            << " weights=AWE\n\n";
+            << " weights=AWE index="
+            << SpatialIndexKindName(cfg.index_kind) << "\n\n";
 
   TableWriter table({"Dataset", "Method", "F_t [ms]", "SC [%]"});
   for (DatasetKind kind : AllDatasetKinds()) {

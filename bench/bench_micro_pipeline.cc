@@ -1,0 +1,149 @@
+// Micro-benchmarks of the index-agnostic query pipeline: the EcoCharge
+// full-regeneration and cache-hit paths swept over every spatial-index
+// backend, each with a reused QueryContext (the steady-state serving
+// configuration) and with a fresh context per query (what a caller pays
+// without buffer reuse). Every backend returns bit-identical tables, so
+// the spread across rows is pure index/allocation cost.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "common/rng.h"
+#include "core/ecocharge.h"
+#include "core/environment.h"
+#include "core/workload.h"
+#include "spatial/index_factory.h"
+
+namespace ecocharge {
+namespace {
+
+struct World {
+  std::unique_ptr<Environment> env;
+  std::vector<VehicleState> states;
+  // One instance of every backend over the same charger points.
+  std::unique_ptr<SpatialIndex> indexes[kAllSpatialIndexKinds.size()];
+};
+
+World& SharedWorld() {
+  static World world = [] {
+    EnvironmentOptions eo;
+    eo.kind = DatasetKind::kOldenburg;
+    eo.dataset_scale = 0.01;
+    eo.num_chargers = 1000;
+    eo.seed = 42;
+    World w;
+    w.env = MakeEnvironment(eo).MoveValueUnsafe();
+    WorkloadOptions wo;
+    wo.max_trips = 10;
+    wo.max_states = 32;
+    w.states = BuildWorkload(w.env->dataset, wo);
+
+    std::vector<Point> points;
+    points.reserve(w.env->chargers.size());
+    for (const EvCharger& c : w.env->chargers) points.push_back(c.position);
+    for (size_t i = 0; i < kAllSpatialIndexKinds.size(); ++i) {
+      w.indexes[i] = MakeSpatialIndex(kAllSpatialIndexKinds[i]);
+      w.indexes[i]->Build(points);
+    }
+    return w;
+  }();
+  return world;
+}
+
+const SpatialIndex* IndexFor(SpatialIndexKind kind) {
+  World& w = SharedWorld();
+  for (size_t i = 0; i < kAllSpatialIndexKinds.size(); ++i) {
+    if (kAllSpatialIndexKinds[i] == kind) return w.indexes[i].get();
+  }
+  return nullptr;
+}
+
+void FullQuery(benchmark::State& state, SpatialIndexKind kind,
+               bool reuse_context) {
+  World& w = SharedWorld();
+  EcoChargeOptions opts;
+  opts.q_distance_m = 0.0;  // force regeneration every query
+  EcoChargeRanker eco(w.env->estimator.get(), IndexFor(kind),
+                      ScoreWeights::AWE(), opts);
+  QueryContext ctx;
+  OfferingTable table;
+  eco.RankInto(w.states.front(), 3, ctx, &table);  // warm EIS caches
+  Rng rng(3);
+  for (auto _ : state) {
+    const VehicleState& vs = w.states[rng.NextBounded(w.states.size())];
+    if (reuse_context) {
+      eco.RankInto(vs, 3, ctx, &table);
+      benchmark::DoNotOptimize(table);
+    } else {
+      QueryContext fresh;
+      OfferingTable t;
+      eco.RankInto(vs, 3, fresh, &t);
+      benchmark::DoNotOptimize(t);
+    }
+  }
+}
+
+void CachedQuery(benchmark::State& state, SpatialIndexKind kind,
+                 bool reuse_context) {
+  World& w = SharedWorld();
+  EcoChargeOptions opts;
+  opts.q_distance_m = 1e9;  // every repeat query is a cache hit
+  opts.cache_ttl_s = 1e12;
+  EcoChargeRanker eco(w.env->estimator.get(), IndexFor(kind),
+                      ScoreWeights::AWE(), opts);
+  QueryContext ctx;
+  OfferingTable table;
+  const VehicleState& vs = w.states.front();
+  eco.RankInto(vs, 3, ctx, &table);  // warm the solution cache
+  for (auto _ : state) {
+    if (reuse_context) {
+      eco.RankInto(vs, 3, ctx, &table);
+      benchmark::DoNotOptimize(table);
+    } else {
+      QueryContext fresh;
+      OfferingTable t;
+      eco.RankInto(vs, 3, fresh, &t);
+      benchmark::DoNotOptimize(t);
+    }
+  }
+}
+
+void FilterOnly(benchmark::State& state, SpatialIndexKind kind) {
+  World& w = SharedWorld();
+  CknnEcOptions opts;
+  CknnEcProcessor processor(w.env->estimator.get(), IndexFor(kind), opts);
+  QueryContext ctx;
+  Rng rng(3);
+  for (auto _ : state) {
+    const VehicleState& vs = w.states[rng.NextBounded(w.states.size())];
+    benchmark::DoNotOptimize(processor.FilterCandidates(vs.position, &ctx));
+  }
+}
+
+void RegisterAll() {
+  for (SpatialIndexKind kind : kAllSpatialIndexKinds) {
+    std::string name(SpatialIndexKindName(kind));
+    benchmark::RegisterBenchmark(("BM_FullQuery/" + name + "/reused").c_str(),
+                                 FullQuery, kind, true);
+    benchmark::RegisterBenchmark(("BM_FullQuery/" + name + "/fresh").c_str(),
+                                 FullQuery, kind, false);
+    benchmark::RegisterBenchmark(("BM_FilterOnly/" + name).c_str(),
+                                 FilterOnly, kind);
+  }
+  // The cache-hit path never touches the index, so one backend suffices.
+  benchmark::RegisterBenchmark("BM_CachedQuery/reused", CachedQuery,
+                               SpatialIndexKind::kQuadTree, true);
+  benchmark::RegisterBenchmark("BM_CachedQuery/fresh", CachedQuery,
+                               SpatialIndexKind::kQuadTree, false);
+}
+
+}  // namespace
+}  // namespace ecocharge
+
+int main(int argc, char** argv) {
+  ecocharge::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

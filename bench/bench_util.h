@@ -32,6 +32,7 @@ struct BenchConfig {
   size_t max_states = 24;
   int repetitions = 3;
   uint64_t seed = 42;
+  SpatialIndexKind index_kind = SpatialIndexKind::kQuadTree;
 
   static BenchConfig FromArgs(int argc, char** argv) {
     BenchConfig cfg;
@@ -55,6 +56,13 @@ struct BenchConfig {
         cfg.num_chargers = std::strtoull(v, nullptr, 10);
       } else if (const char* v = next("--seed")) {
         cfg.seed = std::strtoull(v, nullptr, 10);
+      } else if (const char* v = next("--index")) {
+        auto kind = ParseSpatialIndexKind(v);
+        if (!kind.ok()) {
+          std::cerr << kind.status() << "\n";
+          std::exit(2);
+        }
+        cfg.index_kind = kind.value();
       }
     }
     return cfg;
@@ -79,6 +87,7 @@ inline PreparedWorld Prepare(DatasetKind kind, const BenchConfig& cfg) {
   // objective normalizes by its configured 2R.
   eo.max_derouting_m = 150000.0;
   eo.seed = cfg.seed;
+  eo.index_kind = cfg.index_kind;
   auto env_result = MakeEnvironment(eo);
   if (!env_result.ok()) {
     std::cerr << "environment(" << DatasetName(kind)

@@ -1,7 +1,9 @@
 // Quickstart: build a small city world, drive one trip, and print the
 // EcoCharge Offering Tables alongside the Brute-Force optimum.
 //
-// Usage: quickstart [seed]
+// Usage: quickstart [seed] [index]
+//   index: quadtree|rtree|grid|kdtree|linear — charger-index backend; the
+//   tables are identical across backends, only the query time changes.
 
 #include <cstdlib>
 #include <iostream>
@@ -22,6 +24,14 @@ int main(int argc, char** argv) {
   env_opts.dataset_scale = 0.01;
   env_opts.num_chargers = 200;
   env_opts.seed = seed;
+  if (argc > 2) {
+    auto kind = ParseSpatialIndexKind(argv[2]);
+    if (!kind.ok()) {
+      std::cerr << kind.status() << "\n";
+      return 2;
+    }
+    env_opts.index_kind = kind.value();
+  }
   auto env_result = MakeEnvironment(env_opts);
   if (!env_result.ok()) {
     std::cerr << "environment: " << env_result.status() << "\n";
@@ -33,7 +43,8 @@ int main(int argc, char** argv) {
   std::cout << "World: " << env.dataset.name << " network with "
             << env.dataset.network->NumNodes() << " nodes, "
             << env.dataset.network->NumEdges() << " edges, "
-            << env.chargers.size() << " chargers, "
+            << env.chargers.size() << " chargers ("
+            << SpatialIndexKindName(env.index_kind) << " index), "
             << env.dataset.trajectories.size() << " trajectories\n\n";
 
   // 2. Take the first trip and turn it into per-segment vehicle states.

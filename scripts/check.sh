@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, and run the full test suite.
+#
+# Usage:
+#   scripts/check.sh                 # plain Release build in build/
+#   scripts/check.sh address         # ASan build in build-asan/
+#   scripts/check.sh undefined       # UBSan build in build-ubsan/
+#
+# Extra arguments after the sanitizer are forwarded to ctest, e.g.
+#   scripts/check.sh address -R QueryContext
+
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+sanitize="${1:-}"
+case "${sanitize}" in
+  address|undefined) shift ;;
+  "") ;;
+  *) sanitize="" ;;  # first arg is a ctest flag, not a sanitizer
+esac
+
+if [[ -n "${sanitize}" ]]; then
+  build_dir="${repo_root}/build-${sanitize/undefined/ubsan}"
+  build_dir="${build_dir/address/asan}"
+else
+  build_dir="${repo_root}/build"
+fi
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DECOCHARGE_SANITIZE="${sanitize}"
+cmake --build "${build_dir}" -j "$(nproc)"
+ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" "$@"

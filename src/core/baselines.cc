@@ -22,16 +22,17 @@ OfferingEntry MakeTruthEntry(ChargerId id, const EcTruth& truth,
   return e;
 }
 
-OfferingTable MakeTable(const VehicleState& state,
-                        std::vector<OfferingEntry> entries, size_t k) {
-  SortOfferingEntries(entries);
-  if (entries.size() > k) entries.resize(k);
-  OfferingTable table;
-  table.generated_at = state.time;
-  table.location = state.position;
-  table.segment_index = state.segment_index;
-  table.entries = std::move(entries);
-  return table;
+void StartTable(const VehicleState& state, OfferingTable* out) {
+  out->generated_at = state.time;
+  out->location = state.position;
+  out->segment_index = state.segment_index;
+  out->adapted_from_cache = false;
+  out->entries.clear();
+}
+
+void FinishTable(size_t k, OfferingTable* out) {
+  SortOfferingEntries(out->entries);
+  if (out->entries.size() > k) out->entries.resize(k);
 }
 
 }  // namespace
@@ -40,19 +41,20 @@ BruteForceRanker::BruteForceRanker(EcEstimator* estimator,
                                    const ScoreWeights& weights)
     : estimator_(estimator), weights_(weights) {}
 
-OfferingTable BruteForceRanker::Rank(const VehicleState& state, size_t k) {
+void BruteForceRanker::RankInto(const VehicleState& state, size_t k,
+                                QueryContext& /*ctx*/, OfferingTable* out) {
   const std::vector<EvCharger>& fleet = estimator_->fleet();
-  std::vector<OfferingEntry> entries;
-  entries.reserve(fleet.size());
+  StartTable(state, out);
+  out->entries.reserve(fleet.size());
   for (const EvCharger& charger : fleet) {
     EcTruth ref = estimator_->ReferenceComponents(state, charger);
-    entries.push_back(MakeTruthEntry(charger.id, ref, weights_));
+    out->entries.push_back(MakeTruthEntry(charger.id, ref, weights_));
   }
-  return MakeTable(state, std::move(entries), k);
+  FinishTable(k, out);
 }
 
 QuadtreeRanker::QuadtreeRanker(EcEstimator* estimator,
-                               const QuadTree* charger_index,
+                               const SpatialIndex* charger_index,
                                const ScoreWeights& weights,
                                size_t candidate_budget)
     : estimator_(estimator),
@@ -60,22 +62,23 @@ QuadtreeRanker::QuadtreeRanker(EcEstimator* estimator,
       weights_(weights),
       candidate_budget_(candidate_budget) {}
 
-OfferingTable QuadtreeRanker::Rank(const VehicleState& state, size_t k) {
+void QuadtreeRanker::RankInto(const VehicleState& state, size_t k,
+                              QueryContext& ctx, OfferingTable* out) {
   const std::vector<EvCharger>& fleet = estimator_->fleet();
-  std::vector<Neighbor> nearest =
-      charger_index_->Knn(state.position, std::max(candidate_budget_, k));
-  std::vector<OfferingEntry> entries;
-  entries.reserve(nearest.size());
-  for (const Neighbor& n : nearest) {
+  charger_index_->KnnInto(state.position, std::max(candidate_budget_, k),
+                          &ctx.spatial, &ctx.neighbors);
+  StartTable(state, out);
+  out->entries.reserve(ctx.neighbors.size());
+  for (const Neighbor& n : ctx.neighbors) {
     if (n.id >= fleet.size()) continue;
     EcTruth ref = estimator_->ReferenceComponents(state, fleet[n.id]);
-    entries.push_back(MakeTruthEntry(n.id, ref, weights_));
+    out->entries.push_back(MakeTruthEntry(n.id, ref, weights_));
   }
-  return MakeTable(state, std::move(entries), k);
+  FinishTable(k, out);
 }
 
 RandomRanker::RandomRanker(EcEstimator* estimator,
-                           const QuadTree* charger_index, double radius_m,
+                           const SpatialIndex* charger_index, double radius_m,
                            uint64_t seed)
     : estimator_(estimator),
       charger_index_(charger_index),
@@ -83,18 +86,20 @@ RandomRanker::RandomRanker(EcEstimator* estimator,
       seed_(seed),
       rng_(seed) {}
 
-OfferingTable RandomRanker::Rank(const VehicleState& state, size_t k) {
+void RandomRanker::RankInto(const VehicleState& state, size_t k,
+                            QueryContext& ctx, OfferingTable* out) {
   const std::vector<EvCharger>& fleet = estimator_->fleet();
-  std::vector<Neighbor> in_range =
-      charger_index_->RangeSearch(state.position, radius_m_);
-  std::vector<uint32_t> ids;
-  ids.reserve(in_range.size());
-  for (const Neighbor& n : in_range) ids.push_back(n.id);
+  charger_index_->RangeSearchInto(state.position, radius_m_, &ctx.spatial,
+                                  &ctx.neighbors);
+  std::vector<uint32_t>& ids = ctx.candidates;
+  ids.clear();
+  ids.reserve(ctx.neighbors.size());
+  for (const Neighbor& n : ctx.neighbors) ids.push_back(n.id);
   rng_.Shuffle(ids);
   if (ids.size() > k) ids.resize(k);
 
-  std::vector<OfferingEntry> entries;
-  entries.reserve(ids.size());
+  StartTable(state, out);
+  out->entries.reserve(ids.size());
   for (uint32_t id : ids) {
     if (id >= fleet.size()) continue;
     // The random method does not evaluate objectives; fill the entry with
@@ -104,14 +109,8 @@ OfferingTable RandomRanker::Rank(const VehicleState& state, size_t k) {
     e.ecs = estimator_->EstimateIntervals(state, fleet[id]);
     e.score = ScorePair{0.0, 0.0};  // deliberately unranked
     e.eta_s = e.ecs.eta_s;
-    entries.push_back(e);
+    out->entries.push_back(e);
   }
-  OfferingTable table;
-  table.generated_at = state.time;
-  table.location = state.position;
-  table.segment_index = state.segment_index;
-  table.entries = std::move(entries);
-  return table;
 }
 
 }  // namespace ecocharge

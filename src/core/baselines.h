@@ -7,7 +7,7 @@
 #include "common/rng.h"
 #include "core/ec_estimator.h"
 #include "core/ranker.h"
-#include "spatial/quadtree.h"
+#include "spatial/spatial_index.h"
 
 namespace ecocharge {
 
@@ -22,33 +22,36 @@ class BruteForceRanker : public Ranker {
   BruteForceRanker(EcEstimator* estimator, const ScoreWeights& weights);
 
   std::string_view name() const override { return "Brute-Force"; }
-  OfferingTable Rank(const VehicleState& state, size_t k) override;
+  void RankInto(const VehicleState& state, size_t k, QueryContext& ctx,
+                OfferingTable* out) override;
 
  private:
   EcEstimator* estimator_;
   ScoreWeights weights_;
 };
 
-/// \brief The Index-Quadtree baseline: uses the quadtree to retrieve the
-/// spatially nearest `candidate_budget` chargers, evaluates the exact SC
-/// only for those, and returns their top-k.
+/// \brief The Index-Quadtree baseline: uses a spatial index to retrieve
+/// the nearest `candidate_budget` chargers, evaluates the exact SC only
+/// for those, and returns their top-k. (The paper builds it on a
+/// quadtree; any SpatialIndex backend produces the same candidates.)
 ///
 /// Faster than Brute-Force (it prices O(log n) retrieval plus a bounded
 /// candidate evaluation), but it can miss high-L/A chargers slightly
 /// farther away — the SC gap the paper reports (~80-85%).
 class QuadtreeRanker : public Ranker {
  public:
-  /// \param charger_index quadtree over fleet positions (ids = fleet index)
+  /// \param charger_index index over fleet positions (ids = fleet index)
   /// \param candidate_budget how many spatial NNs are exactly evaluated
-  QuadtreeRanker(EcEstimator* estimator, const QuadTree* charger_index,
+  QuadtreeRanker(EcEstimator* estimator, const SpatialIndex* charger_index,
                  const ScoreWeights& weights, size_t candidate_budget = 24);
 
   std::string_view name() const override { return "Index-Quadtree"; }
-  OfferingTable Rank(const VehicleState& state, size_t k) override;
+  void RankInto(const VehicleState& state, size_t k, QueryContext& ctx,
+                OfferingTable* out) override;
 
  private:
   EcEstimator* estimator_;
-  const QuadTree* charger_index_;
+  const SpatialIndex* charger_index_;
   ScoreWeights weights_;
   size_t candidate_budget_;
 };
@@ -57,16 +60,17 @@ class QuadtreeRanker : public Ranker {
 /// radius R, ignoring every objective.
 class RandomRanker : public Ranker {
  public:
-  RandomRanker(EcEstimator* estimator, const QuadTree* charger_index,
+  RandomRanker(EcEstimator* estimator, const SpatialIndex* charger_index,
                double radius_m, uint64_t seed);
 
   std::string_view name() const override { return "Random"; }
-  OfferingTable Rank(const VehicleState& state, size_t k) override;
+  void RankInto(const VehicleState& state, size_t k, QueryContext& ctx,
+                OfferingTable* out) override;
   void Reset() override { rng_ = Rng(seed_); }
 
  private:
   EcEstimator* estimator_;
-  const QuadTree* charger_index_;
+  const SpatialIndex* charger_index_;
   double radius_m_;
   uint64_t seed_;
   Rng rng_;

@@ -1,50 +1,61 @@
 #include "core/cknn_ec.h"
 
 #include <algorithm>
-#include <unordered_set>
 
 namespace ecocharge {
 
 namespace {
 
-/// Descending by `key(c)`, ties by id (deterministic).
+/// Descending by `key(c)`, ties by id (deterministic); order indices are
+/// written into `*order`, which is reused across queries.
 template <typename KeyFn>
-std::vector<uint32_t> RankBy(const std::vector<ScoredCandidate>& candidates,
-                             KeyFn key) {
-  std::vector<uint32_t> order(candidates.size());
-  for (uint32_t i = 0; i < candidates.size(); ++i) order[i] = i;
-  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+void RankInto(const std::vector<ScoredCandidate>& candidates, KeyFn key,
+              std::vector<uint32_t>* order) {
+  order->resize(candidates.size());
+  for (uint32_t i = 0; i < candidates.size(); ++i) (*order)[i] = i;
+  std::sort(order->begin(), order->end(), [&](uint32_t a, uint32_t b) {
     double ka = key(candidates[a]);
     double kb = key(candidates[b]);
     if (ka != kb) return ka > kb;
     return candidates[a].charger_id < candidates[b].charger_id;
   });
-  return order;
+}
+
+/// Descending score midpoint, ties by id — the final sort of eq. 6.
+bool MidpointBetter(const ScoredCandidate& a, const ScoredCandidate& b) {
+  if (a.score.Mid() != b.score.Mid()) return a.score.Mid() > b.score.Mid();
+  return a.charger_id < b.charger_id;
 }
 
 }  // namespace
 
-std::vector<ScoredCandidate> IterativeDeepeningIntersection(
-    const std::vector<ScoredCandidate>& candidates, size_t k) {
-  std::vector<ScoredCandidate> result;
-  if (candidates.empty() || k == 0) return result;
+void IterativeDeepeningIntersection(
+    const std::vector<ScoredCandidate>& candidates, size_t k,
+    QueryContext* ctx, std::vector<ScoredCandidate>* out) {
+  out->clear();
+  if (candidates.empty() || k == 0) return;
 
-  std::vector<uint32_t> by_min = RankBy(
-      candidates, [](const ScoredCandidate& c) { return c.score.sc_min; });
-  std::vector<uint32_t> by_max = RankBy(
-      candidates, [](const ScoredCandidate& c) { return c.score.sc_max; });
+  std::vector<uint32_t>& by_min = ctx->order_min;
+  std::vector<uint32_t>& by_max = ctx->order_max;
+  RankInto(candidates, [](const ScoredCandidate& c) { return c.score.sc_min; },
+           &by_min);
+  RankInto(candidates, [](const ScoredCandidate& c) { return c.score.sc_max; },
+           &by_max);
 
   // Deepen: take the top-d of both rankings, intersect, and grow d until
   // the intersection holds k chargers or everything has been considered.
+  // Membership in the top-d of by_min is tracked by stamping member_mark
+  // with a per-iteration epoch — no hash set, no clearing.
   size_t n = candidates.size();
+  if (ctx->member_mark.size() < n) ctx->member_mark.resize(n, 0);
   size_t depth = std::min(k, n);
-  std::vector<uint32_t> common;
+  std::vector<uint32_t>& common = ctx->common;
   while (true) {
-    std::unordered_set<uint32_t> min_set(by_min.begin(),
-                                         by_min.begin() + depth);
+    uint64_t epoch = ++ctx->mark_epoch;
+    for (size_t i = 0; i < depth; ++i) ctx->member_mark[by_min[i]] = epoch;
     common.clear();
     for (size_t i = 0; i < depth; ++i) {
-      if (min_set.count(by_max[i])) common.push_back(by_max[i]);
+      if (ctx->member_mark[by_max[i]] == epoch) common.push_back(by_max[i]);
     }
     if (common.size() >= k || depth == n) break;
     depth = std::min(n, depth * 2);
@@ -53,39 +64,51 @@ std::vector<ScoredCandidate> IterativeDeepeningIntersection(
   // Order the common chargers by score midpoint (the final sort of eq. 6)
   // and keep k.
   std::sort(common.begin(), common.end(), [&](uint32_t a, uint32_t b) {
-    double ka = candidates[a].score.Mid();
-    double kb = candidates[b].score.Mid();
-    if (ka != kb) return ka > kb;
-    return candidates[a].charger_id < candidates[b].charger_id;
+    return MidpointBetter(candidates[a], candidates[b]);
   });
   if (common.size() > k) common.resize(k);
-  result.reserve(common.size());
-  for (uint32_t idx : common) result.push_back(candidates[idx]);
-  return result;
+  out->reserve(common.size());
+  for (uint32_t idx : common) out->push_back(candidates[idx]);
+}
+
+std::vector<ScoredCandidate> IterativeDeepeningIntersection(
+    const std::vector<ScoredCandidate>& candidates, size_t k) {
+  QueryContext ctx;
+  std::vector<ScoredCandidate> out;
+  IterativeDeepeningIntersection(candidates, k, &ctx, &out);
+  return out;
 }
 
 CknnEcProcessor::CknnEcProcessor(EcEstimator* estimator,
-                                 const QuadTree* charger_index,
+                                 const SpatialIndex* charger_index,
                                  const CknnEcOptions& options)
     : estimator_(estimator),
       charger_index_(charger_index),
       options_(options) {}
 
-std::vector<ChargerId> CknnEcProcessor::FilterCandidates(
-    const Point& position) const {
-  std::vector<Neighbor> in_range =
-      charger_index_->RangeSearch(position, options_.radius_m);
-  std::vector<ChargerId> ids;
-  ids.reserve(in_range.size());
-  for (const Neighbor& n : in_range) ids.push_back(n.id);
-  return ids;
+const std::vector<ChargerId>& CknnEcProcessor::FilterCandidates(
+    const Point& position, QueryContext* ctx) const {
+  charger_index_->RangeSearchInto(position, options_.radius_m, &ctx->spatial,
+                                  &ctx->neighbors);
+  ctx->candidates.clear();
+  ctx->candidates.reserve(ctx->neighbors.size());
+  for (const Neighbor& n : ctx->neighbors) ctx->candidates.push_back(n.id);
+  return ctx->candidates;
 }
 
-std::vector<ScoredCandidate> CknnEcProcessor::ScoreCandidates(
+std::vector<ChargerId> CknnEcProcessor::FilterCandidates(
+    const Point& position) const {
+  QueryContext ctx;
+  FilterCandidates(position, &ctx);
+  return std::move(ctx.candidates);
+}
+
+const std::vector<ScoredCandidate>& CknnEcProcessor::ScoreCandidates(
     const VehicleState& state, const std::vector<ChargerId>& candidate_ids,
-    const ScoreWeights& weights) {
+    const ScoreWeights& weights, QueryContext* ctx) {
   const std::vector<EvCharger>& fleet = estimator_->fleet();
-  std::vector<ScoredCandidate> scored;
+  std::vector<ScoredCandidate>& scored = ctx->scored;
+  scored.clear();
   scored.reserve(candidate_ids.size());
   for (ChargerId id : candidate_ids) {
     if (id >= fleet.size()) continue;
@@ -99,36 +122,45 @@ std::vector<ScoredCandidate> CknnEcProcessor::ScoreCandidates(
   return scored;
 }
 
-std::vector<OfferingEntry> CknnEcProcessor::RefineAndRank(
-    const VehicleState& state, std::vector<ScoredCandidate> scored, size_t k,
+std::vector<ScoredCandidate> CknnEcProcessor::ScoreCandidates(
+    const VehicleState& state, const std::vector<ChargerId>& candidate_ids,
     const ScoreWeights& weights) {
+  QueryContext ctx;
+  ScoreCandidates(state, candidate_ids, weights, &ctx);
+  return std::move(ctx.scored);
+}
+
+void CknnEcProcessor::RefineAndRank(const VehicleState& state,
+                                    const std::vector<ScoredCandidate>* scored,
+                                    size_t k, const ScoreWeights& weights,
+                                    bool refine_exact_derouting,
+                                    QueryContext* ctx,
+                                    std::vector<OfferingEntry>* out) {
   // Intersection over a pool slightly deeper than k, so the exact-derouting
   // refinement has alternatives to promote.
-  size_t pool = options_.refine_exact_derouting
-                    ? std::max(k, options_.refine_limit)
-                    : k;
-  std::vector<ScoredCandidate> selected;
+  size_t pool =
+      refine_exact_derouting ? std::max(k, options_.refine_limit) : k;
+  std::vector<ScoredCandidate>& selected = ctx->selected;
   if (options_.use_intersection) {
-    selected = IterativeDeepeningIntersection(scored, pool);
+    IterativeDeepeningIntersection(*scored, pool, ctx, &selected);
   } else {
-    // Ablation path: plain top-`pool` by score midpoint.
-    std::sort(scored.begin(), scored.end(),
-              [](const ScoredCandidate& a, const ScoredCandidate& b) {
-                if (a.score.Mid() != b.score.Mid()) {
-                  return a.score.Mid() > b.score.Mid();
-                }
-                return a.charger_id < b.charger_id;
-              });
-    if (scored.size() > pool) scored.resize(pool);
-    selected = std::move(scored);
+    // Ablation path: plain top-`pool` by score midpoint. Rank the indices
+    // so `*scored` (often a live cache entry) stays untouched.
+    std::vector<uint32_t>& order = ctx->order_min;
+    RankInto(*scored, [](const ScoredCandidate& c) { return c.score.Mid(); },
+             &order);
+    if (order.size() > pool) order.resize(pool);
+    selected.clear();
+    selected.reserve(order.size());
+    for (uint32_t idx : order) selected.push_back((*scored)[idx]);
   }
 
   const std::vector<EvCharger>& fleet = estimator_->fleet();
-  std::vector<OfferingEntry> entries;
-  entries.reserve(selected.size());
+  out->clear();
+  out->reserve(selected.size());
   for (size_t i = 0; i < selected.size(); ++i) {
     ScoredCandidate& c = selected[i];
-    if (options_.refine_exact_derouting && i < options_.refine_limit) {
+    if (refine_exact_derouting && i < options_.refine_limit) {
       c.ecs = estimator_->EstimateWithExactDerouting(
           state, fleet[c.charger_id], options_.derouting_norm_m);
       c.score = ComputeScorePair(c.ecs, weights);
@@ -138,20 +170,40 @@ std::vector<OfferingEntry> CknnEcProcessor::RefineAndRank(
     e.score = c.score;
     e.ecs = c.ecs;
     e.eta_s = c.ecs.eta_s;
-    entries.push_back(e);
+    out->push_back(e);
   }
-  SortOfferingEntries(entries);
-  if (entries.size() > k) entries.resize(k);
-  return entries;
+  SortOfferingEntries(*out);
+  if (out->size() > k) out->resize(k);
+}
+
+std::vector<OfferingEntry> CknnEcProcessor::RefineAndRank(
+    const VehicleState& state, std::vector<ScoredCandidate> scored, size_t k,
+    const ScoreWeights& weights) {
+  QueryContext ctx;
+  std::vector<OfferingEntry> out;
+  RefineAndRank(state, &scored, k, weights, options_.refine_exact_derouting,
+                &ctx, &out);
+  return out;
+}
+
+void CknnEcProcessor::Query(const VehicleState& state, size_t k,
+                            const ScoreWeights& weights, QueryContext* ctx,
+                            std::vector<OfferingEntry>* out) {
+  const std::vector<ChargerId>& candidates =
+      FilterCandidates(state.position, ctx);
+  const std::vector<ScoredCandidate>& scored =
+      ScoreCandidates(state, candidates, weights, ctx);
+  RefineAndRank(state, &scored, k, weights, options_.refine_exact_derouting,
+                ctx, out);
 }
 
 std::vector<OfferingEntry> CknnEcProcessor::Query(const VehicleState& state,
                                                   size_t k,
                                                   const ScoreWeights& weights) {
-  std::vector<ChargerId> candidates = FilterCandidates(state.position);
-  std::vector<ScoredCandidate> scored =
-      ScoreCandidates(state, candidates, weights);
-  return RefineAndRank(state, std::move(scored), k, weights);
+  QueryContext ctx;
+  std::vector<OfferingEntry> out;
+  Query(state, k, weights, &ctx, &out);
+  return out;
 }
 
 }  // namespace ecocharge

@@ -6,21 +6,22 @@
 
 #include "core/ec_estimator.h"
 #include "core/offering_table.h"
-#include "spatial/quadtree.h"
+#include "core/query_context.h"
+#include "spatial/spatial_index.h"
 
 namespace ecocharge {
 
-/// \brief A scored candidate inside the CkNN-EC pipeline.
-struct ScoredCandidate {
-  ChargerId charger_id = 0;
-  ScorePair score;
-  EcIntervals ecs;
-};
-
 /// \brief Eq. (6): intersection of the top-d rankings by SC_min and by
 /// SC_max, deepened iteratively until k common chargers are found (or the
-/// candidate pool is exhausted). Returns at most k candidates ordered by
-/// descending score midpoint.
+/// candidate pool is exhausted). Writes at most k candidates into `*out`
+/// ordered by descending score midpoint, using `ctx` rank/mark buffers
+/// (zero allocations once the context is warm). `out` must not alias
+/// `candidates`.
+void IterativeDeepeningIntersection(
+    const std::vector<ScoredCandidate>& candidates, size_t k,
+    QueryContext* ctx, std::vector<ScoredCandidate>* out);
+
+/// Allocating convenience form of the above.
 std::vector<ScoredCandidate> IterativeDeepeningIntersection(
     const std::vector<ScoredCandidate>& candidates, size_t k);
 
@@ -43,35 +44,70 @@ struct CknnEcOptions {
 
 /// \brief The CkNN-EC query processor (Section III-C).
 ///
-/// Filtering phase: a quadtree range query keeps only chargers within R of
-/// the vehicle, and each survivor gets cheap interval ECs (forecast L, A;
-/// closed-form D bounds) folded into the SC_min/SC_max pair.
+/// Filtering phase: a range query against the injected SpatialIndex keeps
+/// only chargers within R of the vehicle, and each survivor gets cheap
+/// interval ECs (forecast L, A; closed-form D bounds) folded into the
+/// SC_min/SC_max pair.
 /// Refinement phase: iterative-deepening intersection (eq. 6) selects the
 /// candidates, and the top `refine_limit` get network-exact derouting
 /// before the final ordering.
+///
+/// The processor is index-agnostic: any SpatialIndex backend (quadtree,
+/// R-tree, grid, kd-tree, linear scan) produces the same candidate set in
+/// the same canonical order, so the resulting Offering Tables are
+/// bit-identical across backends. Each stage has a QueryContext form that
+/// reuses caller-owned buffers — the steady-state zero-allocation path —
+/// plus an allocating convenience form.
 class CknnEcProcessor {
  public:
-  /// \param charger_index quadtree over the fleet's positions, where item
-  ///        ids equal positions in the fleet vector (not owned)
-  CknnEcProcessor(EcEstimator* estimator, const QuadTree* charger_index,
+  /// \param charger_index spatial index over the fleet's positions, where
+  ///        item ids equal positions in the fleet vector (not owned)
+  CknnEcProcessor(EcEstimator* estimator, const SpatialIndex* charger_index,
                   const CknnEcOptions& options);
 
   /// Candidate ids within R of `position` (the filtering phase's spatial
   /// part), exposed so Dynamic Caching can reuse the candidate set.
+  /// Results land in `ctx->candidates`; the returned reference aliases it.
+  const std::vector<ChargerId>& FilterCandidates(const Point& position,
+                                                 QueryContext* ctx) const;
+
+  /// Allocating convenience form.
   std::vector<ChargerId> FilterCandidates(const Point& position) const;
 
-  /// Scores `candidate_ids` with estimated interval ECs.
+  /// Scores `candidate_ids` with estimated interval ECs into
+  /// `ctx->scored`; the returned reference aliases it. `candidate_ids`
+  /// may alias `ctx->candidates`.
+  const std::vector<ScoredCandidate>& ScoreCandidates(
+      const VehicleState& state, const std::vector<ChargerId>& candidate_ids,
+      const ScoreWeights& weights, QueryContext* ctx);
+
+  /// Allocating convenience form.
   std::vector<ScoredCandidate> ScoreCandidates(
       const VehicleState& state, const std::vector<ChargerId>& candidate_ids,
       const ScoreWeights& weights);
 
-  /// Full query: filter, score, intersect, refine. Returns the top-k
-  /// entries best-first.
+  /// Full query: filter, score, intersect, refine. Writes the top-k
+  /// entries best-first into `*out` (typically `&ctx->entries` or a
+  /// reused OfferingTable's entry vector).
+  void Query(const VehicleState& state, size_t k, const ScoreWeights& weights,
+             QueryContext* ctx, std::vector<OfferingEntry>* out);
+
+  /// Allocating convenience form.
   std::vector<OfferingEntry> Query(const VehicleState& state, size_t k,
                                    const ScoreWeights& weights);
 
-  /// Refinement on an already-scored pool (used by the cached path, which
-  /// skips filtering).
+  /// Refinement on an already-scored pool in `*scored` (typically
+  /// `&ctx->scored`; used by the cached path, which skips filtering).
+  /// `refine_exact_derouting` toggles the network-exact refinement for
+  /// this call — the Dynamic-Caching hit path passes false to keep the
+  /// adaptation cheap. `*scored` itself is left unmodified; winners are
+  /// copied through `ctx->selected` into `*out`.
+  void RefineAndRank(const VehicleState& state,
+                     const std::vector<ScoredCandidate>* scored, size_t k,
+                     const ScoreWeights& weights, bool refine_exact_derouting,
+                     QueryContext* ctx, std::vector<OfferingEntry>* out);
+
+  /// Allocating convenience form using the options' refinement setting.
   std::vector<OfferingEntry> RefineAndRank(
       const VehicleState& state, std::vector<ScoredCandidate> scored,
       size_t k, const ScoreWeights& weights);
@@ -80,7 +116,7 @@ class CknnEcProcessor {
 
  private:
   EcEstimator* estimator_;
-  const QuadTree* charger_index_;
+  const SpatialIndex* charger_index_;
   CknnEcOptions options_;
 };
 

@@ -52,9 +52,14 @@ TripRun ContinuousTripRunner::Run(
   Polyline path = trip.AsPolyline();
   ChargerId previous_top = static_cast<ChargerId>(-1);
   bool have_top = false;
+  // One context reused across the trip keeps the timed region
+  // allocation-free once the buffers are warm; the tables themselves are
+  // part of the run's result, so each is ranked into a fresh one.
+  QueryContext ctx;
   for (const VehicleState& state : schedule) {
     Stopwatch timer;
-    OfferingTable table = ranker_->Rank(state, options_.k);
+    OfferingTable table;
+    ranker_->RankInto(state, options_.k, ctx, &table);
     run.total_compute_ms += timer.ElapsedMillis();
     if (table.adapted_from_cache) ++run.cache_adaptations;
     if (!table.empty()) {

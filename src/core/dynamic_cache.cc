@@ -24,8 +24,11 @@ const std::vector<ScoredCandidate>* DynamicCache::TryReuse(
 }
 
 void DynamicCache::Store(const Point& position, SimTime now,
-                         std::vector<ScoredCandidate> candidates) {
-  solution_ = CachedSolution{position, now, std::move(candidates)};
+                         const std::vector<ScoredCandidate>& candidates) {
+  if (!solution_.has_value()) solution_.emplace();
+  solution_->anchor = position;
+  solution_->stored_at = now;
+  solution_->candidates.assign(candidates.begin(), candidates.end());
 }
 
 void DynamicCache::Clear() { solution_.reset(); }

@@ -41,9 +41,11 @@ class DynamicCache {
   const std::vector<ScoredCandidate>* TryReuse(const Point& position,
                                                SimTime now);
 
-  /// Replaces the cached solution, anchored at (position, now).
+  /// Replaces the cached solution, anchored at (position, now). Copies
+  /// into the existing cache storage, so steady-state stores reuse its
+  /// capacity instead of allocating.
   void Store(const Point& position, SimTime now,
-             std::vector<ScoredCandidate> candidates);
+             const std::vector<ScoredCandidate>& candidates);
 
   /// Drops the cached solution (trip changed, settings changed).
   void Clear();

@@ -4,7 +4,7 @@ namespace ecocharge {
 
 namespace {
 
-CknnEcOptions MainProcessorOptions(const EcoChargeOptions& o) {
+CknnEcOptions ProcessorOptions(const EcoChargeOptions& o) {
   CknnEcOptions c;
   c.radius_m = o.radius_m;
   c.refine_limit = o.refine_limit;
@@ -16,33 +16,25 @@ CknnEcOptions MainProcessorOptions(const EcoChargeOptions& o) {
   return c;
 }
 
-CknnEcOptions CachedProcessorOptions(const EcoChargeOptions& o) {
-  CknnEcOptions c = MainProcessorOptions(o);
-  // The adaptation path trades a little accuracy for speed: estimated
-  // intervals only, no network-exact refinement.
-  c.refine_exact_derouting = false;
-  return c;
-}
-
 }  // namespace
 
 EcoChargeRanker::EcoChargeRanker(EcEstimator* estimator,
-                                 const QuadTree* charger_index,
+                                 const SpatialIndex* charger_index,
                                  const ScoreWeights& weights,
                                  const EcoChargeOptions& options)
     : estimator_(estimator),
       weights_(weights),
       options_(options),
-      processor_(estimator, charger_index, MainProcessorOptions(options)),
-      cached_processor_(estimator, charger_index,
-                        CachedProcessorOptions(options)),
+      processor_(estimator, charger_index, ProcessorOptions(options)),
       cache_(DynamicCacheOptions{options.q_distance_m, options.cache_ttl_s}) {}
 
-OfferingTable EcoChargeRanker::Rank(const VehicleState& state, size_t k) {
-  OfferingTable table;
-  table.generated_at = state.time;
-  table.location = state.position;
-  table.segment_index = state.segment_index;
+void EcoChargeRanker::RankInto(const VehicleState& state, size_t k,
+                               QueryContext& ctx, OfferingTable* out) {
+  out->generated_at = state.time;
+  out->location = state.position;
+  out->segment_index = state.segment_index;
+  out->adapted_from_cache = false;
+  out->entries.clear();
 
   if (const std::vector<ScoredCandidate>* cached =
           cache_.TryReuse(state.position, state.time)) {
@@ -50,32 +42,34 @@ OfferingTable EcoChargeRanker::Rank(const VehicleState& state, size_t k) {
     // recalculation is skipped entirely (the cached L/A/D stay as computed
     // at the anchor position — the staleness the Q parameter trades away);
     // optionally the derouting component is revised for the new position.
-    std::vector<ScoredCandidate> scored = *cached;
+    // The adaptation path also trades a little accuracy for speed:
+    // estimated intervals only, no network-exact refinement.
+    ctx.scored.assign(cached->begin(), cached->end());
     if (options_.adapt_revises_derouting) {
       const std::vector<EvCharger>& fleet = estimator_->fleet();
-      for (ScoredCandidate& c : scored) {
+      for (ScoredCandidate& c : ctx.scored) {
         if (c.charger_id >= fleet.size()) continue;
         estimator_->ReviseDerouting(state, fleet[c.charger_id], &c.ecs,
                                     2.0 * options_.radius_m);
         c.score = ComputeScorePair(c.ecs, weights_);
       }
     }
-    table.entries =
-        cached_processor_.RefineAndRank(state, std::move(scored), k,
-                                        weights_);
-    table.adapted_from_cache = true;
-    return table;
+    processor_.RefineAndRank(state, &ctx.scored, k, weights_,
+                             /*refine_exact_derouting=*/false, &ctx,
+                             &out->entries);
+    out->adapted_from_cache = true;
+    return;
   }
 
   // Full regeneration: filter within R, score, intersect, refine.
-  std::vector<ChargerId> candidates =
-      processor_.FilterCandidates(state.position);
-  std::vector<ScoredCandidate> scored =
-      processor_.ScoreCandidates(state, candidates, weights_);
+  const std::vector<ChargerId>& candidates =
+      processor_.FilterCandidates(state.position, &ctx);
+  const std::vector<ScoredCandidate>& scored =
+      processor_.ScoreCandidates(state, candidates, weights_, &ctx);
   cache_.Store(state.position, state.time, scored);
-  table.entries =
-      processor_.RefineAndRank(state, std::move(scored), k, weights_);
-  return table;
+  processor_.RefineAndRank(state, &scored, k, weights_,
+                           options_.refine_exact_derouting, &ctx,
+                           &out->entries);
 }
 
 void EcoChargeRanker::Reset() { cache_.Clear(); }

@@ -37,15 +37,21 @@ struct EcoChargeOptions {
 ///     SC_min/SC_max rankings (eq. 6) and exact-refines the leaders;
 ///  3. Dynamic Caching adapts the previous Offering Table while the
 ///     vehicle has moved less than Q and the estimates are fresh — the
-///     cached path skips the spatial filter and the exact refinement.
+///     cached path skips the spatial filter and, via the per-call
+///     refinement flag, the exact derouting refinement.
+///
+/// The ranker works against any SpatialIndex backend and spends no heap
+/// allocations per query once the caller's QueryContext is warm (the
+/// exact-derouting Dijkstra on the miss path is the one exception).
 class EcoChargeRanker : public Ranker {
  public:
-  EcoChargeRanker(EcEstimator* estimator, const QuadTree* charger_index,
+  EcoChargeRanker(EcEstimator* estimator, const SpatialIndex* charger_index,
                   const ScoreWeights& weights,
                   const EcoChargeOptions& options);
 
   std::string_view name() const override { return "EcoCharge"; }
-  OfferingTable Rank(const VehicleState& state, size_t k) override;
+  void RankInto(const VehicleState& state, size_t k, QueryContext& ctx,
+                OfferingTable* out) override;
   void Reset() override;
 
   const DynamicCache& cache() const { return cache_; }
@@ -56,7 +62,6 @@ class EcoChargeRanker : public Ranker {
   ScoreWeights weights_;
   EcoChargeOptions options_;
   CknnEcProcessor processor_;
-  CknnEcProcessor cached_processor_;  // refinement disabled on the hit path
   DynamicCache cache_;
 };
 

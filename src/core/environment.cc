@@ -65,7 +65,8 @@ Result<std::unique_ptr<Environment>> MakeEnvironment(
   for (const EvCharger& c : env->chargers) {
     charger_points.push_back(c.position);
   }
-  env->charger_index = std::make_unique<QuadTree>();
+  env->index_kind = options.index_kind;
+  env->charger_index = MakeSpatialIndex(options.index_kind);
   env->charger_index->Build(std::move(charger_points));
 
   return env;

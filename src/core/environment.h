@@ -8,7 +8,8 @@
 #include "common/result.h"
 #include "core/ec_estimator.h"
 #include "energy/production.h"
-#include "spatial/quadtree.h"
+#include "spatial/index_factory.h"
+#include "spatial/spatial_index.h"
 #include "traffic/congestion.h"
 #include "traj/dataset.h"
 
@@ -28,7 +29,8 @@ struct Environment {
   std::unique_ptr<AvailabilityService> availability;
   std::unique_ptr<CongestionModel> congestion;
   std::unique_ptr<EcEstimator> estimator;
-  std::unique_ptr<QuadTree> charger_index;  ///< ids = indices into chargers
+  SpatialIndexKind index_kind = SpatialIndexKind::kQuadTree;
+  std::unique_ptr<SpatialIndex> charger_index;  ///< ids = indices in chargers
 };
 
 /// \brief World-building knobs.
@@ -38,6 +40,10 @@ struct EnvironmentOptions {
   size_t num_chargers = 1000;      ///< paper: >1,000 sites
   double max_derouting_m = 100000.0;  ///< D normalization (2R by default)
   uint64_t seed = 42;
+
+  /// Spatial index backend for the charger index. Every backend yields
+  /// bit-identical Offering Tables; the choice is a performance knob.
+  SpatialIndexKind index_kind = SpatialIndexKind::kQuadTree;
 };
 
 /// Climate of each dataset's region (drives the weather Markov chain).

@@ -56,9 +56,9 @@ VehicleOutcome FleetSimulator::RunVehicle(const FleetVehicle& vehicle,
     if (soc >= options_.min_soc_to_skip) continue;
     if (!rng_.NextBool(options_.stop_probability)) continue;
 
-    OfferingTable table = ranker.Rank(state, options_.k);
-    if (table.empty()) continue;
-    const OfferingEntry& offer = table.top();
+    ranker.RankInto(state, options_.k, ctx_, &table_);
+    if (table_.empty()) continue;
+    const OfferingEntry& offer = table_.top();
     if (offer.charger_id >= env_->chargers.size()) continue;
     const EvCharger& charger = env_->chargers[offer.charger_id];
 

@@ -83,6 +83,8 @@ class FleetSimulator {
   Environment* env_;
   FleetSimOptions options_;
   Rng rng_;
+  QueryContext ctx_;      ///< ranking scratch reused across the whole fleet
+  OfferingTable table_;   ///< reused offer table (only the top is read)
 };
 
 }  // namespace ecocharge

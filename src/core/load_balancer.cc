@@ -49,21 +49,22 @@ void ChargerLoadBalancer::Clear() {
 }
 
 BalancedEcoChargeRanker::BalancedEcoChargeRanker(
-    EcEstimator* estimator, const QuadTree* charger_index,
+    EcEstimator* estimator, const SpatialIndex* charger_index,
     const ScoreWeights& weights, const EcoChargeOptions& eco_options,
     const LoadBalancerOptions& balancer_options)
     : estimator_(estimator),
       inner_(estimator, charger_index, weights, eco_options),
       balancer_(balancer_options) {}
 
-OfferingTable BalancedEcoChargeRanker::Rank(const VehicleState& state,
-                                            size_t k) {
+void BalancedEcoChargeRanker::RankInto(const VehicleState& state, size_t k,
+                                       QueryContext& ctx,
+                                       OfferingTable* out) {
   // Ask the inner ranker for a deeper table so penalized leaders can be
   // displaced by clean alternatives rather than just reshuffled.
-  OfferingTable table = inner_.Rank(state, std::max(k * 2, k + 2));
+  inner_.RankInto(state, std::max(k * 2, k + 2), ctx, out);
   const std::vector<EvCharger>& fleet = estimator_->fleet();
 
-  for (OfferingEntry& e : table.entries) {
+  for (OfferingEntry& e : out->entries) {
     if (e.charger_id >= fleet.size()) continue;
     SimTime arrival = state.time + e.eta_s;
     double penalty = balancer_.Penalty(e.charger_id, arrival,
@@ -71,16 +72,15 @@ OfferingTable BalancedEcoChargeRanker::Rank(const VehicleState& state,
     e.score.sc_min -= penalty;
     e.score.sc_max -= penalty;
   }
-  SortOfferingEntries(table.entries);
-  if (table.entries.size() > k) table.entries.resize(k);
+  SortOfferingEntries(out->entries);
+  if (out->entries.size() > k) out->entries.resize(k);
 
-  if (!table.empty()) {
-    const OfferingEntry& top = table.top();
+  if (!out->empty()) {
+    const OfferingEntry& top = out->top();
     balancer_.RecordAssignment(top.charger_id, state.time + top.eta_s,
                                state.charge_window_s);
   }
   balancer_.ExpireBefore(state.time - kSecondsPerDay);
-  return table;
 }
 
 void BalancedEcoChargeRanker::Reset() {

@@ -65,13 +65,14 @@ class ChargerLoadBalancer {
 class BalancedEcoChargeRanker : public Ranker {
  public:
   BalancedEcoChargeRanker(EcEstimator* estimator,
-                          const QuadTree* charger_index,
+                          const SpatialIndex* charger_index,
                           const ScoreWeights& weights,
                           const EcoChargeOptions& eco_options,
                           const LoadBalancerOptions& balancer_options = {});
 
   std::string_view name() const override { return "EcoCharge-Balanced"; }
-  OfferingTable Rank(const VehicleState& state, size_t k) override;
+  void RankInto(const VehicleState& state, size_t k, QueryContext& ctx,
+                OfferingTable* out) override;
   void Reset() override;
 
   const ChargerLoadBalancer& balancer() const { return balancer_; }

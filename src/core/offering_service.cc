@@ -3,7 +3,7 @@
 namespace ecocharge {
 
 OfferingService::OfferingService(EcEstimator* estimator,
-                                 const QuadTree* charger_index,
+                                 const SpatialIndex* charger_index,
                                  const ScoreWeights& weights,
                                  const EcoChargeOptions& options,
                                  double client_ttl_s)
@@ -22,14 +22,20 @@ OfferingService::ClientState& OfferingService::ClientFor(uint64_t client_id) {
   return client;
 }
 
-OfferingTable OfferingService::Rank(uint64_t client_id,
-                                    const VehicleState& state, size_t k) {
+void OfferingService::RankInto(uint64_t client_id, const VehicleState& state,
+                               size_t k, OfferingTable* out) {
   ++stats_.requests;
   ClientState& client = ClientFor(client_id);
   client.last_seen = state.time;
-  OfferingTable table = client.ranker->Rank(state, k);
+  client.ranker->RankInto(state, k, ctx_, out);
   ++stats_.tables_served;
-  if (table.adapted_from_cache) ++stats_.cache_adaptations;
+  if (out->adapted_from_cache) ++stats_.cache_adaptations;
+}
+
+OfferingTable OfferingService::Rank(uint64_t client_id,
+                                    const VehicleState& state, size_t k) {
+  OfferingTable table;
+  RankInto(client_id, state, k, &table);
   return table;
 }
 
@@ -41,9 +47,8 @@ Result<std::string> OfferingService::Handle(uint64_t client_id,
     ++stats_.malformed_requests;
     return request.status();
   }
-  OfferingTable table =
-      Rank(client_id, request.value().state, request.value().k);
-  return EncodeOfferingTable(table);
+  RankInto(client_id, request.value().state, request.value().k, &table_);
+  return EncodeOfferingTable(table_);
 }
 
 void OfferingService::EvictIdleClients(SimTime now) {

@@ -30,8 +30,8 @@ struct OfferingServiceStats {
 class OfferingService {
  public:
   /// \param estimator shared EC estimator (not owned)
-  /// \param charger_index quadtree over the fleet (not owned)
-  OfferingService(EcEstimator* estimator, const QuadTree* charger_index,
+  /// \param charger_index spatial index over the fleet (not owned)
+  OfferingService(EcEstimator* estimator, const SpatialIndex* charger_index,
                   const ScoreWeights& weights,
                   const EcoChargeOptions& options,
                   double client_ttl_s = kSecondsPerHour);
@@ -39,6 +39,11 @@ class OfferingService {
   /// Handles one wire request from `client_id`; returns the encoded reply
   /// or an error for malformed input.
   Result<std::string> Handle(uint64_t client_id, const std::string& wire);
+
+  /// Ranks for `client_id` into `*out` using the service-owned scratch
+  /// context (the zero-allocation serving path).
+  void RankInto(uint64_t client_id, const VehicleState& state, size_t k,
+                OfferingTable* out);
 
   /// Convenience for in-process callers: rank without serialization.
   OfferingTable Rank(uint64_t client_id, const VehicleState& state, size_t k);
@@ -58,12 +63,17 @@ class OfferingService {
   ClientState& ClientFor(uint64_t client_id);
 
   EcEstimator* estimator_;
-  const QuadTree* charger_index_;
+  const SpatialIndex* charger_index_;
   ScoreWeights weights_;
   EcoChargeOptions options_;
   double client_ttl_s_;
   std::unordered_map<uint64_t, ClientState> clients_;
   OfferingServiceStats stats_;
+
+  // Serving scratch, shared across clients (the service is single-threaded
+  // per instance): pipeline buffers plus the reply table Handle() encodes.
+  QueryContext ctx_;
+  OfferingTable table_;
 };
 
 }  // namespace ecocharge

@@ -4,6 +4,7 @@
 #include <string_view>
 
 #include "core/offering_table.h"
+#include "core/query_context.h"
 #include "core/vehicle_state.h"
 
 namespace ecocharge {
@@ -18,12 +19,28 @@ class Ranker {
   /// Method name as printed in result tables.
   virtual std::string_view name() const = 0;
 
-  /// Produces the Offering Table for `state`. k is the table size.
-  virtual OfferingTable Rank(const VehicleState& state, size_t k) = 0;
+  /// Produces the Offering Table for `state` into `*out` (fields are
+  /// overwritten; `out->entries` capacity is reused). k is the table size.
+  /// All pipeline scratch goes through `ctx`, so a caller that keeps the
+  /// context and table alive across queries runs allocation-free once
+  /// buffers reach the workload's high-water mark.
+  virtual void RankInto(const VehicleState& state, size_t k, QueryContext& ctx,
+                        OfferingTable* out) = 0;
+
+  /// Allocating convenience form; uses a ranker-owned scratch context, so
+  /// repeated calls on the same ranker still reuse warm buffers.
+  OfferingTable Rank(const VehicleState& state, size_t k) {
+    OfferingTable table;
+    RankInto(state, k, scratch_, &table);
+    return table;
+  }
 
   /// Clears any cross-query state (Dynamic Caching); called between trips
   /// and between benchmark repetitions. Default: nothing to reset.
   virtual void Reset() {}
+
+ private:
+  QueryContext scratch_;
 };
 
 }  // namespace ecocharge

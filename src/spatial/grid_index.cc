@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <queue>
 
 namespace ecocharge {
 
@@ -47,15 +46,13 @@ void GridIndex::Build(std::vector<Point> points) {
   }
 }
 
-std::vector<Neighbor> GridIndex::Knn(const Point& query, size_t k) const {
-  std::vector<Neighbor> result;
-  if (points_.empty() || k == 0) return result;
+void GridIndex::KnnInto(const Point& query, size_t k, IndexScratch* scratch,
+                        std::vector<Neighbor>* out) const {
+  out->clear();
+  if (points_.empty() || k == 0) return;
 
-  auto worse = [](const Neighbor& a, const Neighbor& b) {
-    return spatial_internal::NeighborLess(a, b);
-  };
-  std::priority_queue<Neighbor, std::vector<Neighbor>, decltype(worse)> best(
-      worse);
+  auto& best = scratch->best;
+  best.clear();
 
   int qcx, qcy;
   CellOf(query, &qcx, &qcy);
@@ -68,20 +65,15 @@ std::vector<Neighbor> GridIndex::Knn(const Point& query, size_t k) const {
   for (int r = 0; r <= max_ring; ++r) {
     if (best.size() == static_cast<size_t>(k)) {
       double safe = static_cast<double>(r - 1) * cell_size_;
-      if (safe >= 0.0 && best.top().distance <= safe) break;
+      if (safe >= 0.0 && best.front().distance <= safe) break;
     }
     bool any_cell = false;
     auto scan_cell = [&](int cx, int cy) {
       if (cx < 0 || cy < 0 || cx >= nx_ || cy >= ny_) return;
       any_cell = true;
       for (uint32_t id : cells_[CellIndex(cx, cy)]) {
-        Neighbor cand{id, Distance(points_[id], query)};
-        if (best.size() < k) {
-          best.push(cand);
-        } else if (worse(cand, best.top())) {
-          best.pop();
-          best.push(cand);
-        }
+        spatial_internal::OfferNeighbor(&best, k,
+                                        {id, Distance(points_[id], query)});
       }
     };
     if (r == 0) {
@@ -99,18 +91,14 @@ std::vector<Neighbor> GridIndex::Knn(const Point& query, size_t k) const {
     if (!any_cell && best.size() == k) break;
   }
 
-  result.resize(best.size());
-  for (size_t i = result.size(); i-- > 0;) {
-    result[i] = best.top();
-    best.pop();
-  }
-  return result;
+  spatial_internal::FinishKnn(best, out);
 }
 
-std::vector<Neighbor> GridIndex::RangeSearch(const Point& query,
-                                             double radius) const {
-  std::vector<Neighbor> out;
-  if (points_.empty()) return out;
+void GridIndex::RangeSearchInto(const Point& query, double radius,
+                                IndexScratch* /*scratch*/,
+                                std::vector<Neighbor>* out) const {
+  out->clear();
+  if (points_.empty()) return;
   int cx0, cy0, cx1, cy1;
   CellOf({query.x - radius, query.y - radius}, &cx0, &cy0);
   CellOf({query.x + radius, query.y + radius}, &cx1, &cy1);
@@ -118,28 +106,28 @@ std::vector<Neighbor> GridIndex::RangeSearch(const Point& query,
     for (int cx = cx0; cx <= cx1; ++cx) {
       for (uint32_t id : cells_[CellIndex(cx, cy)]) {
         double d = Distance(points_[id], query);
-        if (d <= radius) out.push_back({id, d});
+        if (d <= radius) out->push_back({id, d});
       }
     }
   }
-  std::sort(out.begin(), out.end(), spatial_internal::NeighborLess);
-  return out;
+  std::sort(out->begin(), out->end(), spatial_internal::NeighborLess);
 }
 
-std::vector<uint32_t> GridIndex::BoxSearch(const BoundingBox& box) const {
-  std::vector<uint32_t> out;
-  if (points_.empty()) return out;
+void GridIndex::BoxSearchInto(const BoundingBox& box,
+                              IndexScratch* /*scratch*/,
+                              std::vector<uint32_t>* out) const {
+  out->clear();
+  if (points_.empty()) return;
   int cx0, cy0, cx1, cy1;
   CellOf(box.min, &cx0, &cy0);
   CellOf(box.max, &cx1, &cy1);
   for (int cy = cy0; cy <= cy1; ++cy) {
     for (int cx = cx0; cx <= cx1; ++cx) {
       for (uint32_t id : cells_[CellIndex(cx, cy)]) {
-        if (box.Contains(points_[id])) out.push_back(id);
+        if (box.Contains(points_[id])) out->push_back(id);
       }
     }
   }
-  return out;
 }
 
 }  // namespace ecocharge

@@ -23,10 +23,13 @@ class GridIndex : public SpatialIndex {
 
   void Build(std::vector<Point> points) override;
   size_t size() const override { return points_.size(); }
-  std::vector<Neighbor> Knn(const Point& query, size_t k) const override;
-  std::vector<Neighbor> RangeSearch(const Point& query,
-                                    double radius) const override;
-  std::vector<uint32_t> BoxSearch(const BoundingBox& box) const override;
+  void KnnInto(const Point& query, size_t k, IndexScratch* scratch,
+               std::vector<Neighbor>* out) const override;
+  void RangeSearchInto(const Point& query, double radius,
+                       IndexScratch* scratch,
+                       std::vector<Neighbor>* out) const override;
+  void BoxSearchInto(const BoundingBox& box, IndexScratch* scratch,
+                     std::vector<uint32_t>* out) const override;
 
   double cell_size() const { return cell_size_; }
   size_t num_cells() const { return cells_.size(); }

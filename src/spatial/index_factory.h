@@ -1,0 +1,44 @@
+#ifndef ECOCHARGE_SPATIAL_INDEX_FACTORY_H_
+#define ECOCHARGE_SPATIAL_INDEX_FACTORY_H_
+
+#include <array>
+#include <memory>
+#include <string_view>
+
+#include "common/result.h"
+#include "spatial/spatial_index.h"
+
+namespace ecocharge {
+
+/// \brief The candidate-retrieval backends the query pipeline can run on.
+///
+/// The CkNN-EC pipeline programs against SpatialIndex, so any backend can
+/// drive any ranker; the kind only selects which concrete structure holds
+/// the charger positions.
+enum class SpatialIndexKind {
+  kQuadTree,  ///< point-region quadtree (the paper's baseline index)
+  kRTree,     ///< STR-packed R-tree
+  kGrid,      ///< uniform grid
+  kKdTree,    ///< median-split kd-tree
+  kLinear,    ///< O(n) scan (reference backend)
+};
+
+/// All selectable kinds, in the canonical (CLI/bench) order.
+inline constexpr std::array<SpatialIndexKind, 5> kAllSpatialIndexKinds = {
+    SpatialIndexKind::kQuadTree, SpatialIndexKind::kRTree,
+    SpatialIndexKind::kGrid, SpatialIndexKind::kKdTree,
+    SpatialIndexKind::kLinear};
+
+/// Canonical flag spelling: "quadtree", "rtree", "grid", "kdtree", "linear".
+std::string_view SpatialIndexKindName(SpatialIndexKind kind);
+
+/// Parses a flag value (case-insensitive, canonical spellings above).
+Result<SpatialIndexKind> ParseSpatialIndexKind(std::string_view name);
+
+/// Constructs an empty index of `kind` with its default tuning; call
+/// Build() to populate it.
+std::unique_ptr<SpatialIndex> MakeSpatialIndex(SpatialIndexKind kind);
+
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_SPATIAL_INDEX_FACTORY_H_

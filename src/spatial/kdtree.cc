@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <queue>
 
 namespace ecocharge {
 
@@ -38,55 +37,45 @@ uint32_t KdTree::BuildRecursive(std::vector<uint32_t>& ids, size_t lo,
   return node_index;
 }
 
-std::vector<Neighbor> KdTree::Knn(const Point& query, size_t k) const {
-  std::vector<Neighbor> result;
-  if (root_ == kNil || k == 0) return result;
+void KdTree::KnnInto(const Point& query, size_t k, IndexScratch* scratch,
+                     std::vector<Neighbor>* out) const {
+  out->clear();
+  if (root_ == kNil || k == 0) return;
 
-  auto worse = [](const Neighbor& a, const Neighbor& b) {
-    return spatial_internal::NeighborLess(a, b);
-  };
-  std::priority_queue<Neighbor, std::vector<Neighbor>, decltype(worse)> best(
-      worse);
+  auto& best = scratch->best;
+  best.clear();
 
   // Iterative DFS with pruning on the splitting-plane distance.
-  std::vector<uint32_t> stack = {root_};
+  auto& stack = scratch->stack;
+  stack.assign(1, root_);
   while (!stack.empty()) {
     uint32_t ni = stack.back();
     stack.pop_back();
     if (ni == kNil) continue;
     const Node& node = nodes_[ni];
     const Point& p = points_[node.point_id];
-    Neighbor cand{node.point_id, Distance(p, query)};
-    if (best.size() < k) {
-      best.push(cand);
-    } else if (worse(cand, best.top())) {
-      best.pop();
-      best.push(cand);
-    }
+    spatial_internal::OfferNeighbor(&best, k,
+                                    {node.point_id, Distance(p, query)});
     double qv = node.axis == 0 ? query.x : query.y;
     double pv = node.axis == 0 ? p.x : p.y;
     uint32_t near = qv < pv ? node.left : node.right;
     uint32_t far = qv < pv ? node.right : node.left;
     double plane = std::abs(qv - pv);
-    if (far != kNil && (best.size() < k || plane <= best.top().distance)) {
+    if (far != kNil && (best.size() < k || plane <= best.front().distance)) {
       stack.push_back(far);
     }
     if (near != kNil) stack.push_back(near);
   }
-
-  result.resize(best.size());
-  for (size_t i = result.size(); i-- > 0;) {
-    result[i] = best.top();
-    best.pop();
-  }
-  return result;
+  spatial_internal::FinishKnn(best, out);
 }
 
-std::vector<Neighbor> KdTree::RangeSearch(const Point& query,
-                                          double radius) const {
-  std::vector<Neighbor> out;
-  if (root_ == kNil) return out;
-  std::vector<uint32_t> stack = {root_};
+void KdTree::RangeSearchInto(const Point& query, double radius,
+                             IndexScratch* scratch,
+                             std::vector<Neighbor>* out) const {
+  out->clear();
+  if (root_ == kNil) return;
+  auto& stack = scratch->stack;
+  stack.assign(1, root_);
   while (!stack.empty()) {
     uint32_t ni = stack.back();
     stack.pop_back();
@@ -94,34 +83,34 @@ std::vector<Neighbor> KdTree::RangeSearch(const Point& query,
     const Node& node = nodes_[ni];
     const Point& p = points_[node.point_id];
     double d = Distance(p, query);
-    if (d <= radius) out.push_back({node.point_id, d});
+    if (d <= radius) out->push_back({node.point_id, d});
     double qv = node.axis == 0 ? query.x : query.y;
     double pv = node.axis == 0 ? p.x : p.y;
     if (qv - radius <= pv && node.left != kNil) stack.push_back(node.left);
     if (qv + radius >= pv && node.right != kNil) stack.push_back(node.right);
   }
-  std::sort(out.begin(), out.end(), spatial_internal::NeighborLess);
-  return out;
+  std::sort(out->begin(), out->end(), spatial_internal::NeighborLess);
 }
 
-std::vector<uint32_t> KdTree::BoxSearch(const BoundingBox& box) const {
-  std::vector<uint32_t> out;
-  if (root_ == kNil) return out;
-  std::vector<uint32_t> stack = {root_};
+void KdTree::BoxSearchInto(const BoundingBox& box, IndexScratch* scratch,
+                           std::vector<uint32_t>* out) const {
+  out->clear();
+  if (root_ == kNil) return;
+  auto& stack = scratch->stack;
+  stack.assign(1, root_);
   while (!stack.empty()) {
     uint32_t ni = stack.back();
     stack.pop_back();
     if (ni == kNil) continue;
     const Node& node = nodes_[ni];
     const Point& p = points_[node.point_id];
-    if (box.Contains(p)) out.push_back(node.point_id);
+    if (box.Contains(p)) out->push_back(node.point_id);
     double pv = node.axis == 0 ? p.x : p.y;
     double lo = node.axis == 0 ? box.min.x : box.min.y;
     double hi = node.axis == 0 ? box.max.x : box.max.y;
     if (lo <= pv && node.left != kNil) stack.push_back(node.left);
     if (hi >= pv && node.right != kNil) stack.push_back(node.right);
   }
-  return out;
 }
 
 }  // namespace ecocharge

@@ -8,38 +8,38 @@ void LinearScanIndex::Build(std::vector<Point> points) {
   points_ = std::move(points);
 }
 
-std::vector<Neighbor> LinearScanIndex::Knn(const Point& query,
-                                           size_t k) const {
-  std::vector<Neighbor> all;
-  all.reserve(points_.size());
+void LinearScanIndex::KnnInto(const Point& query, size_t k,
+                              IndexScratch* scratch,
+                              std::vector<Neighbor>* out) const {
+  out->clear();
+  if (points_.empty() || k == 0) return;
+  auto& best = scratch->best;
+  best.clear();
   for (size_t i = 0; i < points_.size(); ++i) {
-    all.push_back({static_cast<uint32_t>(i), Distance(points_[i], query)});
+    spatial_internal::OfferNeighbor(
+        &best, k, {static_cast<uint32_t>(i), Distance(points_[i], query)});
   }
-  size_t take = std::min(k, all.size());
-  std::partial_sort(all.begin(), all.begin() + take, all.end(),
-                    spatial_internal::NeighborLess);
-  all.resize(take);
-  return all;
+  spatial_internal::FinishKnn(best, out);
 }
 
-std::vector<Neighbor> LinearScanIndex::RangeSearch(const Point& query,
-                                                   double radius) const {
-  std::vector<Neighbor> out;
+void LinearScanIndex::RangeSearchInto(const Point& query, double radius,
+                                      IndexScratch* /*scratch*/,
+                                      std::vector<Neighbor>* out) const {
+  out->clear();
   for (size_t i = 0; i < points_.size(); ++i) {
     double d = Distance(points_[i], query);
-    if (d <= radius) out.push_back({static_cast<uint32_t>(i), d});
+    if (d <= radius) out->push_back({static_cast<uint32_t>(i), d});
   }
-  std::sort(out.begin(), out.end(), spatial_internal::NeighborLess);
-  return out;
+  std::sort(out->begin(), out->end(), spatial_internal::NeighborLess);
 }
 
-std::vector<uint32_t> LinearScanIndex::BoxSearch(
-    const BoundingBox& box) const {
-  std::vector<uint32_t> out;
+void LinearScanIndex::BoxSearchInto(const BoundingBox& box,
+                                    IndexScratch* /*scratch*/,
+                                    std::vector<uint32_t>* out) const {
+  out->clear();
   for (size_t i = 0; i < points_.size(); ++i) {
-    if (box.Contains(points_[i])) out.push_back(static_cast<uint32_t>(i));
+    if (box.Contains(points_[i])) out->push_back(static_cast<uint32_t>(i));
   }
-  return out;
 }
 
 }  // namespace ecocharge

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <queue>
 
 namespace ecocharge {
 
@@ -111,61 +110,49 @@ std::vector<uint32_t> RTree::PackLevel(
   return parents;
 }
 
-std::vector<Neighbor> RTree::Knn(const Point& query, size_t k) const {
-  std::vector<Neighbor> result;
-  if (nodes_.empty() || k == 0) return result;
+void RTree::KnnInto(const Point& query, size_t k, IndexScratch* scratch,
+                    std::vector<Neighbor>* out) const {
+  using spatial_internal::FrontierGreater;
+  out->clear();
+  if (nodes_.empty() || k == 0) return;
 
-  struct Frontier {
-    double dist;
-    uint32_t node;
-    bool operator>(const Frontier& o) const { return dist > o.dist; }
-  };
-  std::priority_queue<Frontier, std::vector<Frontier>, std::greater<>> open;
-  open.push({nodes_[root_].bounds.DistanceTo(query), root_});
-
-  auto worse = [](const Neighbor& a, const Neighbor& b) {
-    return spatial_internal::NeighborLess(a, b);
-  };
-  std::priority_queue<Neighbor, std::vector<Neighbor>, decltype(worse)> best(
-      worse);
+  auto& open = scratch->frontier;
+  auto& best = scratch->best;
+  open.clear();
+  best.clear();
+  open.push_back({nodes_[root_].bounds.DistanceTo(query), root_});
 
   while (!open.empty()) {
-    Frontier f = open.top();
-    open.pop();
-    if (best.size() == k && f.dist > best.top().distance) break;
+    IndexScratch::FrontierEntry f = open.front();
+    std::pop_heap(open.begin(), open.end(), FrontierGreater);
+    open.pop_back();
+    if (best.size() == k && f.distance > best.front().distance) break;
     const Node& node = nodes_[f.node];
     if (node.is_leaf) {
       for (uint32_t id : node.entries) {
-        Neighbor cand{id, Distance(points_[id], query)};
-        if (best.size() < k) {
-          best.push(cand);
-        } else if (worse(cand, best.top())) {
-          best.pop();
-          best.push(cand);
-        }
+        spatial_internal::OfferNeighbor(&best, k,
+                                        {id, Distance(points_[id], query)});
       }
     } else {
       for (uint32_t child : node.entries) {
         double d = nodes_[child].bounds.DistanceTo(query);
-        if (best.size() < k || d <= best.top().distance) {
-          open.push({d, child});
+        if (best.size() < k || d <= best.front().distance) {
+          open.push_back({d, child});
+          std::push_heap(open.begin(), open.end(), FrontierGreater);
         }
       }
     }
   }
-  result.resize(best.size());
-  for (size_t i = result.size(); i-- > 0;) {
-    result[i] = best.top();
-    best.pop();
-  }
-  return result;
+  spatial_internal::FinishKnn(best, out);
 }
 
-std::vector<Neighbor> RTree::RangeSearch(const Point& query,
-                                         double radius) const {
-  std::vector<Neighbor> out;
-  if (nodes_.empty()) return out;
-  std::vector<uint32_t> stack = {root_};
+void RTree::RangeSearchInto(const Point& query, double radius,
+                            IndexScratch* scratch,
+                            std::vector<Neighbor>* out) const {
+  out->clear();
+  if (nodes_.empty()) return;
+  auto& stack = scratch->stack;
+  stack.assign(1, root_);
   while (!stack.empty()) {
     uint32_t ni = stack.back();
     stack.pop_back();
@@ -174,20 +161,21 @@ std::vector<Neighbor> RTree::RangeSearch(const Point& query,
     if (node.is_leaf) {
       for (uint32_t id : node.entries) {
         double d = Distance(points_[id], query);
-        if (d <= radius) out.push_back({id, d});
+        if (d <= radius) out->push_back({id, d});
       }
     } else {
       for (uint32_t child : node.entries) stack.push_back(child);
     }
   }
-  std::sort(out.begin(), out.end(), spatial_internal::NeighborLess);
-  return out;
+  std::sort(out->begin(), out->end(), spatial_internal::NeighborLess);
 }
 
-std::vector<uint32_t> RTree::BoxSearch(const BoundingBox& box) const {
-  std::vector<uint32_t> out;
-  if (nodes_.empty()) return out;
-  std::vector<uint32_t> stack = {root_};
+void RTree::BoxSearchInto(const BoundingBox& box, IndexScratch* scratch,
+                          std::vector<uint32_t>* out) const {
+  out->clear();
+  if (nodes_.empty()) return;
+  auto& stack = scratch->stack;
+  stack.assign(1, root_);
   while (!stack.empty()) {
     uint32_t ni = stack.back();
     stack.pop_back();
@@ -195,13 +183,12 @@ std::vector<uint32_t> RTree::BoxSearch(const BoundingBox& box) const {
     if (!node.bounds.Intersects(box)) continue;
     if (node.is_leaf) {
       for (uint32_t id : node.entries) {
-        if (box.Contains(points_[id])) out.push_back(id);
+        if (box.Contains(points_[id])) out->push_back(id);
       }
     } else {
       for (uint32_t child : node.entries) stack.push_back(child);
     }
   }
-  return out;
 }
 
 }  // namespace ecocharge

@@ -21,10 +21,13 @@ class RTree : public SpatialIndex {
 
   void Build(std::vector<Point> points) override;
   size_t size() const override { return points_.size(); }
-  std::vector<Neighbor> Knn(const Point& query, size_t k) const override;
-  std::vector<Neighbor> RangeSearch(const Point& query,
-                                    double radius) const override;
-  std::vector<uint32_t> BoxSearch(const BoundingBox& box) const override;
+  void KnnInto(const Point& query, size_t k, IndexScratch* scratch,
+               std::vector<Neighbor>* out) const override;
+  void RangeSearchInto(const Point& query, double radius,
+                       IndexScratch* scratch,
+                       std::vector<Neighbor>* out) const override;
+  void BoxSearchInto(const BoundingBox& box, IndexScratch* scratch,
+                     std::vector<uint32_t>* out) const override;
 
   size_t num_tree_nodes() const { return nodes_.size(); }
   int height() const { return height_; }

@@ -20,7 +20,7 @@ struct IslandWorld {
   std::unique_ptr<AvailabilityService> availability;
   std::unique_ptr<CongestionModel> congestion;
   std::unique_ptr<EcEstimator> estimator;
-  std::unique_ptr<QuadTree> index;
+  std::unique_ptr<SpatialIndex> index;
 };
 
 IslandWorld MakeIslandWorld() {
@@ -69,7 +69,7 @@ IslandWorld MakeIslandWorld() {
       world.availability.get(), world.congestion.get(), opts);
   std::vector<Point> points;
   for (const EvCharger& ch : world.chargers) points.push_back(ch.position);
-  world.index = std::make_unique<QuadTree>();
+  world.index = MakeSpatialIndex(SpatialIndexKind::kQuadTree);
   world.index->Build(points);
   return world;
 }

@@ -1,0 +1,195 @@
+// QueryContext semantics: a context carries capacity, never results — so
+// reusing one across queries must be invisible in the output — and once
+// warm, the estimated-only ranking path performs zero heap allocations
+// per offering-table generation.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "core/baselines.h"
+#include "core/ecocharge.h"
+#include "tests/test_util.h"
+
+// Sanitizers interpose on the allocator; counting through a user-defined
+// operator new both double-counts and fights their bookkeeping, so the
+// allocation-regression check only runs in plain builds.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define ECOCHARGE_COUNT_ALLOCS 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define ECOCHARGE_COUNT_ALLOCS 0
+#else
+#define ECOCHARGE_COUNT_ALLOCS 1
+#endif
+#else
+#define ECOCHARGE_COUNT_ALLOCS 1
+#endif
+
+#if ECOCHARGE_COUNT_ALLOCS
+
+namespace {
+std::atomic<uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, size_t) noexcept { std::free(p); }
+void operator delete[](void* p, size_t) noexcept { std::free(p); }
+
+#endif  // ECOCHARGE_COUNT_ALLOCS
+
+namespace ecocharge {
+namespace {
+
+using testing_util::TablesBitIdentical;
+
+struct SharedWorld {
+  std::unique_ptr<Environment> env;
+  std::vector<VehicleState> states;
+};
+
+SharedWorld& World() {
+  static SharedWorld world = [] {
+    SharedWorld w;
+    w.env = testing_util::TinyEnvironment(80);
+    EXPECT_NE(w.env, nullptr);
+    w.states = testing_util::TinyWorkload(*w.env, 8);
+    EXPECT_FALSE(w.states.empty());
+    return w;
+  }();
+  return world;
+}
+
+TEST(QueryContextTest, ReusedContextMatchesFreshOver100Queries) {
+  SharedWorld& w = World();
+  EcoChargeOptions opts;
+  opts.radius_m = 20000.0;
+  // Two rankers with identical configuration so their Dynamic Caches see
+  // the same query sequence; one gets a fresh context per query, the
+  // other reuses a single context (and output table) for all 100.
+  EcoChargeRanker fresh_ranker(w.env->estimator.get(),
+                               w.env->charger_index.get(),
+                               ScoreWeights::AWE(), opts);
+  EcoChargeRanker reused_ranker(w.env->estimator.get(),
+                                w.env->charger_index.get(),
+                                ScoreWeights::AWE(), opts);
+  QueryContext reused_ctx;
+  OfferingTable reused_table;
+  for (int i = 0; i < 100; ++i) {
+    const VehicleState& state = w.states[i % w.states.size()];
+    QueryContext fresh_ctx;
+    OfferingTable fresh_table;
+    fresh_ranker.RankInto(state, 3, fresh_ctx, &fresh_table);
+    reused_ranker.RankInto(state, 3, reused_ctx, &reused_table);
+    EXPECT_TRUE(TablesBitIdentical(reused_table, fresh_table))
+        << "query " << i;
+  }
+  // Both hit/miss sequences must also agree, or the comparison above
+  // silently compared two different code paths.
+  EXPECT_EQ(fresh_ranker.cache().hits(), reused_ranker.cache().hits());
+  EXPECT_GT(reused_ranker.cache().hits(), 0u);
+}
+
+TEST(QueryContextTest, ReuseIsInvisibleAcrossRankers) {
+  // The same context threaded through different ranker types must not leak
+  // state between them.
+  SharedWorld& w = World();
+  QuadtreeRanker nearest(w.env->estimator.get(), w.env->charger_index.get(),
+                         ScoreWeights::AWE());
+  RandomRanker random(w.env->estimator.get(), w.env->charger_index.get(),
+                      20000.0, /*seed=*/7);
+  RandomRanker random_fresh(w.env->estimator.get(),
+                            w.env->charger_index.get(), 20000.0, /*seed=*/7);
+  QueryContext shared_ctx;
+  OfferingTable table;
+  for (const VehicleState& state : w.states) {
+    nearest.RankInto(state, 3, shared_ctx, &table);  // dirty the buffers
+    random.RankInto(state, 3, shared_ctx, &table);
+    EXPECT_TRUE(TablesBitIdentical(table, random_fresh.Rank(state, 3)));
+  }
+}
+
+TEST(QueryContextTest, ConvenienceRankMatchesRankInto) {
+  SharedWorld& w = World();
+  EcoChargeOptions opts;
+  opts.radius_m = 20000.0;
+  EcoChargeRanker a(w.env->estimator.get(), w.env->charger_index.get(),
+                    ScoreWeights::AWE(), opts);
+  EcoChargeRanker b(w.env->estimator.get(), w.env->charger_index.get(),
+                    ScoreWeights::AWE(), opts);
+  QueryContext ctx;
+  OfferingTable table;
+  for (const VehicleState& state : w.states) {
+    b.RankInto(state, 3, ctx, &table);
+    EXPECT_TRUE(TablesBitIdentical(a.Rank(state, 3), table));
+  }
+}
+
+#if ECOCHARGE_COUNT_ALLOCS
+
+TEST(QueryContextTest, SteadyStateEstimatedPathDoesNotAllocate) {
+  SharedWorld& w = World();
+  EcoChargeOptions opts;
+  opts.radius_m = 20000.0;
+  opts.q_distance_m = 0.0;  // full regeneration every query
+  // The zero-allocation claim targets the estimated-only path; the exact
+  // derouting refinement runs Dijkstra and is the documented exception.
+  opts.refine_exact_derouting = false;
+  EcoChargeRanker eco(w.env->estimator.get(), w.env->charger_index.get(),
+                      ScoreWeights::AWE(), opts);
+  QueryContext ctx;
+  OfferingTable table;
+  // Warm every buffer (context, cache storage, EIS caches) to the
+  // workload's high-water mark.
+  for (int pass = 0; pass < 3; ++pass) {
+    for (const VehicleState& state : w.states) {
+      eco.RankInto(state, 3, ctx, &table);
+    }
+  }
+  uint64_t before = g_allocations.load();
+  for (const VehicleState& state : w.states) {
+    eco.RankInto(state, 3, ctx, &table);
+  }
+  uint64_t after = g_allocations.load();
+  EXPECT_EQ(after - before, 0u);
+}
+
+TEST(QueryContextTest, SteadyStateCacheHitPathDoesNotAllocate) {
+  SharedWorld& w = World();
+  EcoChargeOptions opts;
+  opts.radius_m = 20000.0;
+  opts.q_distance_m = 1e9;  // every repeat query is a cache hit
+  opts.cache_ttl_s = 1e12;
+  EcoChargeRanker eco(w.env->estimator.get(), w.env->charger_index.get(),
+                      ScoreWeights::AWE(), opts);
+  QueryContext ctx;
+  OfferingTable table;
+  const VehicleState& state = w.states.front();
+  for (int i = 0; i < 3; ++i) eco.RankInto(state, 3, ctx, &table);
+  uint64_t before = g_allocations.load();
+  for (int i = 0; i < 10; ++i) eco.RankInto(state, 3, ctx, &table);
+  uint64_t after = g_allocations.load();
+  EXPECT_EQ(after - before, 0u);
+}
+
+#endif  // ECOCHARGE_COUNT_ALLOCS
+
+}  // namespace
+}  // namespace ecocharge

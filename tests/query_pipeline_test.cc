@@ -1,0 +1,159 @@
+// Cross-index parity of the query pipeline: every SpatialIndex backend
+// must drive every ranker to bit-identical Offering Tables. The canonical
+// result ordering (ascending distance, ties by id) is the contract that
+// makes the pipeline index-agnostic; these tests pin it end to end.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/baselines.h"
+#include "core/ecocharge.h"
+#include "spatial/index_factory.h"
+#include "tests/test_util.h"
+
+namespace ecocharge {
+namespace {
+
+using testing_util::TablesBitIdentical;
+
+/// One environment shared by every parameterization (expensive to build),
+/// plus a per-backend index over the same charger points.
+struct SharedWorld {
+  std::unique_ptr<Environment> env;
+  std::vector<VehicleState> states;
+};
+
+SharedWorld& World() {
+  static SharedWorld world = [] {
+    SharedWorld w;
+    w.env = testing_util::TinyEnvironment(80);
+    EXPECT_NE(w.env, nullptr);
+    w.states = testing_util::TinyWorkload(*w.env, 8);
+    EXPECT_FALSE(w.states.empty());
+    return w;
+  }();
+  return world;
+}
+
+std::unique_ptr<SpatialIndex> BuildIndex(SpatialIndexKind kind) {
+  std::vector<Point> points;
+  for (const EvCharger& c : World().env->chargers) {
+    points.push_back(c.position);
+  }
+  std::unique_ptr<SpatialIndex> index = MakeSpatialIndex(kind);
+  index->Build(std::move(points));
+  return index;
+}
+
+class CrossIndexParityTest
+    : public ::testing::TestWithParam<SpatialIndexKind> {};
+
+TEST_P(CrossIndexParityTest, SpatialResultsMatchQuadtree) {
+  std::unique_ptr<SpatialIndex> reference =
+      BuildIndex(SpatialIndexKind::kQuadTree);
+  std::unique_ptr<SpatialIndex> index = BuildIndex(GetParam());
+  ASSERT_EQ(index->size(), reference->size());
+  for (const VehicleState& state : World().states) {
+    EXPECT_EQ(index->Knn(state.position, 7),
+              reference->Knn(state.position, 7));
+    EXPECT_EQ(index->RangeSearch(state.position, 20000.0),
+              reference->RangeSearch(state.position, 20000.0));
+  }
+}
+
+TEST_P(CrossIndexParityTest, EcoChargeTablesBitIdentical) {
+  SharedWorld& w = World();
+  std::unique_ptr<SpatialIndex> reference =
+      BuildIndex(SpatialIndexKind::kQuadTree);
+  std::unique_ptr<SpatialIndex> index = BuildIndex(GetParam());
+
+  // Dynamic Caching stays on, so the sequence exercises both the full
+  // regeneration and the adaptation path; both must be index-invariant
+  // (the hit path trivially so — it never touches the index).
+  EcoChargeOptions opts;
+  opts.radius_m = 20000.0;
+  EcoChargeRanker expected(w.env->estimator.get(), reference.get(),
+                           ScoreWeights::AWE(), opts);
+  EcoChargeRanker actual(w.env->estimator.get(), index.get(),
+                         ScoreWeights::AWE(), opts);
+  for (const VehicleState& state : w.states) {
+    EXPECT_TRUE(TablesBitIdentical(actual.Rank(state, 3),
+                                   expected.Rank(state, 3)));
+  }
+  EXPECT_EQ(actual.cache().hits(), expected.cache().hits());
+}
+
+TEST_P(CrossIndexParityTest, QuadtreeRankerTablesBitIdentical) {
+  SharedWorld& w = World();
+  std::unique_ptr<SpatialIndex> reference =
+      BuildIndex(SpatialIndexKind::kQuadTree);
+  std::unique_ptr<SpatialIndex> index = BuildIndex(GetParam());
+
+  QuadtreeRanker expected(w.env->estimator.get(), reference.get(),
+                          ScoreWeights::AWE(), /*candidate_budget=*/12);
+  QuadtreeRanker actual(w.env->estimator.get(), index.get(),
+                        ScoreWeights::AWE(), /*candidate_budget=*/12);
+  for (const VehicleState& state : w.states) {
+    EXPECT_TRUE(TablesBitIdentical(actual.Rank(state, 3),
+                                   expected.Rank(state, 3)));
+  }
+}
+
+TEST_P(CrossIndexParityTest, RandomRankerTablesBitIdentical) {
+  SharedWorld& w = World();
+  std::unique_ptr<SpatialIndex> reference =
+      BuildIndex(SpatialIndexKind::kQuadTree);
+  std::unique_ptr<SpatialIndex> index = BuildIndex(GetParam());
+
+  // Identical seeds shuffle identical candidate lists identically — which
+  // requires the backends to agree on the range-search result order.
+  RandomRanker expected(w.env->estimator.get(), reference.get(), 20000.0,
+                        /*seed=*/99);
+  RandomRanker actual(w.env->estimator.get(), index.get(), 20000.0,
+                      /*seed=*/99);
+  for (const VehicleState& state : w.states) {
+    EXPECT_TRUE(TablesBitIdentical(actual.Rank(state, 3),
+                                   expected.Rank(state, 3)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, CrossIndexParityTest,
+    ::testing::ValuesIn(kAllSpatialIndexKinds.begin(),
+                        kAllSpatialIndexKinds.end()),
+    [](const ::testing::TestParamInfo<SpatialIndexKind>& info) {
+      return std::string(SpatialIndexKindName(info.param));
+    });
+
+TEST(IndexFactoryTest, ParseRoundTripsEveryKind) {
+  for (SpatialIndexKind kind : kAllSpatialIndexKinds) {
+    auto parsed = ParseSpatialIndexKind(SpatialIndexKindName(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), kind);
+  }
+}
+
+TEST(IndexFactoryTest, ParseAcceptsSeparatorsAndCase) {
+  EXPECT_EQ(ParseSpatialIndexKind("KD-Tree").value(),
+            SpatialIndexKind::kKdTree);
+  EXPECT_EQ(ParseSpatialIndexKind("r_tree").value(), SpatialIndexKind::kRTree);
+  EXPECT_EQ(ParseSpatialIndexKind("QUADTREE").value(),
+            SpatialIndexKind::kQuadTree);
+  EXPECT_FALSE(ParseSpatialIndexKind("voronoi").ok());
+}
+
+TEST(IndexFactoryTest, MakeProducesWorkingIndex) {
+  std::vector<Point> points = testing_util::RandomCloud(64);
+  for (SpatialIndexKind kind : kAllSpatialIndexKinds) {
+    std::unique_ptr<SpatialIndex> index = MakeSpatialIndex(kind);
+    ASSERT_NE(index, nullptr);
+    index->Build(points);
+    EXPECT_EQ(index->size(), points.size());
+    EXPECT_EQ(index->Knn({5000.0, 4000.0}, 3).size(), 3u);
+  }
+}
+
+}  // namespace
+}  // namespace ecocharge

@@ -1,11 +1,14 @@
 #ifndef ECOCHARGE_TESTS_TEST_UTIL_H_
 #define ECOCHARGE_TESTS_TEST_UTIL_H_
 
+#include <gtest/gtest.h>
+
 #include <memory>
 #include <vector>
 
 #include "common/rng.h"
 #include "core/environment.h"
+#include "core/offering_table.h"
 #include "core/workload.h"
 #include "geo/point.h"
 
@@ -46,6 +49,42 @@ inline std::vector<VehicleState> TinyWorkload(const Environment& env,
   wo.max_trips = 4;
   wo.max_states = max_states;
   return BuildWorkload(env.dataset, wo);
+}
+
+/// Bit-identical Offering Table comparison (no tolerance): every field of
+/// every entry must match exactly. Used by the cross-index parity and
+/// QueryContext-reuse tests, where "same result" means same bits.
+inline ::testing::AssertionResult TablesBitIdentical(const OfferingTable& a,
+                                                     const OfferingTable& b) {
+  if (a.generated_at != b.generated_at || a.segment_index != b.segment_index ||
+      a.location.x != b.location.x || a.location.y != b.location.y ||
+      a.adapted_from_cache != b.adapted_from_cache) {
+    return ::testing::AssertionFailure() << "table headers differ";
+  }
+  if (a.entries.size() != b.entries.size()) {
+    return ::testing::AssertionFailure()
+           << "entry counts differ: " << a.entries.size() << " vs "
+           << b.entries.size();
+  }
+  for (size_t i = 0; i < a.entries.size(); ++i) {
+    const OfferingEntry& x = a.entries[i];
+    const OfferingEntry& y = b.entries[i];
+    if (x.charger_id != y.charger_id) {
+      return ::testing::AssertionFailure()
+             << "entry " << i << ": charger " << x.charger_id << " vs "
+             << y.charger_id;
+    }
+    if (x.score.sc_min != y.score.sc_min || x.score.sc_max != y.score.sc_max ||
+        !(x.ecs.level == y.ecs.level) ||
+        !(x.ecs.availability == y.ecs.availability) ||
+        !(x.ecs.derouting == y.ecs.derouting) || x.ecs.eta_s != y.ecs.eta_s ||
+        x.eta_s != y.eta_s) {
+      return ::testing::AssertionFailure()
+             << "entry " << i << " (charger " << x.charger_id
+             << "): score/EC fields differ";
+    }
+  }
+  return ::testing::AssertionSuccess();
 }
 
 }  // namespace testing_util

@@ -76,10 +76,15 @@ int Usage() {
   gen-dataset  --kind oldenburg|california|tdrive|geolife --scale 0.01
                --out PREFIX [--seed N]      (writes PREFIX.ecg, PREFIX.ect)
   rank         --kind KIND [--chargers N] [--k K] [--radius-km R]
-               [--hour H] [--seed N]        (query at a sample trip state)
+               [--hour H] [--seed N] [--index BACKEND]
+               (query at a sample trip state)
   simulate     --kind KIND [--vehicles N] [--chargers N] [--seed N]
+               [--index BACKEND]
                (fleet hoarding: EcoCharge vs nearest-charger policies)
   info
+
+  BACKEND: quadtree|rtree|grid|kdtree|linear (charger index; every backend
+  produces identical rankings — the choice only affects query time)
 )";
   return 2;
 }
@@ -160,6 +165,8 @@ Result<std::unique_ptr<Environment>> BuildEnv(const Args& args) {
   opts.num_chargers =
       static_cast<size_t>(args.GetU64("chargers", 500));
   opts.seed = args.GetU64("seed", 42);
+  ECOCHARGE_ASSIGN_OR_RETURN(
+      opts.index_kind, ParseSpatialIndexKind(args.Get("index", "quadtree")));
   return MakeEnvironment(opts);
 }
 
@@ -229,7 +236,11 @@ int Info() {
     std::cout << " " << DatasetName(kind);
   }
   std::cout << "\nmethods: Brute-Force, Index-Quadtree, Random, EcoCharge, "
-               "EcoCharge-Balanced\n";
+               "EcoCharge-Balanced\nindex backends:";
+  for (SpatialIndexKind kind : kAllSpatialIndexKinds) {
+    std::cout << " " << SpatialIndexKindName(kind);
+  }
+  std::cout << "\n";
   return 0;
 }
 
