@@ -1,0 +1,209 @@
+// Serving-runtime bench: OfferingServer throughput and latency under a
+// sweep of worker threads x EIS cache shards x queue depth.
+//
+// Each request carries a per-request simulated I/O stall (default 4 ms)
+// emulating the upstream-fetch / response-write blocking of the real
+// Mode-2 deployment (HTTP through Nginx to weather/traffic providers) —
+// that is the component worker threads overlap. On a single-core
+// container the pure-compute rows (stall = 0) cannot exceed 1x scaling;
+// the stall rows show the I/O-bound scaling the runtime is built for.
+// Override with --io-ms (0 disables the stall everywhere).
+//
+// Writes BENCH_server.json (flat records, one per configuration) next to
+// the working directory for machine consumption.
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/table_writer.h"
+#include "server/offering_server.h"
+
+using namespace ecocharge;
+using bench::BenchConfig;
+
+namespace {
+
+struct SweepPoint {
+  int threads = 0;
+  size_t shards = 16;
+  size_t queue_depth = 0;  // 0 = large enough that nothing is shed
+  double io_ms = -1.0;     // <0 = use the bench-wide default
+};
+
+struct SweepResult {
+  double elapsed_s = 0.0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  OfferingServerStats stats;
+};
+
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  size_t index = static_cast<size_t>(q * static_cast<double>(sorted.size()));
+  return sorted[std::min(index, sorted.size() - 1)];
+}
+
+SweepResult RunPoint(bench::PreparedWorld& world, const SweepPoint& point,
+                     size_t num_requests, size_t num_clients,
+                     double default_io_ms) {
+  OfferingServerOptions opts;
+  opts.threads = point.threads;
+  opts.eis_cache_shards = point.shards;
+  opts.queue_depth =
+      point.queue_depth == 0 ? num_requests : point.queue_depth;
+  opts.simulated_io_ms = point.io_ms < 0.0 ? default_io_ms : point.io_ms;
+  OfferingServer server(world.env.get(), ScoreWeights::AWE(),
+                        EcoChargeOptions{}, opts);
+
+  using Clock = std::chrono::steady_clock;
+  // One slot per request; the serving worker writes only its own slot, so
+  // concurrent completions never touch the same element.
+  std::vector<double> latency_ms(num_requests, -1.0);
+
+  Clock::time_point start = Clock::now();
+  for (size_t i = 0; i < num_requests; ++i) {
+    Clock::time_point submitted = Clock::now();
+    double* slot = &latency_ms[i];
+    // Client c's s-th request uses workload state (c + s): every client
+    // walks the trip states, so consecutive requests move the vehicle and
+    // Dynamic Caching sees its realistic fresh/adapted mix.
+    size_t state_index =
+        (i % num_clients + i / num_clients) % world.states.size();
+    Status st = server.Submit(i % num_clients, world.states[state_index], 3,
+        [slot, submitted](const OfferingTable&) {
+          *slot = std::chrono::duration<double, std::milli>(Clock::now() -
+                                                            submitted)
+                      .count();
+        });
+    // Shed requests (kUnavailable) are part of the admission-control
+    // sweep; anything else is a bench bug.
+    if (!st.ok() && st.code() != StatusCode::kUnavailable) {
+      std::cerr << "submit: " << st << "\n";
+      std::exit(1);
+    }
+  }
+  server.Drain();
+  SweepResult result;
+  result.elapsed_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  result.stats = server.Stats();
+
+  std::vector<double> served;
+  served.reserve(num_requests);
+  for (double ms : latency_ms) {
+    if (ms >= 0.0) served.push_back(ms);
+  }
+  std::sort(served.begin(), served.end());
+  result.qps = result.elapsed_s > 0.0
+                   ? static_cast<double>(result.stats.served) /
+                         result.elapsed_s
+                   : 0.0;
+  result.p50_ms = Percentile(served, 0.50);
+  result.p95_ms = Percentile(served, 0.95);
+  result.p99_ms = Percentile(served, 0.99);
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Logger::set_threshold(LogLevel::kWarning);
+  BenchConfig cfg = BenchConfig::FromArgs(argc, argv);
+  double default_io_ms = 6.0;
+  size_t num_requests = 480;
+  size_t num_clients = 48;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--io-ms") == 0 && i + 1 < argc) {
+      default_io_ms = std::atof(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
+      num_requests = std::strtoull(argv[i + 1], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      num_requests = 120;
+    }
+  }
+
+  std::cout << "=== Serving runtime: threads x shards x queue depth ===\n"
+            << num_requests << " requests from " << num_clients
+            << " clients; per-request simulated I/O stall "
+            << default_io_ms << " ms (rows marked io=0 are pure compute)\n\n";
+
+  bench::PreparedWorld world = bench::Prepare(DatasetKind::kOldenburg, cfg);
+
+  std::vector<SweepPoint> sweep = {
+      // Thread scaling at the default shard count, nothing shed.
+      {0, 16, 0, -1.0},
+      {1, 16, 0, -1.0},
+      {2, 16, 0, -1.0},
+      {4, 16, 0, -1.0},
+      // Shard sweep at 4 workers (contention on the EIS caches).
+      {4, 1, 0, -1.0},
+      {4, 4, 0, -1.0},
+      // Queue-depth sweep: small queues shed load instead of buffering.
+      {4, 16, 8, -1.0},
+      {4, 16, 32, -1.0},
+      // Pure-compute reference rows (single core: expect ~1x scaling).
+      {0, 16, 0, 0.0},
+      {4, 16, 0, 0.0},
+  };
+
+  TableWriter table({"Threads", "Shards", "Queue", "I/O [ms]", "QPS",
+                     "p50 [ms]", "p95 [ms]", "p99 [ms]", "Served", "Shed"});
+  bench::BenchJsonWriter json;
+  double qps_inline = 0.0;
+  double qps_4t = 0.0;
+  for (const SweepPoint& point : sweep) {
+    SweepResult r =
+        RunPoint(world, point, num_requests, num_clients, default_io_ms);
+    double io_ms = point.io_ms < 0.0 ? default_io_ms : point.io_ms;
+    size_t depth = point.queue_depth == 0 ? num_requests : point.queue_depth;
+    if (io_ms > 0.0 && depth >= num_requests) {
+      if (point.threads == 0 && point.shards == 16) qps_inline = r.qps;
+      if (point.threads == 4 && point.shards == 16) qps_4t = r.qps;
+    }
+    ECOCHARGE_CHECK(
+        table
+            .AddRow({std::to_string(point.threads),
+                     std::to_string(point.shards), std::to_string(depth),
+                     TableWriter::Fmt(io_ms, 1), TableWriter::Fmt(r.qps, 1),
+                     TableWriter::Fmt(r.p50_ms, 2),
+                     TableWriter::Fmt(r.p95_ms, 2),
+                     TableWriter::Fmt(r.p99_ms, 2),
+                     std::to_string(r.stats.served),
+                     std::to_string(r.stats.rejected)})
+            .ok());
+    json.BeginRecord();
+    json.Str("bench", "server_throughput");
+    json.Str("dataset", "Oldenburg");
+    json.Num("threads", point.threads);
+    json.Num("eis_cache_shards", static_cast<double>(point.shards));
+    json.Num("queue_depth", static_cast<double>(depth));
+    json.Num("simulated_io_ms", io_ms);
+    json.Num("requests", static_cast<double>(num_requests));
+    json.Num("clients", static_cast<double>(num_clients));
+    json.Num("elapsed_s", r.elapsed_s);
+    json.Num("qps", r.qps);
+    json.Num("p50_ms", r.p50_ms);
+    json.Num("p95_ms", r.p95_ms);
+    json.Num("p99_ms", r.p99_ms);
+    json.Num("served", static_cast<double>(r.stats.served));
+    json.Num("shed", static_cast<double>(r.stats.rejected));
+    json.Num("cache_adaptations",
+             static_cast<double>(r.stats.cache_adaptations));
+  }
+  table.RenderText(std::cout);
+  if (qps_inline > 0.0) {
+    std::cout << "\nI/O-inclusive speedup, 4 workers vs synchronous: "
+              << TableWriter::Fmt(qps_4t / qps_inline, 2) << "x\n";
+  }
+  if (!json.WriteFile("BENCH_server.json")) {
+    std::cerr << "failed to write BENCH_server.json\n";
+    return 1;
+  }
+  std::cout << "wrote BENCH_server.json (" << json.num_records()
+            << " records)\n";
+  return 0;
+}

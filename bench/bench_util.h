@@ -1,10 +1,13 @@
 #ifndef ECOCHARGE_BENCH_BENCH_UTIL_H_
 #define ECOCHARGE_BENCH_BENCH_UTIL_H_
 
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -115,6 +118,65 @@ inline std::string MeanStd(const RunningStats& s, int precision = 2) {
   return TableWriter::Fmt(s.mean(), precision) + " +- " +
          TableWriter::Fmt(s.stddev(), precision);
 }
+
+/// \brief Machine-readable bench output: accumulates flat records and
+/// writes them as a JSON array (`BENCH_*.json`), so result files can be
+/// diffed, plotted, and regression-checked without parsing the text
+/// tables. Deliberately tiny — no external JSON dependency.
+class BenchJsonWriter {
+ public:
+  /// Starts a new record; subsequent Num/Str calls add fields to it.
+  void BeginRecord() { records_.emplace_back(); }
+
+  void Num(const std::string& key, double value) {
+    std::ostringstream os;
+    if (std::isfinite(value) && value == std::floor(value) &&
+        std::fabs(value) < 1e15) {
+      os << static_cast<long long>(value);
+    } else if (std::isfinite(value)) {
+      os.precision(10);
+      os << value;
+    } else {
+      os << "null";  // JSON has no NaN/Inf
+    }
+    records_.back().push_back("\"" + Escape(key) + "\": " + os.str());
+  }
+
+  void Str(const std::string& key, const std::string& value) {
+    records_.back().push_back("\"" + Escape(key) + "\": \"" + Escape(value) +
+                              "\"");
+  }
+
+  /// Writes `[ {..}, .. ]` to `path`; returns false on I/O failure.
+  bool WriteFile(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << "[\n";
+    for (size_t r = 0; r < records_.size(); ++r) {
+      out << "  {";
+      for (size_t f = 0; f < records_[r].size(); ++f) {
+        out << (f ? ", " : "") << records_[r][f];
+      }
+      out << "}" << (r + 1 < records_.size() ? "," : "") << "\n";
+    }
+    out << "]\n";
+    return static_cast<bool>(out);
+  }
+
+  size_t num_records() const { return records_.size(); }
+
+ private:
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::vector<std::vector<std::string>> records_;
+};
 
 }  // namespace bench
 }  // namespace ecocharge

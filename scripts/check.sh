@@ -5,6 +5,7 @@
 #   scripts/check.sh                 # plain Release build in build/
 #   scripts/check.sh address         # ASan build in build-asan/
 #   scripts/check.sh undefined       # UBSan build in build-ubsan/
+#   scripts/check.sh thread          # TSan build in build-tsan/
 #
 # Extra arguments after the sanitizer are forwarded to ctest, e.g.
 #   scripts/check.sh address -R QueryContext
@@ -14,7 +15,7 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 sanitize="${1:-}"
 case "${sanitize}" in
-  address|undefined) shift ;;
+  address|undefined|thread) shift ;;
   "") ;;
   *) sanitize="" ;;  # first arg is a ctest flag, not a sanitizer
 esac
@@ -22,6 +23,7 @@ esac
 if [[ -n "${sanitize}" ]]; then
   build_dir="${repo_root}/build-${sanitize/undefined/ubsan}"
   build_dir="${build_dir/address/asan}"
+  build_dir="${build_dir/thread/tsan}"
 else
   build_dir="${repo_root}/build"
 fi

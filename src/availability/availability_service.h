@@ -24,6 +24,10 @@ struct AvailabilityForecast {
 /// ports. Availability = free ports / total ports in [0, 1], 1 = free.
 /// The forecast band widens with lead time like the busy-timetable
 /// estimates the paper takes from Google Maps POI data.
+///
+/// Thread safety: the archetype histograms are built once in the
+/// constructor and never mutated; every query method is const and pure in
+/// (seed_, inputs), so concurrent reads need no synchronization.
 class AvailabilityService {
  public:
   /// \param seed drives both per-site histogram jitter and occupancy draws

@@ -23,6 +23,7 @@ enum class StatusCode {
   kUnimplemented,
   kIOError,
   kInternal,
+  kUnavailable,  ///< transient overload: retry later (admission control)
 };
 
 /// \brief Returns a short human-readable name for a status code.
@@ -72,6 +73,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   /// True iff this status represents success.

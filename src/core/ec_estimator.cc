@@ -17,7 +17,30 @@ EcEstimator::EcEstimator(std::shared_ptr<const RoadNetwork> network,
       availability_(availability),
       options_(options),
       derouting_(network_, congestion),
-      eis_(energy, availability, congestion) {
+      owned_eis_(std::make_unique<InformationServer>(energy, availability,
+                                                     congestion)),
+      eis_(owned_eis_.get()) {
+  PickBestSite();
+}
+
+EcEstimator::EcEstimator(std::shared_ptr<const RoadNetwork> network,
+                         const std::vector<EvCharger>* fleet,
+                         SolarEnergyService* energy,
+                         const AvailabilityService* availability,
+                         const CongestionModel* congestion,
+                         const EcEstimatorOptions& options,
+                         InformationServer* shared_eis)
+    : network_(std::move(network)),
+      fleet_(fleet),
+      energy_(energy),
+      availability_(availability),
+      options_(options),
+      derouting_(network_, congestion),
+      eis_(shared_eis) {
+  PickBestSite();
+}
+
+void EcEstimator::PickBestSite() {
   double best = -1.0;
   for (size_t i = 0; i < fleet_->size(); ++i) {
     const EvCharger& c = (*fleet_)[i];
@@ -75,15 +98,15 @@ EcIntervals EcEstimator::EstimateIntervals(const VehicleState& state,
                                            double derouting_norm_m) {
   DeroutingQuery q = MakeQuery(state);
   CongestionModel::Band band =
-      eis_.GetTraffic(RoadClass::kArterial, state.time, state.time);
+      eis_->GetTraffic(RoadClass::kArterial, state.time, state.time);
   DeroutingEstimate der = derouting_.Estimate(q, charger, band);
   SimTime eta_time = state.time + der.eta_s;
 
-  EnergyForecast energy = eis_.GetEnergyForecast(charger, state.time,
+  EnergyForecast energy = eis_->GetEnergyForecast(charger, state.time,
                                                  eta_time,
                                                  state.charge_window_s);
   AvailabilityForecast avail =
-      eis_.GetAvailability(charger, state.time, eta_time);
+      eis_->GetAvailability(charger, state.time, eta_time);
 
   EcIntervals ecs;
   ecs.level = Interval::FromUnordered(
@@ -102,7 +125,7 @@ void EcEstimator::ReviseDerouting(const VehicleState& state,
                                   double derouting_norm_m) {
   DeroutingQuery q = MakeQuery(state);
   CongestionModel::Band band =
-      eis_.GetTraffic(RoadClass::kArterial, state.time, state.time);
+      eis_->GetTraffic(RoadClass::kArterial, state.time, state.time);
   DeroutingEstimate der = derouting_.Estimate(q, charger, band);
   ecs->derouting = Interval::FromUnordered(
       NormalizeDerouting(der.extra_distance_min_m, derouting_norm_m),
@@ -142,14 +165,14 @@ EcTruth EcEstimator::ReferenceComponents(const VehicleState& state,
   ref.derouting = NormalizeDerouting(der.extra_distance_min_m);
   ref.eta_s = der.eta_s;
   SimTime arrival = state.time + (std::isfinite(der.eta_s) ? der.eta_s : 0.0);
-  EnergyForecast energy = eis_.GetEnergyForecast(charger, state.time, arrival,
+  EnergyForecast energy = eis_->GetEnergyForecast(charger, state.time, arrival,
                                                  state.charge_window_s);
   ref.level =
       (NormalizeEnergy(energy.min_kwh, state.charge_window_s, arrival) +
        NormalizeEnergy(energy.max_kwh, state.charge_window_s, arrival)) /
       2.0;
   AvailabilityForecast avail =
-      eis_.GetAvailability(charger, state.time, arrival);
+      eis_->GetAvailability(charger, state.time, arrival);
   ref.availability = (avail.min + avail.max) / 2.0;
   return ref;
 }

@@ -38,6 +38,14 @@ struct EcTruth {
 ///  - Truth(): realized values with network-exact derouting — what actually
 ///    happens; the Brute-Force oracle ranks by these, and the evaluation
 ///    scores every method's picks against them.
+///
+/// Thread safety: one estimator is NOT safe to share between threads (it
+/// owns Dijkstra scratch, a derouting memo, and the fleet-energy cache).
+/// The concurrent serving runtime gives each worker its own estimator and
+/// shares only the InformationServer between them via the borrowing
+/// constructor — the EIS is internally synchronized, and every estimator
+/// output is a pure function of (seed, query), so per-worker instances
+/// produce bit-identical components.
 class EcEstimator {
  public:
   EcEstimator(std::shared_ptr<const RoadNetwork> network,
@@ -46,6 +54,18 @@ class EcEstimator {
               const AvailabilityService* availability,
               const CongestionModel* congestion,
               const EcEstimatorOptions& options);
+
+  /// Like above, but borrows `shared_eis` (not owned; must outlive this)
+  /// instead of constructing a private InformationServer — the shape the
+  /// OfferingServer uses so all workers account upstream calls against,
+  /// and benefit from, one set of sharded response caches.
+  EcEstimator(std::shared_ptr<const RoadNetwork> network,
+              const std::vector<EvCharger>* fleet,
+              SolarEnergyService* energy,
+              const AvailabilityService* availability,
+              const CongestionModel* congestion,
+              const EcEstimatorOptions& options,
+              InformationServer* shared_eis);
 
   /// Interval ECs (normalized) for `charger` seen from `state`.
   /// `derouting_norm_m` overrides the D normalization constant (the
@@ -97,11 +117,14 @@ class EcEstimator {
 
   const std::vector<EvCharger>& fleet() const { return *fleet_; }
   DeroutingService& derouting_service() { return derouting_; }
-  InformationServer& information_server() { return eis_; }
+  InformationServer& information_server() { return *eis_; }
   const EcEstimatorOptions& options() const { return options_; }
 
  private:
   DeroutingQuery MakeQuery(const VehicleState& state) const;
+
+  /// Finds the fleet site maximizing min(rate, pv) for the L normalization.
+  void PickBestSite();
 
   /// Fleet-max deliverable energy for a window anchored at `t`'s
   /// 15-minute bucket (cached; this is an environment property).
@@ -113,7 +136,8 @@ class EcEstimator {
   const AvailabilityService* availability_;
   EcEstimatorOptions options_;
   DeroutingService derouting_;
-  InformationServer eis_;
+  std::unique_ptr<InformationServer> owned_eis_;  ///< null when borrowing
+  InformationServer* eis_;
   size_t best_site_index_ = 0;  // fleet index maximizing min(rate, pv)
   std::unordered_map<uint64_t, double> max_energy_cache_;
 };

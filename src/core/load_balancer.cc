@@ -1,6 +1,7 @@
 #include "core/load_balancer.h"
 
 #include <algorithm>
+#include <mutex>
 
 namespace ecocharge {
 
@@ -9,11 +10,13 @@ ChargerLoadBalancer::ChargerLoadBalancer(const LoadBalancerOptions& options)
 
 void ChargerLoadBalancer::RecordAssignment(ChargerId charger, SimTime arrival,
                                            double duration_s) {
+  std::lock_guard<std::mutex> lock(mu_);
   pending_[charger].push_back({arrival, arrival + duration_s});
   ++total_assignments_;
 }
 
-size_t ChargerLoadBalancer::PendingAt(ChargerId charger, SimTime t) const {
+size_t ChargerLoadBalancer::PendingAtLocked(ChargerId charger,
+                                            SimTime t) const {
   auto it = pending_.find(charger);
   if (it == pending_.end()) return 0;
   size_t count = 0;
@@ -23,9 +26,15 @@ size_t ChargerLoadBalancer::PendingAt(ChargerId charger, SimTime t) const {
   return count;
 }
 
+size_t ChargerLoadBalancer::PendingAt(ChargerId charger, SimTime t) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return PendingAtLocked(charger, t);
+}
+
 double ChargerLoadBalancer::Penalty(ChargerId charger, SimTime t,
                                     int num_ports) const {
-  size_t pending = PendingAt(charger, t);
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t pending = PendingAtLocked(charger, t);
   if (pending == 0) return 0.0;
   // penalty_per_pending is calibrated for a 2-port site; sites with more
   // ports absorb induced demand proportionally.
@@ -36,6 +45,7 @@ double ChargerLoadBalancer::Penalty(ChargerId charger, SimTime t,
 }
 
 void ChargerLoadBalancer::ExpireBefore(SimTime t) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& [charger, windows] : pending_) {
     while (!windows.empty() && windows.front().end <= t) {
       windows.pop_front();
@@ -44,8 +54,14 @@ void ChargerLoadBalancer::ExpireBefore(SimTime t) {
 }
 
 void ChargerLoadBalancer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   pending_.clear();
   total_assignments_ = 0;
+}
+
+size_t ChargerLoadBalancer::total_assignments() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_assignments_;
 }
 
 BalancedEcoChargeRanker::BalancedEcoChargeRanker(

@@ -2,6 +2,7 @@
 #define ECOCHARGE_CORE_LOAD_BALANCER_H_
 
 #include <deque>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -27,6 +28,12 @@ struct LoadBalancerOptions {
 /// and monitor the congestion to redirect drivers to alternative EV
 /// charging stations." Without it, every vehicle near the same sunny
 /// DC site is sent there simultaneously, and most arrive to find it taken.
+///
+/// Thread safety: unlike the per-client ranker state, induced demand is
+/// inherently global — every serving worker records into and reads from
+/// the same assignment ledger — so all public methods synchronize on one
+/// internal mutex (the tracked windows are small; a single lock is cheaper
+/// than sharding here).
 class ChargerLoadBalancer {
  public:
   explicit ChargerLoadBalancer(const LoadBalancerOptions& options = {});
@@ -46,14 +53,18 @@ class ChargerLoadBalancer {
   void ExpireBefore(SimTime t);
 
   void Clear();
-  size_t total_assignments() const { return total_assignments_; }
+  size_t total_assignments() const;
 
  private:
   struct Window {
     SimTime start;
     SimTime end;
   };
+
+  size_t PendingAtLocked(ChargerId charger, SimTime t) const;
+
   LoadBalancerOptions options_;
+  mutable std::mutex mu_;
   std::unordered_map<ChargerId, std::deque<Window>> pending_;
   size_t total_assignments_ = 0;
 };

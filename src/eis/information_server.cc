@@ -33,9 +33,10 @@ InformationServer::InformationServer(SolarEnergyService* energy,
     : energy_(energy),
       availability_(availability),
       congestion_(congestion),
-      weather_cache_(options.weather_ttl_s),
-      availability_cache_(options.availability_ttl_s),
-      traffic_cache_(options.traffic_ttl_s) {}
+      weather_cache_(options.weather_ttl_s, 1 << 16, options.cache_shards),
+      availability_cache_(options.availability_ttl_s, 1 << 16,
+                          options.cache_shards),
+      traffic_cache_(options.traffic_ttl_s, 1 << 16, options.cache_shards) {}
 
 EnergyForecast InformationServer::GetEnergyForecast(const EvCharger& charger,
                                                     SimTime now,
@@ -43,7 +44,7 @@ EnergyForecast InformationServer::GetEnergyForecast(const EvCharger& charger,
                                                     double window_s) {
   uint64_t key = MixKey(charger.id + 1, Bucket(target), Bucket(now));
   if (auto cached = weather_cache_.Get(key, now)) return *cached;
-  ++weather_calls_;
+  weather_calls_.fetch_add(1, std::memory_order_relaxed);
   EnergyForecast f =
       energy_->ForecastEnergyKwh(charger, Snap(now), Snap(target), window_s);
   weather_cache_.Put(key, f, now);
@@ -54,7 +55,7 @@ AvailabilityForecast InformationServer::GetAvailability(
     const EvCharger& charger, SimTime now, SimTime target) {
   uint64_t key = MixKey(charger.id + 1, Bucket(target), Bucket(now));
   if (auto cached = availability_cache_.Get(key, now)) return *cached;
-  ++availability_calls_;
+  availability_calls_.fetch_add(1, std::memory_order_relaxed);
   AvailabilityForecast f =
       availability_->Forecast(charger, Snap(now), Snap(target));
   availability_cache_.Put(key, f, now);
@@ -67,18 +68,19 @@ CongestionModel::Band InformationServer::GetTraffic(RoadClass road_class,
   uint64_t key = MixKey(static_cast<uint64_t>(road_class) + 1,
                         Bucket(target), Bucket(now));
   if (auto cached = traffic_cache_.Get(key, now)) return *cached;
-  ++traffic_calls_;
+  traffic_calls_.fetch_add(1, std::memory_order_relaxed);
   CongestionModel::Band band =
       congestion_->ForecastSpeedFactor(road_class, Snap(now), Snap(target));
   traffic_cache_.Put(key, band, now);
   return band;
 }
 
-EisCallStats InformationServer::Stats() const {
+EisCallStats InformationServer::Snapshot() const {
   EisCallStats stats;
-  stats.weather_api_calls = weather_calls_;
-  stats.availability_api_calls = availability_calls_;
-  stats.traffic_api_calls = traffic_calls_;
+  stats.weather_api_calls = weather_calls_.load(std::memory_order_relaxed);
+  stats.availability_api_calls =
+      availability_calls_.load(std::memory_order_relaxed);
+  stats.traffic_api_calls = traffic_calls_.load(std::memory_order_relaxed);
   stats.weather_cache = weather_cache_.stats();
   stats.availability_cache = availability_cache_.stats();
   stats.traffic_cache = traffic_cache_.stats();

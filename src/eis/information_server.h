@@ -1,6 +1,7 @@
 #ifndef ECOCHARGE_EIS_INFORMATION_SERVER_H_
 #define ECOCHARGE_EIS_INFORMATION_SERVER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -13,14 +14,20 @@
 namespace ecocharge {
 
 /// \brief TTLs for the three upstream "APIs" (weather, busy timetables,
-/// traffic), mirroring how often the real services refresh.
+/// traffic), mirroring how often the real services refresh, plus the lock
+/// granularity of the response caches.
 struct EisOptions {
   double weather_ttl_s = 30.0 * kSecondsPerMinute;
   double availability_ttl_s = 15.0 * kSecondsPerMinute;
   double traffic_ttl_s = 5.0 * kSecondsPerMinute;
+
+  /// Shards per TTL cache (rounded up to a power of two). One shard keeps
+  /// the original single-lock behavior; the OfferingServer raises it so
+  /// concurrent workers rarely contend on the same shard mutex.
+  size_t cache_shards = 1;
 };
 
-/// \brief Aggregate upstream-call accounting.
+/// \brief Aggregate upstream-call accounting (a plain value snapshot).
 struct EisCallStats {
   uint64_t weather_api_calls = 0;
   uint64_t availability_api_calls = 0;
@@ -38,6 +45,15 @@ struct EisCallStats {
 /// simulated services are the ground-truth/forecast models; the EIS only
 /// adds caching and accounting, exactly like the Laravel/Nginx deployment
 /// it stands in for.
+///
+/// Thread safety: one InformationServer may be shared by all serving
+/// workers. The caches are sharded with per-shard mutexes, call counters
+/// are relaxed atomics, and the upstream services are either const and
+/// pure in their inputs (AvailabilityService, CongestionModel) or
+/// internally synchronized (SolarEnergyService via WeatherProcess). A
+/// concurrent cache miss may issue a duplicate upstream call for the same
+/// key — both calls return the identical pure-function response, so the
+/// cache still changes cost, never answers.
 class InformationServer {
  public:
   InformationServer(SolarEnergyService* energy,
@@ -57,8 +73,12 @@ class InformationServer {
   CongestionModel::Band GetTraffic(RoadClass road_class, SimTime now,
                                    SimTime target);
 
-  /// Upstream call and cache counters.
-  EisCallStats Stats() const;
+  /// Upstream call and cache counters, materialized from the atomics.
+  /// Safe to call concurrently with serving traffic.
+  EisCallStats Snapshot() const;
+
+  /// Legacy name for Snapshot().
+  EisCallStats Stats() const { return Snapshot(); }
 
  private:
   SolarEnergyService* energy_;
@@ -72,9 +92,9 @@ class InformationServer {
   TtlCache<uint64_t, EnergyForecast> weather_cache_;
   TtlCache<uint64_t, AvailabilityForecast> availability_cache_;
   TtlCache<uint64_t, CongestionModel::Band> traffic_cache_;
-  uint64_t weather_calls_ = 0;
-  uint64_t availability_calls_ = 0;
-  uint64_t traffic_calls_ = 0;
+  std::atomic<uint64_t> weather_calls_{0};
+  std::atomic<uint64_t> availability_calls_{0};
+  std::atomic<uint64_t> traffic_calls_{0};
 };
 
 }  // namespace ecocharge

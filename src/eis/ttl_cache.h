@@ -1,16 +1,22 @@
 #ifndef ECOCHARGE_EIS_TTL_CACHE_H_
 #define ECOCHARGE_EIS_TTL_CACHE_H_
 
+#include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "common/simtime.h"
 
 namespace ecocharge {
 
-/// \brief Hit/miss counters for one cache instance.
+/// \brief Hit/miss counters for one cache instance (a plain value; see
+/// AtomicCacheStats for the concurrent accumulator behind it).
 struct CacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
@@ -23,6 +29,35 @@ struct CacheStats {
   }
 };
 
+/// \brief Lock-free counter cell shared by all shards of one cache.
+///
+/// Counters are advisory accounting, not synchronization: relaxed atomics
+/// are sufficient, and Snapshot() materializes a consistent-enough
+/// CacheStats value for reporting (individual counters are exact; the
+/// triple is only approximately simultaneous under concurrency, which is
+/// all hit-rate reporting needs).
+class AtomicCacheStats {
+ public:
+  void AddHit() { hits_.fetch_add(1, std::memory_order_relaxed); }
+  void AddMiss() { misses_.fetch_add(1, std::memory_order_relaxed); }
+  void AddExpiration() {
+    expirations_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  CacheStats Snapshot() const {
+    CacheStats s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    s.expirations = expirations_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+ private:
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> expirations_{0};
+};
+
 /// \brief TTL cache over simulation time — the building block of the
 /// EcoCharge Information Server's "Dynamic Caching" of API responses.
 ///
@@ -31,63 +66,126 @@ struct CacheStats {
 /// A simple size cap evicts by sweeping expired entries first, then
 /// clearing; the workloads here are small enough that LRU bookkeeping would
 /// be overhead without benefit.
+///
+/// Thread safety: the key space is split across `num_shards` shards (by
+/// key hash), each guarded by its own mutex, so concurrent Get/Put traffic
+/// from the serving workers only contends when two requests land on the
+/// same shard. Freshness is checked under the shard lock — a Get can never
+/// return an entry that was stale-beyond-TTL at its `now`, no matter how
+/// Put/SweepExpired calls interleave. Counters are relaxed atomics. The
+/// single-shard default keeps the single-threaded figure pipeline exactly
+/// as before (sharding changes lock granularity, never answers).
 template <typename Key, typename Value>
 class TtlCache {
  public:
-  explicit TtlCache(double ttl_seconds, size_t max_entries = 1 << 16)
-      : ttl_seconds_(ttl_seconds), max_entries_(max_entries) {}
+  explicit TtlCache(double ttl_seconds, size_t max_entries = 1 << 16,
+                    size_t num_shards = 1)
+      : ttl_seconds_(ttl_seconds),
+        shards_(RoundUpPow2(num_shards)),
+        shard_mask_(shards_.size() - 1),
+        max_entries_per_shard_(
+            std::max<size_t>(1, max_entries / shards_.size())) {}
 
   /// Returns the cached value if present and fresh at `now`.
   std::optional<Value> Get(const Key& key, SimTime now) {
-    auto it = map_.find(key);
-    if (it == map_.end()) {
-      ++stats_.misses;
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) {
+      stats_.AddMiss();
       return std::nullopt;
     }
     if (now - it->second.inserted_at > ttl_seconds_) {
-      ++stats_.expirations;
-      ++stats_.misses;
-      map_.erase(it);
+      stats_.AddExpiration();
+      stats_.AddMiss();
+      shard.map.erase(it);
       return std::nullopt;
     }
-    ++stats_.hits;
+    stats_.AddHit();
     return it->second.value;
   }
 
   /// Inserts or refreshes an entry stamped at `now`.
   void Put(const Key& key, const Value& value, SimTime now) {
-    if (map_.size() >= max_entries_) {
-      SweepExpired(now);
-      if (map_.size() >= max_entries_) map_.clear();
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.map.size() >= max_entries_per_shard_) {
+      SweepShardLocked(shard, now);
+      if (shard.map.size() >= max_entries_per_shard_) shard.map.clear();
     }
-    map_[key] = Entry{value, now};
+    shard.map[key] = Entry{value, now};
   }
 
   /// Drops entries older than the TTL relative to `now`.
   void SweepExpired(SimTime now) {
-    for (auto it = map_.begin(); it != map_.end();) {
-      if (now - it->second.inserted_at > ttl_seconds_) {
-        it = map_.erase(it);
-      } else {
-        ++it;
-      }
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      SweepShardLocked(shard, now);
     }
   }
 
-  void Clear() { map_.clear(); }
-  size_t size() const { return map_.size(); }
+  void Clear() {
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.map.clear();
+    }
+  }
+
+  size_t size() const {
+    size_t total = 0;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      total += shard.map.size();
+    }
+    return total;
+  }
+
   double ttl_seconds() const { return ttl_seconds_; }
-  const CacheStats& stats() const { return stats_; }
+  size_t num_shards() const { return shards_.size(); }
+
+  /// Counter snapshot (by value; safe to call concurrently with traffic).
+  CacheStats stats() const { return stats_.Snapshot(); }
 
  private:
   struct Entry {
     Value value;
     SimTime inserted_at;
   };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<Key, Entry> map;
+  };
+
+  static size_t RoundUpPow2(size_t n) {
+    size_t p = 1;
+    while (p < n) p <<= 1;
+    return std::max<size_t>(1, p);
+  }
+
+  Shard& ShardFor(const Key& key) {
+    // Re-mix std::hash (identity for integers) so sequential keys spread.
+    uint64_t h = static_cast<uint64_t>(std::hash<Key>{}(key));
+    h ^= h >> 33;
+    h *= 0xFF51AFD7ED558CCDULL;
+    h ^= h >> 33;
+    return shards_[h & shard_mask_];
+  }
+
+  void SweepShardLocked(Shard& shard, SimTime now) {
+    for (auto it = shard.map.begin(); it != shard.map.end();) {
+      if (now - it->second.inserted_at > ttl_seconds_) {
+        it = shard.map.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
   double ttl_seconds_;
-  size_t max_entries_;
-  std::unordered_map<Key, Entry> map_;
-  CacheStats stats_;
+  std::vector<Shard> shards_;
+  size_t shard_mask_;
+  size_t max_entries_per_shard_;
+  AtomicCacheStats stats_;
 };
 
 }  // namespace ecocharge

@@ -52,6 +52,11 @@ struct EnergyForecast {
 ///
 /// All chargers share one regional weather process (the paper's forecast is
 /// per-city); per-site variation comes from PV capacity and charger rate.
+///
+/// Thread safety: safe for concurrent calls. The solar model is const, the
+/// forecaster is a pure function of (seed, now, target), and the weather
+/// process — the only mutating state on this path — synchronizes its lazy
+/// hour-sequence extension internally (see WeatherProcess).
 class SolarEnergyService {
  public:
   SolarEnergyService(const SolarModel& solar, const ClimateParams& climate,

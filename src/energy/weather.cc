@@ -66,6 +66,7 @@ void WeatherProcess::ExtendTo(size_t hour_index) {
 WeatherCondition WeatherProcess::ConditionAt(SimTime t) {
   size_t hour_index =
       static_cast<size_t>(std::max(0.0, t) / kSecondsPerHour);
+  std::lock_guard<std::mutex> lock(mu_);
   ExtendTo(hour_index);
   return hours_[hour_index];
 }

@@ -2,6 +2,7 @@
 #define ECOCHARGE_ENERGY_WEATHER_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string_view>
 #include <vector>
 
@@ -35,6 +36,12 @@ struct ClimateParams {
 ///
 /// The realized sequence is the "ground truth" the forecaster estimates and
 /// the production traces consume. Deterministic in (params, seed, horizon).
+///
+/// Thread safety: ConditionAt/TransmissionAt may be called concurrently.
+/// The lazily extended hour sequence is the one mutating state on the
+/// otherwise-const energy read path, so it is guarded by an internal
+/// mutex; extension appends strictly in hour order from the seeded RNG, so
+/// hours_[i] is the same value no matter which thread forces it.
 class WeatherProcess {
  public:
   WeatherProcess(const ClimateParams& params, uint64_t seed);
@@ -49,12 +56,13 @@ class WeatherProcess {
   const ClimateParams& params() const { return params_; }
 
  private:
-  void ExtendTo(size_t hour_index);
+  void ExtendTo(size_t hour_index);  // caller holds mu_
   WeatherCondition NextState(WeatherCondition current);
 
   ClimateParams params_;
-  Rng rng_;
-  std::vector<WeatherCondition> hours_;
+  std::mutex mu_;
+  Rng rng_;                              // guarded by mu_
+  std::vector<WeatherCondition> hours_;  // guarded by mu_
 };
 
 /// \brief Interval forecast of the cloud transmission factor.

@@ -1,0 +1,86 @@
+#ifndef ECOCHARGE_SERVER_BOUNDED_QUEUE_H_
+#define ECOCHARGE_SERVER_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace ecocharge {
+
+/// \brief Bounded MPMC queue with non-blocking admission.
+///
+/// The serving runtime's backpressure primitive: producers (client
+/// threads calling OfferingServer::Submit) TryPush and receive an
+/// immediate reject when the queue is at capacity, so overload degrades
+/// into fast, explicit rejections instead of unbounded memory growth;
+/// consumers (worker threads) block in Pop until an item arrives or the
+/// queue is closed. Any number of threads may push and pop concurrently.
+///
+/// Close() ends the stream: pending items are still drained (Pop keeps
+/// returning them), and only then does Pop return nullopt — so shutdown
+/// never drops an accepted request.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Enqueues `item` unless the queue is full or closed; never blocks.
+  bool TryPush(T&& item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available (returned) or the queue is closed
+  /// and drained (nullopt).
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  /// Rejects future pushes and wakes blocked consumers once drained.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_SERVER_BOUNDED_QUEUE_H_

@@ -1,0 +1,164 @@
+#include "server/offering_server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "core/protocol.h"
+
+namespace ecocharge {
+
+OfferingServer::OfferingServer(Environment* env, const ScoreWeights& weights,
+                               const EcoChargeOptions& eco_options,
+                               const OfferingServerOptions& options)
+    : env_(env), threads_(std::max(0, options.threads)), options_(options) {
+  EisOptions eis_options;
+  eis_options.cache_shards = options_.eis_cache_shards;
+  shared_eis_ = std::make_unique<InformationServer>(
+      env_->energy.get(), env_->availability.get(), env_->congestion.get(),
+      eis_options);
+
+  size_t num_workers = threads_ == 0 ? 1 : static_cast<size_t>(threads_);
+  workers_.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    auto worker = std::make_unique<Worker>();
+    // A full per-worker stack sharing only the synchronized EIS: every
+    // estimator output is a pure function of (seed, query), so per-worker
+    // instances are interchangeable with the environment's own estimator.
+    worker->estimator = std::make_unique<EcEstimator>(
+        env_->dataset.network, &env_->chargers, env_->energy.get(),
+        env_->availability.get(), env_->congestion.get(),
+        env_->estimator->options(), shared_eis_.get());
+    worker->service = std::make_unique<OfferingService>(
+        worker->estimator.get(), env_->charger_index.get(), weights,
+        eco_options, options_.client_ttl_s);
+    workers_.push_back(std::move(worker));
+  }
+  if (threads_ > 0) {
+    for (auto& worker : workers_) {
+      worker->queue =
+          std::make_unique<BoundedQueue<Request>>(options_.queue_depth);
+      worker->thread = std::thread([this, w = worker.get()] { WorkerLoop(*w); });
+    }
+  }
+}
+
+OfferingServer::~OfferingServer() { Shutdown(); }
+
+size_t OfferingServer::WorkerIndexFor(uint64_t client_id) const {
+  // Stable client -> worker routing: a client's requests are always served
+  // by the same worker in FIFO order (the determinism and cache-affinity
+  // invariant). Mix the id so sequential vehicle ids spread across workers.
+  uint64_t h = client_id * 0x9E3779B97F4A7C15ULL;
+  h ^= h >> 32;
+  return static_cast<size_t>(h % workers_.size());
+}
+
+Status OfferingServer::Submit(uint64_t client_id, const VehicleState& state,
+                              size_t k, TableCallback on_table) {
+  Request request;
+  request.client_id = client_id;
+  request.state = state;
+  request.k = k;
+  request.on_table = std::move(on_table);
+  return SubmitRequest(std::move(request));
+}
+
+Status OfferingServer::SubmitWire(uint64_t client_id, std::string wire,
+                                  ReplyCallback on_reply) {
+  Request request;
+  request.client_id = client_id;
+  request.is_wire = true;
+  request.wire = std::move(wire);
+  request.on_reply = std::move(on_reply);
+  return SubmitRequest(std::move(request));
+}
+
+Status OfferingServer::SubmitRequest(Request request) {
+  if (shutdown_.load(std::memory_order_acquire)) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return Status::FailedPrecondition("offering server is shut down");
+  }
+  Worker& worker = *workers_[WorkerIndexFor(request.client_id)];
+  if (threads_ == 0) {
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    Serve(worker, request);
+    return Status::OK();
+  }
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
+  if (!worker.queue->TryPush(std::move(request))) {
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable("worker queue full");
+  }
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void OfferingServer::Serve(Worker& worker, Request& request) {
+  if (options_.simulated_io_ms > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+        options_.simulated_io_ms));
+  }
+  if (request.is_wire) {
+    Result<std::string> reply =
+        worker.service->Handle(request.client_id, request.wire);
+    if (!reply.ok()) malformed_.fetch_add(1, std::memory_order_relaxed);
+    if (request.on_reply) request.on_reply(reply);
+  } else {
+    // worker.table is the worker's long-lived reply buffer (like the
+    // QueryContext, it reaches its high-water capacity and stays there).
+    worker.service->RankInto(request.client_id, request.state, request.k,
+                             &worker.table);
+    if (worker.table.adapted_from_cache) {
+      cache_adaptations_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (request.on_table) request.on_table(worker.table);
+  }
+  served_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void OfferingServer::FinishOne() {
+  if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    drain_cv_.notify_all();
+  }
+}
+
+void OfferingServer::WorkerLoop(Worker& worker) {
+  while (std::optional<Request> request = worker.queue->Pop()) {
+    Serve(worker, *request);
+    FinishOne();
+  }
+}
+
+void OfferingServer::Drain() {
+  if (threads_ == 0) return;  // inline mode serves within Submit
+  std::unique_lock<std::mutex> lock(drain_mu_);
+  drain_cv_.wait(lock, [&] {
+    return in_flight_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void OfferingServer::Shutdown() {
+  if (shutdown_.exchange(true, std::memory_order_acq_rel)) return;
+  if (threads_ == 0) return;
+  // Closing lets workers drain what was accepted, then exit their loops.
+  for (auto& worker : workers_) worker->queue->Close();
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+}
+
+OfferingServerStats OfferingServer::Stats() const {
+  OfferingServerStats stats;
+  stats.accepted = accepted_.load(std::memory_order_relaxed);
+  stats.rejected = rejected_.load(std::memory_order_relaxed);
+  stats.served = served_.load(std::memory_order_relaxed);
+  stats.malformed = malformed_.load(std::memory_order_relaxed);
+  stats.cache_adaptations =
+      cache_adaptations_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace ecocharge

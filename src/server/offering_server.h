@@ -1,0 +1,170 @@
+#ifndef ECOCHARGE_SERVER_OFFERING_SERVER_H_
+#define ECOCHARGE_SERVER_OFFERING_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "core/environment.h"
+#include "core/offering_service.h"
+#include "server/bounded_queue.h"
+
+namespace ecocharge {
+
+/// \brief Concurrency knobs of the serving runtime.
+struct OfferingServerOptions {
+  /// Worker threads. 0 = synchronous deterministic mode: Submit executes
+  /// inline on the caller with no threads, no queues, and no locks taken
+  /// on the hot path — bit-identical to the single-threaded pipeline, so
+  /// tests and figure benches can route through the server unchanged.
+  int threads = 0;
+
+  /// Per-worker pending-request cap; a full queue rejects new submissions
+  /// with kUnavailable (admission control) instead of buffering unboundedly.
+  size_t queue_depth = 256;
+
+  /// Shards per EIS response cache (see EisOptions::cache_shards).
+  size_t eis_cache_shards = 16;
+
+  /// Per-client ranker state is dropped after this much idle sim time.
+  double client_ttl_s = kSecondsPerHour;
+
+  /// When > 0, each request handler blocks this long to emulate the
+  /// upstream-fetch / response-write I/O of the real Mode-2 deployment
+  /// (the Laravel/Nginx EIS talks to weather/traffic providers over HTTP).
+  /// Lets the throughput bench exercise I/O overlap; 0 (the default)
+  /// keeps request handling pure compute.
+  double simulated_io_ms = 0.0;
+};
+
+/// \brief Counter snapshot of one server instance (plain values).
+struct OfferingServerStats {
+  uint64_t accepted = 0;   ///< submissions admitted to a queue (or inline)
+  uint64_t rejected = 0;   ///< submissions refused: queue full or shut down
+  uint64_t served = 0;     ///< requests fully processed (incl. malformed)
+  uint64_t malformed = 0;  ///< wire requests that failed to decode
+  uint64_t cache_adaptations = 0;  ///< tables served via Dynamic Caching
+};
+
+/// \brief The concurrent Offering Table serving runtime (the paper's
+/// Fig. 4 Information Server under load).
+///
+/// A fixed pool of worker threads serves ranking requests from many
+/// vehicles. Each worker owns a full single-threaded serving stack — an
+/// EcEstimator (Dijkstra scratch, derouting memo, fleet-energy cache), an
+/// OfferingService (per-client EcoCharge rankers + Dynamic Caches), and
+/// one long-lived QueryContext — so the steady-state zero-allocation
+/// property of the query pipeline holds per worker with no locking on the
+/// compute path. Workers share exactly three things, each engineered for
+/// concurrent reads: the immutable environment (network, chargers,
+/// spatial index), the pure-function forecast services, and one
+/// InformationServer whose TTL caches are sharded with per-shard mutexes.
+///
+/// Requests are routed to workers by client id hash, which gives every
+/// client a stable worker and therefore FIFO processing of its own
+/// requests — that per-client ordering, plus the purity of all shared
+/// state, is why `threads = N` produces exactly the same Offering Tables
+/// as `threads = 0` (asserted by tests/offering_server_test.cc). Each
+/// worker's queue is bounded: when it fills, Submit returns kUnavailable
+/// immediately and the caller sheds load (reject-with-status beats OOM).
+///
+/// Callbacks run on the worker thread that served the request (or inline
+/// when threads = 0); they must be fast and must synchronize any state
+/// they share with other threads.
+class OfferingServer {
+ public:
+  using TableCallback = std::function<void(const OfferingTable&)>;
+  using ReplyCallback = std::function<void(const Result<std::string>&)>;
+
+  /// \param env fully built world (not owned; must outlive the server)
+  OfferingServer(Environment* env, const ScoreWeights& weights,
+                 const EcoChargeOptions& eco_options,
+                 const OfferingServerOptions& options = {});
+  ~OfferingServer();
+
+  OfferingServer(const OfferingServer&) = delete;
+  OfferingServer& operator=(const OfferingServer&) = delete;
+
+  /// Enqueues a ranking request for `client_id`; `on_table` receives the
+  /// Offering Table on the serving worker. Returns kUnavailable when the
+  /// client's worker queue is full, kFailedPrecondition after Shutdown().
+  Status Submit(uint64_t client_id, const VehicleState& state, size_t k,
+                TableCallback on_table);
+
+  /// Wire-protocol form: decodes an OfferingRequest, serves it, and hands
+  /// `on_reply` the encoded Offering Table (or the decode error).
+  Status SubmitWire(uint64_t client_id, std::string wire,
+                    ReplyCallback on_reply);
+
+  /// Blocks until every accepted request has been served.
+  void Drain();
+
+  /// Drains, closes the queues, and joins the workers. Idempotent;
+  /// further submissions are rejected. Called by the destructor.
+  void Shutdown();
+
+  /// Worker count (0 = synchronous inline mode).
+  int threads() const { return threads_; }
+
+  /// Counter snapshot; safe to call concurrently with traffic.
+  OfferingServerStats Stats() const;
+
+  /// The shared, sharded Information Server all workers account against.
+  const InformationServer& information_server() const { return *shared_eis_; }
+
+ private:
+  struct Request {
+    uint64_t client_id = 0;
+    bool is_wire = false;
+    std::string wire;    // wire form
+    VehicleState state;  // table form
+    size_t k = 3;
+    TableCallback on_table;
+    ReplyCallback on_reply;
+  };
+
+  /// One worker's single-threaded serving stack. Only its owning thread
+  /// (or the caller, in inline mode) ever touches estimator/service.
+  struct Worker {
+    std::unique_ptr<EcEstimator> estimator;
+    std::unique_ptr<OfferingService> service;
+    OfferingTable table;  ///< reusable reply buffer for the table path
+    std::unique_ptr<BoundedQueue<Request>> queue;  // null in inline mode
+    std::thread thread;
+  };
+
+  size_t WorkerIndexFor(uint64_t client_id) const;
+  Status SubmitRequest(Request request);
+  void Serve(Worker& worker, Request& request);
+  void WorkerLoop(Worker& worker);
+  void FinishOne();
+
+  Environment* env_;
+  int threads_;
+  OfferingServerOptions options_;
+  std::unique_ptr<InformationServer> shared_eis_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  std::atomic<bool> shutdown_{false};
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> served_{0};
+  std::atomic<uint64_t> malformed_{0};
+  std::atomic<uint64_t> cache_adaptations_{0};
+
+  // Drain(): waits until in-flight (accepted - served) reaches zero.
+  std::atomic<uint64_t> in_flight_{0};
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+};
+
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_SERVER_OFFERING_SERVER_H_

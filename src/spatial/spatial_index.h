@@ -53,6 +53,12 @@ struct IndexScratch {
 ///  - a `...Into` form writing into a caller-owned output vector using a
 ///    caller-owned IndexScratch — the zero-allocation path the QueryContext
 ///    layer in src/core threads through the ranking pipeline.
+///
+/// Thread safety: after Build() the index is immutable; the const query
+/// methods keep all per-query mutable state in the caller-owned scratch
+/// and output vectors (no backend has `mutable` members), so any number of
+/// threads may query one index concurrently as long as each brings its own
+/// IndexScratch — exactly what the per-worker QueryContext provides.
 class SpatialIndex {
  public:
   virtual ~SpatialIndex() = default;

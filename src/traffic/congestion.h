@@ -16,6 +16,10 @@ namespace ecocharge {
 /// The realized factor adds deterministic per-hour noise around the
 /// profile; forecasts return a band that widens with lead time — the D
 /// estimated component's uncertainty source.
+///
+/// Thread safety: every method is const and a pure function of (seed_,
+/// inputs) — the model holds no mutable state, so concurrent reads from
+/// the serving workers need no synchronization.
 class CongestionModel {
  public:
   explicit CongestionModel(uint64_t seed);

@@ -1,11 +1,35 @@
 #include "core/load_balancer.h"
 
+#include <thread>
+
 #include <gtest/gtest.h>
 
 #include "tests/test_util.h"
 
 namespace ecocharge {
 namespace {
+
+// The assignment ledger is global across serving workers; two threads
+// recording and reading concurrently must never lose an assignment (the
+// internal mutex makes every public method atomic).
+TEST(LoadBalancerTest, ConcurrentRecordAndReadKeepsEveryAssignment) {
+  ChargerLoadBalancer balancer;
+  constexpr size_t kPerThread = 5000;
+  auto work = [&](ChargerId charger) {
+    for (size_t i = 0; i < kPerThread; ++i) {
+      double start = static_cast<double>(i);
+      balancer.RecordAssignment(charger, start, 10.0);
+      balancer.PendingAt(charger, start + 5.0);
+      balancer.Penalty(charger, start + 5.0, 2);
+      if (i % 64 == 0) balancer.ExpireBefore(start - 100.0);
+    }
+  };
+  std::thread a(work, ChargerId{1});
+  std::thread b(work, ChargerId{2});
+  a.join();
+  b.join();
+  EXPECT_EQ(balancer.total_assignments(), 2 * kPerThread);
+}
 
 TEST(LoadBalancerTest, PendingWindowsCounted) {
   ChargerLoadBalancer balancer;

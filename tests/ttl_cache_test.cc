@@ -1,6 +1,9 @@
 #include "eis/ttl_cache.h"
 
+#include <atomic>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -74,6 +77,123 @@ TEST(TtlCacheTest, HitRateComputation) {
   stats.hits = 3;
   stats.misses = 1;
   EXPECT_DOUBLE_EQ(stats.HitRate(), 0.75);
+}
+
+TEST(TtlCacheTest, ShardCountRoundsUpToPowerOfTwo) {
+  TtlCache<int, int> cache(60.0, 1 << 10, /*num_shards=*/5);
+  EXPECT_EQ(cache.num_shards(), 8u);
+  TtlCache<int, int> one(60.0, 1 << 10, 0);
+  EXPECT_EQ(one.num_shards(), 1u);
+}
+
+TEST(TtlCacheTest, ShardedCacheBehavesLikeUnsharded) {
+  TtlCache<int, int> cache(60.0, 1 << 10, /*num_shards=*/8);
+  for (int i = 0; i < 100; ++i) cache.Put(i, i * 2, 0.0);
+  EXPECT_EQ(cache.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    auto hit = cache.Get(i, 30.0);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, i * 2);
+  }
+  cache.SweepExpired(100.0);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(AtomicCacheStatsTest, SnapshotReflectsCounts) {
+  AtomicCacheStats stats;
+  stats.AddHit();
+  stats.AddHit();
+  stats.AddMiss();
+  stats.AddExpiration();
+  CacheStats snapshot = stats.Snapshot();
+  EXPECT_EQ(snapshot.hits, 2u);
+  EXPECT_EQ(snapshot.misses, 1u);
+  EXPECT_EQ(snapshot.expirations, 1u);
+  EXPECT_DOUBLE_EQ(snapshot.HitRate(), 2.0 / 3.0);
+}
+
+// --- Concurrency: the sharded cache under racing Get/Put/expiry. -------
+//
+// Time is a shared atomic tick counter injected into every call — fully
+// deterministic ordering constraints, no sleeps: a reader that sampled
+// `now` can never observe a value older than now - ttl, no matter how
+// Put/Get/SweepExpired interleave.
+
+TEST(TtlCacheConcurrencyTest, NeverReturnsValueStaleBeyondTtl) {
+  constexpr double kTtl = 64.0;
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 4000;
+  constexpr int kKeys = 16;
+  TtlCache<int, double> cache(kTtl, 1 << 10, /*num_shards=*/4);
+  std::atomic<long> tick{0};
+  std::atomic<int> stale{0};
+
+  auto worker = [&](int tid) {
+    for (int i = 0; i < kOpsPerThread; ++i) {
+      double now = static_cast<double>(tick.fetch_add(1));
+      int key = (i * 7 + tid * 3) % kKeys;
+      if ((i + tid) % 3 == 0) {
+        // Value records its own insertion time, making staleness
+        // self-evident to any later reader.
+        cache.Put(key, now, now);
+      } else {
+        std::optional<double> hit = cache.Get(key, now);
+        // `now - *hit` can be negative (a racing Put with a later
+        // timestamp; fresh by definition) but never beyond the TTL.
+        if (hit.has_value() && now - *hit > kTtl) stale.fetch_add(1);
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) threads.emplace_back(worker, t);
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(stale.load(), 0);
+  // Relaxed atomic counters still sum exactly: every Get was either a hit
+  // or a miss.
+  CacheStats stats = cache.stats();
+  uint64_t gets = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kOpsPerThread; ++i) {
+      if ((i + t) % 3 != 0) ++gets;
+    }
+  }
+  EXPECT_EQ(stats.hits + stats.misses, gets);
+}
+
+TEST(TtlCacheConcurrencyTest, ConcurrentSweepNeverUnexpiresEntries) {
+  constexpr double kTtl = 32.0;
+  TtlCache<int, double> cache(kTtl, 1 << 10, /*num_shards=*/2);
+  std::atomic<long> tick{0};
+  std::atomic<int> stale{0};
+  std::atomic<bool> done{false};
+
+  std::thread sweeper([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      cache.SweepExpired(static_cast<double>(tick.load()));
+    }
+  });
+  std::thread mutator([&] {
+    for (int i = 0; i < 20000; ++i) {
+      double now = static_cast<double>(tick.fetch_add(1));
+      int key = i % 8;
+      if (i % 2 == 0) {
+        cache.Put(key, now, now);
+      } else {
+        std::optional<double> hit = cache.Get(key, now);
+        if (hit.has_value() && now - *hit > kTtl) stale.fetch_add(1);
+      }
+    }
+    done.store(true, std::memory_order_release);
+  });
+  mutator.join();
+  sweeper.join();
+  EXPECT_EQ(stale.load(), 0);
+
+  // Quiescent check: advance time past the TTL; everything must expire.
+  double late = static_cast<double>(tick.load()) + kTtl + 1.0;
+  cache.SweepExpired(late);
+  EXPECT_EQ(cache.size(), 0u);
 }
 
 }  // namespace

@@ -6,10 +6,13 @@
 //                  trajectories) to files
 //   rank           one-shot CkNN-EC query at a position/time
 //   simulate       run the renewable-hoarding fleet simulation
+//   serve          push a wire-protocol workload through the concurrent
+//                  OfferingServer and report throughput
 //   info           print library and dataset information
 //
 // Run with no arguments for usage.
 
+#include <chrono>
 #include <cstring>
 #include <iostream>
 #include <map>
@@ -18,8 +21,10 @@
 #include "core/baselines.h"
 #include "core/fleet_sim.h"
 #include "core/load_balancer.h"
+#include "core/workload.h"
 #include "graph/generators.h"
 #include "graph/io.h"
+#include "server/offering_server.h"
 #include "traj/io.h"
 
 namespace ecocharge {
@@ -81,6 +86,9 @@ int Usage() {
   simulate     --kind KIND [--vehicles N] [--chargers N] [--seed N]
                [--index BACKEND]
                (fleet hoarding: EcoCharge vs nearest-charger policies)
+  serve        --threads N [--kind KIND] [--chargers N] [--clients N]
+               [--requests N] [--queue-depth N] [--io-ms MS] [--seed N]
+               (--threads 0 = synchronous deterministic mode)
   info
 
   BACKEND: quadtree|rtree|grid|kdtree|linear (charger index; every backend
@@ -229,6 +237,70 @@ int Simulate(const Args& args) {
   return 0;
 }
 
+int Serve(const Args& args) {
+  auto env_result = BuildEnv(args);
+  if (!env_result.ok()) {
+    std::cerr << env_result.status() << "\n";
+    return 1;
+  }
+  auto env = std::move(env_result).MoveValueUnsafe();
+
+  WorkloadOptions wo;
+  wo.max_trips = 8;
+  wo.max_states = 16;
+  wo.seed = args.GetU64("seed", 42) ^ 0xBEEFULL;
+  std::vector<VehicleState> states = BuildWorkload(env->dataset, wo);
+  if (states.empty()) {
+    std::cerr << "no vehicle states in dataset\n";
+    return 1;
+  }
+
+  OfferingServerOptions server_opts;
+  server_opts.threads = static_cast<int>(args.GetU64("threads", 0));
+  server_opts.queue_depth = args.GetU64("queue-depth", 256);
+  server_opts.simulated_io_ms = args.GetDouble("io-ms", 0.0);
+  OfferingServer server(env.get(), ScoreWeights::AWE(), EcoChargeOptions{},
+                        server_opts);
+
+  uint64_t num_clients = args.GetU64("clients", 8);
+  uint64_t num_requests = args.GetU64("requests", 64);
+  auto start = std::chrono::steady_clock::now();
+  for (uint64_t i = 0; i < num_requests; ++i) {
+    OfferingRequest request;
+    request.state = states[i % states.size()];
+    request.k = 3;
+    Status st = server.SubmitWire(i % num_clients,
+                                  EncodeOfferingRequest(request),
+                                  [](const Result<std::string>&) {});
+    // kUnavailable = admission control shed the request; that is the
+    // intended overload behavior, not an error.
+    if (!st.ok() && st.code() != StatusCode::kUnavailable) {
+      std::cerr << st << "\n";
+      return 1;
+    }
+  }
+  server.Drain();
+  double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  OfferingServerStats stats = server.Stats();
+  EisCallStats eis = server.information_server().Snapshot();
+  std::cout << "served " << stats.served << "/" << num_requests
+            << " requests (" << stats.rejected << " shed) with "
+            << server.threads() << " worker thread(s) in " << elapsed_s
+            << " s\n"
+            << "throughput: " << (elapsed_s > 0.0
+                                      ? stats.served / elapsed_s
+                                      : 0.0)
+            << " req/s\n"
+            << "dynamic-cache adaptations: " << stats.cache_adaptations
+            << "\neis upstream calls: weather=" << eis.weather_api_calls
+            << " traffic=" << eis.traffic_api_calls
+            << " availability=" << eis.availability_api_calls << "\n";
+  return 0;
+}
+
 int Info() {
   std::cout << "ecocharge 1.0.0 — CkNN-EC / EcoCharge reproduction\n"
             << "datasets:";
@@ -252,6 +324,7 @@ int Main(int argc, char** argv) {
   if (command == "gen-dataset") return GenDataset(args);
   if (command == "rank") return Rank(args);
   if (command == "simulate") return Simulate(args);
+  if (command == "serve") return Serve(args);
   if (command == "info") return Info();
   return Usage();
 }
