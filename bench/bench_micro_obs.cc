@@ -1,0 +1,129 @@
+// Observability overhead gate: attaching the full metrics registry to a
+// ranker (phase-timer histograms + pipeline counters resolved, recording
+// live) must cost less than 2% on the steady-state cached query path —
+// the path a serving worker runs thousands of times per second.
+//
+// Two identically configured rankers serve the same cache-hit workload;
+// one has a MetricsRegistry attached, the other runs bare. Rounds are
+// interleaved (A, B, A, B, ...) so frequency scaling and cache pollution
+// hit both sides equally, and each side keeps its minimum-of-rounds —
+// the least-noisy estimate of the true cost. Exits 1 when the overhead
+// bound is violated, so the check can run in CI as a plain binary.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+
+#include "bench/bench_util.h"
+#include "core/ecocharge.h"
+#include "obs/metrics.h"
+#include "obs/statsz.h"
+
+namespace ecocharge {
+namespace {
+
+constexpr double kMaxOverheadFraction = 0.02;
+
+uint64_t RunRound(EcoChargeRanker& ranker,
+                  const std::vector<VehicleState>& states, int reps,
+                  QueryContext& ctx, OfferingTable* table) {
+  const auto start = std::chrono::steady_clock::now();
+  for (int rep = 0; rep < reps; ++rep) {
+    for (const VehicleState& state : states) {
+      ranker.RankInto(state, 3, ctx, table);
+    }
+  }
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+}
+
+int Main(int argc, char** argv) {
+  bench::BenchConfig cfg = bench::BenchConfig::FromArgs(argc, argv);
+  bench::PreparedWorld world = bench::Prepare(DatasetKind::kOldenburg, cfg);
+
+  EcoChargeOptions opts;
+  opts.radius_m = cfg.radius_m;
+  opts.q_distance_m = 1e9;  // every repeat query adapts the cached table
+  opts.cache_ttl_s = 1e12;
+  opts.refine_exact_derouting = false;
+
+  EcoChargeRanker bare(world.env->estimator.get(),
+                       world.env->charger_index.get(), ScoreWeights::AWE(),
+                       opts);
+  EcoChargeRanker instrumented(world.env->estimator.get(),
+                               world.env->charger_index.get(),
+                               ScoreWeights::AWE(), opts);
+  obs::MetricsRegistry registry;
+  instrumented.AttachMetrics(&registry);
+
+  QueryContext ctx;
+  OfferingTable table;
+  // Short rounds, many of them, alternating which side is measured first:
+  // container noise (frequency scaling, a neighbour finishing a build)
+  // arrives in bursts of seconds, so each side needs many independent
+  // ~50 ms windows for its minimum to land in a quiet one, and the
+  // alternation cancels any systematic first-runner advantage.
+  constexpr int kWarmupReps = 3;
+  constexpr int kRoundReps = 20;
+  constexpr int kRounds = 40;
+  const uint64_t queries_per_round =
+      static_cast<uint64_t>(kRoundReps) * world.states.size();
+
+  // Warm caches, contexts, and the registry's resolved handles.
+  RunRound(bare, world.states, kWarmupReps, ctx, &table);
+  RunRound(instrumented, world.states, kWarmupReps, ctx, &table);
+
+  uint64_t bare_ns = UINT64_MAX;
+  uint64_t instrumented_ns = UINT64_MAX;
+  for (int round = 0; round < kRounds; ++round) {
+    EcoChargeRanker* order[2] = {&bare, &instrumented};
+    if (round % 2 == 1) std::swap(order[0], order[1]);
+    for (EcoChargeRanker* ranker : order) {
+      uint64_t ns = RunRound(*ranker, world.states, kRoundReps, ctx, &table);
+      uint64_t& best = (ranker == &bare) ? bare_ns : instrumented_ns;
+      best = std::min(best, ns);
+    }
+  }
+
+  const double bare_per_query =
+      static_cast<double>(bare_ns) / static_cast<double>(queries_per_round);
+  const double instrumented_per_query =
+      static_cast<double>(instrumented_ns) /
+      static_cast<double>(queries_per_round);
+  const double overhead = instrumented_per_query / bare_per_query - 1.0;
+
+  TableWriter tw({"path", "ns/query", "overhead"});
+  tw.AddRow({"cached, bare", TableWriter::Fmt(bare_per_query, 1), "-"});
+  tw.AddRow({"cached, metrics attached",
+             TableWriter::Fmt(instrumented_per_query, 1),
+             TableWriter::Fmt(overhead * 100.0, 2) + "%"});
+  std::cout << "bench_micro_obs: cached query path, min of " << kRounds
+            << " interleaved rounds x " << queries_per_round
+            << " queries\n\n";
+  tw.RenderText(std::cout);
+
+  // The instrumentation actually fired — a no-op would pass trivially.
+  const obs::Histogram* refine = registry.FindHistogram("pipeline.refine_ns");
+  if (refine == nullptr || refine->Snapshot().count == 0) {
+    std::cerr << "FAIL: pipeline.refine_ns never recorded; the instrumented "
+                 "ranker was not actually instrumented\n";
+    return 1;
+  }
+
+  if (overhead >= kMaxOverheadFraction) {
+    std::cerr << "FAIL: metrics overhead " << overhead * 100.0
+              << "% exceeds the " << kMaxOverheadFraction * 100.0
+              << "% budget\n";
+    return 1;
+  }
+  std::cout << "\nPASS: overhead " << TableWriter::Fmt(overhead * 100.0, 2)
+            << "% < " << kMaxOverheadFraction * 100.0 << "% budget\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace ecocharge
+
+int main(int argc, char** argv) { return ecocharge::Main(argc, argv); }

@@ -18,6 +18,7 @@
 
 #include "bench/bench_util.h"
 #include "common/table_writer.h"
+#include "obs/metrics.h"
 #include "server/offering_server.h"
 
 using namespace ecocharge;
@@ -41,12 +42,6 @@ struct SweepResult {
   OfferingServerStats stats;
 };
 
-double Percentile(const std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0.0;
-  size_t index = static_cast<size_t>(q * static_cast<double>(sorted.size()));
-  return sorted[std::min(index, sorted.size() - 1)];
-}
-
 SweepResult RunPoint(bench::PreparedWorld& world, const SweepPoint& point,
                      size_t num_requests, size_t num_clients,
                      double default_io_ms) {
@@ -60,25 +55,15 @@ SweepResult RunPoint(bench::PreparedWorld& world, const SweepPoint& point,
                         EcoChargeOptions{}, opts);
 
   using Clock = std::chrono::steady_clock;
-  // One slot per request; the serving worker writes only its own slot, so
-  // concurrent completions never touch the same element.
-  std::vector<double> latency_ms(num_requests, -1.0);
-
   Clock::time_point start = Clock::now();
   for (size_t i = 0; i < num_requests; ++i) {
-    Clock::time_point submitted = Clock::now();
-    double* slot = &latency_ms[i];
     // Client c's s-th request uses workload state (c + s): every client
     // walks the trip states, so consecutive requests move the vehicle and
     // Dynamic Caching sees its realistic fresh/adapted mix.
     size_t state_index =
         (i % num_clients + i / num_clients) % world.states.size();
     Status st = server.Submit(i % num_clients, world.states[state_index], 3,
-        [slot, submitted](const OfferingTable&) {
-          *slot = std::chrono::duration<double, std::milli>(Clock::now() -
-                                                            submitted)
-                      .count();
-        });
+                              [](const OfferingTable&) {});
     // Shed requests (kUnavailable) are part of the admission-control
     // sweep; anything else is a bench bug.
     if (!st.ok() && st.code() != StatusCode::kUnavailable) {
@@ -91,20 +76,21 @@ SweepResult RunPoint(bench::PreparedWorld& world, const SweepPoint& point,
   result.elapsed_s =
       std::chrono::duration<double>(Clock::now() - start).count();
   result.stats = server.Stats();
-
-  std::vector<double> served;
-  served.reserve(num_requests);
-  for (double ms : latency_ms) {
-    if (ms >= 0.0) served.push_back(ms);
-  }
-  std::sort(served.begin(), served.end());
   result.qps = result.elapsed_s > 0.0
                    ? static_cast<double>(result.stats.served) /
                          result.elapsed_s
                    : 0.0;
-  result.p50_ms = Percentile(served, 0.50);
-  result.p95_ms = Percentile(served, 0.95);
-  result.p99_ms = Percentile(served, 0.99);
+
+  // Latency percentiles come from the server's own instrumentation — the
+  // same `server.request_latency_ns` histogram statsz exports (submission
+  // to completion, including queue wait).
+  const obs::Histogram* latency =
+      server.metrics().FindHistogram("server.request_latency_ns");
+  ECOCHARGE_CHECK(latency != nullptr);
+  obs::HistogramSnapshot snap = latency->Snapshot();
+  result.p50_ms = static_cast<double>(snap.ValueAtQuantile(0.50)) / 1e6;
+  result.p95_ms = static_cast<double>(snap.ValueAtQuantile(0.95)) / 1e6;
+  result.p99_ms = static_cast<double>(snap.ValueAtQuantile(0.99)) / 1e6;
   return result;
 }
 

@@ -6,6 +6,8 @@
 #   scripts/check.sh address         # ASan build in build-asan/
 #   scripts/check.sh undefined       # UBSan build in build-ubsan/
 #   scripts/check.sh thread          # TSan build in build-tsan/
+#   scripts/check.sh obs             # observability gate: instrumented
+#                                    # suite under TSan + overhead bench
 #
 # Extra arguments after the sanitizer are forwarded to ctest, e.g.
 #   scripts/check.sh address -R QueryContext
@@ -14,8 +16,18 @@ set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 sanitize="${1:-}"
+obs_gate=""
 case "${sanitize}" in
   address|undefined|thread) shift ;;
+  obs)
+    # The metrics hot path is relaxed atomics shared across worker
+    # threads; run every test that exercises it under TSan, then hold the
+    # instrumentation to its overhead budget with the asserting bench.
+    shift
+    sanitize="thread"
+    obs_gate=1
+    set -- -R 'Metrics|Statsz|TtlCache|BoundedQueue|OfferingServer|InformationServer|QueryContext|Continuous' "$@"
+    ;;
   "") ;;
   *) sanitize="" ;;  # first arg is a ctest flag, not a sanitizer
 esac
@@ -33,3 +45,13 @@ cmake -B "${build_dir}" -S "${repo_root}" \
   -DECOCHARGE_SANITIZE="${sanitize}"
 cmake --build "${build_dir}" -j "$(nproc)"
 ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" "$@"
+
+if [[ -n "${obs_gate}" ]]; then
+  # Overhead numbers only mean anything without a sanitizer, so the bench
+  # runs from the plain Release tree.
+  plain_dir="${repo_root}/build"
+  cmake -B "${plain_dir}" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE=Release -DECOCHARGE_SANITIZE=
+  cmake --build "${plain_dir}" -j "$(nproc)" --target bench_micro_obs
+  "${plain_dir}/bench/bench_micro_obs"
+fi

@@ -27,15 +27,20 @@ class RunningStats {
   double min() const { return n_ ? min_ : 0.0; }
   double max() const { return n_ ? max_ : 0.0; }
 
-  /// Population variance; 0 for fewer than two samples.
+  /// Sample (Bessel-corrected, n - 1) variance; 0 for fewer than two
+  /// samples. Matches stddev(): stddev() == sqrt(variance()) always.
   double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+
+  /// Population (divide-by-n) variance, for callers treating the data as
+  /// the full population rather than a sample.
+  double population_variance() const {
     return n_ > 1 ? m2_ / static_cast<double>(n_) : 0.0;
   }
 
-  /// Sample (Bessel-corrected) standard deviation.
-  double stddev() const {
-    return n_ > 1 ? std::sqrt(m2_ / static_cast<double>(n_ - 1)) : 0.0;
-  }
+  /// Sample (Bessel-corrected) standard deviation, sqrt(variance()).
+  double stddev() const { return std::sqrt(variance()); }
 
   /// Merges another accumulator into this one (parallel Welford).
   void Merge(const RunningStats& other) {

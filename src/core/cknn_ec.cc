@@ -29,6 +29,21 @@ bool MidpointBetter(const ScoredCandidate& a, const ScoredCandidate& b) {
 
 }  // namespace
 
+PipelineMetrics PipelineMetrics::FromRegistry(obs::MetricsRegistry* registry) {
+  PipelineMetrics m;
+  if (!registry) return m;
+  m.filter_ns = registry->GetHistogram("pipeline.filter_ns", "ns");
+  m.score_ns = registry->GetHistogram("pipeline.score_ns", "ns");
+  m.refine_ns = registry->GetHistogram("pipeline.refine_ns", "ns");
+  m.candidates_scored =
+      registry->GetCounter("pipeline.candidates_scored", "candidates");
+  m.candidates_pruned =
+      registry->GetCounter("pipeline.candidates_pruned", "candidates");
+  m.exact_refinements =
+      registry->GetCounter("pipeline.exact_refinements", "refinements");
+  return m;
+}
+
 void IterativeDeepeningIntersection(
     const std::vector<ScoredCandidate>& candidates, size_t k,
     QueryContext* ctx, std::vector<ScoredCandidate>* out) {
@@ -88,6 +103,7 @@ CknnEcProcessor::CknnEcProcessor(EcEstimator* estimator,
 
 const std::vector<ChargerId>& CknnEcProcessor::FilterCandidates(
     const Point& position, QueryContext* ctx) const {
+  obs::ScopedTimer timer(metrics_.filter_ns);
   charger_index_->RangeSearchInto(position, options_.radius_m, &ctx->spatial,
                                   &ctx->neighbors);
   ctx->candidates.clear();
@@ -106,6 +122,7 @@ std::vector<ChargerId> CknnEcProcessor::FilterCandidates(
 const std::vector<ScoredCandidate>& CknnEcProcessor::ScoreCandidates(
     const VehicleState& state, const std::vector<ChargerId>& candidate_ids,
     const ScoreWeights& weights, QueryContext* ctx) {
+  obs::ScopedTimer timer(metrics_.score_ns);
   const std::vector<EvCharger>& fleet = estimator_->fleet();
   std::vector<ScoredCandidate>& scored = ctx->scored;
   scored.clear();
@@ -118,6 +135,9 @@ const std::vector<ScoredCandidate>& CknnEcProcessor::ScoreCandidates(
                                           options_.derouting_norm_m);
     c.score = ComputeScorePair(c.ecs, weights);
     scored.push_back(c);
+  }
+  if (metrics_.candidates_scored && !scored.empty()) {
+    metrics_.candidates_scored->Add(scored.size());
   }
   return scored;
 }
@@ -136,6 +156,7 @@ void CknnEcProcessor::RefineAndRank(const VehicleState& state,
                                     bool refine_exact_derouting,
                                     QueryContext* ctx,
                                     std::vector<OfferingEntry>* out) {
+  obs::ScopedTimer timer(metrics_.refine_ns);
   // Intersection over a pool slightly deeper than k, so the exact-derouting
   // refinement has alternatives to promote.
   size_t pool =
@@ -155,6 +176,10 @@ void CknnEcProcessor::RefineAndRank(const VehicleState& state,
     for (uint32_t idx : order) selected.push_back((*scored)[idx]);
   }
 
+  if (metrics_.candidates_pruned && scored->size() > selected.size()) {
+    metrics_.candidates_pruned->Add(scored->size() - selected.size());
+  }
+
   const std::vector<EvCharger>& fleet = estimator_->fleet();
   out->clear();
   out->reserve(selected.size());
@@ -164,6 +189,7 @@ void CknnEcProcessor::RefineAndRank(const VehicleState& state,
       c.ecs = estimator_->EstimateWithExactDerouting(
           state, fleet[c.charger_id], options_.derouting_norm_m);
       c.score = ComputeScorePair(c.ecs, weights);
+      if (metrics_.exact_refinements) metrics_.exact_refinements->Add();
     }
     OfferingEntry e;
     e.charger_id = c.charger_id;

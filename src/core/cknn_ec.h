@@ -7,9 +7,29 @@
 #include "core/ec_estimator.h"
 #include "core/offering_table.h"
 #include "core/query_context.h"
+#include "obs/metrics.h"
 #include "spatial/spatial_index.h"
 
 namespace ecocharge {
+
+/// \brief Resolved handles for the query pipeline's phase instrumentation.
+///
+/// All pointers are borrowed from a MetricsRegistry (which must outlive the
+/// processor) and may individually be null; a default-constructed instance
+/// disables instrumentation entirely. Handles resolve once at attach time,
+/// so the per-query cost is a null check plus a relaxed atomic op per phase
+/// — nothing allocates on the query path.
+struct PipelineMetrics {
+  obs::Histogram* filter_ns = nullptr;  ///< filtering-phase wall time
+  obs::Histogram* score_ns = nullptr;   ///< interval-EC scoring wall time
+  obs::Histogram* refine_ns = nullptr;  ///< refinement-phase wall time
+  obs::Counter* candidates_scored = nullptr;  ///< survivors of filtering
+  obs::Counter* candidates_pruned = nullptr;  ///< dropped by eq. 6 ranking
+  obs::Counter* exact_refinements = nullptr;  ///< network-exact upgrades
+
+  /// Resolves the canonical `pipeline.*` names on `registry`.
+  static PipelineMetrics FromRegistry(obs::MetricsRegistry* registry);
+};
 
 /// \brief Eq. (6): intersection of the top-d rankings by SC_min and by
 /// SC_max, deepened iteratively until k common chargers are found (or the
@@ -114,10 +134,25 @@ class CknnEcProcessor {
 
   const CknnEcOptions& options() const { return options_; }
 
+  /// Installs phase timers and candidate counters (copied by value; the
+  /// histograms/counters they point at must outlive the processor). A
+  /// default-constructed PipelineMetrics turns instrumentation back off.
+  void set_metrics(const PipelineMetrics& metrics) { metrics_ = metrics; }
+
+  /// Convenience: resolve the canonical `pipeline.*` names on `registry`
+  /// and install them; null detaches.
+  void AttachMetrics(obs::MetricsRegistry* registry) {
+    metrics_ = registry ? PipelineMetrics::FromRegistry(registry)
+                        : PipelineMetrics{};
+  }
+
+  const PipelineMetrics& metrics() const { return metrics_; }
+
  private:
   EcEstimator* estimator_;
   const SpatialIndex* charger_index_;
   CknnEcOptions options_;
+  PipelineMetrics metrics_;
 };
 
 }  // namespace ecocharge

@@ -108,6 +108,10 @@ EcIntervals EcEstimator::EstimateIntervals(const VehicleState& state,
   AvailabilityForecast avail =
       eis_->GetAvailability(charger, state.time, eta_time);
 
+  if (level_estimates_) level_estimates_->Add();
+  if (availability_estimates_) availability_estimates_->Add();
+  if (derouting_estimates_) derouting_estimates_->Add();
+
   EcIntervals ecs;
   ecs.level = Interval::FromUnordered(
       NormalizeEnergy(energy.min_kwh, state.charge_window_s, eta_time),
@@ -127,6 +131,7 @@ void EcEstimator::ReviseDerouting(const VehicleState& state,
   CongestionModel::Band band =
       eis_->GetTraffic(RoadClass::kArterial, state.time, state.time);
   DeroutingEstimate der = derouting_.Estimate(q, charger, band);
+  if (derouting_estimates_) derouting_estimates_->Add();
   ecs->derouting = Interval::FromUnordered(
       NormalizeDerouting(der.extra_distance_min_m, derouting_norm_m),
       NormalizeDerouting(der.extra_distance_max_m, derouting_norm_m));
@@ -138,6 +143,7 @@ EcIntervals EcEstimator::EstimateWithExactDerouting(const VehicleState& state,
                                                     double derouting_norm_m) {
   EcIntervals ecs = EstimateIntervals(state, charger, derouting_norm_m);
   DeroutingEstimate exact = derouting_.Exact(MakeQuery(state), charger);
+  if (exact_derouting_estimates_) exact_derouting_estimates_->Add();
   double d = NormalizeDerouting(exact.extra_distance_min_m, derouting_norm_m);
   ecs.derouting = Interval::Exact(d);
   ecs.eta_s = exact.eta_s;
@@ -175,6 +181,26 @@ EcTruth EcEstimator::ReferenceComponents(const VehicleState& state,
       eis_->GetAvailability(charger, state.time, arrival);
   ref.availability = (avail.min + avail.max) / 2.0;
   return ref;
+}
+
+void EcEstimator::AttachMetrics(obs::MetricsRegistry* registry) {
+  if (!registry) {
+    level_estimates_ = nullptr;
+    availability_estimates_ = nullptr;
+    derouting_estimates_ = nullptr;
+    exact_derouting_estimates_ = nullptr;
+    if (owned_eis_) owned_eis_->AttachMetrics(nullptr);
+    return;
+  }
+  level_estimates_ =
+      registry->GetCounter("estimator.estimates.level", "estimates");
+  availability_estimates_ =
+      registry->GetCounter("estimator.estimates.availability", "estimates");
+  derouting_estimates_ =
+      registry->GetCounter("estimator.estimates.derouting", "estimates");
+  exact_derouting_estimates_ = registry->GetCounter(
+      "estimator.estimates.exact_derouting", "estimates");
+  if (owned_eis_) owned_eis_->AttachMetrics(registry);
 }
 
 double EcEstimator::ReferenceScore(const VehicleState& state,

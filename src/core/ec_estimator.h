@@ -120,6 +120,15 @@ class EcEstimator {
   InformationServer& information_server() { return *eis_; }
   const EcEstimatorOptions& options() const { return options_; }
 
+  /// Wires per-EC estimate counters (`estimator.estimates.{level,
+  /// availability,derouting}` plus `estimator.estimates.exact_derouting`)
+  /// onto `registry`; null detaches. When this estimator owns its private
+  /// InformationServer, the EIS is wired too (a borrowed shared EIS is
+  /// attached by whoever owns it, exactly once). Counter handles resolve
+  /// here, not on the estimate path, so steady-state cost is one branch
+  /// plus a relaxed fetch_add per component.
+  void AttachMetrics(obs::MetricsRegistry* registry);
+
  private:
   DeroutingQuery MakeQuery(const VehicleState& state) const;
 
@@ -140,6 +149,13 @@ class EcEstimator {
   InformationServer* eis_;
   size_t best_site_index_ = 0;  // fleet index maximizing min(rate, pv)
   std::unordered_map<uint64_t, double> max_energy_cache_;
+
+  // Observability (null until AttachMetrics): one count per estimated
+  // component, so statsz shows how much L/A/D estimation work each run did.
+  obs::Counter* level_estimates_ = nullptr;
+  obs::Counter* availability_estimates_ = nullptr;
+  obs::Counter* derouting_estimates_ = nullptr;
+  obs::Counter* exact_derouting_estimates_ = nullptr;
 };
 
 }  // namespace ecocharge

@@ -57,6 +57,19 @@ class EcoChargeRanker : public Ranker {
   const DynamicCache& cache() const { return cache_; }
   const EcoChargeOptions& options() const { return options_; }
 
+  /// Installs phase timers/counters on the underlying CkNN-EC processor
+  /// (both the full-regeneration and the cached adaptation path record
+  /// through the same handles).
+  void set_metrics(const PipelineMetrics& metrics) {
+    processor_.set_metrics(metrics);
+  }
+
+  /// Resolves the canonical `pipeline.*` names on `registry` and installs
+  /// them; null detaches.
+  void AttachMetrics(obs::MetricsRegistry* registry) {
+    processor_.AttachMetrics(registry);
+  }
+
  private:
   EcEstimator* estimator_;
   ScoreWeights weights_;

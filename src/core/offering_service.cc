@@ -18,8 +18,17 @@ OfferingService::ClientState& OfferingService::ClientFor(uint64_t client_id) {
   if (!client.ranker) {
     client.ranker = std::make_unique<EcoChargeRanker>(
         estimator_, charger_index_, weights_, options_);
+    client.ranker->set_metrics(pipeline_metrics_);
   }
   return client;
+}
+
+void OfferingService::AttachMetrics(obs::MetricsRegistry* registry) {
+  pipeline_metrics_ =
+      registry ? PipelineMetrics::FromRegistry(registry) : PipelineMetrics{};
+  for (auto& [id, client] : clients_) {
+    if (client.ranker) client.ranker->set_metrics(pipeline_metrics_);
+  }
 }
 
 void OfferingService::RankInto(uint64_t client_id, const VehicleState& state,

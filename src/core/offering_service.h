@@ -54,6 +54,14 @@ class OfferingService {
   size_t active_clients() const { return clients_.size(); }
   const OfferingServiceStats& stats() const { return stats_; }
 
+  /// Resolves the `pipeline.*` handles on `registry` and installs them on
+  /// every client ranker — including ones created lazily later, so the
+  /// attach order relative to client arrival doesn't matter. Null detaches.
+  /// All clients (and, in the concurrent runtime, all sibling services)
+  /// record into the same handles: the metrics describe the service, not
+  /// one vehicle.
+  void AttachMetrics(obs::MetricsRegistry* registry);
+
  private:
   struct ClientState {
     std::unique_ptr<EcoChargeRanker> ranker;
@@ -69,6 +77,7 @@ class OfferingService {
   double client_ttl_s_;
   std::unordered_map<uint64_t, ClientState> clients_;
   OfferingServiceStats stats_;
+  PipelineMetrics pipeline_metrics_;  // applied to every client ranker
 
   // Serving scratch, shared across clients (the service is single-threaded
   // per instance): pipeline buffers plus the reply table Handle() encodes.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 namespace ecocharge {
 
@@ -45,6 +46,7 @@ EnergyForecast InformationServer::GetEnergyForecast(const EvCharger& charger,
   uint64_t key = MixKey(charger.id + 1, Bucket(target), Bucket(now));
   if (auto cached = weather_cache_.Get(key, now)) return *cached;
   weather_calls_.fetch_add(1, std::memory_order_relaxed);
+  if (weather_calls_mirror_) weather_calls_mirror_->Add();
   EnergyForecast f =
       energy_->ForecastEnergyKwh(charger, Snap(now), Snap(target), window_s);
   weather_cache_.Put(key, f, now);
@@ -56,6 +58,7 @@ AvailabilityForecast InformationServer::GetAvailability(
   uint64_t key = MixKey(charger.id + 1, Bucket(target), Bucket(now));
   if (auto cached = availability_cache_.Get(key, now)) return *cached;
   availability_calls_.fetch_add(1, std::memory_order_relaxed);
+  if (availability_calls_mirror_) availability_calls_mirror_->Add();
   AvailabilityForecast f =
       availability_->Forecast(charger, Snap(now), Snap(target));
   availability_cache_.Put(key, f, now);
@@ -69,10 +72,35 @@ CongestionModel::Band InformationServer::GetTraffic(RoadClass road_class,
                         Bucket(target), Bucket(now));
   if (auto cached = traffic_cache_.Get(key, now)) return *cached;
   traffic_calls_.fetch_add(1, std::memory_order_relaxed);
+  if (traffic_calls_mirror_) traffic_calls_mirror_->Add();
   CongestionModel::Band band =
       congestion_->ForecastSpeedFactor(road_class, Snap(now), Snap(target));
   traffic_cache_.Put(key, band, now);
   return band;
+}
+
+void InformationServer::AttachMetrics(obs::MetricsRegistry* registry) {
+  if (!registry) {
+    weather_calls_mirror_ = nullptr;
+    availability_calls_mirror_ = nullptr;
+    traffic_calls_mirror_ = nullptr;
+    weather_cache_.AttachCounters(nullptr, nullptr, nullptr);
+    availability_cache_.AttachCounters(nullptr, nullptr, nullptr);
+    traffic_cache_.AttachCounters(nullptr, nullptr, nullptr);
+    return;
+  }
+  auto wire = [registry](const std::string& source, auto& cache,
+                         obs::Counter** calls) {
+    *calls = registry->GetCounter("eis." + source + ".calls", "calls");
+    cache.AttachCounters(
+        registry->GetCounter("eis." + source + ".cache.hits", "lookups"),
+        registry->GetCounter("eis." + source + ".cache.misses", "lookups"),
+        registry->GetCounter("eis." + source + ".cache.expirations",
+                             "entries"));
+  };
+  wire("weather", weather_cache_, &weather_calls_mirror_);
+  wire("availability", availability_cache_, &availability_calls_mirror_);
+  wire("traffic", traffic_cache_, &traffic_calls_mirror_);
 }
 
 EisCallStats InformationServer::Snapshot() const {

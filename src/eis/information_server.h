@@ -80,6 +80,13 @@ class InformationServer {
   /// Legacy name for Snapshot().
   EisCallStats Stats() const { return Snapshot(); }
 
+  /// Wires the upstream-call counters and the three response caches onto
+  /// `registry` under the `eis.{weather,availability,traffic}.*` names,
+  /// so a statsz export reports live call volumes and hit rates. Wire
+  /// once, before serving traffic starts; the registry must outlive this
+  /// server's use of it.
+  void AttachMetrics(obs::MetricsRegistry* registry);
+
  private:
   SolarEnergyService* energy_;
   const AvailabilityService* availability_;
@@ -95,6 +102,12 @@ class InformationServer {
   std::atomic<uint64_t> weather_calls_{0};
   std::atomic<uint64_t> availability_calls_{0};
   std::atomic<uint64_t> traffic_calls_{0};
+
+  // Registry mirrors (null until AttachMetrics): the internal atomics
+  // stay authoritative for Snapshot(); these feed the statsz export.
+  obs::Counter* weather_calls_mirror_ = nullptr;
+  obs::Counter* availability_calls_mirror_ = nullptr;
+  obs::Counter* traffic_calls_mirror_ = nullptr;
 };
 
 }  // namespace ecocharge

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/simtime.h"
+#include "obs/metrics.h"
 
 namespace ecocharge {
 
@@ -63,6 +64,14 @@ class AtomicCacheStats {
 ///
 /// Entries expire `ttl_seconds` after insertion (the paper's caching
 /// hypothesis: L, A, D responses naturally invalidate after a time point t).
+///
+/// Expiry boundary (pinned, uniform across every path): an entry inserted
+/// at time t is fresh for any lookup with `now <= t + ttl` — the exact
+/// deadline instant is a HIT — and expired strictly after. Get's freshness
+/// check, Put's capacity sweep, and SweepExpired all use the same strict
+/// `age > ttl` comparison, so which shard a key hashes to can never change
+/// whether a boundary lookup hits (ttl_cache_test locks this in).
+///
 /// A simple size cap evicts by sweeping expired entries first, then
 /// clearing; the workloads here are small enough that LRU bookkeeping would
 /// be overhead without benefit.
@@ -86,22 +95,27 @@ class TtlCache {
         max_entries_per_shard_(
             std::max<size_t>(1, max_entries / shards_.size())) {}
 
-  /// Returns the cached value if present and fresh at `now`.
+  /// Returns the cached value if present and fresh at `now` (fresh means
+  /// `now - inserted_at <= ttl`; the exact deadline is a hit).
   std::optional<Value> Get(const Key& key, SimTime now) {
     Shard& shard = ShardFor(key);
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.map.find(key);
     if (it == shard.map.end()) {
       stats_.AddMiss();
+      if (misses_mirror_) misses_mirror_->Add();
       return std::nullopt;
     }
     if (now - it->second.inserted_at > ttl_seconds_) {
       stats_.AddExpiration();
       stats_.AddMiss();
+      if (expirations_mirror_) expirations_mirror_->Add();
+      if (misses_mirror_) misses_mirror_->Add();
       shard.map.erase(it);
       return std::nullopt;
     }
     stats_.AddHit();
+    if (hits_mirror_) hits_mirror_->Add();
     return it->second.value;
   }
 
@@ -146,6 +160,18 @@ class TtlCache {
   /// Counter snapshot (by value; safe to call concurrently with traffic).
   CacheStats stats() const { return stats_.Snapshot(); }
 
+  /// Mirrors every hit/miss/expiry onto registry-owned counters (in
+  /// addition to the internal stats() accounting) so a statsz exporter
+  /// sees live cache rates. Null pointers detach. Wire before serving
+  /// traffic starts; the counters are not owned and must outlive the
+  /// cache's use of them.
+  void AttachCounters(obs::Counter* hits, obs::Counter* misses,
+                      obs::Counter* expirations) {
+    hits_mirror_ = hits;
+    misses_mirror_ = misses;
+    expirations_mirror_ = expirations;
+  }
+
  private:
   struct Entry {
     Value value;
@@ -186,6 +212,9 @@ class TtlCache {
   size_t shard_mask_;
   size_t max_entries_per_shard_;
   AtomicCacheStats stats_;
+  obs::Counter* hits_mirror_ = nullptr;
+  obs::Counter* misses_mirror_ = nullptr;
+  obs::Counter* expirations_mirror_ = nullptr;
 };
 
 }  // namespace ecocharge

@@ -1,0 +1,141 @@
+#include "obs/statsz.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+namespace ecocharge {
+namespace obs {
+
+namespace {
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string FmtDouble(double v) {
+  if (!std::isfinite(v)) return "null";  // JSON has no NaN/Inf
+  std::ostringstream os;
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    os << static_cast<long long>(v);
+  } else {
+    os.precision(10);
+    os << v;
+  }
+  return os.str();
+}
+
+/// Derived hit rates: every "X.hits" counter with a sibling "X.misses"
+/// yields ("X.hit_rate", hits / (hits + misses)).
+std::vector<std::pair<std::string, double>> DerivedRates(
+    const std::vector<std::pair<std::string, uint64_t>>& counters) {
+  std::vector<std::pair<std::string, double>> rates;
+  for (const auto& [name, hits] : counters) {
+    constexpr std::string_view kHits = ".hits";
+    if (name.size() <= kHits.size() ||
+        name.compare(name.size() - kHits.size(), kHits.size(), kHits) != 0) {
+      continue;
+    }
+    std::string base = name.substr(0, name.size() - kHits.size());
+    auto misses = std::find_if(counters.begin(), counters.end(),
+                               [&](const auto& c) {
+                                 return c.first == base + ".misses";
+                               });
+    if (misses == counters.end()) continue;
+    uint64_t total = hits + misses->second;
+    rates.emplace_back(base + ".hit_rate",
+                       total ? static_cast<double>(hits) /
+                                   static_cast<double>(total)
+                             : 0.0);
+  }
+  return rates;
+}
+
+}  // namespace
+
+std::string StatszText(const MetricsRegistry& registry) {
+  std::ostringstream os;
+  auto counters = registry.CounterValues();
+  auto gauges = registry.GaugeValues();
+  auto histograms = registry.HistogramValues();
+  size_t width = 0;
+  for (const auto& [name, v] : counters) width = std::max(width, name.size());
+  for (const auto& [name, v] : gauges) width = std::max(width, name.size());
+  for (const auto& h : histograms) width = std::max(width, h.name.size());
+
+  for (const auto& [name, value] : counters) {
+    os << "counter   " << std::left << std::setw(static_cast<int>(width))
+       << name << "  " << value << "\n";
+  }
+  for (const auto& [name, rate] : DerivedRates(counters)) {
+    os << "rate      " << std::left << std::setw(static_cast<int>(width))
+       << name << "  " << FmtDouble(rate) << "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    os << "gauge     " << std::left << std::setw(static_cast<int>(width))
+       << name << "  " << value << "\n";
+  }
+  for (const auto& h : histograms) {
+    os << "histogram " << std::left << std::setw(static_cast<int>(width))
+       << h.name << "  count=" << h.snapshot.count
+       << " mean=" << FmtDouble(h.snapshot.Mean())
+       << " p50=" << h.snapshot.ValueAtQuantile(0.50)
+       << " p95=" << h.snapshot.ValueAtQuantile(0.95)
+       << " p99=" << h.snapshot.ValueAtQuantile(0.99)
+       << " max=" << h.snapshot.max;
+    if (!h.unit.empty()) os << " unit=" << h.unit;
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string StatszJson(const MetricsRegistry& registry) {
+  std::ostringstream os;
+  auto counters = registry.CounterValues();
+  auto gauges = registry.GaugeValues();
+  auto histograms = registry.HistogramValues();
+
+  os << "{\n  \"counters\": {";
+  for (size_t i = 0; i < counters.size(); ++i) {
+    os << (i ? ", " : "") << "\n    \"" << EscapeJson(counters[i].first)
+       << "\": " << counters[i].second;
+  }
+  os << (counters.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
+  for (size_t i = 0; i < gauges.size(); ++i) {
+    os << (i ? ", " : "") << "\n    \"" << EscapeJson(gauges[i].first)
+       << "\": " << gauges[i].second;
+  }
+  auto rates = DerivedRates(counters);
+  os << (gauges.empty() ? "" : "\n  ") << "},\n  \"rates\": {";
+  for (size_t i = 0; i < rates.size(); ++i) {
+    os << (i ? ", " : "") << "\n    \"" << EscapeJson(rates[i].first)
+       << "\": " << FmtDouble(rates[i].second);
+  }
+  os << (rates.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
+  for (size_t i = 0; i < histograms.size(); ++i) {
+    const auto& h = histograms[i];
+    os << (i ? ", " : "") << "\n    \"" << EscapeJson(h.name) << "\": {"
+       << "\"unit\": \"" << EscapeJson(h.unit) << "\""
+       << ", \"count\": " << h.snapshot.count
+       << ", \"mean\": " << FmtDouble(h.snapshot.Mean())
+       << ", \"min\": " << h.snapshot.min
+       << ", \"p50\": " << h.snapshot.ValueAtQuantile(0.50)
+       << ", \"p95\": " << h.snapshot.ValueAtQuantile(0.95)
+       << ", \"p99\": " << h.snapshot.ValueAtQuantile(0.99)
+       << ", \"max\": " << h.snapshot.max << "}";
+  }
+  os << (histograms.empty() ? "" : "\n  ") << "}\n}\n";
+  return os.str();
+}
+
+}  // namespace obs
+}  // namespace ecocharge

@@ -1,0 +1,37 @@
+#ifndef ECOCHARGE_OBS_STATSZ_H_
+#define ECOCHARGE_OBS_STATSZ_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace ecocharge {
+namespace obs {
+
+/// \brief Human-readable statsz report: one aligned line per metric,
+/// histograms expanded to count/mean/p50/p95/p99/max. Safe to call
+/// concurrently with serving traffic (values are relaxed snapshots).
+std::string StatszText(const MetricsRegistry& registry);
+
+/// \brief Machine-readable statsz report:
+///
+/// ```json
+/// {
+///   "counters":   { "server.requests.served": 480, ... },
+///   "gauges":     { "server.queue.depth": 0, ... },
+///   "rates":      { "eis.weather.cache.hit_rate": 0.93, ... },
+///   "histograms": { "server.request_latency_ns":
+///                     {"unit": "ns", "count": 480, "mean": ...,
+///                      "min": ..., "p50": ..., "p95": ..., "p99": ...,
+///                      "max": ...}, ... }
+/// }
+/// ```
+///
+/// `rates` is derived: for every counter pair `X.hits` / `X.misses` a
+/// `X.hit_rate` in [0, 1] is emitted (0 when there was no traffic).
+std::string StatszJson(const MetricsRegistry& registry);
+
+}  // namespace obs
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_OBS_STATSZ_H_

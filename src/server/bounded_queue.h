@@ -41,6 +41,18 @@ class BoundedQueue {
     return true;
   }
 
+  /// Lvalue form: copies `item` into the queue (the original is left
+  /// untouched, so a producer can retry or re-route a rejected submit).
+  bool TryPush(const T& item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(item);
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
   /// Blocks until an item is available (returned) or the queue is closed
   /// and drained (nullopt).
   std::optional<T> Pop() {

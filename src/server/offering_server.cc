@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <string>
 #include <utility>
 
 #include "core/protocol.h"
@@ -18,6 +19,19 @@ OfferingServer::OfferingServer(Environment* env, const ScoreWeights& weights,
       env_->energy.get(), env_->availability.get(), env_->congestion.get(),
       eis_options);
 
+  // All instrument registration happens here, before any worker thread
+  // exists: the hot path only ever touches pre-resolved handles.
+  accepted_ = metrics_.GetCounter("server.requests.accepted", "requests");
+  rejected_ = metrics_.GetCounter("server.requests.rejected", "requests");
+  served_ = metrics_.GetCounter("server.requests.served", "requests");
+  malformed_ = metrics_.GetCounter("server.requests.malformed", "requests");
+  cache_adaptations_ =
+      metrics_.GetCounter("server.requests.cache_adaptations", "tables");
+  queue_depth_total_ = metrics_.GetGauge("server.queue.depth", "requests");
+  request_latency_ =
+      metrics_.GetHistogram("server.request_latency_ns", "ns");
+  shared_eis_->AttachMetrics(&metrics_);
+
   size_t num_workers = threads_ == 0 ? 1 : static_cast<size_t>(threads_);
   workers_.reserve(num_workers);
   for (size_t i = 0; i < num_workers; ++i) {
@@ -32,6 +46,10 @@ OfferingServer::OfferingServer(Environment* env, const ScoreWeights& weights,
     worker->service = std::make_unique<OfferingService>(
         worker->estimator.get(), env_->charger_index.get(), weights,
         eco_options, options_.client_ttl_s);
+    worker->estimator->AttachMetrics(&metrics_);
+    worker->service->AttachMetrics(&metrics_);
+    worker->queue_depth = metrics_.GetGauge(
+        "server.queue.depth.w" + std::to_string(i), "requests");
     workers_.push_back(std::move(worker));
   }
   if (threads_ > 0) {
@@ -75,23 +93,26 @@ Status OfferingServer::SubmitWire(uint64_t client_id, std::string wire,
 }
 
 Status OfferingServer::SubmitRequest(Request request) {
+  request.submitted_at = std::chrono::steady_clock::now();
   if (shutdown_.load(std::memory_order_acquire)) {
-    rejected_.fetch_add(1, std::memory_order_relaxed);
+    rejected_->Add();
     return Status::FailedPrecondition("offering server is shut down");
   }
   Worker& worker = *workers_[WorkerIndexFor(request.client_id)];
   if (threads_ == 0) {
-    accepted_.fetch_add(1, std::memory_order_relaxed);
+    accepted_->Add();
     Serve(worker, request);
     return Status::OK();
   }
   in_flight_.fetch_add(1, std::memory_order_relaxed);
   if (!worker.queue->TryPush(std::move(request))) {
     in_flight_.fetch_sub(1, std::memory_order_relaxed);
-    rejected_.fetch_add(1, std::memory_order_relaxed);
+    rejected_->Add();
     return Status::Unavailable("worker queue full");
   }
-  accepted_.fetch_add(1, std::memory_order_relaxed);
+  accepted_->Add();
+  queue_depth_total_->Add(1);
+  worker.queue_depth->Add(1);
   return Status::OK();
 }
 
@@ -103,19 +124,21 @@ void OfferingServer::Serve(Worker& worker, Request& request) {
   if (request.is_wire) {
     Result<std::string> reply =
         worker.service->Handle(request.client_id, request.wire);
-    if (!reply.ok()) malformed_.fetch_add(1, std::memory_order_relaxed);
+    if (!reply.ok()) malformed_->Add();
     if (request.on_reply) request.on_reply(reply);
   } else {
     // worker.table is the worker's long-lived reply buffer (like the
     // QueryContext, it reaches its high-water capacity and stays there).
     worker.service->RankInto(request.client_id, request.state, request.k,
                              &worker.table);
-    if (worker.table.adapted_from_cache) {
-      cache_adaptations_.fetch_add(1, std::memory_order_relaxed);
-    }
+    if (worker.table.adapted_from_cache) cache_adaptations_->Add();
     if (request.on_table) request.on_table(worker.table);
   }
-  served_.fetch_add(1, std::memory_order_relaxed);
+  served_->Add();
+  auto elapsed = std::chrono::steady_clock::now() - request.submitted_at;
+  request_latency_->Record(static_cast<uint64_t>(std::max<int64_t>(
+      0, std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+             .count())));
 }
 
 void OfferingServer::FinishOne() {
@@ -127,6 +150,8 @@ void OfferingServer::FinishOne() {
 
 void OfferingServer::WorkerLoop(Worker& worker) {
   while (std::optional<Request> request = worker.queue->Pop()) {
+    queue_depth_total_->Sub(1);
+    worker.queue_depth->Sub(1);
     Serve(worker, *request);
     FinishOne();
   }
@@ -152,12 +177,11 @@ void OfferingServer::Shutdown() {
 
 OfferingServerStats OfferingServer::Stats() const {
   OfferingServerStats stats;
-  stats.accepted = accepted_.load(std::memory_order_relaxed);
-  stats.rejected = rejected_.load(std::memory_order_relaxed);
-  stats.served = served_.load(std::memory_order_relaxed);
-  stats.malformed = malformed_.load(std::memory_order_relaxed);
-  stats.cache_adaptations =
-      cache_adaptations_.load(std::memory_order_relaxed);
+  stats.accepted = accepted_->Value();
+  stats.rejected = rejected_->Value();
+  stats.served = served_->Value();
+  stats.malformed = malformed_->Value();
+  stats.cache_adaptations = cache_adaptations_->Value();
   return stats;
 }
 

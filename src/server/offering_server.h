@@ -2,6 +2,7 @@
 #define ECOCHARGE_SERVER_OFFERING_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -14,6 +15,7 @@
 #include "common/result.h"
 #include "core/environment.h"
 #include "core/offering_service.h"
+#include "obs/metrics.h"
 #include "server/bounded_queue.h"
 
 namespace ecocharge {
@@ -119,6 +121,15 @@ class OfferingServer {
   /// The shared, sharded Information Server all workers account against.
   const InformationServer& information_server() const { return *shared_eis_; }
 
+  /// The server-owned metrics registry: request counters, queue-depth
+  /// gauges, the end-to-end `server.request_latency_ns` histogram, plus
+  /// everything the EIS, the estimators, and the query pipeline record
+  /// (wired in the constructor, before any worker thread starts). Safe to
+  /// snapshot concurrently with traffic — feed it to obs::StatszJson for
+  /// the serving dashboard.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
  private:
   struct Request {
     uint64_t client_id = 0;
@@ -128,6 +139,9 @@ class OfferingServer {
     size_t k = 3;
     TableCallback on_table;
     ReplyCallback on_reply;
+    /// Stamped at submission; the latency histogram spans queue wait +
+    /// service time (what a vehicle actually experiences).
+    std::chrono::steady_clock::time_point submitted_at{};
   };
 
   /// One worker's single-threaded serving stack. Only its owning thread
@@ -137,6 +151,7 @@ class OfferingServer {
     std::unique_ptr<OfferingService> service;
     OfferingTable table;  ///< reusable reply buffer for the table path
     std::unique_ptr<BoundedQueue<Request>> queue;  // null in inline mode
+    obs::Gauge* queue_depth = nullptr;  ///< server.queue.depth.w{i}
     std::thread thread;
   };
 
@@ -149,15 +164,26 @@ class OfferingServer {
   Environment* env_;
   int threads_;
   OfferingServerOptions options_;
+
+  // Declared before the EIS and the workers so it is destroyed after them:
+  // everything below records into registry-owned instruments until the
+  // worker threads have joined.
+  obs::MetricsRegistry metrics_;
+
   std::unique_ptr<InformationServer> shared_eis_;
   std::vector<std::unique_ptr<Worker>> workers_;
 
   std::atomic<bool> shutdown_{false};
-  std::atomic<uint64_t> accepted_{0};
-  std::atomic<uint64_t> rejected_{0};
-  std::atomic<uint64_t> served_{0};
-  std::atomic<uint64_t> malformed_{0};
-  std::atomic<uint64_t> cache_adaptations_{0};
+
+  // Request accounting lives on the registry (sharded counters); these are
+  // resolved handles, set once in the constructor. Stats() reads them back.
+  obs::Counter* accepted_ = nullptr;
+  obs::Counter* rejected_ = nullptr;
+  obs::Counter* served_ = nullptr;
+  obs::Counter* malformed_ = nullptr;
+  obs::Counter* cache_adaptations_ = nullptr;
+  obs::Gauge* queue_depth_total_ = nullptr;    ///< server.queue.depth
+  obs::Histogram* request_latency_ = nullptr;  ///< server.request_latency_ns
 
   // Drain(): waits until in-flight (accepted - served) reaches zero.
   std::atomic<uint64_t> in_flight_{0};

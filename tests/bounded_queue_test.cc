@@ -1,0 +1,96 @@
+#include "server/bounded_queue.h"
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ecocharge {
+namespace {
+
+TEST(BoundedQueueTest, PushPopFifo) {
+  BoundedQueue<int> queue(4);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  EXPECT_EQ(queue.Pop(), std::optional<int>(1));
+  EXPECT_EQ(queue.Pop(), std::optional<int>(2));
+}
+
+TEST(BoundedQueueTest, RejectsWhenFull) {
+  BoundedQueue<int> queue(2);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  EXPECT_FALSE(queue.TryPush(3));
+  queue.Pop();
+  EXPECT_TRUE(queue.TryPush(3));
+}
+
+TEST(BoundedQueueTest, LvaluePushCopiesAndLeavesOriginalIntact) {
+  // Regression: TryPush only had an rvalue overload, so pushing an lvalue
+  // silently moved from it via implicit conversion paths — a producer
+  // could not retry a rejected submit with the same object.
+  BoundedQueue<std::string> queue(1);
+  const std::string original(64, 'x');  // beyond SSO so a move would gut it
+  EXPECT_TRUE(queue.TryPush(original));
+  EXPECT_EQ(original, std::string(64, 'x'));
+
+  // A rejected lvalue push must leave the original reusable.
+  std::string retry(64, 'y');
+  EXPECT_FALSE(queue.TryPush(retry));
+  EXPECT_EQ(retry, std::string(64, 'y'));
+  queue.Pop();
+  EXPECT_TRUE(queue.TryPush(retry));
+  EXPECT_EQ(retry, std::string(64, 'y'));
+  EXPECT_EQ(queue.Pop(), std::optional<std::string>(std::string(64, 'y')));
+}
+
+TEST(BoundedQueueTest, RvaluePushStillMoves) {
+  // Move-only payloads must keep working through the rvalue overload.
+  BoundedQueue<std::unique_ptr<int>> queue(1);
+  EXPECT_TRUE(queue.TryPush(std::make_unique<int>(7)));
+  std::optional<std::unique_ptr<int>> item = queue.Pop();
+  ASSERT_TRUE(item.has_value());
+  EXPECT_EQ(**item, 7);
+}
+
+TEST(BoundedQueueTest, CloseDrainsThenEndsStream) {
+  BoundedQueue<int> queue(4);
+  EXPECT_TRUE(queue.TryPush(1));
+  queue.Close();
+  EXPECT_FALSE(queue.TryPush(2));
+  const int value = 3;
+  EXPECT_FALSE(queue.TryPush(value));  // lvalue overload respects closed too
+  EXPECT_EQ(queue.Pop(), std::optional<int>(1));
+  EXPECT_EQ(queue.Pop(), std::nullopt);
+}
+
+TEST(BoundedQueueTest, ConcurrentLvalueProducersLoseNothing) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  BoundedQueue<int> queue(kThreads * kPerThread);
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&queue, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const int item = t * kPerThread + i;
+        ASSERT_TRUE(queue.TryPush(item));
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  queue.Close();
+  std::vector<bool> seen(kThreads * kPerThread, false);
+  while (std::optional<int> item = queue.Pop()) {
+    ASSERT_GE(*item, 0);
+    ASSERT_LT(*item, kThreads * kPerThread);
+    EXPECT_FALSE(seen[*item]);
+    seen[*item] = true;
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+}  // namespace
+}  // namespace ecocharge

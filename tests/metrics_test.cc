@@ -1,0 +1,279 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace ecocharge {
+namespace {
+
+using obs::Counter;
+using obs::Gauge;
+using obs::Histogram;
+using obs::HistogramSnapshot;
+using obs::MetricsRegistry;
+using obs::ScopedTimer;
+
+TEST(CounterTest, AddsAndSums) {
+  Counter counter(4);
+  counter.Add();
+  counter.Add(10);
+  EXPECT_EQ(counter.Value(), 11u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAreExact) {
+  // Sharding spreads contention but must never lose an increment.
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 50000;
+  Counter counter(4);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (uint64_t i = 0; i < kPerThread; ++i) counter.Add();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter.Value(), kThreads * kPerThread);
+}
+
+TEST(GaugeTest, SetAddSub) {
+  Gauge gauge;
+  gauge.Set(5);
+  gauge.Add(3);
+  gauge.Sub(10);
+  EXPECT_EQ(gauge.Value(), -2);
+}
+
+// --- Histogram bucket geometry ----------------------------------------
+
+TEST(HistogramTest, SmallValuesGetExactBuckets) {
+  // Values 0..15 are their own buckets: lower bound == value.
+  for (uint64_t v = 0; v < Histogram::kSubBuckets; ++v) {
+    EXPECT_EQ(Histogram::BucketIndex(v), static_cast<size_t>(v));
+    EXPECT_EQ(Histogram::BucketLowerBound(Histogram::BucketIndex(v)), v);
+  }
+}
+
+TEST(HistogramTest, BucketBoundaries) {
+  // A bucket's lower bound maps back to the same bucket, and the value
+  // one below it maps to the previous bucket — the boundary is exact.
+  for (size_t index = 1; index < Histogram::kNumBuckets; ++index) {
+    uint64_t lower = Histogram::BucketLowerBound(index);
+    EXPECT_EQ(Histogram::BucketIndex(lower), index) << "index " << index;
+    EXPECT_EQ(Histogram::BucketIndex(lower - 1), index - 1)
+        << "index " << index;
+  }
+}
+
+TEST(HistogramTest, RelativeBucketWidthIsBounded) {
+  // Log-linear design guarantee: above 16, a bucket spans less than 1/16
+  // of its lower bound (the 6.25% worst-case quantile error).
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t v = static_cast<uint64_t>(
+        std::pow(2.0, rng.NextDouble(4.0, 63.0)));
+    size_t index = Histogram::BucketIndex(v);
+    uint64_t lower = Histogram::BucketLowerBound(index);
+    uint64_t next = Histogram::BucketLowerBound(index + 1);
+    EXPECT_GE(v, lower);
+    EXPECT_LT(v, next);
+    EXPECT_LE(next - lower, lower / Histogram::kSubBuckets);
+  }
+}
+
+TEST(HistogramTest, ExtremeValuesStayInRange) {
+  uint64_t max = std::numeric_limits<uint64_t>::max();
+  EXPECT_LT(Histogram::BucketIndex(max), Histogram::kNumBuckets);
+  Histogram h(1);
+  h.Record(0);
+  h.Record(max);
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 2u);
+  EXPECT_EQ(snap.min, 0u);
+  EXPECT_EQ(snap.max, max);
+}
+
+TEST(HistogramTest, SnapshotTracksCountSumMinMax) {
+  Histogram h(2);
+  for (uint64_t v : {5u, 100u, 17u, 2000u}) h.Record(v);
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_EQ(snap.sum, 5u + 100u + 17u + 2000u);
+  EXPECT_EQ(snap.min, 5u);
+  EXPECT_EQ(snap.max, 2000u);
+  EXPECT_DOUBLE_EQ(snap.Mean(), (5.0 + 100.0 + 17.0 + 2000.0) / 4.0);
+}
+
+TEST(HistogramTest, ShardedRecordingEqualsSingleShard) {
+  // Recording the same samples across many shards (forced by many
+  // threads) must snapshot identically to a single-shard histogram —
+  // merge is pure bucket addition, so shard routing cannot matter.
+  Rng rng(42);
+  std::vector<uint64_t> samples;
+  for (int i = 0; i < 20000; ++i) {
+    samples.push_back(
+        static_cast<uint64_t>(std::pow(10.0, rng.NextDouble(0.0, 9.0))));
+  }
+  Histogram single(1);
+  for (uint64_t v : samples) single.Record(v);
+
+  Histogram sharded(8);
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&sharded, &samples, t] {
+      for (size_t i = t; i < samples.size(); i += kThreads) {
+        sharded.Record(samples[i]);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  HistogramSnapshot a = single.Snapshot();
+  HistogramSnapshot b = sharded.Snapshot();
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_EQ(a.sum, b.sum);
+  EXPECT_EQ(a.min, b.min);
+  EXPECT_EQ(a.max, b.max);
+  EXPECT_EQ(a.buckets, b.buckets);
+}
+
+TEST(HistogramTest, MergeIsOrderIndependent) {
+  Rng rng(43);
+  Histogram h1(1), h2(1), h3(1), all(1);
+  Histogram* parts[] = {&h1, &h2, &h3};
+  for (int i = 0; i < 3000; ++i) {
+    uint64_t v = static_cast<uint64_t>(rng.NextDouble(0.0, 1e6));
+    parts[i % 3]->Record(v);
+    all.Record(v);
+  }
+  HistogramSnapshot forward = h1.Snapshot();
+  forward.Merge(h2.Snapshot());
+  forward.Merge(h3.Snapshot());
+  HistogramSnapshot backward = h3.Snapshot();
+  backward.Merge(h2.Snapshot());
+  backward.Merge(h1.Snapshot());
+  HistogramSnapshot reference = all.Snapshot();
+  for (const HistogramSnapshot* snap : {&forward, &backward}) {
+    EXPECT_EQ(snap->count, reference.count);
+    EXPECT_EQ(snap->sum, reference.sum);
+    EXPECT_EQ(snap->min, reference.min);
+    EXPECT_EQ(snap->max, reference.max);
+    EXPECT_EQ(snap->buckets, reference.buckets);
+  }
+}
+
+TEST(HistogramTest, QuantilesMatchSortedVectorOracle) {
+  // The histogram quantile must land in the same bucket as the exact
+  // rank-ceil(q*n) sample of a sorted vector — the strongest statement a
+  // bucketed histogram can make, and it pins the rank convention.
+  Rng rng(7);
+  std::vector<uint64_t> samples;
+  Histogram h(4);
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t v = static_cast<uint64_t>(
+        std::pow(10.0, rng.NextDouble(1.0, 8.0)));
+    samples.push_back(v);
+    h.Record(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  HistogramSnapshot snap = h.Snapshot();
+  for (double q : {0.0, 0.01, 0.25, 0.50, 0.90, 0.95, 0.99, 0.999, 1.0}) {
+    size_t rank = static_cast<size_t>(
+        std::ceil(q * static_cast<double>(samples.size())));
+    rank = std::max<size_t>(1, std::min(rank, samples.size()));
+    uint64_t oracle = samples[rank - 1];
+    uint64_t estimate = snap.ValueAtQuantile(q);
+    EXPECT_EQ(Histogram::BucketIndex(estimate),
+              Histogram::BucketIndex(oracle))
+        << "q=" << q << " oracle=" << oracle << " estimate=" << estimate;
+    EXPECT_EQ(estimate,
+              Histogram::BucketLowerBound(Histogram::BucketIndex(oracle)));
+  }
+}
+
+TEST(HistogramTest, EmptyQuantileIsZero) {
+  Histogram h(1);
+  EXPECT_EQ(h.Snapshot().ValueAtQuantile(0.5), 0u);
+}
+
+// --- Registry ----------------------------------------------------------
+
+TEST(MetricsRegistryTest, SameNameReturnsSameHandle) {
+  MetricsRegistry registry(2);
+  Counter* a = registry.GetCounter("requests", "requests");
+  Counter* b = registry.GetCounter("requests");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(registry.GetHistogram("lat", "ns"), registry.GetHistogram("lat"));
+  EXPECT_EQ(registry.GetGauge("depth"), registry.GetGauge("depth"));
+}
+
+TEST(MetricsRegistryTest, FindReturnsNullForUnknown) {
+  MetricsRegistry registry(2);
+  EXPECT_EQ(registry.FindCounter("nope"), nullptr);
+  EXPECT_EQ(registry.FindGauge("nope"), nullptr);
+  EXPECT_EQ(registry.FindHistogram("nope"), nullptr);
+  registry.GetCounter("yes");
+  EXPECT_NE(registry.FindCounter("yes"), nullptr);
+}
+
+TEST(MetricsRegistryTest, ValuesInRegistrationOrder) {
+  MetricsRegistry registry(1);
+  registry.GetCounter("b")->Add(2);
+  registry.GetCounter("a")->Add(1);
+  registry.GetGauge("g")->Set(-7);
+  registry.GetHistogram("h", "ns")->Record(123);
+  auto counters = registry.CounterValues();
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters[0].first, "b");
+  EXPECT_EQ(counters[0].second, 2u);
+  EXPECT_EQ(counters[1].first, "a");
+  auto gauges = registry.GaugeValues();
+  ASSERT_EQ(gauges.size(), 1u);
+  EXPECT_EQ(gauges[0].second, -7);
+  auto histograms = registry.HistogramValues();
+  ASSERT_EQ(histograms.size(), 1u);
+  EXPECT_EQ(histograms[0].name, "h");
+  EXPECT_EQ(histograms[0].unit, "ns");
+  EXPECT_EQ(histograms[0].snapshot.count, 1u);
+}
+
+TEST(MetricsRegistryTest, ConcurrentRegistrationIsSafe) {
+  MetricsRegistry registry(4);
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<Counter*> handles(kThreads, nullptr);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, &handles, t] {
+      Counter* c = registry.GetCounter("shared");
+      c->Add();
+      handles[t] = c;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(handles[t], handles[0]);
+  EXPECT_EQ(handles[0]->Value(), static_cast<uint64_t>(kThreads));
+}
+
+// --- ScopedTimer -------------------------------------------------------
+
+TEST(ScopedTimerTest, RecordsElapsedNanoseconds) {
+  Histogram h(1);
+  { ScopedTimer timer(&h); }
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  // An empty scope on any machine finishes well under a second.
+  EXPECT_LT(snap.max, 1000000000u);
+}
+
+TEST(ScopedTimerTest, NullHistogramIsNoOp) {
+  ScopedTimer timer(nullptr);  // must not crash or read the clock
+}
+
+}  // namespace
+}  // namespace ecocharge

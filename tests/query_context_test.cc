@@ -189,6 +189,43 @@ TEST(QueryContextTest, SteadyStateCacheHitPathDoesNotAllocate) {
   EXPECT_EQ(after - before, 0u);
 }
 
+TEST(QueryContextTest, SteadyStatePathWithMetricsDoesNotAllocate) {
+  // Observability must not break the zero-allocation property: with phase
+  // timers, pipeline counters, and estimator counters all attached, the
+  // warm estimated-only path still performs zero heap allocations —
+  // metric registration is the cold path, recording is relaxed atomics.
+  SharedWorld& w = World();
+  // Static, because the shared estimator keeps the counter handles after
+  // this test ends; registration happens once, before any measurement.
+  static obs::MetricsRegistry registry;
+  w.env->estimator->AttachMetrics(&registry);
+  EcoChargeOptions opts;
+  opts.radius_m = 20000.0;
+  opts.q_distance_m = 0.0;  // full regeneration every query
+  opts.refine_exact_derouting = false;
+  EcoChargeRanker eco(w.env->estimator.get(), w.env->charger_index.get(),
+                      ScoreWeights::AWE(), opts);
+  eco.AttachMetrics(&registry);
+  QueryContext ctx;
+  OfferingTable table;
+  for (int pass = 0; pass < 3; ++pass) {
+    for (const VehicleState& state : w.states) {
+      eco.RankInto(state, 3, ctx, &table);
+    }
+  }
+  uint64_t before = g_allocations.load();
+  for (const VehicleState& state : w.states) {
+    eco.RankInto(state, 3, ctx, &table);
+  }
+  uint64_t after = g_allocations.load();
+  EXPECT_EQ(after - before, 0u);
+  // The instrumentation actually fired while not allocating.
+  EXPECT_GT(registry.FindHistogram("pipeline.filter_ns")->Snapshot().count,
+            0u);
+  EXPECT_GT(registry.FindCounter("pipeline.candidates_scored")->Value(), 0u);
+  EXPECT_GT(registry.FindCounter("estimator.estimates.level")->Value(), 0u);
+}
+
 #endif  // ECOCHARGE_COUNT_ALLOCS
 
 }  // namespace

@@ -29,13 +29,25 @@ TEST(RunningStatsTest, SingleValue) {
 }
 
 TEST(RunningStatsTest, KnownSequence) {
+  // Sum of squared deviations from the mean (5.0) is 32 over n = 8
+  // samples: sample variance 32/7, population variance 32/8 = 4.
   RunningStats s;
   for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
   EXPECT_DOUBLE_EQ(s.mean(), 5.0);
-  EXPECT_DOUBLE_EQ(s.variance(), 4.0);                 // population
-  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);  // sample
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.population_variance(), 4.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
   EXPECT_EQ(s.min(), 2.0);
   EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, VarianceAndStddevAgree) {
+  // The bug this pins against: variance() used the population convention
+  // while stddev() used the sample convention, so stddev^2 != variance.
+  RunningStats s;
+  for (double v : {1.0, 2.0, 6.0}) s.Add(v);
+  EXPECT_NEAR(s.stddev() * s.stddev(), s.variance(), 1e-12);
+  EXPECT_LT(s.population_variance(), s.variance());
 }
 
 TEST(RunningStatsTest, MatchesNaiveComputation) {

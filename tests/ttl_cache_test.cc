@@ -1,6 +1,7 @@
 #include "eis/ttl_cache.h"
 
 #include <atomic>
+#include <cmath>
 #include <string>
 #include <thread>
 #include <vector>
@@ -29,6 +30,77 @@ TEST(TtlCacheTest, ExpiresAfterTtl) {
   EXPECT_EQ(cache.stats().expirations, 1u);
   // The expired entry was erased.
   EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(TtlCacheTest, ExactDeadlineIsHitOnEveryShard) {
+  // The pinned expiry boundary: `now == inserted_at + ttl` is a hit,
+  // uniformly — which shard a key hashes to must never change whether a
+  // boundary lookup hits. 64 keys over 8 shards cover every shard.
+  constexpr double kTtl = 60.0;
+  TtlCache<int, int> cache(kTtl, 1 << 10, /*num_shards=*/8);
+  for (int key = 0; key < 64; ++key) cache.Put(key, key, 0.0);
+  for (int key = 0; key < 64; ++key) {
+    auto hit = cache.Get(key, kTtl);  // exactly at the deadline
+    ASSERT_TRUE(hit.has_value()) << "key " << key << " expired at deadline";
+    EXPECT_EQ(*hit, key);
+  }
+  EXPECT_EQ(cache.stats().hits, 64u);
+  EXPECT_EQ(cache.stats().expirations, 0u);
+  // One tick past the deadline, every key is gone.
+  for (int key = 0; key < 64; ++key) {
+    EXPECT_FALSE(cache.Get(key, std::nextafter(kTtl, 1e9)).has_value());
+  }
+  EXPECT_EQ(cache.stats().expirations, 64u);
+}
+
+TEST(TtlCacheTest, SweepAtExactDeadlineRemovesNothing) {
+  // SweepExpired uses the same strict `age > ttl` comparison as Get: a
+  // sweep at the deadline instant must leave the still-fresh entries.
+  constexpr double kTtl = 60.0;
+  TtlCache<int, int> cache(kTtl, 1 << 10, /*num_shards=*/4);
+  for (int key = 0; key < 32; ++key) cache.Put(key, key, 0.0);
+  cache.SweepExpired(kTtl);
+  EXPECT_EQ(cache.size(), 32u);
+  cache.SweepExpired(std::nextafter(kTtl, 1e9));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(TtlCacheTest, CapacitySweepAtExactDeadlineKeepsFreshEntries) {
+  // Put's over-capacity sweep is the third path with an age comparison:
+  // at the deadline instant it must not treat resident entries as
+  // expired — the insert falls back to clearing the full shard instead.
+  constexpr double kTtl = 60.0;
+  TtlCache<int, int> cache(kTtl, /*max_entries=*/4, /*num_shards=*/1);
+  for (int key = 0; key < 4; ++key) cache.Put(key, key, 0.0);
+  // At exactly the deadline nothing is sweepable, so inserting clears.
+  cache.Put(100, 100, kTtl);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.Get(100, kTtl).has_value());
+}
+
+TEST(TtlCacheTest, AttachedCountersMirrorStats) {
+  obs::MetricsRegistry registry(1);
+  obs::Counter* hits = registry.GetCounter("hits");
+  obs::Counter* misses = registry.GetCounter("misses");
+  obs::Counter* expirations = registry.GetCounter("expirations");
+  TtlCache<int, int> cache(60.0);
+  cache.AttachCounters(hits, misses, expirations);
+  cache.Get(1, 0.0);        // miss
+  cache.Put(1, 7, 0.0);
+  cache.Get(1, 30.0);       // hit
+  cache.Get(1, 100.0);      // expiration (+ miss)
+  CacheStats stats = cache.stats();
+  EXPECT_EQ(hits->Value(), stats.hits);
+  EXPECT_EQ(misses->Value(), stats.misses);
+  EXPECT_EQ(expirations->Value(), stats.expirations);
+  EXPECT_EQ(hits->Value(), 1u);
+  EXPECT_EQ(misses->Value(), 2u);
+  EXPECT_EQ(expirations->Value(), 1u);
+  // Detach: internal stats keep counting, mirrors freeze.
+  cache.AttachCounters(nullptr, nullptr, nullptr);
+  cache.Get(2, 0.0);
+  EXPECT_EQ(misses->Value(), 2u);
+  EXPECT_EQ(cache.stats().misses, 3u);
 }
 
 TEST(TtlCacheTest, PutRefreshesTimestamp) {
@@ -194,6 +266,31 @@ TEST(TtlCacheConcurrencyTest, ConcurrentSweepNeverUnexpiresEntries) {
   double late = static_cast<double>(tick.load()) + kTtl + 1.0;
   cache.SweepExpired(late);
   EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(TtlCacheConcurrencyTest, ConcurrentReadersAtExactDeadlineAllHit) {
+  // The boundary under contention: every reader looks up at exactly the
+  // deadline instant while others do the same; the strict comparison
+  // means all of them hit and nothing is erased.
+  constexpr double kTtl = 60.0;
+  constexpr int kThreads = 4;
+  constexpr int kKeys = 32;
+  TtlCache<int, int> cache(kTtl, 1 << 10, /*num_shards=*/8);
+  for (int key = 0; key < kKeys; ++key) cache.Put(key, key, 0.0);
+  std::atomic<int> missed{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int rep = 0; rep < 200; ++rep) {
+        for (int key = 0; key < kKeys; ++key) {
+          if (!cache.Get(key, kTtl).has_value()) missed.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(missed.load(), 0);
+  EXPECT_EQ(cache.size(), static_cast<size_t>(kKeys));
 }
 
 }  // namespace

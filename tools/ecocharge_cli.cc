@@ -7,16 +7,21 @@
 //   rank           one-shot CkNN-EC query at a position/time
 //   simulate       run the renewable-hoarding fleet simulation
 //   serve          push a wire-protocol workload through the concurrent
-//                  OfferingServer and report throughput
+//                  OfferingServer and report throughput (--statsz adds a
+//                  JSON metrics dump)
+//   stats          run a small workload and print the observability
+//                  metric catalog (statsz text or JSON)
 //   info           print library and dataset information
 //
 // Run with no arguments for usage.
 
+#include <atomic>
 #include <chrono>
 #include <cstring>
 #include <iostream>
 #include <map>
 #include <string>
+#include <thread>
 
 #include "core/baselines.h"
 #include "core/fleet_sim.h"
@@ -24,19 +29,27 @@
 #include "core/workload.h"
 #include "graph/generators.h"
 #include "graph/io.h"
+#include "obs/statsz.h"
 #include "server/offering_server.h"
 #include "traj/io.h"
 
 namespace ecocharge {
 namespace {
 
-/// Minimal --flag value parser: every flag takes exactly one value.
+/// Minimal --flag parser. A flag followed by a non-flag token takes that
+/// token as its value; a flag followed by another flag (or the end of the
+/// line) is boolean and stores "1". Values may be negative numbers — only
+/// a leading "--" marks a flag.
 class Args {
  public:
   Args(int argc, char** argv, int first) {
-    for (int i = first; i + 1 < argc; i += 2) {
-      if (std::strncmp(argv[i], "--", 2) == 0) {
+    for (int i = first; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--", 2) != 0) continue;
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
         values_[argv[i] + 2] = argv[i + 1];
+        ++i;
+      } else {
+        values_[argv[i] + 2] = "1";
       }
     }
   }
@@ -51,6 +64,10 @@ class Args {
   uint64_t GetU64(const std::string& key, uint64_t fallback) const {
     auto it = values_.find(key);
     return it == values_.end() ? fallback : std::stoull(it->second);
+  }
+  bool GetBool(const std::string& key) const {
+    auto it = values_.find(key);
+    return it != values_.end() && it->second != "0";
   }
 
  private:
@@ -88,7 +105,13 @@ int Usage() {
                (fleet hoarding: EcoCharge vs nearest-charger policies)
   serve        --threads N [--kind KIND] [--chargers N] [--clients N]
                [--requests N] [--queue-depth N] [--io-ms MS] [--seed N]
-               (--threads 0 = synchronous deterministic mode)
+               [--statsz] [--statsz-period SEC]
+               (--threads 0 = synchronous deterministic mode; --statsz
+               prints a final JSON metrics dump to stdout, and with a
+               period > 0 a live text dump to stderr every SEC seconds)
+  stats        [--kind KIND] [--chargers N] [--requests N] [--threads N]
+               [--format text|json] [--seed N]
+               (run a small serving workload and print the metric catalog)
   info
 
   BACKEND: quadtree|rtree|grid|kdtree|linear (charger index; every backend
@@ -264,6 +287,25 @@ int Serve(const Args& args) {
 
   uint64_t num_clients = args.GetU64("clients", 8);
   uint64_t num_requests = args.GetU64("requests", 64);
+
+  // --statsz: final JSON dump on stdout; with a period, also a live text
+  // dump on stderr while the workload runs (the "statsz page" of the
+  // serving runtime).
+  bool statsz = args.GetBool("statsz");
+  double statsz_period_s = args.GetDouble("statsz-period", 0.0);
+  std::atomic<bool> statsz_stop{false};
+  std::thread statsz_thread;
+  if (statsz_period_s > 0.0) {
+    statsz_thread = std::thread([&server, &statsz_stop, statsz_period_s] {
+      while (!statsz_stop.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(statsz_period_s));
+        if (statsz_stop.load(std::memory_order_acquire)) break;
+        std::cerr << obs::StatszText(server.metrics());
+      }
+    });
+  }
+
   auto start = std::chrono::steady_clock::now();
   for (uint64_t i = 0; i < num_requests; ++i) {
     OfferingRequest request;
@@ -298,6 +340,52 @@ int Serve(const Args& args) {
             << "\neis upstream calls: weather=" << eis.weather_api_calls
             << " traffic=" << eis.traffic_api_calls
             << " availability=" << eis.availability_api_calls << "\n";
+  if (statsz_thread.joinable()) {
+    statsz_stop.store(true, std::memory_order_release);
+    statsz_thread.join();
+  }
+  if (statsz) std::cout << obs::StatszJson(server.metrics()) << "\n";
+  return 0;
+}
+
+int StatsCmd(const Args& args) {
+  auto env_result = BuildEnv(args);
+  if (!env_result.ok()) {
+    std::cerr << env_result.status() << "\n";
+    return 1;
+  }
+  auto env = std::move(env_result).MoveValueUnsafe();
+
+  WorkloadOptions wo;
+  wo.max_trips = 4;
+  wo.max_states = 8;
+  wo.seed = args.GetU64("seed", 42) ^ 0xBEEFULL;
+  std::vector<VehicleState> states = BuildWorkload(env->dataset, wo);
+  if (states.empty()) {
+    std::cerr << "no vehicle states in dataset\n";
+    return 1;
+  }
+
+  OfferingServerOptions server_opts;
+  server_opts.threads = static_cast<int>(args.GetU64("threads", 0));
+  OfferingServer server(env.get(), ScoreWeights::AWE(), EcoChargeOptions{},
+                        server_opts);
+  uint64_t num_requests = args.GetU64("requests", 32);
+  for (uint64_t i = 0; i < num_requests; ++i) {
+    Status st = server.Submit(i % 4, states[i % states.size()], 3,
+                              [](const OfferingTable&) {});
+    if (!st.ok() && st.code() != StatusCode::kUnavailable) {
+      std::cerr << st << "\n";
+      return 1;
+    }
+  }
+  server.Drain();
+
+  if (args.Get("format", "text") == "json") {
+    std::cout << obs::StatszJson(server.metrics()) << "\n";
+  } else {
+    std::cout << obs::StatszText(server.metrics());
+  }
   return 0;
 }
 
@@ -325,6 +413,7 @@ int Main(int argc, char** argv) {
   if (command == "rank") return Rank(args);
   if (command == "simulate") return Simulate(args);
   if (command == "serve") return Serve(args);
+  if (command == "stats") return StatsCmd(args);
   if (command == "info") return Info();
   return Usage();
 }
