@@ -8,6 +8,10 @@
 #   scripts/check.sh thread          # TSan build in build-tsan/
 #   scripts/check.sh obs             # observability gate: instrumented
 #                                    # suite under TSan + overhead bench
+#   scripts/check.sh fault           # resilience gate: fault/degradation
+#                                    # suite under TSan + quick fault bench
+#   scripts/check.sh lint            # clang-tidy over src/ (skips with
+#                                    # exit 0 when clang-tidy is absent)
 #
 # Extra arguments after the sanitizer are forwarded to ctest, e.g.
 #   scripts/check.sh address -R QueryContext
@@ -17,6 +21,7 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 sanitize="${1:-}"
 obs_gate=""
+fault_gate=""
 case "${sanitize}" in
   address|undefined|thread) shift ;;
   obs)
@@ -27,6 +32,32 @@ case "${sanitize}" in
     sanitize="thread"
     obs_gate=1
     set -- -R 'Metrics|Statsz|TtlCache|BoundedQueue|OfferingServer|InformationServer|QueryContext|Continuous' "$@"
+    ;;
+  fault)
+    # The resilience stack (fault injector, retry state, breakers, stale
+    # cache reads) is exactly the code that runs concurrently on every
+    # worker during an upstream outage; run its tests under TSan, then a
+    # quick deterministic fault sweep from the plain tree.
+    shift
+    sanitize="thread"
+    fault_gate=1
+    set -- -R 'Resilien|FaultInjector|CircuitBreaker|RetryPolicy|ScopedRequestDeadline|Degrad|TtlCache|OfferingServer|InformationServer' "$@"
+    ;;
+  lint)
+    shift
+    if ! command -v clang-tidy >/dev/null 2>&1; then
+      echo "check.sh lint: clang-tidy not installed; skipping (ok)."
+      exit 0
+    fi
+    build_dir="${repo_root}/build"
+    cmake -B "${build_dir}" -S "${repo_root}" \
+      -DCMAKE_BUILD_TYPE=Release \
+      -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+    # Checks come from the repo-root .clang-tidy; only first-party code.
+    mapfile -t sources < <(find "${repo_root}/src" "${repo_root}/tools" \
+      -name '*.cc' | sort)
+    clang-tidy -p "${build_dir}" --quiet "${sources[@]}" "$@"
+    exit 0
     ;;
   "") ;;
   *) sanitize="" ;;  # first arg is a ctest flag, not a sanitizer
@@ -54,4 +85,15 @@ if [[ -n "${obs_gate}" ]]; then
     -DCMAKE_BUILD_TYPE=Release -DECOCHARGE_SANITIZE=
   cmake --build "${plain_dir}" -j "$(nproc)" --target bench_micro_obs
   "${plain_dir}/bench/bench_micro_obs"
+fi
+
+if [[ -n "${fault_gate}" ]]; then
+  # Deterministic fault sweep (seeded faults, virtual latency): asserts
+  # every request is answered under injected upstream failures. Timing
+  # under TSan is meaningless, so it runs from the plain Release tree.
+  plain_dir="${repo_root}/build"
+  cmake -B "${plain_dir}" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE=Release -DECOCHARGE_SANITIZE=
+  cmake --build "${plain_dir}" -j "$(nproc)" --target bench_fault_resilience
+  (cd "${plain_dir}/bench" && ./bench_fault_resilience --quick)
 fi

@@ -28,6 +28,16 @@ std::string_view StatusCodeToString(StatusCode code) {
   return "Unknown";
 }
 
+bool StatusCodeFromString(std::string_view name, StatusCode* code) {
+  for (StatusCode candidate : kAllStatusCodes) {
+    if (StatusCodeToString(candidate) == name) {
+      *code = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
 std::string Status::ToString() const {
   if (ok()) return "OK";
   std::string out(StatusCodeToString(code_));

@@ -1,6 +1,7 @@
 #ifndef ECOCHARGE_COMMON_STATUS_H_
 #define ECOCHARGE_COMMON_STATUS_H_
 
+#include <cstddef>
 #include <ostream>
 #include <string>
 #include <string_view>
@@ -26,8 +27,35 @@ enum class StatusCode {
   kUnavailable,  ///< transient overload: retry later (admission control)
 };
 
-/// \brief Returns a short human-readable name for a status code.
+/// \brief Every StatusCode value, in declaration order — the source of
+/// truth for exhaustive iteration. A new enumerator MUST be added here
+/// (and given a name in StatusCodeToString): status_test round-trips
+/// every listed code and asserts none resolves to the "Unknown"
+/// fallback, so forgetting either site fails the build's tests instead
+/// of silently shipping an unnamed code.
+inline constexpr StatusCode kAllStatusCodes[] = {
+    StatusCode::kOk,
+    StatusCode::kInvalidArgument,
+    StatusCode::kNotFound,
+    StatusCode::kOutOfRange,
+    StatusCode::kAlreadyExists,
+    StatusCode::kFailedPrecondition,
+    StatusCode::kUnimplemented,
+    StatusCode::kIOError,
+    StatusCode::kInternal,
+    StatusCode::kUnavailable,
+};
+inline constexpr size_t kNumStatusCodes =
+    sizeof(kAllStatusCodes) / sizeof(kAllStatusCodes[0]);
+
+/// \brief Returns a short human-readable name for a status code, or
+/// "Unknown" for a value outside the enum (never for a listed code).
 std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief Inverse of StatusCodeToString: resolves a name back to its
+/// code. Returns false (leaving `*code` untouched) for unknown names,
+/// including "Unknown" itself.
+bool StatusCodeFromString(std::string_view name, StatusCode* code);
 
 /// \brief Outcome of an operation: a code plus an optional message.
 ///

@@ -18,6 +18,7 @@ OfferingEntry MakeTruthEntry(ChargerId id, const EcTruth& truth,
   e.ecs.availability = Interval::Exact(truth.availability);
   e.ecs.derouting = Interval::Exact(truth.derouting);
   e.ecs.eta_s = truth.eta_s;
+  e.ecs.degraded = truth.degraded;
   e.eta_s = truth.eta_s;
   return e;
 }
@@ -27,12 +28,16 @@ void StartTable(const VehicleState& state, OfferingTable* out) {
   out->location = state.position;
   out->segment_index = state.segment_index;
   out->adapted_from_cache = false;
+  out->degraded = false;
   out->entries.clear();
 }
 
 void FinishTable(size_t k, OfferingTable* out) {
   SortOfferingEntries(out->entries);
   if (out->entries.size() > k) out->entries.resize(k);
+  for (const OfferingEntry& e : out->entries) {
+    out->NoteEntryDegradation(e.ecs);
+  }
 }
 
 }  // namespace
@@ -109,6 +114,7 @@ void RandomRanker::RankInto(const VehicleState& state, size_t k,
     e.ecs = estimator_->EstimateIntervals(state, fleet[id]);
     e.score = ScorePair{0.0, 0.0};  // deliberately unranked
     e.eta_s = e.ecs.eta_s;
+    out->NoteEntryDegradation(e.ecs);
     out->entries.push_back(e);
   }
 }

@@ -97,16 +97,19 @@ EcIntervals EcEstimator::EstimateIntervals(const VehicleState& state,
                                            const EvCharger& charger,
                                            double derouting_norm_m) {
   DeroutingQuery q = MakeQuery(state);
-  CongestionModel::Band band =
-      eis_->GetTraffic(RoadClass::kArterial, state.time, state.time);
+  EisFetch traffic_fetch = EisFetch::kFresh;
+  CongestionModel::Band band = eis_->GetTraffic(
+      RoadClass::kArterial, state.time, state.time, &traffic_fetch);
   DeroutingEstimate der = derouting_.Estimate(q, charger, band);
   SimTime eta_time = state.time + der.eta_s;
 
-  EnergyForecast energy = eis_->GetEnergyForecast(charger, state.time,
-                                                 eta_time,
-                                                 state.charge_window_s);
+  EisFetch energy_fetch = EisFetch::kFresh;
+  EnergyForecast energy =
+      eis_->GetEnergyForecast(charger, state.time, eta_time,
+                              state.charge_window_s, &energy_fetch);
+  EisFetch avail_fetch = EisFetch::kFresh;
   AvailabilityForecast avail =
-      eis_->GetAvailability(charger, state.time, eta_time);
+      eis_->GetAvailability(charger, state.time, eta_time, &avail_fetch);
 
   if (level_estimates_) level_estimates_->Add();
   if (availability_estimates_) availability_estimates_->Add();
@@ -121,6 +124,9 @@ EcIntervals EcEstimator::EstimateIntervals(const VehicleState& state,
       NormalizeDerouting(der.extra_distance_min_m, derouting_norm_m),
       NormalizeDerouting(der.extra_distance_max_m, derouting_norm_m));
   ecs.eta_s = der.eta_s;
+  ecs.degraded = traffic_fetch != EisFetch::kFresh ||
+                 energy_fetch != EisFetch::kFresh ||
+                 avail_fetch != EisFetch::kFresh;
   return ecs;
 }
 
@@ -128,14 +134,18 @@ void EcEstimator::ReviseDerouting(const VehicleState& state,
                                   const EvCharger& charger, EcIntervals* ecs,
                                   double derouting_norm_m) {
   DeroutingQuery q = MakeQuery(state);
-  CongestionModel::Band band =
-      eis_->GetTraffic(RoadClass::kArterial, state.time, state.time);
+  EisFetch traffic_fetch = EisFetch::kFresh;
+  CongestionModel::Band band = eis_->GetTraffic(
+      RoadClass::kArterial, state.time, state.time, &traffic_fetch);
   DeroutingEstimate der = derouting_.Estimate(q, charger, band);
   if (derouting_estimates_) derouting_estimates_->Add();
   ecs->derouting = Interval::FromUnordered(
       NormalizeDerouting(der.extra_distance_min_m, derouting_norm_m),
       NormalizeDerouting(der.extra_distance_max_m, derouting_norm_m));
   ecs->eta_s = der.eta_s;
+  // Adaptation keeps the cached L/A estimates: a degraded flag can only be
+  // added to, never cleared by, the refreshed derouting component.
+  ecs->degraded = ecs->degraded || traffic_fetch != EisFetch::kFresh;
 }
 
 EcIntervals EcEstimator::EstimateWithExactDerouting(const VehicleState& state,
@@ -171,15 +181,20 @@ EcTruth EcEstimator::ReferenceComponents(const VehicleState& state,
   ref.derouting = NormalizeDerouting(der.extra_distance_min_m);
   ref.eta_s = der.eta_s;
   SimTime arrival = state.time + (std::isfinite(der.eta_s) ? der.eta_s : 0.0);
-  EnergyForecast energy = eis_->GetEnergyForecast(charger, state.time, arrival,
-                                                 state.charge_window_s);
+  EisFetch energy_fetch = EisFetch::kFresh;
+  EnergyForecast energy =
+      eis_->GetEnergyForecast(charger, state.time, arrival,
+                              state.charge_window_s, &energy_fetch);
   ref.level =
       (NormalizeEnergy(energy.min_kwh, state.charge_window_s, arrival) +
        NormalizeEnergy(energy.max_kwh, state.charge_window_s, arrival)) /
       2.0;
+  EisFetch avail_fetch = EisFetch::kFresh;
   AvailabilityForecast avail =
-      eis_->GetAvailability(charger, state.time, arrival);
+      eis_->GetAvailability(charger, state.time, arrival, &avail_fetch);
   ref.availability = (avail.min + avail.max) / 2.0;
+  ref.degraded =
+      energy_fetch != EisFetch::kFresh || avail_fetch != EisFetch::kFresh;
   return ref;
 }
 

@@ -27,6 +27,9 @@ struct EcTruth {
   double availability = 0.0;
   double derouting = 0.0;
   double eta_s = 0.0;
+  bool degraded = false;  ///< any EIS-fed component came from a stale/widened
+                          ///< fetch (Truth() never degrades: it reads the raw
+                          ///< ground-truth services, not the EIS)
 };
 
 /// \brief Assembles the three Estimated Components for a charger.

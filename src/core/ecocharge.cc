@@ -34,6 +34,7 @@ void EcoChargeRanker::RankInto(const VehicleState& state, size_t k,
   out->location = state.position;
   out->segment_index = state.segment_index;
   out->adapted_from_cache = false;
+  out->degraded = false;
   out->entries.clear();
 
   if (const std::vector<ScoredCandidate>* cached =
@@ -58,6 +59,9 @@ void EcoChargeRanker::RankInto(const VehicleState& state, size_t k,
                              /*refine_exact_derouting=*/false, &ctx,
                              &out->entries);
     out->adapted_from_cache = true;
+    for (const OfferingEntry& e : out->entries) {
+      out->NoteEntryDegradation(e.ecs);
+    }
     return;
   }
 
@@ -70,6 +74,9 @@ void EcoChargeRanker::RankInto(const VehicleState& state, size_t k,
   processor_.RefineAndRank(state, &scored, k, weights_,
                            options_.refine_exact_derouting, &ctx,
                            &out->entries);
+  for (const OfferingEntry& e : out->entries) {
+    out->NoteEntryDegradation(e.ecs);
+  }
 }
 
 void EcoChargeRanker::Reset() { cache_.Clear(); }

@@ -54,6 +54,12 @@ class OfferingService {
   size_t active_clients() const { return clients_.size(); }
   const OfferingServiceStats& stats() const { return stats_; }
 
+  /// The table most recently served by Handle() — the wire path's reply
+  /// before encoding, so callers can account for flags (cache adaptation,
+  /// degradation) that the encoded string hides. Valid until the next
+  /// Handle() on this instance.
+  const OfferingTable& reply_table() const { return table_; }
+
   /// Resolves the `pipeline.*` handles on `registry` and installs them on
   /// every client ranker — including ones created lazily later, so the
   /// attach order relative to client arrival doesn't matter. Null detaches.

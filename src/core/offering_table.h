@@ -30,11 +30,18 @@ struct OfferingTable {
   Point location;                 ///< vehicle position it was computed for
   size_t segment_index = 0;       ///< which p_i it belongs to
   bool adapted_from_cache = false;  ///< produced by Dynamic Caching reuse
+  bool degraded = false;  ///< any entry's ECs came from a stale/widened fetch
+                          ///< (resilience ladder, DESIGN.md §11)
   std::vector<OfferingEntry> entries;  ///< best first
 
   bool empty() const { return entries.empty(); }
   size_t size() const { return entries.size(); }
   const OfferingEntry& top() const { return entries.front(); }
+
+  /// Folds one entry's degradation into the table-level flag.
+  void NoteEntryDegradation(const EcIntervals& ecs) {
+    degraded = degraded || ecs.degraded;
+  }
 
   /// Charger ids in rank order.
   std::vector<ChargerId> ChargerIds() const;

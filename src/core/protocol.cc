@@ -82,18 +82,19 @@ Result<OfferingRequest> DecodeOfferingRequest(const std::string& wire) {
 std::string EncodeOfferingTable(const OfferingTable& table) {
   std::ostringstream os;
   os.precision(17);
-  os << "offering_table 1\n";
+  os << "offering_table 2\n";
   os << "generated_at " << table.generated_at << "\n";
   os << "location " << table.location.x << " " << table.location.y << "\n";
   os << "segment " << table.segment_index << "\n";
   os << "cached " << (table.adapted_from_cache ? 1 : 0) << "\n";
+  os << "degraded " << (table.degraded ? 1 : 0) << "\n";
   os << "entries " << table.entries.size() << "\n";
   for (const OfferingEntry& e : table.entries) {
     os << "entry " << e.charger_id << " " << e.score.sc_min << " "
        << e.score.sc_max << " " << e.ecs.level.lo << " " << e.ecs.level.hi
        << " " << e.ecs.availability.lo << " " << e.ecs.availability.hi << " "
        << e.ecs.derouting.lo << " " << e.ecs.derouting.hi << " " << e.eta_s
-       << "\n";
+       << " " << (e.ecs.degraded ? 1 : 0) << "\n";
   }
   os << "end\n";
   return os.str();
@@ -102,8 +103,10 @@ std::string EncodeOfferingTable(const OfferingTable& table) {
 Result<OfferingTable> DecodeOfferingTable(const std::string& wire) {
   std::istringstream is(wire);
   ECOCHARGE_RETURN_NOT_OK(Expect(is, "offering_table"));
+  // Version 2 added the degradation flags (table line + per-entry field);
+  // version 1 tables decode with both flags false.
   int version = 0;
-  if (!(is >> version) || version != 1) {
+  if (!(is >> version) || version < 1 || version > 2) {
     return Status::IOError("unsupported table version");
   }
   OfferingTable table;
@@ -119,6 +122,12 @@ Result<OfferingTable> DecodeOfferingTable(const std::string& wire) {
   int cached = 0;
   if (!(is >> cached)) return Status::IOError("bad cached flag");
   table.adapted_from_cache = cached != 0;
+  if (version >= 2) {
+    ECOCHARGE_RETURN_NOT_OK(Expect(is, "degraded"));
+    int degraded = 0;
+    if (!(is >> degraded)) return Status::IOError("bad degraded flag");
+    table.degraded = degraded != 0;
+  }
   ECOCHARGE_RETURN_NOT_OK(Expect(is, "entries"));
   size_t count = 0;
   if (!(is >> count)) return Status::IOError("bad entry count");
@@ -129,6 +138,13 @@ Result<OfferingTable> DecodeOfferingTable(const std::string& wire) {
     if (!(is >> e.charger_id >> e.score.sc_min >> e.score.sc_max >> l_lo >>
           l_hi >> a_lo >> a_hi >> d_lo >> d_hi >> e.eta_s)) {
       return Status::IOError("bad entry " + std::to_string(i));
+    }
+    if (version >= 2) {
+      int entry_degraded = 0;
+      if (!(is >> entry_degraded)) {
+        return Status::IOError("bad entry degraded flag " + std::to_string(i));
+      }
+      e.ecs.degraded = entry_degraded != 0;
     }
     if (l_lo > l_hi || a_lo > a_hi || d_lo > d_hi) {
       return Status::IOError("unordered interval in entry " +

@@ -33,6 +33,7 @@ struct EcIntervals {
   Interval availability;  ///< A, free-port fraction
   Interval derouting;     ///< D, normalized extra travel cost
   double eta_s = 0.0;     ///< estimated arrival time offset, seconds
+  bool degraded = false;  ///< any component built from a stale/widened fetch
 };
 
 /// \brief The two rankings scores of eqs. (4) and (5).

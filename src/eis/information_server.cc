@@ -12,20 +12,35 @@ namespace {
 // bucket start so a response is a pure function of its cache key.
 constexpr double kBucketSeconds = 15.0 * kSecondsPerMinute;
 
-uint64_t Bucket(SimTime t) {
+}  // namespace
+
+uint64_t InformationServer::TimeBucket(SimTime t) {
   return static_cast<uint64_t>(std::max(0.0, t) / kBucketSeconds);
 }
 
-SimTime Snap(SimTime t) {
-  return static_cast<double>(Bucket(t)) * kBucketSeconds;
+SimTime InformationServer::SnapToBucket(SimTime t) {
+  return static_cast<double>(TimeBucket(t)) * kBucketSeconds;
 }
 
-uint64_t MixKey(uint64_t a, uint64_t b, uint64_t c) {
+uint64_t InformationServer::MixKey(uint64_t a, uint64_t b, uint64_t c) {
   uint64_t h = a * 0x9E3779B97F4A7C15ULL ^ (b + 0xC2B2AE3D27D4EB4FULL);
   return (h ^ (h >> 29)) * 0xBF58476D1CE4E5B9ULL + c * 0x94D049BB133111EBULL;
 }
 
-}  // namespace
+void InformationServer::CountWeatherCall() {
+  weather_calls_.fetch_add(1, std::memory_order_relaxed);
+  if (weather_calls_mirror_) weather_calls_mirror_->Add();
+}
+
+void InformationServer::CountAvailabilityCall() {
+  availability_calls_.fetch_add(1, std::memory_order_relaxed);
+  if (availability_calls_mirror_) availability_calls_mirror_->Add();
+}
+
+void InformationServer::CountTrafficCall() {
+  traffic_calls_.fetch_add(1, std::memory_order_relaxed);
+  if (traffic_calls_mirror_) traffic_calls_mirror_->Add();
+}
 
 InformationServer::InformationServer(SolarEnergyService* energy,
                                      const AvailabilityService* availability,
@@ -42,39 +57,42 @@ InformationServer::InformationServer(SolarEnergyService* energy,
 EnergyForecast InformationServer::GetEnergyForecast(const EvCharger& charger,
                                                     SimTime now,
                                                     SimTime target,
-                                                    double window_s) {
-  uint64_t key = MixKey(charger.id + 1, Bucket(target), Bucket(now));
+                                                    double window_s,
+                                                    EisFetch* fetch) {
+  if (fetch) *fetch = EisFetch::kFresh;
+  uint64_t key = MixKey(charger.id + 1, TimeBucket(target), TimeBucket(now));
   if (auto cached = weather_cache_.Get(key, now)) return *cached;
-  weather_calls_.fetch_add(1, std::memory_order_relaxed);
-  if (weather_calls_mirror_) weather_calls_mirror_->Add();
-  EnergyForecast f =
-      energy_->ForecastEnergyKwh(charger, Snap(now), Snap(target), window_s);
+  CountWeatherCall();
+  EnergyForecast f = energy_->ForecastEnergyKwh(charger, SnapToBucket(now),
+                                                SnapToBucket(target),
+                                                window_s);
   weather_cache_.Put(key, f, now);
   return f;
 }
 
 AvailabilityForecast InformationServer::GetAvailability(
-    const EvCharger& charger, SimTime now, SimTime target) {
-  uint64_t key = MixKey(charger.id + 1, Bucket(target), Bucket(now));
+    const EvCharger& charger, SimTime now, SimTime target, EisFetch* fetch) {
+  if (fetch) *fetch = EisFetch::kFresh;
+  uint64_t key = MixKey(charger.id + 1, TimeBucket(target), TimeBucket(now));
   if (auto cached = availability_cache_.Get(key, now)) return *cached;
-  availability_calls_.fetch_add(1, std::memory_order_relaxed);
-  if (availability_calls_mirror_) availability_calls_mirror_->Add();
-  AvailabilityForecast f =
-      availability_->Forecast(charger, Snap(now), Snap(target));
+  CountAvailabilityCall();
+  AvailabilityForecast f = availability_->Forecast(
+      charger, SnapToBucket(now), SnapToBucket(target));
   availability_cache_.Put(key, f, now);
   return f;
 }
 
 CongestionModel::Band InformationServer::GetTraffic(RoadClass road_class,
                                                     SimTime now,
-                                                    SimTime target) {
+                                                    SimTime target,
+                                                    EisFetch* fetch) {
+  if (fetch) *fetch = EisFetch::kFresh;
   uint64_t key = MixKey(static_cast<uint64_t>(road_class) + 1,
-                        Bucket(target), Bucket(now));
+                        TimeBucket(target), TimeBucket(now));
   if (auto cached = traffic_cache_.Get(key, now)) return *cached;
-  traffic_calls_.fetch_add(1, std::memory_order_relaxed);
-  if (traffic_calls_mirror_) traffic_calls_mirror_->Add();
-  CongestionModel::Band band =
-      congestion_->ForecastSpeedFactor(road_class, Snap(now), Snap(target));
+  CountTrafficCall();
+  CongestionModel::Band band = congestion_->ForecastSpeedFactor(
+      road_class, SnapToBucket(now), SnapToBucket(target));
   traffic_cache_.Put(key, band, now);
   return band;
 }

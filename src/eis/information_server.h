@@ -27,6 +27,16 @@ struct EisOptions {
   size_t cache_shards = 1;
 };
 
+/// \brief How a Get* response was produced — the rungs of the resilience
+/// degradation ladder (DESIGN.md §11). The plain InformationServer always
+/// reports kFresh; the ResilientInformationServer walks down the ladder
+/// when upstreams fail.
+enum class EisFetch : uint8_t {
+  kFresh = 0,  ///< fresh cache hit or successful upstream fetch
+  kStale = 1,  ///< upstream failed; cache entry served past its TTL
+  kClimatological = 2,  ///< no cache entry; conservative widened default
+};
+
 /// \brief Aggregate upstream-call accounting (a plain value snapshot).
 struct EisCallStats {
   uint64_t weather_api_calls = 0;
@@ -60,18 +70,29 @@ class InformationServer {
                     const AvailabilityService* availability,
                     const CongestionModel* congestion,
                     const EisOptions& options = {});
+  virtual ~InformationServer() = default;
+
+  /// The Get* methods are the decoration seam of the resilience layer:
+  /// ResilientInformationServer overrides them with a fetch path that can
+  /// fail, retry, trip breakers, and degrade. When `fetch` is non-null it
+  /// reports which rung of the degradation ladder produced the response —
+  /// this base implementation cannot degrade and always reports kFresh.
 
   /// L source: forecast clean-energy band for a charger's arrival window.
-  EnergyForecast GetEnergyForecast(const EvCharger& charger, SimTime now,
-                                   SimTime target, double window_s);
+  virtual EnergyForecast GetEnergyForecast(const EvCharger& charger,
+                                           SimTime now, SimTime target,
+                                           double window_s,
+                                           EisFetch* fetch = nullptr);
 
   /// A source: availability band at the ETA.
-  AvailabilityForecast GetAvailability(const EvCharger& charger, SimTime now,
-                                       SimTime target);
+  virtual AvailabilityForecast GetAvailability(const EvCharger& charger,
+                                               SimTime now, SimTime target,
+                                               EisFetch* fetch = nullptr);
 
   /// D source: congestion band for a road class.
-  CongestionModel::Band GetTraffic(RoadClass road_class, SimTime now,
-                                   SimTime target);
+  virtual CongestionModel::Band GetTraffic(RoadClass road_class, SimTime now,
+                                           SimTime target,
+                                           EisFetch* fetch = nullptr);
 
   /// Upstream call and cache counters, materialized from the atomics.
   /// Safe to call concurrently with serving traffic.
@@ -84,10 +105,24 @@ class InformationServer {
   /// `registry` under the `eis.{weather,availability,traffic}.*` names,
   /// so a statsz export reports live call volumes and hit rates. Wire
   /// once, before serving traffic starts; the registry must outlive this
-  /// server's use of it.
-  void AttachMetrics(obs::MetricsRegistry* registry);
+  /// server's use of it. (Virtual so the resilient decorator can add its
+  /// retry/breaker/degradation instruments in the same call.)
+  virtual void AttachMetrics(obs::MetricsRegistry* registry);
 
- private:
+ protected:
+  /// Key/quantization helpers shared with the resilient subclass: both
+  /// paths must map a request to the identical cache key and snapped
+  /// upstream arguments, or the fault-free decorated path would diverge
+  /// from the undecorated one.
+  static uint64_t TimeBucket(SimTime t);
+  static SimTime SnapToBucket(SimTime t);
+  static uint64_t MixKey(uint64_t a, uint64_t b, uint64_t c);
+
+  /// Bumps the per-upstream call counter (atomic + registry mirror).
+  void CountWeatherCall();
+  void CountAvailabilityCall();
+  void CountTrafficCall();
+
   SolarEnergyService* energy_;
   const AvailabilityService* availability_;
   const CongestionModel* congestion_;
@@ -99,6 +134,8 @@ class InformationServer {
   TtlCache<uint64_t, EnergyForecast> weather_cache_;
   TtlCache<uint64_t, AvailabilityForecast> availability_cache_;
   TtlCache<uint64_t, CongestionModel::Band> traffic_cache_;
+
+ private:
   std::atomic<uint64_t> weather_calls_{0};
   std::atomic<uint64_t> availability_calls_{0};
   std::atomic<uint64_t> traffic_calls_{0};

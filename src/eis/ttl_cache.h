@@ -119,6 +119,37 @@ class TtlCache {
     return it->second.value;
   }
 
+  /// Stale-tolerant lookup for the resilience layer's stale-while-
+  /// revalidate rung: returns the entry even past its TTL (never erasing
+  /// it), with `*fresh` reporting whether it was within TTL at `now`.
+  /// Counter accounting matches Get exactly — fresh → hit; stale →
+  /// expiration + miss; absent → miss — so a fault-free decorated path
+  /// (which only takes the fresh branch) leaves stats() bit-identical to
+  /// the undecorated one.
+  std::optional<Value> GetAllowStale(const Key& key, SimTime now,
+                                     bool* fresh) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) {
+      *fresh = false;
+      stats_.AddMiss();
+      if (misses_mirror_) misses_mirror_->Add();
+      return std::nullopt;
+    }
+    *fresh = now - it->second.inserted_at <= ttl_seconds_;
+    if (*fresh) {
+      stats_.AddHit();
+      if (hits_mirror_) hits_mirror_->Add();
+    } else {
+      stats_.AddExpiration();
+      stats_.AddMiss();
+      if (expirations_mirror_) expirations_mirror_->Add();
+      if (misses_mirror_) misses_mirror_->Add();
+    }
+    return it->second.value;
+  }
+
   /// Inserts or refreshes an entry stamped at `now`.
   void Put(const Key& key, const Value& value, SimTime now) {
     Shard& shard = ShardFor(key);

@@ -1,0 +1,106 @@
+#include "resilience/circuit_breaker.h"
+
+#include <algorithm>
+
+namespace ecocharge {
+namespace resilience {
+
+std::string_view BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+    case BreakerState::kOpen:
+      return "open";
+  }
+  return "unknown";
+}
+
+CircuitBreaker::CircuitBreaker(const CircuitBreakerOptions& options)
+    : options_(options) {
+  options_.failure_threshold = std::max(1, options_.failure_threshold);
+  options_.open_duration_s = std::max(0.0, options_.open_duration_s);
+  options_.half_open_probes = std::max(1, options_.half_open_probes);
+}
+
+void CircuitBreaker::SetStateLocked(BreakerState next) {
+  state_ = next;
+  if (state_gauge_) state_gauge_->Set(static_cast<int64_t>(next));
+}
+
+void CircuitBreaker::OpenLocked(SimTime now) {
+  SetStateLocked(BreakerState::kOpen);
+  opened_at_ = now;
+  probes_granted_ = 0;
+  ++opens_;
+  if (opens_counter_) opens_counter_->Add();
+}
+
+bool CircuitBreaker::Allow(SimTime now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      if (now - opened_at_ < options_.open_duration_s) return false;
+      SetStateLocked(BreakerState::kHalfOpen);
+      probes_granted_ = 0;
+      [[fallthrough]];
+    case BreakerState::kHalfOpen:
+      if (probes_granted_ >= options_.half_open_probes) return false;
+      ++probes_granted_;
+      return true;
+  }
+  return true;  // unreachable
+}
+
+void CircuitBreaker::RecordSuccess(SimTime /*now*/) {
+  std::lock_guard<std::mutex> lock(mu_);
+  consecutive_failures_ = 0;
+  probes_granted_ = 0;
+  if (state_ != BreakerState::kClosed) SetStateLocked(BreakerState::kClosed);
+}
+
+void CircuitBreaker::RecordFailure(SimTime now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case BreakerState::kClosed:
+      if (++consecutive_failures_ >= options_.failure_threshold) {
+        OpenLocked(now);
+      }
+      return;
+    case BreakerState::kHalfOpen:
+      // The probe failed: the upstream is still down.
+      OpenLocked(now);
+      return;
+    case BreakerState::kOpen:
+      // A straggler admitted before the trip; already open.
+      return;
+  }
+}
+
+BreakerState CircuitBreaker::state(SimTime now) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == BreakerState::kOpen &&
+      now - opened_at_ >= options_.open_duration_s) {
+    return BreakerState::kHalfOpen;
+  }
+  return state_;
+}
+
+uint64_t CircuitBreaker::opens() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return opens_;
+}
+
+void CircuitBreaker::AttachMetrics(obs::Gauge* state_gauge,
+                                   obs::Counter* opens_counter) {
+  std::lock_guard<std::mutex> lock(mu_);
+  state_gauge_ = state_gauge;
+  opens_counter_ = opens_counter;
+  if (state_gauge_) state_gauge_->Set(static_cast<int64_t>(state_));
+}
+
+}  // namespace resilience
+}  // namespace ecocharge

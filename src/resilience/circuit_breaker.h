@@ -1,0 +1,95 @@
+#ifndef ECOCHARGE_RESILIENCE_CIRCUIT_BREAKER_H_
+#define ECOCHARGE_RESILIENCE_CIRCUIT_BREAKER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string_view>
+
+#include "common/simtime.h"
+#include "obs/metrics.h"
+
+namespace ecocharge {
+namespace resilience {
+
+/// \brief Circuit breaker state, exported as a gauge (the numeric values
+/// are the statsz encoding: 0 healthy, rising with severity).
+enum class BreakerState : uint8_t {
+  kClosed = 0,    ///< healthy: every request passes
+  kHalfOpen = 1,  ///< probing: a bounded number of trial requests pass
+  kOpen = 2,      ///< tripped: requests short-circuit without an upstream call
+};
+
+std::string_view BreakerStateName(BreakerState state);
+
+/// \brief Knobs of one per-upstream circuit breaker.
+struct CircuitBreakerOptions {
+  /// Consecutive failures that trip the breaker open.
+  int failure_threshold = 5;
+
+  /// Sim-time the breaker stays open before admitting probe requests.
+  double open_duration_s = 5.0 * kSecondsPerMinute;
+
+  /// Probe requests admitted per half-open episode. A success closes the
+  /// breaker; a failure re-opens it for another open_duration_s.
+  int half_open_probes = 1;
+};
+
+/// \brief Classic closed / open / half-open circuit breaker over sim time.
+///
+/// Protects a failing upstream from retry storms: after
+/// `failure_threshold` consecutive failures the breaker opens and callers
+/// short-circuit to the degradation ladder (stale cache, climatological
+/// defaults) without paying the upstream's failure latency. After
+/// `open_duration_s` the breaker admits a bounded number of probes; one
+/// probe success closes it, a probe failure re-opens it.
+///
+/// The clock is simulation time passed by the caller, so breaker episodes
+/// are deterministic and tests never sleep. Thread safety: all state sits
+/// behind one mutex — the breaker is only consulted on the cache-miss
+/// path, where an upstream round-trip (or its injected failure) dwarfs an
+/// uncontended lock.
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(const CircuitBreakerOptions& options = {});
+
+  /// True when a request may go upstream at `now`. May transition
+  /// open -> half-open (and consumes one probe slot when half-open).
+  bool Allow(SimTime now);
+
+  /// Reports the outcome of an admitted request. A success closes the
+  /// breaker from any state; a failure counts toward the threshold
+  /// (closed) or re-opens immediately (half-open).
+  void RecordSuccess(SimTime now);
+  void RecordFailure(SimTime now);
+
+  /// Current state as of `now` (open reports half-open once the cooldown
+  /// has elapsed, matching what Allow would do).
+  BreakerState state(SimTime now) const;
+
+  /// Times the breaker tripped open (including half-open re-opens).
+  uint64_t opens() const;
+
+  /// Mirrors state transitions onto a registry-owned gauge (numeric
+  /// BreakerState) and open-transitions onto a counter; null detaches.
+  /// Wire before traffic starts; instruments must outlive their use.
+  void AttachMetrics(obs::Gauge* state_gauge, obs::Counter* opens_counter);
+
+ private:
+  void OpenLocked(SimTime now);
+  void SetStateLocked(BreakerState next);
+
+  CircuitBreakerOptions options_;
+  mutable std::mutex mu_;
+  BreakerState state_ = BreakerState::kClosed;
+  int consecutive_failures_ = 0;
+  int probes_granted_ = 0;     ///< probes admitted this half-open episode
+  SimTime opened_at_ = 0.0;    ///< when the breaker last tripped
+  uint64_t opens_ = 0;
+  obs::Gauge* state_gauge_ = nullptr;
+  obs::Counter* opens_counter_ = nullptr;
+};
+
+}  // namespace resilience
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_RESILIENCE_CIRCUIT_BREAKER_H_

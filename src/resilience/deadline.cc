@@ -1,0 +1,39 @@
+#include "resilience/deadline.h"
+
+#include <algorithm>
+
+namespace ecocharge {
+namespace resilience {
+
+namespace {
+
+/// Innermost active deadline of the calling thread (null = none).
+thread_local ScopedRequestDeadline* t_active = nullptr;
+
+}  // namespace
+
+ScopedRequestDeadline::ScopedRequestDeadline(double budget_ms)
+    : budget_ms_(std::max(0.0, budget_ms)), outer_(t_active) {
+  t_active = this;
+}
+
+ScopedRequestDeadline::~ScopedRequestDeadline() {
+  t_active = outer_;
+  // Inner charges count against the outer budget too (nested deadlines
+  // share the same wall clock).
+  if (outer_ != nullptr) outer_->spent_ms_ += spent_ms_;
+}
+
+double ScopedRequestDeadline::RemainingMs() {
+  const ScopedRequestDeadline* active = t_active;
+  if (active == nullptr) return std::numeric_limits<double>::infinity();
+  return std::max(0.0, active->budget_ms_ - active->spent_ms_);
+}
+
+void ScopedRequestDeadline::Charge(double ms) {
+  if (ms <= 0.0) return;
+  if (ScopedRequestDeadline* active = t_active) active->spent_ms_ += ms;
+}
+
+}  // namespace resilience
+}  // namespace ecocharge

@@ -1,0 +1,57 @@
+#ifndef ECOCHARGE_RESILIENCE_DEADLINE_H_
+#define ECOCHARGE_RESILIENCE_DEADLINE_H_
+
+#include <limits>
+
+namespace ecocharge {
+namespace resilience {
+
+/// \brief Per-request virtual time budget, in milliseconds.
+///
+/// The resilience layer never sleeps: injected upstream latency and retry
+/// backoff are *charged* against this budget arithmetically, so tests and
+/// benches are sleep-free and bit-stable while still exercising deadline
+/// semantics. The budget is the serving runtime's request deadline — the
+/// OfferingServer opens a ScopedRequestDeadline before handling a request
+/// and every EIS fetch underneath it draws from the same pot, which is
+/// exactly how a production deadline propagates through an RPC stack.
+///
+/// The active budget is a thread-local slot: one serving worker handles
+/// one request at a time, so scoping the deadline to the worker thread
+/// propagates it through the estimator and the EIS without threading a
+/// parameter through every signature on the hot path. When no deadline is
+/// active, RemainingMs() is +infinity and Charge() is a no-op — library
+/// code can charge unconditionally.
+class ScopedRequestDeadline {
+ public:
+  /// Activates a budget of `budget_ms` on this thread. Nests: the previous
+  /// scope (if any) is restored on destruction; charges inside the inner
+  /// scope also count against the outer one, like nested RPC deadlines.
+  explicit ScopedRequestDeadline(double budget_ms);
+  ~ScopedRequestDeadline();
+
+  ScopedRequestDeadline(const ScopedRequestDeadline&) = delete;
+  ScopedRequestDeadline& operator=(const ScopedRequestDeadline&) = delete;
+
+  /// Budget left on this thread's innermost active deadline; +infinity
+  /// when none is active.
+  static double RemainingMs();
+
+  /// Consumes `ms` of the active budget (saturating at zero remaining);
+  /// no-op when no deadline is active or `ms` <= 0.
+  static void Charge(double ms);
+
+  /// Virtual milliseconds consumed so far in this scope (latency spikes,
+  /// backoff); what a latency histogram of the virtual clock would see.
+  double spent_ms() const { return spent_ms_; }
+
+ private:
+  double budget_ms_;
+  double spent_ms_ = 0.0;
+  ScopedRequestDeadline* outer_;  ///< restored on destruction
+};
+
+}  // namespace resilience
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_RESILIENCE_DEADLINE_H_

@@ -1,0 +1,41 @@
+#include "resilience/eis_source.h"
+
+namespace ecocharge {
+namespace resilience {
+
+std::string_view UpstreamKindName(UpstreamKind kind) {
+  switch (kind) {
+    case UpstreamKind::kWeather:
+      return "weather";
+    case UpstreamKind::kAvailability:
+      return "availability";
+    case UpstreamKind::kTraffic:
+      return "traffic";
+  }
+  return "unknown";
+}
+
+DirectEisSource::DirectEisSource(SolarEnergyService* energy,
+                                 const AvailabilityService* availability,
+                                 const CongestionModel* congestion)
+    : energy_(energy),
+      availability_(availability),
+      congestion_(congestion) {}
+
+Result<EnergyForecast> DirectEisSource::FetchEnergyForecast(
+    const EvCharger& charger, SimTime now, SimTime target, double window_s) {
+  return energy_->ForecastEnergyKwh(charger, now, target, window_s);
+}
+
+Result<AvailabilityForecast> DirectEisSource::FetchAvailability(
+    const EvCharger& charger, SimTime now, SimTime target) {
+  return availability_->Forecast(charger, now, target);
+}
+
+Result<CongestionModel::Band> DirectEisSource::FetchTraffic(
+    RoadClass road_class, SimTime now, SimTime target) {
+  return congestion_->ForecastSpeedFactor(road_class, now, target);
+}
+
+}  // namespace resilience
+}  // namespace ecocharge

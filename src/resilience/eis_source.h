@@ -1,0 +1,97 @@
+#ifndef ECOCHARGE_RESILIENCE_EIS_SOURCE_H_
+#define ECOCHARGE_RESILIENCE_EIS_SOURCE_H_
+
+#include <cstddef>
+#include <string_view>
+
+#include "availability/availability_service.h"
+#include "common/result.h"
+#include "energy/production.h"
+#include "traffic/congestion.h"
+
+namespace ecocharge {
+namespace resilience {
+
+/// \brief The three upstream "APIs" behind the EcoCharge Information
+/// Server, as failure domains: weather forecasts (L), popular-times
+/// histograms (A), live traffic (D). Each gets its own fault profile,
+/// circuit breaker, and metric family.
+enum class UpstreamKind : uint8_t {
+  kWeather = 0,
+  kAvailability = 1,
+  kTraffic = 2,
+};
+
+inline constexpr size_t kNumUpstreamKinds = 3;
+
+inline constexpr UpstreamKind kAllUpstreamKinds[kNumUpstreamKinds] = {
+    UpstreamKind::kWeather,
+    UpstreamKind::kAvailability,
+    UpstreamKind::kTraffic,
+};
+
+std::string_view UpstreamKindName(UpstreamKind kind);
+
+/// \brief The upstream boundary of the Information Server: one virtual
+/// fetch per external API, each of which may fail.
+///
+/// The paper's deployment reaches weather, popular-times, and traffic
+/// providers over HTTP; in this reproduction the providers are pure
+/// simulated services that cannot fail — so the fallible seam is
+/// introduced here, where a production system would hold its RPC stubs.
+/// DirectEisSource adapts the simulated services (always succeeds);
+/// FaultInjector decorates any source with deterministic failures; the
+/// ResilientInformationServer consumes the composed chain.
+///
+/// Implementations must be safe for concurrent calls from all serving
+/// workers (the simulated services are const and pure; decorators guard
+/// their own state).
+class EisSource {
+ public:
+  virtual ~EisSource() = default;
+
+  /// L upstream: clean-energy forecast for an arrival window.
+  virtual Result<EnergyForecast> FetchEnergyForecast(const EvCharger& charger,
+                                                     SimTime now,
+                                                     SimTime target,
+                                                     double window_s) = 0;
+
+  /// A upstream: availability band at the ETA.
+  virtual Result<AvailabilityForecast> FetchAvailability(
+      const EvCharger& charger, SimTime now, SimTime target) = 0;
+
+  /// D upstream: congestion band for a road class.
+  virtual Result<CongestionModel::Band> FetchTraffic(RoadClass road_class,
+                                                     SimTime now,
+                                                     SimTime target) = 0;
+};
+
+/// \brief Adapter from the simulated forecast services to EisSource: the
+/// infallible upstream every fault-free configuration bottoms out in.
+/// Callers pass times already snapped to the forecast bucket (the
+/// InformationServer's job), so responses stay pure in the cache key.
+class DirectEisSource : public EisSource {
+ public:
+  DirectEisSource(SolarEnergyService* energy,
+                  const AvailabilityService* availability,
+                  const CongestionModel* congestion);
+
+  Result<EnergyForecast> FetchEnergyForecast(const EvCharger& charger,
+                                             SimTime now, SimTime target,
+                                             double window_s) override;
+  Result<AvailabilityForecast> FetchAvailability(const EvCharger& charger,
+                                                 SimTime now,
+                                                 SimTime target) override;
+  Result<CongestionModel::Band> FetchTraffic(RoadClass road_class, SimTime now,
+                                             SimTime target) override;
+
+ private:
+  SolarEnergyService* energy_;
+  const AvailabilityService* availability_;
+  const CongestionModel* congestion_;
+};
+
+}  // namespace resilience
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_RESILIENCE_EIS_SOURCE_H_

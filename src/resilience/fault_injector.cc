@@ -1,0 +1,151 @@
+#include "resilience/fault_injector.h"
+
+#include <algorithm>
+#include <string>
+
+#include "resilience/deadline.h"
+
+namespace ecocharge {
+namespace resilience {
+
+namespace {
+
+/// Derives statistically independent per-upstream seeds from one master
+/// seed (SplitMix64 finalizer, same mixer the Rng seeds itself with).
+uint64_t MixSeed(uint64_t seed, uint64_t kind) {
+  uint64_t z = seed + (kind + 1) * 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(EisSource* inner,
+                             const FaultInjectorOptions& options)
+    : inner_(inner), options_(options) {
+  for (UpstreamKind kind : kAllUpstreamKinds) {
+    kinds_[static_cast<size_t>(kind)].rng =
+        Rng(MixSeed(options_.seed, static_cast<uint64_t>(kind)));
+  }
+}
+
+Status FaultInjector::Decide(UpstreamKind kind, SimTime now) {
+  const FaultProfile& profile = options_.ProfileFor(kind);
+  KindState& state = kinds_[static_cast<size_t>(kind)];
+  std::lock_guard<std::mutex> lock(state.mu);
+  ++state.stats.calls;
+  if (state.calls_mirror) state.calls_mirror->Add();
+  if (!profile.Active()) return Status::OK();
+
+  // Rate limit first: a limiter rejects before the provider does any work
+  // (and without charging the provider's latency).
+  if (profile.rate_limit > 0 && profile.rate_window_s > 0.0) {
+    uint64_t window =
+        static_cast<uint64_t>(std::max(0.0, now) / profile.rate_window_s);
+    if (window != state.window_index) {
+      state.window_index = window;
+      state.window_calls = 0;
+    }
+    if (++state.window_calls > profile.rate_limit) {
+      ++state.stats.rate_limited;
+      if (state.rate_limited_mirror) state.rate_limited_mirror->Add();
+      return Status::Unavailable(std::string(UpstreamKindName(kind)) +
+                                 " upstream rate limited");
+    }
+  }
+
+  ScopedRequestDeadline::Charge(profile.base_latency_ms);
+
+  // Sustained stall burst: once entered, this and the following calls all
+  // time out — the failure mode retries alone cannot ride out, which is
+  // what the circuit breaker is for.
+  bool stalled = false;
+  if (state.stall_remaining > 0) {
+    --state.stall_remaining;
+    stalled = true;
+  } else if (profile.stall_probability > 0.0 &&
+             state.rng.NextBool(profile.stall_probability)) {
+    state.stall_remaining = std::max(0, profile.stall_calls - 1);
+    stalled = true;
+  }
+  if (stalled) {
+    // A stalled call burns the full spike latency before failing.
+    ScopedRequestDeadline::Charge(profile.spike_latency_ms);
+    ++state.stats.stall_failures;
+    if (state.stalls_mirror) state.stalls_mirror->Add();
+    return Status::Unavailable(std::string(UpstreamKindName(kind)) +
+                               " upstream stalled");
+  }
+
+  if (profile.spike_probability > 0.0 &&
+      state.rng.NextBool(profile.spike_probability)) {
+    ScopedRequestDeadline::Charge(
+        state.rng.NextExponential(1.0 / std::max(1e-9,
+                                                 profile.spike_latency_ms)));
+    ++state.stats.spikes;
+    if (state.spikes_mirror) state.spikes_mirror->Add();
+  }
+
+  if (profile.error_probability > 0.0 &&
+      state.rng.NextBool(profile.error_probability)) {
+    ++state.stats.errors;
+    if (state.errors_mirror) state.errors_mirror->Add();
+    return Status::Unavailable(std::string(UpstreamKindName(kind)) +
+                               " upstream transient error");
+  }
+  return Status::OK();
+}
+
+Result<EnergyForecast> FaultInjector::FetchEnergyForecast(
+    const EvCharger& charger, SimTime now, SimTime target, double window_s) {
+  Status st = Decide(UpstreamKind::kWeather, now);
+  if (!st.ok()) return st;
+  return inner_->FetchEnergyForecast(charger, now, target, window_s);
+}
+
+Result<AvailabilityForecast> FaultInjector::FetchAvailability(
+    const EvCharger& charger, SimTime now, SimTime target) {
+  Status st = Decide(UpstreamKind::kAvailability, now);
+  if (!st.ok()) return st;
+  return inner_->FetchAvailability(charger, now, target);
+}
+
+Result<CongestionModel::Band> FaultInjector::FetchTraffic(RoadClass road_class,
+                                                          SimTime now,
+                                                          SimTime target) {
+  Status st = Decide(UpstreamKind::kTraffic, now);
+  if (!st.ok()) return st;
+  return inner_->FetchTraffic(road_class, now, target);
+}
+
+FaultStats FaultInjector::Snapshot(UpstreamKind kind) const {
+  const KindState& state = kinds_[static_cast<size_t>(kind)];
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.stats;
+}
+
+void FaultInjector::AttachMetrics(obs::MetricsRegistry* registry) {
+  for (UpstreamKind kind : kAllUpstreamKinds) {
+    KindState& state = kinds_[static_cast<size_t>(kind)];
+    std::lock_guard<std::mutex> lock(state.mu);
+    if (!registry) {
+      state.calls_mirror = nullptr;
+      state.errors_mirror = nullptr;
+      state.stalls_mirror = nullptr;
+      state.rate_limited_mirror = nullptr;
+      state.spikes_mirror = nullptr;
+      continue;
+    }
+    std::string prefix = "fault." + std::string(UpstreamKindName(kind));
+    state.calls_mirror = registry->GetCounter(prefix + ".calls", "calls");
+    state.errors_mirror = registry->GetCounter(prefix + ".errors", "calls");
+    state.stalls_mirror = registry->GetCounter(prefix + ".stalls", "calls");
+    state.rate_limited_mirror =
+        registry->GetCounter(prefix + ".rate_limited", "calls");
+    state.spikes_mirror = registry->GetCounter(prefix + ".spikes", "calls");
+  }
+}
+
+}  // namespace resilience
+}  // namespace ecocharge

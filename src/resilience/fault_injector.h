@@ -1,0 +1,151 @@
+#ifndef ECOCHARGE_RESILIENCE_FAULT_INJECTOR_H_
+#define ECOCHARGE_RESILIENCE_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <mutex>
+
+#include "common/rng.h"
+#include "obs/metrics.h"
+#include "resilience/eis_source.h"
+
+namespace ecocharge {
+namespace resilience {
+
+/// \brief Failure modes of one upstream API. All probabilities are per
+/// call; everything is driven by one seeded RNG stream per upstream, so a
+/// whole fault schedule is reproducible bit-for-bit from the seed.
+struct FaultProfile {
+  /// Probability that a call fails with a transient kUnavailable.
+  double error_probability = 0.0;
+
+  /// Virtual latency charged to the request budget on every call (the
+  /// provider's normal round trip).
+  double base_latency_ms = 0.0;
+
+  /// Probability of a latency spike; the spike adds an exponential draw
+  /// with mean `spike_latency_ms` on top of the base latency.
+  double spike_probability = 0.0;
+  double spike_latency_ms = 250.0;
+
+  /// Probability that a call starts a sustained stall burst: this call
+  /// and the next `stall_calls - 1` calls all fail (after charging the
+  /// spike latency — a stalled upstream burns the deadline, then dies).
+  double stall_probability = 0.0;
+  int stall_calls = 8;
+
+  /// Token-bucket-style rate limit: at most `rate_limit` calls per
+  /// `rate_window_s` of sim time; excess calls fail with kUnavailable.
+  /// 0 disables the limit.
+  uint32_t rate_limit = 0;
+  double rate_window_s = 60.0;
+
+  bool Active() const {
+    return error_probability > 0.0 || base_latency_ms > 0.0 ||
+           spike_probability > 0.0 || stall_probability > 0.0 ||
+           rate_limit > 0;
+  }
+};
+
+/// \brief Injector configuration: one profile per upstream plus the seed
+/// that makes every schedule deterministic.
+struct FaultInjectorOptions {
+  uint64_t seed = 0x0FA117ULL;
+  FaultProfile weather;
+  FaultProfile availability;
+  FaultProfile traffic;
+
+  const FaultProfile& ProfileFor(UpstreamKind kind) const {
+    switch (kind) {
+      case UpstreamKind::kWeather:
+        return weather;
+      case UpstreamKind::kAvailability:
+        return availability;
+      case UpstreamKind::kTraffic:
+        return traffic;
+    }
+    return weather;  // unreachable
+  }
+
+  /// Convenience: the same profile on all three upstreams.
+  static FaultInjectorOptions Uniform(const FaultProfile& profile,
+                                      uint64_t seed = 0x0FA117ULL) {
+    FaultInjectorOptions o;
+    o.seed = seed;
+    o.weather = o.availability = o.traffic = profile;
+    return o;
+  }
+};
+
+/// \brief Aggregate injection accounting for one upstream (plain values).
+struct FaultStats {
+  uint64_t calls = 0;         ///< Fetch* invocations seen
+  uint64_t errors = 0;        ///< transient kUnavailable injections
+  uint64_t stall_failures = 0;  ///< failures served during stall bursts
+  uint64_t rate_limited = 0;  ///< rejections from the rate-limit window
+  uint64_t spikes = 0;        ///< latency spikes charged
+
+  uint64_t Failures() const { return errors + stall_failures + rate_limited; }
+};
+
+/// \brief Deterministic fault-injecting decorator over any EisSource.
+///
+/// Sits where a flaky network would: between the Information Server and
+/// its providers. Each upstream kind draws faults from its own
+/// SplitMix-derived RNG stream, so (a) one seed reproduces the full fault
+/// schedule and (b) enabling faults on one upstream does not perturb the
+/// schedule of another. Latency is virtual — charged to the active
+/// ScopedRequestDeadline instead of slept — so fault tests are bit-stable
+/// and sleep-free.
+///
+/// Thread safety: per-upstream state (RNG, stall/rate-limit windows,
+/// counters) is guarded by a per-upstream mutex; concurrent calls to
+/// different upstreams never contend.
+class FaultInjector : public EisSource {
+ public:
+  /// `inner` is not owned and must outlive the injector.
+  FaultInjector(EisSource* inner, const FaultInjectorOptions& options);
+
+  Result<EnergyForecast> FetchEnergyForecast(const EvCharger& charger,
+                                             SimTime now, SimTime target,
+                                             double window_s) override;
+  Result<AvailabilityForecast> FetchAvailability(const EvCharger& charger,
+                                                 SimTime now,
+                                                 SimTime target) override;
+  Result<CongestionModel::Band> FetchTraffic(RoadClass road_class, SimTime now,
+                                             SimTime target) override;
+
+  /// Injection accounting for one upstream; safe under traffic.
+  FaultStats Snapshot(UpstreamKind kind) const;
+
+  /// Wires `fault.<kind>.{calls,errors,stalls,rate_limited,spikes}`
+  /// counters onto `registry`; null detaches. Wire before traffic.
+  void AttachMetrics(obs::MetricsRegistry* registry);
+
+ private:
+  struct KindState {
+    mutable std::mutex mu;
+    Rng rng{1};
+    int stall_remaining = 0;      ///< calls left in the active stall burst
+    uint64_t window_index = 0;    ///< rate-limit window currently counted
+    uint32_t window_calls = 0;    ///< calls admitted in that window
+    FaultStats stats;
+    obs::Counter* calls_mirror = nullptr;
+    obs::Counter* errors_mirror = nullptr;
+    obs::Counter* stalls_mirror = nullptr;
+    obs::Counter* rate_limited_mirror = nullptr;
+    obs::Counter* spikes_mirror = nullptr;
+  };
+
+  /// Rolls the dice for one call: charges latency and returns OK (forward
+  /// to the inner source) or the injected failure.
+  Status Decide(UpstreamKind kind, SimTime now);
+
+  EisSource* inner_;
+  FaultInjectorOptions options_;
+  KindState kinds_[kNumUpstreamKinds];
+};
+
+}  // namespace resilience
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_RESILIENCE_FAULT_INJECTOR_H_

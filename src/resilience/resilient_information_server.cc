@@ -1,0 +1,242 @@
+#include "resilience/resilient_information_server.h"
+
+#include <algorithm>
+#include <optional>
+
+namespace ecocharge {
+namespace resilience {
+
+namespace {
+
+/// Derives a per-upstream jitter stream from the retry seed (SplitMix64
+/// finalizer), offset so it never collides with the fault-schedule
+/// streams derived from the same master seed value.
+uint64_t MixRetrySeed(uint64_t seed, uint64_t kind) {
+  uint64_t z = seed + (kind + 17) * 0xD1B54A32D192ED03ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Climatological defaults: the bottom rung of the degradation ladder.
+/// Each default *widens* the interval to bounds that hold for any
+/// weather/occupancy/traffic, so an EC estimate built from them still
+/// contains the truth — the ranking loses sharpness, not correctness.
+
+EnergyForecast ClimatologicalEnergy(const EvCharger& charger,
+                                    double window_s) {
+  // Zero clean energy up to the site's physical ceiling: delivery capped
+  // by both the charger rate and the attached PV capacity over the window.
+  EnergyForecast f;
+  f.min_kwh = 0.0;
+  f.max_kwh = std::min(charger.RateKw(), charger.pv_capacity_kw) * window_s /
+              kSecondsPerHour;
+  return f;
+}
+
+AvailabilityForecast ClimatologicalAvailability() {
+  return AvailabilityForecast{0.0, 1.0};  // anything from full to empty
+}
+
+CongestionModel::Band ClimatologicalTraffic() {
+  return CongestionModel::Band{};  // the model's full {0.15, 1.0} range
+}
+
+}  // namespace
+
+ResilientInformationServer::ResilientInformationServer(
+    SolarEnergyService* energy, const AvailabilityService* availability,
+    const CongestionModel* congestion, const EisOptions& eis_options,
+    const ResilienceOptions& options)
+    : InformationServer(energy, availability, congestion, eis_options),
+      options_(options),
+      retry_policy_(options.retry),
+      direct_(std::make_unique<DirectEisSource>(energy, availability,
+                                                congestion)),
+      injector_(std::make_unique<FaultInjector>(direct_.get(),
+                                                options.faults)),
+      source_(injector_.get()) {
+  InitUpstreams();
+}
+
+ResilientInformationServer::ResilientInformationServer(
+    EisSource* source, SolarEnergyService* energy,
+    const AvailabilityService* availability, const CongestionModel* congestion,
+    const EisOptions& eis_options, const ResilienceOptions& options)
+    : InformationServer(energy, availability, congestion, eis_options),
+      options_(options),
+      retry_policy_(options.retry),
+      source_(source) {
+  InitUpstreams();
+}
+
+void ResilientInformationServer::InitUpstreams() {
+  for (UpstreamKind kind : kAllUpstreamKinds) {
+    UpstreamState& st = StateFor(kind);
+    st.breaker = std::make_unique<CircuitBreaker>(options_.breaker);
+    st.rng = Rng(MixRetrySeed(options_.retry_seed,
+                              static_cast<uint64_t>(kind)));
+  }
+}
+
+void ResilientInformationServer::CountStaleServe(UpstreamKind kind) {
+  UpstreamState& st = StateFor(kind);
+  st.stale_serves.fetch_add(1, std::memory_order_relaxed);
+  if (st.stale_mirror) st.stale_mirror->Add();
+}
+
+void ResilientInformationServer::CountClimatologicalServe(UpstreamKind kind) {
+  UpstreamState& st = StateFor(kind);
+  st.climatological_serves.fetch_add(1, std::memory_order_relaxed);
+  if (st.climatological_mirror) st.climatological_mirror->Add();
+}
+
+EnergyForecast ResilientInformationServer::GetEnergyForecast(
+    const EvCharger& charger, SimTime now, SimTime target, double window_s,
+    EisFetch* fetch) {
+  uint64_t key = MixKey(charger.id + 1, TimeBucket(target), TimeBucket(now));
+  bool fresh = false;
+  std::optional<EnergyForecast> cached =
+      weather_cache_.GetAllowStale(key, now, &fresh);
+  if (cached && fresh) {
+    if (fetch) *fetch = EisFetch::kFresh;
+    return *cached;
+  }
+  Result<EnergyForecast> fetched = FetchWithResilience<EnergyForecast>(
+      UpstreamKind::kWeather, now, [&]() -> Result<EnergyForecast> {
+        CountWeatherCall();
+        return source_->FetchEnergyForecast(charger, SnapToBucket(now),
+                                            SnapToBucket(target), window_s);
+      });
+  if (fetched.ok()) {
+    weather_cache_.Put(key, *fetched, now);
+    if (fetch) *fetch = EisFetch::kFresh;
+    return *fetched;
+  }
+  if (cached) {
+    CountStaleServe(UpstreamKind::kWeather);
+    if (fetch) *fetch = EisFetch::kStale;
+    return *cached;
+  }
+  CountClimatologicalServe(UpstreamKind::kWeather);
+  if (fetch) *fetch = EisFetch::kClimatological;
+  return ClimatologicalEnergy(charger, window_s);
+}
+
+AvailabilityForecast ResilientInformationServer::GetAvailability(
+    const EvCharger& charger, SimTime now, SimTime target, EisFetch* fetch) {
+  uint64_t key = MixKey(charger.id + 1, TimeBucket(target), TimeBucket(now));
+  bool fresh = false;
+  std::optional<AvailabilityForecast> cached =
+      availability_cache_.GetAllowStale(key, now, &fresh);
+  if (cached && fresh) {
+    if (fetch) *fetch = EisFetch::kFresh;
+    return *cached;
+  }
+  Result<AvailabilityForecast> fetched =
+      FetchWithResilience<AvailabilityForecast>(
+          UpstreamKind::kAvailability, now,
+          [&]() -> Result<AvailabilityForecast> {
+            CountAvailabilityCall();
+            return source_->FetchAvailability(charger, SnapToBucket(now),
+                                              SnapToBucket(target));
+          });
+  if (fetched.ok()) {
+    availability_cache_.Put(key, *fetched, now);
+    if (fetch) *fetch = EisFetch::kFresh;
+    return *fetched;
+  }
+  if (cached) {
+    CountStaleServe(UpstreamKind::kAvailability);
+    if (fetch) *fetch = EisFetch::kStale;
+    return *cached;
+  }
+  CountClimatologicalServe(UpstreamKind::kAvailability);
+  if (fetch) *fetch = EisFetch::kClimatological;
+  return ClimatologicalAvailability();
+}
+
+CongestionModel::Band ResilientInformationServer::GetTraffic(
+    RoadClass road_class, SimTime now, SimTime target, EisFetch* fetch) {
+  uint64_t key = MixKey(static_cast<uint64_t>(road_class) + 1,
+                        TimeBucket(target), TimeBucket(now));
+  bool fresh = false;
+  std::optional<CongestionModel::Band> cached =
+      traffic_cache_.GetAllowStale(key, now, &fresh);
+  if (cached && fresh) {
+    if (fetch) *fetch = EisFetch::kFresh;
+    return *cached;
+  }
+  Result<CongestionModel::Band> fetched =
+      FetchWithResilience<CongestionModel::Band>(
+          UpstreamKind::kTraffic, now,
+          [&]() -> Result<CongestionModel::Band> {
+            CountTrafficCall();
+            return source_->FetchTraffic(road_class, SnapToBucket(now),
+                                         SnapToBucket(target));
+          });
+  if (fetched.ok()) {
+    traffic_cache_.Put(key, *fetched, now);
+    if (fetch) *fetch = EisFetch::kFresh;
+    return *fetched;
+  }
+  if (cached) {
+    CountStaleServe(UpstreamKind::kTraffic);
+    if (fetch) *fetch = EisFetch::kStale;
+    return *cached;
+  }
+  CountClimatologicalServe(UpstreamKind::kTraffic);
+  if (fetch) *fetch = EisFetch::kClimatological;
+  return ClimatologicalTraffic();
+}
+
+void ResilientInformationServer::AttachMetrics(obs::MetricsRegistry* registry) {
+  InformationServer::AttachMetrics(registry);
+  if (injector_) injector_->AttachMetrics(registry);
+  for (UpstreamKind kind : kAllUpstreamKinds) {
+    UpstreamState& st = StateFor(kind);
+    if (!registry) {
+      st.retries_mirror = nullptr;
+      st.backoff_ms_mirror = nullptr;
+      st.stale_mirror = nullptr;
+      st.climatological_mirror = nullptr;
+      st.rejected_mirror = nullptr;
+      st.breaker->AttachMetrics(nullptr, nullptr);
+      continue;
+    }
+    std::string prefix = "resilience." + std::string(UpstreamKindName(kind));
+    st.retries_mirror = registry->GetCounter(prefix + ".retries", "retries");
+    st.backoff_ms_mirror = registry->GetCounter(prefix + ".backoff_ms", "ms");
+    st.stale_mirror =
+        registry->GetCounter(prefix + ".stale_serves", "responses");
+    st.climatological_mirror =
+        registry->GetCounter(prefix + ".climatological_serves", "responses");
+    st.rejected_mirror =
+        registry->GetCounter(prefix + ".breaker_rejected", "requests");
+    st.breaker->AttachMetrics(
+        registry->GetGauge(prefix + ".breaker_state", "state"),
+        registry->GetCounter(prefix + ".breaker_opens", "transitions"));
+  }
+}
+
+UpstreamResilienceStats ResilientInformationServer::ResilienceSnapshot(
+    UpstreamKind kind, SimTime now) const {
+  const UpstreamState& st = upstreams_[static_cast<size_t>(kind)];
+  UpstreamResilienceStats s;
+  s.retries = st.retries.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(st.mu);
+    s.backoff_ms = st.backoff_ms;
+  }
+  s.stale_serves = st.stale_serves.load(std::memory_order_relaxed);
+  s.climatological_serves =
+      st.climatological_serves.load(std::memory_order_relaxed);
+  s.breaker_rejections =
+      st.breaker_rejections.load(std::memory_order_relaxed);
+  s.breaker_opens = st.breaker->opens();
+  s.breaker_state = st.breaker->state(now);
+  return s;
+}
+
+}  // namespace resilience
+}  // namespace ecocharge

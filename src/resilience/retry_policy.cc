@@ -1,0 +1,33 @@
+#include "resilience/retry_policy.h"
+
+#include <algorithm>
+
+namespace ecocharge {
+namespace resilience {
+
+RetryPolicy::RetryPolicy(const RetryPolicyOptions& options)
+    : options_(options) {
+  options_.max_attempts = std::max(1, options_.max_attempts);
+  options_.base_backoff_ms = std::max(0.0, options_.base_backoff_ms);
+  options_.max_backoff_ms =
+      std::max(options_.base_backoff_ms, options_.max_backoff_ms);
+}
+
+double RetryPolicy::NextBackoffMs(Attempt* attempt, Rng* rng,
+                                  double remaining_budget_ms) const {
+  ++attempt->tries;
+  if (attempt->tries >= options_.max_attempts) return -1.0;
+  // Decorrelated jitter: uniform(base, max(base, prev * 3)), capped. The
+  // first retry draws from the degenerate [base, base] interval so the
+  // sequence starts at the base and decorrelates from there.
+  double lo = options_.base_backoff_ms;
+  double hi = std::max(lo, attempt->prev_backoff_ms * 3.0);
+  double backoff = hi > lo ? rng->NextDouble(lo, hi) : lo;
+  backoff = std::min(backoff, options_.max_backoff_ms);
+  attempt->prev_backoff_ms = backoff;
+  if (backoff > remaining_budget_ms) return -1.0;
+  return backoff;
+}
+
+}  // namespace resilience
+}  // namespace ecocharge

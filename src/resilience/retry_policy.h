@@ -1,0 +1,62 @@
+#ifndef ECOCHARGE_RESILIENCE_RETRY_POLICY_H_
+#define ECOCHARGE_RESILIENCE_RETRY_POLICY_H_
+
+#include "common/rng.h"
+
+namespace ecocharge {
+namespace resilience {
+
+/// \brief Knobs of the capped exponential backoff with decorrelated
+/// jitter (the AWS Architecture Blog scheme: each sleep is drawn from
+/// uniform(base, prev * 3) and capped, which decorrelates retry storms
+/// better than multiplying a jittered base).
+struct RetryPolicyOptions {
+  /// Total tries, including the first. 1 = no retries.
+  int max_attempts = 4;
+
+  /// Lower bound of every backoff draw (virtual milliseconds).
+  double base_backoff_ms = 5.0;
+
+  /// Upper cap on any single backoff draw.
+  double max_backoff_ms = 100.0;
+};
+
+/// \brief Decides whether (and how long) to back off between attempts of
+/// one upstream request, honoring the per-request deadline budget.
+///
+/// The policy itself is immutable and shared; the mutable per-request
+/// state lives in a caller-owned Attempt value, so one policy instance
+/// serves all workers without synchronization. Backoff durations are
+/// virtual milliseconds (see ScopedRequestDeadline) — callers charge them
+/// to the request budget instead of sleeping.
+class RetryPolicy {
+ public:
+  /// Per-request retry state; value-initialize before the first attempt.
+  struct Attempt {
+    int tries = 0;               ///< attempts completed so far
+    double prev_backoff_ms = 0;  ///< last drawn backoff (jitter memory)
+  };
+
+  explicit RetryPolicy(const RetryPolicyOptions& options = {});
+
+  /// Called after a failed attempt. Returns the backoff to charge before
+  /// the next try, or a negative value when the request must give up:
+  /// attempts exhausted, or the drawn backoff does not fit in
+  /// `remaining_budget_ms` (retrying past the deadline only burns
+  /// upstream quota for an answer nobody is waiting for).
+  ///
+  /// `rng` supplies the jitter; passing the same seeded stream reproduces
+  /// the same backoff sequence bit-for-bit.
+  double NextBackoffMs(Attempt* attempt, Rng* rng,
+                       double remaining_budget_ms) const;
+
+  const RetryPolicyOptions& options() const { return options_; }
+
+ private:
+  RetryPolicyOptions options_;
+};
+
+}  // namespace resilience
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_RESILIENCE_RETRY_POLICY_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 #include <string>
 #include <utility>
 
@@ -15,9 +16,17 @@ OfferingServer::OfferingServer(Environment* env, const ScoreWeights& weights,
     : env_(env), threads_(std::max(0, options.threads)), options_(options) {
   EisOptions eis_options;
   eis_options.cache_shards = options_.eis_cache_shards;
-  shared_eis_ = std::make_unique<InformationServer>(
-      env_->energy.get(), env_->availability.get(), env_->congestion.get(),
-      eis_options);
+  if (options_.resilient_eis) {
+    auto resilient = std::make_unique<resilience::ResilientInformationServer>(
+        env_->energy.get(), env_->availability.get(), env_->congestion.get(),
+        eis_options, options_.resilience);
+    resilient_eis_ = resilient.get();
+    shared_eis_ = std::move(resilient);
+  } else {
+    shared_eis_ = std::make_unique<InformationServer>(
+        env_->energy.get(), env_->availability.get(), env_->congestion.get(),
+        eis_options);
+  }
 
   // All instrument registration happens here, before any worker thread
   // exists: the hot path only ever touches pre-resolved handles.
@@ -27,6 +36,8 @@ OfferingServer::OfferingServer(Environment* env, const ScoreWeights& weights,
   malformed_ = metrics_.GetCounter("server.requests.malformed", "requests");
   cache_adaptations_ =
       metrics_.GetCounter("server.requests.cache_adaptations", "tables");
+  degraded_tables_ =
+      metrics_.GetCounter("server.requests.degraded", "tables");
   queue_depth_total_ = metrics_.GetGauge("server.queue.depth", "requests");
   request_latency_ =
       metrics_.GetHistogram("server.request_latency_ns", "ns");
@@ -121,10 +132,26 @@ void OfferingServer::Serve(Worker& worker, Request& request) {
     std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
         options_.simulated_io_ms));
   }
+  // The request's virtual deadline budget: every resilient EIS fetch under
+  // this scope charges injected latency and retry backoff against it (one
+  // worker serves one request at a time, so a thread-local scope is exact).
+  std::optional<resilience::ScopedRequestDeadline> deadline;
+  if (options_.resilient_eis && options_.request_deadline_ms > 0.0) {
+    deadline.emplace(options_.request_deadline_ms);
+  }
   if (request.is_wire) {
     Result<std::string> reply =
         worker.service->Handle(request.client_id, request.wire);
-    if (!reply.ok()) malformed_->Add();
+    if (!reply.ok()) {
+      malformed_->Add();
+    } else {
+      // The encoded reply hides the table's flags; read them off the
+      // service's reply buffer so wire serving accounts like table serving.
+      if (worker.service->reply_table().adapted_from_cache) {
+        cache_adaptations_->Add();
+      }
+      if (worker.service->reply_table().degraded) degraded_tables_->Add();
+    }
     if (request.on_reply) request.on_reply(reply);
   } else {
     // worker.table is the worker's long-lived reply buffer (like the
@@ -132,6 +159,7 @@ void OfferingServer::Serve(Worker& worker, Request& request) {
     worker.service->RankInto(request.client_id, request.state, request.k,
                              &worker.table);
     if (worker.table.adapted_from_cache) cache_adaptations_->Add();
+    if (worker.table.degraded) degraded_tables_->Add();
     if (request.on_table) request.on_table(worker.table);
   }
   served_->Add();
@@ -182,6 +210,7 @@ OfferingServerStats OfferingServer::Stats() const {
   stats.served = served_->Value();
   stats.malformed = malformed_->Value();
   stats.cache_adaptations = cache_adaptations_->Value();
+  stats.degraded_tables = degraded_tables_->Value();
   return stats;
 }
 

@@ -16,6 +16,7 @@
 #include "core/environment.h"
 #include "core/offering_service.h"
 #include "obs/metrics.h"
+#include "resilience/resilient_information_server.h"
 #include "server/bounded_queue.h"
 
 namespace ecocharge {
@@ -44,6 +45,19 @@ struct OfferingServerOptions {
   /// Lets the throughput bench exercise I/O overlap; 0 (the default)
   /// keeps request handling pure compute.
   double simulated_io_ms = 0.0;
+
+  /// When true, the shared EIS is a ResilientInformationServer: upstream
+  /// fetches go through the fault injector / retry / circuit-breaker /
+  /// degradation stack configured by `resilience`. With the default
+  /// (fault-free) resilience options the served tables are bit-identical
+  /// to the undecorated server.
+  bool resilient_eis = false;
+  resilience::ResilienceOptions resilience;
+
+  /// Virtual per-request deadline budget (milliseconds) that injected
+  /// upstream latency and retry backoff are charged against when
+  /// `resilient_eis` is on; <= 0 serves with an unbounded budget.
+  double request_deadline_ms = 250.0;
 };
 
 /// \brief Counter snapshot of one server instance (plain values).
@@ -53,6 +67,7 @@ struct OfferingServerStats {
   uint64_t served = 0;     ///< requests fully processed (incl. malformed)
   uint64_t malformed = 0;  ///< wire requests that failed to decode
   uint64_t cache_adaptations = 0;  ///< tables served via Dynamic Caching
+  uint64_t degraded_tables = 0;  ///< tables carrying a degradation flag
 };
 
 /// \brief The concurrent Offering Table serving runtime (the paper's
@@ -121,6 +136,14 @@ class OfferingServer {
   /// The shared, sharded Information Server all workers account against.
   const InformationServer& information_server() const { return *shared_eis_; }
 
+  /// The resilient EIS decorator, or null when `resilient_eis` is off.
+  resilience::ResilientInformationServer* resilient_eis() {
+    return resilient_eis_;
+  }
+  const resilience::ResilientInformationServer* resilient_eis() const {
+    return resilient_eis_;
+  }
+
   /// The server-owned metrics registry: request counters, queue-depth
   /// gauges, the end-to-end `server.request_latency_ns` histogram, plus
   /// everything the EIS, the estimators, and the query pipeline record
@@ -171,6 +194,8 @@ class OfferingServer {
   obs::MetricsRegistry metrics_;
 
   std::unique_ptr<InformationServer> shared_eis_;
+  /// Downcast view of shared_eis_ when resilient_eis is on; null otherwise.
+  resilience::ResilientInformationServer* resilient_eis_ = nullptr;
   std::vector<std::unique_ptr<Worker>> workers_;
 
   std::atomic<bool> shutdown_{false};
@@ -182,6 +207,7 @@ class OfferingServer {
   obs::Counter* served_ = nullptr;
   obs::Counter* malformed_ = nullptr;
   obs::Counter* cache_adaptations_ = nullptr;
+  obs::Counter* degraded_tables_ = nullptr;    ///< server.requests.degraded
   obs::Gauge* queue_depth_total_ = nullptr;    ///< server.queue.depth
   obs::Histogram* request_latency_ = nullptr;  ///< server.request_latency_ns
 

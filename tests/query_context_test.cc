@@ -13,6 +13,7 @@
 
 #include "core/baselines.h"
 #include "core/ecocharge.h"
+#include "resilience/resilient_information_server.h"
 #include "tests/test_util.h"
 
 // Sanitizers interpose on the allocator; counting through a user-defined
@@ -224,6 +225,42 @@ TEST(QueryContextTest, SteadyStatePathWithMetricsDoesNotAllocate) {
             0u);
   EXPECT_GT(registry.FindCounter("pipeline.candidates_scored")->Value(), 0u);
   EXPECT_GT(registry.FindCounter("estimator.estimates.level")->Value(), 0u);
+}
+
+TEST(QueryContextTest, SteadyStateResilientEisPathDoesNotAllocate) {
+  // The resilience decorator must not cost the warm path its
+  // zero-allocation property: with a fault-free ResilientInformationServer
+  // behind the estimator, warm queries are fresh cache hits that never
+  // touch the retry/breaker machinery's failure paths.
+  SharedWorld& w = World();
+  resilience::ResilientInformationServer eis(w.env->energy.get(),
+                                             w.env->availability.get(),
+                                             w.env->congestion.get());
+  EcEstimatorOptions est_opts;
+  EcEstimator estimator(w.env->dataset.network, &w.env->chargers,
+                        w.env->energy.get(), w.env->availability.get(),
+                        w.env->congestion.get(), est_opts, &eis);
+  EcoChargeOptions opts;
+  opts.radius_m = 20000.0;
+  opts.q_distance_m = 0.0;  // full regeneration every query
+  opts.refine_exact_derouting = false;
+  EcoChargeRanker eco(&estimator, w.env->charger_index.get(),
+                      ScoreWeights::AWE(), opts);
+  QueryContext ctx;
+  OfferingTable table;
+  for (int pass = 0; pass < 3; ++pass) {
+    for (const VehicleState& state : w.states) {
+      eco.RankInto(state, 3, ctx, &table);
+    }
+  }
+  uint64_t before = g_allocations.load();
+  for (const VehicleState& state : w.states) {
+    eco.RankInto(state, 3, ctx, &table);
+  }
+  uint64_t after = g_allocations.load();
+  EXPECT_EQ(after - before, 0u);
+  // The decorated path really served the queries.
+  EXPECT_GT(eis.Stats().availability_api_calls, 0u);
 }
 
 #endif  // ECOCHARGE_COUNT_ALLOCS

@@ -1,6 +1,8 @@
 #include "common/status.h"
 
+#include <set>
 #include <sstream>
+#include <string_view>
 
 #include <gtest/gtest.h>
 
@@ -61,6 +63,52 @@ TEST(StatusTest, CodeNamesAreDistinct) {
   EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "Internal");
   EXPECT_NE(StatusCodeToString(StatusCode::kNotFound),
             StatusCodeToString(StatusCode::kIOError));
+}
+
+// Exhaustive: every enumerator must be listed in kAllStatusCodes, have a
+// real name (not the "Unknown" fallback), and round-trip through
+// StatusCodeFromString. Adding a StatusCode without updating the array
+// or the switch fails here instead of silently falling through.
+TEST(StatusTest, EveryCodeHasADistinctName) {
+  std::set<std::string_view> names;
+  for (StatusCode code : kAllStatusCodes) {
+    std::string_view name = StatusCodeToString(code);
+    EXPECT_NE(name, "Unknown")
+        << "code " << static_cast<int>(code)
+        << " is missing from the StatusCodeToString switch";
+    EXPECT_TRUE(names.insert(name).second)
+        << "duplicate status code name '" << name << "'";
+  }
+  EXPECT_EQ(names.size(), kNumStatusCodes);
+}
+
+TEST(StatusTest, EveryCodeRoundTripsThroughItsName) {
+  for (StatusCode code : kAllStatusCodes) {
+    StatusCode decoded = StatusCode::kInternal;
+    ASSERT_TRUE(StatusCodeFromString(StatusCodeToString(code), &decoded));
+    EXPECT_EQ(decoded, code);
+  }
+}
+
+TEST(StatusTest, AllCodesArrayCoversTheWholeEnum) {
+  // kAllStatusCodes is declaration-ordered and dense from 0; the value one
+  // past the last listed code must be outside the enum (named "Unknown").
+  // A new enumerator appended to StatusCode lands exactly there, so this
+  // fails until kAllStatusCodes (and the name switch) are extended.
+  for (size_t i = 0; i < kNumStatusCodes; ++i) {
+    EXPECT_EQ(static_cast<size_t>(kAllStatusCodes[i]), i)
+        << "kAllStatusCodes must stay in declaration order with no gaps";
+  }
+  StatusCode past_end = static_cast<StatusCode>(kNumStatusCodes);
+  EXPECT_EQ(StatusCodeToString(past_end), "Unknown");
+}
+
+TEST(StatusTest, FromStringRejectsUnknownNames) {
+  StatusCode code = StatusCode::kInternal;
+  EXPECT_FALSE(StatusCodeFromString("Unknown", &code));
+  EXPECT_FALSE(StatusCodeFromString("", &code));
+  EXPECT_FALSE(StatusCodeFromString("NotAStatus", &code));
+  EXPECT_EQ(code, StatusCode::kInternal);  // untouched on failure
 }
 
 Status FailingStep() { return Status::InvalidArgument("boom"); }

@@ -58,7 +58,8 @@ inline ::testing::AssertionResult TablesBitIdentical(const OfferingTable& a,
                                                      const OfferingTable& b) {
   if (a.generated_at != b.generated_at || a.segment_index != b.segment_index ||
       a.location.x != b.location.x || a.location.y != b.location.y ||
-      a.adapted_from_cache != b.adapted_from_cache) {
+      a.adapted_from_cache != b.adapted_from_cache ||
+      a.degraded != b.degraded) {
     return ::testing::AssertionFailure() << "table headers differ";
   }
   if (a.entries.size() != b.entries.size()) {
@@ -78,7 +79,7 @@ inline ::testing::AssertionResult TablesBitIdentical(const OfferingTable& a,
         !(x.ecs.level == y.ecs.level) ||
         !(x.ecs.availability == y.ecs.availability) ||
         !(x.ecs.derouting == y.ecs.derouting) || x.ecs.eta_s != y.ecs.eta_s ||
-        x.eta_s != y.eta_s) {
+        x.ecs.degraded != y.ecs.degraded || x.eta_s != y.eta_s) {
       return ::testing::AssertionFailure()
              << "entry " << i << " (charger " << x.charger_id
              << "): score/EC fields differ";

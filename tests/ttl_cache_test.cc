@@ -268,6 +268,103 @@ TEST(TtlCacheConcurrencyTest, ConcurrentSweepNeverUnexpiresEntries) {
   EXPECT_EQ(cache.size(), 0u);
 }
 
+TEST(TtlCacheTest, GetAllowStaleServesExpiredEntriesWithoutErasing) {
+  TtlCache<int, int> cache(10.0);
+  cache.Put(1, 41, 0.0);
+
+  bool fresh = false;
+  // Within TTL: fresh, counted as a hit.
+  EXPECT_EQ(cache.GetAllowStale(1, 10.0, &fresh), 41);
+  EXPECT_TRUE(fresh);
+  // Past TTL: still served, flagged stale, counted expiration + miss —
+  // and NOT erased (unlike Get), so a later stale read still works.
+  EXPECT_EQ(cache.GetAllowStale(1, 11.0, &fresh), 41);
+  EXPECT_FALSE(fresh);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.GetAllowStale(1, 1000.0, &fresh), 41);
+  EXPECT_FALSE(fresh);
+  // Absent key: miss, fresh=false.
+  fresh = true;
+  EXPECT_FALSE(cache.GetAllowStale(2, 0.0, &fresh).has_value());
+  EXPECT_FALSE(fresh);
+
+  CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.expirations, 2u);
+}
+
+TEST(TtlCacheTest, GetAllowStaleCountersMatchGetOnFreshAndAbsent) {
+  // On the paths the fault-free resilient server takes (fresh hit, absent
+  // miss), GetAllowStale must account exactly like Get — that is what
+  // keeps the decorated server's cache stats bit-identical at fault
+  // probability zero.
+  TtlCache<int, int> get_cache(10.0);
+  TtlCache<int, int> stale_cache(10.0);
+  get_cache.Put(1, 7, 0.0);
+  stale_cache.Put(1, 7, 0.0);
+
+  bool fresh = false;
+  (void)get_cache.Get(1, 5.0);
+  (void)stale_cache.GetAllowStale(1, 5.0, &fresh);
+  (void)get_cache.Get(2, 5.0);
+  (void)stale_cache.GetAllowStale(2, 5.0, &fresh);
+
+  CacheStats a = get_cache.stats();
+  CacheStats b = stale_cache.stats();
+  EXPECT_EQ(a.hits, b.hits);
+  EXPECT_EQ(a.misses, b.misses);
+  EXPECT_EQ(a.expirations, b.expirations);
+}
+
+TEST(TtlCacheConcurrencyTest, StaleReadersSeeOnlyStaleOrRefreshedValue) {
+  // The resilience fault-window scenario: one writer refreshes a key while
+  // readers use GetAllowStale at a `now` past the original TTL. Every
+  // reader must observe either the old value (stale serve) or the new one
+  // (refreshed) — never a torn/default value, and never a miss. Driven by
+  // an atomic tick clock; no sleeps; TSan-clean.
+  constexpr double kTtl = 16.0;
+  constexpr int kOldValue = 1111;
+  constexpr int kNewValue = 2222;
+  constexpr int kReaders = 4;
+  TtlCache<int, int> cache(kTtl, 1 << 10, /*num_shards=*/4);
+  cache.Put(0, kOldValue, 0.0);
+
+  std::atomic<long> tick{static_cast<long>(kTtl) + 1};  // already stale
+  std::atomic<bool> done{false};
+  std::atomic<int> bad{0};
+  std::atomic<int> misses{0};
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        double now = static_cast<double>(tick.load(std::memory_order_relaxed));
+        bool fresh = false;
+        std::optional<int> got = cache.GetAllowStale(0, now, &fresh);
+        if (!got.has_value()) {
+          misses.fetch_add(1);
+        } else if (*got != kOldValue && *got != kNewValue) {
+          bad.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::thread writer([&] {
+    for (int i = 0; i < 5000; ++i) {
+      double now = static_cast<double>(
+          tick.fetch_add(1, std::memory_order_relaxed));
+      if (i % 50 == 25) cache.Put(0, kNewValue, now);  // sporadic refresh
+    }
+    done.store(true, std::memory_order_release);
+  });
+  writer.join();
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_EQ(misses.load(), 0);  // GetAllowStale never erases the entry
+}
+
 TEST(TtlCacheConcurrencyTest, ConcurrentReadersAtExactDeadlineAllHit) {
   // The boundary under contention: every reader looks up at exactly the
   // deadline instant while others do the same; the strict comparison

@@ -65,9 +65,18 @@ class Args {
     auto it = values_.find(key);
     return it == values_.end() ? fallback : std::stoull(it->second);
   }
+  /// Signed parse for flags that must reject negative values: GetU64
+  /// would wrap "--threads -2" into a huge count instead of an error.
+  int64_t GetI64(const std::string& key, int64_t fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stoll(it->second);
+  }
   bool GetBool(const std::string& key) const {
     auto it = values_.find(key);
     return it != values_.end() && it->second != "0";
+  }
+  bool Has(const std::string& key) const {
+    return values_.find(key) != values_.end();
   }
 
  private:
@@ -106,9 +115,17 @@ int Usage() {
   serve        --threads N [--kind KIND] [--chargers N] [--clients N]
                [--requests N] [--queue-depth N] [--io-ms MS] [--seed N]
                [--statsz] [--statsz-period SEC]
+               [--fault-p P] [--fault-spike-p P] [--fault-stall-p P]
+               [--fault-seed N] [--retry-attempts N] [--deadline-ms MS]
+               [--resilient]
                (--threads 0 = synchronous deterministic mode; --statsz
                prints a final JSON metrics dump to stdout, and with a
-               period > 0 a live text dump to stderr every SEC seconds)
+               period > 0 a live text dump to stderr every SEC seconds;
+               any --fault-* probability > 0 injects deterministic
+               upstream faults and serves through the resilient EIS —
+               retries, circuit breakers, stale/climatological
+               degradation; --resilient enables the resilient EIS with
+               no injected faults)
   stats        [--kind KIND] [--chargers N] [--requests N] [--threads N]
                [--format text|json] [--seed N]
                (run a small serving workload and print the metric catalog)
@@ -260,7 +277,60 @@ int Simulate(const Args& args) {
   return 0;
 }
 
+/// Validates the serve flags up front so misconfigurations fail with a
+/// clear kInvalidArgument instead of being silently coerced (an unsigned
+/// parse would wrap "--threads -2" into a huge worker count) or starting
+/// a busy-looping statsz thread (period 0).
+Status ValidateServeArgs(const Args& args) {
+  if (args.GetI64("threads", 0) < 0) {
+    return Status::InvalidArgument(
+        "--threads must be >= 0 (0 = synchronous deterministic mode)");
+  }
+  if (args.GetI64("queue-depth", 256) <= 0) {
+    return Status::InvalidArgument("--queue-depth must be a positive count");
+  }
+  if (args.GetI64("clients", 8) <= 0) {
+    return Status::InvalidArgument("--clients must be a positive count");
+  }
+  if (args.GetI64("requests", 64) <= 0) {
+    return Status::InvalidArgument("--requests must be a positive count");
+  }
+  if (args.Has("statsz-period") &&
+      args.GetDouble("statsz-period", 0.0) <= 0.0) {
+    return Status::InvalidArgument(
+        "--statsz-period must be a positive number of seconds");
+  }
+  if (args.GetDouble("io-ms", 0.0) < 0.0) {
+    return Status::InvalidArgument("--io-ms must be >= 0");
+  }
+  double fault_p = args.GetDouble("fault-p", 0.0);
+  if (fault_p < 0.0 || fault_p > 1.0) {
+    return Status::InvalidArgument("--fault-p must be a probability in [0,1]");
+  }
+  double spike_p = args.GetDouble("fault-spike-p", 0.0);
+  if (spike_p < 0.0 || spike_p > 1.0) {
+    return Status::InvalidArgument(
+        "--fault-spike-p must be a probability in [0,1]");
+  }
+  double stall_p = args.GetDouble("fault-stall-p", 0.0);
+  if (stall_p < 0.0 || stall_p > 1.0) {
+    return Status::InvalidArgument(
+        "--fault-stall-p must be a probability in [0,1]");
+  }
+  if (args.GetI64("retry-attempts", 4) < 1) {
+    return Status::InvalidArgument("--retry-attempts must be >= 1");
+  }
+  if (args.GetDouble("deadline-ms", 250.0) <= 0.0) {
+    return Status::InvalidArgument("--deadline-ms must be > 0");
+  }
+  return Status::OK();
+}
+
 int Serve(const Args& args) {
+  if (Status st = ValidateServeArgs(args); !st.ok()) {
+    std::cerr << st << "\n";
+    return 1;
+  }
   auto env_result = BuildEnv(args);
   if (!env_result.ok()) {
     std::cerr << env_result.status() << "\n";
@@ -279,9 +349,29 @@ int Serve(const Args& args) {
   }
 
   OfferingServerOptions server_opts;
-  server_opts.threads = static_cast<int>(args.GetU64("threads", 0));
-  server_opts.queue_depth = args.GetU64("queue-depth", 256);
+  server_opts.threads = static_cast<int>(args.GetI64("threads", 0));
+  server_opts.queue_depth = static_cast<size_t>(args.GetI64("queue-depth",
+                                                            256));
   server_opts.simulated_io_ms = args.GetDouble("io-ms", 0.0);
+
+  // Fault-injection flags: any non-zero probability switches the shared
+  // EIS to the resilient decorator with that profile on every upstream.
+  double fault_p = args.GetDouble("fault-p", 0.0);
+  double spike_p = args.GetDouble("fault-spike-p", 0.0);
+  double stall_p = args.GetDouble("fault-stall-p", 0.0);
+  bool faulted = fault_p > 0.0 || spike_p > 0.0 || stall_p > 0.0;
+  if (faulted || args.GetBool("resilient")) {
+    server_opts.resilient_eis = true;
+    resilience::FaultProfile profile;
+    profile.error_probability = fault_p;
+    profile.spike_probability = spike_p;
+    profile.stall_probability = stall_p;
+    server_opts.resilience.faults = resilience::FaultInjectorOptions::Uniform(
+        profile, args.GetU64("fault-seed", 0x0FA117ULL));
+    server_opts.resilience.retry.max_attempts =
+        static_cast<int>(args.GetI64("retry-attempts", 4));
+    server_opts.request_deadline_ms = args.GetDouble("deadline-ms", 250.0);
+  }
   OfferingServer server(env.get(), ScoreWeights::AWE(), EcoChargeOptions{},
                         server_opts);
 
@@ -340,6 +430,19 @@ int Serve(const Args& args) {
             << "\neis upstream calls: weather=" << eis.weather_api_calls
             << " traffic=" << eis.traffic_api_calls
             << " availability=" << eis.availability_api_calls << "\n";
+  if (resilience::ResilientInformationServer* res = server.resilient_eis()) {
+    std::cout << "degraded tables: " << stats.degraded_tables << "\n";
+    SimTime at = states.back().time;
+    for (resilience::UpstreamKind kind : resilience::kAllUpstreamKinds) {
+      resilience::UpstreamResilienceStats rs = res->ResilienceSnapshot(kind,
+                                                                       at);
+      std::cout << "resilience " << resilience::UpstreamKindName(kind)
+                << ": retries=" << rs.retries << " stale=" << rs.stale_serves
+                << " climatological=" << rs.climatological_serves
+                << " breaker_opens=" << rs.breaker_opens << " state="
+                << resilience::BreakerStateName(rs.breaker_state) << "\n";
+    }
+  }
   if (statsz_thread.joinable()) {
     statsz_stop.store(true, std::memory_order_release);
     statsz_thread.join();
