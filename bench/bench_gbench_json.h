@@ -1,0 +1,67 @@
+#ifndef ECOCHARGE_BENCH_BENCH_GBENCH_JSON_H_
+#define ECOCHARGE_BENCH_BENCH_GBENCH_JSON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace ecocharge {
+namespace bench {
+
+/// \brief Console reporter that also records every finished run into a
+/// BenchJsonWriter, so the google-benchmark micro-suites emit the same
+/// machine-readable `BENCH_*.json` artifacts as the figure benches
+/// (one flat record per benchmark run, times always in nanoseconds
+/// regardless of each benchmark's display unit).
+class JsonExportReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      // Aggregate rows (mean/median/stddev of --benchmark_repetitions)
+      // would double-count the per-repetition rows in downstream stats.
+      if (run.run_type != Run::RT_Iteration) continue;
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      writer_.BeginRecord();
+      writer_.Str("name", run.benchmark_name());
+      writer_.Num("iterations", static_cast<double>(run.iterations));
+      writer_.Num("real_time_ns", run.real_accumulated_time / iters * 1e9);
+      writer_.Num("cpu_time_ns", run.cpu_accumulated_time / iters * 1e9);
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  const BenchJsonWriter& writer() const { return writer_; }
+
+ private:
+  BenchJsonWriter writer_;
+};
+
+/// Standard main body of a google-benchmark suite with JSON export: runs
+/// the registered (or --benchmark_filter'ed) benchmarks with console
+/// output, then writes the collected records to `json_path`. Returns the
+/// process exit code.
+inline int RunAndExportJson(int argc, char** argv,
+                            const std::string& json_path) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonExportReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (!reporter.writer().WriteFile(json_path)) {
+    std::cerr << "failed to write " << json_path << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << json_path << " ("
+            << reporter.writer().num_records() << " records)\n";
+  return 0;
+}
+
+}  // namespace bench
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_BENCH_BENCH_GBENCH_JSON_H_

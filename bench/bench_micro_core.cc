@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_gbench_json.h"
 #include "common/rng.h"
 #include "core/cknn_ec.h"
 #include "core/ecocharge.h"
@@ -126,4 +127,6 @@ BENCHMARK(BM_BruteForceQuery)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace ecocharge
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return ecocharge::bench::RunAndExportJson(argc, argv, "BENCH_core.json");
+}

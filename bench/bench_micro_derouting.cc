@@ -1,0 +1,247 @@
+// Batched-derouting speedup gate: the refinement phase's ExactBatch (one
+// multi-target forward sweep + one shared backward sweep per query) against
+// the per-candidate baseline (one point-to-point search pair per charger),
+// swept over batch size x query states, plus the cross-recomputation-point
+// warm-start of a continuous run.
+//
+// The binary asserts the tentpole's contract and exits 1 when it breaks:
+//   1. bit-identical estimates between ExactBatch and N x Exact;
+//   2. the batched path is >= 2x faster once the batch holds >= 16 targets;
+//   3. a bucketed multi-segment continuous schedule reuses the backward
+//      sweep (warm_start_hits > 0).
+// Timing uses interleaved min-of-rounds (see bench_micro_obs.cc for why).
+// Results are emitted as BENCH_derouting.json.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <numeric>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "traffic/derouting.h"
+
+namespace ecocharge {
+namespace {
+
+constexpr double kMinSpeedupAt16 = 2.0;
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+bool SameBits(const DeroutingEstimate& a, const DeroutingEstimate& b) {
+  return std::memcmp(&a.extra_distance_min_m, &b.extra_distance_min_m,
+                     sizeof(double)) == 0 &&
+         std::memcmp(&a.extra_distance_max_m, &b.extra_distance_max_m,
+                     sizeof(double)) == 0 &&
+         std::memcmp(&a.eta_s, &b.eta_s, sizeof(double)) == 0;
+}
+
+/// `n` refinement candidates around `position`: every 4th of the 4n
+/// nearest chargers (by Euclidean distance, the filtering phase's order).
+/// The stride models the pipeline's selection — refinement candidates are
+/// the score winners of the whole filter radius, not the n geometrically
+/// nearest, so they spread across the candidate ball rather than packing
+/// into its center.
+std::vector<ChargerRef> RefinementCandidates(
+    const std::vector<EvCharger>& fleet, const Point& position, size_t n) {
+  std::vector<uint32_t> order(fleet.size());
+  std::iota(order.begin(), order.end(), 0);
+  const size_t pool = std::min(4 * n, fleet.size());
+  std::partial_sort(order.begin(), order.begin() + pool, order.end(),
+                    [&](uint32_t a, uint32_t b) {
+                      return Distance(position, fleet[a].position) <
+                             Distance(position, fleet[b].position);
+                    });
+  const size_t stride = std::max<size_t>(pool / std::max<size_t>(n, 1), 1);
+  std::vector<ChargerRef> refs;
+  refs.reserve(n);
+  for (size_t i = 0; i < pool && refs.size() < n; i += stride) {
+    refs.push_back(&fleet[order[i]]);
+  }
+  return refs;
+}
+
+int Main(int argc, char** argv) {
+  bench::BenchConfig cfg = bench::BenchConfig::FromArgs(argc, argv);
+  bench::PreparedWorld world = bench::Prepare(DatasetKind::kOldenburg, cfg);
+  const std::vector<EvCharger>& fleet = world.env->chargers;
+  EcEstimator& estimator = *world.env->estimator;
+
+  const size_t num_states = std::min<size_t>(4, world.states.size());
+  std::vector<DeroutingQuery> queries;
+  for (size_t s = 0; s < num_states; ++s) {
+    queries.push_back(estimator.MakeDeroutingQuery(world.states[s]));
+  }
+
+  // Independent services for the two paths so neither benefits from the
+  // other's warmed backward sweep; both share the network and traffic.
+  DeroutingService per_candidate(world.env->dataset.network,
+                                 world.env->congestion.get());
+  DeroutingService batched(world.env->dataset.network,
+                           world.env->congestion.get());
+  DeroutingBatchScratch scratch;
+  std::vector<DeroutingEstimate> batch_out;
+
+  bench::BenchJsonWriter json;
+  TableWriter tw({"targets", "per-candidate us", "batched us", "speedup"});
+  bool ok = true;
+
+  const size_t batch_sizes[] = {4, 16, 48};
+  const int kRounds = cfg.repetitions > 1 ? 7 : 3;
+  for (size_t n : batch_sizes) {
+    if (n > fleet.size()) continue;
+    std::vector<std::vector<ChargerRef>> candidates;
+    for (size_t s = 0; s < num_states; ++s) {
+      candidates.push_back(
+          RefinementCandidates(fleet, world.states[s].position, n));
+    }
+
+    // Parity first: a batch must be exactly N per-candidate calls fused.
+    size_t compared = 0;
+    for (size_t s = 0; s < num_states; ++s) {
+      scratch.Reserve(n);
+      batched.ExactBatch(queries[s], candidates[s], &scratch, &batch_out);
+      for (size_t i = 0; i < candidates[s].size(); ++i) {
+        DeroutingEstimate exact =
+            per_candidate.Exact(queries[s], *candidates[s][i]);
+        if (!SameBits(exact, batch_out[i])) {
+          std::cerr << "FAIL: estimate mismatch at state " << s
+                    << " candidate " << i << " (batch size " << n << ")\n";
+          ok = false;
+        }
+        ++compared;
+      }
+    }
+
+    // Interleaved min-of-rounds over the full (states x candidates) pass.
+    uint64_t per_candidate_ns = UINT64_MAX;
+    uint64_t batched_ns = UINT64_MAX;
+    for (int round = 0; round < kRounds; ++round) {
+      for (int side = 0; side < 2; ++side) {
+        const bool run_batch = (round + side) % 2 == 1;
+        const uint64_t start = NowNs();
+        for (size_t s = 0; s < num_states; ++s) {
+          if (run_batch) {
+            batched.ExactBatch(queries[s], candidates[s], &scratch,
+                               &batch_out);
+          } else {
+            for (ChargerRef c : candidates[s]) {
+              per_candidate.Exact(queries[s], *c);
+            }
+          }
+        }
+        const uint64_t elapsed = NowNs() - start;
+        uint64_t& best = run_batch ? batched_ns : per_candidate_ns;
+        best = std::min(best, elapsed);
+      }
+    }
+
+    const double speedup = static_cast<double>(per_candidate_ns) /
+                           static_cast<double>(std::max<uint64_t>(
+                               batched_ns, 1));
+    tw.AddRow({std::to_string(n),
+               TableWriter::Fmt(per_candidate_ns / 1e3, 1),
+               TableWriter::Fmt(batched_ns / 1e3, 1),
+               TableWriter::Fmt(speedup, 2) + "x"});
+    json.BeginRecord();
+    json.Str("mode", "batch_vs_per_candidate");
+    json.Num("targets", static_cast<double>(n));
+    json.Num("states", static_cast<double>(num_states));
+    json.Num("estimates_compared", static_cast<double>(compared));
+    json.Num("per_candidate_ns", static_cast<double>(per_candidate_ns));
+    json.Num("batched_ns", static_cast<double>(batched_ns));
+    json.Num("speedup", speedup);
+    if (n >= 16 && speedup < kMinSpeedupAt16) {
+      std::cerr << "FAIL: batched refinement only " << speedup
+                << "x faster at " << n << " targets (floor "
+                << kMinSpeedupAt16 << "x)\n";
+      ok = false;
+    }
+  }
+
+  std::cout << "bench_micro_derouting: " << num_states << " query states, "
+            << fleet.size() << " chargers, min of " << kRounds
+            << " interleaved rounds\n\n";
+  tw.RenderText(std::cout);
+
+  // Continuous-run warm start: each segment's recomputation points share
+  // the return pair; with costs bucketed to the congestion noise bucket
+  // they also share the cost time, so every point after the segment's
+  // first resumes the settled backward sweep instead of rebuilding it.
+  const size_t warm_n = std::min<size_t>(16, fleet.size());
+  const size_t warm_segments = std::min<size_t>(3, world.states.size());
+  const int kPointsPerSegment = 4;
+  const double kRecomputeWindowS = 4.0 * 60.0;
+  uint64_t cold_ns = UINT64_MAX;
+  uint64_t warm_ns = UINT64_MAX;
+  uint64_t warm_hits = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    for (int side = 0; side < 2; ++side) {
+      const bool bucketed = (round + side) % 2 == 1;
+      DeroutingService service(
+          world.env->dataset.network, world.env->congestion.get(), 1.3,
+          bucketed ? CongestionModel::kNoiseBucketSeconds : 0.0);
+      const uint64_t start = NowNs();
+      for (size_t s = 0; s < warm_segments; ++s) {
+        DeroutingQuery q = estimator.MakeDeroutingQuery(world.states[s]);
+        std::vector<ChargerRef> refs =
+            RefinementCandidates(fleet, world.states[s].position, warm_n);
+        for (int p = 0; p < kPointsPerSegment; ++p) {
+          q.now = world.states[s].time + p * kRecomputeWindowS;
+          service.ExactBatch(q, refs, &scratch, &batch_out);
+        }
+      }
+      const uint64_t elapsed = NowNs() - start;
+      uint64_t& best = bucketed ? warm_ns : cold_ns;
+      best = std::min(best, elapsed);
+      if (bucketed) warm_hits = std::max(warm_hits, service.warm_start_hits());
+    }
+  }
+  const double warm_speedup = static_cast<double>(cold_ns) /
+                              static_cast<double>(std::max<uint64_t>(
+                                  warm_ns, 1));
+  std::cout << "\ncontinuous schedule (" << warm_segments << " segments x "
+            << kPointsPerSegment << " recompute points x " << warm_n
+            << " targets): unbucketed "
+            << TableWriter::Fmt(cold_ns / 1e3, 1) << " us, bucketed "
+            << TableWriter::Fmt(warm_ns / 1e3, 1) << " us ("
+            << TableWriter::Fmt(warm_speedup, 2) << "x), warm hits "
+            << warm_hits << "\n";
+  json.BeginRecord();
+  json.Str("mode", "continuous_warm_start");
+  json.Num("targets", static_cast<double>(warm_n));
+  json.Num("segments", static_cast<double>(warm_segments));
+  json.Num("points_per_segment", kPointsPerSegment);
+  json.Num("unbucketed_ns", static_cast<double>(cold_ns));
+  json.Num("bucketed_ns", static_cast<double>(warm_ns));
+  json.Num("speedup", warm_speedup);
+  json.Num("warm_start_hits", static_cast<double>(warm_hits));
+  if (warm_hits == 0) {
+    std::cerr << "FAIL: the bucketed continuous schedule never warm-started "
+                 "the backward sweep\n";
+    ok = false;
+  }
+
+  if (!json.WriteFile("BENCH_derouting.json")) {
+    std::cerr << "failed to write BENCH_derouting.json\n";
+    return 1;
+  }
+  std::cout << "\nwrote BENCH_derouting.json (" << json.num_records()
+            << " records)\n";
+  if (!ok) return 1;
+  std::cout << "PASS: batched refinement bit-identical and >= "
+            << kMinSpeedupAt16 << "x at >= 16 targets, warm start active\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace ecocharge
+
+int main(int argc, char** argv) { return ecocharge::Main(argc, argv); }

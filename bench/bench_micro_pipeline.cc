@@ -9,6 +9,7 @@
 
 #include <string>
 
+#include "bench/bench_gbench_json.h"
 #include "common/rng.h"
 #include "core/ecocharge.h"
 #include "core/environment.h"
@@ -143,7 +144,6 @@ void RegisterAll() {
 
 int main(int argc, char** argv) {
   ecocharge::RegisterAll();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return ecocharge::bench::RunAndExportJson(argc, argv,
+                                            "BENCH_pipeline.json");
 }

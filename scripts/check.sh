@@ -10,8 +10,13 @@
 #                                    # suite under TSan + overhead bench
 #   scripts/check.sh fault           # resilience gate: fault/degradation
 #                                    # suite under TSan + quick fault bench
-#   scripts/check.sh lint            # clang-tidy over src/ (skips with
-#                                    # exit 0 when clang-tidy is absent)
+#   scripts/check.sh perf            # batched-derouting speedup gate:
+#                                    # Release build + quick-scale
+#                                    # bench_micro_derouting (fails when
+#                                    # the batched path misses its floor)
+#   scripts/check.sh lint            # clang-tidy over src/, tools/, and
+#                                    # the asserting bench gates (skips
+#                                    # with exit 0 when clang-tidy absent)
 #
 # Extra arguments after the sanitizer are forwarded to ctest, e.g.
 #   scripts/check.sh address -R QueryContext
@@ -43,6 +48,20 @@ case "${sanitize}" in
     fault_gate=1
     set -- -R 'Resilien|FaultInjector|CircuitBreaker|RetryPolicy|ScopedRequestDeadline|Degrad|TtlCache|OfferingServer|InformationServer' "$@"
     ;;
+  perf)
+    # Performance regressions in the refinement phase are contract breaks,
+    # not noise: the gate binary exits 1 when ExactBatch is no longer
+    # bit-identical to per-candidate search, when the batched path drops
+    # below its 2x floor at >= 16 targets, or when the bucketed continuous
+    # schedule never warm-starts. Timing wants a plain Release tree.
+    shift
+    build_dir="${repo_root}/build"
+    cmake -B "${build_dir}" -S "${repo_root}" \
+      -DCMAKE_BUILD_TYPE=Release -DECOCHARGE_SANITIZE=
+    cmake --build "${build_dir}" -j "$(nproc)" --target bench_micro_derouting
+    (cd "${build_dir}/bench" && ./bench_micro_derouting --quick "$@")
+    exit 0
+    ;;
   lint)
     shift
     if ! command -v clang-tidy >/dev/null 2>&1; then
@@ -53,9 +72,11 @@ case "${sanitize}" in
     cmake -B "${build_dir}" -S "${repo_root}" \
       -DCMAKE_BUILD_TYPE=Release \
       -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
-    # Checks come from the repo-root .clang-tidy; only first-party code.
-    mapfile -t sources < <(find "${repo_root}/src" "${repo_root}/tools" \
-      -name '*.cc' | sort)
+    # Checks come from the repo-root .clang-tidy; first-party code plus
+    # the asserting bench gates (plain binaries that run in CI).
+    mapfile -t sources < <({ find "${repo_root}/src" "${repo_root}/tools" \
+      -name '*.cc'; echo "${repo_root}/bench/bench_micro_obs.cc"; \
+      echo "${repo_root}/bench/bench_micro_derouting.cc"; } | sort)
     clang-tidy -p "${build_dir}" --quiet "${sources[@]}" "$@"
     exit 0
     ;;

@@ -1,6 +1,9 @@
 #include "core/cknn_ec.h"
 
 #include <algorithm>
+#include <span>
+
+#include "graph/landmarks.h"
 
 namespace ecocharge {
 
@@ -41,6 +44,11 @@ PipelineMetrics PipelineMetrics::FromRegistry(obs::MetricsRegistry* registry) {
       registry->GetCounter("pipeline.candidates_pruned", "candidates");
   m.exact_refinements =
       registry->GetCounter("pipeline.exact_refinements", "refinements");
+  m.batch_derouting_ns =
+      registry->GetHistogram("pipeline.batch_derouting_ns", "ns");
+  m.batch_targets = registry->GetCounter("pipeline.batch_targets", "chargers");
+  m.warm_start_hits =
+      registry->GetCounter("pipeline.warm_start_hits", "sweeps");
   return m;
 }
 
@@ -181,16 +189,57 @@ void CknnEcProcessor::RefineAndRank(const VehicleState& state,
   }
 
   const std::vector<EvCharger>& fleet = estimator_->fleet();
-  out->clear();
-  out->reserve(selected.size());
-  for (size_t i = 0; i < selected.size(); ++i) {
-    ScoredCandidate& c = selected[i];
-    if (refine_exact_derouting && i < options_.refine_limit) {
+  const size_t refine_count =
+      refine_exact_derouting ? std::min(options_.refine_limit, selected.size())
+                             : 0;
+  if (refine_count > 0 && options_.landmarks &&
+      options_.landmark_refine_order) {
+    OrderByDeroutingBound(state, ctx);
+  }
+
+  if (refine_count > 0 && options_.batch_derouting) {
+    // Batched refinement: one forward sweep covers every outbound leg, one
+    // (possibly warm) backward extension every return leg. The EIS fetch
+    // sequence stays identical to the per-candidate path because the batch
+    // touches no EIS and the EstimateIntervals loop below runs in the same
+    // candidate order.
+    DeroutingBatchScratch& scratch = ctx->derouting;
+    scratch.chargers.clear();
+    for (size_t i = 0; i < refine_count; ++i) {
+      scratch.chargers.push_back(&fleet[selected[i].charger_id]);
+    }
+    BatchSweepStats stats;
+    {
+      obs::ScopedTimer batch_timer(metrics_.batch_derouting_ns);
+      stats = estimator_->ExactDeroutingBatch(
+          state, std::span<const ChargerRef>(scratch.chargers), &scratch);
+    }
+    if (metrics_.batch_targets) metrics_.batch_targets->Add(stats.targets);
+    if (metrics_.warm_start_hits && stats.warm_start) {
+      metrics_.warm_start_hits->Add();
+    }
+    for (size_t i = 0; i < refine_count; ++i) {
+      ScoredCandidate& c = selected[i];
+      c.ecs = estimator_->EstimateIntervals(state, fleet[c.charger_id],
+                                            options_.derouting_norm_m);
+      estimator_->ApplyExactDerouting(scratch.estimates[i],
+                                      options_.derouting_norm_m, &c.ecs);
+      c.score = ComputeScorePair(c.ecs, weights);
+      if (metrics_.exact_refinements) metrics_.exact_refinements->Add();
+    }
+  } else {
+    for (size_t i = 0; i < refine_count; ++i) {
+      ScoredCandidate& c = selected[i];
       c.ecs = estimator_->EstimateWithExactDerouting(
           state, fleet[c.charger_id], options_.derouting_norm_m);
       c.score = ComputeScorePair(c.ecs, weights);
       if (metrics_.exact_refinements) metrics_.exact_refinements->Add();
     }
+  }
+
+  out->clear();
+  out->reserve(selected.size());
+  for (const ScoredCandidate& c : selected) {
     OfferingEntry e;
     e.charger_id = c.charger_id;
     e.score = c.score;
@@ -200,6 +249,66 @@ void CknnEcProcessor::RefineAndRank(const VehicleState& state,
   }
   SortOfferingEntries(*out);
   if (out->size() > k) out->resize(k);
+}
+
+void CknnEcProcessor::OrderByDeroutingBound(const VehicleState& state,
+                                            QueryContext* ctx) {
+  std::vector<ScoredCandidate>& selected = ctx->selected;
+  const size_t n = selected.size();
+  const size_t refine_count = std::min(options_.refine_limit, n);
+  if (refine_count == 0 || refine_count >= n) return;  // order is moot
+
+  const LandmarkIndex& lm = *options_.landmarks;
+  const RoadNetwork& network = estimator_->derouting_service().network();
+  const size_t num_nodes = network.NumNodes();
+  const NodeId m = state.node != kInvalidNode
+                       ? state.node
+                       : network.NearestNode(state.position);
+  const NodeId ra = state.return_node_a != kInvalidNode
+                        ? state.return_node_a
+                        : network.NearestNode(state.return_point_a);
+  const NodeId rb = state.return_node_b != kInvalidNode
+                        ? state.return_node_b
+                        : network.NearestNode(state.return_point_b);
+  if (m >= num_nodes || ra >= num_nodes || rb >= num_nodes) return;
+
+  // Lower-bounded derouting cost: LB(m -> b) + min over return points of
+  // LB(b -> r). Length-based landmark bounds are admissible for the
+  // congested cost too (the speed factor never exceeds 1, so congested
+  // cost >= length).
+  const std::vector<EvCharger>& fleet = estimator_->fleet();
+  std::vector<double>& bounds = ctx->derouting.bounds;
+  std::vector<uint32_t>& order = ctx->derouting.refine_order;
+  bounds.clear();
+  order.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    order[i] = i;
+    const NodeId b = fleet[selected[i].charger_id].node;
+    bounds.push_back(b < num_nodes
+                         ? lm.LowerBound(m, b) + std::min(lm.LowerBound(b, ra),
+                                                          lm.LowerBound(b, rb))
+                         : kInfiniteCost);
+  }
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    if (bounds[a] != bounds[b]) return bounds[a] < bounds[b];
+    return a < b;  // stable: ties keep the score order
+  });
+
+  // Refine set to the front in bound order; everyone else keeps the score
+  // order. Marks reuse the intersection's epoch array, so nothing clears.
+  if (ctx->member_mark.size() < n) ctx->member_mark.resize(n, 0);
+  const uint64_t epoch = ++ctx->mark_epoch;
+  std::vector<ScoredCandidate>& staged = ctx->reorder;
+  staged.clear();
+  staged.reserve(n);
+  for (size_t i = 0; i < refine_count; ++i) {
+    staged.push_back(selected[order[i]]);
+    ctx->member_mark[order[i]] = epoch;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (ctx->member_mark[i] != epoch) staged.push_back(selected[i]);
+  }
+  selected.swap(staged);
 }
 
 std::vector<OfferingEntry> CknnEcProcessor::RefineAndRank(

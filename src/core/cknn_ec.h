@@ -12,6 +12,8 @@
 
 namespace ecocharge {
 
+class LandmarkIndex;
+
 /// \brief Resolved handles for the query pipeline's phase instrumentation.
 ///
 /// All pointers are borrowed from a MetricsRegistry (which must outlive the
@@ -26,6 +28,9 @@ struct PipelineMetrics {
   obs::Counter* candidates_scored = nullptr;  ///< survivors of filtering
   obs::Counter* candidates_pruned = nullptr;  ///< dropped by eq. 6 ranking
   obs::Counter* exact_refinements = nullptr;  ///< network-exact upgrades
+  obs::Histogram* batch_derouting_ns = nullptr;  ///< batched-sweep wall time
+  obs::Counter* batch_targets = nullptr;     ///< chargers covered per batch
+  obs::Counter* warm_start_hits = nullptr;   ///< backward sweeps reused
 
   /// Resolves the canonical `pipeline.*` names on `registry`.
   static PipelineMetrics FromRegistry(obs::MetricsRegistry* registry);
@@ -60,6 +65,20 @@ struct CknnEcOptions {
   /// by score midpoint only — the ablation DESIGN.md calls out (interval
   /// robustness vs a single point estimate).
   bool use_intersection = true;
+
+  /// Batched exact refinement: one multi-target forward sweep plus one
+  /// (possibly warm) backward sweep per query instead of `refine_limit`
+  /// point-to-point searches. Produces bit-identical Offering Tables to
+  /// the per-candidate path (both run on the same sweep primitives); off
+  /// is the escape hatch / A-B baseline.
+  bool batch_derouting = true;
+
+  /// Optional ALT lower bounds (borrowed, may be null). With
+  /// `landmark_refine_order`, refinement candidates are picked by
+  /// ascending lower-bounded derouting cost instead of score-midpoint
+  /// order, so the batch target set stays tight around the route.
+  const LandmarkIndex* landmarks = nullptr;
+  bool landmark_refine_order = true;  ///< only effective with `landmarks`
 };
 
 /// \brief The CkNN-EC query processor (Section III-C).
@@ -149,6 +168,14 @@ class CknnEcProcessor {
   const PipelineMetrics& metrics() const { return metrics_; }
 
  private:
+  /// Reorders `ctx->selected` so the `refine_limit` candidates with the
+  /// smallest ALT-lower-bounded derouting cost come first (in bound
+  /// order); the remainder keeps its score order. No-op when every
+  /// selected candidate gets refined anyway or a query node can't be
+  /// resolved. Runs before the batch/per-candidate branch so both paths
+  /// refine the same set.
+  void OrderByDeroutingBound(const VehicleState& state, QueryContext* ctx);
+
   EcEstimator* estimator_;
   const SpatialIndex* charger_index_;
   CknnEcOptions options_;

@@ -16,7 +16,8 @@ EcEstimator::EcEstimator(std::shared_ptr<const RoadNetwork> network,
       energy_(energy),
       availability_(availability),
       options_(options),
-      derouting_(network_, congestion),
+      derouting_(network_, congestion, /*detour_factor=*/1.3,
+                 options.exact_derouting_bucket_s),
       owned_eis_(std::make_unique<InformationServer>(energy, availability,
                                                      congestion)),
       eis_(owned_eis_.get()) {
@@ -35,7 +36,8 @@ EcEstimator::EcEstimator(std::shared_ptr<const RoadNetwork> network,
       energy_(energy),
       availability_(availability),
       options_(options),
-      derouting_(network_, congestion),
+      derouting_(network_, congestion, /*detour_factor=*/1.3,
+                 options.exact_derouting_bucket_s),
       eis_(shared_eis) {
   PickBestSite();
 }
@@ -154,10 +156,27 @@ EcIntervals EcEstimator::EstimateWithExactDerouting(const VehicleState& state,
   EcIntervals ecs = EstimateIntervals(state, charger, derouting_norm_m);
   DeroutingEstimate exact = derouting_.Exact(MakeQuery(state), charger);
   if (exact_derouting_estimates_) exact_derouting_estimates_->Add();
-  double d = NormalizeDerouting(exact.extra_distance_min_m, derouting_norm_m);
-  ecs.derouting = Interval::Exact(d);
-  ecs.eta_s = exact.eta_s;
+  ApplyExactDerouting(exact, derouting_norm_m, &ecs);
   return ecs;
+}
+
+BatchSweepStats EcEstimator::ExactDeroutingBatch(
+    const VehicleState& state, std::span<const ChargerRef> chargers,
+    DeroutingBatchScratch* scratch) {
+  BatchSweepStats stats = derouting_.ExactBatch(
+      MakeQuery(state), chargers, scratch, &scratch->estimates);
+  if (exact_derouting_estimates_) {
+    exact_derouting_estimates_->Add(chargers.size());
+  }
+  return stats;
+}
+
+void EcEstimator::ApplyExactDerouting(const DeroutingEstimate& exact,
+                                      double derouting_norm_m,
+                                      EcIntervals* ecs) const {
+  double d = NormalizeDerouting(exact.extra_distance_min_m, derouting_norm_m);
+  ecs->derouting = Interval::Exact(d);
+  ecs->eta_s = exact.eta_s;
 }
 
 EcTruth EcEstimator::Truth(const VehicleState& state,

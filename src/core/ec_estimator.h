@@ -19,6 +19,13 @@ struct EcEstimatorOptions {
   /// Normalization constant for D: the "environment's maximum derouting
   /// distance" of Eq. 3's discussion. Callers typically set it to 2R.
   double max_derouting_m = 100000.0;
+
+  /// Time bucket for exact derouting costs (see
+  /// DeroutingService::set_exact_time_bucket_s): > 0 quantizes the exact
+  /// cost time so the backward-sweep warm-start memo survives across the
+  /// recomputation points of a continuous query, invalidating only at
+  /// bucket boundaries. 0 (default) evaluates at each query's exact time.
+  double exact_derouting_bucket_s = 0.0;
 };
 
 /// \brief Ground-truth (realized) components of one charger, normalized.
@@ -84,6 +91,22 @@ class EcEstimator {
                                          const EvCharger& charger,
                                          double derouting_norm_m = 0.0);
 
+  /// Batched form of the exact-derouting upgrade: one forward sweep plus
+  /// one (possibly warm) backward sweep covers every charger in
+  /// `chargers`, writing one estimate per charger into
+  /// `scratch->estimates` (input order, bit-identical to per-charger
+  /// Exact calls). The caller folds each estimate into its interval ECs
+  /// with ApplyExactDerouting().
+  BatchSweepStats ExactDeroutingBatch(const VehicleState& state,
+                                      std::span<const ChargerRef> chargers,
+                                      DeroutingBatchScratch* scratch);
+
+  /// Folds a network-exact derouting estimate into `*ecs` exactly the way
+  /// EstimateWithExactDerouting does — shared so the batched and
+  /// per-candidate refinement paths cannot drift.
+  void ApplyExactDerouting(const DeroutingEstimate& exact,
+                           double derouting_norm_m, EcIntervals* ecs) const;
+
   /// Recomputes only the derouting interval and ETA of `ecs` for a new
   /// vehicle state, keeping the (possibly stale) L and A estimates — the
   /// Dynamic Caching adaptation step.
@@ -108,6 +131,13 @@ class EcEstimator {
   /// SC under the reference components.
   double ReferenceScore(const VehicleState& state, const EvCharger& charger,
                         const ScoreWeights& weights);
+
+  /// The derouting-service query for `state` (node snaps + return points).
+  /// Exposed so batch callers and benches can drive the DeroutingService
+  /// with exactly the query the estimator would build.
+  DeroutingQuery MakeDeroutingQuery(const VehicleState& state) const {
+    return MakeQuery(state);
+  }
 
   /// Normalizes raw kWh into the L score: relative to the best deliverable
   /// energy over the fleet for a window starting near `t` (the paper's

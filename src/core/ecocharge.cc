@@ -10,6 +10,9 @@ CknnEcOptions ProcessorOptions(const EcoChargeOptions& o) {
   c.refine_limit = o.refine_limit;
   c.refine_exact_derouting = o.refine_exact_derouting;
   c.use_intersection = o.use_intersection;
+  c.batch_derouting = o.batch_derouting;
+  c.landmarks = o.landmarks;
+  c.landmark_refine_order = o.landmark_refine_order;
   // The user's radius defines the environment the paper normalizes the
   // derouting cost by: D = extra distance / (2R).
   c.derouting_norm_m = 2.0 * o.radius_m;

@@ -26,6 +26,16 @@ struct EcoChargeOptions {
   /// recalculation entirely while within Q (the accuracy/time trade-off
   /// its Q-opt experiment sweeps), so the default is false.
   bool adapt_revises_derouting = false;
+
+  /// Batched exact refinement (one multi-target sweep per query instead of
+  /// `refine_limit` point-to-point searches); results are bit-identical
+  /// either way. Off is the `--no-batch-derouting` escape hatch.
+  bool batch_derouting = true;
+
+  /// Optional ALT landmark bounds for refinement-candidate ordering (see
+  /// CknnEcOptions::landmarks; borrowed, may be null).
+  const LandmarkIndex* landmarks = nullptr;
+  bool landmark_refine_order = true;
 };
 
 /// \brief The EcoCharge renewable-hoarding algorithm.
@@ -41,8 +51,9 @@ struct EcoChargeOptions {
 ///     refinement flag, the exact derouting refinement.
 ///
 /// The ranker works against any SpatialIndex backend and spends no heap
-/// allocations per query once the caller's QueryContext is warm (the
-/// exact-derouting Dijkstra on the miss path is the one exception).
+/// allocations per query once the caller's QueryContext is warm — the
+/// exact-derouting sweeps included, whose frontier and batch staging
+/// persist in the estimator's search workspace and the context.
 class EcoChargeRanker : public Ranker {
  public:
   EcoChargeRanker(EcEstimator* estimator, const SpatialIndex* charger_index,

@@ -56,9 +56,15 @@ Result<std::unique_ptr<Environment>> MakeEnvironment(
 
   EcEstimatorOptions est_opts;
   est_opts.max_derouting_m = options.max_derouting_m;
+  est_opts.exact_derouting_bucket_s = options.exact_derouting_bucket_s;
   env->estimator = std::make_unique<EcEstimator>(
       env->dataset.network, &env->chargers, env->energy.get(),
       env->availability.get(), env->congestion.get(), est_opts);
+
+  if (options.num_landmarks > 0) {
+    env->landmarks = std::make_unique<LandmarkIndex>(*env->dataset.network,
+                                                     options.num_landmarks);
+  }
 
   std::vector<Point> charger_points;
   charger_points.reserve(env->chargers.size());

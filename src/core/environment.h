@@ -8,6 +8,7 @@
 #include "common/result.h"
 #include "core/ec_estimator.h"
 #include "energy/production.h"
+#include "graph/landmarks.h"
 #include "spatial/index_factory.h"
 #include "spatial/spatial_index.h"
 #include "traffic/congestion.h"
@@ -31,6 +32,7 @@ struct Environment {
   std::unique_ptr<EcEstimator> estimator;
   SpatialIndexKind index_kind = SpatialIndexKind::kQuadTree;
   std::unique_ptr<SpatialIndex> charger_index;  ///< ids = indices in chargers
+  std::unique_ptr<LandmarkIndex> landmarks;  ///< null unless num_landmarks > 0
 };
 
 /// \brief World-building knobs.
@@ -40,6 +42,14 @@ struct EnvironmentOptions {
   size_t num_chargers = 1000;      ///< paper: >1,000 sites
   double max_derouting_m = 100000.0;  ///< D normalization (2R by default)
   uint64_t seed = 42;
+
+  /// ALT landmarks to precompute for refinement-candidate ordering;
+  /// 0 (default) skips the build and leaves Environment::landmarks null.
+  size_t num_landmarks = 0;
+
+  /// Exact-derouting cost-time bucket (see
+  /// EcEstimatorOptions::exact_derouting_bucket_s); 0 = off.
+  double exact_derouting_bucket_s = 0.0;
 
   /// Spatial index backend for the charger index. Every backend yields
   /// bit-identical Offering Tables; the choice is a performance knob.

@@ -51,6 +51,14 @@ class OfferingService {
   /// Drops the cached state of every client idle since before `now`.
   void EvictIdleClients(SimTime now);
 
+  /// Pre-grows the batched-refinement scratch to `refine_candidates`
+  /// targets, so the first ranked query performs no refinement-phase
+  /// allocations. The concurrent runtime calls this once per worker at
+  /// startup with its configured refine limit.
+  void ReserveBatchScratch(size_t refine_candidates) {
+    ctx_.derouting.Reserve(refine_candidates);
+  }
+
   size_t active_clients() const { return clients_.size(); }
   const OfferingServiceStats& stats() const { return stats_; }
 

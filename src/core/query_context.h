@@ -6,6 +6,7 @@
 
 #include "core/offering_table.h"
 #include "spatial/spatial_index.h"
+#include "traffic/derouting.h"
 
 namespace ecocharge {
 
@@ -22,9 +23,11 @@ struct ScoredCandidate {
 /// eq. 6 iterative-deepening intersection, refinement) writes its working
 /// set into one of these buffers instead of a fresh vector, so a caller
 /// that keeps a context alive across queries reaches a steady state where
-/// an offering-table generation performs zero heap allocations (the exact
-/// network-derouting refinement, which runs Dijkstra, is the documented
-/// exception). Buffers grow to the workload's high-water mark and stay.
+/// an offering-table generation performs zero heap allocations — including
+/// the exact network-derouting refinement, whose sweep frontier lives in
+/// the estimator's search workspace and whose batch staging lives in the
+/// `derouting` scratch below. Buffers grow to the workload's high-water
+/// mark and stay.
 ///
 /// A context carries no query results across calls — only capacity. It is
 /// not thread-safe; give each worker thread its own context. Every Ranker
@@ -37,6 +40,11 @@ struct QueryContext {
   std::vector<ChargerId> candidates;    ///< filtering: surviving charger ids
   std::vector<ScoredCandidate> scored;  ///< scoring: the candidate pool
   std::vector<ScoredCandidate> selected;  ///< intersection winners
+  std::vector<ScoredCandidate> reorder;   ///< ALT refine-order staging
+
+  /// Batched exact-derouting scratch: target ids, charger refs, and the
+  /// per-candidate estimates of the one-sweep-per-segment refinement.
+  DeroutingBatchScratch derouting;
 
   // Eq. 6 rank orders and the membership marks replacing the per-depth
   // hash set (mark_epoch stamps entries instead of clearing the array).

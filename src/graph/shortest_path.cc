@@ -13,13 +13,17 @@ DijkstraSearch::DijkstraSearch(const RoadNetwork& network)
     : network_(network),
       dist_(network.NumNodes(), kInfiniteCost),
       parent_(network.NumNodes(), kInvalidNode),
-      version_(network.NumNodes(), 0) {}
+      version_(network.NumNodes(), 0),
+      settled_version_(network.NumNodes(), 0),
+      target_version_(network.NumNodes(), 0) {}
 
 void DijkstraSearch::NewEpoch() {
   ++epoch_;
   if (epoch_ == 0) {
     // Wrapped around: hard reset.
     std::fill(version_.begin(), version_.end(), 0);
+    std::fill(settled_version_.begin(), settled_version_.end(), 0);
+    std::fill(target_version_.begin(), target_version_.end(), 0);
     epoch_ = 1;
   }
   last_settled_ = 0;
@@ -168,6 +172,84 @@ size_t DijkstraSearch::OneToMany(NodeId source, double max_cost,
     }
   }
   return last_settled_;
+}
+
+size_t DijkstraSearch::OneToMany(NodeId source,
+                                 std::span<const NodeId> targets,
+                                 const EdgeCostFn& cost) {
+  NodeId sources[1] = {source};
+  StartSweep(std::span<const NodeId>(sources, 1), SweepDirection::kForward);
+  return ExtendSweep(targets, cost);
+}
+
+void DijkstraSearch::StartSweep(std::span<const NodeId> sources,
+                                SweepDirection direction) {
+  NewEpoch();
+  direction_ = direction;
+  frontier_.clear();
+  for (NodeId s : sources) {
+    if (s >= network_.NumNodes() || version_[s] == epoch_) continue;
+    version_[s] = epoch_;
+    dist_[s] = 0.0;
+    parent_[s] = kInvalidNode;
+    frontier_.push_back({0.0, s});
+    std::push_heap(frontier_.begin(), frontier_.end(), SweepLater);
+  }
+}
+
+size_t DijkstraSearch::ExtendSweep(std::span<const NodeId> targets,
+                                   const EdgeCostFn& cost) {
+  const size_t n = network_.NumNodes();
+  // Count the distinct, valid, not-yet-final targets this call must reach.
+  // A target stamped by an earlier extension of this sweep but still
+  // unsettled can only mean the frontier is already exhausted (extensions
+  // return only when pending hits zero or the frontier empties), so it is
+  // correct to skip it here as well.
+  size_t pending = 0;
+  for (NodeId t : targets) {
+    if (t >= n || settled_version_[t] == epoch_ ||
+        target_version_[t] == epoch_) {
+      continue;
+    }
+    target_version_[t] = epoch_;
+    ++pending;
+  }
+
+  // The settle/relax loop is byte-for-byte the work ShortestPath does; the
+  // target set only decides when to STOP, never what gets relaxed. That is
+  // the property the derouting batch relies on for bit-identical costs: a
+  // sweep asked for one target and a sweep asked for many perform the same
+  // pop/relax prefix, so every settled distance is the same double.
+  const bool forward = direction_ == SweepDirection::kForward;
+  while (pending > 0 && !frontier_.empty()) {
+    std::pop_heap(frontier_.begin(), frontier_.end(), SweepLater);
+    const NodeId v = frontier_.back().node;
+    frontier_.pop_back();
+    if (settled_version_[v] == epoch_) continue;  // stale heap entry
+    settled_version_[v] = epoch_;
+    ++last_settled_;
+    if (target_version_[v] == epoch_) --pending;
+    auto edge_ids = forward ? network_.OutEdges(v) : network_.InEdges(v);
+    for (EdgeId eid : edge_ids) {
+      const Edge& e = network_.edge(eid);
+      const NodeId w = forward ? e.to : e.from;
+      if (settled_version_[w] == epoch_) continue;
+      double nd = dist_[v] + cost(e);
+      if (version_[w] != epoch_ || nd < dist_[w]) {
+        version_[w] = epoch_;
+        dist_[w] = nd;
+        parent_[w] = v;
+        frontier_.push_back({nd, w});
+        std::push_heap(frontier_.begin(), frontier_.end(), SweepLater);
+      }
+    }
+  }
+
+  size_t settled_targets = 0;
+  for (NodeId t : targets) {
+    if (t < n && settled_version_[t] == epoch_) ++settled_targets;
+  }
+  return settled_targets;
 }
 
 PathResult BidirectionalShortestPath(const RoadNetwork& network,

@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "graph/road_network.h"
@@ -30,6 +31,11 @@ struct PathResult {
   bool Reachable() const { return cost < kInfiniteCost; }
 };
 
+/// Which adjacency a sweep expands. A forward sweep from s settles
+/// d(s -> v); a backward sweep over the in-adjacency from t settles
+/// d(v -> t) — the return-leg direction of the derouting computation.
+enum class SweepDirection : uint8_t { kForward, kBackward };
+
 /// \brief Reusable Dijkstra workspace over one network.
 ///
 /// Distances and parents are version-stamped so consecutive queries cost
@@ -55,6 +61,38 @@ class DijkstraSearch {
   size_t OneToMany(NodeId source, double max_cost, const EdgeCostFn& cost,
                    std::vector<NodeId>* settled = nullptr);
 
+  /// Multi-target one-to-many: settles outward from `source` and stops as
+  /// soon as every reachable node in `targets` is final (instead of
+  /// settling a whole cost ball). Invalid target ids are ignored and
+  /// duplicates are settled once. Returns the number of settled target
+  /// entries (a duplicated id counts per occurrence); costs are read back
+  /// with CostTo(). Equivalent to StartSweep({source}, kForward) followed
+  /// by ExtendSweep(targets, cost).
+  size_t OneToMany(NodeId source, std::span<const NodeId> targets,
+                   const EdgeCostFn& cost);
+
+  /// Begins a resumable multi-source sweep: every valid node in `sources`
+  /// is seeded at cost 0 and the frontier is kept alive across
+  /// ExtendSweep() calls, so later calls resume where earlier ones stopped
+  /// instead of re-settling the inner ball. Starting a sweep invalidates
+  /// the previous epoch's costs.
+  void StartSweep(std::span<const NodeId> sources,
+                  SweepDirection direction = SweepDirection::kForward);
+
+  /// Extends the current sweep until every reachable node in `targets` is
+  /// settled (or the frontier is exhausted). The same `cost` function must
+  /// be passed to every extension of one sweep — the frontier carries
+  /// priorities computed with it. Returns the number of targets with final
+  /// costs (including ones settled by earlier extensions).
+  size_t ExtendSweep(std::span<const NodeId> targets, const EdgeCostFn& cost);
+
+  /// True when `v` has a final cost in the current sweep. CostTo() on an
+  /// unsettled-but-reached node returns its tentative distance, which a
+  /// resumable sweep may still improve — batch readers check this first.
+  bool Settled(NodeId v) const {
+    return v < settled_version_.size() && settled_version_[v] == epoch_;
+  }
+
   /// Cost to `v` after the last OneToMany/ShortestPath call that settled it
   /// in the current epoch; kInfiniteCost otherwise.
   double CostTo(NodeId v) const {
@@ -65,6 +103,16 @@ class DijkstraSearch {
   size_t last_settled_count() const { return last_settled_; }
 
  private:
+  /// Frontier entry of the persistent sweep heap (kept as a member so a
+  /// warm search performs zero heap allocations per query).
+  struct SweepEntry {
+    double priority;
+    NodeId node;
+  };
+  static bool SweepLater(const SweepEntry& a, const SweepEntry& b) {
+    return a.priority > b.priority;
+  }
+
   void NewEpoch();
   std::vector<NodeId> ReconstructPath(NodeId source, NodeId target) const;
 
@@ -74,6 +122,15 @@ class DijkstraSearch {
   std::vector<uint32_t> version_;
   uint32_t epoch_ = 0;
   size_t last_settled_ = 0;
+
+  // Resumable-sweep state. settled_version_ distinguishes "final" from
+  // "reached with a tentative distance" across ExtendSweep calls;
+  // target_version_ marks requested targets so pending-target counting
+  // ignores duplicates. Both are epoch-stamped like version_.
+  std::vector<SweepEntry> frontier_;
+  std::vector<uint32_t> settled_version_;
+  std::vector<uint32_t> target_version_;
+  SweepDirection direction_ = SweepDirection::kForward;
 };
 
 /// \brief Bellman-Ford reference implementation (O(VE)); used by tests as

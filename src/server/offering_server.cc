@@ -57,6 +57,10 @@ OfferingServer::OfferingServer(Environment* env, const ScoreWeights& weights,
     worker->service = std::make_unique<OfferingService>(
         worker->estimator.get(), env_->charger_index.get(), weights,
         eco_options, options_.client_ttl_s);
+    // Pre-size the batched-refinement scratch to the configured refine
+    // limit so no worker allocates in the refinement phase, even on its
+    // very first request.
+    worker->service->ReserveBatchScratch(eco_options.refine_limit);
     worker->estimator->AttachMetrics(&metrics_);
     worker->service->AttachMetrics(&metrics_);
     worker->queue_depth = metrics_.GetGauge(

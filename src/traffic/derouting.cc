@@ -7,11 +7,14 @@ namespace ecocharge {
 
 DeroutingService::DeroutingService(
     std::shared_ptr<const RoadNetwork> network,
-    const CongestionModel* congestion, double detour_factor)
+    const CongestionModel* congestion, double detour_factor,
+    double exact_time_bucket_s)
     : network_(std::move(network)),
       congestion_(congestion),
       detour_factor_(detour_factor),
-      search_(*network_) {}
+      exact_time_bucket_s_(exact_time_bucket_s),
+      search_(*network_),
+      back_search_(*network_) {}
 
 double DeroutingService::CruiseSpeed(SimTime t) const {
   return FreeFlowSpeed(RoadClass::kArterial) *
@@ -54,54 +57,160 @@ DeroutingEstimate DeroutingService::Estimate(
   return est;
 }
 
-double DeroutingService::DirectCost(NodeId m, NodeId ra, NodeId rb,
-                                    SimTime now, const EdgeCostFn& cost) {
-  DirectKey key{m, ra, rb, now};
-  if (key == direct_key_) return direct_cost_;
-  PathResult direct_a = search_.AStar(m, ra, cost);
-  PathResult direct_b = search_.AStar(m, rb, cost);
-  direct_key_ = key;
-  direct_cost_ = std::min(direct_a.cost, direct_b.cost);
-  return direct_cost_;
+SimTime DeroutingService::ExactCostTime(SimTime now) const {
+  if (exact_time_bucket_s_ <= 0.0) return now;
+  return std::floor(now / exact_time_bucket_s_) * exact_time_bucket_s_;
 }
+
+bool DeroutingService::EnsureBackwardSweep(NodeId ra, NodeId rb,
+                                           SimTime tau) {
+  BackwardKey key{ra, rb, tau};
+  if (key == back_key_) {
+    ++warm_start_hits_;
+    return true;
+  }
+  // Multi-source seed: both return points at cost 0, so the sweep settles
+  // min(d(v -> r_a), d(v -> r_b)) for every v it reaches — the "whichever
+  // return point deroutes less" minimum, for all chargers at once.
+  NodeId sources[2] = {ra, rb};
+  back_search_.StartSweep(std::span<const NodeId>(sources, 2),
+                          SweepDirection::kBackward);
+  back_key_ = key;
+  ++backward_sweep_starts_;
+  return false;
+}
+
+namespace {
+
+/// Resolved node triple of one derouting query.
+struct QueryNodes {
+  NodeId m;
+  NodeId ra;
+  NodeId rb;
+};
+
+QueryNodes ResolveNodes(const RoadNetwork& network,
+                        const DeroutingQuery& query) {
+  QueryNodes nodes;
+  nodes.m = query.vehicle_node != kInvalidNode
+                ? query.vehicle_node
+                : network.NearestNode(query.vehicle_position);
+  nodes.ra = query.return_node_a != kInvalidNode
+                 ? query.return_node_a
+                 : network.NearestNode(query.return_point_a);
+  nodes.rb = query.return_node_b != kInvalidNode
+                 ? query.return_node_b
+                 : network.NearestNode(query.return_point_b);
+  return nodes;
+}
+
+DeroutingEstimate UnreachableEstimate() {
+  DeroutingEstimate est;
+  est.extra_distance_min_m = est.extra_distance_max_m = kInfiniteCost;
+  est.eta_s = kInfiniteCost;
+  return est;
+}
+
+}  // namespace
 
 DeroutingEstimate DeroutingService::Exact(const DeroutingQuery& query,
                                           const EvCharger& charger) {
-  DeroutingEstimate est;
-  NodeId m = query.vehicle_node != kInvalidNode
-                 ? query.vehicle_node
-                 : network_->NearestNode(query.vehicle_position);
-  NodeId ra = query.return_node_a != kInvalidNode
-                  ? query.return_node_a
-                  : network_->NearestNode(query.return_point_a);
-  NodeId rb = query.return_node_b != kInvalidNode
-                  ? query.return_node_b
-                  : network_->NearestNode(query.return_point_b);
+  const QueryNodes nodes = ResolveNodes(*network_, query);
+  const size_t num_nodes = network_->NumNodes();
+  if (nodes.m >= num_nodes || charger.node >= num_nodes) {
+    return UnreachableEstimate();
+  }
 
-  // Cost = congested travel distance: length / speed_factor(class, now),
+  // Cost = congested travel distance: length / speed_factor(class, tau),
   // i.e. congested roads count longer, matching Eq. 3's weighted edges.
-  SimTime now = query.now;
-  auto cost = [this, now](const Edge& e) {
+  // tau is the (possibly bucketed) cost time, shared with ExactBatch so
+  // both fidelities accumulate the same doubles.
+  const SimTime tau = ExactCostTime(query.now);
+  auto cost = [this, tau](const Edge& e) {
     return e.length_m /
-           congestion_->ActualSpeedFactor(e.road_class, now);
+           congestion_->ActualSpeedFactor(e.road_class, tau);
   };
 
-  PathResult to_b = search_.AStar(m, charger.node, cost);
-  if (!to_b.Reachable()) {
-    est.extra_distance_min_m = est.extra_distance_max_m = kInfiniteCost;
-    est.eta_s = kInfiniteCost;
-    return est;
-  }
-  PathResult back_a = search_.AStar(charger.node, ra, cost);
-  PathResult back_b = search_.AStar(charger.node, rb, cost);
-  double back = std::min(back_a.cost, back_b.cost);
-  double direct = DirectCost(m, ra, rb, now, cost);
-  double extra = to_b.cost + (std::isfinite(back) ? back : 0.0) -
+  // Outbound leg: single-target forward sweep (stops at the charger).
+  NodeId fwd_targets[1] = {charger.node};
+  search_.OneToMany(nodes.m, std::span<const NodeId>(fwd_targets, 1), cost);
+  const double to_b = search_.CostTo(charger.node);
+  if (!std::isfinite(to_b)) return UnreachableEstimate();
+
+  // Return leg + direct cost from the shared backward sweep: extending to
+  // {b, m} settles min(d(b -> r_a), d(b -> r_b)) and the on-route cost
+  // d(m -> {r_a, r_b}) in one pass.
+  EnsureBackwardSweep(nodes.ra, nodes.rb, tau);
+  NodeId back_targets[2] = {charger.node, nodes.m};
+  back_search_.ExtendSweep(std::span<const NodeId>(back_targets, 2), cost);
+  const double back = back_search_.CostTo(charger.node);
+  const double direct = back_search_.CostTo(nodes.m);
+
+  double extra = to_b + (std::isfinite(back) ? back : 0.0) -
                  (std::isfinite(direct) ? direct : 0.0);
   extra = std::max(0.0, extra);
+  DeroutingEstimate est;
   est.extra_distance_min_m = est.extra_distance_max_m = extra;
-  est.eta_s = to_b.cost / std::max(CruiseSpeed(now), 1.0);
+  est.eta_s = to_b / std::max(CruiseSpeed(tau), 1.0);
   return est;
+}
+
+BatchSweepStats DeroutingService::ExactBatch(
+    const DeroutingQuery& query, std::span<const ChargerRef> chargers,
+    DeroutingBatchScratch* scratch, std::vector<DeroutingEstimate>* out) {
+  BatchSweepStats stats;
+  stats.targets = chargers.size();
+  out->clear();
+  if (chargers.empty()) return stats;
+
+  const QueryNodes nodes = ResolveNodes(*network_, query);
+  const size_t num_nodes = network_->NumNodes();
+  const SimTime tau = ExactCostTime(query.now);
+  auto cost = [this, tau](const Edge& e) {
+    return e.length_m /
+           congestion_->ActualSpeedFactor(e.road_class, tau);
+  };
+
+  // One forward sweep covers every outbound leg: it stops as soon as all
+  // distinct charger nodes are settled, instead of re-settling the inner
+  // ball around m once per candidate. Invalid ids are skipped by the sweep
+  // and read back as unreachable.
+  std::vector<NodeId>& targets = scratch->targets;
+  targets.clear();
+  for (ChargerRef charger : chargers) targets.push_back(charger->node);
+  if (nodes.m < num_nodes) {
+    search_.OneToMany(nodes.m, std::span<const NodeId>(targets), cost);
+  }
+
+  // One backward extension covers every return leg plus the direct cost
+  // (m is just one more target of the multi-source return sweep).
+  stats.warm_start = EnsureBackwardSweep(nodes.ra, nodes.rb, tau);
+  targets.push_back(nodes.m);
+  back_search_.ExtendSweep(std::span<const NodeId>(targets), cost);
+  targets.pop_back();
+  const double direct =
+      nodes.m < num_nodes ? back_search_.CostTo(nodes.m) : kInfiniteCost;
+
+  const double cruise = std::max(CruiseSpeed(tau), 1.0);
+  for (ChargerRef charger : chargers) {
+    const NodeId b = charger->node;
+    const double to_b = nodes.m < num_nodes && b < num_nodes
+                            ? search_.CostTo(b)
+                            : kInfiniteCost;
+    if (!std::isfinite(to_b)) {
+      out->push_back(UnreachableEstimate());
+      continue;
+    }
+    const double back = back_search_.CostTo(b);
+    double extra = to_b + (std::isfinite(back) ? back : 0.0) -
+                   (std::isfinite(direct) ? direct : 0.0);
+    extra = std::max(0.0, extra);
+    DeroutingEstimate est;
+    est.extra_distance_min_m = est.extra_distance_max_m = extra;
+    est.eta_s = to_b / cruise;
+    out->push_back(est);
+  }
+  return stats;
 }
 
 }  // namespace ecocharge

@@ -1,7 +1,10 @@
 #ifndef ECOCHARGE_TRAFFIC_DEROUTING_H_
 #define ECOCHARGE_TRAFFIC_DEROUTING_H_
 
+#include <cstdint>
 #include <memory>
+#include <span>
+#include <vector>
 
 #include "energy/charger.h"
 #include "graph/shortest_path.h"
@@ -33,19 +36,73 @@ struct DeroutingQuery {
   SimTime now = 0.0;
 };
 
+/// Handle to one refinement candidate in a batched exact call: a borrowed
+/// fleet entry (the fleet vector outlives every query).
+using ChargerRef = const EvCharger*;
+
+/// \brief Reusable scratch of the batched exact-derouting path.
+///
+/// Owned by the caller (the query pipeline keeps one inside QueryContext,
+/// the serving runtime pre-sizes one per worker), so a warm ExactBatch
+/// performs zero heap allocations. The refine_order/bounds buffers are the
+/// pipeline's candidate-ordering scratch (ALT lower bounds), kept here so
+/// all batched-refinement scratch lives in one place.
+struct DeroutingBatchScratch {
+  std::vector<NodeId> targets;               ///< batch target node ids
+  std::vector<ChargerRef> chargers;          ///< caller-side batch staging
+  std::vector<DeroutingEstimate> estimates;  ///< batch output
+  std::vector<uint32_t> refine_order;        ///< candidate-ordering scratch
+  std::vector<double> bounds;                ///< ALT lower-bound scratch
+
+  /// Pre-grows every buffer to `n` candidates (+1 for the direct-cost
+  /// target) so the first batch is already allocation-free.
+  void Reserve(size_t n) {
+    targets.reserve(n + 1);
+    chargers.reserve(n);
+    estimates.reserve(n);
+    refine_order.reserve(n);
+    bounds.reserve(n);
+  }
+};
+
+/// \brief What one ExactBatch call did — feeds the pipeline.batch_* and
+/// warm-start metrics.
+struct BatchSweepStats {
+  size_t targets = 0;       ///< chargers in the batch
+  bool warm_start = false;  ///< the backward sweep was resumed, not rebuilt
+};
+
 /// \brief Computes derouting costs in two fidelities.
 ///
 /// Estimate(): closed-form from Euclidean distances x a road-detour factor
 /// x the congestion band — O(1) per charger, used by the CkNN-EC filtering
-/// phase. Exact(): time-aware A* over the network — used by the refinement
-/// phase and by the Brute-Force oracle (this is where the baselines spend
-/// their CPU time, matching the paper's cost profile).
+/// phase. Exact()/ExactBatch(): time-aware Dijkstra sweeps over the network
+/// — used by the refinement phase and by the Brute-Force oracle (this is
+/// where the baselines spend their CPU time, matching the paper's cost
+/// profile).
+///
+/// The exact path decomposes into one forward sweep from the vehicle node
+/// (outbound legs d(m -> b)) and one backward sweep over the in-adjacency
+/// seeded from both return points (return legs min d(b -> r_i) for every
+/// charger, plus the on-route direct cost d(m -> {r_a, r_b}) for free at
+/// the vehicle node). The backward sweep is resumable and memoized on
+/// (r_a, r_b, cost time): Brute-Force loops, the batched refinement, and
+/// the recomputation points of a continuous query all reuse its settled
+/// costs instead of re-running it per charger. Exact() and ExactBatch()
+/// share the same sweep primitives and therefore produce bit-identical
+/// costs — a batch is exactly N per-candidate calls fused.
 class DeroutingService {
  public:
   /// \param detour_factor typical network/Euclidean distance ratio (~1.3)
+  /// \param exact_time_bucket_s when > 0, exact costs are computed at
+  ///        `now` quantized down to this bucket, so every query inside one
+  ///        bucket shares edge costs — the cross-segment warm-start. 0
+  ///        (default) evaluates at the query's exact `now`. The natural
+  ///        bucket is CongestionModel::kNoiseBucketSeconds.
   DeroutingService(std::shared_ptr<const RoadNetwork> network,
                    const CongestionModel* congestion,
-                   double detour_factor = 1.3);
+                   double detour_factor = 1.3,
+                   double exact_time_bucket_s = 0.0);
 
   /// O(1) interval estimate; fetches the congestion band itself.
   DeroutingEstimate Estimate(const DeroutingQuery& query,
@@ -62,33 +119,67 @@ class DeroutingService {
   DeroutingEstimate Exact(const DeroutingQuery& query,
                           const EvCharger& charger);
 
+  /// Batched form of Exact(): one forward multi-target sweep covers every
+  /// charger's outbound leg, one (possibly warm) backward extension covers
+  /// every return leg and the direct cost. Appends one estimate per
+  /// charger to `*out` in input order, bit-identical to calling Exact()
+  /// per charger. `scratch` supplies the target buffer (typically
+  /// `&scratch->estimates` is passed as `out`); a warm call allocates
+  /// nothing.
+  BatchSweepStats ExactBatch(const DeroutingQuery& query,
+                             std::span<const ChargerRef> chargers,
+                             DeroutingBatchScratch* scratch,
+                             std::vector<DeroutingEstimate>* out);
+
   /// Cruise speed used to turn distances into ETAs, m/s (arterial pace
   /// scaled by current congestion).
   double CruiseSpeed(SimTime t) const;
 
+  /// Changes the exact-cost time bucket; resets the warm-start memo (costs
+  /// computed under a different bucket are not comparable).
+  void set_exact_time_bucket_s(double bucket_s) {
+    exact_time_bucket_s_ = bucket_s;
+    back_key_ = BackwardKey{};
+  }
+  double exact_time_bucket_s() const { return exact_time_bucket_s_; }
+
+  /// Cumulative backward-sweep accounting: how many exact calls reused the
+  /// settled backward costs vs. rebuilding them. Warm hits require the same
+  /// return pair at the same (bucketed) cost time.
+  uint64_t warm_start_hits() const { return warm_start_hits_; }
+  uint64_t backward_sweep_starts() const { return backward_sweep_starts_; }
+
   const RoadNetwork& network() const { return *network_; }
 
  private:
-  double DirectCost(NodeId m, NodeId ra, NodeId rb, SimTime now,
-                    const EdgeCostFn& cost);
+  /// The time exact edge costs are evaluated at: `now`, or `now` floored
+  /// to the bucket when warm-start bucketing is on.
+  SimTime ExactCostTime(SimTime now) const;
+
+  /// Resumes (warm hit) or restarts the backward sweep for the return pair
+  /// at cost time `tau`; returns true on a warm hit.
+  bool EnsureBackwardSweep(NodeId ra, NodeId rb, SimTime tau);
 
   std::shared_ptr<const RoadNetwork> network_;
   const CongestionModel* congestion_;
   double detour_factor_;
-  DijkstraSearch search_;
+  double exact_time_bucket_s_;
+  DijkstraSearch search_;       ///< forward sweeps (outbound legs)
+  DijkstraSearch back_search_;  ///< resumable backward sweep (return legs)
 
-  // Memo for the charger-independent on-route cost d(m -> {r_a, r_b});
-  // Brute-Force evaluates every charger under the same vehicle state, so
-  // this turns 2 of the 5 A* runs per charger into 2 per query.
-  struct DirectKey {
-    NodeId m = kInvalidNode;
+  // Warm-start memo: the backward sweep is valid while the return pair and
+  // the (bucketed) cost time are unchanged. Settled costs persist inside
+  // back_search_'s epoch; invalidation is just a key mismatch, which
+  // happens exactly at time-bucket boundaries on a continuous run.
+  struct BackwardKey {
     NodeId ra = kInvalidNode;
     NodeId rb = kInvalidNode;
-    SimTime now = -1.0;
-    bool operator==(const DirectKey&) const = default;
+    SimTime tau = -1.0;
+    bool operator==(const BackwardKey&) const = default;
   };
-  DirectKey direct_key_;
-  double direct_cost_ = 0.0;
+  BackwardKey back_key_;
+  uint64_t warm_start_hits_ = 0;
+  uint64_t backward_sweep_starts_ = 0;
 };
 
 }  // namespace ecocharge

@@ -1,7 +1,7 @@
 // QueryContext semantics: a context carries capacity, never results — so
 // reusing one across queries must be invisible in the output — and once
-// warm, the estimated-only ranking path performs zero heap allocations
-// per offering-table generation.
+// warm, the ranking path (exact-derouting refinement included) performs
+// zero heap allocations per offering-table generation.
 
 #include <gtest/gtest.h>
 
@@ -150,8 +150,7 @@ TEST(QueryContextTest, SteadyStateEstimatedPathDoesNotAllocate) {
   EcoChargeOptions opts;
   opts.radius_m = 20000.0;
   opts.q_distance_m = 0.0;  // full regeneration every query
-  // The zero-allocation claim targets the estimated-only path; the exact
-  // derouting refinement runs Dijkstra and is the documented exception.
+  // Estimated-only path: no network searches at all.
   opts.refine_exact_derouting = false;
   EcoChargeRanker eco(w.env->estimator.get(), w.env->charger_index.get(),
                       ScoreWeights::AWE(), opts);
@@ -170,6 +169,36 @@ TEST(QueryContextTest, SteadyStateEstimatedPathDoesNotAllocate) {
   }
   uint64_t after = g_allocations.load();
   EXPECT_EQ(after - before, 0u);
+}
+
+TEST(QueryContextTest, SteadyStateExactRefinementDoesNotAllocate) {
+  // The exact derouting refinement used to be the documented exception to
+  // the zero-allocation claim (it ran per-candidate Dijkstra). The sweep
+  // workspaces and the batch scratch are persistent now, so the claim
+  // covers refinement too — on both execution strategies.
+  SharedWorld& w = World();
+  for (bool batch : {true, false}) {
+    EcoChargeOptions opts;
+    opts.radius_m = 20000.0;
+    opts.q_distance_m = 0.0;  // full regeneration every query
+    opts.refine_exact_derouting = true;
+    opts.batch_derouting = batch;
+    EcoChargeRanker eco(w.env->estimator.get(), w.env->charger_index.get(),
+                        ScoreWeights::AWE(), opts);
+    QueryContext ctx;
+    OfferingTable table;
+    for (int pass = 0; pass < 3; ++pass) {
+      for (const VehicleState& state : w.states) {
+        eco.RankInto(state, 3, ctx, &table);
+      }
+    }
+    uint64_t before = g_allocations.load();
+    for (const VehicleState& state : w.states) {
+      eco.RankInto(state, 3, ctx, &table);
+    }
+    uint64_t after = g_allocations.load();
+    EXPECT_EQ(after - before, 0u) << "batch_derouting=" << batch;
+  }
 }
 
 TEST(QueryContextTest, SteadyStateCacheHitPathDoesNotAllocate) {
@@ -192,9 +221,10 @@ TEST(QueryContextTest, SteadyStateCacheHitPathDoesNotAllocate) {
 
 TEST(QueryContextTest, SteadyStatePathWithMetricsDoesNotAllocate) {
   // Observability must not break the zero-allocation property: with phase
-  // timers, pipeline counters, and estimator counters all attached, the
-  // warm estimated-only path still performs zero heap allocations —
-  // metric registration is the cold path, recording is relaxed atomics.
+  // timers, pipeline counters, and estimator counters all attached (the
+  // batched-refinement instrumentation included), the warm path still
+  // performs zero heap allocations — metric registration is the cold
+  // path, recording is relaxed atomics.
   SharedWorld& w = World();
   // Static, because the shared estimator keeps the counter handles after
   // this test ends; registration happens once, before any measurement.
@@ -203,7 +233,6 @@ TEST(QueryContextTest, SteadyStatePathWithMetricsDoesNotAllocate) {
   EcoChargeOptions opts;
   opts.radius_m = 20000.0;
   opts.q_distance_m = 0.0;  // full regeneration every query
-  opts.refine_exact_derouting = false;
   EcoChargeRanker eco(w.env->estimator.get(), w.env->charger_index.get(),
                       ScoreWeights::AWE(), opts);
   eco.AttachMetrics(&registry);
@@ -225,6 +254,10 @@ TEST(QueryContextTest, SteadyStatePathWithMetricsDoesNotAllocate) {
             0u);
   EXPECT_GT(registry.FindCounter("pipeline.candidates_scored")->Value(), 0u);
   EXPECT_GT(registry.FindCounter("estimator.estimates.level")->Value(), 0u);
+  EXPECT_GT(
+      registry.FindHistogram("pipeline.batch_derouting_ns")->Snapshot().count,
+      0u);
+  EXPECT_GT(registry.FindCounter("pipeline.batch_targets")->Value(), 0u);
 }
 
 TEST(QueryContextTest, SteadyStateResilientEisPathDoesNotAllocate) {

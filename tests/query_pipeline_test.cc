@@ -10,6 +10,7 @@
 
 #include "core/baselines.h"
 #include "core/ecocharge.h"
+#include "graph/landmarks.h"
 #include "spatial/index_factory.h"
 #include "tests/test_util.h"
 
@@ -83,6 +84,50 @@ TEST_P(CrossIndexParityTest, EcoChargeTablesBitIdentical) {
                                    expected.Rank(state, 3)));
   }
   EXPECT_EQ(actual.cache().hits(), expected.cache().hits());
+}
+
+TEST_P(CrossIndexParityTest, BatchedRefinementTablesBitIdentical) {
+  SharedWorld& w = World();
+  std::unique_ptr<SpatialIndex> index = BuildIndex(GetParam());
+
+  // The batched one-to-many refinement must be a pure execution-strategy
+  // change: per backend, flipping it cannot move a single bit of the table.
+  EcoChargeOptions batched_opts;
+  batched_opts.radius_m = 20000.0;
+  batched_opts.batch_derouting = true;
+  EcoChargeOptions per_candidate_opts = batched_opts;
+  per_candidate_opts.batch_derouting = false;
+  EcoChargeRanker batched(w.env->estimator.get(), index.get(),
+                          ScoreWeights::AWE(), batched_opts);
+  EcoChargeRanker per_candidate(w.env->estimator.get(), index.get(),
+                                ScoreWeights::AWE(), per_candidate_opts);
+  for (const VehicleState& state : w.states) {
+    EXPECT_TRUE(TablesBitIdentical(batched.Rank(state, 3),
+                                   per_candidate.Rank(state, 3)));
+  }
+}
+
+TEST_P(CrossIndexParityTest, LandmarkOrderingPreservesBatchParity) {
+  SharedWorld& w = World();
+  std::unique_ptr<SpatialIndex> index = BuildIndex(GetParam());
+
+  // ALT ordering runs before the batch/per-candidate branch, so with the
+  // same landmark index both execution strategies still agree bitwise.
+  static const LandmarkIndex landmarks(*w.env->dataset.network, 4);
+  EcoChargeOptions batched_opts;
+  batched_opts.radius_m = 20000.0;
+  batched_opts.landmarks = &landmarks;
+  batched_opts.batch_derouting = true;
+  EcoChargeOptions per_candidate_opts = batched_opts;
+  per_candidate_opts.batch_derouting = false;
+  EcoChargeRanker batched(w.env->estimator.get(), index.get(),
+                          ScoreWeights::AWE(), batched_opts);
+  EcoChargeRanker per_candidate(w.env->estimator.get(), index.get(),
+                                ScoreWeights::AWE(), per_candidate_opts);
+  for (const VehicleState& state : w.states) {
+    EXPECT_TRUE(TablesBitIdentical(batched.Rank(state, 3),
+                                   per_candidate.Rank(state, 3)));
+  }
 }
 
 TEST_P(CrossIndexParityTest, QuadtreeRankerTablesBitIdentical) {

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <span>
+
 #include "common/rng.h"
 #include "graph/generators.h"
 
@@ -151,6 +154,103 @@ TEST(OneToManyTest, CostsMatchPointToPoint) {
     NodeId t = static_cast<NodeId>(rng.NextBounded(network->NumNodes()));
     double expected = point.ShortestPath(7, t).cost;
     EXPECT_NEAR(one_to_many.CostTo(t), expected, 1e-9);
+  }
+}
+
+TEST(OneToManyTest, TargetSetMatchesPointToPointAndExitsEarly) {
+  auto network = SmallGrid();
+  DijkstraSearch search(*network);
+  DijkstraSearch point(*network);
+  // Targets near the source: the sweep must stop well before settling the
+  // whole 64-node grid.
+  NodeId targets[] = {1, 8, 9, 2};
+  size_t found = search.OneToMany(
+      0, std::span<const NodeId>(targets), LengthCost);
+  EXPECT_EQ(found, 4u);
+  EXPECT_LT(search.last_settled_count(), network->NumNodes());
+  for (NodeId t : targets) {
+    EXPECT_TRUE(search.Settled(t));
+    EXPECT_NEAR(search.CostTo(t), point.ShortestPath(0, t).cost, 1e-9);
+  }
+}
+
+TEST(OneToManyTest, TargetSetSkipsInvalidAndDuplicateIds) {
+  auto network = SmallGrid();
+  DijkstraSearch search(*network);
+  NodeId targets[] = {5, 5, kInvalidNode, 12,
+                      static_cast<NodeId>(network->NumNodes())};
+  size_t found = search.OneToMany(
+      0, std::span<const NodeId>(targets), LengthCost);
+  // Settled entries: node 5 counts per occurrence, invalid ids never do.
+  EXPECT_EQ(found, 3u);
+  EXPECT_TRUE(search.Settled(5));
+  EXPECT_TRUE(search.Settled(12));
+}
+
+TEST(SweepTest, ResumedSweepMatchesOneShotBitwise) {
+  auto network = SmallGrid();
+  DijkstraSearch resumed(*network);
+  DijkstraSearch one_shot(*network);
+  NodeId near_targets[] = {1, 9};
+  NodeId far_targets[] = {63, 56};
+  NodeId all_targets[] = {1, 9, 63, 56};
+
+  NodeId source[] = {0};
+  resumed.StartSweep(std::span<const NodeId>(source));
+  resumed.ExtendSweep(std::span<const NodeId>(near_targets), LengthCost);
+  resumed.ExtendSweep(std::span<const NodeId>(far_targets), LengthCost);
+  one_shot.OneToMany(0, std::span<const NodeId>(all_targets), LengthCost);
+
+  // Resuming only decides when relaxation stops, never what it computes:
+  // the settled doubles are identical, not just close.
+  for (NodeId t : all_targets) {
+    EXPECT_EQ(resumed.CostTo(t), one_shot.CostTo(t)) << "target " << t;
+  }
+  // Re-requesting already-settled targets is a no-op extension.
+  size_t found =
+      resumed.ExtendSweep(std::span<const NodeId>(near_targets), LengthCost);
+  EXPECT_EQ(found, 2u);
+}
+
+TEST(SweepTest, BackwardSweepSettlesCostsTowardTheSource) {
+  auto network = SmallGrid();
+  DijkstraSearch sweep(*network);
+  DijkstraSearch point(*network);
+  NodeId sources[] = {63};
+  sweep.StartSweep(std::span<const NodeId>(sources),
+                   SweepDirection::kBackward);
+  Rng rng(27);
+  for (int trial = 0; trial < 10; ++trial) {
+    NodeId v = static_cast<NodeId>(rng.NextBounded(network->NumNodes()));
+    NodeId targets[] = {v};
+    sweep.ExtendSweep(std::span<const NodeId>(targets), LengthCost);
+    // A backward sweep over the in-adjacency settles d(v -> 63).
+    EXPECT_NEAR(sweep.CostTo(v), point.ShortestPath(v, 63).cost, 1e-6)
+        << "v=" << v;
+  }
+}
+
+TEST(SweepTest, MultiSourceSweepIsMinOverSingleSources) {
+  auto network = SmallGrid();
+  DijkstraSearch multi(*network);
+  DijkstraSearch single_a(*network);
+  DijkstraSearch single_b(*network);
+  NodeId both[] = {7, 56};
+  NodeId only_a[] = {7};
+  NodeId only_b[] = {56};
+  multi.StartSweep(std::span<const NodeId>(both), SweepDirection::kBackward);
+  single_a.StartSweep(std::span<const NodeId>(only_a),
+                      SweepDirection::kBackward);
+  single_b.StartSweep(std::span<const NodeId>(only_b),
+                      SweepDirection::kBackward);
+  for (NodeId v = 0; v < network->NumNodes(); ++v) {
+    NodeId targets[] = {v};
+    multi.ExtendSweep(std::span<const NodeId>(targets), LengthCost);
+    single_a.ExtendSweep(std::span<const NodeId>(targets), LengthCost);
+    single_b.ExtendSweep(std::span<const NodeId>(targets), LengthCost);
+    EXPECT_DOUBLE_EQ(multi.CostTo(v),
+                     std::min(single_a.CostTo(v), single_b.CostTo(v)))
+        << "v=" << v;
   }
 }
 

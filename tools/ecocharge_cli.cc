@@ -107,17 +107,20 @@ int Usage() {
   gen-dataset  --kind oldenburg|california|tdrive|geolife --scale 0.01
                --out PREFIX [--seed N]      (writes PREFIX.ecg, PREFIX.ect)
   rank         --kind KIND [--chargers N] [--k K] [--radius-km R]
-               [--hour H] [--seed N] [--index BACKEND]
-               (query at a sample trip state)
+               [--hour H] [--seed N] [--index BACKEND] [--landmarks N]
+               [--no-batch-derouting]
+               (query at a sample trip state; --landmarks builds N ALT
+               landmarks that order the refinement candidates by
+               lower-bounded derouting cost)
   simulate     --kind KIND [--vehicles N] [--chargers N] [--seed N]
-               [--index BACKEND]
+               [--index BACKEND] [--no-batch-derouting]
                (fleet hoarding: EcoCharge vs nearest-charger policies)
   serve        --threads N [--kind KIND] [--chargers N] [--clients N]
                [--requests N] [--queue-depth N] [--io-ms MS] [--seed N]
                [--statsz] [--statsz-period SEC]
                [--fault-p P] [--fault-spike-p P] [--fault-stall-p P]
                [--fault-seed N] [--retry-attempts N] [--deadline-ms MS]
-               [--resilient]
+               [--resilient] [--no-batch-derouting]
                (--threads 0 = synchronous deterministic mode; --statsz
                prints a final JSON metrics dump to stdout, and with a
                period > 0 a live text dump to stderr every SEC seconds;
@@ -133,6 +136,10 @@ int Usage() {
 
   BACKEND: quadtree|rtree|grid|kdtree|linear (charger index; every backend
   produces identical rankings — the choice only affects query time)
+
+  --no-batch-derouting: escape hatch that refines with one point-to-point
+  search per candidate instead of the batched one-sweep-per-query path;
+  rankings are bit-identical either way, only the query time changes.
 )";
   return 2;
 }
@@ -213,9 +220,20 @@ Result<std::unique_ptr<Environment>> BuildEnv(const Args& args) {
   opts.num_chargers =
       static_cast<size_t>(args.GetU64("chargers", 500));
   opts.seed = args.GetU64("seed", 42);
+  opts.num_landmarks = static_cast<size_t>(args.GetU64("landmarks", 0));
   ECOCHARGE_ASSIGN_OR_RETURN(
       opts.index_kind, ParseSpatialIndexKind(args.Get("index", "quadtree")));
   return MakeEnvironment(opts);
+}
+
+/// The EcoCharge options shared by every ranking subcommand: currently
+/// just the batched-refinement escape hatch plus any landmarks the
+/// environment carries.
+EcoChargeOptions EcoOptionsFor(const Args& args, const Environment& env) {
+  EcoChargeOptions opts;
+  opts.batch_derouting = !args.GetBool("no-batch-derouting");
+  opts.landmarks = env.landmarks.get();
+  return opts;
 }
 
 int Rank(const Args& args) {
@@ -226,7 +244,7 @@ int Rank(const Args& args) {
   }
   auto env = std::move(env_result).MoveValueUnsafe();
   size_t k = static_cast<size_t>(args.GetU64("k", 3));
-  EcoChargeOptions eco_opts;
+  EcoChargeOptions eco_opts = EcoOptionsFor(args, *env);
   eco_opts.radius_m = args.GetDouble("radius-km", 50.0) * 1000.0;
   EcoChargeRanker eco(env->estimator.get(), env->charger_index.get(),
                       ScoreWeights::AWE(), eco_opts);
@@ -259,7 +277,7 @@ int Simulate(const Args& args) {
   auto fleet = sim.MakeFleet(static_cast<size_t>(args.GetU64("vehicles", 30)));
 
   EcoChargeRanker eco(env->estimator.get(), env->charger_index.get(),
-                      ScoreWeights::AWE(), EcoChargeOptions{});
+                      ScoreWeights::AWE(), EcoOptionsFor(args, *env));
   QuadtreeRanker nearest(env->estimator.get(), env->charger_index.get(),
                          ScoreWeights::AWE(), 1);
   FleetOutcome with_eco = sim.Run(fleet, eco);
@@ -372,8 +390,8 @@ int Serve(const Args& args) {
         static_cast<int>(args.GetI64("retry-attempts", 4));
     server_opts.request_deadline_ms = args.GetDouble("deadline-ms", 250.0);
   }
-  OfferingServer server(env.get(), ScoreWeights::AWE(), EcoChargeOptions{},
-                        server_opts);
+  OfferingServer server(env.get(), ScoreWeights::AWE(),
+                        EcoOptionsFor(args, *env), server_opts);
 
   uint64_t num_clients = args.GetU64("clients", 8);
   uint64_t num_requests = args.GetU64("requests", 64);
