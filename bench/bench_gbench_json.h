@@ -38,6 +38,10 @@ class JsonExportReporter : public benchmark::ConsoleReporter {
 
   const BenchJsonWriter& writer() const { return writer_; }
 
+  /// Mutable access, for suites that append custom (non-gbench) records —
+  /// e.g. asserting gates timed with plain chrono — to the same JSON file.
+  BenchJsonWriter& mutable_writer() { return writer_; }
+
  private:
   BenchJsonWriter writer_;
 };

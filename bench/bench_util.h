@@ -36,6 +36,9 @@ struct BenchConfig {
   int repetitions = 3;
   uint64_t seed = 42;
   SpatialIndexKind index_kind = SpatialIndexKind::kQuadTree;
+  /// Non-empty: mmap the road network from this snapshot (graph/io.h)
+  /// instead of synthesizing it. See EnvironmentOptions::graph_snapshot.
+  std::string graph_snapshot;
 
   static BenchConfig FromArgs(int argc, char** argv) {
     BenchConfig cfg;
@@ -59,6 +62,8 @@ struct BenchConfig {
         cfg.num_chargers = std::strtoull(v, nullptr, 10);
       } else if (const char* v = next("--seed")) {
         cfg.seed = std::strtoull(v, nullptr, 10);
+      } else if (const char* v = next("--graph-snapshot")) {
+        cfg.graph_snapshot = v;
       } else if (const char* v = next("--index")) {
         auto kind = ParseSpatialIndexKind(v);
         if (!kind.ok()) {
@@ -91,6 +96,7 @@ inline PreparedWorld Prepare(DatasetKind kind, const BenchConfig& cfg) {
   eo.max_derouting_m = 150000.0;
   eo.seed = cfg.seed;
   eo.index_kind = cfg.index_kind;
+  eo.graph_snapshot = cfg.graph_snapshot;
   auto env_result = MakeEnvironment(eo);
   if (!env_result.ok()) {
     std::cerr << "environment(" << DatasetName(kind)

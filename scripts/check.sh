@@ -14,6 +14,12 @@
 #                                    # Release build + quick-scale
 #                                    # bench_micro_derouting (fails when
 #                                    # the batched path misses its floor)
+#   scripts/check.sh graph           # compact graph core gate: graph /
+#                                    # snapshot / generator suites under
+#                                    # ASan and UBSan, then the asserting
+#                                    # bench_micro_graph (layout >= 1.3x,
+#                                    # snapshot load >= 10x; emits
+#                                    # BENCH_graph.json)
 #   scripts/check.sh lint            # clang-tidy over src/, tools/, and
 #                                    # the asserting bench gates (skips
 #                                    # with exit 0 when clang-tidy absent)
@@ -60,6 +66,31 @@ case "${sanitize}" in
       -DCMAKE_BUILD_TYPE=Release -DECOCHARGE_SANITIZE=
     cmake --build "${build_dir}" -j "$(nproc)" --target bench_micro_derouting
     (cd "${build_dir}/bench" && ./bench_micro_derouting --quick "$@")
+    exit 0
+    ;;
+  graph)
+    # The graph core is raw spans over mmap-ed bytes plus hand-rolled
+    # streaming CSR construction — exactly where out-of-bounds reads and
+    # misaligned loads would live. Run the graph, snapshot, generator, and
+    # search suites under both ASan and UBSan, then hold the inlined-layout
+    # and snapshot-load floors with the asserting bench from a plain
+    # Release tree (sanitized timings are meaningless).
+    shift
+    graph_filter='RoadNetwork|GraphBuilder|GraphCounts|ChunkedBuild|GraphIo|Snapshot|Grid|Radial|Corridor|Geometric|Hyperbolic|GenerateNetwork|Dijkstra|AStar|OneToMany|Sweep|Bidirectional|Landmark|Route|Edge|RoadClass'
+    for san in address undefined; do
+      san_dir="${repo_root}/build-${san/undefined/ubsan}"
+      san_dir="${san_dir/address/asan}"
+      cmake -B "${san_dir}" -S "${repo_root}" \
+        -DCMAKE_BUILD_TYPE=Release -DECOCHARGE_SANITIZE="${san}"
+      cmake --build "${san_dir}" -j "$(nproc)"
+      ctest --test-dir "${san_dir}" --output-on-failure -j "$(nproc)" \
+        -R "${graph_filter}" "$@"
+    done
+    plain_dir="${repo_root}/build"
+    cmake -B "${plain_dir}" -S "${repo_root}" \
+      -DCMAKE_BUILD_TYPE=Release -DECOCHARGE_SANITIZE=
+    cmake --build "${plain_dir}" -j "$(nproc)" --target bench_micro_graph
+    (cd "${plain_dir}/bench" && ./bench_micro_graph --quick)
     exit 0
     ;;
   lint)

@@ -36,8 +36,14 @@ Result<std::unique_ptr<Environment>> MakeEnvironment(
   DatasetOptions ds_opts;
   ds_opts.scale = options.dataset_scale;
   ds_opts.seed = options.seed;
-  ECOCHARGE_ASSIGN_OR_RETURN(env->dataset,
-                             MakeDataset(options.kind, ds_opts));
+  if (!options.graph_snapshot.empty()) {
+    ECOCHARGE_ASSIGN_OR_RETURN(
+        env->dataset,
+        MakeSnapshotDataset(options.graph_snapshot, options.kind, ds_opts));
+  } else {
+    ECOCHARGE_ASSIGN_OR_RETURN(env->dataset,
+                               MakeDataset(options.kind, ds_opts));
+  }
 
   ChargerFleetOptions fleet_opts;
   fleet_opts.num_chargers = options.num_chargers;

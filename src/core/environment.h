@@ -2,6 +2,7 @@
 #define ECOCHARGE_CORE_ENVIRONMENT_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "availability/availability_service.h"
@@ -42,6 +43,12 @@ struct EnvironmentOptions {
   size_t num_chargers = 1000;      ///< paper: >1,000 sites
   double max_derouting_m = 100000.0;  ///< D normalization (2R by default)
   uint64_t seed = 42;
+
+  /// When non-empty, mmap-load the road network from this binary snapshot
+  /// (graph/io.h) instead of synthesizing it; `kind` still shapes the
+  /// trajectory workload. A snapshot of the kind's own network yields a
+  /// bit-identical environment.
+  std::string graph_snapshot;
 
   /// ALT landmarks to precompute for refinement-candidate ordering;
   /// 0 (default) skips the build and leaves Environment::landmarks null.

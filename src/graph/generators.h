@@ -68,6 +68,76 @@ struct CorridorRegionOptions {
 Result<std::shared_ptr<RoadNetwork>> MakeCorridorRegion(
     const CorridorRegionOptions& options);
 
+// ---------------------------------------------------------------------------
+// Streaming generators (KaGen-style chunked emission).
+//
+// Each generator below is a ChunkedEdgeSource: node positions are pure hash
+// functions of the node id and edges are emitted chunk by chunk, so a
+// continental-scale graph streams straight into the two-pass CSR builder
+// without ever materializing an edge list. The built network is identical
+// for any chunk count, and strongly connected by construction.
+// ---------------------------------------------------------------------------
+
+/// \brief Chunked Manhattan grid; same topology family as MakeGridNetwork
+/// but with order-independent per-node jitter, sized for millions of nodes.
+struct StreamingGridOptions {
+  uint64_t nx = 100;               ///< nodes along x
+  uint64_t ny = 100;               ///< nodes along y
+  double spacing_m = 500.0;        ///< nominal block size
+  double jitter_fraction = 0.15;   ///< position noise as a fraction of spacing
+  int arterial_every = 5;          ///< every k-th line is an arterial
+  uint64_t seed = 1;
+  uint64_t num_chunks = 16;        ///< row-range chunks
+};
+
+Result<std::shared_ptr<RoadNetwork>> MakeStreamingGrid(
+    const StreamingGridOptions& options);
+
+/// \brief Chunked random-geometric graph: nodes bucketed into grid cells in
+/// id-block order, proximity edges within a radius, plus a cell-anchor
+/// backbone that guarantees strong connectivity without a patching pass.
+struct StreamingGeometricOptions {
+  uint64_t num_nodes = 100000;
+  double width_m = 100000.0;
+  double height_m = 100000.0;
+  /// Proximity radius; <= 0 derives it from target_degree.
+  double radius_m = 0.0;
+  double target_degree = 6.0;  ///< expected proximity neighbors per node
+  uint64_t seed = 1;
+  uint64_t num_chunks = 16;    ///< cell-range chunks
+};
+
+Result<std::shared_ptr<RoadNetwork>> MakeStreamingGeometric(
+    const StreamingGeometricOptions& options);
+
+/// \brief Chunked hyperbolic-disk generator with highway-like degree skew:
+/// low-id hub nodes sit near the disk center and every later node attaches
+/// to `out_links` earlier nodes sampled with a power-law bias toward the
+/// hubs, yielding the heavy-tailed degree distribution of real highway
+/// networks. Connected by construction (every node reaches node 0).
+struct StreamingHyperbolicOptions {
+  uint64_t num_nodes = 100000;
+  uint32_t out_links = 3;      ///< undirected links from each node to earlier ones
+  double skew = 3.0;           ///< >1; larger = stronger hub concentration
+  double radius_m = 50000.0;   ///< disk radius
+  uint64_t seed = 1;
+  uint64_t num_chunks = 16;    ///< id-range chunks
+};
+
+Result<std::shared_ptr<RoadNetwork>> MakeStreamingHyperbolic(
+    const StreamingHyperbolicOptions& options);
+
+/// \brief Unified option-string entry point, KaGen style:
+///   "type=grid;nx=1000;ny=1000;spacing=400;seed=7"
+///
+/// Keys are `key=value` pairs separated by ';' (a bare key is a flag with
+/// value "1"). Types: grid, rgg, hyperbolic (streaming); radial, corridor
+/// (legacy in-memory). Unknown types, unknown keys, and malformed numbers
+/// return kInvalidArgument. `validate=0` skips the strong-connectivity
+/// post-check (on by default); `chunks=N` sets the chunk count of the
+/// streaming types.
+Result<std::shared_ptr<RoadNetwork>> GenerateNetwork(const std::string& spec);
+
 }  // namespace ecocharge
 
 #endif  // ECOCHARGE_GRAPH_GENERATORS_H_

@@ -1,9 +1,18 @@
 #include "graph/io.h"
 
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstring>
 #include <fstream>
 #include <iomanip>
 #include <istream>
 #include <ostream>
+#include <type_traits>
+
+#include "graph/landmarks.h"
 
 namespace ecocharge {
 
@@ -15,10 +24,11 @@ Status SaveRoadNetwork(const RoadNetwork& network, std::ostream& os) {
     const Point& p = network.NodePosition(v);
     os << p.x << " " << p.y << "\n";
   }
-  for (EdgeId e = 0; e < network.NumEdges(); ++e) {
-    const Edge& edge = network.edge(e);
-    os << edge.from << " " << edge.to << " " << edge.length_m << " "
-       << static_cast<int>(edge.road_class) << "\n";
+  for (NodeId v = 0; v < network.NumNodes(); ++v) {
+    for (const Arc& a : network.OutArcs(v)) {
+      os << v << " " << a.node << " " << a.length_m << " "
+         << static_cast<int>(a.road_class) << "\n";
+    }
   }
   if (!os) return Status::IOError("stream write failed");
   return Status::OK();
@@ -73,6 +83,400 @@ Result<std::shared_ptr<RoadNetwork>> LoadRoadNetworkFile(
   std::ifstream in(path);
   if (!in) return Status::IOError("cannot open " + path);
   return LoadRoadNetwork(in);
+}
+
+
+// ---------------------------------------------------------------------------
+// Binary snapshot format.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr char kSnapshotMagic[8] = {'E', 'C', 'G', 'S', 'N', 'A', 'P', '\0'};
+constexpr uint32_t kSnapshotVersion = 1;
+constexpr uint64_t kSectionAlign = 64;
+
+/// Fixed-size file header. Trivially copyable by construction; any layout
+/// change here or in Arc/Point must bump kSnapshotVersion.
+struct SnapshotHeader {
+  char magic[8];
+  uint32_t version;
+  uint32_t section_count;
+  uint64_t num_nodes;
+  uint64_t num_edges;
+  double min_x, min_y, max_x, max_y;
+  uint32_t locator_nx;
+  uint32_t locator_ny;
+  double locator_cell_m;
+  uint32_t num_landmarks;
+  uint32_t reserved;
+};
+
+struct SectionEntry {
+  uint32_t id;
+  uint32_t reserved;
+  uint64_t offset;
+  uint64_t byte_size;
+};
+
+static_assert(std::is_trivially_copyable_v<SnapshotHeader>);
+static_assert(std::is_trivially_copyable_v<SectionEntry>);
+static_assert(std::is_trivially_copyable_v<Point> && sizeof(Point) == 16,
+              "snapshot format assumes 16-byte Point records");
+
+enum SectionId : uint32_t {
+  kSectionPositions = 1,
+  kSectionOutOffsets = 2,
+  kSectionOutArcs = 3,
+  kSectionInOffsets = 4,
+  kSectionInArcs = 5,
+  kSectionInEdgeIds = 6,
+  kSectionLocatorOffsets = 7,
+  kSectionLocatorPoints = 8,
+  kSectionLandmarkNodes = 9,
+  kSectionLandmarkFrom = 10,  ///< concatenated from_[i] rows, L*N doubles
+  kSectionLandmarkTo = 11,    ///< concatenated to_[i] rows, L*N doubles
+};
+
+uint64_t AlignUp(uint64_t offset) {
+  return (offset + kSectionAlign - 1) / kSectionAlign * kSectionAlign;
+}
+
+/// Read-only mapping whose lifetime backs a loaded network's views.
+struct MappedFile {
+  const uint8_t* data = nullptr;
+  size_t size = 0;
+  MappedFile() = default;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile() {
+    if (data != nullptr) {
+      munmap(const_cast<uint8_t*>(data), size);
+    }
+  }
+};
+
+Result<std::shared_ptr<MappedFile>> MapFile(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IOError("cannot open " + path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    return Status::IOError("cannot stat " + path);
+  }
+  auto mapped = std::make_shared<MappedFile>();
+  mapped->size = static_cast<size_t>(st.st_size);
+  if (mapped->size > 0) {
+    void* addr = ::mmap(nullptr, mapped->size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr == MAP_FAILED) {
+      ::close(fd);
+      return Status::IOError("cannot mmap " + path);
+    }
+    mapped->data = static_cast<const uint8_t*>(addr);
+  }
+  ::close(fd);  // the mapping outlives the descriptor
+  return mapped;
+}
+
+struct SectionPlan {
+  uint32_t id;
+  uint64_t offset;
+  uint64_t byte_size;
+};
+
+Status WriteSection(std::ofstream& out, uint64_t* position,
+                    const SectionPlan& plan, const void* bytes,
+                    uint64_t byte_size) {
+  static const char zeros[kSectionAlign] = {};
+  if (plan.offset < *position) return Status::Internal("section overlap");
+  out.write(zeros, static_cast<std::streamsize>(plan.offset - *position));
+  out.write(static_cast<const char*>(bytes),
+            static_cast<std::streamsize>(byte_size));
+  *position = plan.offset + byte_size;
+  if (!out) return Status::IOError("snapshot write failed");
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveSnapshot(const RoadNetwork& network, const std::string& path,
+                    const LandmarkIndex* landmarks) {
+  const uint64_t n = network.NumNodes();
+  const uint64_t m = network.NumEdges();
+  const uint64_t cells =
+      static_cast<uint64_t>(network.locator_nx()) * network.locator_ny();
+  const uint64_t num_landmarks = landmarks ? landmarks->num_landmarks() : 0;
+
+  std::vector<SectionPlan> plan;
+  auto add = [&](uint32_t id, uint64_t byte_size) {
+    plan.push_back({id, 0, byte_size});
+  };
+  add(kSectionPositions, n * sizeof(Point));
+  add(kSectionOutOffsets, (n + 1) * sizeof(uint32_t));
+  add(kSectionOutArcs, m * sizeof(Arc));
+  add(kSectionInOffsets, (n + 1) * sizeof(uint32_t));
+  add(kSectionInArcs, m * sizeof(Arc));
+  add(kSectionInEdgeIds, m * sizeof(EdgeId));
+  add(kSectionLocatorOffsets, (cells + 1) * sizeof(uint32_t));
+  add(kSectionLocatorPoints, n * sizeof(uint32_t));
+  if (num_landmarks > 0) {
+    add(kSectionLandmarkNodes, num_landmarks * sizeof(NodeId));
+    add(kSectionLandmarkFrom, num_landmarks * n * sizeof(double));
+    add(kSectionLandmarkTo, num_landmarks * n * sizeof(double));
+  }
+
+  uint64_t offset =
+      sizeof(SnapshotHeader) + plan.size() * sizeof(SectionEntry);
+  for (SectionPlan& p : plan) {
+    offset = AlignUp(offset);
+    p.offset = offset;
+    offset += p.byte_size;
+  }
+
+  SnapshotHeader header = {};
+  std::memcpy(header.magic, kSnapshotMagic, sizeof(kSnapshotMagic));
+  header.version = kSnapshotVersion;
+  header.section_count = static_cast<uint32_t>(plan.size());
+  header.num_nodes = n;
+  header.num_edges = m;
+  header.min_x = network.Bounds().min.x;
+  header.min_y = network.Bounds().min.y;
+  header.max_x = network.Bounds().max.x;
+  header.max_y = network.Bounds().max.y;
+  header.locator_nx = network.locator_nx();
+  header.locator_ny = network.locator_ny();
+  header.locator_cell_m = network.locator_cell_m();
+  header.num_landmarks = static_cast<uint32_t>(num_landmarks);
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  out.write(reinterpret_cast<const char*>(&header), sizeof(header));
+  for (const SectionPlan& p : plan) {
+    SectionEntry entry = {p.id, 0, p.offset, p.byte_size};
+    out.write(reinterpret_cast<const char*>(&entry), sizeof(entry));
+  }
+  uint64_t position =
+      sizeof(SnapshotHeader) + plan.size() * sizeof(SectionEntry);
+
+  size_t next = 0;
+  auto write_next = [&](const void* bytes, uint64_t byte_size) {
+    return WriteSection(out, &position, plan[next++], bytes, byte_size);
+  };
+  ECOCHARGE_RETURN_NOT_OK(
+      write_next(network.positions().data(), n * sizeof(Point)));
+  ECOCHARGE_RETURN_NOT_OK(
+      write_next(network.out_offsets().data(), (n + 1) * sizeof(uint32_t)));
+  ECOCHARGE_RETURN_NOT_OK(
+      write_next(network.out_arcs().data(), m * sizeof(Arc)));
+  ECOCHARGE_RETURN_NOT_OK(
+      write_next(network.in_offsets().data(), (n + 1) * sizeof(uint32_t)));
+  ECOCHARGE_RETURN_NOT_OK(
+      write_next(network.in_arcs().data(), m * sizeof(Arc)));
+  ECOCHARGE_RETURN_NOT_OK(
+      write_next(network.in_edge_ids().data(), m * sizeof(EdgeId)));
+  ECOCHARGE_RETURN_NOT_OK(write_next(network.locator_cell_offsets().data(),
+                                     (cells + 1) * sizeof(uint32_t)));
+  ECOCHARGE_RETURN_NOT_OK(write_next(network.locator_cell_points().data(),
+                                     n * sizeof(uint32_t)));
+  if (num_landmarks > 0) {
+    ECOCHARGE_RETURN_NOT_OK(write_next(landmarks->landmarks().data(),
+                                       num_landmarks * sizeof(NodeId)));
+    // The from/to sections are row-concatenated; write row by row.
+    for (int table = 0; table < 2; ++table) {
+      const auto& rows =
+          table == 0 ? landmarks->from_tables() : landmarks->to_tables();
+      const SectionPlan& p = plan[next++];
+      uint64_t row_offset = p.offset;
+      for (const std::vector<double>& row : rows) {
+        SectionPlan row_plan = {p.id, row_offset, row.size() * sizeof(double)};
+        ECOCHARGE_RETURN_NOT_OK(WriteSection(out, &position, row_plan,
+                                             row.data(),
+                                             row.size() * sizeof(double)));
+        row_offset += row.size() * sizeof(double);
+      }
+    }
+  }
+  out.flush();
+  if (!out) return Status::IOError("snapshot write failed");
+  return Status::OK();
+}
+
+namespace {
+
+struct ParsedSnapshot {
+  SnapshotHeader header;
+  std::vector<SectionEntry> sections;
+
+  const SectionEntry* Find(uint32_t id) const {
+    for (const SectionEntry& s : sections) {
+      if (s.id == id) return &s;
+    }
+    return nullptr;
+  }
+};
+
+/// Validates the header and section table against the file size. Every
+/// failure mode (bad magic, unknown version, truncation anywhere) comes
+/// back as a clean Status.
+Result<ParsedSnapshot> ParseSnapshot(const uint8_t* data, uint64_t size,
+                                     const std::string& path) {
+  ParsedSnapshot parsed;
+  if (size < sizeof(SnapshotHeader)) {
+    return Status::IOError("truncated snapshot (no header): " + path);
+  }
+  std::memcpy(&parsed.header, data, sizeof(SnapshotHeader));
+  if (std::memcmp(parsed.header.magic, kSnapshotMagic,
+                  sizeof(kSnapshotMagic)) != 0) {
+    return Status::IOError("bad snapshot magic: " + path);
+  }
+  if (parsed.header.version != kSnapshotVersion) {
+    return Status::IOError("unsupported snapshot version " +
+                           std::to_string(parsed.header.version) +
+                           " (expected " + std::to_string(kSnapshotVersion) +
+                           "): " + path);
+  }
+  const uint64_t count = parsed.header.section_count;
+  const uint64_t table_end =
+      sizeof(SnapshotHeader) + count * sizeof(SectionEntry);
+  if (count > 4096 || table_end > size) {
+    return Status::IOError("truncated snapshot section table: " + path);
+  }
+  parsed.sections.resize(count);
+  std::memcpy(parsed.sections.data(), data + sizeof(SnapshotHeader),
+              count * sizeof(SectionEntry));
+  for (const SectionEntry& s : parsed.sections) {
+    if (s.offset % alignof(double) != 0 || s.byte_size > size ||
+        s.offset > size - s.byte_size) {
+      return Status::IOError("snapshot section " + std::to_string(s.id) +
+                             " out of bounds (truncated file?): " + path);
+    }
+  }
+  return parsed;
+}
+
+/// Returns the section's payload as a typed span, checking the exact
+/// expected element count.
+template <typename T>
+Result<std::span<const T>> SectionSpan(const ParsedSnapshot& parsed,
+                                       const uint8_t* data, uint32_t id,
+                                       uint64_t expected_count,
+                                       const std::string& path) {
+  const SectionEntry* s = parsed.Find(id);
+  if (s == nullptr) {
+    return Status::IOError("snapshot missing section " + std::to_string(id) +
+                           ": " + path);
+  }
+  if (s->byte_size != expected_count * sizeof(T)) {
+    return Status::IOError("snapshot section " + std::to_string(id) +
+                           " has unexpected size: " + path);
+  }
+  return std::span<const T>(reinterpret_cast<const T*>(data + s->offset),
+                            expected_count);
+}
+
+Result<LoadedSnapshot> LoadSnapshotImpl(const std::string& path,
+                                        bool want_landmarks) {
+  ECOCHARGE_ASSIGN_OR_RETURN(std::shared_ptr<MappedFile> mapped,
+                             MapFile(path));
+  ECOCHARGE_ASSIGN_OR_RETURN(
+      ParsedSnapshot parsed,
+      ParseSnapshot(mapped->data, mapped->size, path));
+  const SnapshotHeader& h = parsed.header;
+  ECOCHARGE_RETURN_NOT_OK(ValidateGraphCounts(h.num_nodes, h.num_edges));
+  const uint64_t n = h.num_nodes;
+  const uint64_t m = h.num_edges;
+  const uint64_t cells = static_cast<uint64_t>(h.locator_nx) * h.locator_ny;
+
+  RoadNetwork::Views views;
+  const uint8_t* data = mapped->data;
+  ECOCHARGE_ASSIGN_OR_RETURN(
+      views.positions,
+      SectionSpan<Point>(parsed, data, kSectionPositions, n, path));
+  ECOCHARGE_ASSIGN_OR_RETURN(
+      views.out_offsets,
+      SectionSpan<uint32_t>(parsed, data, kSectionOutOffsets, n + 1, path));
+  ECOCHARGE_ASSIGN_OR_RETURN(
+      views.out_arcs, SectionSpan<Arc>(parsed, data, kSectionOutArcs, m, path));
+  ECOCHARGE_ASSIGN_OR_RETURN(
+      views.in_offsets,
+      SectionSpan<uint32_t>(parsed, data, kSectionInOffsets, n + 1, path));
+  ECOCHARGE_ASSIGN_OR_RETURN(
+      views.in_arcs, SectionSpan<Arc>(parsed, data, kSectionInArcs, m, path));
+  ECOCHARGE_ASSIGN_OR_RETURN(
+      views.in_edge_ids,
+      SectionSpan<EdgeId>(parsed, data, kSectionInEdgeIds, m, path));
+  ECOCHARGE_ASSIGN_OR_RETURN(
+      views.locator_cell_offsets,
+      SectionSpan<uint32_t>(parsed, data, kSectionLocatorOffsets, cells + 1,
+                            path));
+  ECOCHARGE_ASSIGN_OR_RETURN(
+      views.locator_cell_points,
+      SectionSpan<uint32_t>(parsed, data, kSectionLocatorPoints, n, path));
+  views.bounds = BoundingBox{Point{h.min_x, h.min_y}, Point{h.max_x, h.max_y}};
+  views.locator_nx = h.locator_nx;
+  views.locator_ny = h.locator_ny;
+  views.locator_cell_m = h.locator_cell_m;
+  views.backing = mapped;
+
+  LoadedSnapshot loaded;
+  ECOCHARGE_ASSIGN_OR_RETURN(loaded.network,
+                             RoadNetwork::FromViews(std::move(views)));
+
+  if (want_landmarks && h.num_landmarks > 0) {
+    const uint64_t L = h.num_landmarks;
+    ECOCHARGE_ASSIGN_OR_RETURN(
+        std::span<const NodeId> ids,
+        SectionSpan<NodeId>(parsed, data, kSectionLandmarkNodes, L, path));
+    ECOCHARGE_ASSIGN_OR_RETURN(
+        std::span<const double> from_flat,
+        SectionSpan<double>(parsed, data, kSectionLandmarkFrom, L * n, path));
+    ECOCHARGE_ASSIGN_OR_RETURN(
+        std::span<const double> to_flat,
+        SectionSpan<double>(parsed, data, kSectionLandmarkTo, L * n, path));
+    std::vector<std::vector<double>> from(L), to(L);
+    for (uint64_t i = 0; i < L; ++i) {
+      from[i].assign(from_flat.begin() + i * n,
+                     from_flat.begin() + (i + 1) * n);
+      to[i].assign(to_flat.begin() + i * n, to_flat.begin() + (i + 1) * n);
+    }
+    loaded.landmarks =
+        std::make_unique<LandmarkIndex>(LandmarkIndex::FromTables(
+            std::vector<NodeId>(ids.begin(), ids.end()), std::move(from),
+            std::move(to)));
+  }
+  return loaded;
+}
+
+}  // namespace
+
+Result<std::shared_ptr<RoadNetwork>> LoadSnapshot(const std::string& path) {
+  ECOCHARGE_ASSIGN_OR_RETURN(LoadedSnapshot loaded,
+                             LoadSnapshotImpl(path, /*want_landmarks=*/false));
+  return loaded.network;
+}
+
+Result<LoadedSnapshot> LoadSnapshotWithLandmarks(const std::string& path) {
+  return LoadSnapshotImpl(path, /*want_landmarks=*/true);
+}
+
+Result<SnapshotInfo> ReadSnapshotInfo(const std::string& path) {
+  ECOCHARGE_ASSIGN_OR_RETURN(std::shared_ptr<MappedFile> mapped,
+                             MapFile(path));
+  ECOCHARGE_ASSIGN_OR_RETURN(
+      ParsedSnapshot parsed,
+      ParseSnapshot(mapped->data, mapped->size, path));
+  SnapshotInfo info;
+  info.version = parsed.header.version;
+  info.num_nodes = parsed.header.num_nodes;
+  info.num_edges = parsed.header.num_edges;
+  info.num_landmarks = parsed.header.num_landmarks;
+  info.file_bytes = mapped->size;
+  info.bounds = BoundingBox{Point{parsed.header.min_x, parsed.header.min_y},
+                            Point{parsed.header.max_x, parsed.header.max_y}};
+  for (const SectionEntry& s : parsed.sections) {
+    info.sections.emplace_back(s.id, s.byte_size);
+  }
+  return info;
 }
 
 }  // namespace ecocharge

@@ -1,14 +1,19 @@
 #ifndef ECOCHARGE_GRAPH_IO_H_
 #define ECOCHARGE_GRAPH_IO_H_
 
+#include <cstdint>
 #include <iosfwd>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/result.h"
 #include "graph/road_network.h"
 
 namespace ecocharge {
+
+class LandmarkIndex;
 
 /// \brief Text serialization for road networks.
 ///
@@ -26,6 +31,47 @@ Status SaveRoadNetworkFile(const RoadNetwork& network,
 Result<std::shared_ptr<RoadNetwork>> LoadRoadNetwork(std::istream& is);
 Result<std::shared_ptr<RoadNetwork>> LoadRoadNetworkFile(
     const std::string& path);
+
+/// \brief Versioned binary snapshot with zero-copy mmap load.
+///
+/// Layout: a fixed header (magic "ECGSNAP\0", version, counts, bounds,
+/// locator shape), a section table, then 64-byte-aligned sections holding
+/// the network's raw arrays — positions, both CSR directions, the
+/// node-locator grid, and optionally the landmark tables. LoadSnapshot
+/// maps the file read-only and serves every array straight out of the
+/// mapping (the landmark tables are the one copied part, since
+/// LandmarkIndex owns vectors). Byte order and Arc layout are
+/// host-native; snapshots are machine-local artifacts, not an exchange
+/// format. Versioning rule: any layout change bumps the version, and
+/// loaders reject versions they were not built for.
+Status SaveSnapshot(const RoadNetwork& network, const std::string& path,
+                    const LandmarkIndex* landmarks = nullptr);
+
+/// Maps a snapshot read-only; the returned network's arrays alias the
+/// mapping, which stays alive for the network's lifetime.
+Result<std::shared_ptr<RoadNetwork>> LoadSnapshot(const std::string& path);
+
+struct LoadedSnapshot {
+  std::shared_ptr<RoadNetwork> network;
+  /// Present when the snapshot carries landmark tables.
+  std::unique_ptr<LandmarkIndex> landmarks;
+};
+
+/// LoadSnapshot plus rehydration of any stored landmark tables.
+Result<LoadedSnapshot> LoadSnapshotWithLandmarks(const std::string& path);
+
+/// Header-level metadata, read without mapping the payload (`graph info`).
+struct SnapshotInfo {
+  uint32_t version = 0;
+  uint64_t num_nodes = 0;
+  uint64_t num_edges = 0;
+  uint32_t num_landmarks = 0;
+  uint64_t file_bytes = 0;
+  BoundingBox bounds;
+  std::vector<std::pair<uint32_t, uint64_t>> sections;  ///< (id, bytes)
+};
+
+Result<SnapshotInfo> ReadSnapshotInfo(const std::string& path);
 
 }  // namespace ecocharge
 

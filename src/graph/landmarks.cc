@@ -27,14 +27,12 @@ std::vector<double> OneToAll(const RoadNetwork& network, NodeId source,
     heap.pop();
     if (settled[v]) continue;
     settled[v] = 1;
-    auto edge_ids = forward ? network.OutEdges(v) : network.InEdges(v);
-    for (EdgeId eid : edge_ids) {
-      const Edge& e = network.edge(eid);
-      NodeId w = forward ? e.to : e.from;
-      double nd = d + cost(e);
-      if (nd < dist[w]) {
-        dist[w] = nd;
-        heap.push({nd, w});
+    auto arcs = forward ? network.OutArcs(v) : network.InArcs(v);
+    for (const Arc& a : arcs) {
+      double nd = d + cost(a);
+      if (nd < dist[a.node]) {
+        dist[a.node] = nd;
+        heap.push({nd, a.node});
       }
     }
   }
@@ -67,6 +65,16 @@ LandmarkIndex::LandmarkIndex(const RoadNetwork& network, size_t num_landmarks,
     }
     if (best < 0.0) break;  // graph smaller than requested landmark count
   }
+}
+
+LandmarkIndex LandmarkIndex::FromTables(
+    std::vector<NodeId> landmarks, std::vector<std::vector<double>> from,
+    std::vector<std::vector<double>> to) {
+  LandmarkIndex index;
+  index.landmarks_ = std::move(landmarks);
+  index.from_ = std::move(from);
+  index.to_ = std::move(to);
+  return index;
 }
 
 double LandmarkIndex::LowerBound(NodeId u, NodeId v) const {

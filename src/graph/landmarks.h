@@ -21,6 +21,12 @@ class LandmarkIndex {
   LandmarkIndex(const RoadNetwork& network, size_t num_landmarks,
                 const EdgeCostFn& cost = LengthCost);
 
+  /// Rehydrates an index from precomputed tables — the snapshot load path.
+  /// `from[i]` / `to[i]` must each hold one distance per node.
+  static LandmarkIndex FromTables(std::vector<NodeId> landmarks,
+                                  std::vector<std::vector<double>> from,
+                                  std::vector<std::vector<double>> to);
+
   /// Admissible lower bound on the network distance u -> v.
   double LowerBound(NodeId u, NodeId v) const;
 
@@ -33,7 +39,13 @@ class LandmarkIndex {
   /// Exact distance v -> landmark i.
   double ToLandmark(size_t i, NodeId v) const { return to_[i][v]; }
 
+  // Raw tables, exposed for snapshot serialization (io.cc).
+  const std::vector<std::vector<double>>& from_tables() const { return from_; }
+  const std::vector<std::vector<double>>& to_tables() const { return to_; }
+
  private:
+  LandmarkIndex() = default;
+
   std::vector<NodeId> landmarks_;
   std::vector<std::vector<double>> from_;  // from_[i][v]: landmark_i -> v
   std::vector<std::vector<double>> to_;    // to_[i][v]:   v -> landmark_i

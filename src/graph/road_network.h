@@ -2,15 +2,16 @@
 #define ECOCHARGE_GRAPH_ROAD_NETWORK_H_
 
 #include <cstdint>
+#include <iterator>
 #include <memory>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
 #include "geo/bbox.h"
 #include "geo/point.h"
-#include "spatial/grid_index.h"
 
 namespace ecocharge {
 
@@ -18,6 +19,18 @@ using NodeId = uint32_t;
 using EdgeId = uint32_t;
 
 inline constexpr NodeId kInvalidNode = 0xFFFFFFFFu;
+
+/// Hard capacity limits of the 32-bit id space. kInvalidNode is reserved as
+/// a sentinel, so the largest representable node id is kInvalidNode - 1;
+/// edge ids and CSR offsets are plain uint32_t counters.
+inline constexpr uint64_t kMaxNodeCount = 0xFFFFFFFFull;  // ids 0..2^32-2
+inline constexpr uint64_t kMaxEdgeCount = 0xFFFFFFFFull;
+
+/// Explicit kInvalidArgument when a node or edge count would overflow the
+/// 32-bit id/offset space. Both builders call this before allocating; unit
+/// tests exercise it directly so the check does not need 4-billion-node
+/// fixtures.
+Status ValidateGraphCounts(uint64_t num_nodes, uint64_t num_edges);
 
 /// \brief Functional road class; drives free-flow speed and congestion shape.
 enum class RoadClass : uint8_t {
@@ -29,7 +42,10 @@ enum class RoadClass : uint8_t {
 /// Free-flow speed for a road class, meters per second.
 double FreeFlowSpeed(RoadClass road_class);
 
-/// \brief One directed edge of the road network.
+/// \brief One directed edge of the road network, endpoint-qualified.
+///
+/// This is the builder/serialization/introspection record. The query hot
+/// paths never touch it — they stream over the inlined Arc records below.
 struct Edge {
   NodeId from = 0;
   NodeId to = 0;
@@ -42,60 +58,214 @@ struct Edge {
   }
 };
 
-/// \brief Immutable directed road network G = (V, E) in CSR layout.
+/// \brief One inlined CSR adjacency record: the far endpoint plus the edge
+/// attributes the relax loops need, in one 16-byte cache-friendly slot.
+///
+/// `node` is the target in the forward stream and the source in the backward
+/// stream. The layout is fixed (trivially copyable, no padding surprises) —
+/// snapshots mmap these arrays directly, so reordering fields is a snapshot
+/// format change.
+struct Arc {
+  NodeId node = 0;
+  RoadClass road_class = RoadClass::kLocal;
+  // 3 bytes of padding.
+  double length_m = 0.0;
+
+  /// Travel time at free-flow speed, seconds.
+  double FreeFlowSeconds() const {
+    return length_m / FreeFlowSpeed(road_class);
+  }
+};
+
+static_assert(sizeof(Arc) == 16, "Arc must stay a 16-byte snapshot record");
+static_assert(std::is_trivially_copyable_v<Arc>, "Arc must be mmap-able");
+
+/// \brief Iterable range of consecutive EdgeIds.
+///
+/// Edge ids are exactly the forward-CSR slot indices, so a node's out-edge
+/// ids form a contiguous run; this keeps the historical
+/// `for (EdgeId e : network.OutEdges(v))` call sites working without
+/// materializing an id array.
+class EdgeIdRange {
+ public:
+  class Iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = EdgeId;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const EdgeId*;
+    using reference = EdgeId;
+
+    explicit Iterator(EdgeId id) : id_(id) {}
+    EdgeId operator*() const { return id_; }
+    Iterator& operator++() {
+      ++id_;
+      return *this;
+    }
+    bool operator==(const Iterator& o) const { return id_ == o.id_; }
+    bool operator!=(const Iterator& o) const { return id_ != o.id_; }
+
+   private:
+    EdgeId id_;
+  };
+
+  EdgeIdRange(EdgeId begin, EdgeId end) : begin_(begin), end_(end) {}
+  Iterator begin() const { return Iterator(begin_); }
+  Iterator end() const { return Iterator(end_); }
+  size_t size() const { return end_ - begin_; }
+  bool empty() const { return begin_ == end_; }
+  EdgeId operator[](size_t i) const { return begin_ + static_cast<EdgeId>(i); }
+
+ private:
+  EdgeId begin_;
+  EdgeId end_;
+};
+
+/// \brief Immutable directed road network G = (V, E) in inlined CSR layout.
 ///
 /// Matches the paper's system model: nodes carry planar coordinates, edges
 /// carry a weight (length / free-flow time; time-varying traffic multipliers
-/// come from the traffic module). Built via GraphBuilder; query-side state
-/// (shortest-path workspaces) lives outside so a network can be shared
-/// read-only across vehicles.
+/// come from the traffic module). Adjacency is stored as two contiguous
+/// per-direction Arc streams — `(endpoint, road class, length)` inlined in
+/// adjacency order and sorted by endpoint id within each node — so the
+/// Dijkstra/sweep relax loop touches one stream instead of chasing
+/// `adjacency[i] -> edges[e]` indirections. EdgeId is the index into the
+/// forward stream.
+///
+/// All array members are read-only views; they are backed either by owned
+/// vectors (builder path) or by an mmap-ed snapshot (zero-copy load path).
+/// Query-side state (shortest-path workspaces) lives outside so a network
+/// can be shared read-only across vehicles.
 class RoadNetwork {
  public:
+  /// Internal storage bundle used by the builders and the snapshot loader;
+  /// not part of the stable query API. `backing` keeps whatever owns the
+  /// bytes (vectors or an mmap region) alive for the network's lifetime.
+  struct Views {
+    std::span<const Point> positions;
+    std::span<const uint32_t> out_offsets;  ///< size nodes+1
+    std::span<const Arc> out_arcs;          ///< size edges
+    std::span<const uint32_t> in_offsets;   ///< size nodes+1
+    std::span<const Arc> in_arcs;           ///< size edges
+    std::span<const EdgeId> in_edge_ids;    ///< forward id of each in-arc
+    BoundingBox bounds;
+    uint32_t locator_nx = 0;
+    uint32_t locator_ny = 0;
+    double locator_cell_m = 0.0;
+    std::span<const uint32_t> locator_cell_offsets;  ///< size nx*ny+1
+    std::span<const uint32_t> locator_cell_points;   ///< size nodes
+    std::shared_ptr<const void> backing;
+  };
+
+  /// Validates view consistency (sizes, offset monotonicity) and wraps the
+  /// bundle. Used by GraphBuilder, the streaming builder, and LoadSnapshot.
+  static Result<std::shared_ptr<RoadNetwork>> FromViews(Views views);
+
   size_t NumNodes() const { return positions_.size(); }
-  size_t NumEdges() const { return edges_.size(); }
+  size_t NumEdges() const { return out_arcs_.size(); }
 
   const Point& NodePosition(NodeId v) const { return positions_[v]; }
-  const std::vector<Point>& positions() const { return positions_; }
+  std::span<const Point> positions() const { return positions_; }
 
-  const Edge& edge(EdgeId e) const { return edges_[e]; }
+  /// Outgoing arcs of `v`: the hot-path accessor. One contiguous stream,
+  /// sorted by target id.
+  std::span<const Arc> OutArcs(NodeId v) const {
+    return out_arcs_.subspan(out_offsets_[v],
+                             out_offsets_[v + 1] - out_offsets_[v]);
+  }
 
-  /// Ids of edges leaving `v`.
-  std::span<const EdgeId> OutEdges(NodeId v) const {
-    return {out_adjacency_.data() + out_offsets_[v],
-            out_offsets_[v + 1] - out_offsets_[v]};
+  /// Incoming arcs of `v` (`Arc::node` is the source node), sorted by
+  /// source id.
+  std::span<const Arc> InArcs(NodeId v) const {
+    return in_arcs_.subspan(in_offsets_[v],
+                            in_offsets_[v + 1] - in_offsets_[v]);
+  }
+
+  /// Forward-stream arc record of edge `e` (cheap; no endpoint recovery).
+  const Arc& arc(EdgeId e) const { return out_arcs_[e]; }
+
+  /// Id of the first out-edge of `v`; `OutArcs(v)[i]` is edge
+  /// `FirstOutEdge(v) + i`.
+  EdgeId FirstOutEdge(NodeId v) const { return out_offsets_[v]; }
+
+  /// Source node of edge `e`, recovered by binary search over the offsets
+  /// (O(log V) — use arc()/OutArcs() in hot loops).
+  NodeId EdgeSource(EdgeId e) const;
+
+  /// Full endpoint-qualified record of edge `e`, materialized by value.
+  /// Kept for serialization, route resolution, and tests; hot loops use
+  /// OutArcs/InArcs.
+  Edge edge(EdgeId e) const {
+    const Arc& a = out_arcs_[e];
+    return Edge{EdgeSource(e), a.node, a.length_m, a.road_class};
+  }
+
+  /// Ids of edges leaving `v` (a contiguous run of the forward stream).
+  EdgeIdRange OutEdges(NodeId v) const {
+    return EdgeIdRange(out_offsets_[v], out_offsets_[v + 1]);
   }
 
   /// Ids of edges entering `v`.
   std::span<const EdgeId> InEdges(NodeId v) const {
-    return {in_adjacency_.data() + in_offsets_[v],
-            in_offsets_[v + 1] - in_offsets_[v]};
+    return in_edge_ids_.subspan(in_offsets_[v],
+                                in_offsets_[v + 1] - in_offsets_[v]);
   }
 
   /// The network's bounding box.
   const BoundingBox& Bounds() const { return bounds_; }
 
-  /// Nearest node to an arbitrary point (grid-accelerated).
+  /// Nearest node to an arbitrary point (grid-accelerated; ties broken by
+  /// smallest node id).
   NodeId NearestNode(const Point& p) const;
 
   /// True if every node can reach every other node (strong connectivity);
   /// generator post-condition checked in tests.
   bool IsStronglyConnected() const;
 
+  // Raw array views, exposed for snapshot serialization (io.cc). The spans
+  // alias the network's backing storage.
+  std::span<const uint32_t> out_offsets() const { return out_offsets_; }
+  std::span<const Arc> out_arcs() const { return out_arcs_; }
+  std::span<const uint32_t> in_offsets() const { return in_offsets_; }
+  std::span<const Arc> in_arcs() const { return in_arcs_; }
+  std::span<const EdgeId> in_edge_ids() const { return in_edge_ids_; }
+  uint32_t locator_nx() const { return locator_nx_; }
+  uint32_t locator_ny() const { return locator_ny_; }
+  double locator_cell_m() const { return locator_cell_m_; }
+  std::span<const uint32_t> locator_cell_offsets() const {
+    return locator_cell_offsets_;
+  }
+  std::span<const uint32_t> locator_cell_points() const {
+    return locator_cell_points_;
+  }
+
  private:
-  friend class GraphBuilder;
   RoadNetwork() = default;
 
-  std::vector<Point> positions_;
-  std::vector<Edge> edges_;
-  std::vector<uint32_t> out_offsets_;
-  std::vector<EdgeId> out_adjacency_;
-  std::vector<uint32_t> in_offsets_;
-  std::vector<EdgeId> in_adjacency_;
+  std::span<const Point> positions_;
+  std::span<const uint32_t> out_offsets_;
+  std::span<const Arc> out_arcs_;
+  std::span<const uint32_t> in_offsets_;
+  std::span<const Arc> in_arcs_;
+  std::span<const EdgeId> in_edge_ids_;
   BoundingBox bounds_;
-  GridIndex node_locator_;
+
+  // Flat uniform-grid node locator (mmap-able, unlike the pointer-heavy
+  // spatial indexes): node ids bucketed by cell in CSR form.
+  uint32_t locator_nx_ = 0;
+  uint32_t locator_ny_ = 0;
+  double locator_cell_m_ = 0.0;
+  std::span<const uint32_t> locator_cell_offsets_;
+  std::span<const uint32_t> locator_cell_points_;
+
+  std::shared_ptr<const void> backing_;
 };
 
-/// \brief Incrementally assembles a RoadNetwork.
+/// \brief Incrementally assembles a RoadNetwork from explicit Add calls.
+///
+/// Materializes the full edge list, so it is meant for city-scale fixtures
+/// and file loads; continental-scale graphs go through
+/// BuildFromChunkedSource, which never holds more than one chunk of edges.
 class GraphBuilder {
  public:
   /// Adds a node at `position`, returning its id.
@@ -112,13 +282,52 @@ class GraphBuilder {
   size_t NumNodes() const { return positions_.size(); }
   size_t NumEdges() const { return edges_.size(); }
 
-  /// Finalizes into an immutable network. Fails on an empty graph.
+  /// Finalizes into an immutable network. Fails on an empty graph or on
+  /// counts that overflow the 32-bit id space.
   Result<std::shared_ptr<RoadNetwork>> Build();
 
  private:
   std::vector<Point> positions_;
   std::vector<Edge> edges_;
 };
+
+/// \brief Edge-emission target handed to chunked sources during streaming
+/// construction. Lengths < 0 default to the Euclidean node distance.
+class EdgeSink {
+ public:
+  virtual void Directed(NodeId from, NodeId to, RoadClass road_class,
+                        double length_m = -1.0) = 0;
+  void Bidirectional(NodeId a, NodeId b, RoadClass road_class,
+                     double length_m = -1.0) {
+    Directed(a, b, road_class, length_m);
+    Directed(b, a, road_class, length_m);
+  }
+
+ protected:
+  ~EdgeSink() = default;
+};
+
+/// \brief A graph source that can re-emit its edges chunk by chunk.
+///
+/// The KaGen-style contract: EmitEdges(c, ...) must emit the same edges for
+/// chunk `c` every time it is called (the builder replays the stream for the
+/// count and scatter passes), every edge must be emitted by exactly one
+/// chunk, and NodePosition must be a pure function of the node id. Under
+/// that contract the built network is identical for any chunk partition.
+class ChunkedEdgeSource {
+ public:
+  virtual ~ChunkedEdgeSource() = default;
+  virtual uint64_t NumNodes() const = 0;
+  virtual uint64_t NumChunks() const = 0;
+  virtual Point NodePosition(NodeId v) const = 0;
+  virtual void EmitEdges(uint64_t chunk, EdgeSink& sink) const = 0;
+};
+
+/// \brief Two-pass streaming CSR construction: pass 1 counts degrees, pass 2
+/// scatters arcs straight into their final slots. Peak memory is the final
+/// CSR arrays plus one degree-cursor array — no edge-list materialization.
+Result<std::shared_ptr<RoadNetwork>> BuildFromChunkedSource(
+    const ChunkedEdgeSource& source);
 
 }  // namespace ecocharge
 

@@ -14,24 +14,22 @@ Result<RouteMetrics> ResolveRoute(const RoadNetwork& network,
         nodes[i] >= network.NumNodes()) {
       return Status::InvalidArgument("route node out of range");
     }
-    EdgeId best = 0;
-    double best_length = kInfiniteCost;
-    for (EdgeId e : network.OutEdges(nodes[i - 1])) {
-      if (network.edge(e).to == nodes[i] &&
-          network.edge(e).length_m < best_length) {
-        best = e;
-        best_length = network.edge(e).length_m;
-      }
-    }
-    if (best_length == kInfiniteCost) {
+    // Arcs are sorted by (target, length), so the first arc hitting the
+    // target is also the shortest parallel edge.
+    auto arcs = network.OutArcs(nodes[i - 1]);
+    auto it = std::lower_bound(
+        arcs.begin(), arcs.end(), nodes[i],
+        [](const Arc& a, NodeId target) { return a.node < target; });
+    if (it == arcs.end() || it->node != nodes[i]) {
       return Status::InvalidArgument(
           "route nodes " + std::to_string(nodes[i - 1]) + " -> " +
           std::to_string(nodes[i]) + " are not adjacent");
     }
-    const Edge& edge = network.edge(best);
+    EdgeId best = network.FirstOutEdge(nodes[i - 1]) +
+                  static_cast<EdgeId>(it - arcs.begin());
     metrics.edges.push_back(best);
-    metrics.length_m += edge.length_m;
-    metrics.free_flow_s += edge.FreeFlowSeconds();
+    metrics.length_m += it->length_m;
+    metrics.free_flow_s += it->FreeFlowSeconds();
   }
   return metrics;
 }
@@ -47,12 +45,12 @@ Polyline RouteGeometry(const RoadNetwork& network,
 
 double CongestedTravelSeconds(
     const RoadNetwork& network, const RouteMetrics& route,
-    const std::function<double(const Edge&)>& speed_factor) {
+    const std::function<double(const Arc&)>& speed_factor) {
   double total = 0.0;
   for (EdgeId e : route.edges) {
-    const Edge& edge = network.edge(e);
-    double factor = std::clamp(speed_factor(edge), 1e-3, 1.0);
-    total += edge.FreeFlowSeconds() / factor;
+    const Arc& arc = network.arc(e);
+    double factor = std::clamp(speed_factor(arc), 1e-3, 1.0);
+    total += arc.FreeFlowSeconds() / factor;
   }
   return total;
 }

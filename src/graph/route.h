@@ -27,10 +27,10 @@ Polyline RouteGeometry(const RoadNetwork& network,
                        const std::vector<NodeId>& nodes);
 
 /// Travel time of a resolved route under per-edge speed factors in (0, 1]
-/// supplied by `speed_factor(edge)` (e.g. the congestion model), seconds.
+/// supplied by `speed_factor(arc)` (e.g. the congestion model), seconds.
 double CongestedTravelSeconds(
     const RoadNetwork& network, const RouteMetrics& route,
-    const std::function<double(const Edge&)>& speed_factor);
+    const std::function<double(const Arc&)>& speed_factor);
 
 }  // namespace ecocharge
 

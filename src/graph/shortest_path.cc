@@ -5,15 +5,13 @@
 
 namespace ecocharge {
 
-double LengthCost(const Edge& e) { return e.length_m; }
+double LengthCost(const Arc& a) { return a.length_m; }
 
-double FreeFlowTimeCost(const Edge& e) { return e.FreeFlowSeconds(); }
+double FreeFlowTimeCost(const Arc& a) { return a.FreeFlowSeconds(); }
 
 DijkstraSearch::DijkstraSearch(const RoadNetwork& network)
     : network_(network),
-      dist_(network.NumNodes(), kInfiniteCost),
-      parent_(network.NumNodes(), kInvalidNode),
-      version_(network.NumNodes(), 0),
+      labels_(network.NumNodes(), NodeLabel{kInfiniteCost, kInvalidNode, 0}),
       settled_version_(network.NumNodes(), 0),
       target_version_(network.NumNodes(), 0) {}
 
@@ -21,7 +19,7 @@ void DijkstraSearch::NewEpoch() {
   ++epoch_;
   if (epoch_ == 0) {
     // Wrapped around: hard reset.
-    std::fill(version_.begin(), version_.end(), 0);
+    for (NodeLabel& label : labels_) label.version = 0;
     std::fill(settled_version_.begin(), settled_version_.end(), 0);
     std::fill(target_version_.begin(), target_version_.end(), 0);
     epoch_ = 1;
@@ -36,7 +34,7 @@ std::vector<NodeId> DijkstraSearch::ReconstructPath(NodeId source,
   while (v != kInvalidNode) {
     nodes.push_back(v);
     if (v == source) break;
-    v = parent_[v];
+    v = labels_[v].parent;
   }
   std::reverse(nodes.begin(), nodes.end());
   return nodes;
@@ -63,31 +61,27 @@ PathResult DijkstraSearch::ShortestPath(NodeId source, NodeId target,
   }
   NewEpoch();
   MinHeap heap;
-  dist_[source] = 0.0;
-  parent_[source] = kInvalidNode;
-  version_[source] = epoch_;
+  labels_[source] = {0.0, kInvalidNode, epoch_};
   heap.push({0.0, source});
-  std::vector<char> settled(network_.NumNodes(), 0);
 
   while (!heap.empty()) {
     auto [d, v] = heap.top();
     heap.pop();
-    if (settled[v]) continue;
-    settled[v] = 1;
+    if (settled_version_[v] == epoch_) continue;  // stale heap entry
+    settled_version_[v] = epoch_;
     ++last_settled_;
     if (v == target) {
-      result.cost = dist_[v];
+      result.cost = labels_[v].dist;
       result.nodes = ReconstructPath(source, target);
       return result;
     }
-    for (EdgeId eid : network_.OutEdges(v)) {
-      const Edge& e = network_.edge(eid);
-      double nd = dist_[v] + cost(e);
-      if (version_[e.to] != epoch_ || nd < dist_[e.to]) {
-        version_[e.to] = epoch_;
-        dist_[e.to] = nd;
-        parent_[e.to] = v;
-        heap.push({nd, e.to});
+    const double dv = labels_[v].dist;  // loop-invariant: no self-loops
+    for (const Arc& a : network_.OutArcs(v)) {
+      double nd = dv + cost(a);
+      NodeLabel& lw = labels_[a.node];
+      if (lw.version != epoch_ || nd < lw.dist) {
+        lw = {nd, v, epoch_};
+        heap.push({nd, a.node});
       }
     }
   }
@@ -107,31 +101,27 @@ PathResult DijkstraSearch::AStar(NodeId source, NodeId target,
     return Distance(network_.NodePosition(v), goal) * heuristic_scale;
   };
   MinHeap heap;
-  dist_[source] = 0.0;
-  parent_[source] = kInvalidNode;
-  version_[source] = epoch_;
+  labels_[source] = {0.0, kInvalidNode, epoch_};
   heap.push({h(source), source});
-  std::vector<char> settled(network_.NumNodes(), 0);
 
   while (!heap.empty()) {
     auto [f, v] = heap.top();
     heap.pop();
-    if (settled[v]) continue;
-    settled[v] = 1;
+    if (settled_version_[v] == epoch_) continue;  // stale heap entry
+    settled_version_[v] = epoch_;
     ++last_settled_;
     if (v == target) {
-      result.cost = dist_[v];
+      result.cost = labels_[v].dist;
       result.nodes = ReconstructPath(source, target);
       return result;
     }
-    for (EdgeId eid : network_.OutEdges(v)) {
-      const Edge& e = network_.edge(eid);
-      double nd = dist_[v] + cost(e);
-      if (version_[e.to] != epoch_ || nd < dist_[e.to]) {
-        version_[e.to] = epoch_;
-        dist_[e.to] = nd;
-        parent_[e.to] = v;
-        heap.push({nd + h(e.to), e.to});
+    const double dv = labels_[v].dist;  // loop-invariant: no self-loops
+    for (const Arc& a : network_.OutArcs(v)) {
+      double nd = dv + cost(a);
+      NodeLabel& lw = labels_[a.node];
+      if (lw.version != epoch_ || nd < lw.dist) {
+        lw = {nd, v, epoch_};
+        heap.push({nd + h(a.node), a.node});
       }
     }
   }
@@ -145,29 +135,25 @@ size_t DijkstraSearch::OneToMany(NodeId source, double max_cost,
   NewEpoch();
   if (settled_out) settled_out->clear();
   MinHeap heap;
-  dist_[source] = 0.0;
-  parent_[source] = kInvalidNode;
-  version_[source] = epoch_;
+  labels_[source] = {0.0, kInvalidNode, epoch_};
   heap.push({0.0, source});
-  std::vector<char> settled(network_.NumNodes(), 0);
 
   while (!heap.empty()) {
     auto [d, v] = heap.top();
     heap.pop();
-    if (settled[v]) continue;
+    if (settled_version_[v] == epoch_) continue;  // stale heap entry
     if (d > max_cost) break;
-    settled[v] = 1;
+    settled_version_[v] = epoch_;
     ++last_settled_;
     if (settled_out) settled_out->push_back(v);
-    for (EdgeId eid : network_.OutEdges(v)) {
-      const Edge& e = network_.edge(eid);
-      double nd = dist_[v] + cost(e);
+    const double dv = labels_[v].dist;  // loop-invariant: no self-loops
+    for (const Arc& a : network_.OutArcs(v)) {
+      double nd = dv + cost(a);
       if (nd > max_cost) continue;
-      if (version_[e.to] != epoch_ || nd < dist_[e.to]) {
-        version_[e.to] = epoch_;
-        dist_[e.to] = nd;
-        parent_[e.to] = v;
-        heap.push({nd, e.to});
+      NodeLabel& lw = labels_[a.node];
+      if (lw.version != epoch_ || nd < lw.dist) {
+        lw = {nd, v, epoch_};
+        heap.push({nd, a.node});
       }
     }
   }
@@ -188,10 +174,8 @@ void DijkstraSearch::StartSweep(std::span<const NodeId> sources,
   direction_ = direction;
   frontier_.clear();
   for (NodeId s : sources) {
-    if (s >= network_.NumNodes() || version_[s] == epoch_) continue;
-    version_[s] = epoch_;
-    dist_[s] = 0.0;
-    parent_[s] = kInvalidNode;
+    if (s >= network_.NumNodes() || labels_[s].version == epoch_) continue;
+    labels_[s] = {0.0, kInvalidNode, epoch_};
     frontier_.push_back({0.0, s});
     std::push_heap(frontier_.begin(), frontier_.end(), SweepLater);
   }
@@ -229,16 +213,16 @@ size_t DijkstraSearch::ExtendSweep(std::span<const NodeId> targets,
     settled_version_[v] = epoch_;
     ++last_settled_;
     if (target_version_[v] == epoch_) --pending;
-    auto edge_ids = forward ? network_.OutEdges(v) : network_.InEdges(v);
-    for (EdgeId eid : edge_ids) {
-      const Edge& e = network_.edge(eid);
-      const NodeId w = forward ? e.to : e.from;
-      if (settled_version_[w] == epoch_) continue;
-      double nd = dist_[v] + cost(e);
-      if (version_[w] != epoch_ || nd < dist_[w]) {
-        version_[w] = epoch_;
-        dist_[w] = nd;
-        parent_[w] = v;
+    auto arcs = forward ? network_.OutArcs(v) : network_.InArcs(v);
+    const double dv = labels_[v].dist;  // loop-invariant: no self-loops
+    for (const Arc& a : arcs) {
+      const NodeId w = a.node;
+      // No settled pre-check: a settled w holds its final minimal distance,
+      // so nd >= labels_[w].dist always and the label test rejects it.
+      double nd = dv + cost(a);
+      NodeLabel& lw = labels_[w];
+      if (lw.version != epoch_ || nd < lw.dist) {
+        lw = {nd, v, epoch_};
         frontier_.push_back({nd, w});
         std::push_heap(frontier_.begin(), frontier_.end(), SweepLater);
       }
@@ -305,11 +289,10 @@ PathResult BidirectionalShortestPath(const RoadNetwork& network,
     }
 
     bool forward = side == 0;
-    auto edge_ids = forward ? network.OutEdges(v) : network.InEdges(v);
-    for (EdgeId eid : edge_ids) {
-      const Edge& e = network.edge(eid);
-      NodeId w = forward ? e.to : e.from;
-      double nd = d + cost(e);
+    auto arcs = forward ? network.OutArcs(v) : network.InArcs(v);
+    for (const Arc& a : arcs) {
+      NodeId w = a.node;
+      double nd = d + cost(a);
       if (nd < dist[side][w]) {
         dist[side][w] = nd;
         parent[side][w] = v;
@@ -358,14 +341,15 @@ PathResult BellmanFordShortestPath(const RoadNetwork& network, NodeId source,
   bool changed = true;
   for (size_t round = 0; round + 1 < n && changed; ++round) {
     changed = false;
-    for (EdgeId eid = 0; eid < network.NumEdges(); ++eid) {
-      const Edge& e = network.edge(eid);
-      if (dist[e.from] == kInfiniteCost) continue;
-      double nd = dist[e.from] + cost(e);
-      if (nd < dist[e.to]) {
-        dist[e.to] = nd;
-        parent[e.to] = e.from;
-        changed = true;
+    for (NodeId v = 0; v < n; ++v) {
+      if (dist[v] == kInfiniteCost) continue;
+      for (const Arc& a : network.OutArcs(v)) {
+        double nd = dist[v] + cost(a);
+        if (nd < dist[a.node]) {
+          dist[a.node] = nd;
+          parent[a.node] = v;
+          changed = true;
+        }
       }
     }
   }

@@ -13,15 +13,17 @@ namespace ecocharge {
 /// Sentinel for "unreachable".
 inline constexpr double kInfiniteCost = std::numeric_limits<double>::infinity();
 
-/// \brief Per-edge cost functor. Defaults to geometric length; the traffic
-/// module supplies time-dependent travel-time costs.
-using EdgeCostFn = std::function<double(const Edge&)>;
+/// \brief Per-edge cost functor over the inlined CSR arc record (which
+/// carries everything a cost can depend on: length and road class).
+/// Defaults to geometric length; the traffic module supplies
+/// time-dependent travel-time costs.
+using EdgeCostFn = std::function<double(const Arc&)>;
 
 /// Edge cost = length in meters.
-double LengthCost(const Edge& e);
+double LengthCost(const Arc& a);
 
 /// Edge cost = free-flow travel time in seconds.
-double FreeFlowTimeCost(const Edge& e);
+double FreeFlowTimeCost(const Arc& a);
 
 /// \brief A shortest path: total cost plus the node sequence.
 struct PathResult {
@@ -96,7 +98,7 @@ class DijkstraSearch {
   /// Cost to `v` after the last OneToMany/ShortestPath call that settled it
   /// in the current epoch; kInfiniteCost otherwise.
   double CostTo(NodeId v) const {
-    return version_[v] == epoch_ ? dist_[v] : kInfiniteCost;
+    return labels_[v].version == epoch_ ? labels_[v].dist : kInfiniteCost;
   }
 
   /// Number of heap pops in the last query (exposed for benchmarks).
@@ -116,10 +118,21 @@ class DijkstraSearch {
   void NewEpoch();
   std::vector<NodeId> ReconstructPath(NodeId source, NodeId target) const;
 
+  /// Per-node search state — tentative distance, parent, and the epoch
+  /// stamp that says whether either is current — packed into one 16-byte
+  /// record so a relax touches a single cache line instead of three
+  /// parallel arrays. The companion of the inlined Arc stream: at
+  /// continental scale the label array is the other random-access stream
+  /// of the relax loop.
+  struct NodeLabel {
+    double dist;
+    NodeId parent;
+    uint32_t version;
+  };
+  static_assert(sizeof(NodeLabel) == 16, "NodeLabel should stay one line");
+
   const RoadNetwork& network_;
-  std::vector<double> dist_;
-  std::vector<NodeId> parent_;
-  std::vector<uint32_t> version_;
+  std::vector<NodeLabel> labels_;
   uint32_t epoch_ = 0;
   size_t last_settled_ = 0;
 

@@ -126,7 +126,7 @@ DeroutingEstimate DeroutingService::Exact(const DeroutingQuery& query,
   // tau is the (possibly bucketed) cost time, shared with ExactBatch so
   // both fidelities accumulate the same doubles.
   const SimTime tau = ExactCostTime(query.now);
-  auto cost = [this, tau](const Edge& e) {
+  auto cost = [this, tau](const Arc& e) {
     return e.length_m /
            congestion_->ActualSpeedFactor(e.road_class, tau);
   };
@@ -166,7 +166,7 @@ BatchSweepStats DeroutingService::ExactBatch(
   const QueryNodes nodes = ResolveNodes(*network_, query);
   const size_t num_nodes = network_->NumNodes();
   const SimTime tau = ExactCostTime(query.now);
-  auto cost = [this, tau](const Edge& e) {
+  auto cost = [this, tau](const Arc& e) {
     return e.length_m /
            congestion_->ActualSpeedFactor(e.road_class, tau);
   };

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "graph/generators.h"
+#include "graph/io.h"
 #include "traj/brinkhoff.h"
 
 namespace ecocharge {
@@ -34,18 +35,41 @@ size_t ScaledCount(size_t full_count, double scale) {
       10, static_cast<size_t>(std::llround(full_count * scale)));
 }
 
-}  // namespace
-
-Result<Dataset> MakeDataset(DatasetKind kind, const DatasetOptions& options) {
-  if (options.scale <= 0.0 || options.scale > 1.0) {
-    return Status::InvalidArgument("scale must be in (0, 1]");
-  }
-  Dataset ds;
-  ds.kind = kind;
-  ds.name = std::string(DatasetName(kind));
+/// Workload shape of each kind — shared by the synthesized and the
+/// snapshot-loaded paths so that swapping the network source cannot drift
+/// the trajectory generation.
+BrinkhoffOptions TrajOptionsFor(DatasetKind kind,
+                                const DatasetOptions& options) {
   BrinkhoffOptions traj_opts;
   traj_opts.seed = options.seed ^ 0xD5A7u;
+  switch (kind) {
+    case DatasetKind::kOldenburg:
+      traj_opts.num_objects = ScaledCount(4000, options.scale);
+      traj_opts.sample_interval_s = 30.0;
+      traj_opts.min_trip_length_m = 5000.0;
+      break;
+    case DatasetKind::kCalifornia:
+      traj_opts.num_objects = ScaledCount(7000, options.scale);
+      traj_opts.sample_interval_s = 60.0;
+      traj_opts.min_trip_length_m = 15000.0;
+      break;
+    case DatasetKind::kTDrive:
+      traj_opts.num_objects = ScaledCount(10357, options.scale);
+      traj_opts.trip_count = 3;
+      traj_opts.sample_interval_s = 180.0;
+      traj_opts.min_trip_length_m = 4000.0;
+      break;
+    case DatasetKind::kGeolife:
+      traj_opts.num_objects = ScaledCount(17621, options.scale);
+      traj_opts.sample_interval_s = 5.0;
+      traj_opts.min_trip_length_m = 3000.0;
+      break;
+  }
+  return traj_opts;
+}
 
+Result<std::shared_ptr<RoadNetwork>> SynthesizeNetwork(DatasetKind kind,
+                                                       uint64_t seed) {
   switch (kind) {
     case DatasetKind::kOldenburg: {
       // 45 x 35 km urban area; ~1.3 km blocks.
@@ -53,12 +77,8 @@ Result<Dataset> MakeDataset(DatasetKind kind, const DatasetOptions& options) {
       g.nx = 35;
       g.ny = 27;
       g.spacing_m = 1300.0;
-      g.seed = options.seed;
-      ECOCHARGE_ASSIGN_OR_RETURN(ds.network, MakeGridNetwork(g));
-      traj_opts.num_objects = ScaledCount(4000, options.scale);
-      traj_opts.sample_interval_s = 30.0;
-      traj_opts.min_trip_length_m = 5000.0;
-      break;
+      g.seed = seed;
+      return MakeGridNetwork(g);
     }
     case DatasetKind::kCalifornia: {
       // 1,220 x 400 km corridor region: cities joined by highways. The
@@ -71,12 +91,8 @@ Result<Dataset> MakeDataset(DatasetKind kind, const DatasetOptions& options) {
       c.city_spacing_m = 700.0;
       c.region_width_m = 400000.0;
       c.region_height_m = 150000.0;
-      c.seed = options.seed;
-      ECOCHARGE_ASSIGN_OR_RETURN(ds.network, MakeCorridorRegion(c));
-      traj_opts.num_objects = ScaledCount(7000, options.scale);
-      traj_opts.sample_interval_s = 60.0;
-      traj_opts.min_trip_length_m = 15000.0;
-      break;
+      c.seed = seed;
+      return MakeCorridorRegion(c);
     }
     case DatasetKind::kTDrive: {
       // Beijing: dense ring-radial metropolis, taxi fleet with several
@@ -85,13 +101,8 @@ Result<Dataset> MakeDataset(DatasetKind kind, const DatasetOptions& options) {
       r.rings = 24;
       r.spokes = 48;
       r.ring_spacing_m = 800.0;
-      r.seed = options.seed;
-      ECOCHARGE_ASSIGN_OR_RETURN(ds.network, MakeRadialCity(r));
-      traj_opts.num_objects = ScaledCount(10357, options.scale);
-      traj_opts.trip_count = 3;
-      traj_opts.sample_interval_s = 180.0;
-      traj_opts.min_trip_length_m = 4000.0;
-      break;
+      r.seed = seed;
+      return MakeRadialCity(r);
     }
     case DatasetKind::kGeolife: {
       // Multi-modal dense traces over a large mixed network; 1-5 s
@@ -101,17 +112,44 @@ Result<Dataset> MakeDataset(DatasetKind kind, const DatasetOptions& options) {
       rg.width_m = 50000.0;
       rg.height_m = 45000.0;
       rg.k_nearest = 4;
-      rg.seed = options.seed;
-      ECOCHARGE_ASSIGN_OR_RETURN(ds.network, MakeRandomGeometric(rg));
-      traj_opts.num_objects = ScaledCount(17621, options.scale);
-      traj_opts.sample_interval_s = 5.0;
-      traj_opts.min_trip_length_m = 3000.0;
-      break;
+      rg.seed = seed;
+      return MakeRandomGeometric(rg);
     }
   }
+  return Status::InvalidArgument("unknown dataset kind");
+}
+
+Result<Dataset> FinishDataset(DatasetKind kind, const DatasetOptions& options,
+                              std::shared_ptr<RoadNetwork> network) {
+  Dataset ds;
+  ds.kind = kind;
+  ds.name = std::string(DatasetName(kind));
+  ds.network = std::move(network);
   ECOCHARGE_ASSIGN_OR_RETURN(
-      ds.trajectories, GenerateBrinkhoffTrajectories(*ds.network, traj_opts));
+      ds.trajectories, GenerateBrinkhoffTrajectories(
+                           *ds.network, TrajOptionsFor(kind, options)));
   return ds;
+}
+
+}  // namespace
+
+Result<Dataset> MakeDataset(DatasetKind kind, const DatasetOptions& options) {
+  if (options.scale <= 0.0 || options.scale > 1.0) {
+    return Status::InvalidArgument("scale must be in (0, 1]");
+  }
+  ECOCHARGE_ASSIGN_OR_RETURN(auto network,
+                             SynthesizeNetwork(kind, options.seed));
+  return FinishDataset(kind, options, std::move(network));
+}
+
+Result<Dataset> MakeSnapshotDataset(const std::string& snapshot_path,
+                                    DatasetKind kind,
+                                    const DatasetOptions& options) {
+  if (options.scale <= 0.0 || options.scale > 1.0) {
+    return Status::InvalidArgument("scale must be in (0, 1]");
+  }
+  ECOCHARGE_ASSIGN_OR_RETURN(auto network, LoadSnapshot(snapshot_path));
+  return FinishDataset(kind, options, std::move(network));
 }
 
 }  // namespace ecocharge

@@ -51,6 +51,15 @@ struct Dataset {
 /// Synthesizes the requested dataset. Deterministic in (kind, options).
 Result<Dataset> MakeDataset(DatasetKind kind, const DatasetOptions& options);
 
+/// \brief Like MakeDataset, but mmap-loads the road network from a binary
+/// snapshot (see graph/io.h) instead of synthesizing it; trajectories are
+/// still generated with `kind`'s workload shape. Since snapshots round-trip
+/// the network exactly, a dataset built from a snapshot of kind K's network
+/// is bit-identical to MakeDataset(K, options).
+Result<Dataset> MakeSnapshotDataset(const std::string& snapshot_path,
+                                    DatasetKind kind,
+                                    const DatasetOptions& options);
+
 }  // namespace ecocharge
 
 #endif  // ECOCHARGE_TRAJ_DATASET_H_

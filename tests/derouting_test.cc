@@ -107,7 +107,7 @@ TEST_F(DeroutingTest, ExactMatchesManualDecomposition) {
       service_->Exact(QueryAt(m, ra, rb, now), ChargerAt(b_node));
 
   DijkstraSearch search(*network_);
-  auto cost = [&](const Edge& e) {
+  auto cost = [&](const Arc& e) {
     return e.length_m / congestion_->ActualSpeedFactor(e.road_class, now);
   };
   double to_b = search.AStar(m, b_node, cost).cost;

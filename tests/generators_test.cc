@@ -1,5 +1,8 @@
 #include "graph/generators.h"
 
+#include <algorithm>
+#include <cstdint>
+
 #include <gtest/gtest.h>
 
 namespace ecocharge {
@@ -110,6 +113,212 @@ TEST(CorridorRegionTest, CitiesPlusCorridors) {
     }
   }
   EXPECT_TRUE(has_highway);
+}
+
+// ---------------------------------------------------------------------------
+// Streaming generators.
+// ---------------------------------------------------------------------------
+
+/// The CSR arrays are canonically ordered, so two identical graphs have
+/// identical per-EdgeId tuples.
+void ExpectSameNetwork(const RoadNetwork& a, const RoadNetwork& b) {
+  ASSERT_EQ(a.NumNodes(), b.NumNodes());
+  ASSERT_EQ(a.NumEdges(), b.NumEdges());
+  for (NodeId v = 0; v < a.NumNodes(); ++v) {
+    ASSERT_EQ(a.NodePosition(v), b.NodePosition(v)) << "node " << v;
+  }
+  for (EdgeId e = 0; e < a.NumEdges(); ++e) {
+    ASSERT_EQ(a.edge(e).from, b.edge(e).from) << "edge " << e;
+    ASSERT_EQ(a.edge(e).to, b.edge(e).to) << "edge " << e;
+    ASSERT_EQ(a.edge(e).length_m, b.edge(e).length_m) << "edge " << e;
+    ASSERT_EQ(a.edge(e).road_class, b.edge(e).road_class) << "edge " << e;
+  }
+}
+
+TEST(StreamingGridTest, MatchesSizeAndConnectivity) {
+  StreamingGridOptions opts;
+  opts.nx = 25;
+  opts.ny = 18;
+  opts.seed = 3;
+  auto network = MakeStreamingGrid(opts).MoveValueUnsafe();
+  EXPECT_EQ(network->NumNodes(), 25u * 18u);
+  EXPECT_EQ(network->NumEdges(), 2u * (24u * 18u + 25u * 17u));
+  EXPECT_TRUE(network->IsStronglyConnected());
+}
+
+TEST(StreamingGridTest, IdenticalForAnyChunkCount) {
+  StreamingGridOptions opts;
+  opts.nx = 13;
+  opts.ny = 21;
+  opts.seed = 42;
+  opts.num_chunks = 1;
+  auto mono = MakeStreamingGrid(opts).MoveValueUnsafe();
+  for (uint64_t chunks : {2u, 7u, 64u}) {
+    opts.num_chunks = chunks;
+    auto chunked = MakeStreamingGrid(opts).MoveValueUnsafe();
+    ExpectSameNetwork(*mono, *chunked);
+  }
+}
+
+TEST(StreamingGridTest, RejectsDegenerateOptions) {
+  StreamingGridOptions opts;
+  opts.nx = 1;
+  EXPECT_FALSE(MakeStreamingGrid(opts).ok());
+  opts.nx = 5;
+  opts.spacing_m = 0.0;
+  EXPECT_FALSE(MakeStreamingGrid(opts).ok());
+}
+
+TEST(StreamingGeometricTest, ConnectedByConstruction) {
+  StreamingGeometricOptions opts;
+  opts.num_nodes = 2000;
+  opts.width_m = 30000.0;
+  opts.height_m = 20000.0;
+  opts.target_degree = 4.0;
+  opts.seed = 9;
+  auto network = MakeStreamingGeometric(opts).MoveValueUnsafe();
+  EXPECT_EQ(network->NumNodes(), 2000u);
+  EXPECT_TRUE(network->IsStronglyConnected());
+  // Backbone + proximity should land near the target degree, not wildly off.
+  double avg_degree =
+      static_cast<double>(network->NumEdges()) / network->NumNodes();
+  EXPECT_GT(avg_degree, 2.0);
+  EXPECT_LT(avg_degree, 4.0 * opts.target_degree);
+}
+
+TEST(StreamingGeometricTest, IdenticalForAnyChunkCount) {
+  StreamingGeometricOptions opts;
+  opts.num_nodes = 500;
+  opts.width_m = 10000.0;
+  opts.height_m = 10000.0;
+  opts.seed = 17;
+  opts.num_chunks = 1;
+  auto mono = MakeStreamingGeometric(opts).MoveValueUnsafe();
+  for (uint64_t chunks : {3u, 16u, 1000u}) {
+    opts.num_chunks = chunks;  // clamped to the cell count internally
+    auto chunked = MakeStreamingGeometric(opts).MoveValueUnsafe();
+    ExpectSameNetwork(*mono, *chunked);
+  }
+}
+
+TEST(StreamingGeometricTest, RejectsBadOptions) {
+  StreamingGeometricOptions opts;
+  opts.num_nodes = 1;
+  EXPECT_FALSE(MakeStreamingGeometric(opts).ok());
+  opts.num_nodes = 100;
+  opts.width_m = -5.0;
+  EXPECT_FALSE(MakeStreamingGeometric(opts).ok());
+  opts.width_m = 1000.0;
+  opts.radius_m = 0.0;
+  opts.target_degree = 0.0;
+  EXPECT_FALSE(MakeStreamingGeometric(opts).ok());
+}
+
+TEST(StreamingHyperbolicTest, ConnectedWithHubSkew) {
+  StreamingHyperbolicOptions opts;
+  opts.num_nodes = 3000;
+  opts.out_links = 3;
+  opts.skew = 3.0;
+  opts.seed = 5;
+  auto network = MakeStreamingHyperbolic(opts).MoveValueUnsafe();
+  EXPECT_EQ(network->NumNodes(), 3000u);
+  EXPECT_TRUE(network->IsStronglyConnected());
+
+  // Heavy-tailed degrees: the busiest hub should dwarf the average.
+  size_t max_degree = 0;
+  for (NodeId v = 0; v < network->NumNodes(); ++v) {
+    max_degree = std::max(max_degree, network->OutArcs(v).size());
+  }
+  double avg_degree =
+      static_cast<double>(network->NumEdges()) / network->NumNodes();
+  EXPECT_GT(static_cast<double>(max_degree), 10.0 * avg_degree);
+
+  // Hub links carry highway/arterial classes.
+  bool has[3] = {false, false, false};
+  for (EdgeId e = 0; e < network->NumEdges(); ++e) {
+    has[static_cast<int>(network->edge(e).road_class)] = true;
+  }
+  EXPECT_TRUE(has[0] && has[1] && has[2]);
+}
+
+TEST(StreamingHyperbolicTest, IdenticalForAnyChunkCount) {
+  StreamingHyperbolicOptions opts;
+  opts.num_nodes = 800;
+  opts.seed = 23;
+  opts.num_chunks = 1;
+  auto mono = MakeStreamingHyperbolic(opts).MoveValueUnsafe();
+  for (uint64_t chunks : {2u, 13u, 800u}) {
+    opts.num_chunks = chunks;
+    auto chunked = MakeStreamingHyperbolic(opts).MoveValueUnsafe();
+    ExpectSameNetwork(*mono, *chunked);
+  }
+}
+
+TEST(StreamingHyperbolicTest, RejectsBadOptions) {
+  StreamingHyperbolicOptions opts;
+  opts.num_nodes = 1;
+  EXPECT_FALSE(MakeStreamingHyperbolic(opts).ok());
+  opts.num_nodes = 100;
+  opts.out_links = 0;
+  EXPECT_FALSE(MakeStreamingHyperbolic(opts).ok());
+  opts.out_links = 3;
+  opts.skew = 0.5;
+  EXPECT_FALSE(MakeStreamingHyperbolic(opts).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Option-string front end.
+// ---------------------------------------------------------------------------
+
+TEST(GenerateNetworkTest, BuildsGridFromSpec) {
+  auto result = GenerateNetwork("type=grid;nx=10;ny=8;spacing=400;seed=7");
+  ASSERT_TRUE(result.ok()) << result.status();
+  auto network = result.MoveValueUnsafe();
+  EXPECT_EQ(network->NumNodes(), 80u);
+  EXPECT_TRUE(network->IsStronglyConnected());
+}
+
+TEST(GenerateNetworkTest, SpecMatchesDirectOptions) {
+  StreamingGridOptions opts;
+  opts.nx = 9;
+  opts.ny = 9;
+  opts.seed = 12;
+  auto direct = MakeStreamingGrid(opts).MoveValueUnsafe();
+  auto from_spec =
+      GenerateNetwork("type=grid;nx=9;ny=9;seed=12").MoveValueUnsafe();
+  ExpectSameNetwork(*direct, *from_spec);
+}
+
+TEST(GenerateNetworkTest, BuildsEveryType) {
+  EXPECT_TRUE(GenerateNetwork("type=grid;nx=6;ny=6").ok());
+  EXPECT_TRUE(GenerateNetwork("type=rgg;nodes=300;width=5000;height=5000").ok());
+  EXPECT_TRUE(GenerateNetwork("type=hyperbolic;nodes=300").ok());
+  EXPECT_TRUE(GenerateNetwork("type=radial;rings=4;spokes=8").ok());
+  EXPECT_TRUE(GenerateNetwork("type=corridor;cities=3;city_nx=5;city_ny=5").ok());
+}
+
+TEST(GenerateNetworkTest, RejectsMalformedSpecs) {
+  // Every rejection is kInvalidArgument with a clean message.
+  for (const char* spec : {
+           "",                               // no type
+           "nx=5;ny=5",                      // no type
+           "type=nosuch",                    // unknown type
+           "type=grid;bogus_key=1",          // unknown key
+           "type=grid;nx=banana",            // malformed number
+           "type=grid;nx=-4",                // negative for unsigned
+           "type=rgg;nodes=300;width=oops",  // malformed double
+           "=5;type=grid",                   // empty key
+       }) {
+    auto result = GenerateNetwork(spec);
+    ASSERT_FALSE(result.ok()) << "spec accepted: " << spec;
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument)
+        << "spec: " << spec;
+  }
+}
+
+TEST(GenerateNetworkTest, ValidateFlagAndWhitespaceTolerated) {
+  EXPECT_TRUE(GenerateNetwork("type=grid; nx=5; ny=5; validate=0").ok());
+  EXPECT_TRUE(GenerateNetwork("type=grid;nx=5;ny=5;validate").ok());
 }
 
 TEST(CorridorRegionTest, SpansRequestedExtent) {

@@ -1,10 +1,14 @@
 #include "graph/io.h"
 
+#include <cstdint>
+#include <fstream>
 #include <sstream>
+#include <string>
 
 #include <gtest/gtest.h>
 
 #include "graph/generators.h"
+#include "graph/landmarks.h"
 #include "graph/shortest_path.h"
 
 namespace ecocharge {
@@ -81,6 +85,167 @@ TEST(GraphIoTest, RejectsOutOfRangeEdge) {
 
 TEST(GraphIoTest, FileApiFailsOnMissingPath) {
   EXPECT_FALSE(LoadRoadNetworkFile("/no/such/file.ecg").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Binary snapshots.
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<RoadNetwork> SampleNetwork() {
+  GridNetworkOptions opts;
+  opts.nx = 8;
+  opts.ny = 7;
+  opts.seed = 11;
+  return MakeGridNetwork(opts).MoveValueUnsafe();
+}
+
+std::string SnapshotPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(SnapshotTest, RoundTripPreservesStructure) {
+  auto original = SampleNetwork();
+  std::string path = SnapshotPath("roundtrip.ecgs");
+  ASSERT_TRUE(SaveSnapshot(*original, path).ok());
+
+  auto loaded_result = LoadSnapshot(path);
+  ASSERT_TRUE(loaded_result.ok()) << loaded_result.status();
+  auto loaded = loaded_result.MoveValueUnsafe();
+
+  ASSERT_EQ(loaded->NumNodes(), original->NumNodes());
+  ASSERT_EQ(loaded->NumEdges(), original->NumEdges());
+  for (NodeId v = 0; v < original->NumNodes(); ++v) {
+    EXPECT_EQ(loaded->NodePosition(v), original->NodePosition(v));
+  }
+  for (EdgeId e = 0; e < original->NumEdges(); ++e) {
+    EXPECT_EQ(loaded->edge(e).from, original->edge(e).from);
+    EXPECT_EQ(loaded->edge(e).to, original->edge(e).to);
+    EXPECT_EQ(loaded->edge(e).length_m, original->edge(e).length_m);
+    EXPECT_EQ(loaded->edge(e).road_class, original->edge(e).road_class);
+  }
+  EXPECT_EQ(loaded->Bounds().min.x, original->Bounds().min.x);
+  EXPECT_EQ(loaded->Bounds().max.y, original->Bounds().max.y);
+}
+
+TEST(SnapshotTest, RoundTripPreservesQueries) {
+  auto original = SampleNetwork();
+  std::string path = SnapshotPath("queries.ecgs");
+  ASSERT_TRUE(SaveSnapshot(*original, path).ok());
+  auto loaded = LoadSnapshot(path).MoveValueUnsafe();
+
+  // Bit-identical shortest paths (same arrays, same iteration order).
+  DijkstraSearch s1(*original), s2(*loaded);
+  for (NodeId target : {NodeId{5}, NodeId{23}, NodeId{55}}) {
+    EXPECT_EQ(s1.ShortestPath(0, target).cost,
+              s2.ShortestPath(0, target).cost);
+  }
+  // The mmap-backed locator answers NearestNode identically.
+  for (NodeId v = 0; v < original->NumNodes(); v += 7) {
+    Point probe = original->NodePosition(v) + Point{13.0, -9.0};
+    EXPECT_EQ(original->NearestNode(probe), loaded->NearestNode(probe));
+  }
+}
+
+TEST(SnapshotTest, RoundTripPreservesLandmarks) {
+  auto original = SampleNetwork();
+  LandmarkIndex landmarks(*original, 3);
+  std::string path = SnapshotPath("landmarks.ecgs");
+  ASSERT_TRUE(SaveSnapshot(*original, path, &landmarks).ok());
+
+  auto loaded_result = LoadSnapshotWithLandmarks(path);
+  ASSERT_TRUE(loaded_result.ok()) << loaded_result.status();
+  auto loaded = loaded_result.MoveValueUnsafe();
+  ASSERT_NE(loaded.landmarks, nullptr);
+  ASSERT_EQ(loaded.landmarks->num_landmarks(), landmarks.num_landmarks());
+  EXPECT_EQ(loaded.landmarks->landmarks(), landmarks.landmarks());
+  for (size_t i = 0; i < landmarks.num_landmarks(); ++i) {
+    for (NodeId v = 0; v < original->NumNodes(); ++v) {
+      EXPECT_EQ(loaded.landmarks->FromLandmark(i, v),
+                landmarks.FromLandmark(i, v));
+      EXPECT_EQ(loaded.landmarks->ToLandmark(i, v),
+                landmarks.ToLandmark(i, v));
+    }
+  }
+  EXPECT_EQ(loaded.landmarks->LowerBound(3, 50), landmarks.LowerBound(3, 50));
+}
+
+TEST(SnapshotTest, LoadWithoutLandmarksYieldsNull) {
+  auto original = SampleNetwork();
+  std::string path = SnapshotPath("nolandmarks.ecgs");
+  ASSERT_TRUE(SaveSnapshot(*original, path).ok());
+  auto loaded = LoadSnapshotWithLandmarks(path).MoveValueUnsafe();
+  EXPECT_NE(loaded.network, nullptr);
+  EXPECT_EQ(loaded.landmarks, nullptr);
+}
+
+TEST(SnapshotTest, InfoReportsCountsAndSections) {
+  auto original = SampleNetwork();
+  std::string path = SnapshotPath("info.ecgs");
+  ASSERT_TRUE(SaveSnapshot(*original, path).ok());
+
+  auto info_result = ReadSnapshotInfo(path);
+  ASSERT_TRUE(info_result.ok()) << info_result.status();
+  const SnapshotInfo& info = *info_result;
+  EXPECT_EQ(info.version, 1u);
+  EXPECT_EQ(info.num_nodes, original->NumNodes());
+  EXPECT_EQ(info.num_edges, original->NumEdges());
+  EXPECT_EQ(info.num_landmarks, 0u);
+  EXPECT_GT(info.file_bytes, 0u);
+  EXPECT_GE(info.sections.size(), 8u);  // positions, 2x CSR, locator, ids
+  EXPECT_EQ(info.bounds.min.x, original->Bounds().min.x);
+}
+
+TEST(SnapshotTest, RejectsCorruptMagic) {
+  auto original = SampleNetwork();
+  std::string path = SnapshotPath("badmagic.ecgs");
+  ASSERT_TRUE(SaveSnapshot(*original, path).ok());
+  std::string bytes = ReadFileBytes(path);
+  bytes[0] = 'X';
+  WriteFileBytes(path, bytes);
+  auto result = LoadSnapshot(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+}
+
+TEST(SnapshotTest, RejectsWrongVersion) {
+  auto original = SampleNetwork();
+  std::string path = SnapshotPath("badversion.ecgs");
+  ASSERT_TRUE(SaveSnapshot(*original, path).ok());
+  std::string bytes = ReadFileBytes(path);
+  bytes[8] = 99;  // version field follows the 8-byte magic
+  WriteFileBytes(path, bytes);
+  auto result = LoadSnapshot(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+  EXPECT_NE(result.status().message().find("version"), std::string::npos);
+}
+
+TEST(SnapshotTest, RejectsTruncatedFile) {
+  auto original = SampleNetwork();
+  std::string path = SnapshotPath("truncated.ecgs");
+  ASSERT_TRUE(SaveSnapshot(*original, path).ok());
+  std::string bytes = ReadFileBytes(path);
+  // Cut mid-section and mid-header: both must fail cleanly, not crash.
+  WriteFileBytes(path, bytes.substr(0, bytes.size() / 2));
+  EXPECT_FALSE(LoadSnapshot(path).ok());
+  WriteFileBytes(path, bytes.substr(0, 16));
+  EXPECT_FALSE(LoadSnapshot(path).ok());
+}
+
+TEST(SnapshotTest, RejectsMissingFile) {
+  EXPECT_FALSE(LoadSnapshot("/no/such/snapshot.ecgs").ok());
+  EXPECT_FALSE(ReadSnapshotInfo("/no/such/snapshot.ecgs").ok());
 }
 
 }  // namespace

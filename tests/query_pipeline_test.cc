@@ -4,12 +4,15 @@
 // makes the pipeline index-agnostic; these tests pin it end to end.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/baselines.h"
 #include "core/ecocharge.h"
+#include "graph/io.h"
 #include "graph/landmarks.h"
 #include "spatial/index_factory.h"
 #include "tests/test_util.h"
@@ -158,6 +161,56 @@ TEST_P(CrossIndexParityTest, RandomRankerTablesBitIdentical) {
                         /*seed=*/99);
   RandomRanker actual(w.env->estimator.get(), index.get(), 20000.0,
                       /*seed=*/99);
+  for (const VehicleState& state : w.states) {
+    EXPECT_TRUE(TablesBitIdentical(actual.Rank(state, 3),
+                                   expected.Rank(state, 3)));
+  }
+}
+
+TEST_P(CrossIndexParityTest, SnapshotLoadedGraphTablesBitIdentical) {
+  SharedWorld& w = World();
+
+  // Rebuild the whole world on top of an mmap-loaded snapshot of the same
+  // network: the snapshot round-trips the graph exactly, so every backend
+  // must still produce bit-identical Offering Tables.
+  // The path carries the pid: ctest runs each parameterization as its own
+  // process, and concurrent writers of one shared file would race.
+  static const std::string path = [] {
+    std::string p = ::testing::TempDir() + "/query_pipeline_graph." +
+                    std::to_string(::getpid()) + ".ecgs";
+    EXPECT_TRUE(SaveSnapshot(*World().env->dataset.network, p).ok());
+    return p;
+  }();
+  static const SharedWorld snapshot_world = [] {
+    SharedWorld sw;
+    EnvironmentOptions opts;
+    opts.kind = DatasetKind::kOldenburg;
+    opts.dataset_scale = 0.003;
+    opts.num_chargers = 80;
+    opts.max_derouting_m = 60000.0;
+    opts.seed = 42;  // mirror testing_util::TinyEnvironment
+    opts.graph_snapshot = path;
+    auto result = MakeEnvironment(opts);
+    EXPECT_TRUE(result.ok()) << result.status();
+    if (result.ok()) sw.env = std::move(result).MoveValueUnsafe();
+    return sw;
+  }();
+  ASSERT_NE(snapshot_world.env, nullptr);
+
+  std::unique_ptr<SpatialIndex> reference = BuildIndex(GetParam());
+  std::vector<Point> points;
+  for (const EvCharger& c : snapshot_world.env->chargers) {
+    points.push_back(c.position);
+  }
+  std::unique_ptr<SpatialIndex> index = MakeSpatialIndex(GetParam());
+  index->Build(std::move(points));
+
+  EcoChargeOptions opts;
+  opts.radius_m = 20000.0;
+  EcoChargeRanker expected(w.env->estimator.get(), reference.get(),
+                           ScoreWeights::AWE(), opts);
+  EcoChargeRanker actual(snapshot_world.env->estimator.get(), index.get(),
+                         ScoreWeights::AWE(), opts);
   for (const VehicleState& state : w.states) {
     EXPECT_TRUE(TablesBitIdentical(actual.Rank(state, 3),
                                    expected.Rank(state, 3)));

@@ -121,5 +121,107 @@ TEST(EdgeTest, FreeFlowSecondsUsesClassSpeed) {
   EXPECT_NEAR(e.FreeFlowSeconds(), 1000.0 / (120.0 / 3.6), 1e-9);
 }
 
+TEST(GraphCountsTest, GuardsThe32BitIdSpace) {
+  EXPECT_TRUE(ValidateGraphCounts(1, 0).ok());
+  EXPECT_TRUE(ValidateGraphCounts(kMaxNodeCount, kMaxEdgeCount).ok());
+  // One past the id space: the uint64 tallies must be rejected before they
+  // would be narrowed into 32-bit NodeId/EdgeId offsets.
+  auto too_many_nodes = ValidateGraphCounts(kMaxNodeCount + 1, 0);
+  ASSERT_FALSE(too_many_nodes.ok());
+  EXPECT_EQ(too_many_nodes.code(), StatusCode::kInvalidArgument);
+  auto too_many_edges = ValidateGraphCounts(1, kMaxEdgeCount + 1);
+  ASSERT_FALSE(too_many_edges.ok());
+  EXPECT_EQ(too_many_edges.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RoadNetworkTest, ArcsAreSortedByTarget) {
+  GraphBuilder builder;
+  NodeId a = builder.AddNode({0, 0});
+  NodeId b = builder.AddNode({10, 0});
+  NodeId c = builder.AddNode({0, 10});
+  NodeId d = builder.AddNode({10, 10});
+  // Insert out-edges of `a` in scrambled order; the CSR must sort them.
+  ASSERT_TRUE(builder.AddEdge(a, d, RoadClass::kLocal).ok());
+  ASSERT_TRUE(builder.AddEdge(a, b, RoadClass::kLocal).ok());
+  ASSERT_TRUE(builder.AddEdge(a, c, RoadClass::kLocal).ok());
+  ASSERT_TRUE(builder.AddEdge(a, c, RoadClass::kHighway, 5.0).ok());
+  auto network = builder.Build().MoveValueUnsafe();
+  auto arcs = network->OutArcs(a);
+  ASSERT_EQ(arcs.size(), 4u);
+  EXPECT_EQ(arcs[0].node, b);
+  EXPECT_EQ(arcs[1].node, c);
+  EXPECT_EQ(arcs[1].length_m, 5.0);  // parallel edges: shortest first
+  EXPECT_EQ(arcs[2].node, c);
+  EXPECT_EQ(arcs[3].node, d);
+  // edge() reconstructs the source endpoint from the offset array.
+  EXPECT_EQ(network->edge(network->FirstOutEdge(a) + 3).from, a);
+  EXPECT_EQ(network->edge(network->FirstOutEdge(a) + 3).to, d);
+}
+
+namespace {
+
+/// Minimal chunked source: a directed cycle over `n` nodes, one chunk per
+/// id range.
+class CycleSource : public ChunkedEdgeSource {
+ public:
+  CycleSource(uint64_t n, uint64_t chunks) : n_(n), chunks_(chunks) {}
+  uint64_t NumNodes() const override { return n_; }
+  uint64_t NumChunks() const override { return chunks_; }
+  Point NodePosition(NodeId v) const override {
+    return Point{static_cast<double>(v), 0.0};
+  }
+  void EmitEdges(uint64_t chunk, EdgeSink& sink) const override {
+    uint64_t v0 = chunk * n_ / chunks_;
+    uint64_t v1 = (chunk + 1) * n_ / chunks_;
+    for (uint64_t v = v0; v < v1; ++v) {
+      sink.Directed(static_cast<NodeId>(v),
+                    static_cast<NodeId>((v + 1) % n_), RoadClass::kLocal);
+    }
+  }
+
+ private:
+  uint64_t n_;
+  uint64_t chunks_;
+};
+
+}  // namespace
+
+TEST(ChunkedBuildTest, BuildsCycleAcrossChunks) {
+  CycleSource source(10, 4);
+  auto result = BuildFromChunkedSource(source);
+  ASSERT_TRUE(result.ok()) << result.status();
+  auto network = result.MoveValueUnsafe();
+  EXPECT_EQ(network->NumNodes(), 10u);
+  EXPECT_EQ(network->NumEdges(), 10u);
+  EXPECT_TRUE(network->IsStronglyConnected());
+  for (NodeId v = 0; v < 10; ++v) {
+    ASSERT_EQ(network->OutArcs(v).size(), 1u);
+    EXPECT_EQ(network->OutArcs(v)[0].node, (v + 1) % 10);
+    ASSERT_EQ(network->InArcs(v).size(), 1u);
+  }
+}
+
+TEST(ChunkedBuildTest, RejectsOutOfRangeEndpointAndSelfLoop) {
+  class BadSource : public CycleSource {
+   public:
+    explicit BadSource(bool self_loop)
+        : CycleSource(3, 1), self_loop_(self_loop) {}
+    void EmitEdges(uint64_t, EdgeSink& sink) const override {
+      if (self_loop_) {
+        sink.Directed(1, 1, RoadClass::kLocal);
+      } else {
+        sink.Directed(0, 7, RoadClass::kLocal);
+      }
+    }
+
+   private:
+    bool self_loop_;
+  };
+  BadSource oob(/*self_loop=*/false);
+  EXPECT_FALSE(BuildFromChunkedSource(oob).ok());
+  BadSource loop(/*self_loop=*/true);
+  EXPECT_FALSE(BuildFromChunkedSource(loop).ok());
+}
+
 }  // namespace
 }  // namespace ecocharge

@@ -62,14 +62,14 @@ TEST(RouteTest, CongestionSlowsTravel) {
   PathResult path = search.ShortestPath(0, 35);
   auto metrics = ResolveRoute(*network, path.nodes).MoveValueUnsafe();
   double free = CongestedTravelSeconds(*network, metrics,
-                                       [](const Edge&) { return 1.0; });
+                                       [](const Arc&) { return 1.0; });
   EXPECT_NEAR(free, metrics.free_flow_s, 1e-9);
   double jammed = CongestedTravelSeconds(*network, metrics,
-                                         [](const Edge&) { return 0.5; });
+                                         [](const Arc&) { return 0.5; });
   EXPECT_NEAR(jammed, 2.0 * free, 1e-9);
   // Factor is clamped away from zero: no infinities.
   double gridlock = CongestedTravelSeconds(*network, metrics,
-                                           [](const Edge&) { return 0.0; });
+                                           [](const Arc&) { return 0.0; });
   EXPECT_TRUE(std::isfinite(gridlock));
 }
 

@@ -4,6 +4,8 @@
 //   gen-network    synthesize a road network and write it as .ecg text
 //   gen-dataset    synthesize one of the four paper datasets (network +
 //                  trajectories) to files
+//   graph build    run a generator spec and write a binary mmap snapshot
+//   graph info     print the header/section layout of a snapshot
 //   rank           one-shot CkNN-EC query at a position/time
 //   simulate       run the renewable-hoarding fleet simulation
 //   serve          push a wire-protocol workload through the concurrent
@@ -29,6 +31,8 @@
 #include "core/workload.h"
 #include "graph/generators.h"
 #include "graph/io.h"
+#include "graph/landmarks.h"
+#include "graph/shortest_path.h"
 #include "obs/statsz.h"
 #include "server/offering_server.h"
 #include "traj/io.h"
@@ -106,9 +110,19 @@ int Usage() {
                [--seed N]
   gen-dataset  --kind oldenburg|california|tdrive|geolife --scale 0.01
                --out PREFIX [--seed N]      (writes PREFIX.ecg, PREFIX.ect)
+  graph build  --spec "type=grid;nx=1000;ny=1000;seed=7" --out FILE.ecgs
+               [--landmarks N]
+               (spec types: grid|rgg|hyperbolic stream in bounded-memory
+               chunks; radial|corridor build in memory. The snapshot is a
+               versioned binary that mmap-loads in O(1); --landmarks also
+               precomputes and embeds N ALT landmark tables)
+  graph info   --in FILE.ecgs [--load]
+               (print a snapshot's version, counts, bounds, and sections;
+               --load also mmap-loads the full graph, reports the load
+               time, and runs a sanity sweep)
   rank         --kind KIND [--chargers N] [--k K] [--radius-km R]
                [--hour H] [--seed N] [--index BACKEND] [--landmarks N]
-               [--no-batch-derouting]
+               [--no-batch-derouting] [--graph-snapshot FILE.ecgs]
                (query at a sample trip state; --landmarks builds N ALT
                landmarks that order the refinement candidates by
                lower-bounded derouting cost)
@@ -140,8 +154,95 @@ int Usage() {
   --no-batch-derouting: escape hatch that refines with one point-to-point
   search per candidate instead of the batched one-sweep-per-query path;
   rankings are bit-identical either way, only the query time changes.
+
+  --graph-snapshot (rank/simulate/serve/stats): mmap-load the road network
+  from a `graph build` snapshot instead of synthesizing it; the dataset
+  kind still shapes the trajectory workload.
 )";
   return 2;
+}
+
+int GraphBuild(const Args& args) {
+  std::string spec = args.Get("spec", "");
+  if (spec.empty()) {
+    std::cerr << "graph build needs --spec \"type=...;key=value;...\"\n";
+    return 1;
+  }
+  std::string out = args.Get("out", "network.ecgs");
+  auto network = GenerateNetwork(spec);
+  if (!network.ok()) {
+    std::cerr << network.status() << "\n";
+    return 1;
+  }
+  std::unique_ptr<LandmarkIndex> landmarks;
+  size_t num_landmarks = static_cast<size_t>(args.GetU64("landmarks", 0));
+  if (num_landmarks > 0) {
+    landmarks =
+        std::make_unique<LandmarkIndex>(**network, num_landmarks);
+  }
+  Status st = SaveSnapshot(**network, out, landmarks.get());
+  if (!st.ok()) {
+    std::cerr << st << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << out << " (" << (*network)->NumNodes()
+            << " nodes, " << (*network)->NumEdges() << " edges";
+  if (landmarks) std::cout << ", " << landmarks->num_landmarks()
+                           << " landmarks";
+  std::cout << ")\n";
+  return 0;
+}
+
+int GraphInfo(const Args& args) {
+  std::string in = args.Get("in", "");
+  if (in.empty()) {
+    std::cerr << "graph info needs --in FILE.ecgs\n";
+    return 1;
+  }
+  auto info = ReadSnapshotInfo(in);
+  if (!info.ok()) {
+    std::cerr << info.status() << "\n";
+    return 1;
+  }
+  // Names follow the SectionId enum in graph/io.cc.
+  static const char* kSectionNames[] = {
+      "?",          "positions",       "out_offsets",    "out_arcs",
+      "in_offsets", "in_arcs",         "in_edge_ids",    "locator_offsets",
+      "locator_points", "landmark_nodes", "landmark_from", "landmark_to"};
+  std::cout << in << ": snapshot v" << info->version << "\n"
+            << "  nodes:     " << info->num_nodes << "\n"
+            << "  edges:     " << info->num_edges << "\n"
+            << "  landmarks: " << info->num_landmarks << "\n"
+            << "  bounds:    [" << info->bounds.min.x << ", "
+            << info->bounds.min.y << "] - [" << info->bounds.max.x << ", "
+            << info->bounds.max.y << "]\n"
+            << "  file:      " << info->file_bytes << " bytes\n"
+            << "  sections:\n";
+  for (const auto& [id, bytes] : info->sections) {
+    const char* name =
+        id < sizeof(kSectionNames) / sizeof(kSectionNames[0])
+            ? kSectionNames[id]
+            : "?";
+    std::cout << "    " << name << " (id " << id << "): " << bytes
+              << " bytes\n";
+  }
+  if (args.GetBool("load")) {
+    auto start = std::chrono::steady_clock::now();
+    auto network = LoadSnapshot(in);
+    if (!network.ok()) {
+      std::cerr << network.status() << "\n";
+      return 1;
+    }
+    double load_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+    DijkstraSearch search(**network);
+    size_t settled = search.OneToMany(0, 10000.0, LengthCost);
+    std::cout << "  mmap load: " << load_ms << " ms ("
+              << (*network)->NumNodes() << " nodes; sanity sweep from node "
+              << "0 settled " << settled << " within 10 km)\n";
+  }
+  return 0;
 }
 
 int GenNetwork(const Args& args) {
@@ -221,6 +322,7 @@ Result<std::unique_ptr<Environment>> BuildEnv(const Args& args) {
       static_cast<size_t>(args.GetU64("chargers", 500));
   opts.seed = args.GetU64("seed", 42);
   opts.num_landmarks = static_cast<size_t>(args.GetU64("landmarks", 0));
+  opts.graph_snapshot = args.Get("graph-snapshot", "");
   ECOCHARGE_ASSIGN_OR_RETURN(
       opts.index_kind, ParseSpatialIndexKind(args.Get("index", "quadtree")));
   return MakeEnvironment(opts);
@@ -531,6 +633,14 @@ int Main(int argc, char** argv) {
   Args args(argc, argv, 2);
   if (command == "gen-network") return GenNetwork(args);
   if (command == "gen-dataset") return GenDataset(args);
+  if (command == "graph") {
+    if (argc < 3) return Usage();
+    std::string sub = argv[2];
+    Args graph_args(argc, argv, 3);
+    if (sub == "build") return GraphBuild(graph_args);
+    if (sub == "info") return GraphInfo(graph_args);
+    return Usage();
+  }
   if (command == "rank") return Rank(args);
   if (command == "simulate") return Simulate(args);
   if (command == "serve") return Serve(args);
