@@ -14,6 +14,12 @@
 #                                    # Release build + quick-scale
 #                                    # bench_micro_derouting (fails when
 #                                    # the batched path misses its floor)
+#   scripts/check.sh ch              # contraction-hierarchy gate: CH /
+#                                    # derouting / snapshot suites under
+#                                    # ASan and UBSan, then the asserting
+#                                    # bench_micro_ch (bitwise backend
+#                                    # parity + speedup floor; emits
+#                                    # BENCH_ch.json)
 #   scripts/check.sh graph           # compact graph core gate: graph /
 #                                    # snapshot / generator suites under
 #                                    # ASan and UBSan, then the asserting
@@ -66,6 +72,35 @@ case "${sanitize}" in
       -DCMAKE_BUILD_TYPE=Release -DECOCHARGE_SANITIZE=
     cmake --build "${build_dir}" -j "$(nproc)" --target bench_micro_derouting
     (cd "${build_dir}/bench" && ./bench_micro_derouting --quick "$@")
+    echo "check.sh perf: BENCH_*.json artifacts land in build/bench/ and" \
+         "are untracked; copy numbers into EXPERIMENTS.md when they move."
+    exit 0
+    ;;
+  ch)
+    # The contraction hierarchy is the second exact-derouting engine: raw
+    # mmap-ed CSR sections, a triangle-closure customization, and unpacking
+    # that must reproduce the Dijkstra oracle bit for bit. Run the CH,
+    # derouting, snapshot, and pipeline-parity suites under ASan and UBSan,
+    # then hold the backend-parity and speedup floors with the asserting
+    # bench from a plain Release tree (sanitized timings are meaningless).
+    shift
+    ch_filter='Ch|Derouting|Snapshot|GraphIo|CrossIndexParity|Dijkstra'
+    for san in address undefined; do
+      san_dir="${repo_root}/build-${san/undefined/ubsan}"
+      san_dir="${san_dir/address/asan}"
+      cmake -B "${san_dir}" -S "${repo_root}" \
+        -DCMAKE_BUILD_TYPE=Release -DECOCHARGE_SANITIZE="${san}"
+      cmake --build "${san_dir}" -j "$(nproc)"
+      ctest --test-dir "${san_dir}" --output-on-failure -j "$(nproc)" \
+        -R "${ch_filter}" "$@"
+    done
+    plain_dir="${repo_root}/build"
+    cmake -B "${plain_dir}" -S "${repo_root}" \
+      -DCMAKE_BUILD_TYPE=Release -DECOCHARGE_SANITIZE=
+    cmake --build "${plain_dir}" -j "$(nproc)" --target bench_micro_ch
+    (cd "${plain_dir}/bench" && ./bench_micro_ch --quick)
+    echo "check.sh ch: BENCH_ch.json lands in build/bench/ and is" \
+         "untracked; copy numbers into EXPERIMENTS.md when they move."
     exit 0
     ;;
   graph)
@@ -107,7 +142,8 @@ case "${sanitize}" in
     # the asserting bench gates (plain binaries that run in CI).
     mapfile -t sources < <({ find "${repo_root}/src" "${repo_root}/tools" \
       -name '*.cc'; echo "${repo_root}/bench/bench_micro_obs.cc"; \
-      echo "${repo_root}/bench/bench_micro_derouting.cc"; } | sort)
+      echo "${repo_root}/bench/bench_micro_derouting.cc"; \
+      echo "${repo_root}/bench/bench_micro_ch.cc"; } | sort)
     clang-tidy -p "${build_dir}" --quiet "${sources[@]}" "$@"
     exit 0
     ;;

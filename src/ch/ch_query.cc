@@ -1,0 +1,493 @@
+#include "ch/ch_query.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+#include <vector>
+
+namespace ecocharge {
+
+namespace {
+
+constexpr uint32_t kNoParentArc = ChQuery::kNoArcRef;
+
+double Dot(const double len[kChNumClasses], const ChClassWeights& w) {
+  return len[0] * w.w[0] + len[1] * w.w[1] + len[2] * w.w[2];
+}
+
+}  // namespace
+
+ChQuery::ChQuery(const ChIndex& ch)
+    : ch_(ch),
+      flabel_(ch.NumNodes(), Label{kInfiniteCost, kNoParentArc, kInvalidNode, 0}),
+      blabel_(ch.NumNodes(), Label{kInfiniteCost, kNoParentArc, kInvalidNode, 0}),
+      fsettled_(ch.NumNodes(), 0),
+      bsettled_(ch.NumNodes(), 0) {}
+
+void ChQuery::EnsureCustomized(const ChClassWeights& weights) {
+  if (have_weights_ && weights.w[0] == weights_.w[0] &&
+      weights.w[1] == weights_.w[1] && weights.w[2] == weights_.w[2]) {
+    return;
+  }
+  Customize(weights);
+}
+
+void ChQuery::Customize(const ChClassWeights& weights) {
+  const size_t n = ch_.NumNodes();
+  if (order_.empty()) {
+    order_.resize(n);
+    for (NodeId v = 0; v < n; ++v) order_[ch_.rank(v)] = v;
+  }
+  const auto up = ch_.up_arcs();
+  const auto down = ch_.down_arcs();
+  cw_up_.resize(up.size());
+  cw_down_.resize(down.size());
+  via_up_.assign(up.size(), kInvalidNode);
+  via_down_.assign(down.size(), kInvalidNode);
+  // Base costs: original arcs priced with the weights (one class is
+  // nonzero, so the dot product is exactly length * weight); shortcut arcs
+  // start unpriced and receive their cost from a triangle below.
+  for (size_t i = 0; i < up.size(); ++i) {
+    cw_up_[i] =
+        up[i].orig == kChShortcutEdge ? kInfiniteCost : Dot(up[i].len, weights);
+  }
+  for (size_t i = 0; i < down.size(); ++i) {
+    cw_down_[i] = down[i].orig == kChShortcutEdge ? kInfiniteCost
+                                                  : Dot(down[i].len, weights);
+  }
+  // Bottom-up sweep: when x is processed, every arc incident to x is final
+  // (its remaining triangles would have an apex ranked below x, already
+  // processed). Relaxing all (a -> x -> b) pairs therefore prices every
+  // enclosing arc exactly; iteration order is fixed and improvements are
+  // strict, so the via assignment is deterministic. Parallel records
+  // collapse to per-neighbor run minima first — min(ca_i + cu_j) separates
+  // into min(ca) + min(cu), the same double bit for bit — and the
+  // relaxation targets are then found by merging sorted rows instead of a
+  // binary search per pair, which matters inside the near-clique top
+  // separators the nested-dissection order produces.
+  const auto up_off = ch_.up_offsets();
+  const auto down_off = ch_.down_offsets();
+  std::vector<std::pair<NodeId, double>> downs;  // (a, min cost a -> x)
+  std::vector<std::pair<NodeId, double>> ups;    // (b, min cost x -> b)
+  for (size_t r = 0; r < n; ++r) {
+    const NodeId x = order_[r];
+    downs.clear();
+    ups.clear();
+    for (uint32_t i = down_off[x]; i < down_off[x + 1];) {
+      const NodeId a = down[i].node;
+      double ca = cw_down_[i];
+      for (++i; i < down_off[x + 1] && down[i].node == a; ++i) {
+        ca = std::min(ca, cw_down_[i]);
+      }
+      if (ca < kInfiniteCost) downs.push_back({a, ca});
+    }
+    for (uint32_t j = up_off[x]; j < up_off[x + 1];) {
+      const NodeId b = up[j].node;
+      double cu = cw_up_[j];
+      for (++j; j < up_off[x + 1] && up[j].node == b; ++j) {
+        cu = std::min(cu, cw_up_[j]);
+      }
+      if (cu < kInfiniteCost) ups.push_back({b, cu});
+    }
+    if (downs.empty() || ups.empty()) continue;
+    // Pairs with rank(a) < rank(b): the enclosing arc lives in a's up row.
+    for (const auto& [a, ca] : downs) {
+      uint32_t k = up_off[a];
+      const uint32_t kend = up_off[a + 1];
+      auto it = ups.begin();
+      while (it != ups.end() && k < kend) {
+        if (up[k].node < it->first) {
+          ++k;
+        } else if (it->first < up[k].node) {
+          ++it;
+        } else {
+          const double cost = ca + it->second;
+          if (cost < cw_up_[k]) {
+            cw_up_[k] = cost;
+            via_up_[k] = x;
+          }
+          const NodeId b = it->first;
+          for (++k; k < kend && up[k].node == b; ++k) {
+          }
+          ++it;
+        }
+      }
+    }
+    // Pairs with rank(a) > rank(b): the enclosing arc lives in b's down row.
+    for (const auto& [b, cu] : ups) {
+      uint32_t k = down_off[b];
+      const uint32_t kend = down_off[b + 1];
+      auto it = downs.begin();
+      while (it != downs.end() && k < kend) {
+        if (down[k].node < it->first) {
+          ++k;
+        } else if (it->first < down[k].node) {
+          ++it;
+        } else {
+          const double cost = it->second + cu;
+          if (cost < cw_down_[k]) {
+            cw_down_[k] = cost;
+            via_down_[k] = x;
+          }
+          const NodeId a = it->first;
+          for (++k; k < kend && down[k].node == a; ++k) {
+          }
+          ++it;
+        }
+      }
+    }
+  }
+  weights_ = weights;
+  have_weights_ = true;
+  ++customizations_;
+}
+
+double ChQuery::Search(NodeId s, NodeId t, const ChClassWeights& weights) {
+  EnsureCustomized(weights);
+  last_settled_ = 0;
+  last_s_ = s;
+  last_t_ = t;
+  meet_ = kInvalidNode;
+  const size_t n = ch_.NumNodes();
+  if (s >= n || t >= n) return kInfiniteCost;
+  if (s == t) {
+    meet_ = s;
+    return 0.0;
+  }
+  if (++epoch_ == 0) {
+    for (Label& l : flabel_) l.version = 0;
+    for (Label& l : blabel_) l.version = 0;
+    std::fill(fsettled_.begin(), fsettled_.end(), 0);
+    std::fill(bsettled_.begin(), bsettled_.end(), 0);
+    epoch_ = 1;
+  }
+  fheap_.clear();
+  bheap_.clear();
+  flabel_[s] = {0.0, kNoParentArc, kInvalidNode, epoch_};
+  blabel_[t] = {0.0, kNoParentArc, kInvalidNode, epoch_};
+  fheap_.push_back({0.0, s});
+  bheap_.push_back({0.0, t});
+
+  double best = kInfiniteCost;
+  auto try_meet = [&](NodeId v) {
+    if (flabel_[v].version == epoch_ && blabel_[v].version == epoch_) {
+      const double sum = flabel_[v].dist + blabel_[v].dist;
+      if (sum < best) {
+        best = sum;
+        meet_ = v;
+      }
+    }
+  };
+
+  const auto up_off = ch_.up_offsets();
+  const auto down_off = ch_.down_offsets();
+
+  // Both directions climb the hierarchy and may only meet at the path's
+  // peak, so (unlike plain bidirectional Dijkstra) each side must keep
+  // settling until its own queue minimum reaches the best connection.
+  while (!fheap_.empty() || !bheap_.empty()) {
+    const double ftop = fheap_.empty() ? kInfiniteCost : fheap_.front().priority;
+    const double btop = bheap_.empty() ? kInfiniteCost : bheap_.front().priority;
+    if (std::min(ftop, btop) >= best) break;
+    const bool forward = ftop <= btop;
+    std::vector<HeapEntry>& heap = forward ? fheap_ : bheap_;
+    std::vector<Label>& label = forward ? flabel_ : blabel_;
+    std::vector<uint32_t>& settled = forward ? fsettled_ : bsettled_;
+
+    std::pop_heap(heap.begin(), heap.end(), Later);
+    const NodeId v = heap.back().node;
+    heap.pop_back();
+    if (settled[v] == epoch_) continue;  // stale heap entry
+    settled[v] = epoch_;
+    ++last_settled_;
+    const double d = label[v].dist;
+    if (d >= best) continue;
+
+    // Stall-on-demand: when a higher-ranked node already reached v more
+    // cheaply through the opposite adjacency, v's label is not a prefix of
+    // any shortest up-down path — settle it but do not expand.
+    bool stalled = false;
+    if (forward) {
+      const auto arcs = ch_.DownArcs(v);  // arcs a.node -> v
+      for (size_t i = 0; i < arcs.size(); ++i) {
+        const Label& lu = flabel_[arcs[i].node];
+        if (lu.version == epoch_ && lu.dist + cw_down_[down_off[v] + i] < d) {
+          stalled = true;
+          break;
+        }
+      }
+    } else {
+      const auto arcs = ch_.UpArcs(v);  // arcs v -> a.node
+      for (size_t i = 0; i < arcs.size(); ++i) {
+        const Label& lu = blabel_[arcs[i].node];
+        if (lu.version == epoch_ && lu.dist + cw_up_[up_off[v] + i] < d) {
+          stalled = true;
+          break;
+        }
+      }
+    }
+    if (stalled) continue;
+
+    if (forward) {
+      const auto arcs = ch_.UpArcs(v);
+      for (size_t i = 0; i < arcs.size(); ++i) {
+        const double w = cw_up_[up_off[v] + i];
+        if (!(w < kInfiniteCost)) continue;
+        const double nd = d + w;
+        Label& lw = flabel_[arcs[i].node];
+        if (lw.version != epoch_ || nd < lw.dist) {
+          lw = {nd, ch_.UpRef(v, i), v, epoch_};
+          fheap_.push_back({nd, arcs[i].node});
+          std::push_heap(fheap_.begin(), fheap_.end(), Later);
+          try_meet(arcs[i].node);
+        }
+      }
+    } else {
+      const auto arcs = ch_.DownArcs(v);
+      for (size_t i = 0; i < arcs.size(); ++i) {  // arc arcs[i].node -> v
+        const double w = cw_down_[down_off[v] + i];
+        if (!(w < kInfiniteCost)) continue;
+        const double nd = d + w;
+        Label& lw = blabel_[arcs[i].node];
+        if (lw.version != epoch_ || nd < lw.dist) {
+          lw = {nd, ch_.DownRef(v, i), v, epoch_};
+          bheap_.push_back({nd, arcs[i].node});
+          std::push_heap(bheap_.begin(), bheap_.end(), Later);
+          try_meet(arcs[i].node);
+        }
+      }
+    }
+  }
+  return best;
+}
+
+void ChQuery::EnsureElimTree() {
+  if (!parent_.empty()) return;
+  const size_t n = ch_.NumNodes();
+  parent_.assign(n, kInvalidNode);
+  // Every far endpoint of a node's rows outranks it, so the lowest-ranked
+  // one is the elimination-tree parent; the chain to the root is strictly
+  // rank-increasing.
+  for (NodeId v = 0; v < n; ++v) {
+    uint32_t best_rank = 0xFFFFFFFFu;
+    NodeId best = kInvalidNode;
+    for (const ChArc& a : ch_.UpArcs(v)) {
+      if (ch_.rank(a.node) < best_rank) {
+        best_rank = ch_.rank(a.node);
+        best = a.node;
+      }
+    }
+    for (const ChArc& a : ch_.DownArcs(v)) {
+      if (ch_.rank(a.node) < best_rank) {
+        best_rank = ch_.rank(a.node);
+        best = a.node;
+      }
+    }
+    parent_[v] = best;
+  }
+  pos_.assign(n, 0);
+  pos_stamp_.assign(n, 0);
+}
+
+bool ChQuery::BuildSpace(NodeId v, SweepDirection dir, ChSpace* out) {
+  assert(have_weights_ && "BuildSpace requires a customization");
+  assert(v < ch_.NumNodes());
+  EnsureElimTree();
+  if (++space_epoch_ == 0) {
+    std::fill(pos_stamp_.begin(), pos_stamp_.end(), 0);
+    space_epoch_ = 1;
+  }
+  out->source = v;
+  out->forward = dir == SweepDirection::kForward;
+  out->chain.clear();
+  for (NodeId x = v; x != kInvalidNode; x = parent_[x]) {
+    pos_[x] = static_cast<uint32_t>(out->chain.size());
+    pos_stamp_[x] = space_epoch_;
+    out->chain.push_back(x);
+  }
+  const size_t len = out->chain.size();
+  out->dist.assign(len, kInfiniteCost);
+  out->pred_arc.assign(len, kNoParentArc);
+  out->pred_pos.assign(len, 0);
+  out->dist[0] = 0.0;
+  // Chain order ascends in rank, and both climb directions only ever step
+  // to higher ranks, so one in-order pass relaxes every arc after its
+  // tail's label is final — Dijkstra's invariant without the heap. A relax
+  // target off the chain means the fill was not closed under the
+  // contraction order; the caller gets `false` and uses Search() instead.
+  const auto up_off = ch_.up_offsets();
+  const auto down_off = ch_.down_offsets();
+  for (size_t i = 0; i < len; ++i) {
+    const double d = out->dist[i];
+    if (!(d < kInfiniteCost)) continue;
+    const NodeId x = out->chain[i];
+    if (out->forward) {
+      const auto arcs = ch_.UpArcs(x);
+      for (size_t k = 0; k < arcs.size(); ++k) {
+        const double w = cw_up_[up_off[x] + k];
+        if (!(w < kInfiniteCost)) continue;
+        const NodeId y = arcs[k].node;
+        if (pos_stamp_[y] != space_epoch_) return false;
+        const uint32_t j = pos_[y];
+        const double nd = d + w;
+        if (nd < out->dist[j]) {
+          out->dist[j] = nd;
+          out->pred_arc[j] = ch_.UpRef(x, k);
+          out->pred_pos[j] = static_cast<uint32_t>(i);
+        }
+      }
+    } else {
+      const auto arcs = ch_.DownArcs(x);  // arcs arcs[k].node -> x
+      for (size_t k = 0; k < arcs.size(); ++k) {
+        const double w = cw_down_[down_off[x] + k];
+        if (!(w < kInfiniteCost)) continue;
+        const NodeId y = arcs[k].node;
+        if (pos_stamp_[y] != space_epoch_) return false;
+        const uint32_t j = pos_[y];
+        const double nd = d + w;
+        if (nd < out->dist[j]) {
+          out->dist[j] = nd;
+          out->pred_arc[j] = ch_.DownRef(x, k);
+          out->pred_pos[j] = static_cast<uint32_t>(i);
+        }
+      }
+    }
+  }
+  return true;
+}
+
+double ChQuery::MeetSpaces(const ChSpace& fwd, const ChSpace& bwd,
+                           uint32_t* fpos, uint32_t* bpos) const {
+  // Two root paths of a tree intersect in exactly their common suffix, and
+  // the peak of any shortest up-down path is a common ancestor, so scanning
+  // the suffix sees every candidate meet. Ties keep the deepest node.
+  const size_t fn = fwd.chain.size();
+  const size_t bn = bwd.chain.size();
+  size_t l = 0;
+  while (l < fn && l < bn && fwd.chain[fn - 1 - l] == bwd.chain[bn - 1 - l]) {
+    ++l;
+  }
+  double best = kInfiniteCost;
+  for (size_t k = 0; k < l; ++k) {
+    const size_t fi = fn - l + k;
+    const size_t bj = bn - l + k;
+    const double sum = fwd.dist[fi] + bwd.dist[bj];
+    if (sum < best) {
+      best = sum;
+      *fpos = static_cast<uint32_t>(fi);
+      *bpos = static_cast<uint32_t>(bj);
+    }
+  }
+  return best;
+}
+
+void ChQuery::UnpackMeet(const ChSpace& fwd, uint32_t fpos, const ChSpace& bwd,
+                         uint32_t bpos, std::vector<EdgeId>* out) {
+  out->clear();
+  // Upward half: predecessor chain runs meet -> source; collect and reverse
+  // so the expansion emits edges in source -> meet order.
+  path_items_.clear();
+  for (uint32_t p = fpos; fwd.pred_arc[p] != kNoParentArc;
+       p = fwd.pred_pos[p]) {
+    path_items_.push_back(
+        {fwd.pred_arc[p], fwd.chain[fwd.pred_pos[p]], fwd.chain[p]});
+  }
+  std::reverse(path_items_.begin(), path_items_.end());
+  for (const UnpackItem& item : path_items_) ExpandItem(item, out);
+  // Downward half: each predecessor arc already runs chain[p] ->
+  // chain[pred_pos[p]] in forward orientation, walking meet -> target.
+  for (uint32_t p = bpos; bwd.pred_arc[p] != kNoParentArc;
+       p = bwd.pred_pos[p]) {
+    ExpandItem({bwd.pred_arc[p], bwd.chain[p], bwd.chain[bwd.pred_pos[p]]},
+               out);
+  }
+}
+
+uint32_t ChQuery::MinUpRef(NodeId v, NodeId to) const {
+  size_t k = ch_.FindUpArc(v, to);
+  assert(k != SIZE_MAX && "unpack: missing up arc");
+  const auto up = ch_.up_arcs();
+  size_t best = k;
+  for (size_t i = k + 1; i < ch_.up_offsets()[v + 1] && up[i].node == to; ++i) {
+    if (cw_up_[i] < cw_up_[best]) best = i;
+  }
+  return static_cast<uint32_t>(best);
+}
+
+uint32_t ChQuery::MinDownRef(NodeId v, NodeId from) const {
+  size_t k = ch_.FindDownArc(v, from);
+  assert(k != SIZE_MAX && "unpack: missing down arc");
+  const auto down = ch_.down_arcs();
+  size_t best = k;
+  for (size_t i = k + 1; i < ch_.down_offsets()[v + 1] && down[i].node == from;
+       ++i) {
+    if (cw_down_[i] < cw_down_[best]) best = i;
+  }
+  return ChIndex::kDownBit | static_cast<uint32_t>(best);
+}
+
+void ChQuery::ExpandItem(const UnpackItem& item, std::vector<EdgeId>* out) {
+  unpack_stack_.clear();
+  unpack_stack_.push_back(item);
+  while (!unpack_stack_.empty()) {
+    const UnpackItem it = unpack_stack_.back();
+    unpack_stack_.pop_back();
+    const NodeId via = ViaByRef(it.ref);
+    if (via == kInvalidNode) {
+      // Cheapest realization is the original arc itself.
+      assert(ch_.arc(it.ref).orig != kChShortcutEdge);
+      out->push_back(ch_.arc(it.ref).orig);
+      continue;
+    }
+    // The via node sits below both endpoints, so the halves live in its own
+    // rows: (from -> via) among its down arcs, (via -> to) among its up
+    // arcs. Their customized costs are the ones the sweep summed, so
+    // re-finding the cheapest records reproduces the priced path exactly.
+    // LIFO: left half on top so it expands first.
+    unpack_stack_.push_back({MinUpRef(via, it.to), via, it.to});
+    unpack_stack_.push_back({MinDownRef(via, it.from), it.from, via});
+  }
+}
+
+void ChQuery::UnpackPath(std::vector<EdgeId>* out) {
+  out->clear();
+  if (meet_ == kInvalidNode || last_s_ == last_t_) return;
+  // Upward half: parent chain runs meet -> s; collect and reverse so the
+  // expansion emits edges in s -> meet order.
+  path_items_.clear();
+  for (NodeId v = meet_; v != last_s_; v = flabel_[v].parent_node) {
+    path_items_.push_back({flabel_[v].parent_arc, flabel_[v].parent_node, v});
+  }
+  std::reverse(path_items_.begin(), path_items_.end());
+  for (const UnpackItem& item : path_items_) ExpandItem(item, out);
+  // Downward half: the backward parent chain already walks meet -> t in
+  // forward arc orientation (each parent arc runs v -> parent).
+  for (NodeId v = meet_; v != last_t_; v = blabel_[v].parent_node) {
+    ExpandItem({blabel_[v].parent_arc, v, blabel_[v].parent_node}, out);
+  }
+}
+
+double ChExactPathCost(ChQuery* query, const RoadNetwork& network, NodeId s,
+                       NodeId t, const ChClassWeights& weights,
+                       const EdgeCostFn& cost, SweepDirection fold,
+                       std::vector<EdgeId>* scratch) {
+  const double search_dist = query->Search(s, t, weights);
+  if (!(search_dist < kInfiniteCost)) return kInfiniteCost;
+  query->UnpackPath(scratch);
+  // Fold in the reference sweep's association order. A forward Dijkstra
+  // accumulates ((0 + c1) + c2) + ... from the source; a backward sweep
+  // seeds the far end, so its sum attaches arcs target-side first —
+  // iterate the forward-oriented path in reverse (addition commutes
+  // bitwise in IEEE 754; only the grouping matters).
+  double acc = 0.0;
+  if (fold == SweepDirection::kForward) {
+    for (EdgeId e : *scratch) acc = acc + cost(network.arc(e));
+  } else {
+    for (auto it = scratch->rbegin(); it != scratch->rend(); ++it) {
+      acc = acc + cost(network.arc(*it));
+    }
+  }
+  return acc;
+}
+
+}  // namespace ecocharge

@@ -1,0 +1,56 @@
+#ifndef ECOCHARGE_CH_CONTRACTION_H_
+#define ECOCHARGE_CH_CONTRACTION_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "ch/ch_index.h"
+#include "common/result.h"
+#include "graph/road_network.h"
+
+namespace ecocharge {
+
+/// \brief What the contraction did (CLI/bench reporting).
+struct ChBuildStats {
+  uint64_t shortcuts = 0;        ///< triangle-closure arcs added
+  uint64_t ordering_pops = 0;    ///< lazy-queue pops (incl. reinsertions)
+  uint64_t max_live_degree = 0;  ///< largest in+out degree when contracted
+};
+
+/// \brief Contracts `network` into a metric-independent ChIndex.
+///
+/// Node order nests a greedy heuristic inside a geometric nested
+/// dissection. A recursive median bisection of the node coordinates
+/// assigns every node the depth at which it joined a cell-boundary
+/// separator; the lazy-update priority queue then orders by dissection
+/// level first (deeper cells contract before the separators that enclose
+/// them — the guarantee that keeps fill near-linear on planar-like road
+/// networks) and by `2 * edge_difference + deleted_neighbors` within a
+/// level. A popped node's priority is recomputed (one simulated
+/// contraction) and the node reinserted when it no longer beats the queue
+/// head; in near-clique separator remnants the edge difference is
+/// approximated by the pair count so a pop stays sub-quadratic.
+/// Contracting node x inserts one
+/// shortcut (a -> b) for every live in/out neighbor pair not already
+/// adjacent, which keeps the arc set closed under lower triangles — the
+/// property ChQuery's customization sweep needs to price the hierarchy for
+/// an arbitrary per-class weight vector after the fact.
+///
+/// Shortcuts deliberately carry no static weight. The derouting metric's
+/// class weights move independently in [1, 1/min_speed_factor] per class,
+/// so a witness path could only ever suppress a shortcut by dominating the
+/// candidate on that entire weight box at once; on mixed-class networks
+/// that essentially never holds, and the weight-incomparable shortcut
+/// variants pile up into parallel Pareto sets whose in x out pairing makes
+/// the fill quadratic (measured on the grid generator — see DESIGN.md §14).
+/// The unweighted elimination closure stays sparse under the same ordering
+/// heuristics and defers all weighting to customization.
+///
+/// Deterministic: ties in the priority queue break on node id, and each CSR
+/// row is emitted sorted by far endpoint (parallel originals by EdgeId).
+Result<std::shared_ptr<ChIndex>> BuildChIndex(const RoadNetwork& network,
+                                              ChBuildStats* stats = nullptr);
+
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_CH_CONTRACTION_H_

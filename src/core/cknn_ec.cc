@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <span>
 
+#include "ch/ch_query.h"
 #include "graph/landmarks.h"
 
 namespace ecocharge {
@@ -107,7 +108,13 @@ CknnEcProcessor::CknnEcProcessor(EcEstimator* estimator,
                                  const CknnEcOptions& options)
     : estimator_(estimator),
       charger_index_(charger_index),
-      options_(options) {}
+      options_(options) {
+  if (options_.ch != nullptr) {
+    ch_query_ = std::make_unique<ChQuery>(*options_.ch);
+  }
+}
+
+CknnEcProcessor::~CknnEcProcessor() = default;
 
 const std::vector<ChargerId>& CknnEcProcessor::FilterCandidates(
     const Point& position, QueryContext* ctx) const {
@@ -192,7 +199,7 @@ void CknnEcProcessor::RefineAndRank(const VehicleState& state,
   const size_t refine_count =
       refine_exact_derouting ? std::min(options_.refine_limit, selected.size())
                              : 0;
-  if (refine_count > 0 && options_.landmarks &&
+  if (refine_count > 0 && (options_.ch || options_.landmarks) &&
       options_.landmark_refine_order) {
     OrderByDeroutingBound(state, ctx);
   }
@@ -258,7 +265,6 @@ void CknnEcProcessor::OrderByDeroutingBound(const VehicleState& state,
   const size_t refine_count = std::min(options_.refine_limit, n);
   if (refine_count == 0 || refine_count >= n) return;  // order is moot
 
-  const LandmarkIndex& lm = *options_.landmarks;
   const RoadNetwork& network = estimator_->derouting_service().network();
   const size_t num_nodes = network.NumNodes();
   const NodeId m = state.node != kInvalidNode
@@ -273,9 +279,11 @@ void CknnEcProcessor::OrderByDeroutingBound(const VehicleState& state,
   if (m >= num_nodes || ra >= num_nodes || rb >= num_nodes) return;
 
   // Lower-bounded derouting cost: LB(m -> b) + min over return points of
-  // LB(b -> r). Length-based landmark bounds are admissible for the
-  // congested cost too (the speed factor never exceeds 1, so congested
-  // cost >= length).
+  // LB(b -> r). Length-based bounds are admissible for the congested cost
+  // too (the speed factor never exceeds 1, so congested cost >= length).
+  // The CH backend's bound is the exact free-flow network distance — the
+  // tightest length-based bound there is; ALT's triangle bounds are the
+  // fallback.
   const std::vector<EvCharger>& fleet = estimator_->fleet();
   std::vector<double>& bounds = ctx->derouting.bounds;
   std::vector<uint32_t>& order = ctx->derouting.refine_order;
@@ -284,10 +292,18 @@ void CknnEcProcessor::OrderByDeroutingBound(const VehicleState& state,
   for (uint32_t i = 0; i < n; ++i) {
     order[i] = i;
     const NodeId b = fleet[selected[i].charger_id].node;
-    bounds.push_back(b < num_nodes
-                         ? lm.LowerBound(m, b) + std::min(lm.LowerBound(b, ra),
-                                                          lm.LowerBound(b, rb))
-                         : kInfiniteCost);
+    if (b >= num_nodes) {
+      bounds.push_back(kInfiniteCost);
+    } else if (ch_query_ != nullptr) {
+      const double to_b = ch_query_->Search(m, b, kChLengthWeights);
+      const double back = std::min(ch_query_->Search(b, ra, kChLengthWeights),
+                                   ch_query_->Search(b, rb, kChLengthWeights));
+      bounds.push_back(to_b + back);
+    } else {
+      const LandmarkIndex& lm = *options_.landmarks;
+      bounds.push_back(lm.LowerBound(m, b) +
+                       std::min(lm.LowerBound(b, ra), lm.LowerBound(b, rb)));
+    }
   }
   std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
     if (bounds[a] != bounds[b]) return bounds[a] < bounds[b];

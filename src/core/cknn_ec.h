@@ -2,6 +2,7 @@
 #define ECOCHARGE_CORE_CKNN_EC_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/ec_estimator.h"
@@ -12,6 +13,8 @@
 
 namespace ecocharge {
 
+class ChIndex;
+class ChQuery;
 class LandmarkIndex;
 
 /// \brief Resolved handles for the query pipeline's phase instrumentation.
@@ -78,7 +81,15 @@ struct CknnEcOptions {
   /// ascending lower-bounded derouting cost instead of score-midpoint
   /// order, so the batch target set stays tight around the route.
   const LandmarkIndex* landmarks = nullptr;
-  bool landmark_refine_order = true;  ///< only effective with `landmarks`
+  bool landmark_refine_order = true;  ///< effective with `landmarks` or `ch`
+
+  /// Optional contraction hierarchy (borrowed, may be null). When set, the
+  /// candidate ordering uses exact free-flow (length-metric) CH distances
+  /// as the lower bound instead of the ALT triangle bounds — still
+  /// admissible for the congested cost (speed factors never exceed 1) and
+  /// strictly tighter, so the refine set hugs the route more closely.
+  /// Takes precedence over `landmarks` for ordering.
+  const ChIndex* ch = nullptr;
 };
 
 /// \brief The CkNN-EC query processor (Section III-C).
@@ -103,6 +114,7 @@ class CknnEcProcessor {
   ///        item ids equal positions in the fleet vector (not owned)
   CknnEcProcessor(EcEstimator* estimator, const SpatialIndex* charger_index,
                   const CknnEcOptions& options);
+  ~CknnEcProcessor();
 
   /// Candidate ids within R of `position` (the filtering phase's spatial
   /// part), exposed so Dynamic Caching can reuse the candidate set.
@@ -180,6 +192,9 @@ class CknnEcProcessor {
   const SpatialIndex* charger_index_;
   CknnEcOptions options_;
   PipelineMetrics metrics_;
+  /// Length-metric CH query workspace for OrderByDeroutingBound; null
+  /// unless options_.ch is set.
+  std::unique_ptr<ChQuery> ch_query_;
 };
 
 }  // namespace ecocharge

@@ -26,6 +26,12 @@ struct EcEstimatorOptions {
   /// recomputation points of a continuous query, invalidating only at
   /// bucket boundaries. 0 (default) evaluates at each query's exact time.
   double exact_derouting_bucket_s = 0.0;
+
+  /// When non-null, exact derouting runs on the contraction-hierarchy
+  /// backend (DeroutingBackend::kCh) instead of the Dijkstra sweeps. The
+  /// hierarchy must be built over the estimator's network and outlive it
+  /// (not owned).
+  const ChIndex* ch = nullptr;
 };
 
 /// \brief Ground-truth (realized) components of one charger, normalized.

@@ -13,6 +13,7 @@ CknnEcOptions ProcessorOptions(const EcoChargeOptions& o) {
   c.batch_derouting = o.batch_derouting;
   c.landmarks = o.landmarks;
   c.landmark_refine_order = o.landmark_refine_order;
+  c.ch = o.ch;
   // The user's radius defines the environment the paper normalizes the
   // derouting cost by: D = extra distance / (2R).
   c.derouting_norm_m = 2.0 * o.radius_m;

@@ -36,6 +36,11 @@ struct EcoChargeOptions {
   /// CknnEcOptions::landmarks; borrowed, may be null).
   const LandmarkIndex* landmarks = nullptr;
   bool landmark_refine_order = true;
+
+  /// Optional contraction hierarchy for refinement-candidate ordering (see
+  /// CknnEcOptions::ch; borrowed, may be null). Preferred over `landmarks`
+  /// when both are set.
+  const ChIndex* ch = nullptr;
 };
 
 /// \brief The EcoCharge renewable-hoarding algorithm.

@@ -1,5 +1,8 @@
 #include "core/environment.h"
 
+#include "ch/contraction.h"
+#include "graph/io.h"
+
 namespace ecocharge {
 
 ClimateParams DefaultClimate(DatasetKind kind) {
@@ -60,9 +63,28 @@ Result<std::unique_ptr<Environment>> MakeEnvironment(
   env->congestion =
       std::make_unique<CongestionModel>(options.seed ^ 0x7AFF1CULL);
 
+  if (options.derouting_backend == DeroutingBackend::kCh) {
+    if (!options.graph_snapshot.empty()) {
+      // Reuse a preprocessed hierarchy when the snapshot carries one (the
+      // `graph ch` artifact) — zero-copy, no re-contraction.
+      ECOCHARGE_ASSIGN_OR_RETURN(LoadedSnapshot snap,
+                                 LoadSnapshotWithAux(options.graph_snapshot));
+      if (snap.ch.has_value()) {
+        ECOCHARGE_ASSIGN_OR_RETURN(
+            env->ch,
+            ChIndexFromSnapshot(*snap.ch, env->dataset.network->NumEdges()));
+      }
+    }
+    if (env->ch == nullptr) {
+      ECOCHARGE_ASSIGN_OR_RETURN(env->ch,
+                                 BuildChIndex(*env->dataset.network));
+    }
+  }
+
   EcEstimatorOptions est_opts;
   est_opts.max_derouting_m = options.max_derouting_m;
   est_opts.exact_derouting_bucket_s = options.exact_derouting_bucket_s;
+  est_opts.ch = env->ch.get();
   env->estimator = std::make_unique<EcEstimator>(
       env->dataset.network, &env->chargers, env->energy.get(),
       env->availability.get(), env->congestion.get(), est_opts);

@@ -34,6 +34,10 @@ struct Environment {
   SpatialIndexKind index_kind = SpatialIndexKind::kQuadTree;
   std::unique_ptr<SpatialIndex> charger_index;  ///< ids = indices in chargers
   std::unique_ptr<LandmarkIndex> landmarks;  ///< null unless num_landmarks > 0
+  /// Contraction hierarchy backing the CH derouting backend; null unless
+  /// derouting_backend == kCh. Loaded zero-copy from the snapshot's CH
+  /// section when one exists, contracted from scratch otherwise.
+  std::shared_ptr<const ChIndex> ch;
 };
 
 /// \brief World-building knobs.
@@ -61,6 +65,12 @@ struct EnvironmentOptions {
   /// Spatial index backend for the charger index. Every backend yields
   /// bit-identical Offering Tables; the choice is a performance knob.
   SpatialIndexKind index_kind = SpatialIndexKind::kQuadTree;
+
+  /// Exact-derouting engine (CLI --derouting=ch|exact). kCh loads the
+  /// snapshot's CH section when `graph_snapshot` carries one (zero-copy),
+  /// contracts the network at build time otherwise; both produce estimates
+  /// bit-identical to kExact.
+  DeroutingBackend derouting_backend = DeroutingBackend::kExact;
 };
 
 /// Climate of each dataset's region (drives the weather Markov chain).

@@ -5,6 +5,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iomanip>
@@ -136,6 +137,11 @@ enum SectionId : uint32_t {
   kSectionLandmarkNodes = 9,
   kSectionLandmarkFrom = 10,  ///< concatenated from_[i] rows, L*N doubles
   kSectionLandmarkTo = 11,    ///< concatenated to_[i] rows, L*N doubles
+  kSectionChRank = 12,         ///< CH node ranks, N u32
+  kSectionChUpOffsets = 13,    ///< upward CSR offsets, (N+1) u32
+  kSectionChUpArcs = 14,       ///< upward arcs, kChSnapshotArcBytes each
+  kSectionChDownOffsets = 15,  ///< downward CSR offsets, (N+1) u32
+  kSectionChDownArcs = 16,     ///< downward arcs, kChSnapshotArcBytes each
 };
 
 uint64_t AlignUp(uint64_t offset) {
@@ -199,13 +205,24 @@ Status WriteSection(std::ofstream& out, uint64_t* position,
 
 }  // namespace
 
-Status SaveSnapshot(const RoadNetwork& network, const std::string& path,
-                    const LandmarkIndex* landmarks) {
+namespace {
+
+Status WriteSnapshotTo(const RoadNetwork& network, const std::string& path,
+                       const LandmarkIndex* landmarks,
+                       const ChSnapshotViews* ch) {
   const uint64_t n = network.NumNodes();
   const uint64_t m = network.NumEdges();
   const uint64_t cells =
       static_cast<uint64_t>(network.locator_nx()) * network.locator_ny();
   const uint64_t num_landmarks = landmarks ? landmarks->num_landmarks() : 0;
+  if (ch != nullptr &&
+      (ch->rank.size() != n || ch->up_offsets.size() != n + 1 ||
+       ch->down_offsets.size() != n + 1 ||
+       ch->up_arcs.size() % kChSnapshotArcBytes != 0 ||
+       ch->down_arcs.size() % kChSnapshotArcBytes != 0)) {
+    return Status::InvalidArgument(
+        "ch views do not match the network being snapshotted");
+  }
 
   std::vector<SectionPlan> plan;
   auto add = [&](uint32_t id, uint64_t byte_size) {
@@ -223,6 +240,13 @@ Status SaveSnapshot(const RoadNetwork& network, const std::string& path,
     add(kSectionLandmarkNodes, num_landmarks * sizeof(NodeId));
     add(kSectionLandmarkFrom, num_landmarks * n * sizeof(double));
     add(kSectionLandmarkTo, num_landmarks * n * sizeof(double));
+  }
+  if (ch != nullptr) {
+    add(kSectionChRank, n * sizeof(uint32_t));
+    add(kSectionChUpOffsets, (n + 1) * sizeof(uint32_t));
+    add(kSectionChUpArcs, ch->up_arcs.size());
+    add(kSectionChDownOffsets, (n + 1) * sizeof(uint32_t));
+    add(kSectionChDownArcs, ch->down_arcs.size());
   }
 
   uint64_t offset =
@@ -296,8 +320,43 @@ Status SaveSnapshot(const RoadNetwork& network, const std::string& path,
       }
     }
   }
+  if (ch != nullptr) {
+    ECOCHARGE_RETURN_NOT_OK(
+        write_next(ch->rank.data(), n * sizeof(uint32_t)));
+    ECOCHARGE_RETURN_NOT_OK(
+        write_next(ch->up_offsets.data(), (n + 1) * sizeof(uint32_t)));
+    ECOCHARGE_RETURN_NOT_OK(write_next(ch->up_arcs.data(), ch->up_arcs.size()));
+    ECOCHARGE_RETURN_NOT_OK(
+        write_next(ch->down_offsets.data(), (n + 1) * sizeof(uint32_t)));
+    ECOCHARGE_RETURN_NOT_OK(
+        write_next(ch->down_arcs.data(), ch->down_arcs.size()));
+  }
   out.flush();
   if (!out) return Status::IOError("snapshot write failed");
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveSnapshot(const RoadNetwork& network, const std::string& path,
+                    const LandmarkIndex* landmarks,
+                    const ChSnapshotViews* ch) {
+  // Write to a sibling temp file and rename into place: the target may be
+  // the very file backing the network's mmap views (`graph ch --in X
+  // --out X` re-snapshots a loaded network), and truncating it in place
+  // would corrupt the bytes still being read out of the mapping. The
+  // rename keeps the old inode alive for any open mapping and also makes
+  // the save crash-atomic.
+  const std::string tmp = path + ".tmp";
+  Status st = WriteSnapshotTo(network, tmp, landmarks, ch);
+  if (!st.ok()) {
+    std::remove(tmp.c_str());
+    return st;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot rename " + tmp + " over " + path);
+  }
   return Status::OK();
 }
 
@@ -374,8 +433,29 @@ Result<std::span<const T>> SectionSpan(const ParsedSnapshot& parsed,
                             expected_count);
 }
 
+/// The section's payload as raw bytes, validated to hold a whole number of
+/// `record_bytes`-sized records.
+Result<std::span<const std::byte>> SectionBytes(const ParsedSnapshot& parsed,
+                                                const uint8_t* data,
+                                                uint32_t id,
+                                                uint64_t record_bytes,
+                                                const std::string& path) {
+  const SectionEntry* s = parsed.Find(id);
+  if (s == nullptr) {
+    return Status::IOError("snapshot missing section " + std::to_string(id) +
+                           ": " + path);
+  }
+  if (s->byte_size % record_bytes != 0) {
+    return Status::IOError("snapshot section " + std::to_string(id) +
+                           " is not a whole number of records: " + path);
+  }
+  return std::span<const std::byte>(
+      reinterpret_cast<const std::byte*>(data + s->offset), s->byte_size);
+}
+
 Result<LoadedSnapshot> LoadSnapshotImpl(const std::string& path,
-                                        bool want_landmarks) {
+                                        bool want_landmarks,
+                                        bool want_ch = false) {
   ECOCHARGE_ASSIGN_OR_RETURN(std::shared_ptr<MappedFile> mapped,
                              MapFile(path));
   ECOCHARGE_ASSIGN_OR_RETURN(
@@ -444,6 +524,29 @@ Result<LoadedSnapshot> LoadSnapshotImpl(const std::string& path,
             std::vector<NodeId>(ids.begin(), ids.end()), std::move(from),
             std::move(to)));
   }
+
+  if (want_ch && parsed.Find(kSectionChRank) != nullptr) {
+    // A CH section set is all-or-nothing: rank present means the other four
+    // must parse too, so a truncated save cannot masquerade as "no CH".
+    ChSnapshotViews ch;
+    ECOCHARGE_ASSIGN_OR_RETURN(
+        ch.rank, SectionSpan<uint32_t>(parsed, data, kSectionChRank, n, path));
+    ECOCHARGE_ASSIGN_OR_RETURN(
+        ch.up_offsets,
+        SectionSpan<uint32_t>(parsed, data, kSectionChUpOffsets, n + 1, path));
+    ECOCHARGE_ASSIGN_OR_RETURN(
+        ch.up_arcs, SectionBytes(parsed, data, kSectionChUpArcs,
+                                 kChSnapshotArcBytes, path));
+    ECOCHARGE_ASSIGN_OR_RETURN(
+        ch.down_offsets, SectionSpan<uint32_t>(parsed, data,
+                                               kSectionChDownOffsets, n + 1,
+                                               path));
+    ECOCHARGE_ASSIGN_OR_RETURN(
+        ch.down_arcs, SectionBytes(parsed, data, kSectionChDownArcs,
+                                   kChSnapshotArcBytes, path));
+    ch.backing = mapped;
+    loaded.ch = std::move(ch);
+  }
   return loaded;
 }
 
@@ -457,6 +560,10 @@ Result<std::shared_ptr<RoadNetwork>> LoadSnapshot(const std::string& path) {
 
 Result<LoadedSnapshot> LoadSnapshotWithLandmarks(const std::string& path) {
   return LoadSnapshotImpl(path, /*want_landmarks=*/true);
+}
+
+Result<LoadedSnapshot> LoadSnapshotWithAux(const std::string& path) {
+  return LoadSnapshotImpl(path, /*want_landmarks=*/true, /*want_ch=*/true);
 }
 
 Result<SnapshotInfo> ReadSnapshotInfo(const std::string& path) {
@@ -475,8 +582,54 @@ Result<SnapshotInfo> ReadSnapshotInfo(const std::string& path) {
                             Point{parsed.header.max_x, parsed.header.max_y}};
   for (const SectionEntry& s : parsed.sections) {
     info.sections.emplace_back(s.id, s.byte_size);
+    if (s.id == kSectionChRank) info.has_ch = true;
+    if (s.id == kSectionChUpArcs) {
+      info.ch_up_arcs = s.byte_size / kChSnapshotArcBytes;
+    }
+    if (s.id == kSectionChDownArcs) {
+      info.ch_down_arcs = s.byte_size / kChSnapshotArcBytes;
+    }
   }
   return info;
+}
+
+const char* SnapshotSectionName(uint32_t id) {
+  switch (id) {
+    case kSectionPositions:
+      return "positions";
+    case kSectionOutOffsets:
+      return "out_offsets";
+    case kSectionOutArcs:
+      return "out_arcs";
+    case kSectionInOffsets:
+      return "in_offsets";
+    case kSectionInArcs:
+      return "in_arcs";
+    case kSectionInEdgeIds:
+      return "in_edge_ids";
+    case kSectionLocatorOffsets:
+      return "locator_offsets";
+    case kSectionLocatorPoints:
+      return "locator_points";
+    case kSectionLandmarkNodes:
+      return "landmark_nodes";
+    case kSectionLandmarkFrom:
+      return "landmark_from";
+    case kSectionLandmarkTo:
+      return "landmark_to";
+    case kSectionChRank:
+      return "ch_rank";
+    case kSectionChUpOffsets:
+      return "ch_up_offsets";
+    case kSectionChUpArcs:
+      return "ch_up_arcs";
+    case kSectionChDownOffsets:
+      return "ch_down_offsets";
+    case kSectionChDownArcs:
+      return "ch_down_arcs";
+    default:
+      return "unknown";
+  }
 }
 
 }  // namespace ecocharge

@@ -1,9 +1,12 @@
 #ifndef ECOCHARGE_GRAPH_IO_H_
 #define ECOCHARGE_GRAPH_IO_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <optional>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -23,6 +26,25 @@ class LandmarkIndex;
 ///   x y                   -- one line per node
 ///   from to length class  -- one line per edge; class in {0,1,2}
 ///
+/// Byte size of one contraction-hierarchy arc record as stored in a
+/// snapshot. The graph layer treats CH arcs as opaque fixed-width records
+/// (the ch subsystem static_asserts its ChArc layout against this), so io
+/// stays ignorant of the CH internals while still validating section sizes.
+inline constexpr uint64_t kChSnapshotArcBytes = 32;
+
+/// \brief Zero-copy views of a snapshot's contraction-hierarchy section
+/// set: the node rank permutation plus the upward/downward shortcut CSR.
+/// Arc payloads are opaque bytes (kChSnapshotArcBytes per record);
+/// `ChIndexFromSnapshot` (ch/ch_index.h) reinterprets and validates them.
+struct ChSnapshotViews {
+  std::span<const uint32_t> rank;
+  std::span<const uint32_t> up_offsets;
+  std::span<const uint32_t> down_offsets;
+  std::span<const std::byte> up_arcs;
+  std::span<const std::byte> down_arcs;
+  std::shared_ptr<const void> backing;  ///< keeps the spans alive
+};
+
 /// Chosen over a binary format for diffability of the checked-in fixtures.
 Status SaveRoadNetwork(const RoadNetwork& network, std::ostream& os);
 Status SaveRoadNetworkFile(const RoadNetwork& network,
@@ -44,8 +66,13 @@ Result<std::shared_ptr<RoadNetwork>> LoadRoadNetworkFile(
 /// host-native; snapshots are machine-local artifacts, not an exchange
 /// format. Versioning rule: any layout change bumps the version, and
 /// loaders reject versions they were not built for.
+///
+/// The save writes `path + ".tmp"` and renames it into place, so saving
+/// over the snapshot a loaded (mmap-backed) network came from is safe —
+/// `graph ch --in X --out X` depends on this.
 Status SaveSnapshot(const RoadNetwork& network, const std::string& path,
-                    const LandmarkIndex* landmarks = nullptr);
+                    const LandmarkIndex* landmarks = nullptr,
+                    const ChSnapshotViews* ch = nullptr);
 
 /// Maps a snapshot read-only; the returned network's arrays alias the
 /// mapping, which stays alive for the network's lifetime.
@@ -55,10 +82,17 @@ struct LoadedSnapshot {
   std::shared_ptr<RoadNetwork> network;
   /// Present when the snapshot carries landmark tables.
   std::unique_ptr<LandmarkIndex> landmarks;
+  /// Present when the snapshot carries a contraction hierarchy; views alias
+  /// the mapping (zero-copy, like the network arrays).
+  std::optional<ChSnapshotViews> ch;
 };
 
 /// LoadSnapshot plus rehydration of any stored landmark tables.
 Result<LoadedSnapshot> LoadSnapshotWithLandmarks(const std::string& path);
+
+/// LoadSnapshot plus every auxiliary section: landmark tables and the
+/// contraction-hierarchy views (when stored).
+Result<LoadedSnapshot> LoadSnapshotWithAux(const std::string& path);
 
 /// Header-level metadata, read without mapping the payload (`graph info`).
 struct SnapshotInfo {
@@ -68,10 +102,18 @@ struct SnapshotInfo {
   uint32_t num_landmarks = 0;
   uint64_t file_bytes = 0;
   BoundingBox bounds;
+  bool has_ch = false;        ///< carries a contraction-hierarchy section set
+  uint64_t ch_up_arcs = 0;    ///< upward CH arcs (originals + shortcuts)
+  uint64_t ch_down_arcs = 0;  ///< downward CH arcs
   std::vector<std::pair<uint32_t, uint64_t>> sections;  ///< (id, bytes)
 };
 
 Result<SnapshotInfo> ReadSnapshotInfo(const std::string& path);
+
+/// Human-readable name of a snapshot section id ("unknown" for ids this
+/// build does not know) — `graph info` reports every section instead of
+/// silently skipping unrecognized ones.
+const char* SnapshotSectionName(uint32_t id);
 
 }  // namespace ecocharge
 

@@ -38,7 +38,7 @@ double CongestionModel::ExpectedSpeedFactor(RoadClass road_class,
   double rush = Bump(hour, 8.0, 1.2) + Bump(hour, 17.5, 1.6);
   if (weekend) rush *= 0.3;
   double drop = 0.55 * ClassSensitivity(road_class) * std::min(rush, 1.0);
-  return std::clamp(1.0 - drop, 0.15, 1.0);
+  return std::clamp(1.0 - drop, kMinSpeedFactor, 1.0);
 }
 
 double CongestionModel::ActualSpeedFactor(RoadClass road_class,
@@ -48,7 +48,7 @@ double CongestionModel::ActualSpeedFactor(RoadClass road_class,
             (static_cast<uint64_t>(road_class) + 1) * 0xBF58476D1CE4E5B9ULL);
   double factor =
       ExpectedSpeedFactor(road_class, t) * (1.0 + noise.NextGaussian(0.0, 0.08));
-  return std::clamp(factor, 0.15, 1.0);
+  return std::clamp(factor, kMinSpeedFactor, 1.0);
 }
 
 CongestionModel::Band CongestionModel::ForecastSpeedFactor(

@@ -29,6 +29,11 @@ class CongestionModel {
   /// recomputation points of a continuous query.
   static constexpr double kNoiseBucketSeconds = kSecondsPerHour;
 
+  /// Hard floor of the realized speed factor: ActualSpeedFactor clamps to
+  /// [kMinSpeedFactor, 1], so every derouting class weight lies in
+  /// [1, 1/kMinSpeedFactor].
+  static constexpr double kMinSpeedFactor = 0.15;
+
   explicit CongestionModel(uint64_t seed);
 
   /// The deterministic diurnal profile (no noise).

@@ -3,7 +3,14 @@
 #include <algorithm>
 #include <cmath>
 
+#include "ch/ch_query.h"
+
 namespace ecocharge {
+
+// The hierarchy is customized per class-weight vector, so the only
+// structural requirement is that ChArc's per-class lengths span RoadClass.
+static_assert(kChNumClasses == 3,
+              "CH per-class lengths must cover every RoadClass");
 
 DeroutingService::DeroutingService(
     std::shared_ptr<const RoadNetwork> network,
@@ -15,6 +22,24 @@ DeroutingService::DeroutingService(
       exact_time_bucket_s_(exact_time_bucket_s),
       search_(*network_),
       back_search_(*network_) {}
+
+DeroutingService::~DeroutingService() = default;
+
+/// The batch's reusable elimination-tree label spaces: the three shared
+/// endpoint spaces plus the two per-charger ones the loop overwrites.
+struct DeroutingService::ChBatchSpaces {
+  ChSpace m_fwd;
+  ChSpace ra_bwd;
+  ChSpace rb_bwd;
+  ChSpace b_bwd;
+  ChSpace b_fwd;
+};
+
+void DeroutingService::set_ch(const ChIndex* ch) {
+  ch_ = ch;
+  ch_query_ = ch != nullptr ? std::make_unique<ChQuery>(*ch) : nullptr;
+  ch_spaces_ = ch != nullptr ? std::make_unique<ChBatchSpaces>() : nullptr;
+}
 
 double DeroutingService::CruiseSpeed(SimTime t) const {
   return FreeFlowSpeed(RoadClass::kArterial) *
@@ -111,6 +136,53 @@ DeroutingEstimate UnreachableEstimate() {
   return est;
 }
 
+/// The per-class weights the exact cost lambda realizes at cost time tau.
+/// The CH search uses them only to pick the argmin path; costs are refolded
+/// over the unpacked edges with the lambda itself.
+ChClassWeights ChWeightsAt(const CongestionModel& congestion, SimTime tau) {
+  ChClassWeights weights;
+  for (int c = 0; c < kChNumClasses; ++c) {
+    weights.w[c] =
+        1.0 / congestion.ActualSpeedFactor(static_cast<RoadClass>(c), tau);
+  }
+  return weights;
+}
+
+/// min(d(from -> ra), d(from -> rb)), each leg folded the way the backward
+/// multi-source sweep would have accumulated it.
+double ChReturnCost(ChQuery* query, const RoadNetwork& network, NodeId from,
+                    NodeId ra, NodeId rb, const ChClassWeights& weights,
+                    const EdgeCostFn& cost, std::vector<EdgeId>* scratch) {
+  const double ca = ChExactPathCost(query, network, from, ra, weights, cost,
+                                    SweepDirection::kBackward, scratch);
+  const double cb = ChExactPathCost(query, network, from, rb, weights, cost,
+                                    SweepDirection::kBackward, scratch);
+  return std::min(ca, cb);
+}
+
+/// ChExactPathCost over two prebuilt label spaces: meet, unpack, refold in
+/// the reference sweep's association order (same grouping rule as
+/// ChExactPathCost, so the bits match the Dijkstra oracle).
+double SpaceExactPathCost(ChQuery* query, const RoadNetwork& network,
+                          const ChSpace& fwd, const ChSpace& bwd,
+                          const EdgeCostFn& cost, SweepDirection fold,
+                          std::vector<EdgeId>* scratch) {
+  uint32_t fpos = 0;
+  uint32_t bpos = 0;
+  const double d = query->MeetSpaces(fwd, bwd, &fpos, &bpos);
+  if (!(d < kInfiniteCost)) return kInfiniteCost;
+  query->UnpackMeet(fwd, fpos, bwd, bpos, scratch);
+  double acc = 0.0;
+  if (fold == SweepDirection::kForward) {
+    for (EdgeId e : *scratch) acc = acc + cost(network.arc(e));
+  } else {
+    for (auto it = scratch->rbegin(); it != scratch->rend(); ++it) {
+      acc = acc + cost(network.arc(*it));
+    }
+  }
+  return acc;
+}
+
 }  // namespace
 
 DeroutingEstimate DeroutingService::Exact(const DeroutingQuery& query,
@@ -130,6 +202,27 @@ DeroutingEstimate DeroutingService::Exact(const DeroutingQuery& query,
     return e.length_m /
            congestion_->ActualSpeedFactor(e.road_class, tau);
   };
+
+  if (ch_ != nullptr) {
+    const ChClassWeights weights = ChWeightsAt(*congestion_, tau);
+    const double to_b =
+        ChExactPathCost(ch_query_.get(), *network_, nodes.m, charger.node,
+                        weights, cost, SweepDirection::kForward, &ch_edges_);
+    if (!std::isfinite(to_b)) return UnreachableEstimate();
+    const double back =
+        ChReturnCost(ch_query_.get(), *network_, charger.node, nodes.ra,
+                     nodes.rb, weights, cost, &ch_edges_);
+    const double direct = ChReturnCost(ch_query_.get(), *network_, nodes.m,
+                                       nodes.ra, nodes.rb, weights, cost,
+                                       &ch_edges_);
+    double extra = to_b + (std::isfinite(back) ? back : 0.0) -
+                   (std::isfinite(direct) ? direct : 0.0);
+    extra = std::max(0.0, extra);
+    DeroutingEstimate est;
+    est.extra_distance_min_m = est.extra_distance_max_m = extra;
+    est.eta_s = to_b / std::max(CruiseSpeed(tau), 1.0);
+    return est;
+  }
 
   // Outbound leg: single-target forward sweep (stops at the charger).
   NodeId fwd_targets[1] = {charger.node};
@@ -155,6 +248,85 @@ DeroutingEstimate DeroutingService::Exact(const DeroutingQuery& query,
   return est;
 }
 
+bool DeroutingService::ChBatchExact(NodeId m, NodeId ra, NodeId rb,
+                                    std::span<const ChargerRef> chargers,
+                                    SimTime tau,
+                                    std::vector<DeroutingEstimate>* out) {
+  const size_t num_nodes = network_->NumNodes();
+  auto cost = [this, tau](const Arc& e) {
+    return e.length_m / congestion_->ActualSpeedFactor(e.road_class, tau);
+  };
+  const ChClassWeights weights = ChWeightsAt(*congestion_, tau);
+  ch_query_->EnsureCustomized(weights);
+  ChBatchSpaces& sp = *ch_spaces_;
+
+  // Shared endpoint spaces: one forward space for the vehicle, one backward
+  // space per return point. Every charger leg below is a meet against one
+  // of these plus one per-charger space — for a refine_limit-sized batch
+  // that is 3 + 2k half-spaces instead of 3k bidirectional searches.
+  const bool m_ok = m < num_nodes;
+  const bool ra_ok = ra < num_nodes;
+  const bool rb_ok = rb < num_nodes;
+  if (m_ok &&
+      !ch_query_->BuildSpace(m, SweepDirection::kForward, &sp.m_fwd)) {
+    return false;
+  }
+  if (ra_ok &&
+      !ch_query_->BuildSpace(ra, SweepDirection::kBackward, &sp.ra_bwd)) {
+    return false;
+  }
+  if (rb_ok &&
+      !ch_query_->BuildSpace(rb, SweepDirection::kBackward, &sp.rb_bwd)) {
+    return false;
+  }
+  const auto return_cost = [&](const ChSpace& from_fwd) {
+    const double ca =
+        ra_ok ? SpaceExactPathCost(ch_query_.get(), *network_, from_fwd,
+                                   sp.ra_bwd, cost, SweepDirection::kBackward,
+                                   &ch_edges_)
+              : kInfiniteCost;
+    const double cb =
+        rb_ok ? SpaceExactPathCost(ch_query_.get(), *network_, from_fwd,
+                                   sp.rb_bwd, cost, SweepDirection::kBackward,
+                                   &ch_edges_)
+              : kInfiniteCost;
+    return std::min(ca, cb);
+  };
+
+  const double direct = m_ok ? return_cost(sp.m_fwd) : kInfiniteCost;
+  const double cruise = std::max(CruiseSpeed(tau), 1.0);
+  for (ChargerRef charger : chargers) {
+    const NodeId b = charger->node;
+    double to_b = kInfiniteCost;
+    if (m_ok && b < num_nodes) {
+      if (!ch_query_->BuildSpace(b, SweepDirection::kBackward, &sp.b_bwd)) {
+        out->clear();
+        return false;
+      }
+      to_b = SpaceExactPathCost(ch_query_.get(), *network_, sp.m_fwd,
+                                sp.b_bwd, cost, SweepDirection::kForward,
+                                &ch_edges_);
+    }
+    if (!std::isfinite(to_b)) {
+      out->push_back(UnreachableEstimate());
+      continue;
+    }
+    if (!ch_query_->BuildSpace(b, SweepDirection::kForward, &sp.b_fwd)) {
+      out->clear();
+      return false;
+    }
+    const double back = return_cost(sp.b_fwd);
+    double extra = to_b + (std::isfinite(back) ? back : 0.0) -
+                   (std::isfinite(direct) ? direct : 0.0);
+    extra = std::max(0.0, extra);
+    DeroutingEstimate est;
+    est.extra_distance_min_m = est.extra_distance_max_m = extra;
+    est.eta_s = to_b / cruise;
+    out->push_back(est);
+  }
+  return true;
+}
+
 BatchSweepStats DeroutingService::ExactBatch(
     const DeroutingQuery& query, std::span<const ChargerRef> chargers,
     DeroutingBatchScratch* scratch, std::vector<DeroutingEstimate>* out) {
@@ -170,6 +342,47 @@ BatchSweepStats DeroutingService::ExactBatch(
     return e.length_m /
            congestion_->ActualSpeedFactor(e.road_class, tau);
   };
+
+  if (ch_ != nullptr) {
+    // Space-sharing CH batch first; when the hierarchy rejects the
+    // elimination-tree builder, per-leg bidirectional searches below give
+    // the same (bit-identical) estimates at point-to-point cost.
+    if (ChBatchExact(nodes.m, nodes.ra, nodes.rb, chargers, tau, out)) {
+      return stats;
+    }
+    out->clear();
+    const ChClassWeights weights = ChWeightsAt(*congestion_, tau);
+    const double direct =
+        nodes.m < num_nodes
+            ? ChReturnCost(ch_query_.get(), *network_, nodes.m, nodes.ra,
+                           nodes.rb, weights, cost, &ch_edges_)
+            : kInfiniteCost;
+    const double cruise = std::max(CruiseSpeed(tau), 1.0);
+    for (ChargerRef charger : chargers) {
+      const NodeId b = charger->node;
+      const double to_b =
+          nodes.m < num_nodes && b < num_nodes
+              ? ChExactPathCost(ch_query_.get(), *network_, nodes.m, b,
+                                weights, cost, SweepDirection::kForward,
+                                &ch_edges_)
+              : kInfiniteCost;
+      if (!std::isfinite(to_b)) {
+        out->push_back(UnreachableEstimate());
+        continue;
+      }
+      const double back = ChReturnCost(ch_query_.get(), *network_, b,
+                                       nodes.ra, nodes.rb, weights, cost,
+                                       &ch_edges_);
+      double extra = to_b + (std::isfinite(back) ? back : 0.0) -
+                     (std::isfinite(direct) ? direct : 0.0);
+      extra = std::max(0.0, extra);
+      DeroutingEstimate est;
+      est.extra_distance_min_m = est.extra_distance_max_m = extra;
+      est.eta_s = to_b / cruise;
+      out->push_back(est);
+    }
+    return stats;
+  }
 
   // One forward sweep covers every outbound leg: it stops as soon as all
   // distinct charger nodes are settled, instead of re-settling the inner

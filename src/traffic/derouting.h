@@ -12,6 +12,20 @@
 
 namespace ecocharge {
 
+class ChIndex;
+class ChQuery;
+
+/// \brief Which engine answers exact derouting queries.
+///
+/// kExact runs the PR 5 Dijkstra batch sweeps (the parity oracle); kCh
+/// answers point-to-point legs over a contraction hierarchy and refolds
+/// each unpacked path in the oracle's accumulation order, so both backends
+/// emit bit-identical estimates.
+enum class DeroutingBackend : uint8_t {
+  kExact = 0,
+  kCh = 1,
+};
+
 /// \brief The derouting estimated component D for one charger.
 ///
 /// Extra distance = d(m -> b) + min(d(b -> r_i), d(b -> r_{i+1})) minus the
@@ -103,6 +117,7 @@ class DeroutingService {
                    const CongestionModel* congestion,
                    double detour_factor = 1.3,
                    double exact_time_bucket_s = 0.0);
+  ~DeroutingService();
 
   /// O(1) interval estimate; fetches the congestion band itself.
   DeroutingEstimate Estimate(const DeroutingQuery& query,
@@ -149,6 +164,16 @@ class DeroutingService {
   uint64_t warm_start_hits() const { return warm_start_hits_; }
   uint64_t backward_sweep_starts() const { return backward_sweep_starts_; }
 
+  /// Switches Exact()/ExactBatch() to the contraction-hierarchy backend.
+  /// `ch` must be built over this service's network and outlive it; nullptr
+  /// reverts to the Dijkstra sweeps. The CH backend does not use the
+  /// backward-sweep memo, so warm-start counters stay flat under it.
+  void set_ch(const ChIndex* ch);
+  const ChIndex* ch() const { return ch_; }
+  DeroutingBackend backend() const {
+    return ch_ != nullptr ? DeroutingBackend::kCh : DeroutingBackend::kExact;
+  }
+
   const RoadNetwork& network() const { return *network_; }
 
  private:
@@ -159,6 +184,14 @@ class DeroutingService {
   /// Resumes (warm hit) or restarts the backward sweep for the return pair
   /// at cost time `tau`; returns true on a warm hit.
   bool EnsureBackwardSweep(NodeId ra, NodeId rb, SimTime tau);
+
+  /// Space-sharing CH batch: builds the vehicle/return elimination-tree
+  /// spaces once and meets each charger's two spaces against them. Returns
+  /// false (with `*out` cleared) when the hierarchy rejects the space
+  /// builder; ExactBatch then falls back to per-leg bidirectional searches.
+  bool ChBatchExact(NodeId m, NodeId ra, NodeId rb,
+                    std::span<const ChargerRef> chargers, SimTime tau,
+                    std::vector<DeroutingEstimate>* out);
 
   std::shared_ptr<const RoadNetwork> network_;
   const CongestionModel* congestion_;
@@ -180,6 +213,16 @@ class DeroutingService {
   BackwardKey back_key_;
   uint64_t warm_start_hits_ = 0;
   uint64_t backward_sweep_starts_ = 0;
+
+  // CH backend state: borrowed hierarchy, its reusable query workspace, the
+  // unpacked-edge scratch shared by every CH leg, and the batch's
+  // elimination-tree label spaces (vehicle/return spaces built once per
+  // batch, two per-charger spaces reused across the loop).
+  const ChIndex* ch_ = nullptr;
+  std::unique_ptr<ChQuery> ch_query_;
+  std::vector<EdgeId> ch_edges_;
+  struct ChBatchSpaces;
+  std::unique_ptr<ChBatchSpaces> ch_spaces_;
 };
 
 }  // namespace ecocharge

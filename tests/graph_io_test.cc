@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include "ch/ch_index.h"
+#include "ch/contraction.h"
 #include "graph/generators.h"
 #include "graph/landmarks.h"
 #include "graph/shortest_path.h"
@@ -246,6 +248,101 @@ TEST(SnapshotTest, RejectsTruncatedFile) {
 TEST(SnapshotTest, RejectsMissingFile) {
   EXPECT_FALSE(LoadSnapshot("/no/such/snapshot.ecgs").ok());
   EXPECT_FALSE(ReadSnapshotInfo("/no/such/snapshot.ecgs").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Contraction-hierarchy sections.
+// ---------------------------------------------------------------------------
+
+TEST(SnapshotTest, InfoReportsChAndLandmarkPresence) {
+  auto original = SampleNetwork();
+  LandmarkIndex landmarks(*original, 3);
+  std::shared_ptr<ChIndex> ch = BuildChIndex(*original).MoveValueUnsafe();
+  const ChSnapshotViews views = ToSnapshotViews(ch);
+
+  std::string plain = SnapshotPath("info_plain.ecgs");
+  ASSERT_TRUE(SaveSnapshot(*original, plain).ok());
+  auto plain_info = ReadSnapshotInfo(plain).MoveValueUnsafe();
+  EXPECT_FALSE(plain_info.has_ch);
+  EXPECT_EQ(plain_info.ch_up_arcs, 0u);
+  EXPECT_EQ(plain_info.num_landmarks, 0u);
+
+  std::string full = SnapshotPath("info_full.ecgs");
+  ASSERT_TRUE(SaveSnapshot(*original, full, &landmarks, &views).ok());
+  auto info = ReadSnapshotInfo(full).MoveValueUnsafe();
+  EXPECT_TRUE(info.has_ch);
+  EXPECT_EQ(info.ch_up_arcs, ch->NumUpArcs());
+  EXPECT_EQ(info.ch_down_arcs, ch->NumDownArcs());
+  EXPECT_EQ(info.num_landmarks, 3u);
+  // Every CH section shows up in the table with a known name.
+  size_t ch_sections = 0;
+  for (const auto& [id, bytes] : info.sections) {
+    const std::string name = SnapshotSectionName(id);
+    EXPECT_NE(name, "unknown") << "section id " << id;
+    if (name.rfind("ch_", 0) == 0) ++ch_sections;
+  }
+  EXPECT_EQ(ch_sections, 5u);  // rank + two offset arrays + two arc arrays
+}
+
+TEST(SnapshotTest, ResaveOverOwnBackingFileIsSafe) {
+  // `graph ch --in X --out X` loads a snapshot (mmap-backed views) and
+  // saves the contracted result over the same path: the save must not
+  // truncate the file its own source arrays are still mapped from.
+  auto original = SampleNetwork();
+  std::string path = SnapshotPath("resave_in_place.ecgs");
+  ASSERT_TRUE(SaveSnapshot(*original, path).ok());
+
+  auto loaded = LoadSnapshotWithAux(path).MoveValueUnsafe();
+  std::shared_ptr<ChIndex> ch = BuildChIndex(*loaded.network).MoveValueUnsafe();
+  const ChSnapshotViews views = ToSnapshotViews(ch);
+  ASSERT_TRUE(SaveSnapshot(*loaded.network, path, nullptr, &views).ok());
+
+  auto reloaded = LoadSnapshotWithAux(path);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status();
+  EXPECT_EQ(reloaded->network->NumNodes(), original->NumNodes());
+  EXPECT_EQ(reloaded->network->NumEdges(), original->NumEdges());
+  ASSERT_TRUE(reloaded->ch.has_value());
+  auto adopted =
+      ChIndexFromSnapshot(*reloaded->ch, reloaded->network->NumEdges());
+  ASSERT_TRUE(adopted.ok()) << adopted.status();
+  EXPECT_EQ((*adopted)->NumUpArcs(), ch->NumUpArcs());
+}
+
+TEST(SnapshotTest, RejectsTruncatedChSection) {
+  auto original = SampleNetwork();
+  std::shared_ptr<ChIndex> ch = BuildChIndex(*original).MoveValueUnsafe();
+  const ChSnapshotViews views = ToSnapshotViews(ch);
+  std::string path = SnapshotPath("truncated_ch.ecgs");
+  ASSERT_TRUE(SaveSnapshot(*original, path, nullptr, &views).ok());
+  ASSERT_TRUE(LoadSnapshotWithAux(path).ok());  // intact file loads
+
+  // Cut into the trailing CH arc section: the load must fail cleanly
+  // instead of handing out-of-file views to the query kernel.
+  std::string bytes = ReadFileBytes(path);
+  WriteFileBytes(path, bytes.substr(0, bytes.size() - 100));
+  EXPECT_FALSE(LoadSnapshotWithAux(path).ok());
+}
+
+TEST(SnapshotTest, RejectsChArcBytesThatAreNotWholeRecords) {
+  auto original = SampleNetwork();
+  std::shared_ptr<ChIndex> ch = BuildChIndex(*original).MoveValueUnsafe();
+  const ChSnapshotViews views = ToSnapshotViews(ch);
+  std::string path = SnapshotPath("oddsize_ch.ecgs");
+  ASSERT_TRUE(SaveSnapshot(*original, path, nullptr, &views).ok());
+  auto loaded = LoadSnapshotWithAux(path).MoveValueUnsafe();
+  ASSERT_TRUE(loaded.ch.has_value());
+
+  // A CH arc blob whose byte count is not a whole number of records must
+  // be rejected by the rehydration validation, not reinterpreted.
+  ChSnapshotViews corrupt = *loaded.ch;
+  corrupt.up_arcs = corrupt.up_arcs.subspan(0, corrupt.up_arcs.size() - 1);
+  EXPECT_FALSE(ChIndexFromSnapshot(corrupt, loaded.network->NumEdges()).ok());
+
+  // Same for a rank array that no longer covers every node.
+  ChSnapshotViews short_rank = *loaded.ch;
+  short_rank.rank = short_rank.rank.subspan(0, short_rank.rank.size() - 1);
+  EXPECT_FALSE(
+      ChIndexFromSnapshot(short_rank, loaded.network->NumEdges()).ok());
 }
 
 }  // namespace

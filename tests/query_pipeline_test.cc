@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "ch/contraction.h"
 #include "core/baselines.h"
 #include "core/ecocharge.h"
 #include "graph/io.h"
@@ -120,6 +121,63 @@ TEST_P(CrossIndexParityTest, LandmarkOrderingPreservesBatchParity) {
   EcoChargeOptions batched_opts;
   batched_opts.radius_m = 20000.0;
   batched_opts.landmarks = &landmarks;
+  batched_opts.batch_derouting = true;
+  EcoChargeOptions per_candidate_opts = batched_opts;
+  per_candidate_opts.batch_derouting = false;
+  EcoChargeRanker batched(w.env->estimator.get(), index.get(),
+                          ScoreWeights::AWE(), batched_opts);
+  EcoChargeRanker per_candidate(w.env->estimator.get(), index.get(),
+                                ScoreWeights::AWE(), per_candidate_opts);
+  for (const VehicleState& state : w.states) {
+    EXPECT_TRUE(TablesBitIdentical(batched.Rank(state, 3),
+                                   per_candidate.Rank(state, 3)));
+  }
+}
+
+TEST_P(CrossIndexParityTest, ChBackendTablesBitIdentical) {
+  SharedWorld& w = World();
+  std::unique_ptr<SpatialIndex> index = BuildIndex(GetParam());
+
+  // Swapping the exact-derouting engine (Dijkstra sweeps -> contraction
+  // hierarchy, the --derouting=ch serving configuration) must not move a
+  // single bit of any backend's table. The CH world is a second
+  // deterministic environment built from the same options except
+  // derouting_backend — same network, fleet, and workload, different
+  // engine inside the estimator. Candidate ordering is identical in both
+  // arms (neither ranker gets ordering bounds), so the engine swap is the
+  // only difference.
+  static const std::unique_ptr<Environment> ch_env = [] {
+    auto env = testing_util::TinyEnvironment(80, 42, DeroutingBackend::kCh);
+    EXPECT_NE(env, nullptr);
+    return env;
+  }();
+  ASSERT_NE(ch_env, nullptr);
+  ASSERT_EQ(ch_env->estimator->derouting_service().backend(),
+            DeroutingBackend::kCh);
+  EcoChargeOptions opts;
+  opts.radius_m = 20000.0;
+  EcoChargeRanker exact(w.env->estimator.get(), index.get(),
+                        ScoreWeights::AWE(), opts);
+  EcoChargeRanker hierarchy(ch_env->estimator.get(), index.get(),
+                            ScoreWeights::AWE(), opts);
+  for (const VehicleState& state : w.states) {
+    EXPECT_TRUE(
+        TablesBitIdentical(hierarchy.Rank(state, 3), exact.Rank(state, 3)));
+  }
+}
+
+TEST_P(CrossIndexParityTest, ChOrderingPreservesBatchParity) {
+  SharedWorld& w = World();
+  std::unique_ptr<SpatialIndex> index = BuildIndex(GetParam());
+
+  // With CH bounds ordering the refinement candidates (the --derouting=ch
+  // serving configuration), batch vs per-candidate refinement is still a
+  // pure execution-strategy change: the ordering runs before the branch.
+  static const std::shared_ptr<ChIndex> ch =
+      BuildChIndex(*w.env->dataset.network).MoveValueUnsafe();
+  EcoChargeOptions batched_opts;
+  batched_opts.radius_m = 20000.0;
+  batched_opts.ch = ch.get();
   batched_opts.batch_derouting = true;
   EcoChargeOptions per_candidate_opts = batched_opts;
   per_candidate_opts.batch_derouting = false;

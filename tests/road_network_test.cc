@@ -158,6 +158,82 @@ TEST(RoadNetworkTest, ArcsAreSortedByTarget) {
   EXPECT_EQ(network->edge(network->FirstOutEdge(a) + 3).to, d);
 }
 
+// EdgeSource inverts the out-offset array with a binary search (the cold
+// path behind edge(); hot loops never call it). The pivot cases are runs of
+// single-arc nodes — where offsets[v] == e and upper_bound must still land
+// on v, not v+1 — and empty-adjacency nodes, whose repeated offset values
+// must be skipped over.
+TEST(RoadNetworkTest, EdgeSourceSingleArcChain) {
+  GraphBuilder builder;
+  NodeId a = builder.AddNode({0, 0});
+  NodeId b = builder.AddNode({1, 0});
+  NodeId c = builder.AddNode({2, 0});
+  NodeId d = builder.AddNode({3, 0});
+  ASSERT_TRUE(builder.AddEdge(a, b, RoadClass::kLocal).ok());
+  ASSERT_TRUE(builder.AddEdge(b, c, RoadClass::kLocal).ok());
+  ASSERT_TRUE(builder.AddEdge(c, d, RoadClass::kLocal).ok());
+  ASSERT_TRUE(builder.AddEdge(d, a, RoadClass::kLocal).ok());
+  auto network = builder.Build().MoveValueUnsafe();
+  // Every node owns exactly one edge: offsets are [0,1,2,3,4] and every
+  // edge id equals its owner's offset.
+  EXPECT_EQ(network->EdgeSource(0), a);
+  EXPECT_EQ(network->EdgeSource(1), b);
+  EXPECT_EQ(network->EdgeSource(2), c);
+  EXPECT_EQ(network->EdgeSource(3), d);
+}
+
+TEST(RoadNetworkTest, EdgeSourceSkipsEmptyAdjacencyRuns) {
+  GraphBuilder builder;
+  NodeId a = builder.AddNode({0, 0});
+  NodeId b = builder.AddNode({1, 0});  // no out-edges
+  NodeId c = builder.AddNode({2, 0});
+  NodeId d = builder.AddNode({3, 0});  // no out-edges either
+  ASSERT_TRUE(builder.AddEdge(a, c, RoadClass::kLocal).ok());
+  ASSERT_TRUE(builder.AddEdge(c, b, RoadClass::kLocal).ok());
+  ASSERT_TRUE(builder.AddEdge(c, d, RoadClass::kLocal).ok());
+  auto network = builder.Build().MoveValueUnsafe();
+  // Offsets are [0,1,1,3,3]: b and d contribute duplicate boundary values
+  // that the search must step past.
+  EXPECT_EQ(network->EdgeSource(0), a);
+  EXPECT_EQ(network->EdgeSource(1), c);
+  EXPECT_EQ(network->EdgeSource(2), c);
+  EXPECT_EQ(network->edge(1).from, c);
+  EXPECT_EQ(network->edge(2).from, c);
+}
+
+TEST(RoadNetworkTest, EdgeSourceMatchesOwnershipOnRandomGraph) {
+  // Randomized cross-check: EdgeSource must agree with OutEdges ownership
+  // for every edge, including the global first and last edge ids.
+  GraphBuilder builder;
+  constexpr NodeId kNodes = 64;
+  for (NodeId v = 0; v < kNodes; ++v) {
+    builder.AddNode({static_cast<double>(v % 8), static_cast<double>(v / 8)});
+  }
+  uint64_t state = 0x9e3779b97f4a7c15ull;
+  auto next = [&state]() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int i = 0; i < 300; ++i) {
+    const NodeId from = static_cast<NodeId>(next() % kNodes);
+    const NodeId to = static_cast<NodeId>(next() % kNodes);
+    if (from == to) continue;
+    ASSERT_TRUE(builder.AddEdge(from, to, RoadClass::kLocal).ok());
+  }
+  auto network = builder.Build().MoveValueUnsafe();
+  ASSERT_GT(network->NumEdges(), 0u);
+  for (NodeId v = 0; v < network->NumNodes(); ++v) {
+    for (EdgeId e : network->OutEdges(v)) {
+      EXPECT_EQ(network->EdgeSource(e), v) << "edge " << e;
+    }
+  }
+  EXPECT_EQ(network->EdgeSource(0), network->edge(0).from);
+  const EdgeId last = static_cast<EdgeId>(network->NumEdges() - 1);
+  EXPECT_EQ(network->EdgeSource(last), network->edge(last).from);
+}
+
 namespace {
 
 /// Minimal chunked source: a directed cycle over `n` nodes, one chunk per

@@ -29,14 +29,16 @@ inline std::vector<Point> RandomCloud(size_t n, double w = 10000.0,
 
 /// A small but fully functional world for integration-style tests: the
 /// Oldenburg dataset at minimum scale with `num_chargers` sites.
-inline std::unique_ptr<Environment> TinyEnvironment(size_t num_chargers = 60,
-                                                    uint64_t seed = 42) {
+inline std::unique_ptr<Environment> TinyEnvironment(
+    size_t num_chargers = 60, uint64_t seed = 42,
+    DeroutingBackend backend = DeroutingBackend::kExact) {
   EnvironmentOptions opts;
   opts.kind = DatasetKind::kOldenburg;
   opts.dataset_scale = 0.003;  // minimum trajectory count
   opts.num_chargers = num_chargers;
   opts.max_derouting_m = 60000.0;
   opts.seed = seed;
+  opts.derouting_backend = backend;
   auto result = MakeEnvironment(opts);
   if (!result.ok()) return nullptr;
   return std::move(result).MoveValueUnsafe();

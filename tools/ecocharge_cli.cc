@@ -33,6 +33,8 @@
 #include "graph/io.h"
 #include "graph/landmarks.h"
 #include "graph/shortest_path.h"
+#include "ch/ch_index.h"
+#include "ch/contraction.h"
 #include "obs/statsz.h"
 #include "server/offering_server.h"
 #include "traj/io.h"
@@ -117,12 +119,19 @@ int Usage() {
                versioned binary that mmap-loads in O(1); --landmarks also
                precomputes and embeds N ALT landmark tables)
   graph info   --in FILE.ecgs [--load]
-               (print a snapshot's version, counts, bounds, and sections;
-               --load also mmap-loads the full graph, reports the load
-               time, and runs a sanity sweep)
+               (print a snapshot's version, counts, bounds, and sections —
+               including landmark/CH section presence; --load also
+               mmap-loads the full graph, reports the load time, and runs
+               a sanity sweep)
+  graph ch     --in FILE.ecgs --out FILE.ecgs
+               (contract the snapshot's network and write a copy that also
+               embeds the hierarchy: rank array + upward/downward shortcut
+               CSR, mmap-loaded zero-copy by --derouting ch; landmark
+               tables in the input are preserved)
   rank         --kind KIND [--chargers N] [--k K] [--radius-km R]
                [--hour H] [--seed N] [--index BACKEND] [--landmarks N]
                [--no-batch-derouting] [--graph-snapshot FILE.ecgs]
+               [--derouting ch|exact]
                (query at a sample trip state; --landmarks builds N ALT
                landmarks that order the refinement candidates by
                lower-bounded derouting cost)
@@ -158,6 +167,12 @@ int Usage() {
   --graph-snapshot (rank/simulate/serve/stats): mmap-load the road network
   from a `graph build` snapshot instead of synthesizing it; the dataset
   kind still shapes the trajectory workload.
+
+  --derouting ch|exact (rank/simulate/serve/stats): exact-derouting
+  backend. `ch` answers refinement legs over a contraction hierarchy
+  (loaded from the snapshot's CH section when present, contracted at
+  startup otherwise) with Offering Tables bit-identical to `exact`, the
+  Dijkstra-sweep oracle (default).
 )";
   return 2;
 }
@@ -204,27 +219,24 @@ int GraphInfo(const Args& args) {
     std::cerr << info.status() << "\n";
     return 1;
   }
-  // Names follow the SectionId enum in graph/io.cc.
-  static const char* kSectionNames[] = {
-      "?",          "positions",       "out_offsets",    "out_arcs",
-      "in_offsets", "in_arcs",         "in_edge_ids",    "locator_offsets",
-      "locator_points", "landmark_nodes", "landmark_from", "landmark_to"};
   std::cout << in << ": snapshot v" << info->version << "\n"
             << "  nodes:     " << info->num_nodes << "\n"
             << "  edges:     " << info->num_edges << "\n"
-            << "  landmarks: " << info->num_landmarks << "\n"
-            << "  bounds:    [" << info->bounds.min.x << ", "
+            << "  landmarks: " << info->num_landmarks << "\n";
+  if (info->has_ch) {
+    std::cout << "  ch:        yes (" << info->ch_up_arcs << " up arcs, "
+              << info->ch_down_arcs << " down arcs)\n";
+  } else {
+    std::cout << "  ch:        no\n";
+  }
+  std::cout << "  bounds:    [" << info->bounds.min.x << ", "
             << info->bounds.min.y << "] - [" << info->bounds.max.x << ", "
             << info->bounds.max.y << "]\n"
             << "  file:      " << info->file_bytes << " bytes\n"
             << "  sections:\n";
   for (const auto& [id, bytes] : info->sections) {
-    const char* name =
-        id < sizeof(kSectionNames) / sizeof(kSectionNames[0])
-            ? kSectionNames[id]
-            : "?";
-    std::cout << "    " << name << " (id " << id << "): " << bytes
-              << " bytes\n";
+    std::cout << "    " << SnapshotSectionName(id) << " (id " << id
+              << "): " << bytes << " bytes\n";
   }
   if (args.GetBool("load")) {
     auto start = std::chrono::steady_clock::now();
@@ -242,6 +254,48 @@ int GraphInfo(const Args& args) {
               << (*network)->NumNodes() << " nodes; sanity sweep from node "
               << "0 settled " << settled << " within 10 km)\n";
   }
+  return 0;
+}
+
+int GraphCh(const Args& args) {
+  std::string in = args.Get("in", "");
+  std::string out = args.Get("out", "");
+  if (in.empty() || out.empty()) {
+    std::cerr << "graph ch needs --in FILE.ecgs --out FILE.ecgs\n";
+    return 1;
+  }
+  auto loaded = LoadSnapshotWithAux(in);
+  if (!loaded.ok()) {
+    std::cerr << loaded.status() << "\n";
+    return 1;
+  }
+  const RoadNetwork& network = *loaded->network;
+  ChBuildStats stats;
+  auto start = std::chrono::steady_clock::now();
+  auto ch = BuildChIndex(network, &stats);
+  if (!ch.ok()) {
+    std::cerr << ch.status() << "\n";
+    return 1;
+  }
+  double build_s = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  ChSnapshotViews views = ToSnapshotViews(*ch);
+  Status st = SaveSnapshot(network, out, loaded->landmarks.get(), &views);
+  if (!st.ok()) {
+    std::cerr << st << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << out << " (" << network.NumNodes() << " nodes, "
+            << network.NumEdges() << " edges, " << stats.shortcuts
+            << " shortcuts; contracted in " << build_s << " s, "
+            << stats.ordering_pops << " queue pops, max live degree "
+            << stats.max_live_degree;
+  if (loaded->landmarks) {
+    std::cout << "; " << loaded->landmarks->num_landmarks()
+              << " landmarks preserved";
+  }
+  std::cout << ")\n";
   return 0;
 }
 
@@ -323,6 +377,13 @@ Result<std::unique_ptr<Environment>> BuildEnv(const Args& args) {
   opts.seed = args.GetU64("seed", 42);
   opts.num_landmarks = static_cast<size_t>(args.GetU64("landmarks", 0));
   opts.graph_snapshot = args.Get("graph-snapshot", "");
+  const std::string backend = args.Get("derouting", "exact");
+  if (backend == "ch") {
+    opts.derouting_backend = DeroutingBackend::kCh;
+  } else if (backend != "exact") {
+    return Status::InvalidArgument("unknown derouting backend '" + backend +
+                                   "' (ch|exact)");
+  }
   ECOCHARGE_ASSIGN_OR_RETURN(
       opts.index_kind, ParseSpatialIndexKind(args.Get("index", "quadtree")));
   return MakeEnvironment(opts);
@@ -335,6 +396,7 @@ EcoChargeOptions EcoOptionsFor(const Args& args, const Environment& env) {
   EcoChargeOptions opts;
   opts.batch_derouting = !args.GetBool("no-batch-derouting");
   opts.landmarks = env.landmarks.get();
+  opts.ch = env.ch.get();
   return opts;
 }
 
@@ -639,6 +701,7 @@ int Main(int argc, char** argv) {
     Args graph_args(argc, argv, 3);
     if (sub == "build") return GraphBuild(graph_args);
     if (sub == "info") return GraphInfo(graph_args);
+    if (sub == "ch") return GraphCh(graph_args);
     return Usage();
   }
   if (command == "rank") return Rank(args);
