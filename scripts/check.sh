@@ -26,6 +26,13 @@
 #                                    # bench_micro_graph (layout >= 1.3x,
 #                                    # snapshot load >= 10x; emits
 #                                    # BENCH_graph.json)
+#   scripts/check.sh simd            # filter/score hot-path gate: the
+#                                    # SIMD kernel / ranking / parity
+#                                    # suites under ASan and UBSan, then
+#                                    # the asserting bench_micro_score
+#                                    # (scalar-vs-SIMD bit parity on all
+#                                    # spatial backends + SoA speedup
+#                                    # floor; emits BENCH_score.json)
 #   scripts/check.sh lint            # clang-tidy over src/, tools/, and
 #                                    # the asserting bench gates (skips
 #                                    # with exit 0 when clang-tidy absent)
@@ -128,6 +135,34 @@ case "${sanitize}" in
     (cd "${plain_dir}/bench" && ./bench_micro_graph --quick)
     exit 0
     ;;
+  simd)
+    # The SoA score lanes are raw-pointer kernels over unaligned batches —
+    # exactly where an off-by-one tail loop or misaligned load would live —
+    # and the parity contract (scalar oracle bit-identical to the vector
+    # kernels, DESIGN.md §15) is checked by the test suites themselves. Run
+    # them under ASan and UBSan, then hold the bit-parity and speedup
+    # floors with the asserting bench from a plain Release tree (sanitized
+    # timings are meaningless).
+    shift
+    simd_filter='SimdKernel|SimdIsa|ScoreLanes|DescendingKey|AscendingCostKey|Score|IterativeDeepening|CknnProcessor|OfferingTable|QueryContext|CrossIndexParity|QueryPipeline|SimdOnOff|SimdParity'
+    for san in address undefined; do
+      san_dir="${repo_root}/build-${san/undefined/ubsan}"
+      san_dir="${san_dir/address/asan}"
+      cmake -B "${san_dir}" -S "${repo_root}" \
+        -DCMAKE_BUILD_TYPE=Release -DECOCHARGE_SANITIZE="${san}"
+      cmake --build "${san_dir}" -j "$(nproc)"
+      ctest --test-dir "${san_dir}" --output-on-failure -j "$(nproc)" \
+        -R "${simd_filter}" "$@"
+    done
+    plain_dir="${repo_root}/build"
+    cmake -B "${plain_dir}" -S "${repo_root}" \
+      -DCMAKE_BUILD_TYPE=Release -DECOCHARGE_SANITIZE=
+    cmake --build "${plain_dir}" -j "$(nproc)" --target bench_micro_score
+    (cd "${plain_dir}/bench" && ./bench_micro_score --quick)
+    echo "check.sh simd: BENCH_score.json lands in build/bench/ and is" \
+         "untracked; copy numbers into EXPERIMENTS.md when they move."
+    exit 0
+    ;;
   lint)
     shift
     if ! command -v clang-tidy >/dev/null 2>&1; then
@@ -143,7 +178,8 @@ case "${sanitize}" in
     mapfile -t sources < <({ find "${repo_root}/src" "${repo_root}/tools" \
       -name '*.cc'; echo "${repo_root}/bench/bench_micro_obs.cc"; \
       echo "${repo_root}/bench/bench_micro_derouting.cc"; \
-      echo "${repo_root}/bench/bench_micro_ch.cc"; } | sort)
+      echo "${repo_root}/bench/bench_micro_ch.cc"; \
+      echo "${repo_root}/bench/bench_micro_score.cc"; } | sort)
     clang-tidy -p "${build_dir}" --quiet "${sources[@]}" "$@"
     exit 0
     ;;

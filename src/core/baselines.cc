@@ -33,8 +33,7 @@ void StartTable(const VehicleState& state, OfferingTable* out) {
 }
 
 void FinishTable(size_t k, OfferingTable* out) {
-  SortOfferingEntries(out->entries);
-  if (out->entries.size() > k) out->entries.resize(k);
+  SortOfferingEntriesTopK(out->entries, k);
   for (const OfferingEntry& e : out->entries) {
     out->NoteEntryDegradation(e.ecs);
   }

@@ -10,25 +10,41 @@ namespace ecocharge {
 
 namespace {
 
-/// Descending by `key(c)`, ties by id (deterministic); order indices are
-/// written into `*order`, which is reused across queries.
-template <typename KeyFn>
-void RankInto(const std::vector<ScoredCandidate>& candidates, KeyFn key,
-              std::vector<uint32_t>* order) {
-  order->resize(candidates.size());
-  for (uint32_t i = 0; i < candidates.size(); ++i) (*order)[i] = i;
-  std::sort(order->begin(), order->end(), [&](uint32_t a, uint32_t b) {
-    double ka = key(candidates[a]);
-    double kb = key(candidates[b]);
-    if (ka != kb) return ka > kb;
-    return candidates[a].charger_id < candidates[b].charger_id;
-  });
+/// Transposes the pool's score pairs and ids into SoA lanes — the gather
+/// step for rankings over pools that arrive AoS (scored candidates,
+/// cache-adapted pools). Sizes sc_min/sc_max/ids to the pool.
+void GatherScoreLanes(const std::vector<ScoredCandidate>& candidates,
+                      simd::ScoreLanes* lanes) {
+  const size_t n = candidates.size();
+  lanes->sc_min.resize(n);
+  lanes->sc_max.resize(n);
+  lanes->ids.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    lanes->sc_min[i] = candidates[i].score.sc_min;
+    lanes->sc_max[i] = candidates[i].score.sc_max;
+    lanes->ids[i] = candidates[i].charger_id;
+  }
 }
 
-/// Descending score midpoint, ties by id — the final sort of eq. 6.
-bool MidpointBetter(const ScoredCandidate& a, const ScoredCandidate& b) {
-  if (a.score.Mid() != b.score.Mid()) return a.score.Mid() > b.score.Mid();
-  return a.charger_id < b.charger_id;
+/// Midpoint lane + its descending total-order keys from the sc lanes.
+void BuildMidpointKeys(bool use_simd, simd::ScoreLanes* lanes) {
+  const size_t n = lanes->sc_min.size();
+  lanes->mid.resize(n);
+  lanes->keys_mid.resize(n);
+  if (use_simd) {
+    simd::Midpoints(lanes->sc_min.data(), lanes->sc_max.data(), n,
+                    lanes->mid.data());
+    simd::DescendingKeys(lanes->mid.data(), n, lanes->keys_mid.data());
+  } else {
+    simd::MidpointsScalar(lanes->sc_min.data(), lanes->sc_max.data(), n,
+                          lanes->mid.data());
+    simd::DescendingKeysScalar(lanes->mid.data(), n, lanes->keys_mid.data());
+  }
+}
+
+void Iota(std::vector<uint32_t>* order, size_t n) {
+  order->resize(n);
+  for (uint32_t i = 0; i < n; ++i) (*order)[i] = i;
 }
 
 }  // namespace
@@ -50,31 +66,54 @@ PipelineMetrics PipelineMetrics::FromRegistry(obs::MetricsRegistry* registry) {
   m.batch_targets = registry->GetCounter("pipeline.batch_targets", "chargers");
   m.warm_start_hits =
       registry->GetCounter("pipeline.warm_start_hits", "sweeps");
+  m.simd_batches = registry->GetCounter("pipeline.simd.batches", "batches");
+  m.simd_lanes = registry->GetCounter("pipeline.simd.lanes", "candidates");
   return m;
 }
 
 void IterativeDeepeningIntersection(
     const std::vector<ScoredCandidate>& candidates, size_t k,
-    QueryContext* ctx, std::vector<ScoredCandidate>* out) {
+    QueryContext* ctx, std::vector<ScoredCandidate>* out, bool use_simd) {
   out->clear();
   if (candidates.empty() || k == 0) return;
 
-  std::vector<uint32_t>& by_min = ctx->order_min;
-  std::vector<uint32_t>& by_max = ctx->order_max;
-  RankInto(candidates, [](const ScoredCandidate& c) { return c.score.sc_min; },
-           &by_min);
-  RankInto(candidates, [](const ScoredCandidate& c) { return c.score.sc_max; },
-           &by_max);
+  // Gather once into SoA lanes, convert both score lanes to total-order
+  // integer keys (NaN ranks last, deterministically), and from then on the
+  // rankings are pure index/key work: no double compares, no branches on
+  // unordered values.
+  const size_t n = candidates.size();
+  simd::ScoreLanes& lanes = ctx->lanes;
+  GatherScoreLanes(candidates, &lanes);
+  lanes.keys_min.resize(n);
+  lanes.keys_max.resize(n);
+  if (use_simd) {
+    simd::DescendingKeys(lanes.sc_min.data(), n, lanes.keys_min.data());
+    simd::DescendingKeys(lanes.sc_max.data(), n, lanes.keys_max.data());
+  } else {
+    simd::DescendingKeysScalar(lanes.sc_min.data(), n, lanes.keys_min.data());
+    simd::DescendingKeysScalar(lanes.sc_max.data(), n, lanes.keys_max.data());
+  }
 
   // Deepen: take the top-d of both rankings, intersect, and grow d until
   // the intersection holds k chargers or everything has been considered.
-  // Membership in the top-d of by_min is tracked by stamping member_mark
-  // with a per-iteration epoch — no hash set, no clearing.
-  size_t n = candidates.size();
+  // Each round partial-selects just the top-d it needs (the selects are
+  // re-run from a fresh iota because selection permutes the index array;
+  // the doubling schedule keeps the total select work O(n log n) worst
+  // case, same as one full sort). Membership in the top-d of by_min is
+  // tracked by stamping member_mark with a per-iteration epoch — no hash
+  // set, no clearing.
+  std::vector<uint32_t>& by_min = ctx->order_min;
+  std::vector<uint32_t>& by_max = ctx->order_max;
   if (ctx->member_mark.size() < n) ctx->member_mark.resize(n, 0);
   size_t depth = std::min(k, n);
   std::vector<uint32_t>& common = ctx->common;
   while (true) {
+    Iota(&by_min, n);
+    Iota(&by_max, n);
+    simd::PartialSelectDescending(lanes.keys_min.data(), lanes.ids.data(),
+                                  by_min.data(), n, depth);
+    simd::PartialSelectDescending(lanes.keys_max.data(), lanes.ids.data(),
+                                  by_max.data(), n, depth);
     uint64_t epoch = ++ctx->mark_epoch;
     for (size_t i = 0; i < depth; ++i) ctx->member_mark[by_min[i]] = epoch;
     common.clear();
@@ -86,11 +125,13 @@ void IterativeDeepeningIntersection(
   }
 
   // Order the common chargers by score midpoint (the final sort of eq. 6)
-  // and keep k.
-  std::sort(common.begin(), common.end(), [&](uint32_t a, uint32_t b) {
-    return MidpointBetter(candidates[a], candidates[b]);
-  });
-  if (common.size() > k) common.resize(k);
+  // and keep k — a partial select again, since only the kept prefix's
+  // order is observable.
+  BuildMidpointKeys(use_simd, &lanes);
+  const size_t keep = std::min(k, common.size());
+  simd::PartialSelectDescending(lanes.keys_mid.data(), lanes.ids.data(),
+                                common.data(), common.size(), keep);
+  common.resize(keep);
   out->reserve(common.size());
   for (uint32_t idx : common) out->push_back(candidates[idx]);
 }
@@ -121,9 +162,29 @@ const std::vector<ChargerId>& CknnEcProcessor::FilterCandidates(
   obs::ScopedTimer timer(metrics_.filter_ns);
   charger_index_->RangeSearchInto(position, options_.radius_m, &ctx->spatial,
                                   &ctx->neighbors);
+  // SoA gather + radius mask. Every backend already guarantees
+  // distance <= R, so the mask is a revalidation of that contract — but
+  // running it on both paths keeps the scalar oracle and the SIMD kernel
+  // byte-for-byte interchangeable, and it is what prunes when a caller
+  // feeds a wider neighbor set (kNN results) through the same lanes.
+  simd::ScoreLanes& lanes = ctx->lanes;
+  SplitNeighborLanes(ctx->neighbors, &lanes.ids, &lanes.distance);
+  const size_t n = lanes.ids.size();
+  lanes.keep.resize(n);
+  if (options_.use_simd) {
+    simd::LeMask(lanes.distance.data(), options_.radius_m, n,
+                 lanes.keep.data());
+    if (metrics_.simd_batches) metrics_.simd_batches->Add();
+    if (metrics_.simd_lanes && n > 0) metrics_.simd_lanes->Add(n);
+  } else {
+    simd::LeMaskScalar(lanes.distance.data(), options_.radius_m, n,
+                       lanes.keep.data());
+  }
   ctx->candidates.clear();
-  ctx->candidates.reserve(ctx->neighbors.size());
-  for (const Neighbor& n : ctx->neighbors) ctx->candidates.push_back(n.id);
+  ctx->candidates.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (lanes.keep[i]) ctx->candidates.push_back(lanes.ids[i]);
+  }
   return ctx->candidates;
 }
 
@@ -142,14 +203,52 @@ const std::vector<ScoredCandidate>& CknnEcProcessor::ScoreCandidates(
   std::vector<ScoredCandidate>& scored = ctx->scored;
   scored.clear();
   scored.reserve(candidate_ids.size());
-  for (ChargerId id : candidate_ids) {
-    if (id >= fleet.size()) continue;
-    ScoredCandidate c;
-    c.charger_id = id;
-    c.ecs = estimator_->EstimateIntervals(state, fleet[id],
-                                          options_.derouting_norm_m);
-    c.score = ComputeScorePair(c.ecs, weights);
-    scored.push_back(c);
+  if (options_.use_simd) {
+    // Gather: the per-candidate interval estimation stays scalar (it is
+    // EIS-fetch-bound and branchy), but its six endpoints transpose into
+    // the SoA lanes so the eq. 4–5 arithmetic runs as one vector batch.
+    simd::ScoreLanes& lanes = ctx->lanes;
+    lanes.Clear();
+    for (ChargerId id : candidate_ids) {
+      if (id >= fleet.size()) continue;
+      ScoredCandidate c;
+      c.charger_id = id;
+      c.ecs = estimator_->EstimateIntervals(state, fleet[id],
+                                            options_.derouting_norm_m);
+      lanes.level_lo.push_back(c.ecs.level.lo);
+      lanes.level_hi.push_back(c.ecs.level.hi);
+      lanes.avail_lo.push_back(c.ecs.availability.lo);
+      lanes.avail_hi.push_back(c.ecs.availability.hi);
+      lanes.der_lo.push_back(c.ecs.derouting.lo);
+      lanes.der_hi.push_back(c.ecs.derouting.hi);
+      lanes.ids.push_back(id);
+      scored.push_back(c);
+    }
+    const size_t n = scored.size();
+    lanes.sc_min.resize(n);
+    lanes.sc_max.resize(n);
+    simd::ScoreIntervals(lanes.level_lo.data(), lanes.level_hi.data(),
+                         lanes.avail_lo.data(), lanes.avail_hi.data(),
+                         lanes.der_lo.data(), lanes.der_hi.data(), n, weights,
+                         lanes.sc_min.data(), lanes.sc_max.data());
+    for (size_t i = 0; i < n; ++i) {
+      scored[i].score.sc_min = lanes.sc_min[i];
+      scored[i].score.sc_max = lanes.sc_max[i];
+    }
+    if (metrics_.simd_batches) metrics_.simd_batches->Add();
+    if (metrics_.simd_lanes && n > 0) metrics_.simd_lanes->Add(n);
+  } else {
+    // Scalar oracle: the per-candidate AoS path, byte-for-byte the scores
+    // the SIMD batch above must reproduce.
+    for (ChargerId id : candidate_ids) {
+      if (id >= fleet.size()) continue;
+      ScoredCandidate c;
+      c.charger_id = id;
+      c.ecs = estimator_->EstimateIntervals(state, fleet[id],
+                                            options_.derouting_norm_m);
+      c.score = ComputeScorePair(c.ecs, weights);
+      scored.push_back(c);
+    }
   }
   if (metrics_.candidates_scored && !scored.empty()) {
     metrics_.candidates_scored->Add(scored.size());
@@ -178,14 +277,22 @@ void CknnEcProcessor::RefineAndRank(const VehicleState& state,
       refine_exact_derouting ? std::max(k, options_.refine_limit) : k;
   std::vector<ScoredCandidate>& selected = ctx->selected;
   if (options_.use_intersection) {
-    IterativeDeepeningIntersection(*scored, pool, ctx, &selected);
+    IterativeDeepeningIntersection(*scored, pool, ctx, &selected,
+                                   options_.use_simd);
   } else {
-    // Ablation path: plain top-`pool` by score midpoint. Rank the indices
-    // so `*scored` (often a live cache entry) stays untouched.
+    // Ablation path: plain top-`pool` by score midpoint, via the same key
+    // lanes and partial select as the intersection. Rank the indices so
+    // `*scored` (often a live cache entry) stays untouched.
+    simd::ScoreLanes& lanes = ctx->lanes;
+    GatherScoreLanes(*scored, &lanes);
+    BuildMidpointKeys(options_.use_simd, &lanes);
+    const size_t n = scored->size();
     std::vector<uint32_t>& order = ctx->order_min;
-    RankInto(*scored, [](const ScoredCandidate& c) { return c.score.Mid(); },
-             &order);
-    if (order.size() > pool) order.resize(pool);
+    Iota(&order, n);
+    const size_t keep = std::min(pool, n);
+    simd::PartialSelectDescending(lanes.keys_mid.data(), lanes.ids.data(),
+                                  order.data(), n, keep);
+    order.resize(keep);
     selected.clear();
     selected.reserve(order.size());
     for (uint32_t idx : order) selected.push_back((*scored)[idx]);
@@ -254,8 +361,10 @@ void CknnEcProcessor::RefineAndRank(const VehicleState& state,
     e.eta_s = c.ecs.eta_s;
     out->push_back(e);
   }
-  SortOfferingEntries(*out);
-  if (out->size() > k) out->resize(k);
+  // Partial top-k: only the k kept rows' order is observable, and the
+  // entry order is total (NaN-safe keys), so this is bit-identical to the
+  // former sort-everything-then-truncate.
+  SortOfferingEntriesTopK(*out, k);
 }
 
 void CknnEcProcessor::OrderByDeroutingBound(const VehicleState& state,
@@ -305,10 +414,16 @@ void CknnEcProcessor::OrderByDeroutingBound(const VehicleState& state,
                        std::min(lm.LowerBound(b, ra), lm.LowerBound(b, rb)));
     }
   }
-  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
-    if (bounds[a] != bounds[b]) return bounds[a] < bounds[b];
-    return a < b;  // stable: ties keep the score order
-  });
+  // Ascending-cost total-order keys (NaN/inf bounds rank last, so an
+  // unreachable charger can never displace a reachable one from the refine
+  // set), ties keep the score order via the slot index. Only the
+  // refine_count prefix is observable, so a partial select suffices. The
+  // key lane reuses the intersection's (now idle) scratch.
+  std::vector<uint64_t>& keys = ctx->lanes.keys_min;
+  keys.resize(n);
+  for (size_t i = 0; i < n; ++i) keys[i] = simd::AscendingCostKey(bounds[i]);
+  simd::PartialSelectAscending(keys.data(), /*tiebreak=*/nullptr, order.data(),
+                               n, refine_count);
 
   // Refine set to the front in bound order; everyone else keeps the score
   // order. Marks reuse the intersection's epoch array, so nothing clears.

@@ -34,6 +34,8 @@ struct PipelineMetrics {
   obs::Histogram* batch_derouting_ns = nullptr;  ///< batched-sweep wall time
   obs::Counter* batch_targets = nullptr;     ///< chargers covered per batch
   obs::Counter* warm_start_hits = nullptr;   ///< backward sweeps reused
+  obs::Counter* simd_batches = nullptr;  ///< vector-kernel invocations
+  obs::Counter* simd_lanes = nullptr;    ///< candidate lanes they streamed
 
   /// Resolves the canonical `pipeline.*` names on `registry`.
   static PipelineMetrics FromRegistry(obs::MetricsRegistry* registry);
@@ -44,10 +46,14 @@ struct PipelineMetrics {
 /// candidate pool is exhausted). Writes at most k candidates into `*out`
 /// ordered by descending score midpoint, using `ctx` rank/mark buffers
 /// (zero allocations once the context is warm). `out` must not alias
-/// `candidates`.
+/// `candidates`. Both rankings are built over SoA key lanes and selected
+/// with a partial top-d select; `use_simd` picks the vector kernels for the
+/// key/midpoint conversions, false the scalar reference — the selection
+/// order is bit-identical either way (shared integer-key machinery).
 void IterativeDeepeningIntersection(
     const std::vector<ScoredCandidate>& candidates, size_t k,
-    QueryContext* ctx, std::vector<ScoredCandidate>* out);
+    QueryContext* ctx, std::vector<ScoredCandidate>* out,
+    bool use_simd = true);
 
 /// Allocating convenience form of the above.
 std::vector<ScoredCandidate> IterativeDeepeningIntersection(
@@ -90,6 +96,13 @@ struct CknnEcOptions {
   /// strictly tighter, so the refine set hugs the route more closely.
   /// Takes precedence over `landmarks` for ordering.
   const ChIndex* ch = nullptr;
+
+  /// Vectorized filter/score hot path (DESIGN.md §15): candidate pruning,
+  /// eq. 4–5 interval scoring, and ranking-key conversion run as SIMD
+  /// kernels over the QueryContext's SoA lanes. Off (`--no-simd`) routes
+  /// the same lanes through the scalar reference kernels — the parity
+  /// oracle; Offering Tables are bit-identical either way.
+  bool use_simd = true;
 };
 
 /// \brief The CkNN-EC query processor (Section III-C).

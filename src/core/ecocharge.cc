@@ -14,6 +14,7 @@ CknnEcOptions ProcessorOptions(const EcoChargeOptions& o) {
   c.landmarks = o.landmarks;
   c.landmark_refine_order = o.landmark_refine_order;
   c.ch = o.ch;
+  c.use_simd = o.use_simd;
   // The user's radius defines the environment the paper normalizes the
   // derouting cost by: D = extra distance / (2R).
   c.derouting_norm_m = 2.0 * o.radius_m;

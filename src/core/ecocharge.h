@@ -41,6 +41,11 @@ struct EcoChargeOptions {
   /// CknnEcOptions::ch; borrowed, may be null). Preferred over `landmarks`
   /// when both are set.
   const ChIndex* ch = nullptr;
+
+  /// Vectorized filter/score hot path (see CknnEcOptions::use_simd);
+  /// Offering Tables are bit-identical with it on or off. Off is the
+  /// `--no-simd` escape hatch / scalar parity oracle.
+  bool use_simd = true;
 };
 
 /// \brief The EcoCharge renewable-hoarding algorithm.

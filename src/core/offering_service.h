@@ -59,6 +59,12 @@ class OfferingService {
     ctx_.derouting.Reserve(refine_candidates);
   }
 
+  /// Pre-grows the SoA candidate lanes to `candidates` slots, so the first
+  /// ranked query's vectorized filter/score phase performs no allocations.
+  /// The concurrent runtime calls this once per worker with its expected
+  /// per-query candidate volume.
+  void ReserveScoreLanes(size_t candidates) { ctx_.lanes.Reserve(candidates); }
+
   size_t active_clients() const { return clients_.size(); }
   const OfferingServiceStats& stats() const { return stats_; }
 

@@ -4,6 +4,8 @@
 #include <iomanip>
 #include <sstream>
 
+#include "core/simd_score.h"
+
 namespace ecocharge {
 
 std::vector<ChargerId> OfferingTable::ChargerIds() const {
@@ -34,12 +36,38 @@ std::string OfferingTable::ToString(
   return os.str();
 }
 
+namespace {
+
+/// Best-first total order: descending midpoint via the NaN-safe integer
+/// key, ties by charger id. A plain `double` comparator would make NaN
+/// "equivalent" to every value non-transitively — UB in std::sort — and
+/// would leave the -0.0/+0.0 order unspecified.
+bool EntryBetter(const OfferingEntry& a, const OfferingEntry& b) {
+  const uint64_t ka = simd::DescendingKey(a.SortKey());
+  const uint64_t kb = simd::DescendingKey(b.SortKey());
+  if (ka != kb) return ka > kb;
+  return a.charger_id < b.charger_id;
+}
+
+}  // namespace
+
 void SortOfferingEntries(std::vector<OfferingEntry>& entries) {
-  std::sort(entries.begin(), entries.end(),
-            [](const OfferingEntry& a, const OfferingEntry& b) {
-              if (a.SortKey() != b.SortKey()) return a.SortKey() > b.SortKey();
-              return a.charger_id < b.charger_id;
-            });
+  std::sort(entries.begin(), entries.end(), EntryBetter);
+}
+
+void SortOfferingEntriesTopK(std::vector<OfferingEntry>& entries, size_t k) {
+  if (k >= entries.size()) {
+    SortOfferingEntries(entries);
+    return;
+  }
+  if (k == 0) {
+    entries.clear();
+    return;
+  }
+  std::nth_element(entries.begin(), entries.begin() + (k - 1), entries.end(),
+                   EntryBetter);
+  std::sort(entries.begin(), entries.begin() + k, EntryBetter);
+  entries.resize(k);
 }
 
 }  // namespace ecocharge

@@ -50,8 +50,17 @@ struct OfferingTable {
   std::string ToString(const std::vector<EvCharger>& fleet) const;
 };
 
-/// Sorts entries best-first (descending score midpoint, ties by id).
+/// Sorts entries best-first (descending score midpoint, ties by id). The
+/// comparator is the pipeline's total order (simd::DescendingKey): NaN
+/// midpoints rank strictly last — a degraded-estimate entry can never float
+/// to the top or trip strict-weak-ordering UB inside std::sort.
 void SortOfferingEntries(std::vector<OfferingEntry>& entries);
+
+/// Partial form: afterwards `entries[0..min(k, size))` holds exactly the
+/// prefix a full SortOfferingEntries would produce, and the vector is
+/// truncated to it. O(n + k log k) instead of O(n log n) — the prefix is
+/// unique because the order above is total.
+void SortOfferingEntriesTopK(std::vector<OfferingEntry>& entries, size_t k);
 
 }  // namespace ecocharge
 

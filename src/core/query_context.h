@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/offering_table.h"
+#include "core/simd_score.h"
 #include "spatial/spatial_index.h"
 #include "traffic/derouting.h"
 
@@ -41,6 +42,12 @@ struct QueryContext {
   std::vector<ScoredCandidate> scored;  ///< scoring: the candidate pool
   std::vector<ScoredCandidate> selected;  ///< intersection winners
   std::vector<ScoredCandidate> reorder;   ///< ALT refine-order staging
+
+  /// Struct-of-arrays candidate lanes for the vectorized filter/score path
+  /// (DESIGN.md §15): the gather step transposes neighbors/EC intervals in
+  /// here once per query; the SIMD kernels stream over the lanes. Grows to
+  /// the high-water mark like every other buffer.
+  simd::ScoreLanes lanes;
 
   /// Batched exact-derouting scratch: target ids, charger refs, and the
   /// per-candidate estimates of the one-sweep-per-segment refinement.

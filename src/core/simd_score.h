@@ -1,0 +1,188 @@
+#ifndef ECOCHARGE_CORE_SIMD_SCORE_H_
+#define ECOCHARGE_CORE_SIMD_SCORE_H_
+
+#include <bit>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/score.h"
+
+// Compile-time ISA dispatch: the widest vector extension the *target*
+// guarantees is baked in at build time (no runtime cpuid probing — the
+// pipeline's hot loop cannot afford an indirect call per batch, and the
+// scalar reference path stays available behind a runtime flag for parity
+// oracles and the --no-simd escape hatch). Exactly one of the macros below
+// is set to 1; kScalarOnly builds still compile every entry point, backed
+// by the reference loops.
+#if defined(__AVX2__)
+#define ECOCHARGE_SIMD_AVX2 1
+#elif defined(__SSE2__) || defined(_M_X64) || \
+    (defined(__x86_64__) && !defined(__SSE2__))
+#define ECOCHARGE_SIMD_SSE2 1
+#elif defined(__aarch64__) && defined(__ARM_NEON)
+#define ECOCHARGE_SIMD_NEON 1
+#else
+#define ECOCHARGE_SIMD_SCALAR 1
+#endif
+
+namespace ecocharge {
+namespace simd {
+
+/// Doubles per vector register on the compiled ISA (1 = scalar fallback).
+#if defined(ECOCHARGE_SIMD_AVX2)
+inline constexpr size_t kLaneWidth = 4;
+inline constexpr const char* kIsaName = "avx2";
+#elif defined(ECOCHARGE_SIMD_SSE2)
+inline constexpr size_t kLaneWidth = 2;
+inline constexpr const char* kIsaName = "sse2";
+#elif defined(ECOCHARGE_SIMD_NEON)
+inline constexpr size_t kLaneWidth = 2;
+inline constexpr const char* kIsaName = "neon";
+#else
+inline constexpr size_t kLaneWidth = 1;
+inline constexpr const char* kIsaName = "scalar";
+#endif
+
+/// \brief Total-order sort key for a score value, descending-friendly.
+///
+/// Maps doubles to uint64 such that a < b  <=>  Key(a) < Key(b) for all
+/// ordered doubles, with two deliberate pins (the determinism contract of
+/// DESIGN.md §15):
+///  - NaN maps to 0, i.e. BELOW every real value including -inf: a
+///    candidate whose score degraded all the way to NaN ranks strictly
+///    last, never first, and never trips the strict-weak-ordering UB a
+///    naive `double` comparator has.
+///  - -0.0 maps below +0.0 (they differ in one bit; any deterministic
+///    total order must pick a side).
+/// Integer keys make every downstream comparison branch-light and keep
+/// scalar and SIMD rankings identical by construction.
+inline uint64_t DescendingKey(double v) {
+  if (std::isnan(v)) return 0;
+  const uint64_t bits = std::bit_cast<uint64_t>(v);
+  const uint64_t neg = static_cast<int64_t>(bits) < 0 ? ~uint64_t{0} : 0;
+  return bits ^ (0x8000000000000000ull | (neg & 0x7FFFFFFFFFFFFFFFull));
+}
+
+/// Ascending-cost key: like DescendingKey but NaN maps ABOVE +inf, so a
+/// NaN-cost candidate sorts last in ascending (cheapest-first) order too.
+inline uint64_t AscendingCostKey(double v) {
+  if (std::isnan(v)) return ~uint64_t{0};
+  const uint64_t bits = std::bit_cast<uint64_t>(v);
+  const uint64_t neg = static_cast<int64_t>(bits) < 0 ? ~uint64_t{0} : 0;
+  return bits ^ (0x8000000000000000ull | (neg & 0x7FFFFFFFFFFFFFFFull));
+}
+
+/// \brief Struct-of-arrays candidate lanes for the filter/score phase.
+///
+/// The gather step writes one slot per candidate: the six EC interval
+/// endpoints, the spatial distance from the filtering range search, and
+/// the charger id (the deterministic tiebreak lane). The kernels below
+/// then produce the SC_min/SC_max/mid score lanes and their total-order
+/// keys in bulk. Buffers are plain vectors that grow to the workload's
+/// high-water mark and stay — a warm QueryContext performs zero heap
+/// allocations per query, SoA lanes included. Loads are unaligned
+/// (loadu/ld1) by design, so lane counts need no padding discipline.
+struct ScoreLanes {
+  std::vector<double> level_lo, level_hi;
+  std::vector<double> avail_lo, avail_hi;
+  std::vector<double> der_lo, der_hi;
+  std::vector<double> distance;  ///< filter phase: spatial distance lane
+  std::vector<uint32_t> ids;     ///< charger ids (sort tiebreak lane)
+  std::vector<uint8_t> keep;     ///< pruning mask output (1 = survives)
+  std::vector<double> sc_min, sc_max, mid;
+  /// Total-order keys of the three rankings eq. 6 consumes (by SC_min, by
+  /// SC_max, by midpoint) — separate lanes because the intersection needs
+  /// the first two alive at once.
+  std::vector<uint64_t> keys_min, keys_max, keys_mid;
+
+  /// Pre-grows every lane to `n` slots (capacity only; sizes are set by
+  /// each query's gather). The serving runtime calls this per worker so
+  /// the first ranked query already runs allocation-free.
+  void Reserve(size_t n) {
+    for (std::vector<double>* lane :
+         {&level_lo, &level_hi, &avail_lo, &avail_hi, &der_lo, &der_hi,
+          &distance, &sc_min, &sc_max, &mid}) {
+      lane->reserve(n);
+    }
+    ids.reserve(n);
+    keep.reserve(n);
+    for (std::vector<uint64_t>* lane : {&keys_min, &keys_max, &keys_mid}) {
+      lane->reserve(n);
+    }
+  }
+
+  /// Drops per-query contents, keeping capacity (called by the gather).
+  void Clear() {
+    for (std::vector<double>* lane :
+         {&level_lo, &level_hi, &avail_lo, &avail_hi, &der_lo, &der_hi,
+          &distance, &sc_min, &sc_max, &mid}) {
+      lane->clear();
+    }
+    ids.clear();
+    keep.clear();
+    for (std::vector<uint64_t>* lane : {&keys_min, &keys_max, &keys_mid}) {
+      lane->clear();
+    }
+  }
+};
+
+/// \brief Eq. (4)/(5) over SoA lanes:
+///   sc_min[i] = l_lo[i] w1 + a_lo[i] w2 + (1 - d_lo[i]) w3
+///   sc_max[i] = l_hi[i] w1 + a_hi[i] w2 + (1 - d_hi[i]) w3
+/// Bit-identical to per-candidate ComputeScorePair: the kernel performs
+/// the same IEEE multiply/add sequence per lane (this translation unit and
+/// score.cc are built with FP contraction off, so neither side fuses).
+/// Output pointers must not alias the inputs.
+void ScoreIntervals(const double* level_lo, const double* level_hi,
+                    const double* avail_lo, const double* avail_hi,
+                    const double* der_lo, const double* der_hi, size_t n,
+                    const ScoreWeights& w, double* sc_min, double* sc_max);
+
+/// Scalar reference implementation (the parity oracle).
+void ScoreIntervalsScalar(const double* level_lo, const double* level_hi,
+                          const double* avail_lo, const double* avail_hi,
+                          const double* der_lo, const double* der_hi,
+                          size_t n, const ScoreWeights& w, double* sc_min,
+                          double* sc_max);
+
+/// mid[i] = (sc_min[i] + sc_max[i]) * 0.5 — identical bits to
+/// ScorePair::Mid()'s (a + b) / 2.0 (division by two is exact scaling).
+void Midpoints(const double* sc_min, const double* sc_max, size_t n,
+               double* mid);
+void MidpointsScalar(const double* sc_min, const double* sc_max, size_t n,
+                     double* mid);
+
+/// Pruning mask: mask[i] = 1 iff values[i] <= bound (NaN compares false,
+/// so a NaN distance is pruned on both the scalar and the SIMD side).
+void LeMask(const double* values, double bound, size_t n, uint8_t* mask);
+void LeMaskScalar(const double* values, double bound, size_t n,
+                  uint8_t* mask);
+
+/// keys[i] = DescendingKey(values[i]) in bulk.
+void DescendingKeys(const double* values, size_t n, uint64_t* keys);
+void DescendingKeysScalar(const double* values, size_t n, uint64_t* keys);
+
+/// \brief Branch-light partial top-m select over total-order keys.
+///
+/// Reorders `idx[0..n)` (any permutation of candidate slots) so that
+/// `idx[0..m)` holds the m best slots by (key descending, tiebreak
+/// ascending), sorted in that order; the suffix order is unspecified.
+/// Because (key, tiebreak) is a strict total order — integer compares, no
+/// NaN branches — the selected prefix is unique: a partial select is
+/// bit-identical to a full sort followed by truncation, on every ISA and
+/// every standard library. `tiebreak` is typically the charger-id lane; a
+/// null `tiebreak` ties by the slot index itself.
+void PartialSelectDescending(const uint64_t* keys, const uint32_t* tiebreak,
+                             uint32_t* idx, size_t n, size_t m);
+
+/// Ascending variant (cheapest-cost-first; used by the refinement-order
+/// sort, where ties keep the prior selection position: pass null).
+void PartialSelectAscending(const uint64_t* keys, const uint32_t* tiebreak,
+                            uint32_t* idx, size_t n, size_t m);
+
+}  // namespace simd
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_CORE_SIMD_SCORE_H_

@@ -1,6 +1,9 @@
 #include "core/cknn_ec.h"
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <limits>
 #include <set>
 
 #include <gtest/gtest.h>
@@ -117,6 +120,62 @@ TEST(IterativeDeepeningTest, DeterministicOnTies) {
   EXPECT_EQ(a[0].charger_id, 1u);
 }
 
+TEST(IterativeDeepeningTest, DuplicateCostsMatchAcrossSimdModes) {
+  // Regression for the cost-ordering call sites: with many duplicate
+  // (SC_min, SC_max) pairs the old raw-double comparators left the order
+  // to std::sort's whims; the keyed select pins ties to ascending charger
+  // id, identically on the SIMD and scalar paths.
+  Rng rng(911);
+  std::vector<ScoredCandidate> pool;
+  const double alphabet[] = {0.25, 0.5, 0.5, 0.75};  // heavy duplication
+  for (ChargerId id = 0; id < 40; ++id) {
+    pool.push_back(Candidate(id, alphabet[rng.NextBounded(4)],
+                             alphabet[rng.NextBounded(4)]));
+  }
+  for (size_t k : {0u, 1u, 7u, 40u, 64u}) {
+    QueryContext ctx_simd, ctx_scalar;
+    std::vector<ScoredCandidate> simd_out, scalar_out;
+    IterativeDeepeningIntersection(pool, k, &ctx_simd, &simd_out,
+                                   /*use_simd=*/true);
+    IterativeDeepeningIntersection(pool, k, &ctx_scalar, &scalar_out,
+                                   /*use_simd=*/false);
+    ASSERT_EQ(simd_out.size(), scalar_out.size()) << "k=" << k;
+    for (size_t i = 0; i < simd_out.size(); ++i) {
+      EXPECT_EQ(simd_out[i].charger_id, scalar_out[i].charger_id)
+          << "k=" << k << " rank " << i;
+    }
+    // Within a run of equal midpoints, ids ascend.
+    for (size_t i = 1; i < simd_out.size(); ++i) {
+      if (simd_out[i - 1].score.Mid() == simd_out[i].score.Mid()) {
+        EXPECT_LT(simd_out[i - 1].charger_id, simd_out[i].charger_id);
+      }
+    }
+  }
+}
+
+TEST(IterativeDeepeningTest, NanScoresRankLastDeterministically) {
+  // Degraded EIS estimates can surface NaN score pairs. The total-order
+  // key ranks them strictly after every real score (ties by id), instead
+  // of feeding NaN to a raw double comparator (strict-weak-ordering UB).
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::vector<ScoredCandidate> pool = {
+      Candidate(7, nan, nan),  Candidate(2, 0.6, 0.6), Candidate(9, nan, nan),
+      Candidate(4, 0.9, 0.9),  Candidate(1, nan, nan),
+  };
+  for (bool use_simd : {true, false}) {
+    QueryContext ctx;
+    std::vector<ScoredCandidate> out;
+    IterativeDeepeningIntersection(pool, pool.size(), &ctx, &out, use_simd);
+    ASSERT_EQ(out.size(), pool.size());
+    EXPECT_EQ(out[0].charger_id, 4u);
+    EXPECT_EQ(out[1].charger_id, 2u);
+    // NaN block last, ascending id.
+    EXPECT_EQ(out[2].charger_id, 1u);
+    EXPECT_EQ(out[3].charger_id, 7u);
+    EXPECT_EQ(out[4].charger_id, 9u);
+  }
+}
+
 class CknnProcessorTest : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -204,6 +263,81 @@ TEST_F(CknnProcessorTest, EmptyRadiusYieldsEmptyTable) {
   s.position = faraway;
   auto entries = processor.Query(s, 3, ScoreWeights::AWE());
   EXPECT_TRUE(entries.empty());
+}
+
+// Bitwise comparison of two offering entry lists (every double compared by
+// bit pattern, not value — the parity contract of DESIGN.md §15).
+void ExpectEntriesBitIdentical(const std::vector<OfferingEntry>& a,
+                               const std::vector<OfferingEntry>& b) {
+  auto bits = [](double v) { return std::bit_cast<uint64_t>(v); };
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].charger_id, b[i].charger_id) << "rank " << i;
+    EXPECT_EQ(bits(a[i].score.sc_min), bits(b[i].score.sc_min)) << i;
+    EXPECT_EQ(bits(a[i].score.sc_max), bits(b[i].score.sc_max)) << i;
+    EXPECT_EQ(bits(a[i].ecs.level.lo), bits(b[i].ecs.level.lo)) << i;
+    EXPECT_EQ(bits(a[i].ecs.level.hi), bits(b[i].ecs.level.hi)) << i;
+    EXPECT_EQ(bits(a[i].ecs.availability.lo), bits(b[i].ecs.availability.lo))
+        << i;
+    EXPECT_EQ(bits(a[i].ecs.availability.hi), bits(b[i].ecs.availability.hi))
+        << i;
+    EXPECT_EQ(bits(a[i].ecs.derouting.lo), bits(b[i].ecs.derouting.lo)) << i;
+    EXPECT_EQ(bits(a[i].ecs.derouting.hi), bits(b[i].ecs.derouting.hi)) << i;
+    EXPECT_EQ(bits(a[i].eta_s), bits(b[i].eta_s)) << i;
+  }
+}
+
+TEST_F(CknnProcessorTest, KZeroReturnsEmptyTableInBothSimdModes) {
+  for (bool use_simd : {true, false}) {
+    CknnEcOptions opts;
+    opts.radius_m = 50000.0;
+    opts.use_simd = use_simd;
+    CknnEcProcessor processor(env_->estimator.get(),
+                              env_->charger_index.get(), opts);
+    EXPECT_TRUE(processor.Query(states_[0], 0, ScoreWeights::AWE()).empty());
+  }
+}
+
+TEST_F(CknnProcessorTest, OversizedRefineLimitMatchesScalarBitwise) {
+  // refine_limit far beyond the candidate pool: the partial select must
+  // clamp to the pool and produce the same table as the scalar oracle.
+  CknnEcOptions opts;
+  opts.radius_m = 50000.0;
+  opts.refine_limit = 100000;  // >> any candidate count in the tiny env
+  opts.refine_exact_derouting = true;
+  CknnEcOptions scalar_opts = opts;
+  scalar_opts.use_simd = false;
+  CknnEcProcessor simd_proc(env_->estimator.get(), env_->charger_index.get(),
+                            opts);
+  CknnEcProcessor scalar_proc(env_->estimator.get(),
+                              env_->charger_index.get(), scalar_opts);
+  for (const VehicleState& state : states_) {
+    for (size_t k : {0u, 3u, 500u}) {
+      auto simd_entries = simd_proc.Query(state, k, ScoreWeights::AWE());
+      auto scalar_entries = scalar_proc.Query(state, k, ScoreWeights::AWE());
+      ExpectEntriesBitIdentical(simd_entries, scalar_entries);
+      EXPECT_LE(simd_entries.size(), k);
+    }
+  }
+}
+
+TEST_F(CknnProcessorTest, AblationPathMatchesScalarBitwise) {
+  // use_intersection = false routes ranking through the plain midpoint
+  // top-pool path — it shares the key/select machinery, so the parity
+  // contract covers it too.
+  CknnEcOptions opts;
+  opts.radius_m = 50000.0;
+  opts.use_intersection = false;
+  CknnEcOptions scalar_opts = opts;
+  scalar_opts.use_simd = false;
+  CknnEcProcessor simd_proc(env_->estimator.get(), env_->charger_index.get(),
+                            opts);
+  CknnEcProcessor scalar_proc(env_->estimator.get(),
+                              env_->charger_index.get(), scalar_opts);
+  for (const VehicleState& state : states_) {
+    ExpectEntriesBitIdentical(simd_proc.Query(state, 4, ScoreWeights::AWE()),
+                              scalar_proc.Query(state, 4, ScoreWeights::AWE()));
+  }
 }
 
 }  // namespace

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
+
+#include "common/rng.h"
+
 namespace ecocharge {
 namespace {
 
@@ -20,6 +25,45 @@ TEST(OfferingTableTest, SortIsDescendingWithIdTies) {
   EXPECT_EQ(entries[1].charger_id, 2u);
   EXPECT_EQ(entries[2].charger_id, 3u);  // tie with 7 -> lower id first
   EXPECT_EQ(entries[3].charger_id, 7u);
+}
+
+TEST(OfferingTableTest, NanSortKeysRankStrictlyLast) {
+  // Degraded estimates can leave a NaN midpoint; the total-order
+  // comparator must rank it last instead of invoking strict-weak-ordering
+  // UB in std::sort.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::vector<OfferingEntry> entries = {Entry(5, nan), Entry(2, 0.4),
+                                        Entry(9, nan), Entry(1, 0.8)};
+  SortOfferingEntries(entries);
+  EXPECT_EQ(entries[0].charger_id, 1u);
+  EXPECT_EQ(entries[1].charger_id, 2u);
+  EXPECT_EQ(entries[2].charger_id, 5u);  // NaN block last, ties by id
+  EXPECT_EQ(entries[3].charger_id, 9u);
+}
+
+TEST(OfferingTableTest, TopKMatchesFullSortPrefix) {
+  Rng rng(314);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<OfferingEntry> pool;
+    size_t n = 1 + rng.NextBounded(40);
+    for (size_t i = 0; i < n; ++i) {
+      // Quantized scores force plenty of duplicate sort keys.
+      pool.push_back(Entry(static_cast<ChargerId>(i),
+                           0.1 * static_cast<double>(rng.NextBounded(5))));
+    }
+    for (size_t k : {size_t{0}, size_t{1}, n / 2, n, n + 7}) {
+      std::vector<OfferingEntry> full = pool;
+      SortOfferingEntries(full);
+      full.resize(std::min(k, n));
+      std::vector<OfferingEntry> partial = pool;
+      SortOfferingEntriesTopK(partial, k);
+      ASSERT_EQ(partial.size(), full.size()) << "k=" << k;
+      for (size_t i = 0; i < partial.size(); ++i) {
+        EXPECT_EQ(partial[i].charger_id, full[i].charger_id)
+            << "k=" << k << " rank " << i;
+      }
+    }
+  }
 }
 
 TEST(OfferingTableTest, ChargerIdsPreserveRankOrder) {

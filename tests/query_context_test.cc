@@ -201,6 +201,34 @@ TEST(QueryContextTest, SteadyStateExactRefinementDoesNotAllocate) {
   }
 }
 
+TEST(QueryContextTest, SteadyStateHoldsInBothSimdModes) {
+  // The SoA score lanes live inside the context (plain std::vector, so
+  // this file's counting operator new sees them): after warm-up neither
+  // the vector kernels nor the scalar oracle may allocate per query.
+  SharedWorld& w = World();
+  for (bool use_simd : {true, false}) {
+    EcoChargeOptions opts;
+    opts.radius_m = 20000.0;
+    opts.q_distance_m = 0.0;  // full regeneration every query
+    opts.use_simd = use_simd;
+    EcoChargeRanker eco(w.env->estimator.get(), w.env->charger_index.get(),
+                        ScoreWeights::AWE(), opts);
+    QueryContext ctx;
+    OfferingTable table;
+    for (int pass = 0; pass < 3; ++pass) {
+      for (const VehicleState& state : w.states) {
+        eco.RankInto(state, 3, ctx, &table);
+      }
+    }
+    uint64_t before = g_allocations.load();
+    for (const VehicleState& state : w.states) {
+      eco.RankInto(state, 3, ctx, &table);
+    }
+    uint64_t after = g_allocations.load();
+    EXPECT_EQ(after - before, 0u) << "use_simd=" << use_simd;
+  }
+}
+
 TEST(QueryContextTest, SteadyStateCacheHitPathDoesNotAllocate) {
   SharedWorld& w = World();
   EcoChargeOptions opts;
@@ -253,6 +281,8 @@ TEST(QueryContextTest, SteadyStatePathWithMetricsDoesNotAllocate) {
   EXPECT_GT(registry.FindHistogram("pipeline.filter_ns")->Snapshot().count,
             0u);
   EXPECT_GT(registry.FindCounter("pipeline.candidates_scored")->Value(), 0u);
+  EXPECT_GT(registry.FindCounter("pipeline.simd.batches")->Value(), 0u);
+  EXPECT_GT(registry.FindCounter("pipeline.simd.lanes")->Value(), 0u);
   EXPECT_GT(registry.FindCounter("estimator.estimates.level")->Value(), 0u);
   EXPECT_GT(
       registry.FindHistogram("pipeline.batch_derouting_ns")->Snapshot().count,

@@ -191,6 +191,80 @@ TEST_P(CrossIndexParityTest, ChOrderingPreservesBatchParity) {
   }
 }
 
+TEST_P(CrossIndexParityTest, SimdOnOffTablesBitIdentical) {
+  SharedWorld& w = World();
+  std::unique_ptr<SpatialIndex> index = BuildIndex(GetParam());
+
+  // The SIMD filter/score hot path vs the scalar reference kernels must be
+  // a pure execution-strategy change: per backend, flipping --no-simd
+  // cannot move a single bit of any table — the scalar path is the parity
+  // oracle of DESIGN.md §15. Caching stays on so the sequence covers both
+  // the full-regeneration and the adaptation ranking paths.
+  EcoChargeOptions simd_opts;
+  simd_opts.radius_m = 20000.0;
+  simd_opts.use_simd = true;
+  EcoChargeOptions scalar_opts = simd_opts;
+  scalar_opts.use_simd = false;
+  EcoChargeRanker vectorized(w.env->estimator.get(), index.get(),
+                             ScoreWeights::AWE(), simd_opts);
+  EcoChargeRanker scalar(w.env->estimator.get(), index.get(),
+                         ScoreWeights::AWE(), scalar_opts);
+  for (const VehicleState& state : w.states) {
+    EXPECT_TRUE(TablesBitIdentical(vectorized.Rank(state, 3),
+                                   scalar.Rank(state, 3)));
+  }
+  EXPECT_EQ(vectorized.cache().hits(), scalar.cache().hits());
+}
+
+TEST_P(CrossIndexParityTest, SimdParityHoldsWithoutIntersection) {
+  SharedWorld& w = World();
+  std::unique_ptr<SpatialIndex> index = BuildIndex(GetParam());
+
+  // The ablation ranking (midpoint-only, no eq. 6 intersection) goes
+  // through its own partial-select path — hold it to the same oracle.
+  EcoChargeOptions simd_opts;
+  simd_opts.radius_m = 20000.0;
+  simd_opts.use_intersection = false;
+  simd_opts.use_simd = true;
+  EcoChargeOptions scalar_opts = simd_opts;
+  scalar_opts.use_simd = false;
+  EcoChargeRanker vectorized(w.env->estimator.get(), index.get(),
+                             ScoreWeights::AWE(), simd_opts);
+  EcoChargeRanker scalar(w.env->estimator.get(), index.get(),
+                         ScoreWeights::AWE(), scalar_opts);
+  for (const VehicleState& state : w.states) {
+    EXPECT_TRUE(TablesBitIdentical(vectorized.Rank(state, 3),
+                                   scalar.Rank(state, 3)));
+  }
+}
+
+TEST_P(CrossIndexParityTest, SimdParityHoldsOnChBackend) {
+  std::unique_ptr<SpatialIndex> index = BuildIndex(GetParam());
+
+  // SIMD on/off over the contraction-hierarchy derouting engine: the
+  // second exact backend completes the 5 spatial x 2 derouting parity
+  // matrix the acceptance contract names.
+  static const std::unique_ptr<Environment> ch_env = [] {
+    auto env = testing_util::TinyEnvironment(80, 42, DeroutingBackend::kCh);
+    EXPECT_NE(env, nullptr);
+    return env;
+  }();
+  ASSERT_NE(ch_env, nullptr);
+  EcoChargeOptions simd_opts;
+  simd_opts.radius_m = 20000.0;
+  simd_opts.use_simd = true;
+  EcoChargeOptions scalar_opts = simd_opts;
+  scalar_opts.use_simd = false;
+  EcoChargeRanker vectorized(ch_env->estimator.get(), index.get(),
+                             ScoreWeights::AWE(), simd_opts);
+  EcoChargeRanker scalar(ch_env->estimator.get(), index.get(),
+                         ScoreWeights::AWE(), scalar_opts);
+  for (const VehicleState& state : World().states) {
+    EXPECT_TRUE(TablesBitIdentical(vectorized.Rank(state, 3),
+                                   scalar.Rank(state, 3)));
+  }
+}
+
 TEST_P(CrossIndexParityTest, QuadtreeRankerTablesBitIdentical) {
   SharedWorld& w = World();
   std::unique_ptr<SpatialIndex> reference =

@@ -2,7 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
 #include "common/rng.h"
+#include "core/simd_score.h"
 
 namespace ecocharge {
 namespace {
@@ -106,6 +112,67 @@ TEST(ScorePairTest, ExactIntervalsCollapsePair) {
   ScorePair sc = ComputeScorePair(ecs, w);
   EXPECT_DOUBLE_EQ(sc.sc_min, sc.sc_max);
   EXPECT_DOUBLE_EQ(sc.Mid(), ComputeExactScore(0.4, 0.6, 0.2, w));
+}
+
+// --- Degenerate-input semantics (pinned; DESIGN.md §15) ------------------
+// The scoring arithmetic itself is IEEE-transparent: degraded EIS inputs
+// (NaN from a failed estimate, inf from an unreachable charger) propagate
+// into the score pair unchanged, and the *ranking* layer — not the scorer —
+// pins their order via the total-order key: NaN strictly last, -inf below
+// every finite score. The SIMD kernels must reproduce these mask-for-mask
+// (asserted in simd_score_test.cc).
+
+TEST(ScorePairDegenerateTest, ZeroWidthIntervalsGiveZeroWidthPair) {
+  // SC_min == SC_max bitwise, and Mid() reproduces them bitwise too (no
+  // rounding detour through (a + b) / 2 can move a bit when a == b).
+  EcIntervals ecs;
+  ecs.level = Interval::Exact(0.3);
+  ecs.availability = Interval::Exact(0.7);
+  ecs.derouting = Interval::Exact(0.4);
+  ScorePair sc = ComputeScorePair(ecs, ScoreWeights::AWE());
+  EXPECT_EQ(std::bit_cast<uint64_t>(sc.sc_min),
+            std::bit_cast<uint64_t>(sc.sc_max));
+  EXPECT_EQ(std::bit_cast<uint64_t>(sc.Mid()),
+            std::bit_cast<uint64_t>(sc.sc_min));
+}
+
+TEST(ScorePairDegenerateTest, NanComponentPropagatesToNanScore) {
+  EcIntervals ecs = SampleEcs();
+  // Direct member assignment: the Interval constructor's lo <= hi
+  // precondition is (correctly) unsatisfiable for NaN.
+  ecs.availability.lo = std::numeric_limits<double>::quiet_NaN();
+  ScorePair sc = ComputeScorePair(ecs, ScoreWeights::AWE());
+  EXPECT_TRUE(std::isnan(sc.sc_min));
+  EXPECT_FALSE(std::isnan(sc.sc_max));  // hi lane untouched
+  EXPECT_TRUE(std::isnan(sc.Mid()));    // midpoint inherits the NaN
+  // The ranking key pins NaN strictly below every real value.
+  EXPECT_EQ(simd::DescendingKey(sc.Mid()), 0u);
+  EXPECT_LT(simd::DescendingKey(sc.Mid()),
+            simd::DescendingKey(-std::numeric_limits<double>::infinity()));
+}
+
+TEST(ScorePairDegenerateTest, InfiniteDeroutingYieldsMinusInfScore) {
+  EcIntervals ecs = SampleEcs();
+  ecs.derouting.lo = std::numeric_limits<double>::infinity();
+  ScorePair sc = ComputeScorePair(ecs, ScoreWeights::AWE());
+  // (1 - inf) * w3 = -inf: an unreachable charger scores -inf, which the
+  // total order ranks below every finite score but above NaN.
+  EXPECT_TRUE(std::isinf(sc.sc_min));
+  EXPECT_LT(sc.sc_min, 0.0);
+  EXPECT_LT(simd::DescendingKey(sc.sc_min), simd::DescendingKey(-1e300));
+  EXPECT_GT(simd::DescendingKey(sc.sc_min),
+            simd::DescendingKey(std::numeric_limits<double>::quiet_NaN()));
+}
+
+TEST(ScorePairDegenerateTest, ZeroWeightSilencesNanComponent) {
+  // A degraded component with weight 0 contributes 0 * NaN = NaN under
+  // IEEE — pin that the single-objective presets do NOT silence a NaN in
+  // their zeroed components (0 * NaN is NaN, not 0). Consumers that need
+  // isolation must sanitize inputs, not rely on the weights.
+  EcIntervals ecs = SampleEcs();
+  ecs.availability.lo = std::numeric_limits<double>::quiet_NaN();
+  ScorePair sc = ComputeScorePair(ecs, ScoreWeights::OSC());
+  EXPECT_TRUE(std::isnan(sc.sc_min));
 }
 
 }  // namespace

@@ -1,0 +1,291 @@
+// Scalar-vs-SIMD kernel parity (DESIGN.md §15): the vector kernels must
+// reproduce the scalar reference bit for bit — scores, midpoints, pruning
+// masks, and ranking keys — on fuzzed batches covering unaligned tails,
+// all-pruned inputs, ties, and non-finite lanes from degraded estimates.
+// The partial selects must match full-sort-then-truncate exactly, because
+// the (key, tiebreak) order is total.
+
+#include "core/simd_score.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ecocharge {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Bitwise equality. The keys and masks are deterministic functions of the
+/// input *bits*, so even NaN inputs must produce exactly equal outputs;
+/// score arithmetic on NaN inputs may legally differ in payload bits only,
+/// which SameOrBothNan() accounts for where it applies.
+bool SameBits(double a, double b) {
+  return std::bit_cast<uint64_t>(a) == std::bit_cast<uint64_t>(b);
+}
+
+bool SameOrBothNan(double a, double b) {
+  return SameBits(a, b) || (std::isnan(a) && std::isnan(b));
+}
+
+/// Batch sizes exercising every tail shape of the 2- and 4-lane ISAs.
+const size_t kSizes[] = {0, 1, 2, 3, 4, 5, 7, 8, 15, 16, 17, 31, 64, 100, 257};
+
+/// A fuzzed EC lane value: mostly in [0, 1], sometimes degenerate.
+double FuzzComponent(Rng* rng) {
+  const uint64_t shape = rng->NextBounded(16);
+  if (shape == 0) return kNan;
+  if (shape == 1) return kInf;
+  if (shape == 2) return -kInf;
+  if (shape == 3) return 0.0;
+  if (shape == 4) return -0.0;
+  if (shape == 5) return 1.0;
+  return rng->NextDouble(-0.5, 1.5);
+}
+
+TEST(DescendingKeyTest, IsMonotoneOnOrderedDoubles) {
+  // Every adjacent pair of this ascending sequence must map to strictly
+  // ascending keys.
+  const double ordered[] = {-kInf,  -1e300, -2.5, -1.0,
+                            -1e-12, -0.0,   0.0,  5e-324,
+                            0.25,   1.0,    42.0, 1e300,
+                            kInf};
+  for (size_t i = 0; i + 1 < std::size(ordered); ++i) {
+    const uint64_t ka = simd::DescendingKey(ordered[i]);
+    const uint64_t kb = simd::DescendingKey(ordered[i + 1]);
+    if (SameBits(ordered[i], ordered[i + 1])) {
+      EXPECT_EQ(ka, kb);
+    } else {
+      EXPECT_LT(ka, kb) << ordered[i] << " vs " << ordered[i + 1];
+    }
+  }
+  // -0.0 and +0.0 differ in one bit: the total order puts -0.0 first.
+  EXPECT_LT(simd::DescendingKey(-0.0), simd::DescendingKey(0.0));
+}
+
+TEST(DescendingKeyTest, NanRanksBelowEverything) {
+  EXPECT_EQ(simd::DescendingKey(kNan), 0u);
+  EXPECT_EQ(simd::DescendingKey(-kNan), 0u);
+  // ... strictly below even -inf, so a NaN score sorts last descending.
+  EXPECT_GT(simd::DescendingKey(-kInf), simd::DescendingKey(kNan));
+}
+
+TEST(AscendingCostKeyTest, NanRanksAboveEverything) {
+  EXPECT_EQ(simd::AscendingCostKey(kNan), ~uint64_t{0});
+  // ... strictly above +inf, so a NaN cost refines last ascending.
+  EXPECT_LT(simd::AscendingCostKey(kInf), simd::AscendingCostKey(kNan));
+  EXPECT_LT(simd::AscendingCostKey(0.0), simd::AscendingCostKey(1.0));
+}
+
+TEST(SimdKernelTest, ScoreIntervalsMatchesScalarOnFuzzedBatches) {
+  Rng rng(0x51D5C0DEULL);
+  const ScoreWeights presets[] = {ScoreWeights::AWE(), ScoreWeights::OSC(),
+                                  ScoreWeights::OA(), ScoreWeights::ODC(),
+                                  {0.2, 0.5, 0.3}};
+  for (size_t n : kSizes) {
+    for (const ScoreWeights& w : presets) {
+      std::vector<double> llo(n), lhi(n), alo(n), ahi(n), dlo(n), dhi(n);
+      for (size_t i = 0; i < n; ++i) {
+        llo[i] = FuzzComponent(&rng);
+        lhi[i] = FuzzComponent(&rng);
+        alo[i] = FuzzComponent(&rng);
+        ahi[i] = FuzzComponent(&rng);
+        dlo[i] = FuzzComponent(&rng);
+        dhi[i] = FuzzComponent(&rng);
+      }
+      std::vector<double> min_v(n), max_v(n), min_s(n), max_s(n);
+      simd::ScoreIntervals(llo.data(), lhi.data(), alo.data(), ahi.data(),
+                           dlo.data(), dhi.data(), n, w, min_v.data(),
+                           max_v.data());
+      simd::ScoreIntervalsScalar(llo.data(), lhi.data(), alo.data(),
+                                 ahi.data(), dlo.data(), dhi.data(), n, w,
+                                 min_s.data(), max_s.data());
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_TRUE(SameOrBothNan(min_v[i], min_s[i]))
+            << "n=" << n << " lane " << i << ": " << min_v[i] << " vs "
+            << min_s[i];
+        EXPECT_TRUE(SameOrBothNan(max_v[i], max_s[i]))
+            << "n=" << n << " lane " << i;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, ScoreIntervalsMatchesComputeScorePair) {
+  // The lane kernel vs the AoS production oracle, on well-formed inputs:
+  // exact bit equality, no NaN escape hatch.
+  Rng rng(0xB17AB17ULL);
+  const ScoreWeights w = ScoreWeights::AWE();
+  const size_t n = 129;  // unaligned on every ISA
+  std::vector<double> llo(n), lhi(n), alo(n), ahi(n), dlo(n), dhi(n);
+  std::vector<EcIntervals> ecs(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double l = rng.NextDouble(), a = rng.NextDouble();
+    const double d = rng.NextDouble();
+    ecs[i].level = Interval(l * 0.5, l);
+    ecs[i].availability = Interval(a * 0.5, a);
+    ecs[i].derouting = Interval(d * 0.5, d);
+    llo[i] = ecs[i].level.lo;
+    lhi[i] = ecs[i].level.hi;
+    alo[i] = ecs[i].availability.lo;
+    ahi[i] = ecs[i].availability.hi;
+    dlo[i] = ecs[i].derouting.lo;
+    dhi[i] = ecs[i].derouting.hi;
+  }
+  std::vector<double> min_v(n), max_v(n);
+  simd::ScoreIntervals(llo.data(), lhi.data(), alo.data(), ahi.data(),
+                       dlo.data(), dhi.data(), n, w, min_v.data(),
+                       max_v.data());
+  for (size_t i = 0; i < n; ++i) {
+    const ScorePair sc = ComputeScorePair(ecs[i], w);
+    EXPECT_TRUE(SameBits(min_v[i], sc.sc_min)) << "lane " << i;
+    EXPECT_TRUE(SameBits(max_v[i], sc.sc_max)) << "lane " << i;
+  }
+}
+
+TEST(SimdKernelTest, MidpointsMatchScalarAndScorePairMid) {
+  Rng rng(0x1D01ULL);
+  for (size_t n : kSizes) {
+    std::vector<double> lo(n), hi(n), mid_v(n), mid_s(n);
+    for (size_t i = 0; i < n; ++i) {
+      lo[i] = FuzzComponent(&rng);
+      hi[i] = FuzzComponent(&rng);
+    }
+    simd::Midpoints(lo.data(), hi.data(), n, mid_v.data());
+    simd::MidpointsScalar(lo.data(), hi.data(), n, mid_s.data());
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_TRUE(SameOrBothNan(mid_v[i], mid_s[i])) << "n=" << n;
+      // (a+b)*0.5 must also equal ScorePair::Mid()'s (a+b)/2.0 exactly.
+      const ScorePair sc{lo[i], hi[i]};
+      EXPECT_TRUE(SameOrBothNan(mid_s[i], sc.Mid())) << "n=" << n;
+    }
+  }
+}
+
+TEST(SimdKernelTest, LeMaskMatchesScalarIncludingNanAndTies) {
+  Rng rng(0x3A5CULL);
+  for (size_t n : kSizes) {
+    std::vector<double> values(n);
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t shape = rng.NextBounded(8);
+      if (shape == 0) values[i] = kNan;
+      else if (shape == 1) values[i] = kInf;
+      else if (shape == 2) values[i] = 10.0;  // exactly the bound: kept
+      else values[i] = rng.NextDouble(0.0, 20.0);
+    }
+    std::vector<uint8_t> mask_v(n, 0xAA), mask_s(n, 0x55);
+    simd::LeMask(values.data(), 10.0, n, mask_v.data());
+    simd::LeMaskScalar(values.data(), 10.0, n, mask_s.data());
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(mask_v[i], mask_s[i]) << "n=" << n << " lane " << i;
+      if (std::isnan(values[i])) {
+        EXPECT_EQ(mask_v[i], 0) << "NaN must prune";
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, LeMaskAllPrunedBatch) {
+  for (size_t n : kSizes) {
+    std::vector<double> values(n, 5.0);
+    std::vector<uint8_t> mask(n, 1);
+    simd::LeMask(values.data(), /*bound=*/1.0, n, mask.data());
+    for (size_t i = 0; i < n; ++i) EXPECT_EQ(mask[i], 0);
+  }
+}
+
+TEST(SimdKernelTest, DescendingKeysBulkMatchesScalar) {
+  Rng rng(0x4E75ULL);
+  for (size_t n : kSizes) {
+    std::vector<double> values(n);
+    for (size_t i = 0; i < n; ++i) values[i] = FuzzComponent(&rng);
+    std::vector<uint64_t> keys_v(n, 1), keys_s(n, 2);
+    simd::DescendingKeys(values.data(), n, keys_v.data());
+    simd::DescendingKeysScalar(values.data(), n, keys_s.data());
+    for (size_t i = 0; i < n; ++i) {
+      // Keys are functions of the input bits: exact equality, NaN included.
+      EXPECT_EQ(keys_v[i], keys_s[i]) << "n=" << n << " lane " << i;
+      EXPECT_EQ(keys_s[i], simd::DescendingKey(values[i]));
+    }
+  }
+}
+
+TEST(SimdKernelTest, PartialSelectMatchesFullSortWithTies) {
+  Rng rng(0x5E1EC7ULL);
+  for (size_t n : kSizes) {
+    if (n == 0) continue;
+    // Heavy duplication: keys drawn from a tiny alphabet force the
+    // tiebreak lane to decide most comparisons.
+    std::vector<uint64_t> keys(n);
+    std::vector<uint32_t> ids(n);
+    for (size_t i = 0; i < n; ++i) {
+      keys[i] = rng.NextBounded(4);
+      ids[i] = static_cast<uint32_t>(n - 1 - i);  // distinct, reversed
+    }
+    for (size_t m : {size_t{0}, size_t{1}, n / 2, n - 1, n, n + 3}) {
+      std::vector<uint32_t> partial(n), full(n);
+      for (uint32_t i = 0; i < n; ++i) partial[i] = full[i] = i;
+      simd::PartialSelectDescending(keys.data(), ids.data(), partial.data(),
+                                    n, m);
+      std::sort(full.begin(), full.end(), [&](uint32_t a, uint32_t b) {
+        if (keys[a] != keys[b]) return keys[a] > keys[b];
+        return ids[a] < ids[b];
+      });
+      const size_t prefix = std::min(m, n);
+      for (size_t i = 0; i < prefix; ++i) {
+        EXPECT_EQ(partial[i], full[i]) << "n=" << n << " m=" << m;
+      }
+    }
+  }
+}
+
+TEST(SimdKernelTest, PartialSelectAscendingNullTiebreakUsesSlotIndex) {
+  const size_t n = 9;
+  std::vector<uint64_t> keys = {3, 1, 4, 1, 5, 1, 2, 1, 3};
+  std::vector<uint32_t> idx(n);
+  for (uint32_t i = 0; i < n; ++i) idx[i] = i;
+  simd::PartialSelectAscending(keys.data(), /*tiebreak=*/nullptr, idx.data(),
+                               n, 5);
+  // Ascending by key, equal keys by slot: 1@1, 1@3, 1@5, 1@7, 2@6.
+  EXPECT_EQ(idx[0], 1u);
+  EXPECT_EQ(idx[1], 3u);
+  EXPECT_EQ(idx[2], 5u);
+  EXPECT_EQ(idx[3], 7u);
+  EXPECT_EQ(idx[4], 6u);
+}
+
+TEST(ScoreLanesTest, ReserveAndClearKeepCapacity) {
+  simd::ScoreLanes lanes;
+  lanes.Reserve(64);
+  const size_t cap = lanes.level_lo.capacity();
+  EXPECT_GE(cap, 64u);
+  for (size_t i = 0; i < 64; ++i) {
+    lanes.level_lo.push_back(0.5);
+    lanes.ids.push_back(static_cast<uint32_t>(i));
+  }
+  lanes.Clear();
+  EXPECT_TRUE(lanes.level_lo.empty());
+  EXPECT_TRUE(lanes.ids.empty());
+  EXPECT_EQ(lanes.level_lo.capacity(), cap);
+}
+
+TEST(SimdIsaTest, LaneWidthMatchesCompiledIsa) {
+  // Sanity: the dispatch picked exactly one ISA and its lane width.
+#if defined(ECOCHARGE_SIMD_AVX2)
+  EXPECT_EQ(simd::kLaneWidth, 4u);
+#elif defined(ECOCHARGE_SIMD_SSE2) || defined(ECOCHARGE_SIMD_NEON)
+  EXPECT_EQ(simd::kLaneWidth, 2u);
+#else
+  EXPECT_EQ(simd::kLaneWidth, 1u);
+#endif
+  EXPECT_NE(simd::kIsaName, nullptr);
+}
+
+}  // namespace
+}  // namespace ecocharge

@@ -130,20 +130,20 @@ int Usage() {
                tables in the input are preserved)
   rank         --kind KIND [--chargers N] [--k K] [--radius-km R]
                [--hour H] [--seed N] [--index BACKEND] [--landmarks N]
-               [--no-batch-derouting] [--graph-snapshot FILE.ecgs]
-               [--derouting ch|exact]
+               [--no-batch-derouting] [--no-simd]
+               [--graph-snapshot FILE.ecgs] [--derouting ch|exact]
                (query at a sample trip state; --landmarks builds N ALT
                landmarks that order the refinement candidates by
                lower-bounded derouting cost)
   simulate     --kind KIND [--vehicles N] [--chargers N] [--seed N]
-               [--index BACKEND] [--no-batch-derouting]
+               [--index BACKEND] [--no-batch-derouting] [--no-simd]
                (fleet hoarding: EcoCharge vs nearest-charger policies)
   serve        --threads N [--kind KIND] [--chargers N] [--clients N]
                [--requests N] [--queue-depth N] [--io-ms MS] [--seed N]
                [--statsz] [--statsz-period SEC]
                [--fault-p P] [--fault-spike-p P] [--fault-stall-p P]
                [--fault-seed N] [--retry-attempts N] [--deadline-ms MS]
-               [--resilient] [--no-batch-derouting]
+               [--resilient] [--no-batch-derouting] [--no-simd]
                (--threads 0 = synchronous deterministic mode; --statsz
                prints a final JSON metrics dump to stdout, and with a
                period > 0 a live text dump to stderr every SEC seconds;
@@ -163,6 +163,11 @@ int Usage() {
   --no-batch-derouting: escape hatch that refines with one point-to-point
   search per candidate instead of the batched one-sweep-per-query path;
   rankings are bit-identical either way, only the query time changes.
+
+  --no-simd (rank/simulate/serve): escape hatch that routes the filter/
+  score phase through the scalar reference kernels instead of the SIMD
+  hot path; rankings are bit-identical either way (the scalar path is the
+  parity oracle), only the query time changes.
 
   --graph-snapshot (rank/simulate/serve/stats): mmap-load the road network
   from a `graph build` snapshot instead of synthesizing it; the dataset
@@ -395,6 +400,7 @@ Result<std::unique_ptr<Environment>> BuildEnv(const Args& args) {
 EcoChargeOptions EcoOptionsFor(const Args& args, const Environment& env) {
   EcoChargeOptions opts;
   opts.batch_derouting = !args.GetBool("no-batch-derouting");
+  opts.use_simd = !args.GetBool("no-simd");
   opts.landmarks = env.landmarks.get();
   opts.ch = env.ch.get();
   return opts;
