@@ -33,6 +33,15 @@
 #                                    # (scalar-vs-SIMD bit parity on all
 #                                    # spatial backends + SoA speedup
 #                                    # floor; emits BENCH_score.json)
+#   scripts/check.sh fleet           # fleet-serving gate: partition /
+#                                    # epoch / corridor / handoff suites
+#                                    # under TSan (the RCU pin/publish
+#                                    # protocol and cross-shard ticket
+#                                    # waits are the racy surface), then
+#                                    # the asserting bench_fleet (bit
+#                                    # parity across shard counts +
+#                                    # corridor hit-rate and QPS scaling
+#                                    # floors; emits BENCH_fleet.json)
 #   scripts/check.sh lint            # clang-tidy over src/, tools/, and
 #                                    # the asserting bench gates (skips
 #                                    # with exit 0 when clang-tidy absent)
@@ -46,8 +55,21 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 sanitize="${1:-}"
 obs_gate=""
 fault_gate=""
+fleet_gate=""
 case "${sanitize}" in
   address|undefined|thread) shift ;;
+  fleet)
+    # The fleet runtime's concurrency surface: the WorldEpochs Dekker
+    # pin/publish protocol, cross-shard ticket waits in the ClientStore,
+    # the sharded corridor cache, and every shard's worker pool sharing
+    # them. Run those suites under TSan, then hold the parity / hit-rate /
+    # scaling floors with the asserting bench from a plain Release tree
+    # (sanitized timings are meaningless).
+    shift
+    sanitize="thread"
+    fleet_gate=1
+    set -- -R 'Fleet|GeoPartition|WorldEpochs|ClientStore|Corridor|OfferingServer|TtlCache|QueryContext' "$@"
+    ;;
   obs)
     # The metrics hot path is relaxed atomics shared across worker
     # threads; run every test that exercises it under TSan, then hold the
@@ -179,7 +201,8 @@ case "${sanitize}" in
       -name '*.cc'; echo "${repo_root}/bench/bench_micro_obs.cc"; \
       echo "${repo_root}/bench/bench_micro_derouting.cc"; \
       echo "${repo_root}/bench/bench_micro_ch.cc"; \
-      echo "${repo_root}/bench/bench_micro_score.cc"; } | sort)
+      echo "${repo_root}/bench/bench_micro_score.cc"; \
+      echo "${repo_root}/bench/bench_fleet.cc"; } | sort)
     clang-tidy -p "${build_dir}" --quiet "${sources[@]}" "$@"
     exit 0
     ;;
@@ -220,4 +243,16 @@ if [[ -n "${fault_gate}" ]]; then
     -DCMAKE_BUILD_TYPE=Release -DECOCHARGE_SANITIZE=
   cmake --build "${plain_dir}" -j "$(nproc)" --target bench_fault_resilience
   (cd "${plain_dir}/bench" && ./bench_fault_resilience --quick)
+fi
+
+if [[ -n "${fleet_gate}" ]]; then
+  # Bit parity across shard counts, the corridor hit-rate floor, and the
+  # I/O-bound QPS scaling floor; timing wants a plain Release tree.
+  plain_dir="${repo_root}/build"
+  cmake -B "${plain_dir}" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE=Release -DECOCHARGE_SANITIZE=
+  cmake --build "${plain_dir}" -j "$(nproc)" --target bench_fleet
+  (cd "${plain_dir}/bench" && ./bench_fleet --quick)
+  echo "check.sh fleet: BENCH_fleet.json lands in build/bench/ and is" \
+       "untracked; copy numbers into EXPERIMENTS.md when they move."
 fi

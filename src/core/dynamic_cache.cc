@@ -1,5 +1,7 @@
 #include "core/dynamic_cache.h"
 
+#include <utility>
+
 namespace ecocharge {
 
 DynamicCache::DynamicCache(const DynamicCacheOptions& options)
@@ -7,30 +9,37 @@ DynamicCache::DynamicCache(const DynamicCacheOptions& options)
 
 const std::vector<ScoredCandidate>* DynamicCache::TryReuse(
     const Point& position, SimTime now) {
-  if (!solution_.has_value()) {
-    ++misses_;
+  if (!state_.has_solution) {
+    ++state_.misses;
     return nullptr;
   }
   bool moved_too_far =
-      Distance(position, solution_->anchor) > options_.q_distance_m;
-  bool stale = now - solution_->stored_at > options_.ttl_s || now <
-                   solution_->stored_at;
+      Distance(position, state_.anchor) > options_.q_distance_m;
+  bool stale =
+      now - state_.stored_at > options_.ttl_s || now < state_.stored_at;
   if (moved_too_far || stale) {
-    ++misses_;
+    ++state_.misses;
     return nullptr;
   }
-  ++hits_;
-  return &solution_->candidates;
+  ++state_.hits;
+  return &state_.candidates;
 }
 
 void DynamicCache::Store(const Point& position, SimTime now,
                          const std::vector<ScoredCandidate>& candidates) {
-  if (!solution_.has_value()) solution_.emplace();
-  solution_->anchor = position;
-  solution_->stored_at = now;
-  solution_->candidates.assign(candidates.begin(), candidates.end());
+  state_.has_solution = true;
+  state_.anchor = position;
+  state_.stored_at = now;
+  state_.candidates.assign(candidates.begin(), candidates.end());
 }
 
-void DynamicCache::Clear() { solution_.reset(); }
+void DynamicCache::Clear() {
+  state_.has_solution = false;
+  state_.candidates.clear();
+}
+
+void DynamicCache::SwapState(DynamicCacheState* state) {
+  std::swap(state_, *state);
+}
 
 }  // namespace ecocharge

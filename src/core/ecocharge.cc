@@ -43,7 +43,9 @@ void EcoChargeRanker::RankInto(const VehicleState& state, size_t k,
   out->entries.clear();
 
   if (const std::vector<ScoredCandidate>* cached =
-          cache_.TryReuse(state.position, state.time)) {
+          options_.use_dynamic_cache
+              ? cache_.TryReuse(state.position, state.time)
+              : nullptr) {
     // Adaptation: reuse the previously solved sub-problems. By default the
     // recalculation is skipped entirely (the cached L/A/D stay as computed
     // at the anchor position — the staleness the Q parameter trades away);
@@ -75,7 +77,9 @@ void EcoChargeRanker::RankInto(const VehicleState& state, size_t k,
       processor_.FilterCandidates(state.position, &ctx);
   const std::vector<ScoredCandidate>& scored =
       processor_.ScoreCandidates(state, candidates, weights_, &ctx);
-  cache_.Store(state.position, state.time, scored);
+  if (options_.use_dynamic_cache) {
+    cache_.Store(state.position, state.time, scored);
+  }
   processor_.RefineAndRank(state, &scored, k, weights_,
                            options_.refine_exact_derouting, &ctx,
                            &out->entries);

@@ -46,6 +46,12 @@ struct EcoChargeOptions {
   /// Offering Tables are bit-identical with it on or off. Off is the
   /// `--no-simd` escape hatch / scalar parity oracle.
   bool use_simd = true;
+
+  /// Per-client Dynamic Caching (Section IV-C) on/off. The fleet
+  /// runtime's corridor cache ranks canonical anchor states with this
+  /// off, so a stored corridor table is a pure function of (corridor key,
+  /// world epoch) — independent of which vehicle computed it first.
+  bool use_dynamic_cache = true;
 };
 
 /// \brief The EcoCharge renewable-hoarding algorithm.
@@ -77,6 +83,12 @@ class EcoChargeRanker : public Ranker {
 
   const DynamicCache& cache() const { return cache_; }
   const EcoChargeOptions& options() const { return options_; }
+
+  /// Exchanges the Dynamic Cache contents with `*state` in O(1) (see
+  /// DynamicCacheState). The fleet runtime swaps a client's centrally
+  /// stored state in before ranking and back out after, so one shared
+  /// ranker serves every client while each vehicle keeps its own cache.
+  void SwapCacheState(DynamicCacheState* state) { cache_.SwapState(state); }
 
   /// Installs phase timers/counters on the underlying CkNN-EC processor
   /// (both the full-regeneration and the cached adaptation path record

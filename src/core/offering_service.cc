@@ -23,12 +23,34 @@ OfferingService::ClientState& OfferingService::ClientFor(uint64_t client_id) {
   return client;
 }
 
+EcoChargeRanker& OfferingService::FreshRanker() {
+  if (!fresh_ranker_) {
+    EcoChargeOptions fresh = options_;
+    fresh.use_dynamic_cache = false;
+    fresh_ranker_ = std::make_unique<EcoChargeRanker>(
+        estimator_, charger_index_, weights_, fresh);
+    fresh_ranker_->set_metrics(pipeline_metrics_);
+  }
+  return *fresh_ranker_;
+}
+
+EcoChargeRanker& OfferingService::SharedRanker() {
+  if (!shared_ranker_) {
+    shared_ranker_ = std::make_unique<EcoChargeRanker>(
+        estimator_, charger_index_, weights_, options_);
+    shared_ranker_->set_metrics(pipeline_metrics_);
+  }
+  return *shared_ranker_;
+}
+
 void OfferingService::AttachMetrics(obs::MetricsRegistry* registry) {
   pipeline_metrics_ =
       registry ? PipelineMetrics::FromRegistry(registry) : PipelineMetrics{};
   for (auto& [id, client] : clients_) {
     if (client.ranker) client.ranker->set_metrics(pipeline_metrics_);
   }
+  if (fresh_ranker_) fresh_ranker_->set_metrics(pipeline_metrics_);
+  if (shared_ranker_) shared_ranker_->set_metrics(pipeline_metrics_);
 }
 
 void OfferingService::RankInto(uint64_t client_id, const VehicleState& state,
@@ -37,6 +59,25 @@ void OfferingService::RankInto(uint64_t client_id, const VehicleState& state,
   ClientState& client = ClientFor(client_id);
   client.last_seen = state.time;
   client.ranker->RankInto(state, k, ctx_, out);
+  ++stats_.tables_served;
+  if (out->adapted_from_cache) ++stats_.cache_adaptations;
+}
+
+void OfferingService::RankFresh(const VehicleState& state, size_t k,
+                                OfferingTable* out) {
+  ++stats_.requests;
+  FreshRanker().RankInto(state, k, ctx_, out);
+  ++stats_.tables_served;
+}
+
+void OfferingService::RankWithCache(const VehicleState& state, size_t k,
+                                    DynamicCacheState* cache,
+                                    OfferingTable* out) {
+  ++stats_.requests;
+  EcoChargeRanker& ranker = SharedRanker();
+  ranker.SwapCacheState(cache);
+  ranker.RankInto(state, k, ctx_, out);
+  ranker.SwapCacheState(cache);
   ++stats_.tables_served;
   if (out->adapted_from_cache) ++stats_.cache_adaptations;
 }

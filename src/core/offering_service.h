@@ -48,6 +48,21 @@ class OfferingService {
   /// Convenience for in-process callers: rank without serialization.
   OfferingTable Rank(uint64_t client_id, const VehicleState& state, size_t k);
 
+  /// Ranks `state` with Dynamic Caching disabled: a fresh filter + score +
+  /// refine pass whose result depends only on the state and the world —
+  /// not on any per-client history. The fleet corridor cache ranks
+  /// canonical anchor states through this path, so the stored table is
+  /// identical no matter which vehicle, worker, or shard computed it.
+  void RankFresh(const VehicleState& state, size_t k, OfferingTable* out);
+
+  /// Ranks `state` against an externally owned Dynamic Cache state: the
+  /// contents of `*cache` are swapped into a service-shared ranker for the
+  /// duration of the call and swapped back out (both O(1), no allocation).
+  /// The fleet runtime keeps each vehicle's caching state in a central
+  /// store and carries it across shard handoffs through this call.
+  void RankWithCache(const VehicleState& state, size_t k,
+                     DynamicCacheState* cache, OfferingTable* out);
+
   /// Drops the cached state of every client idle since before `now`.
   void EvictIdleClients(SimTime now);
 
@@ -89,6 +104,8 @@ class OfferingService {
   };
 
   ClientState& ClientFor(uint64_t client_id);
+  EcoChargeRanker& FreshRanker();
+  EcoChargeRanker& SharedRanker();
 
   EcEstimator* estimator_;
   const SpatialIndex* charger_index_;
@@ -96,6 +113,8 @@ class OfferingService {
   EcoChargeOptions options_;
   double client_ttl_s_;
   std::unordered_map<uint64_t, ClientState> clients_;
+  std::unique_ptr<EcoChargeRanker> fresh_ranker_;   // Dynamic Caching off
+  std::unique_ptr<EcoChargeRanker> shared_ranker_;  // external cache state
   OfferingServiceStats stats_;
   PipelineMetrics pipeline_metrics_;  // applied to every client ranker
 

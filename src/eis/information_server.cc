@@ -27,6 +27,48 @@ uint64_t InformationServer::MixKey(uint64_t a, uint64_t b, uint64_t c) {
   return (h ^ (h >> 29)) * 0xBF58476D1CE4E5B9ULL + c * 0x94D049BB133111EBULL;
 }
 
+namespace {
+
+// Re-keys `key` under revision `rev` of its upstream data set. rev + 1
+// keeps revision 0 distinct from the no-op fold of a missing scope only
+// through the branch below — when no scope is installed the key passes
+// through untouched, preserving the pre-fleet key space bit for bit.
+uint64_t FoldRevision(uint64_t key, uint64_t rev) {
+  uint64_t h = key ^ (rev + 1) * 0xD6E8FEB86659FD93ULL;
+  h ^= h >> 32;
+  return h * 0x2545F4914F6CDD1DULL;
+}
+
+}  // namespace
+
+uint64_t InformationServer::WeatherKey(const EvCharger& charger, SimTime now,
+                                       SimTime target) {
+  uint64_t key = MixKey(charger.id + 1, TimeBucket(target), TimeBucket(now));
+  if (const WorldRevisions* revs = ScopedWorldRevisions::Current()) {
+    key = FoldRevision(key, revs->weather);
+  }
+  return key;
+}
+
+uint64_t InformationServer::AvailabilityKey(const EvCharger& charger,
+                                            SimTime now, SimTime target) {
+  uint64_t key = MixKey(charger.id + 1, TimeBucket(target), TimeBucket(now));
+  if (const WorldRevisions* revs = ScopedWorldRevisions::Current()) {
+    key = FoldRevision(key, revs->availability);
+  }
+  return key;
+}
+
+uint64_t InformationServer::TrafficKey(RoadClass road_class, SimTime now,
+                                       SimTime target) {
+  uint64_t key = MixKey(static_cast<uint64_t>(road_class) + 1,
+                        TimeBucket(target), TimeBucket(now));
+  if (const WorldRevisions* revs = ScopedWorldRevisions::Current()) {
+    key = FoldRevision(key, revs->traffic);
+  }
+  return key;
+}
+
 void InformationServer::CountWeatherCall() {
   weather_calls_.fetch_add(1, std::memory_order_relaxed);
   if (weather_calls_mirror_) weather_calls_mirror_->Add();
@@ -60,7 +102,7 @@ EnergyForecast InformationServer::GetEnergyForecast(const EvCharger& charger,
                                                     double window_s,
                                                     EisFetch* fetch) {
   if (fetch) *fetch = EisFetch::kFresh;
-  uint64_t key = MixKey(charger.id + 1, TimeBucket(target), TimeBucket(now));
+  uint64_t key = WeatherKey(charger, now, target);
   if (auto cached = weather_cache_.Get(key, now)) return *cached;
   CountWeatherCall();
   EnergyForecast f = energy_->ForecastEnergyKwh(charger, SnapToBucket(now),
@@ -73,7 +115,7 @@ EnergyForecast InformationServer::GetEnergyForecast(const EvCharger& charger,
 AvailabilityForecast InformationServer::GetAvailability(
     const EvCharger& charger, SimTime now, SimTime target, EisFetch* fetch) {
   if (fetch) *fetch = EisFetch::kFresh;
-  uint64_t key = MixKey(charger.id + 1, TimeBucket(target), TimeBucket(now));
+  uint64_t key = AvailabilityKey(charger, now, target);
   if (auto cached = availability_cache_.Get(key, now)) return *cached;
   CountAvailabilityCall();
   AvailabilityForecast f = availability_->Forecast(
@@ -87,8 +129,7 @@ CongestionModel::Band InformationServer::GetTraffic(RoadClass road_class,
                                                     SimTime target,
                                                     EisFetch* fetch) {
   if (fetch) *fetch = EisFetch::kFresh;
-  uint64_t key = MixKey(static_cast<uint64_t>(road_class) + 1,
-                        TimeBucket(target), TimeBucket(now));
+  uint64_t key = TrafficKey(road_class, now, target);
   if (auto cached = traffic_cache_.Get(key, now)) return *cached;
   CountTrafficCall();
   CongestionModel::Band band = congestion_->ForecastSpeedFactor(

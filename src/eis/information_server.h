@@ -8,6 +8,7 @@
 
 #include "availability/availability_service.h"
 #include "eis/ttl_cache.h"
+#include "eis/world_revisions.h"
 #include "energy/production.h"
 #include "traffic/congestion.h"
 
@@ -117,6 +118,19 @@ class InformationServer {
   static uint64_t TimeBucket(SimTime t);
   static SimTime SnapToBucket(SimTime t);
   static uint64_t MixKey(uint64_t a, uint64_t b, uint64_t c);
+
+  /// Cache keys for the three upstreams. Fold in the thread's active
+  /// world revision (ScopedWorldRevisions) when one is installed: a
+  /// published refresh bumps the revision, which re-keys the affected
+  /// upstream's cache so stale responses become unreachable without a
+  /// sweep. With no scope active the key is the classic (identity,
+  /// target bucket, issue bucket) key, bit-unchanged.
+  static uint64_t WeatherKey(const EvCharger& charger, SimTime now,
+                             SimTime target);
+  static uint64_t AvailabilityKey(const EvCharger& charger, SimTime now,
+                                  SimTime target);
+  static uint64_t TrafficKey(RoadClass road_class, SimTime now,
+                             SimTime target);
 
   /// Bumps the per-upstream call counter (atomic + registry mirror).
   void CountWeatherCall();

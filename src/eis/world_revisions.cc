@@ -1,0 +1,22 @@
+#include "eis/world_revisions.h"
+
+namespace ecocharge {
+
+namespace {
+
+thread_local const ScopedWorldRevisions* g_active = nullptr;
+
+}  // namespace
+
+ScopedWorldRevisions::ScopedWorldRevisions(const WorldRevisions& revisions)
+    : revisions_(revisions), outer_(g_active) {
+  g_active = this;
+}
+
+ScopedWorldRevisions::~ScopedWorldRevisions() { g_active = outer_; }
+
+const WorldRevisions* ScopedWorldRevisions::Current() {
+  return g_active ? &g_active->revisions_ : nullptr;
+}
+
+}  // namespace ecocharge

@@ -1,0 +1,56 @@
+#ifndef ECOCHARGE_EIS_WORLD_REVISIONS_H_
+#define ECOCHARGE_EIS_WORLD_REVISIONS_H_
+
+#include <cstdint>
+
+namespace ecocharge {
+
+/// \brief Per-upstream world-version counters.
+///
+/// Each counter names the generation of one upstream data set (weather,
+/// busy timetables, traffic). The serving runtime bumps a counter when the
+/// corresponding upstream publishes a refresh; the EIS folds the active
+/// revisions into its cache keys, so a refresh makes every previously
+/// cached response for that upstream unreachable — precise, key-level
+/// invalidation with no lock sweep over the caches and no stall of
+/// concurrent readers still pinned to the previous world version.
+struct WorldRevisions {
+  uint64_t weather = 0;
+  uint64_t availability = 0;
+  uint64_t traffic = 0;
+
+  bool operator==(const WorldRevisions& o) const {
+    return weather == o.weather && availability == o.availability &&
+           traffic == o.traffic;
+  }
+  bool operator!=(const WorldRevisions& o) const { return !(*this == o); }
+};
+
+/// \brief Installs a set of world revisions on the current thread for the
+/// duration of a request.
+///
+/// Same propagation pattern as resilience::ScopedRequestDeadline: one
+/// serving worker handles one request at a time, so a thread-local slot
+/// carries the pinned epoch's revisions through the estimator into the
+/// EIS without threading a parameter through every hot-path signature.
+/// When no scope is active, Current() is null and the EIS keys are
+/// exactly the pre-fleet keys — stand-alone callers are bit-unchanged.
+class ScopedWorldRevisions {
+ public:
+  explicit ScopedWorldRevisions(const WorldRevisions& revisions);
+  ~ScopedWorldRevisions();
+
+  ScopedWorldRevisions(const ScopedWorldRevisions&) = delete;
+  ScopedWorldRevisions& operator=(const ScopedWorldRevisions&) = delete;
+
+  /// The innermost active revisions on this thread, or null when none.
+  static const WorldRevisions* Current();
+
+ private:
+  WorldRevisions revisions_;
+  const ScopedWorldRevisions* outer_;  ///< restored on destruction
+};
+
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_EIS_WORLD_REVISIONS_H_

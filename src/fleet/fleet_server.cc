@@ -1,0 +1,218 @@
+#include "fleet/fleet_server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/protocol.h"
+#include "obs/statsz.h"
+
+namespace ecocharge {
+namespace fleet {
+
+Result<std::unique_ptr<FleetServer>> FleetServer::Create(
+    Environment* env, const ScoreWeights& weights,
+    const EcoChargeOptions& eco_options, const FleetServerOptions& options) {
+  if (options.corridor_cache && options.corridor.eta_bucket_s <= 0.0) {
+    return Status::InvalidArgument("corridor ETA bucket must be positive");
+  }
+  if (options.corridor_cache && options.corridor.ttl_s <= 0.0) {
+    return Status::InvalidArgument("corridor TTL must be positive");
+  }
+  Result<GeoPartition> partition =
+      GeoPartition::Build(env->chargers, options.partition);
+  if (!partition.ok()) return partition.status();
+  return std::unique_ptr<FleetServer>(new FleetServer(
+      env, weights, eco_options, options, std::move(partition.value())));
+}
+
+FleetServer::FleetServer(Environment* env, const ScoreWeights& weights,
+                         const EcoChargeOptions& eco_options,
+                         const FleetServerOptions& options,
+                         GeoPartition partition)
+    : options_(options),
+      partition_(std::move(partition)),
+      epochs_(partition_.num_shards() *
+              static_cast<size_t>(std::max(1, options.threads_per_shard))),
+      client_store_(options.client_store_shards) {
+  size_t shards = partition_.num_shards();
+  size_t readers_per_shard =
+      static_cast<size_t>(std::max(1, options_.threads_per_shard));
+
+  // All fleet-level instruments resolve here, before any shard worker
+  // thread exists.
+  routed_ = metrics_.GetCounter("fleet.requests.routed", "requests");
+  malformed_ = metrics_.GetCounter("fleet.requests.malformed", "requests");
+  epoch_gauge_ = metrics_.GetGauge("fleet.epoch", "epoch");
+  fleet_latency_ = metrics_.GetHistogram("fleet.request_latency_ns", "ns");
+  shard_routed_.reserve(shards);
+  shard_handoffs_.reserve(shards);
+  shard_epoch_lag_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    std::string prefix = "fleet.shard.s" + std::to_string(i);
+    shard_routed_.push_back(metrics_.GetCounter(prefix + ".routed",
+                                                "requests"));
+    shard_handoffs_.push_back(metrics_.GetCounter(prefix + ".handoffs_in",
+                                                  "trips"));
+    shard_epoch_lag_.push_back(metrics_.GetGauge(prefix + ".epoch_lag",
+                                                 "epochs"));
+  }
+  epoch_gauge_->Set(static_cast<int64_t>(epochs_.current_epoch()));
+  client_store_.AttachMetrics(&metrics_);
+  if (options_.corridor_cache) {
+    corridor_cache_ = std::make_unique<CorridorCache>(
+        env->dataset.network.get(), options_.corridor);
+    corridor_cache_->AttachMetrics(&metrics_);
+  }
+
+  shards_.reserve(shards);
+  shard_reader_base_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    OfferingServerOptions server_options = options_.server;
+    server_options.threads = options_.threads_per_shard;
+    server_options.epochs = &epochs_;
+    server_options.epoch_reader_base = i * readers_per_shard;
+    server_options.corridor = corridor_cache_.get();
+    server_options.client_store =
+        options_.corridor_cache ? nullptr : &client_store_;
+    server_options.extra_latency = fleet_latency_;
+    shard_reader_base_.push_back(server_options.epoch_reader_base);
+    shards_.push_back(std::make_unique<OfferingServer>(
+        env, weights, eco_options, server_options));
+  }
+}
+
+FleetServer::~FleetServer() { Shutdown(); }
+
+Status FleetServer::Submit(uint64_t client_id, const VehicleState& state,
+                           size_t k, TableCallback on_table) {
+  if (shutdown_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("fleet server is shut down");
+  }
+  uint32_t shard = partition_.ShardFor(state.position);
+  uint64_t ticket = 0;
+  bool ticketed = !options_.corridor_cache;
+  if (ticketed) {
+    bool handoff = false;
+    ticket = client_store_.Enqueue(client_id, shard, state.time, &handoff);
+    if (handoff) shard_handoffs_[shard]->Add();
+  }
+  Status status =
+      shards_[shard]->Submit(client_id, state, k, std::move(on_table),
+                             ticket);
+  if (!status.ok()) {
+    if (ticketed) client_store_.Abandon(client_id, ticket);
+    return status;
+  }
+  routed_->Add();
+  shard_routed_[shard]->Add();
+  return status;
+}
+
+Status FleetServer::SubmitWire(uint64_t client_id, const std::string& wire,
+                               ReplyCallback on_reply) {
+  // The router must decode anyway — shard affinity is by position — so
+  // the fleet wire path decodes once here and replies with the encoded
+  // table from the serving worker.
+  Result<OfferingRequest> request = DecodeOfferingRequest(wire);
+  if (!request.ok()) {
+    malformed_->Add();
+    if (on_reply) on_reply(request.status());
+    return Status::OK();
+  }
+  return Submit(client_id, request.value().state, request.value().k,
+                [reply = std::move(on_reply)](const OfferingTable& table) {
+                  if (reply) reply(EncodeOfferingTable(table));
+                });
+}
+
+void FleetServer::PublishRefresh(RefreshKind kind, SimTime now) {
+  epochs_.Publish(now, [kind](WorldSnapshot* snapshot) {
+    switch (kind) {
+      case RefreshKind::kWeather:
+        ++snapshot->revisions.weather;
+        break;
+      case RefreshKind::kAvailability:
+        ++snapshot->revisions.availability;
+        break;
+      case RefreshKind::kTraffic:
+        ++snapshot->revisions.traffic;
+        break;
+    }
+  });
+  epoch_gauge_->Set(static_cast<int64_t>(epochs_.current_epoch()));
+}
+
+void FleetServer::Drain() {
+  for (auto& shard : shards_) shard->Drain();
+}
+
+void FleetServer::Shutdown() {
+  if (shutdown_.exchange(true, std::memory_order_acq_rel)) return;
+  // Sequential per-shard shutdown is handoff-safe: while shard i joins,
+  // shards > i are still live and draining, so any ticket a shard-i
+  // worker waits on (its predecessor queued elsewhere) resolves; ticket
+  // order is strictly increasing per client, so waits cannot cycle.
+  for (auto& shard : shards_) shard->Shutdown();
+}
+
+FleetStats FleetServer::Stats() const {
+  FleetStats stats;
+  stats.per_shard.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    OfferingServerStats s = shard->Stats();
+    stats.per_shard.push_back(s);
+    stats.totals.accepted += s.accepted;
+    stats.totals.rejected += s.rejected;
+    stats.totals.served += s.served;
+    stats.totals.malformed += s.malformed;
+    stats.totals.cache_adaptations += s.cache_adaptations;
+    stats.totals.degraded_tables += s.degraded_tables;
+  }
+  stats.clients = client_store_.Stats();
+  if (corridor_cache_) {
+    stats.corridor = corridor_cache_->stats();
+    stats.corridor_inserts = corridor_cache_->inserts();
+  }
+  stats.epoch = epochs_.current_epoch();
+  return stats;
+}
+
+void FleetServer::UpdateEpochGauges() {
+  uint64_t current = epochs_.current_epoch();
+  epoch_gauge_->Set(static_cast<int64_t>(current));
+  size_t readers_per_shard =
+      static_cast<size_t>(std::max(1, options_.threads_per_shard));
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    uint64_t pinned = epochs_.MinPinnedEpoch(
+        shard_reader_base_[i], shard_reader_base_[i] + readers_per_shard);
+    uint64_t lag = pinned == 0 ? 0 : current - pinned;
+    shard_epoch_lag_[i]->Set(static_cast<int64_t>(lag));
+  }
+}
+
+std::string FleetServer::StatszAllText() {
+  UpdateEpochGauges();
+  std::string out = "--- fleet ---\n";
+  out += obs::StatszText(metrics_);
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    out += "--- shard " + std::to_string(i) + " ---\n";
+    out += obs::StatszText(shards_[i]->metrics());
+  }
+  return out;
+}
+
+std::string FleetServer::StatszAllJson() {
+  UpdateEpochGauges();
+  std::string out = "{\"fleet\":";
+  out += obs::StatszJson(metrics_);
+  out += ",\"shards\":[";
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (i) out += ",";
+    out += obs::StatszJson(shards_[i]->metrics());
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace fleet
+}  // namespace ecocharge

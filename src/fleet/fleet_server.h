@@ -1,0 +1,180 @@
+#ifndef ECOCHARGE_FLEET_FLEET_SERVER_H_
+#define ECOCHARGE_FLEET_FLEET_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "fleet/partition.h"
+#include "server/offering_server.h"
+
+namespace ecocharge {
+namespace fleet {
+
+/// \brief Which upstream data set a refresh publish regenerates.
+enum class RefreshKind : uint8_t { kWeather = 0, kAvailability = 1,
+                                   kTraffic = 2 };
+
+/// \brief Fleet-runtime configuration on top of the per-shard
+/// OfferingServerOptions.
+struct FleetServerOptions {
+  /// Geographic shards (each an independent OfferingServer worker pool).
+  PartitionSpec partition;
+
+  /// Worker threads per shard; 0 = synchronous inline serving (the
+  /// deterministic mode every parity test compares against).
+  int threads_per_shard = 0;
+
+  /// When true, trips on the same corridor with overlapping ETA buckets
+  /// share Offering Table construction through the corridor cache
+  /// (replaces per-client Dynamic Caching; see CorridorCache).
+  bool corridor_cache = false;
+  CorridorCacheOptions corridor;
+
+  /// Lock shards of the central client store (contention sizing).
+  size_t client_store_shards = 16;
+
+  /// Per-shard serving options (queue depth, EIS cache shards, simulated
+  /// I/O, resilience). `threads`, `epochs`, `corridor`, `client_store`,
+  /// and `extra_latency` are overwritten by the fleet runtime.
+  OfferingServerOptions server;
+};
+
+/// \brief Aggregated fleet counters plus the per-shard breakdown.
+struct FleetStats {
+  OfferingServerStats totals;
+  std::vector<OfferingServerStats> per_shard;
+  ClientStoreStats clients;
+  CacheStats corridor;
+  uint64_t corridor_inserts = 0;
+  uint64_t epoch = 0;
+};
+
+/// \brief The fleet-scale serving runtime: geographic shards, corridor-
+/// shared caching, cross-shard handoff, and RCU world-version publishes.
+///
+/// Routing is shard-affine by *position*: Submit maps the vehicle's
+/// current location through the GeoPartition and hands the request to
+/// that shard's OfferingServer (which then applies its own client ->
+/// worker hashing). When a trip crosses a partition boundary the next
+/// request lands on a different shard — the handoff. Two mechanisms keep
+/// sharded serving bit-identical to single-shard serving across that
+/// boundary (the repo's parity discipline):
+///
+///  - every shard ranks against the full global charger index (shards
+///    split responsibility, never visibility), and
+///  - the vehicle's Dynamic Cache state lives in the central ClientStore
+///    and is leased per request under router-assigned FIFO tickets, so
+///    the warm solution follows the trip and its requests serve in
+///    submission order even while an old request drains on the old shard.
+///
+/// With the corridor cache on, per-client caching is replaced by
+/// canonical per-corridor tables shared across vehicles (and shards).
+///
+/// Refreshes publish through WorldEpochs: PublishRefresh bumps one
+/// upstream revision in a new snapshot; workers pin a snapshot per
+/// request with two atomic stores and never take a mutex on the read
+/// path. The pinned revisions re-key the EIS caches, so the old world's
+/// entries become unreachable and age out — no sweep, no reader stall.
+class FleetServer {
+ public:
+  using TableCallback = OfferingServer::TableCallback;
+  using ReplyCallback = OfferingServer::ReplyCallback;
+
+  /// Builds the partition and one OfferingServer per shard. Fails with
+  /// kInvalidArgument for an invalid partition spec or corridor options.
+  static Result<std::unique_ptr<FleetServer>> Create(
+      Environment* env, const ScoreWeights& weights,
+      const EcoChargeOptions& eco_options, const FleetServerOptions& options);
+
+  ~FleetServer();
+
+  FleetServer(const FleetServer&) = delete;
+  FleetServer& operator=(const FleetServer&) = delete;
+
+  /// Routes a ranking request to the shard owning `state.position`.
+  /// Returns kUnavailable when that shard's queue is full (the ticket is
+  /// abandoned so successors don't wait), kFailedPrecondition after
+  /// Shutdown().
+  Status Submit(uint64_t client_id, const VehicleState& state, size_t k,
+                TableCallback on_table);
+
+  /// Wire form: decodes (the router needs the position anyway), routes,
+  /// and replies with the encoded table. Decode failures invoke
+  /// `on_reply` with the error and count `fleet.malformed`.
+  Status SubmitWire(uint64_t client_id, const std::string& wire,
+                    ReplyCallback on_reply);
+
+  /// Publishes a new world epoch in which `kind`'s data set has a new
+  /// revision. Never blocks readers; serialized among publishers.
+  void PublishRefresh(RefreshKind kind, SimTime now);
+
+  /// Blocks until every accepted request on every shard has been served.
+  void Drain();
+
+  /// Shuts the shards down in order. Safe while handoff tickets are in
+  /// flight: queues on later shards keep draining while earlier shards
+  /// join, and ticket waits are acyclic (strictly increasing per client),
+  /// so shutdown never deadlocks on a cross-shard predecessor.
+  void Shutdown();
+
+  FleetStats Stats() const;
+
+  size_t num_shards() const { return shards_.size(); }
+  const GeoPartition& partition() const { return partition_; }
+  OfferingServer& shard(size_t i) { return *shards_[i]; }
+  const OfferingServer& shard(size_t i) const { return *shards_[i]; }
+  WorldEpochs& epochs() { return epochs_; }
+  ClientStore& client_store() { return client_store_; }
+  CorridorCache* corridor_cache() { return corridor_cache_.get(); }
+
+  /// Fleet-level registry: `fleet.*` counters (handoffs, corridor hits,
+  /// epoch gauges, the fleet-wide latency histogram). Per-shard metrics
+  /// live on each shard's own registry (see StatszAllText).
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Refreshes the epoch/lag gauges, then renders the fleet section plus
+  /// one `--- shard N ---` statsz section per shard.
+  std::string StatszAllText();
+
+  /// Same, as one JSON object: {"fleet": {...}, "shards": [{...}, ...]}.
+  std::string StatszAllJson();
+
+ private:
+  FleetServer(Environment* env, const ScoreWeights& weights,
+              const EcoChargeOptions& eco_options,
+              const FleetServerOptions& options, GeoPartition partition);
+
+  void UpdateEpochGauges();
+
+  FleetServerOptions options_;
+  GeoPartition partition_;
+
+  // Declared before the shards: they record into fleet-owned instruments
+  // (corridor mirrors, latency histogram) until their workers join.
+  obs::MetricsRegistry metrics_;
+  WorldEpochs epochs_;
+  ClientStore client_store_;
+  std::unique_ptr<CorridorCache> corridor_cache_;
+
+  std::vector<std::unique_ptr<OfferingServer>> shards_;
+  std::vector<size_t> shard_reader_base_;
+
+  std::atomic<bool> shutdown_{false};
+
+  obs::Counter* routed_ = nullptr;          ///< fleet.requests.routed
+  obs::Counter* malformed_ = nullptr;       ///< fleet.requests.malformed
+  obs::Gauge* epoch_gauge_ = nullptr;       ///< fleet.epoch
+  obs::Histogram* fleet_latency_ = nullptr; ///< fleet.request_latency_ns
+  std::vector<obs::Counter*> shard_routed_;   ///< fleet.shard.s{i}.routed
+  std::vector<obs::Counter*> shard_handoffs_; ///< fleet.shard.s{i}.handoffs_in
+  std::vector<obs::Gauge*> shard_epoch_lag_;  ///< fleet.shard.s{i}.epoch_lag
+};
+
+}  // namespace fleet
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_FLEET_FLEET_SERVER_H_

@@ -1,0 +1,169 @@
+#include "fleet/partition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace ecocharge {
+namespace fleet {
+
+Result<GeoPartition> GeoPartition::Build(
+    const std::vector<EvCharger>& chargers, const PartitionSpec& spec) {
+  if (spec.num_shards == 0) {
+    return Status::InvalidArgument("partition needs at least one shard");
+  }
+  if (spec.num_shards > 4096) {
+    return Status::InvalidArgument("partition shard count exceeds 4096");
+  }
+  GeoPartition partition;
+  partition.spec_ = spec;
+  partition.num_shards_ = spec.num_shards;
+  switch (spec.strategy) {
+    case PartitionStrategy::kGrid:
+      partition.BuildGrid(chargers);
+      break;
+    case PartitionStrategy::kBisection:
+      partition.BuildBisection(chargers);
+      break;
+    default:
+      return Status::InvalidArgument("unknown partition strategy");
+  }
+  partition.AssignChargers(chargers);
+  return partition;
+}
+
+void GeoPartition::BuildGrid(const std::vector<EvCharger>& chargers) {
+  double min_x = 0.0, min_y = 0.0, max_x = 1.0, max_y = 1.0;
+  if (!chargers.empty()) {
+    min_x = min_y = std::numeric_limits<double>::infinity();
+    max_x = max_y = -std::numeric_limits<double>::infinity();
+    for (const EvCharger& c : chargers) {
+      min_x = std::min(min_x, c.position.x);
+      max_x = std::max(max_x, c.position.x);
+      min_y = std::min(min_y, c.position.y);
+      max_y = std::max(max_y, c.position.y);
+    }
+  }
+  // Near-square factorization: the most-square cols x rows with
+  // cols * rows >= num_shards; overflow cells clamp to the last shard.
+  size_t cols = static_cast<size_t>(
+      std::ceil(std::sqrt(static_cast<double>(num_shards_))));
+  size_t rows = (num_shards_ + cols - 1) / cols;
+  grid_cols_ = std::max<size_t>(1, cols);
+  grid_rows_ = std::max<size_t>(1, rows);
+  min_x_ = min_x;
+  min_y_ = min_y;
+  cell_w_ = std::max((max_x - min_x) / static_cast<double>(grid_cols_),
+                     1e-9);
+  cell_h_ = std::max((max_y - min_y) / static_cast<double>(grid_rows_),
+                     1e-9);
+}
+
+int32_t GeoPartition::Bisect(std::vector<uint32_t>* ids,
+                             const std::vector<EvCharger>& chargers,
+                             size_t begin, size_t end, size_t shards,
+                             uint32_t first_shard) {
+  Node node;
+  if (shards == 1) {
+    node.shard = first_shard;
+    nodes_.push_back(node);
+    return static_cast<int32_t>(nodes_.size() - 1);
+  }
+  size_t left_shards = (shards + 1) / 2;
+  size_t count = end - begin;
+  // Split the charger range proportionally to the shard split so every
+  // leaf ends up with a near-equal charger share.
+  size_t left_count = count * left_shards / shards;
+
+  // Choose the wider axis; break ties toward x so the tree is a pure
+  // function of the input set.
+  double min_x = std::numeric_limits<double>::infinity();
+  double max_x = -std::numeric_limits<double>::infinity();
+  double min_y = std::numeric_limits<double>::infinity();
+  double max_y = -std::numeric_limits<double>::infinity();
+  for (size_t i = begin; i < end; ++i) {
+    const Point& p = chargers[(*ids)[i]].position;
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  }
+  bool empty = count == 0;
+  node.axis = (!empty && (max_y - min_y) > (max_x - min_x)) ? 1 : 0;
+
+  if (empty) {
+    // Degenerate region (fewer chargers than shards): split at 0 so the
+    // tree stays total; the resulting shards own territory but no sites.
+    node.split = 0.0;
+  } else {
+    auto coord = [&](uint32_t id) {
+      const Point& p = chargers[id].position;
+      return node.axis == 0 ? p.x : p.y;
+    };
+    auto less = [&](uint32_t a, uint32_t b) {
+      double ca = coord(a), cb = coord(b);
+      if (ca != cb) return ca < cb;
+      return a < b;  // id tie-break keeps the order deterministic
+    };
+    size_t pivot = begin + (left_count == 0 ? 0 : left_count - 1);
+    std::nth_element(ids->begin() + static_cast<ptrdiff_t>(begin),
+                     ids->begin() + static_cast<ptrdiff_t>(pivot),
+                     ids->begin() + static_cast<ptrdiff_t>(end), less);
+    node.split = coord((*ids)[pivot]);
+  }
+
+  size_t mid = begin + left_count;
+  int32_t self = static_cast<int32_t>(nodes_.size());
+  nodes_.push_back(node);
+  int32_t left = Bisect(ids, chargers, begin, mid, left_shards, first_shard);
+  int32_t right =
+      Bisect(ids, chargers, mid, end, shards - left_shards,
+             first_shard + static_cast<uint32_t>(left_shards));
+  nodes_[self].left = left;
+  nodes_[self].right = right;
+  return self;
+}
+
+void GeoPartition::BuildBisection(const std::vector<EvCharger>& chargers) {
+  std::vector<uint32_t> ids(chargers.size());
+  std::iota(ids.begin(), ids.end(), 0u);
+  nodes_.reserve(2 * num_shards_);
+  root_ = Bisect(&ids, chargers, 0, ids.size(), num_shards_, 0);
+}
+
+void GeoPartition::AssignChargers(const std::vector<EvCharger>& chargers) {
+  charger_shards_.resize(chargers.size());
+  shard_charger_counts_.assign(num_shards_, 0);
+  for (size_t i = 0; i < chargers.size(); ++i) {
+    uint32_t shard = ShardFor(chargers[i].position);
+    charger_shards_[i] = shard;
+    ++shard_charger_counts_[shard];
+  }
+}
+
+uint32_t GeoPartition::ShardFor(const Point& position) const {
+  if (num_shards_ == 1) return 0;
+  if (spec_.strategy == PartitionStrategy::kGrid) {
+    auto cell = [](double v, double origin, double width, size_t cells) {
+      double f = std::floor((v - origin) / width);
+      if (f < 0.0) return static_cast<size_t>(0);
+      size_t c = static_cast<size_t>(f);
+      return std::min(c, cells - 1);
+    };
+    size_t col = cell(position.x, min_x_, cell_w_, grid_cols_);
+    size_t row = cell(position.y, min_y_, cell_h_, grid_rows_);
+    size_t idx = row * grid_cols_ + col;
+    return static_cast<uint32_t>(std::min(idx, num_shards_ - 1));
+  }
+  int32_t node_index = root_;
+  while (nodes_[node_index].left >= 0) {
+    const Node& node = nodes_[node_index];
+    double coord = node.axis == 0 ? position.x : position.y;
+    node_index = coord <= node.split ? node.left : node.right;
+  }
+  return nodes_[node_index].shard;
+}
+
+}  // namespace fleet
+}  // namespace ecocharge

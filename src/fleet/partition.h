@@ -1,0 +1,114 @@
+#ifndef ECOCHARGE_FLEET_PARTITION_H_
+#define ECOCHARGE_FLEET_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "energy/charger.h"
+#include "geo/point.h"
+
+namespace ecocharge {
+namespace fleet {
+
+/// \brief How the service region is split into shards.
+enum class PartitionStrategy : uint8_t {
+  /// Near-square grid over the region bounding box: cell = shard. Cheap,
+  /// oblivious to charger density.
+  kGrid = 0,
+  /// Recursive median bisection of the charger positions (a KD split on
+  /// the wider axis), so every shard holds a near-equal charger share —
+  /// the load balancer for skewed metropolitan fleets.
+  kBisection = 1,
+};
+
+/// \brief Partition configuration; the partition is a deterministic pure
+/// function of (chargers, region, spec).
+struct PartitionSpec {
+  size_t num_shards = 1;
+  PartitionStrategy strategy = PartitionStrategy::kBisection;
+};
+
+/// \brief A deterministic geographic partition of the service region.
+///
+/// Routes *responsibility*, not *visibility*: a shard is the worker pool
+/// that serves trips currently inside its region, but every shard ranks
+/// against the full global charger index. A vehicle near a partition
+/// boundary must be offered chargers on the far side — shard-local
+/// candidate sets would break recall exactly where handoffs happen. That
+/// choice is also what keeps sharded serving bit-identical to
+/// single-shard serving: the shard id influences *where* a request runs,
+/// never *what* it computes. A shard with zero chargers (possible under
+/// bisection of a sparse region) therefore still serves correctly.
+///
+/// ShardFor() descends the bisection tree (or indexes the grid) in O(log
+/// S) with no allocation and no synchronization — it runs on the submit
+/// path of every request.
+class GeoPartition {
+ public:
+  /// Builds the partition. Deterministic: median splits order chargers by
+  /// (coordinate, id), so rebuilding from identical inputs yields an
+  /// identical tree. Fails with kInvalidArgument for num_shards == 0.
+  static Result<GeoPartition> Build(const std::vector<EvCharger>& chargers,
+                                    const PartitionSpec& spec);
+
+  /// The shard responsible for a vehicle at `position`. Total: every
+  /// point maps to exactly one shard, including points outside the
+  /// charger bounding box (clamped into the boundary regions).
+  uint32_t ShardFor(const Point& position) const;
+
+  size_t num_shards() const { return num_shards_; }
+  PartitionStrategy strategy() const { return spec_.strategy; }
+
+  /// chargers[i] -> owning shard (by the charger's own position).
+  const std::vector<uint32_t>& charger_shards() const {
+    return charger_shards_;
+  }
+
+  /// Chargers whose position falls in `shard` — capacity observability
+  /// and the zero-charger-shard test hook.
+  size_t chargers_in(uint32_t shard) const {
+    return shard_charger_counts_[shard];
+  }
+
+ private:
+  /// Bisection tree node; leaves carry the shard id. Stored as a flat
+  /// array (children by index) so lookups walk contiguous memory.
+  struct Node {
+    uint8_t axis = 0;        ///< 0 = x, 1 = y
+    double split = 0.0;      ///< left: coord <= split
+    int32_t left = -1;       ///< node index, or -1 when leaf
+    int32_t right = -1;
+    uint32_t shard = 0;      ///< valid when leaf
+  };
+
+  GeoPartition() = default;
+
+  void BuildGrid(const std::vector<EvCharger>& chargers);
+  void BuildBisection(const std::vector<EvCharger>& chargers);
+  int32_t Bisect(std::vector<uint32_t>* ids,
+                 const std::vector<EvCharger>& chargers, size_t begin,
+                 size_t end, size_t shards, uint32_t first_shard);
+  void AssignChargers(const std::vector<EvCharger>& chargers);
+
+  PartitionSpec spec_;
+  size_t num_shards_ = 1;
+
+  // Grid strategy.
+  size_t grid_cols_ = 1;
+  size_t grid_rows_ = 1;
+  double min_x_ = 0.0, min_y_ = 0.0;
+  double cell_w_ = 1.0, cell_h_ = 1.0;
+
+  // Bisection strategy.
+  std::vector<Node> nodes_;
+  int32_t root_ = -1;
+
+  std::vector<uint32_t> charger_shards_;
+  std::vector<size_t> shard_charger_counts_;
+};
+
+}  // namespace fleet
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_FLEET_PARTITION_H_

@@ -94,7 +94,7 @@ void ResilientInformationServer::CountClimatologicalServe(UpstreamKind kind) {
 EnergyForecast ResilientInformationServer::GetEnergyForecast(
     const EvCharger& charger, SimTime now, SimTime target, double window_s,
     EisFetch* fetch) {
-  uint64_t key = MixKey(charger.id + 1, TimeBucket(target), TimeBucket(now));
+  uint64_t key = WeatherKey(charger, now, target);
   bool fresh = false;
   std::optional<EnergyForecast> cached =
       weather_cache_.GetAllowStale(key, now, &fresh);
@@ -125,7 +125,7 @@ EnergyForecast ResilientInformationServer::GetEnergyForecast(
 
 AvailabilityForecast ResilientInformationServer::GetAvailability(
     const EvCharger& charger, SimTime now, SimTime target, EisFetch* fetch) {
-  uint64_t key = MixKey(charger.id + 1, TimeBucket(target), TimeBucket(now));
+  uint64_t key = AvailabilityKey(charger, now, target);
   bool fresh = false;
   std::optional<AvailabilityForecast> cached =
       availability_cache_.GetAllowStale(key, now, &fresh);
@@ -158,8 +158,7 @@ AvailabilityForecast ResilientInformationServer::GetAvailability(
 
 CongestionModel::Band ResilientInformationServer::GetTraffic(
     RoadClass road_class, SimTime now, SimTime target, EisFetch* fetch) {
-  uint64_t key = MixKey(static_cast<uint64_t>(road_class) + 1,
-                        TimeBucket(target), TimeBucket(now));
+  uint64_t key = TrafficKey(road_class, now, target);
   bool fresh = false;
   std::optional<CongestionModel::Band> cached =
       traffic_cache_.GetAllowStale(key, now, &fresh);

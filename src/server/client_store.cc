@@ -1,0 +1,136 @@
+#include "server/client_store.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ecocharge {
+
+namespace {
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+ClientStore::ClientStore(size_t num_shards)
+    : shards_(RoundUpPow2(std::max<size_t>(1, num_shards))) {}
+
+void ClientStore::AdvancePastAbandoned(Record* record) {
+  while (!record->abandoned.empty() &&
+         record->abandoned.front() == record->next_to_serve) {
+    record->abandoned.erase(record->abandoned.begin());
+    ++record->next_to_serve;
+  }
+}
+
+uint64_t ClientStore::Enqueue(uint64_t client_id, uint32_t shard_id,
+                              SimTime now, bool* handoff) {
+  Shard& shard = ShardFor(client_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Record& record = shard.records[client_id];
+  bool crossed = record.shard != kNoShard && record.shard != shard_id;
+  if (crossed) {
+    handoffs_.fetch_add(1, std::memory_order_relaxed);
+    if (handoffs_mirror_) handoffs_mirror_->Add();
+  }
+  if (handoff) *handoff = crossed;
+  record.shard = shard_id;
+  record.last_seen = now;
+  return record.next_ticket++;
+}
+
+void ClientStore::CheckOut(uint64_t client_id, uint64_t seq,
+                           DynamicCacheState* into) {
+  Shard& shard = ShardFor(client_id);
+  std::unique_lock<std::mutex> lock(shard.mu);
+  Record& record = shard.records[client_id];
+  if (record.next_to_serve != seq || record.leased) {
+    waits_.fetch_add(1, std::memory_order_relaxed);
+    if (waits_mirror_) waits_mirror_->Add();
+    shard.cv.wait(lock, [&] {
+      return record.next_to_serve == seq && !record.leased;
+    });
+  }
+  record.leased = true;
+  std::swap(record.cache, *into);
+  checkouts_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ClientStore::CheckIn(uint64_t client_id, uint64_t seq,
+                          DynamicCacheState* from, SimTime now) {
+  Shard& shard = ShardFor(client_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Record& record = shard.records[client_id];
+  std::swap(record.cache, *from);
+  record.leased = false;
+  record.last_seen = std::max(record.last_seen, now);
+  record.next_to_serve = seq + 1;
+  AdvancePastAbandoned(&record);
+  shard.cv.notify_all();
+}
+
+void ClientStore::Abandon(uint64_t client_id, uint64_t seq) {
+  Shard& shard = ShardFor(client_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Record& record = shard.records[client_id];
+  abandoned_.fetch_add(1, std::memory_order_relaxed);
+  if (record.next_to_serve == seq && !record.leased) {
+    ++record.next_to_serve;
+    AdvancePastAbandoned(&record);
+    shard.cv.notify_all();
+    return;
+  }
+  record.abandoned.insert(
+      std::upper_bound(record.abandoned.begin(), record.abandoned.end(), seq),
+      seq);
+}
+
+void ClientStore::EvictIdle(SimTime now, double ttl_s) {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.records.begin(); it != shard.records.end();) {
+      const Record& r = it->second;
+      bool idle = now - r.last_seen > ttl_s;
+      bool quiescent = !r.leased && r.next_to_serve == r.next_ticket;
+      if (idle && quiescent) {
+        it = shard.records.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+ClientStoreStats ClientStore::Stats() const {
+  ClientStoreStats stats;
+  stats.checkouts = checkouts_.load(std::memory_order_relaxed);
+  stats.handoffs = handoffs_.load(std::memory_order_relaxed);
+  stats.waits = waits_.load(std::memory_order_relaxed);
+  stats.abandoned = abandoned_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+size_t ClientStore::active_clients() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.records.size();
+  }
+  return total;
+}
+
+void ClientStore::AttachMetrics(obs::MetricsRegistry* registry) {
+  if (!registry) {
+    handoffs_mirror_ = nullptr;
+    waits_mirror_ = nullptr;
+    return;
+  }
+  handoffs_mirror_ = registry->GetCounter("fleet.clients.handoffs", "trips");
+  waits_mirror_ = registry->GetCounter("fleet.clients.handoff_waits",
+                                       "requests");
+}
+
+}  // namespace ecocharge

@@ -1,0 +1,126 @@
+#ifndef ECOCHARGE_SERVER_CLIENT_STORE_H_
+#define ECOCHARGE_SERVER_CLIENT_STORE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/simtime.h"
+#include "core/dynamic_cache.h"
+#include "obs/metrics.h"
+
+namespace ecocharge {
+
+/// Shard sentinel for a client that has never been routed.
+inline constexpr uint32_t kNoShard = 0xFFFFFFFFu;
+
+/// \brief Counter snapshot of the fleet client store.
+struct ClientStoreStats {
+  uint64_t checkouts = 0;   ///< request leases granted
+  uint64_t handoffs = 0;    ///< routed shard differed from the previous one
+  uint64_t waits = 0;       ///< leases that had to wait for a predecessor
+  uint64_t abandoned = 0;   ///< tickets released by shed submissions
+};
+
+/// \brief Fleet-central per-client serving state: the vehicle's Dynamic
+/// Cache contents, its current shard, and a per-client ticket sequence.
+///
+/// In single-pool serving, client -> worker hashing pins each vehicle's
+/// cache to one thread and guarantees FIFO processing of its requests. A
+/// geographically sharded fleet breaks both: the vehicle's requests move
+/// to another shard when it crosses a partition boundary, and a request
+/// queued on the old shard may still be in flight when the new shard
+/// picks up the next one. This store restores the two invariants:
+///
+///  - *State travels.* A worker checks the client's DynamicCacheState out
+///    (an O(1) swap) before ranking and back in after, so the warm
+///    solution follows the vehicle across shards — the "carrying
+///    warm-start/cache state" half of a handoff.
+///  - *FIFO survives the handoff.* The router assigns each accepted
+///    request a per-client ticket at submit time; a checkout blocks until
+///    every earlier ticket of that client has checked in (or was
+///    abandoned by load shedding). Tickets are strictly increasing per
+///    client, so waits form no cycles — the old shard's queue drains the
+///    predecessor and the new shard proceeds. This is what makes sharded
+///    serving bit-identical to single-shard serving even for boundary
+///    oscillators.
+///
+/// The map is sharded by client-id hash with per-shard mutexes; only the
+/// submit path and the per-request checkout/checkin touch it — the
+/// ranking compute path itself stays lock-free.
+class ClientStore {
+ public:
+  explicit ClientStore(size_t num_shards = 16);
+
+  /// Router side: assigns the next ticket for `client_id`, records the
+  /// routed `shard`, and reports whether this was a cross-shard handoff.
+  uint64_t Enqueue(uint64_t client_id, uint32_t shard, SimTime now,
+                   bool* handoff);
+
+  /// Worker side: blocks until ticket `seq` is the client's turn, then
+  /// swaps the client's cache state into `*into` and marks it leased.
+  void CheckOut(uint64_t client_id, uint64_t seq, DynamicCacheState* into);
+
+  /// Worker side: swaps the (updated) state back and releases the lease,
+  /// unblocking the next ticket.
+  void CheckIn(uint64_t client_id, uint64_t seq, DynamicCacheState* from,
+               SimTime now);
+
+  /// Router side: releases ticket `seq` after its submission was shed
+  /// (queue full), so successors don't wait for a request that will never
+  /// be served.
+  void Abandon(uint64_t client_id, uint64_t seq);
+
+  /// Drops clients idle since before `now - ttl_s`. Never drops a client
+  /// with outstanding tickets.
+  void EvictIdle(SimTime now, double ttl_s);
+
+  ClientStoreStats Stats() const;
+  size_t active_clients() const;
+
+  /// Mirrors the counters onto `registry` under `fleet.clients.*`; null
+  /// detaches. Wire before traffic starts.
+  void AttachMetrics(obs::MetricsRegistry* registry);
+
+ private:
+  struct Record {
+    DynamicCacheState cache;
+    uint32_t shard = kNoShard;
+    SimTime last_seen = 0.0;
+    uint64_t next_ticket = 0;   ///< assigned to the next Enqueue
+    uint64_t next_to_serve = 0; ///< smallest unserved ticket
+    bool leased = false;
+    /// Tickets abandoned before their turn (rare: shed submissions);
+    /// sorted ascending, drained as next_to_serve reaches them.
+    std::vector<uint64_t> abandoned;
+  };
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::unordered_map<uint64_t, Record> records;
+  };
+
+  Shard& ShardFor(uint64_t client_id) {
+    uint64_t h = client_id * 0x9E3779B97F4A7C15ULL;
+    h ^= h >> 32;
+    return shards_[h & (shards_.size() - 1)];
+  }
+
+  static void AdvancePastAbandoned(Record* record);
+
+  std::vector<Shard> shards_;
+
+  std::atomic<uint64_t> checkouts_{0};
+  std::atomic<uint64_t> handoffs_{0};
+  std::atomic<uint64_t> waits_{0};
+  std::atomic<uint64_t> abandoned_{0};
+  obs::Counter* handoffs_mirror_ = nullptr;
+  obs::Counter* waits_mirror_ = nullptr;
+};
+
+}  // namespace ecocharge
+
+#endif  // ECOCHARGE_SERVER_CLIENT_STORE_H_

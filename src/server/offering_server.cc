@@ -47,6 +47,7 @@ OfferingServer::OfferingServer(Environment* env, const ScoreWeights& weights,
   workers_.reserve(num_workers);
   for (size_t i = 0; i < num_workers; ++i) {
     auto worker = std::make_unique<Worker>();
+    worker->index = i;
     // A full per-worker stack sharing only the synchronized EIS: every
     // estimator output is a pure function of (seed, query), so per-worker
     // instances are interchangeable with the environment's own estimator.
@@ -92,22 +93,26 @@ size_t OfferingServer::WorkerIndexFor(uint64_t client_id) const {
 }
 
 Status OfferingServer::Submit(uint64_t client_id, const VehicleState& state,
-                              size_t k, TableCallback on_table) {
+                              size_t k, TableCallback on_table,
+                              uint64_t client_seq) {
   Request request;
   request.client_id = client_id;
   request.state = state;
   request.k = k;
   request.on_table = std::move(on_table);
+  request.client_seq = client_seq;
   return SubmitRequest(std::move(request));
 }
 
 Status OfferingServer::SubmitWire(uint64_t client_id, std::string wire,
-                                  ReplyCallback on_reply) {
+                                  ReplyCallback on_reply,
+                                  uint64_t client_seq) {
   Request request;
   request.client_id = client_id;
   request.is_wire = true;
   request.wire = std::move(wire);
   request.on_reply = std::move(on_reply);
+  request.client_seq = client_seq;
   return SubmitRequest(std::move(request));
 }
 
@@ -135,6 +140,41 @@ Status OfferingServer::SubmitRequest(Request request) {
   return Status::OK();
 }
 
+void OfferingServer::ServeTable(Worker& worker, const VehicleState& state,
+                                size_t k, uint64_t client_id,
+                                uint64_t client_seq,
+                                const WorldRevisions* revisions) {
+  if (options_.corridor != nullptr) {
+    // Corridor mode: serve the canonical corridor table — the paper's
+    // Dynamic Caching generalized across users. The stored value is a
+    // pure function of (key, revisions), so a concurrent duplicate miss
+    // regenerates the identical bytes and insertion order cannot matter.
+    WorldRevisions zero;
+    const WorldRevisions& revs = revisions ? *revisions : zero;
+    uint64_t key = options_.corridor->KeyFor(state, k, revs);
+    if (!options_.corridor->GetInto(key, state.time, &worker.table)) {
+      VehicleState anchor = options_.corridor->CanonicalState(state);
+      worker.service->RankFresh(anchor, k, &worker.table);
+      options_.corridor->Put(key, worker.table, state.time);
+    }
+    return;
+  }
+  if (options_.client_store != nullptr) {
+    // Fleet handoff mode: the vehicle's Dynamic Cache state lives in the
+    // central store and is leased around the rank, so it follows the
+    // vehicle across shards; the ticket wait preserves per-client FIFO
+    // even when the previous request is still draining on another shard.
+    options_.client_store->CheckOut(client_id, client_seq, &worker.lease);
+    worker.service->RankWithCache(state, k, &worker.lease, &worker.table);
+    options_.client_store->CheckIn(client_id, client_seq, &worker.lease,
+                                   state.time);
+    return;
+  }
+  // worker.table is the worker's long-lived reply buffer (like the
+  // QueryContext, it reaches its high-water capacity and stays there).
+  worker.service->RankInto(client_id, state, k, &worker.table);
+}
+
 void OfferingServer::Serve(Worker& worker, Request& request) {
   if (options_.simulated_io_ms > 0.0) {
     std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
@@ -147,7 +187,22 @@ void OfferingServer::Serve(Worker& worker, Request& request) {
   if (options_.resilient_eis && options_.request_deadline_ms > 0.0) {
     deadline.emplace(options_.request_deadline_ms);
   }
-  if (request.is_wire) {
+  // Pin the world version for the whole request: two atomic stores, no
+  // mutex, no allocation. The pinned revisions re-key the EIS caches (via
+  // the thread-local scope) so a concurrent refresh publish becomes
+  // visible only at the next request boundary — never mid-rank.
+  std::optional<WorldEpochs::ReaderPin> pin;
+  std::optional<ScopedWorldRevisions> world;
+  const WorldRevisions* revisions = nullptr;
+  if (options_.epochs != nullptr) {
+    pin.emplace(
+        options_.epochs->Pin(options_.epoch_reader_base + worker.index));
+    revisions = &pin->snapshot().revisions;
+    world.emplace(*revisions);
+  }
+  bool fleet_mode =
+      options_.corridor != nullptr || options_.client_store != nullptr;
+  if (request.is_wire && !fleet_mode) {
     Result<std::string> reply =
         worker.service->Handle(request.client_id, request.wire);
     if (!reply.ok()) {
@@ -161,20 +216,38 @@ void OfferingServer::Serve(Worker& worker, Request& request) {
       if (worker.service->reply_table().degraded) degraded_tables_->Add();
     }
     if (request.on_reply) request.on_reply(reply);
+  } else if (request.is_wire) {
+    // Fleet wire path: decode here so the corridor / client-store table
+    // core below serves both forms identically.
+    Result<OfferingRequest> decoded = DecodeOfferingRequest(request.wire);
+    if (!decoded.ok()) {
+      malformed_->Add();
+      if (request.on_reply) request.on_reply(decoded.status());
+    } else {
+      ServeTable(worker, decoded.value().state, decoded.value().k,
+                 request.client_id, request.client_seq, revisions);
+      if (worker.table.adapted_from_cache) cache_adaptations_->Add();
+      if (worker.table.degraded) degraded_tables_->Add();
+      if (request.on_reply) {
+        request.on_reply(EncodeOfferingTable(worker.table));
+      }
+    }
   } else {
-    // worker.table is the worker's long-lived reply buffer (like the
-    // QueryContext, it reaches its high-water capacity and stays there).
-    worker.service->RankInto(request.client_id, request.state, request.k,
-                             &worker.table);
+    ServeTable(worker, request.state, request.k, request.client_id,
+               request.client_seq, revisions);
     if (worker.table.adapted_from_cache) cache_adaptations_->Add();
     if (worker.table.degraded) degraded_tables_->Add();
     if (request.on_table) request.on_table(worker.table);
   }
   served_->Add();
   auto elapsed = std::chrono::steady_clock::now() - request.submitted_at;
-  request_latency_->Record(static_cast<uint64_t>(std::max<int64_t>(
+  uint64_t latency_ns = static_cast<uint64_t>(std::max<int64_t>(
       0, std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
-             .count())));
+             .count()));
+  request_latency_->Record(latency_ns);
+  if (options_.extra_latency != nullptr) {
+    options_.extra_latency->Record(latency_ns);
+  }
 }
 
 void OfferingServer::FinishOne() {

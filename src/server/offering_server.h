@@ -16,8 +16,12 @@
 #include "core/environment.h"
 #include "core/offering_service.h"
 #include "obs/metrics.h"
+#include "eis/world_revisions.h"
 #include "resilience/resilient_information_server.h"
 #include "server/bounded_queue.h"
+#include "server/client_store.h"
+#include "server/corridor_cache.h"
+#include "server/world_epochs.h"
 
 namespace ecocharge {
 
@@ -58,6 +62,35 @@ struct OfferingServerOptions {
   /// upstream latency and retry backoff are charged against when
   /// `resilient_eis` is on; <= 0 serves with an unbounded budget.
   double request_deadline_ms = 250.0;
+
+  // --- Fleet-serving hooks (all borrowed; null = stand-alone server). ---
+
+  /// RCU world-version source. When set, every request pins the current
+  /// snapshot (two atomic stores, no mutex) and serves under its
+  /// revisions via ScopedWorldRevisions, so refresh publishes never stall
+  /// the read path. The owner must outlive the server.
+  WorldEpochs* epochs = nullptr;
+
+  /// This server's reader-slot range in `epochs`: worker i pins slot
+  /// `epoch_reader_base + i`. The fleet runtime hands each shard a
+  /// disjoint range.
+  size_t epoch_reader_base = 0;
+
+  /// Cross-user corridor cache. When set, the table path serves the
+  /// canonical corridor table (hit: copy out; miss: rank the canonical
+  /// anchor fresh and insert) instead of per-client Dynamic Caching.
+  CorridorCache* corridor = nullptr;
+
+  /// Fleet-central per-client cache state (ignored when `corridor` is
+  /// set). When set, requests carry router-assigned tickets and each
+  /// request checks its client's Dynamic Cache state out around the rank,
+  /// so the warm solution follows the vehicle across shard handoffs.
+  ClientStore* client_store = nullptr;
+
+  /// Extra latency sink shared across shards (e.g. the fleet-level
+  /// `fleet.request_latency_ns`); recorded alongside the server's own
+  /// histogram when non-null.
+  obs::Histogram* extra_latency = nullptr;
 };
 
 /// \brief Counter snapshot of one server instance (plain values).
@@ -112,13 +145,16 @@ class OfferingServer {
   /// Enqueues a ranking request for `client_id`; `on_table` receives the
   /// Offering Table on the serving worker. Returns kUnavailable when the
   /// client's worker queue is full, kFailedPrecondition after Shutdown().
+  /// `client_seq` is the router-assigned per-client ticket, used only
+  /// when `client_store` is configured (the fleet runtime supplies it;
+  /// stand-alone callers leave it 0).
   Status Submit(uint64_t client_id, const VehicleState& state, size_t k,
-                TableCallback on_table);
+                TableCallback on_table, uint64_t client_seq = 0);
 
   /// Wire-protocol form: decodes an OfferingRequest, serves it, and hands
   /// `on_reply` the encoded Offering Table (or the decode error).
   Status SubmitWire(uint64_t client_id, std::string wire,
-                    ReplyCallback on_reply);
+                    ReplyCallback on_reply, uint64_t client_seq = 0);
 
   /// Blocks until every accepted request has been served.
   void Drain();
@@ -162,6 +198,7 @@ class OfferingServer {
     size_t k = 3;
     TableCallback on_table;
     ReplyCallback on_reply;
+    uint64_t client_seq = 0;  ///< router ticket (client_store mode)
     /// Stamped at submission; the latency histogram spans queue wait +
     /// service time (what a vehicle actually experiences).
     std::chrono::steady_clock::time_point submitted_at{};
@@ -170,9 +207,11 @@ class OfferingServer {
   /// One worker's single-threaded serving stack. Only its owning thread
   /// (or the caller, in inline mode) ever touches estimator/service.
   struct Worker {
+    size_t index = 0;  ///< position in workers_, = epoch reader offset
     std::unique_ptr<EcEstimator> estimator;
     std::unique_ptr<OfferingService> service;
     OfferingTable table;  ///< reusable reply buffer for the table path
+    DynamicCacheState lease;  ///< scratch for client-store checkouts
     std::unique_ptr<BoundedQueue<Request>> queue;  // null in inline mode
     obs::Gauge* queue_depth = nullptr;  ///< server.queue.depth.w{i}
     std::thread thread;
@@ -181,6 +220,9 @@ class OfferingServer {
   size_t WorkerIndexFor(uint64_t client_id) const;
   Status SubmitRequest(Request request);
   void Serve(Worker& worker, Request& request);
+  void ServeTable(Worker& worker, const VehicleState& state, size_t k,
+                  uint64_t client_id, uint64_t client_seq,
+                  const WorldRevisions* revisions);
   void WorkerLoop(Worker& worker);
   void FinishOne();
 

@@ -171,6 +171,71 @@ TEST(TtlCacheTest, ShardedCacheBehavesLikeUnsharded) {
   EXPECT_EQ(cache.size(), 0u);
 }
 
+// The fleet runtime sizes shard counts to contention (EIS caches, the
+// corridor cache, the client store all take one), so the invariance must
+// hold for *any* interleaving of operations, not just bulk put-then-get:
+// a long deterministic op sequence — puts, gets, stale gets, sweeps, and
+// time running near expiry boundaries — must produce identical answers
+// and identical hit/miss/expiration accounting at every shard count.
+TEST(TtlCacheTest, RandomizedOpSequenceInvariantAcrossShardCounts) {
+  constexpr int kOps = 5000;
+  auto run = [&](size_t num_shards) {
+    // Capacity high enough that the per-shard split never evicts: the
+    // invariance claim is about sharding, not about the capacity sweep.
+    TtlCache<int, int> cache(10.0, 1 << 16, num_shards);
+    uint64_t trace = 0;  // order-sensitive digest of every observation
+    uint64_t rng = 0x9E3779B97F4A7C15ULL;
+    auto next = [&rng] {
+      rng ^= rng << 13;
+      rng ^= rng >> 7;
+      rng ^= rng << 17;
+      return rng;
+    };
+    double now = 0.0;
+    for (int i = 0; i < kOps; ++i) {
+      uint64_t r = next();
+      int key = static_cast<int>(r % 64);
+      // Drift time in sub-TTL steps, frequently landing exactly on an
+      // entry's expiry deadline (the pinned-boundary case).
+      now += static_cast<double>((r >> 8) % 21) * 0.5;
+      switch ((r >> 16) % 5) {
+        case 0:
+          cache.Put(key, key * 1000 + i, now);
+          break;
+        case 1:
+        case 2: {
+          auto hit = cache.Get(key, now);
+          trace = trace * 1099511628211ULL +
+                  (hit ? static_cast<uint64_t>(*hit) + 1 : 0);
+          break;
+        }
+        case 3: {
+          bool fresh = false;
+          auto hit = cache.GetAllowStale(key, now, &fresh);
+          trace = trace * 1099511628211ULL +
+                  (hit ? static_cast<uint64_t>(*hit) + 1 : 0) * 2 +
+                  (fresh ? 1 : 0);
+          break;
+        }
+        default:
+          cache.SweepExpired(now);
+          break;
+      }
+    }
+    CacheStats stats = cache.stats();
+    trace = trace * 31 + stats.hits;
+    trace = trace * 31 + stats.misses;
+    trace = trace * 31 + stats.expirations;
+    trace = trace * 31 + cache.size();
+    return trace;
+  };
+
+  uint64_t reference = run(1);
+  for (size_t shards : {2u, 4u, 16u, 64u}) {
+    EXPECT_EQ(run(shards), reference) << "num_shards=" << shards;
+  }
+}
+
 TEST(AtomicCacheStatsTest, SnapshotReflectsCounts) {
   AtomicCacheStats stats;
   stats.AddHit();

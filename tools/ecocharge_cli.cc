@@ -27,6 +27,7 @@
 
 #include "core/baselines.h"
 #include "core/fleet_sim.h"
+#include "fleet/fleet_server.h"
 #include "core/load_balancer.h"
 #include "core/workload.h"
 #include "graph/generators.h"
@@ -141,6 +142,8 @@ int Usage() {
   serve        --threads N [--kind KIND] [--chargers N] [--clients N]
                [--requests N] [--queue-depth N] [--io-ms MS] [--seed N]
                [--statsz] [--statsz-period SEC]
+               [--shards N] [--partition grid|bisect] [--corridor-cache]
+               [--corridor-bucket-s SEC] [--refresh-every N]
                [--fault-p P] [--fault-spike-p P] [--fault-stall-p P]
                [--fault-seed N] [--retry-attempts N] [--deadline-ms MS]
                [--resilient] [--no-batch-derouting] [--no-simd]
@@ -151,10 +154,19 @@ int Usage() {
                upstream faults and serves through the resilient EIS —
                retries, circuit breakers, stale/climatological
                degradation; --resilient enables the resilient EIS with
-               no injected faults)
+               no injected faults; --shards N routes the workload through
+               the fleet runtime — N geographic shards with --threads
+               workers each, cross-shard handoff of Dynamic Cache state,
+               and RCU world-epoch refreshes every --refresh-every
+               requests; --corridor-cache shares Offering Tables across
+               vehicles on the same corridor, bucketed by
+               --corridor-bucket-s seconds of ETA; rankings stay
+               bit-identical to single-shard serving either way)
   stats        [--kind KIND] [--chargers N] [--requests N] [--threads N]
-               [--format text|json] [--seed N]
-               (run a small serving workload and print the metric catalog)
+               [--format text|json] [--seed N] [--shards N]
+               (run a small serving workload and print the metric catalog;
+               --shards N prints the fleet section plus one per-shard
+               statsz section per shard)
   info
 
   BACKEND: quadtree|rtree|grid|kdtree|linear (charger index; every backend
@@ -511,7 +523,131 @@ Status ValidateServeArgs(const Args& args) {
   if (args.GetDouble("deadline-ms", 250.0) <= 0.0) {
     return Status::InvalidArgument("--deadline-ms must be > 0");
   }
+  if (args.GetI64("shards", 1) < 1) {
+    return Status::InvalidArgument("--shards must be >= 1");
+  }
+  std::string partition = args.Get("partition", "bisect");
+  if (partition != "bisect" && partition != "grid") {
+    return Status::InvalidArgument("--partition must be grid or bisect");
+  }
+  if (args.Has("corridor-bucket-s") &&
+      args.GetDouble("corridor-bucket-s", 0.0) <= 0.0) {
+    return Status::InvalidArgument(
+        "--corridor-bucket-s must be a positive number of seconds");
+  }
+  if (args.GetI64("refresh-every", 0) < 0) {
+    return Status::InvalidArgument(
+        "--refresh-every must be >= 0 requests (0 = no refreshes)");
+  }
   return Status::OK();
+}
+
+/// Fleet-runtime serve path (--shards / --corridor-cache): routes the
+/// wire workload through a FleetServer and reports per-shard serving,
+/// handoff, corridor, and epoch accounting.
+int ServeFleet(const Args& args, std::unique_ptr<Environment> env,
+               const OfferingServerOptions& server_opts,
+               const std::vector<VehicleState>& states) {
+  fleet::FleetServerOptions fleet_opts;
+  fleet_opts.partition.num_shards =
+      static_cast<size_t>(args.GetU64("shards", 1));
+  fleet_opts.partition.strategy = args.Get("partition", "bisect") == "grid"
+                                      ? fleet::PartitionStrategy::kGrid
+                                      : fleet::PartitionStrategy::kBisection;
+  fleet_opts.threads_per_shard = static_cast<int>(args.GetI64("threads", 0));
+  fleet_opts.corridor_cache = args.GetBool("corridor-cache");
+  if (args.Has("corridor-bucket-s")) {
+    fleet_opts.corridor.eta_bucket_s = args.GetDouble("corridor-bucket-s",
+                                                      300.0);
+  }
+  fleet_opts.server = server_opts;
+  auto fleet_result = fleet::FleetServer::Create(
+      env.get(), ScoreWeights::AWE(), EcoOptionsFor(args, *env), fleet_opts);
+  if (!fleet_result.ok()) {
+    std::cerr << fleet_result.status() << "\n";
+    return 1;
+  }
+  auto fleet = std::move(fleet_result).MoveValueUnsafe();
+
+  uint64_t num_clients = args.GetU64("clients", 8);
+  uint64_t num_requests = args.GetU64("requests", 64);
+  uint64_t refresh_every = args.GetU64("refresh-every", 0);
+
+  bool statsz = args.GetBool("statsz");
+  double statsz_period_s = args.GetDouble("statsz-period", 0.0);
+  std::atomic<bool> statsz_stop{false};
+  std::thread statsz_thread;
+  if (statsz_period_s > 0.0) {
+    statsz_thread = std::thread([&fleet, &statsz_stop, statsz_period_s] {
+      while (!statsz_stop.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(statsz_period_s));
+        if (statsz_stop.load(std::memory_order_acquire)) break;
+        std::cerr << fleet->StatszAllText();
+      }
+    });
+  }
+
+  auto start = std::chrono::steady_clock::now();
+  for (uint64_t i = 0; i < num_requests; ++i) {
+    if (refresh_every > 0 && i > 0 && i % refresh_every == 0) {
+      // Rotate through the upstreams so every refresh kind gets
+      // exercised; publishes interleave with in-flight requests.
+      fleet->PublishRefresh(
+          static_cast<fleet::RefreshKind>((i / refresh_every) % 3),
+          states[i % states.size()].time);
+    }
+    OfferingRequest request;
+    request.state = states[i % states.size()];
+    request.k = 3;
+    Status st = fleet->SubmitWire(i % num_clients,
+                                  EncodeOfferingRequest(request),
+                                  [](const Result<std::string>&) {});
+    if (!st.ok() && st.code() != StatusCode::kUnavailable) {
+      std::cerr << st << "\n";
+      return 1;
+    }
+  }
+  fleet->Drain();
+  double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  fleet::FleetStats stats = fleet->Stats();
+  std::cout << "served " << stats.totals.served << "/" << num_requests
+            << " requests (" << stats.totals.rejected << " shed) across "
+            << fleet->num_shards() << " shard(s) in " << elapsed_s << " s\n"
+            << "throughput: "
+            << (elapsed_s > 0.0 ? stats.totals.served / elapsed_s : 0.0)
+            << " req/s\n";
+  for (size_t i = 0; i < fleet->num_shards(); ++i) {
+    std::cout << "shard " << i << ": served=" << stats.per_shard[i].served
+              << " shed=" << stats.per_shard[i].rejected << " chargers="
+              << fleet->partition().chargers_in(static_cast<uint32_t>(i))
+              << "\n";
+  }
+  std::cout << "cross-shard handoffs: " << stats.clients.handoffs
+            << " (ticket waits: " << stats.clients.waits << ")\n";
+  if (fleet->corridor_cache()) {
+    uint64_t lookups = stats.corridor.hits + stats.corridor.misses;
+    std::cout << "corridor cache: hits=" << stats.corridor.hits
+              << " misses=" << stats.corridor.misses
+              << " inserts=" << stats.corridor_inserts << " hit-rate="
+              << (lookups > 0
+                      ? static_cast<double>(stats.corridor.hits) / lookups
+                      : 0.0)
+              << "\n";
+  } else {
+    std::cout << "dynamic-cache adaptations: "
+              << stats.totals.cache_adaptations << "\n";
+  }
+  std::cout << "world epoch: " << stats.epoch << "\n";
+  if (statsz_thread.joinable()) {
+    statsz_stop.store(true, std::memory_order_release);
+    statsz_thread.join();
+  }
+  if (statsz) std::cout << fleet->StatszAllJson() << "\n";
+  return 0;
 }
 
 int Serve(const Args& args) {
@@ -559,6 +695,12 @@ int Serve(const Args& args) {
     server_opts.resilience.retry.max_attempts =
         static_cast<int>(args.GetI64("retry-attempts", 4));
     server_opts.request_deadline_ms = args.GetDouble("deadline-ms", 250.0);
+  }
+
+  // --shards / --corridor-cache switch to the fleet runtime; a single
+  // un-sharded OfferingServer serves the classic path below.
+  if (args.Has("shards") || args.GetBool("corridor-cache")) {
+    return ServeFleet(args, std::move(env), server_opts, states);
   }
   OfferingServer server(env.get(), ScoreWeights::AWE(),
                         EcoOptionsFor(args, *env), server_opts);
@@ -657,11 +799,49 @@ int StatsCmd(const Args& args) {
     return 1;
   }
 
+  uint64_t num_requests = args.GetU64("requests", 32);
+  bool json = args.Get("format", "text") == "json";
+
+  // --shards: run the workload through the fleet runtime and print the
+  // fleet statsz section plus one per-shard section per shard.
+  if (args.Has("shards")) {
+    if (args.GetI64("shards", 1) < 1) {
+      std::cerr << Status::InvalidArgument("--shards must be >= 1") << "\n";
+      return 1;
+    }
+    fleet::FleetServerOptions fleet_opts;
+    fleet_opts.partition.num_shards =
+        static_cast<size_t>(args.GetU64("shards", 1));
+    fleet_opts.threads_per_shard = static_cast<int>(args.GetI64("threads",
+                                                                0));
+    auto fleet_result = fleet::FleetServer::Create(
+        env.get(), ScoreWeights::AWE(), EcoChargeOptions{}, fleet_opts);
+    if (!fleet_result.ok()) {
+      std::cerr << fleet_result.status() << "\n";
+      return 1;
+    }
+    auto fleet = std::move(fleet_result).MoveValueUnsafe();
+    for (uint64_t i = 0; i < num_requests; ++i) {
+      Status st = fleet->Submit(i % 4, states[i % states.size()], 3,
+                                [](const OfferingTable&) {});
+      if (!st.ok() && st.code() != StatusCode::kUnavailable) {
+        std::cerr << st << "\n";
+        return 1;
+      }
+    }
+    fleet->Drain();
+    if (json) {
+      std::cout << fleet->StatszAllJson() << "\n";
+    } else {
+      std::cout << fleet->StatszAllText();
+    }
+    return 0;
+  }
+
   OfferingServerOptions server_opts;
   server_opts.threads = static_cast<int>(args.GetU64("threads", 0));
   OfferingServer server(env.get(), ScoreWeights::AWE(), EcoChargeOptions{},
                         server_opts);
-  uint64_t num_requests = args.GetU64("requests", 32);
   for (uint64_t i = 0; i < num_requests; ++i) {
     Status st = server.Submit(i % 4, states[i % states.size()], 3,
                               [](const OfferingTable&) {});
@@ -672,7 +852,7 @@ int StatsCmd(const Args& args) {
   }
   server.Drain();
 
-  if (args.Get("format", "text") == "json") {
+  if (json) {
     std::cout << obs::StatszJson(server.metrics()) << "\n";
   } else {
     std::cout << obs::StatszText(server.metrics());
