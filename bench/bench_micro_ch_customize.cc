@@ -1,0 +1,381 @@
+// CH customization gate: the cost of pricing the hierarchy for a
+// congestion bucket, across the three sweep strategies and the shared
+// plane cache.
+//
+// The binary asserts the tentpole's contract and exits 1 when it breaks:
+//   1. serial (threads=0), level-parallel (threads=2 and 4), and
+//      incremental sweeps produce bit-identical planes — costs AND via
+//      assignments — for every weight vector tried (unconditional);
+//   2. the 4-thread sweep is >= 2x faster than serial (asserted only when
+//      the machine has >= 4 hardware threads; waived with a message
+//      otherwise — parity above still ran);
+//   3. an incremental re-customization after a 2-class weight delta is
+//      >= 3x faster than a full sweep, and actually took the incremental
+//      path (the dirty estimate stayed under the fallback threshold);
+//   4. N workers hammering the shared ChCustomizationCache over the same
+//      B buckets trigger exactly B builds — the cache eliminated
+//      >= (N-1)/N of the per-worker customizations.
+// Timing uses interleaved min-of-rounds (see bench_micro_obs.cc for why).
+// Results are emitted as BENCH_ch_customize.json.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "ch/ch_customize.h"
+#include "ch/ch_index.h"
+#include "ch/contraction.h"
+#include "graph/road_network.h"
+#include "traffic/congestion.h"
+
+namespace ecocharge {
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Bitwise plane equality: arc costs and via assignments. memcmp over the
+/// doubles is deliberate — it distinguishes -0.0/0.0 and NaN payloads, the
+/// contract the derouting parity gates rely on.
+bool PlanesSameBits(const ChCustomization& a, const ChCustomization& b) {
+  return a.cw_up.size() == b.cw_up.size() &&
+         a.cw_down.size() == b.cw_down.size() &&
+         a.via_up.size() == b.via_up.size() &&
+         a.via_down.size() == b.via_down.size() &&
+         std::memcmp(a.cw_up.data(), b.cw_up.data(),
+                     a.cw_up.size() * sizeof(double)) == 0 &&
+         std::memcmp(a.cw_down.data(), b.cw_down.data(),
+                     a.cw_down.size() * sizeof(double)) == 0 &&
+         std::memcmp(a.via_up.data(), b.via_up.data(),
+                     a.via_up.size() * sizeof(NodeId)) == 0 &&
+         std::memcmp(a.via_down.data(), b.via_down.data(),
+                     a.via_down.size() * sizeof(NodeId)) == 0;
+}
+
+/// Local-road city grid with highway/arterial *feeder spurs*: dead-end
+/// chains (on-ramps, service corridors) hanging off boundary nodes, each
+/// attached to the grid at a single node. A single-attachment appendage can
+/// carry no through-triangle — every triangle containing a spur arc has its
+/// apex and both enclosing endpoints inside the spur — so the spur classes
+/// never enter the grid core's shortcut closure, and a highway+arterial
+/// weight delta dirties only the spur records themselves. That is the
+/// sparse-closure regime the incremental sweep exists for: the rare upper
+/// classes re-price between congestion buckets while the dominant local
+/// class holds. (The geometric corridor of bench_micro_ch is the opposite
+/// workload — its arterial anchor mesh threads every cell, so a 2-class
+/// delta dirties nearly every row and incremental correctly falls back;
+/// likewise a grid whose highway cross sits on the top nested-dissection
+/// separators poisons every upper-hierarchy closure.)
+Result<std::shared_ptr<RoadNetwork>> MakeSpurGrid(int n) {
+  constexpr double kSpacingM = 500.0;
+  constexpr double kSpurSpacingM = 300.0;
+  constexpr int kSpurLen = 6;    // chain nodes per spur
+  constexpr int kSpurEvery = 10; // boundary nodes between spur attachments
+  GraphBuilder b;
+  std::vector<NodeId> grid(static_cast<size_t>(n) * n);
+  for (int y = 0; y < n; ++y) {
+    for (int x = 0; x < n; ++x) {
+      grid[static_cast<size_t>(y) * n + x] =
+          b.AddNode(Point{x * kSpacingM, y * kSpacingM});
+    }
+  }
+  auto at = [&](int x, int y) { return grid[static_cast<size_t>(y) * n + x]; };
+  for (int y = 0; y < n; ++y) {
+    for (int x = 0; x + 1 < n; ++x) {
+      ECOCHARGE_RETURN_NOT_OK(
+          b.AddBidirectional(at(x, y), at(x + 1, y), RoadClass::kLocal));
+    }
+  }
+  for (int x = 0; x < n; ++x) {
+    for (int y = 0; y + 1 < n; ++y) {
+      ECOCHARGE_RETURN_NOT_OK(
+          b.AddBidirectional(at(x, y), at(x, y + 1), RoadClass::kLocal));
+    }
+  }
+  // Spurs grow outward from the south and north boundaries, alternating
+  // highway / arterial so the 2-class delta below is genuine.
+  int spur_index = 0;
+  auto add_spur = [&](NodeId attach, double ax, double ay,
+                      double dy) -> Status {
+    const RoadClass rc = (spur_index++ % 2 == 0) ? RoadClass::kHighway
+                                                 : RoadClass::kArterial;
+    NodeId prev = attach;
+    for (int i = 1; i <= kSpurLen; ++i) {
+      const NodeId next = b.AddNode(Point{ax, ay + dy * i * kSpurSpacingM});
+      ECOCHARGE_RETURN_NOT_OK(b.AddBidirectional(prev, next, rc));
+      prev = next;
+    }
+    return Status::OK();
+  };
+  for (int x = 0; x < n; x += kSpurEvery) {
+    ECOCHARGE_RETURN_NOT_OK(add_spur(at(x, 0), x * kSpacingM, 0.0, -1.0));
+    ECOCHARGE_RETURN_NOT_OK(
+        add_spur(at(x, n - 1), x * kSpacingM, (n - 1) * kSpacingM, 1.0));
+  }
+  return b.Build();
+}
+
+ChClassWeights WeightsAt(const CongestionModel& congestion, SimTime tau) {
+  ChClassWeights w;
+  for (int c = 0; c < kChNumClasses; ++c) {
+    w.w[c] =
+        1.0 / congestion.ActualSpeedFactor(static_cast<RoadClass>(c), tau);
+  }
+  return w;
+}
+
+int Main(int argc, char** argv) {
+  bool quick = false;
+  uint64_t nodes = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--nodes") == 0 && i + 1 < argc) {
+      nodes = std::strtoull(argv[++i], nullptr, 10);
+    }
+  }
+  if (nodes == 0) nodes = quick ? 90000 : 360000;
+
+  bench::BenchJsonWriter json;
+  bool ok = true;
+
+  uint64_t t0 = NowNs();
+  auto net_result =
+      MakeSpurGrid(static_cast<int>(std::sqrt(static_cast<double>(nodes))));
+  if (!net_result.ok()) {
+    std::cerr << "generator: " << net_result.status() << "\n";
+    return 1;
+  }
+  std::shared_ptr<RoadNetwork> network = net_result.MoveValueUnsafe();
+  std::cout << "graph: " << network->NumNodes() << " nodes, "
+            << network->NumEdges() << " edges ("
+            << TableWriter::Fmt((NowNs() - t0) / 1e9, 1) << " s)\n";
+
+  t0 = NowNs();
+  auto ch_result = BuildChIndex(*network);
+  if (!ch_result.ok()) {
+    std::cerr << "contraction: " << ch_result.status() << "\n";
+    return 1;
+  }
+  std::shared_ptr<ChIndex> ch = ch_result.MoveValueUnsafe();
+  std::cout << "contraction: " << TableWriter::Fmt((NowNs() - t0) / 1e9, 1)
+            << " s\n";
+
+  CongestionModel congestion(7);
+  // Three congestion buckets: morning rush, midday, evening rush.
+  std::vector<ChClassWeights> buckets;
+  for (double hour : {8.5, 13.0, 17.5}) {
+    buckets.push_back(WeightsAt(congestion, hour * 3600.0));
+  }
+
+  // -------------------------------------------------------------------
+  // 1. Bit parity: serial vs 2-thread vs 4-thread vs incremental, every
+  //    bucket. Unconditional — this is the contract everything else
+  //    (planes cache, profile queries, Offering Table parity) rests on.
+  // -------------------------------------------------------------------
+  ChCustomizer serial(*ch, 0);
+  ChCustomizer par2(*ch, 2);
+  ChCustomizer par4(*ch, 4);
+  ChCustomizer inc(*ch, 0);
+  std::shared_ptr<const ChCustomization> prev;
+  size_t parity_planes = 0;
+  for (const ChClassWeights& w : buckets) {
+    auto s = serial.Customize(w);
+    auto p2 = par2.Customize(w);
+    auto p4 = par4.Customize(w);
+    auto in = inc.CustomizeFrom(prev, w);
+    if (!PlanesSameBits(*s, *p2) || !PlanesSameBits(*s, *p4)) {
+      std::cerr << "FAIL: parallel plane differs from serial at bucket "
+                << parity_planes << "\n";
+      ok = false;
+    }
+    if (!PlanesSameBits(*s, *in)) {
+      std::cerr << "FAIL: incremental plane differs from serial at bucket "
+                << parity_planes << "\n";
+      ok = false;
+    }
+    prev = std::move(s);
+    ++parity_planes;
+  }
+  std::cout << "parity: " << parity_planes
+            << " buckets priced serial/2t/4t/incremental, planes "
+            << (ok ? "bit-identical" : "MISMATCHED") << "\n";
+
+  // -------------------------------------------------------------------
+  // 2. Parallel speedup: 4 threads vs serial, interleaved min-of-rounds.
+  // -------------------------------------------------------------------
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int kRounds = quick ? 3 : 5;
+  uint64_t serial_ns = UINT64_MAX, par_ns = UINT64_MAX;
+  for (int round = 0; round < kRounds; ++round) {
+    for (int side = 0; side < 2; ++side) {
+      const bool run_par = (round + side) % 2 == 1;
+      ChCustomizer& c = run_par ? par4 : serial;
+      const uint64_t start = NowNs();
+      c.Customize(buckets[round % buckets.size()]);
+      const uint64_t elapsed = NowNs() - start;
+      uint64_t& best = run_par ? par_ns : serial_ns;
+      best = std::min(best, elapsed);
+    }
+  }
+  const double par_speedup = static_cast<double>(serial_ns) /
+                             static_cast<double>(std::max<uint64_t>(par_ns, 1));
+  std::cout << "full sweep: serial " << TableWriter::Fmt(serial_ns / 1e6, 1)
+            << " ms, 4 threads " << TableWriter::Fmt(par_ns / 1e6, 1)
+            << " ms (" << TableWriter::Fmt(par_speedup, 2) << "x, "
+            << serial.num_levels() << " levels)\n";
+  const double par_floor = 2.0;
+  if (hw >= 4 && par_speedup < par_floor) {
+    std::cerr << "FAIL: 4-thread customization only " << par_speedup
+              << "x over serial (floor " << par_floor << "x, "
+              << hw << " hardware threads)\n";
+    ok = false;
+  } else if (hw < 4) {
+    std::cout << "note: parallel speedup floor waived — only " << hw
+              << " hardware thread(s); bit-parity above still asserted\n";
+  }
+
+  // -------------------------------------------------------------------
+  // 3. Incremental speedup on a 2-class delta: highway + arterial move
+  //    (an accident on the spine), locals stay — the dominant class is
+  //    untouched, so most rows keep their base bits via one memcpy.
+  // -------------------------------------------------------------------
+  ChClassWeights base_w = buckets[0];
+  ChClassWeights delta_w = base_w;
+  delta_w.w[static_cast<int>(RoadClass::kHighway)] *= 1.35;
+  delta_w.w[static_cast<int>(RoadClass::kArterial)] *= 1.2;
+  const uint8_t delta_mask =
+      static_cast<uint8_t>((1u << static_cast<int>(RoadClass::kHighway)) |
+                           (1u << static_cast<int>(RoadClass::kArterial)));
+  auto base_plane = inc.Customize(base_w);
+  const size_t dirty = inc.DirtyArcEstimate(delta_mask);
+  const size_t total = inc.total_arcs();
+  {
+    bool flag = false;
+    auto inc_ref = inc.CustomizeFrom(base_plane, delta_w, &flag);
+    if (!PlanesSameBits(*serial.Customize(delta_w), *inc_ref)) {
+      std::cerr << "FAIL: incremental 2-class-delta plane differs from a "
+                   "full sweep\n";
+      ok = false;
+    }
+  }
+  bool took_incremental = false;
+  uint64_t full_ns = UINT64_MAX, inc_ns = UINT64_MAX;
+  for (int round = 0; round < kRounds; ++round) {
+    for (int side = 0; side < 2; ++side) {
+      const bool run_inc = (round + side) % 2 == 1;
+      const uint64_t start = NowNs();
+      if (run_inc) {
+        bool flag = false;
+        inc.CustomizeFrom(base_plane, delta_w, &flag);
+        took_incremental = flag;
+      } else {
+        inc.Customize(delta_w);
+      }
+      const uint64_t elapsed = NowNs() - start;
+      uint64_t& best = run_inc ? inc_ns : full_ns;
+      best = std::min(best, elapsed);
+    }
+  }
+  const double inc_speedup = static_cast<double>(full_ns) /
+                             static_cast<double>(std::max<uint64_t>(inc_ns, 1));
+  std::cout << "2-class delta: full " << TableWriter::Fmt(full_ns / 1e6, 1)
+            << " ms, incremental " << TableWriter::Fmt(inc_ns / 1e6, 1)
+            << " ms (" << TableWriter::Fmt(inc_speedup, 2) << "x; dirty "
+            << dirty << " / " << total << " arc records)\n";
+  const double inc_floor = 3.0;
+  if (!took_incremental) {
+    std::cerr << "FAIL: 2-class delta fell back to a full sweep (dirty "
+              << dirty << " of " << total << " arc records)\n";
+    ok = false;
+  }
+  if (inc_speedup < inc_floor) {
+    std::cerr << "FAIL: incremental re-customization only " << inc_speedup
+              << "x over a full sweep (floor " << inc_floor << "x)\n";
+    ok = false;
+  }
+
+  // -------------------------------------------------------------------
+  // 4. Shared cache dedup: N workers x B buckets must cost B builds.
+  // -------------------------------------------------------------------
+  const size_t kWorkers = 4;
+  ChCustomizationCache cache(*ch, /*threads=*/0);
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(kWorkers);
+    for (size_t w = 0; w < kWorkers; ++w) {
+      workers.emplace_back([&cache, &buckets] {
+        for (const ChClassWeights& weights : buckets) {
+          if (cache.Get(weights) == nullptr) std::abort();
+        }
+      });
+    }
+    for (std::thread& t : workers) t.join();
+  }
+  const uint64_t requested = kWorkers * buckets.size();
+  const double eliminated =
+      1.0 - static_cast<double>(cache.builds()) /
+                static_cast<double>(std::max<uint64_t>(requested, 1));
+  const double dedup_floor =
+      static_cast<double>(kWorkers - 1) / static_cast<double>(kWorkers);
+  std::cout << "shared cache: " << kWorkers << " workers x " << buckets.size()
+            << " buckets -> " << cache.builds() << " builds, "
+            << cache.hits() << " hits (" << TableWriter::Fmt(eliminated, 3)
+            << " of per-worker customizations eliminated)\n";
+  if (cache.builds() > buckets.size() || eliminated < dedup_floor) {
+    std::cerr << "FAIL: shared cache built " << cache.builds() << " planes for "
+              << buckets.size() << " buckets across " << kWorkers
+              << " workers (must eliminate >= " << dedup_floor
+              << " of requests)\n";
+    ok = false;
+  }
+
+  json.BeginRecord();
+  json.Str("mode", "ch_customize_gate");
+  json.Num("nodes", static_cast<double>(network->NumNodes()));
+  json.Num("edges", static_cast<double>(network->NumEdges()));
+  json.Num("arc_records", static_cast<double>(total));
+  json.Num("levels", static_cast<double>(serial.num_levels()));
+  json.Num("hardware_threads", static_cast<double>(hw));
+  json.Num("serial_ns", static_cast<double>(serial_ns));
+  json.Num("parallel4_ns", static_cast<double>(par_ns));
+  json.Num("parallel_speedup", par_speedup);
+  json.Num("parallel_floor", par_floor);
+  json.Num("full_ns", static_cast<double>(full_ns));
+  json.Num("incremental_ns", static_cast<double>(inc_ns));
+  json.Num("incremental_speedup", inc_speedup);
+  json.Num("incremental_floor", inc_floor);
+  json.Num("dirty_arcs", static_cast<double>(dirty));
+  json.Num("cache_builds", static_cast<double>(cache.builds()));
+  json.Num("cache_hits", static_cast<double>(cache.hits()));
+  json.Num("cache_eliminated", eliminated);
+  json.Num("cache_dedup_floor", dedup_floor);
+
+  if (!json.WriteFile("BENCH_ch_customize.json")) {
+    std::cerr << "failed to write BENCH_ch_customize.json\n";
+    return 1;
+  }
+  std::cout << "wrote BENCH_ch_customize.json (" << json.num_records()
+            << " records)\n";
+  if (!ok) return 1;
+  std::cout << "PASS: customization bit-identical across strategies; "
+            << "incremental " << TableWriter::Fmt(inc_speedup, 1)
+            << "x, cache dedup " << TableWriter::Fmt(eliminated, 3) << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace ecocharge
+
+int main(int argc, char** argv) { return ecocharge::Main(argc, argv); }

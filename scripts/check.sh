@@ -42,6 +42,18 @@
 #                                    # parity across shard counts +
 #                                    # corridor hit-rate and QPS scaling
 #                                    # floors; emits BENCH_fleet.json)
+#   scripts/check.sh chpar           # customization gate: the CH
+#                                    # customization / plane-cache /
+#                                    # parity suites (plus the CLI smoke)
+#                                    # under TSan — the shared
+#                                    # ChCustomizationCache's RCU publish
+#                                    # and the level-parallel sweep are
+#                                    # the racy surface — then the
+#                                    # asserting bench_micro_ch_customize
+#                                    # (bitwise sweep parity, parallel /
+#                                    # incremental speedup floors, cache
+#                                    # dedup floor; emits
+#                                    # BENCH_ch_customize.json)
 #   scripts/check.sh lint            # clang-tidy over src/, tools/, and
 #                                    # the asserting bench gates (skips
 #                                    # with exit 0 when clang-tidy absent)
@@ -56,6 +68,7 @@ sanitize="${1:-}"
 obs_gate=""
 fault_gate=""
 fleet_gate=""
+chpar_gate=""
 case "${sanitize}" in
   address|undefined|thread) shift ;;
   fleet)
@@ -69,6 +82,20 @@ case "${sanitize}" in
     sanitize="thread"
     fleet_gate=1
     set -- -R 'Fleet|GeoPartition|WorldEpochs|ClientStore|Corridor|OfferingServer|TtlCache|QueryContext' "$@"
+    ;;
+  chpar)
+    # The customization subsystem's concurrency surface: the level-parallel
+    # pull sweep's barrier rounds, the shared ChCustomizationCache's
+    # RCU-style copy/append/publish (hammered from workers crossing bucket
+    # boundaries while eviction churns), and the serving paths that pull
+    # planes out of it. Run those suites under TSan, then hold the bitwise
+    # sweep parity and the parallel / incremental / dedup floors with the
+    # asserting bench from a plain Release tree (sanitized timings are
+    # meaningless).
+    shift
+    sanitize="thread"
+    chpar_gate=1
+    set -- -R 'ChCustomiz|ChQuery|ChDerouting|ChProfile|EtaWindow|CliSmoke' "$@"
     ;;
   obs)
     # The metrics hot path is relaxed atomics shared across worker
@@ -201,6 +228,7 @@ case "${sanitize}" in
       -name '*.cc'; echo "${repo_root}/bench/bench_micro_obs.cc"; \
       echo "${repo_root}/bench/bench_micro_derouting.cc"; \
       echo "${repo_root}/bench/bench_micro_ch.cc"; \
+      echo "${repo_root}/bench/bench_micro_ch_customize.cc"; \
       echo "${repo_root}/bench/bench_micro_score.cc"; \
       echo "${repo_root}/bench/bench_fleet.cc"; } | sort)
     clang-tidy -p "${build_dir}" --quiet "${sources[@]}" "$@"
@@ -243,6 +271,18 @@ if [[ -n "${fault_gate}" ]]; then
     -DCMAKE_BUILD_TYPE=Release -DECOCHARGE_SANITIZE=
   cmake --build "${plain_dir}" -j "$(nproc)" --target bench_fault_resilience
   (cd "${plain_dir}/bench" && ./bench_fault_resilience --quick)
+fi
+
+if [[ -n "${chpar_gate}" ]]; then
+  # Bitwise parity across sweep strategies plus the parallel, incremental,
+  # and cache-dedup floors; timing wants a plain Release tree.
+  plain_dir="${repo_root}/build"
+  cmake -B "${plain_dir}" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE=Release -DECOCHARGE_SANITIZE=
+  cmake --build "${plain_dir}" -j "$(nproc)" --target bench_micro_ch_customize
+  (cd "${plain_dir}/bench" && ./bench_micro_ch_customize --quick)
+  echo "check.sh chpar: BENCH_ch_customize.json lands in build/bench/ and" \
+       "is untracked; copy numbers into EXPERIMENTS.md when they move."
 fi
 
 if [[ -n "${fleet_gate}" ]]; then

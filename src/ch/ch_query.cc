@@ -11,8 +11,8 @@ namespace {
 
 constexpr uint32_t kNoParentArc = ChQuery::kNoArcRef;
 
-double Dot(const double len[kChNumClasses], const ChClassWeights& w) {
-  return len[0] * w.w[0] + len[1] * w.w[1] + len[2] * w.w[2];
+bool SameWeights(const ChClassWeights& a, const ChClassWeights& b) {
+  return a.w[0] == b.w[0] && a.w[1] == b.w[1] && a.w[2] == b.w[2];
 }
 
 }  // namespace
@@ -24,122 +24,41 @@ ChQuery::ChQuery(const ChIndex& ch)
       fsettled_(ch.NumNodes(), 0),
       bsettled_(ch.NumNodes(), 0) {}
 
-void ChQuery::EnsureCustomized(const ChClassWeights& weights) {
-  if (have_weights_ && weights.w[0] == weights_.w[0] &&
-      weights.w[1] == weights_.w[1] && weights.w[2] == weights_.w[2]) {
-    return;
-  }
-  Customize(weights);
+void ChQuery::set_threads(int threads) {
+  threads_ = threads;
+  if (customizer_ != nullptr) customizer_->set_threads(threads);
 }
 
-void ChQuery::Customize(const ChClassWeights& weights) {
-  const size_t n = ch_.NumNodes();
-  if (order_.empty()) {
-    order_.resize(n);
-    for (NodeId v = 0; v < n; ++v) order_[ch_.rank(v)] = v;
-  }
-  const auto up = ch_.up_arcs();
-  const auto down = ch_.down_arcs();
-  cw_up_.resize(up.size());
-  cw_down_.resize(down.size());
-  via_up_.assign(up.size(), kInvalidNode);
-  via_down_.assign(down.size(), kInvalidNode);
-  // Base costs: original arcs priced with the weights (one class is
-  // nonzero, so the dot product is exactly length * weight); shortcut arcs
-  // start unpriced and receive their cost from a triangle below.
-  for (size_t i = 0; i < up.size(); ++i) {
-    cw_up_[i] =
-        up[i].orig == kChShortcutEdge ? kInfiniteCost : Dot(up[i].len, weights);
-  }
-  for (size_t i = 0; i < down.size(); ++i) {
-    cw_down_[i] = down[i].orig == kChShortcutEdge ? kInfiniteCost
-                                                  : Dot(down[i].len, weights);
-  }
-  // Bottom-up sweep: when x is processed, every arc incident to x is final
-  // (its remaining triangles would have an apex ranked below x, already
-  // processed). Relaxing all (a -> x -> b) pairs therefore prices every
-  // enclosing arc exactly; iteration order is fixed and improvements are
-  // strict, so the via assignment is deterministic. Parallel records
-  // collapse to per-neighbor run minima first — min(ca_i + cu_j) separates
-  // into min(ca) + min(cu), the same double bit for bit — and the
-  // relaxation targets are then found by merging sorted rows instead of a
-  // binary search per pair, which matters inside the near-clique top
-  // separators the nested-dissection order produces.
-  const auto up_off = ch_.up_offsets();
-  const auto down_off = ch_.down_offsets();
-  std::vector<std::pair<NodeId, double>> downs;  // (a, min cost a -> x)
-  std::vector<std::pair<NodeId, double>> ups;    // (b, min cost x -> b)
-  for (size_t r = 0; r < n; ++r) {
-    const NodeId x = order_[r];
-    downs.clear();
-    ups.clear();
-    for (uint32_t i = down_off[x]; i < down_off[x + 1];) {
-      const NodeId a = down[i].node;
-      double ca = cw_down_[i];
-      for (++i; i < down_off[x + 1] && down[i].node == a; ++i) {
-        ca = std::min(ca, cw_down_[i]);
-      }
-      if (ca < kInfiniteCost) downs.push_back({a, ca});
+void ChQuery::AttachMetrics(obs::MetricsRegistry* registry) {
+  customizations_mirror_ =
+      registry != nullptr
+          ? registry->GetCounter("ch.customizations", "sweeps")
+          : nullptr;
+}
+
+void ChQuery::EnsureCustomized(const ChClassWeights& weights) {
+  if (plane_ != nullptr && SameWeights(plane_->weights, weights)) return;
+  if (cache_ != nullptr) {
+    // Shared path: the cache dedups across workers; only a plane this call
+    // actually built counts as this query's customization.
+    bool built = false;
+    plane_ = cache_->Get(weights, &built);
+    if (built) {
+      ++customizations_;
+      if (customizations_mirror_ != nullptr) customizations_mirror_->Add();
     }
-    for (uint32_t j = up_off[x]; j < up_off[x + 1];) {
-      const NodeId b = up[j].node;
-      double cu = cw_up_[j];
-      for (++j; j < up_off[x + 1] && up[j].node == b; ++j) {
-        cu = std::min(cu, cw_up_[j]);
-      }
-      if (cu < kInfiniteCost) ups.push_back({b, cu});
+  } else {
+    if (customizer_ == nullptr) {
+      customizer_ = std::make_unique<ChCustomizer>(ch_, threads_);
     }
-    if (downs.empty() || ups.empty()) continue;
-    // Pairs with rank(a) < rank(b): the enclosing arc lives in a's up row.
-    for (const auto& [a, ca] : downs) {
-      uint32_t k = up_off[a];
-      const uint32_t kend = up_off[a + 1];
-      auto it = ups.begin();
-      while (it != ups.end() && k < kend) {
-        if (up[k].node < it->first) {
-          ++k;
-        } else if (it->first < up[k].node) {
-          ++it;
-        } else {
-          const double cost = ca + it->second;
-          if (cost < cw_up_[k]) {
-            cw_up_[k] = cost;
-            via_up_[k] = x;
-          }
-          const NodeId b = it->first;
-          for (++k; k < kend && up[k].node == b; ++k) {
-          }
-          ++it;
-        }
-      }
-    }
-    // Pairs with rank(a) > rank(b): the enclosing arc lives in b's down row.
-    for (const auto& [b, cu] : ups) {
-      uint32_t k = down_off[b];
-      const uint32_t kend = down_off[b + 1];
-      auto it = downs.begin();
-      while (it != downs.end() && k < kend) {
-        if (down[k].node < it->first) {
-          ++k;
-        } else if (it->first < down[k].node) {
-          ++it;
-        } else {
-          const double cost = it->second + cu;
-          if (cost < cw_down_[k]) {
-            cw_down_[k] = cost;
-            via_down_[k] = x;
-          }
-          const NodeId a = it->first;
-          for (++k; k < kend && down[k].node == a; ++k) {
-          }
-          ++it;
-        }
-      }
-    }
+    // Seeding from the outgoing plane makes a small class delta (the
+    // common bucket-to-bucket step) an incremental re-price.
+    plane_ = customizer_->CustomizeFrom(std::move(plane_), weights);
+    ++customizations_;
+    if (customizations_mirror_ != nullptr) customizations_mirror_->Add();
   }
-  weights_ = weights;
-  have_weights_ = true;
-  ++customizations_;
+  cw_up_ = plane_->cw_up.data();
+  cw_down_ = plane_->cw_down.data();
 }
 
 double ChQuery::Search(NodeId s, NodeId t, const ChClassWeights& weights) {
@@ -263,34 +182,13 @@ double ChQuery::Search(NodeId s, NodeId t, const ChClassWeights& weights) {
 
 void ChQuery::EnsureElimTree() {
   if (!parent_.empty()) return;
-  const size_t n = ch_.NumNodes();
-  parent_.assign(n, kInvalidNode);
-  // Every far endpoint of a node's rows outranks it, so the lowest-ranked
-  // one is the elimination-tree parent; the chain to the root is strictly
-  // rank-increasing.
-  for (NodeId v = 0; v < n; ++v) {
-    uint32_t best_rank = 0xFFFFFFFFu;
-    NodeId best = kInvalidNode;
-    for (const ChArc& a : ch_.UpArcs(v)) {
-      if (ch_.rank(a.node) < best_rank) {
-        best_rank = ch_.rank(a.node);
-        best = a.node;
-      }
-    }
-    for (const ChArc& a : ch_.DownArcs(v)) {
-      if (ch_.rank(a.node) < best_rank) {
-        best_rank = ch_.rank(a.node);
-        best = a.node;
-      }
-    }
-    parent_[v] = best;
-  }
-  pos_.assign(n, 0);
-  pos_stamp_.assign(n, 0);
+  parent_ = ChElimTreeParents(ch_);
+  pos_.assign(ch_.NumNodes(), 0);
+  pos_stamp_.assign(ch_.NumNodes(), 0);
 }
 
 bool ChQuery::BuildSpace(NodeId v, SweepDirection dir, ChSpace* out) {
-  assert(have_weights_ && "BuildSpace requires a customization");
+  assert(plane_ != nullptr && "BuildSpace requires a customization");
   assert(v < ch_.NumNodes());
   EnsureElimTree();
   if (++space_epoch_ == 0) {
@@ -393,59 +291,16 @@ void ChQuery::UnpackMeet(const ChSpace& fwd, uint32_t fpos, const ChSpace& bwd,
         {fwd.pred_arc[p], fwd.chain[fwd.pred_pos[p]], fwd.chain[p]});
   }
   std::reverse(path_items_.begin(), path_items_.end());
-  for (const UnpackItem& item : path_items_) ExpandItem(item, out);
+  for (const ChUnpackItem& item : path_items_) {
+    ChExpandItem(ch_, *plane_, item, &unpack_stack_, out);
+  }
   // Downward half: each predecessor arc already runs chain[p] ->
   // chain[pred_pos[p]] in forward orientation, walking meet -> target.
   for (uint32_t p = bpos; bwd.pred_arc[p] != kNoParentArc;
        p = bwd.pred_pos[p]) {
-    ExpandItem({bwd.pred_arc[p], bwd.chain[p], bwd.chain[bwd.pred_pos[p]]},
-               out);
-  }
-}
-
-uint32_t ChQuery::MinUpRef(NodeId v, NodeId to) const {
-  size_t k = ch_.FindUpArc(v, to);
-  assert(k != SIZE_MAX && "unpack: missing up arc");
-  const auto up = ch_.up_arcs();
-  size_t best = k;
-  for (size_t i = k + 1; i < ch_.up_offsets()[v + 1] && up[i].node == to; ++i) {
-    if (cw_up_[i] < cw_up_[best]) best = i;
-  }
-  return static_cast<uint32_t>(best);
-}
-
-uint32_t ChQuery::MinDownRef(NodeId v, NodeId from) const {
-  size_t k = ch_.FindDownArc(v, from);
-  assert(k != SIZE_MAX && "unpack: missing down arc");
-  const auto down = ch_.down_arcs();
-  size_t best = k;
-  for (size_t i = k + 1; i < ch_.down_offsets()[v + 1] && down[i].node == from;
-       ++i) {
-    if (cw_down_[i] < cw_down_[best]) best = i;
-  }
-  return ChIndex::kDownBit | static_cast<uint32_t>(best);
-}
-
-void ChQuery::ExpandItem(const UnpackItem& item, std::vector<EdgeId>* out) {
-  unpack_stack_.clear();
-  unpack_stack_.push_back(item);
-  while (!unpack_stack_.empty()) {
-    const UnpackItem it = unpack_stack_.back();
-    unpack_stack_.pop_back();
-    const NodeId via = ViaByRef(it.ref);
-    if (via == kInvalidNode) {
-      // Cheapest realization is the original arc itself.
-      assert(ch_.arc(it.ref).orig != kChShortcutEdge);
-      out->push_back(ch_.arc(it.ref).orig);
-      continue;
-    }
-    // The via node sits below both endpoints, so the halves live in its own
-    // rows: (from -> via) among its down arcs, (via -> to) among its up
-    // arcs. Their customized costs are the ones the sweep summed, so
-    // re-finding the cheapest records reproduces the priced path exactly.
-    // LIFO: left half on top so it expands first.
-    unpack_stack_.push_back({MinUpRef(via, it.to), via, it.to});
-    unpack_stack_.push_back({MinDownRef(via, it.from), it.from, via});
+    ChExpandItem(ch_, *plane_,
+                 {bwd.pred_arc[p], bwd.chain[p], bwd.chain[bwd.pred_pos[p]]},
+                 &unpack_stack_, out);
   }
 }
 
@@ -459,11 +314,15 @@ void ChQuery::UnpackPath(std::vector<EdgeId>* out) {
     path_items_.push_back({flabel_[v].parent_arc, flabel_[v].parent_node, v});
   }
   std::reverse(path_items_.begin(), path_items_.end());
-  for (const UnpackItem& item : path_items_) ExpandItem(item, out);
+  for (const ChUnpackItem& item : path_items_) {
+    ChExpandItem(ch_, *plane_, item, &unpack_stack_, out);
+  }
   // Downward half: the backward parent chain already walks meet -> t in
   // forward arc orientation (each parent arc runs v -> parent).
   for (NodeId v = meet_; v != last_t_; v = blabel_[v].parent_node) {
-    ExpandItem({blabel_[v].parent_arc, v, blabel_[v].parent_node}, out);
+    ChExpandItem(ch_, *plane_,
+                 {blabel_[v].parent_arc, v, blabel_[v].parent_node},
+                 &unpack_stack_, out);
   }
 }
 

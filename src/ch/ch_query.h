@@ -2,25 +2,14 @@
 #define ECOCHARGE_CH_CH_QUERY_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "ch/ch_customize.h"
 #include "ch/ch_index.h"
 #include "graph/shortest_path.h"
 
 namespace ecocharge {
-
-/// \brief Per-class weights of one query instant.
-///
-/// The derouting metric at time tau prices an edge at
-/// `length / speed_factor(road_class, tau)` — three multipliers, one per
-/// RoadClass. The traffic layer builds these from its congestion model;
-/// `kChLengthWeights` is the uniform (pure length) metric used for
-/// lower-bound ordering queries.
-struct ChClassWeights {
-  double w[kChNumClasses] = {1.0, 1.0, 1.0};
-};
-
-inline constexpr ChClassWeights kChLengthWeights{};
 
 /// \brief One endpoint's elimination-tree label space.
 ///
@@ -42,13 +31,16 @@ struct ChSpace {
 
 /// \brief Reusable bidirectional up/down query workspace over one ChIndex.
 ///
-/// The hierarchy's topology is metric-independent, so each ChQuery owns a
-/// *customization* of it: per-arc costs under one class-weight vector plus
-/// the middle node realizing each shortcut. Customize() is a single
-/// bottom-up sweep over the triangle closure (process nodes by ascending
-/// rank; for every down-arc (a -> x) and up-arc (x -> b) relax the enclosing
-/// arc (a -> b)); Search() re-customizes only when the weights actually
-/// change, so a query stream at a fixed traffic bucket pays it once.
+/// The hierarchy's topology is metric-independent; what a query needs per
+/// class-weight vector is a ChCustomization *plane* (per-arc costs plus the
+/// middle node realizing each shortcut). Planes come from one of two
+/// places: a shared ChCustomizationCache (set_cache — server workers all
+/// point at one cache, so a congestion bucket is priced once per process
+/// instead of once per worker) or a private ChCustomizer built on first
+/// use (the standalone path; set_threads picks its sweep strategy and
+/// bucket-to-bucket changes re-price incrementally). Search() swaps planes
+/// only when the weights actually change, so a query stream at a fixed
+/// traffic bucket pays nothing.
 ///
 /// Search(): upward Dijkstra from s over UpArcs and downward Dijkstra from
 /// t over DownArcs with stall-on-demand, meeting at the hierarchy peak.
@@ -67,9 +59,19 @@ class ChQuery {
 
   explicit ChQuery(const ChIndex& ch);
 
-  /// Prices the hierarchy for `weights` if the current customization does
-  /// not already match. Search() calls this implicitly.
+  /// Prices the hierarchy for `weights` if the current plane does not
+  /// already match. Search() calls this implicitly.
   void EnsureCustomized(const ChClassWeights& weights);
+
+  /// Sources planes from `cache` instead of the private customizer; null
+  /// reverts. The active plane survives the switch.
+  void set_cache(ChCustomizationCache* cache) { cache_ = cache; }
+  ChCustomizationCache* cache() const { return cache_; }
+
+  /// Sweep parallelism of the private customizer (ignored when a cache is
+  /// attached — the cache's own customizer decides): 0 = serial seed path.
+  void set_threads(int threads);
+  int threads() const { return threads_; }
 
   /// Shortest up-down distance s -> t under `weights`; kInfiniteCost when
   /// unreachable, exactly 0.0 when s == t. Out-of-range ids are
@@ -107,9 +109,19 @@ class ChQuery {
   /// Heap pops of the last Search (exposed for benchmarks).
   size_t last_settled() const { return last_settled_; }
 
-  /// Customization sweeps run so far (tests assert a stable query stream
-  /// prices the hierarchy exactly once).
+  /// Customization sweeps THIS query ran (cache hits are not counted —
+  /// with a shared cache attached, summing this across workers against the
+  /// cache's builds() shows the dedup). Tests assert a stable query stream
+  /// prices the hierarchy exactly once.
   size_t customizations() const { return customizations_; }
+
+  /// The active plane (null before the first EnsureCustomized); shared so
+  /// a ChProfileQuery can reuse it as one lane of a window.
+  std::shared_ptr<const ChCustomization> plane() const { return plane_; }
+
+  /// Mirrors customization sweeps onto `registry` as `ch.customizations`;
+  /// null detaches.
+  void AttachMetrics(obs::MetricsRegistry* registry);
 
   const ChIndex& index() const { return ch_; }
 
@@ -129,13 +141,6 @@ class ChQuery {
     return a.priority > b.priority;
   }
 
-  struct UnpackItem {
-    uint32_t ref;  // packed arc reference
-    NodeId from;   // arc tail in forward orientation
-    NodeId to;     // arc head
-  };
-
-  void Customize(const ChClassWeights& weights);
   void EnsureElimTree();
 
   double CwByRef(uint32_t ref) const {
@@ -143,29 +148,19 @@ class ChQuery {
                ? cw_down_[ref & ~ChIndex::kDownBit]
                : cw_up_[ref];
   }
-  NodeId ViaByRef(uint32_t ref) const {
-    return (ref & ChIndex::kDownBit) != 0
-               ? via_down_[ref & ~ChIndex::kDownBit]
-               : via_up_[ref];
-  }
-  /// Cheapest record of the (possibly parallel) run `v -> to` in v's up
-  /// row / `from -> v` in v's down row; ties break on the first record.
-  uint32_t MinUpRef(NodeId v, NodeId to) const;
-  uint32_t MinDownRef(NodeId v, NodeId from) const;
-
-  void ExpandItem(const UnpackItem& item, std::vector<EdgeId>* out);
 
   const ChIndex& ch_;
 
-  // Customization state (valid when customizations_ > 0).
-  ChClassWeights weights_;
-  bool have_weights_ = false;
+  // Active customization plane (shared, immutable) plus its hot-path raw
+  // views; the private customizer exists only on the no-cache path.
+  std::shared_ptr<const ChCustomization> plane_;
+  const double* cw_up_ = nullptr;
+  const double* cw_down_ = nullptr;
+  ChCustomizationCache* cache_ = nullptr;
+  std::unique_ptr<ChCustomizer> customizer_;
+  int threads_ = 0;
   size_t customizations_ = 0;
-  std::vector<double> cw_up_;
-  std::vector<double> cw_down_;
-  std::vector<NodeId> via_up_;    // kInvalidNode = original arc is cheapest
-  std::vector<NodeId> via_down_;
-  std::vector<NodeId> order_;     // rank -> node (built once)
+  obs::Counter* customizations_mirror_ = nullptr;
 
   std::vector<Label> flabel_;
   std::vector<Label> blabel_;
@@ -173,8 +168,8 @@ class ChQuery {
   std::vector<uint32_t> bsettled_;
   std::vector<HeapEntry> fheap_;
   std::vector<HeapEntry> bheap_;
-  std::vector<UnpackItem> unpack_stack_;
-  std::vector<UnpackItem> path_items_;
+  std::vector<ChUnpackItem> unpack_stack_;
+  std::vector<ChUnpackItem> path_items_;
   uint32_t epoch_ = 0;
   size_t last_settled_ = 0;
 

@@ -21,7 +21,7 @@ EcEstimator::EcEstimator(std::shared_ptr<const RoadNetwork> network,
       owned_eis_(std::make_unique<InformationServer>(energy, availability,
                                                      congestion)),
       eis_(owned_eis_.get()) {
-  derouting_.set_ch(options.ch);
+  derouting_.set_ch(options.ch, options.ch_cache, options.ch_threads);
   PickBestSite();
 }
 
@@ -40,7 +40,7 @@ EcEstimator::EcEstimator(std::shared_ptr<const RoadNetwork> network,
       derouting_(network_, congestion, /*detour_factor=*/1.3,
                  options.exact_derouting_bucket_s),
       eis_(shared_eis) {
-  derouting_.set_ch(options.ch);
+  derouting_.set_ch(options.ch, options.ch_cache, options.ch_threads);
   PickBestSite();
 }
 
@@ -225,6 +225,7 @@ void EcEstimator::AttachMetrics(obs::MetricsRegistry* registry) {
     availability_estimates_ = nullptr;
     derouting_estimates_ = nullptr;
     exact_derouting_estimates_ = nullptr;
+    derouting_.AttachChMetrics(nullptr);
     if (owned_eis_) owned_eis_->AttachMetrics(nullptr);
     return;
   }
@@ -236,6 +237,7 @@ void EcEstimator::AttachMetrics(obs::MetricsRegistry* registry) {
       registry->GetCounter("estimator.estimates.derouting", "estimates");
   exact_derouting_estimates_ = registry->GetCounter(
       "estimator.estimates.exact_derouting", "estimates");
+  derouting_.AttachChMetrics(registry);
   if (owned_eis_) owned_eis_->AttachMetrics(registry);
 }
 

@@ -32,6 +32,16 @@ struct EcEstimatorOptions {
   /// hierarchy must be built over the estimator's network and outlive it
   /// (not owned).
   const ChIndex* ch = nullptr;
+
+  /// Process-shared customization cache (not owned, must outlive the
+  /// estimator; only meaningful with `ch`). Workers built from the same
+  /// options share planes instead of each re-pricing every congestion
+  /// bucket.
+  ChCustomizationCache* ch_cache = nullptr;
+
+  /// Sweep parallelism of the private customizer when no cache is attached
+  /// (0 = serial seed path); forwarded to DeroutingService::set_ch.
+  int ch_threads = 0;
 };
 
 /// \brief Ground-truth (realized) components of one charger, normalized.

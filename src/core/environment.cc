@@ -1,5 +1,8 @@
 #include "core/environment.h"
 
+#include <thread>
+
+#include "ch/ch_customize.h"
 #include "ch/contraction.h"
 #include "graph/io.h"
 
@@ -85,6 +88,21 @@ Result<std::unique_ptr<Environment>> MakeEnvironment(
   est_opts.max_derouting_m = options.max_derouting_m;
   est_opts.exact_derouting_bucket_s = options.exact_derouting_bucket_s;
   est_opts.ch = env->ch.get();
+  if (env->ch != nullptr) {
+    // -1 resolves to the machine; 0 stays the serial seed path. Every
+    // setting prices bit-identically, so this is purely a latency knob.
+    int ch_threads = options.ch_threads;
+    if (ch_threads < 0) {
+      ch_threads =
+          static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+    }
+    est_opts.ch_threads = ch_threads;
+    if (options.ch_shared_cache) {
+      env->ch_cache =
+          std::make_shared<ChCustomizationCache>(*env->ch, ch_threads);
+      est_opts.ch_cache = env->ch_cache.get();
+    }
+  }
   env->estimator = std::make_unique<EcEstimator>(
       env->dataset.network, &env->chargers, env->energy.get(),
       env->availability.get(), env->congestion.get(), est_opts);

@@ -38,6 +38,11 @@ struct Environment {
   /// derouting_backend == kCh. Loaded zero-copy from the snapshot's CH
   /// section when one exists, contracted from scratch otherwise.
   std::shared_ptr<const ChIndex> ch;
+  /// Process-shared customization cache over `ch` (null unless the CH
+  /// backend is on and ch_shared_cache was left enabled). Estimators built
+  /// from estimator->options() inherit it, so every server worker sources
+  /// congestion-bucket planes here instead of pricing privately.
+  std::shared_ptr<ChCustomizationCache> ch_cache;
 };
 
 /// \brief World-building knobs.
@@ -71,6 +76,16 @@ struct EnvironmentOptions {
   /// contracts the network at build time otherwise; both produce estimates
   /// bit-identical to kExact.
   DeroutingBackend derouting_backend = DeroutingBackend::kExact;
+
+  /// CH customization sweep threads (CLI --ch-threads): -1 (default) =
+  /// hardware concurrency, 0 = the serial seed path, N = level-parallel
+  /// pull sweep with N workers. All settings are bit-identical.
+  int ch_threads = -1;
+
+  /// Build the process-shared ChCustomizationCache for the CH backend
+  /// (Environment::ch_cache). Off = every worker prices buckets privately
+  /// (the pre-cache behavior; also what the parity tests compare against).
+  bool ch_shared_cache = true;
 };
 
 /// Climate of each dataset's region (drives the weather Markov chain).

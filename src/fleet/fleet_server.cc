@@ -172,6 +172,7 @@ FleetStats FleetServer::Stats() const {
   if (corridor_cache_) {
     stats.corridor = corridor_cache_->stats();
     stats.corridor_inserts = corridor_cache_->inserts();
+    stats.corridor_prewarmed = corridor_cache_->prewarmed();
   }
   stats.epoch = epochs_.current_epoch();
   return stats;

@@ -49,6 +49,7 @@ struct FleetStats {
   ClientStoreStats clients;
   CacheStats corridor;
   uint64_t corridor_inserts = 0;
+  uint64_t corridor_prewarmed = 0;
   uint64_t epoch = 0;
 };
 

@@ -6,6 +6,7 @@
 #include <string>
 #include <utility>
 
+#include "ch/ch_customize.h"
 #include "core/protocol.h"
 
 namespace ecocharge {
@@ -42,6 +43,11 @@ OfferingServer::OfferingServer(Environment* env, const ScoreWeights& weights,
   request_latency_ =
       metrics_.GetHistogram("server.request_latency_ns", "ns");
   shared_eis_->AttachMetrics(&metrics_);
+  if (env_->ch_cache != nullptr) {
+    // The process-shared plane cache serves every worker; surface its
+    // hit/miss/build counters on this server's registry (statsz) too.
+    env_->ch_cache->AttachMetrics(&metrics_);
+  }
 
   size_t num_workers = threads_ == 0 ? 1 : static_cast<size_t>(threads_);
   workers_.reserve(num_workers);
@@ -156,6 +162,33 @@ void OfferingServer::ServeTable(Worker& worker, const VehicleState& state,
       VehicleState anchor = options_.corridor->CanonicalState(state);
       worker.service->RankFresh(anchor, k, &worker.table);
       options_.corridor->Put(key, worker.table, state.time);
+      if (options_.corridor->options().prewarm_buckets > 0) {
+        // Prewarm the corridor ahead of this vehicle. First price the ETA
+        // window's customization planes in one profile pass (EtaWindow runs
+        // a ChProfileQuery over the window's buckets, sourcing every plane
+        // through the shared cache), so the per-bucket ranks below hit
+        // already-priced planes instead of each re-customizing; then rank
+        // each future bucket's canonical anchor into the prewarm scratch.
+        const size_t window =
+            options_.corridor->options().prewarm_buckets + 1;
+        if (!worker.table.entries.empty()) {
+          const ChargerId top = worker.table.entries.front().charger_id;
+          if (top < env_->chargers.size()) {
+            std::vector<double> etas;
+            worker.estimator->derouting_service().EtaWindow(
+                worker.estimator->MakeDeroutingQuery(anchor),
+                env_->chargers[top], window, &etas);
+          }
+        }
+        options_.corridor->Prewarm(
+            state, k, revs, state.time,
+            [&worker](const VehicleState& bucket_anchor, size_t bucket_k,
+                      OfferingTable* out) {
+              worker.service->RankFresh(bucket_anchor, bucket_k, out);
+              return true;
+            },
+            &worker.prewarm_table);
+      }
     }
     return;
   }

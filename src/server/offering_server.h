@@ -211,6 +211,10 @@ class OfferingServer {
     std::unique_ptr<EcEstimator> estimator;
     std::unique_ptr<OfferingService> service;
     OfferingTable table;  ///< reusable reply buffer for the table path
+    /// Scratch table for corridor prewarm ranks: the reply buffer above is
+    /// live (it holds the table being returned) while future buckets are
+    /// being speculatively filled, so prewarm ranks land here instead.
+    OfferingTable prewarm_table;
     DynamicCacheState lease;  ///< scratch for client-store checkouts
     std::unique_ptr<BoundedQueue<Request>> queue;  // null in inline mode
     obs::Gauge* queue_depth = nullptr;  ///< server.queue.depth.w{i}

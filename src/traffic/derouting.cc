@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "ch/ch_customize.h"
+#include "ch/ch_profile.h"
 #include "ch/ch_query.h"
 
 namespace ecocharge {
@@ -35,10 +37,38 @@ struct DeroutingService::ChBatchSpaces {
   ChSpace b_fwd;
 };
 
-void DeroutingService::set_ch(const ChIndex* ch) {
+/// EtaWindow's reusable multi-lane spaces and per-lane meet scratch.
+struct DeroutingService::ChProfileScratch {
+  ChProfileSpace m_fwd;
+  ChProfileSpace b_bwd;
+  std::vector<double> dist;
+  std::vector<uint32_t> fpos;
+  std::vector<uint32_t> bpos;
+};
+
+void DeroutingService::set_ch(const ChIndex* ch, ChCustomizationCache* cache,
+                              int threads) {
   ch_ = ch;
+  ch_cache_ = ch != nullptr ? cache : nullptr;
+  ch_threads_ = threads;
   ch_query_ = ch != nullptr ? std::make_unique<ChQuery>(*ch) : nullptr;
   ch_spaces_ = ch != nullptr ? std::make_unique<ChBatchSpaces>() : nullptr;
+  if (ch_query_ != nullptr) {
+    ch_query_->set_cache(ch_cache_);
+    ch_query_->set_threads(threads);
+    ch_query_->AttachMetrics(ch_metrics_);
+  }
+  ch_customizer_.reset();
+  ch_last_plane_.reset();
+  ch_profile_.reset();
+  ch_planes_.clear();
+  ch_profile_scratch_ =
+      ch != nullptr ? std::make_unique<ChProfileScratch>() : nullptr;
+}
+
+void DeroutingService::AttachChMetrics(obs::MetricsRegistry* registry) {
+  ch_metrics_ = registry;
+  if (ch_query_ != nullptr) ch_query_->AttachMetrics(registry);
 }
 
 double DeroutingService::CruiseSpeed(SimTime t) const {
@@ -424,6 +454,80 @@ BatchSweepStats DeroutingService::ExactBatch(
     out->push_back(est);
   }
   return stats;
+}
+
+bool DeroutingService::EtaWindow(const DeroutingQuery& query,
+                                 const EvCharger& charger, size_t buckets,
+                                 std::vector<double>* etas_s) {
+  etas_s->clear();
+  if (ch_ == nullptr || buckets == 0) return false;
+  // Multi-bucket windows only mean something under time bucketing (lane j
+  // IS bucket j); a single lane degenerates to the current cost time.
+  if (buckets > 1 && exact_time_bucket_s_ <= 0.0) return false;
+  const QueryNodes nodes = ResolveNodes(*network_, query);
+  const size_t num_nodes = network_->NumNodes();
+  if (nodes.m >= num_nodes || charger.node >= num_nodes) return false;
+  const SimTime tau0 = ExactCostTime(query.now);
+
+  // Window planes: the shared cache when attached (one worker's window
+  // prewarms every other worker's bucket transitions), else the private
+  // customizer seeded with the previous lane — consecutive buckets usually
+  // differ in a few classes, so lanes 1..k-1 re-price incrementally.
+  ch_planes_.clear();
+  for (size_t j = 0; j < buckets; ++j) {
+    const SimTime tau = tau0 + static_cast<double>(j) * exact_time_bucket_s_;
+    const ChClassWeights weights = ChWeightsAt(*congestion_, tau);
+    std::shared_ptr<const ChCustomization> plane;
+    if (ch_cache_ != nullptr) {
+      plane = ch_cache_->Get(weights);
+    } else {
+      if (ch_customizer_ == nullptr) {
+        ch_customizer_ = std::make_unique<ChCustomizer>(*ch_, ch_threads_);
+      }
+      plane = ch_customizer_->CustomizeFrom(ch_last_plane_, weights);
+      ch_last_plane_ = plane;
+    }
+    ch_planes_.push_back(std::move(plane));
+  }
+
+  if (ch_profile_ == nullptr) {
+    ch_profile_ = std::make_unique<ChProfileQuery>(*ch_);
+  }
+  ch_profile_->SetPlanes(ch_planes_);
+  ChProfileScratch& ps = *ch_profile_scratch_;
+  if (!ch_profile_->BuildSpace(nodes.m, SweepDirection::kForward, &ps.m_fwd)) {
+    return false;
+  }
+  if (!ch_profile_->BuildSpace(charger.node, SweepDirection::kBackward,
+                               &ps.b_bwd)) {
+    return false;
+  }
+  ps.dist.resize(buckets);
+  ps.fpos.resize(buckets);
+  ps.bpos.resize(buckets);
+  ch_profile_->MeetSpaces(ps.m_fwd, ps.b_bwd, ps.dist, ps.fpos, ps.bpos);
+
+  etas_s->resize(buckets);
+  for (size_t j = 0; j < buckets; ++j) {
+    if (!(ps.dist[j] < kInfiniteCost)) {
+      (*etas_s)[j] = kInfiniteCost;
+      continue;
+    }
+    ch_profile_->UnpackMeet(ps.m_fwd, ps.fpos[j], ps.b_bwd, ps.bpos[j], j,
+                            &ch_edges_);
+    // Refold lane j the way the reference forward sweep at tau_j would
+    // have accumulated it, then convert to seconds — exactly Exact()'s
+    // eta_s at that bucket.
+    const SimTime tau = tau0 + static_cast<double>(j) * exact_time_bucket_s_;
+    double acc = 0.0;
+    for (EdgeId e : ch_edges_) {
+      const Arc& arc = network_->arc(e);
+      acc = acc + arc.length_m /
+                      congestion_->ActualSpeedFactor(arc.road_class, tau);
+    }
+    (*etas_s)[j] = acc / std::max(CruiseSpeed(tau), 1.0);
+  }
+  return true;
 }
 
 }  // namespace ecocharge

@@ -14,6 +14,14 @@ namespace ecocharge {
 
 class ChIndex;
 class ChQuery;
+class ChCustomizer;
+class ChCustomizationCache;
+class ChProfileQuery;
+struct ChCustomization;
+
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
 
 /// \brief Which engine answers exact derouting queries.
 ///
@@ -168,7 +176,34 @@ class DeroutingService {
   /// `ch` must be built over this service's network and outlive it; nullptr
   /// reverts to the Dijkstra sweeps. The CH backend does not use the
   /// backward-sweep memo, so warm-start counters stay flat under it.
-  void set_ch(const ChIndex* ch);
+  ///
+  /// `cache` (optional, must outlive the service) makes this worker source
+  /// customized planes from the process-shared ChCustomizationCache
+  /// instead of pricing privately — N workers then customize a congestion
+  /// bucket once total. `threads` is the sweep parallelism of the private
+  /// customizer when no cache is given (0 = serial seed path; ignored with
+  /// a cache, whose own customizer decides).
+  void set_ch(const ChIndex* ch, ChCustomizationCache* cache = nullptr,
+              int threads = 0);
+
+  /// \brief Profile (ETA-window) query: the estimated drive time from the
+  /// vehicle to `charger` under `buckets` consecutive congestion-bucket
+  /// weight planes, in one elimination-tree search.
+  ///
+  /// `(*etas_s)[j]` equals the `eta_s` an exact CH call evaluated at
+  /// `ExactCostTime(query.now) + j * exact_time_bucket_s()` would produce
+  /// (bit-identical: per-lane labels, unpacked paths, and oracle-order
+  /// refolds match the single-plane path), kInfiniteCost where
+  /// unreachable. Returns false — leaving `*etas_s` empty — when the CH
+  /// backend is off, `buckets` is 0, multi-bucket windows are requested
+  /// without time bucketing, a node is out of range, or the hierarchy
+  /// rejects the space builder; callers fall back to per-bucket Exact().
+  bool EtaWindow(const DeroutingQuery& query, const EvCharger& charger,
+                 size_t buckets, std::vector<double>* etas_s);
+
+  /// Mirrors this worker's customization sweeps onto `registry`
+  /// (`ch.customizations`); survives set_ch. Null detaches.
+  void AttachChMetrics(obs::MetricsRegistry* registry);
   const ChIndex* ch() const { return ch_; }
   DeroutingBackend backend() const {
     return ch_ != nullptr ? DeroutingBackend::kCh : DeroutingBackend::kExact;
@@ -223,6 +258,23 @@ class DeroutingService {
   std::vector<EdgeId> ch_edges_;
   struct ChBatchSpaces;
   std::unique_ptr<ChBatchSpaces> ch_spaces_;
+
+  // Customization sourcing: the shared cache when attached, else a lazy
+  // private customizer seeded with the last built plane (so consecutive
+  // window buckets re-price incrementally). ch_metrics_ is re-applied to
+  // the query workspace on every set_ch.
+  ChCustomizationCache* ch_cache_ = nullptr;
+  int ch_threads_ = 0;
+  std::unique_ptr<ChCustomizer> ch_customizer_;
+  std::shared_ptr<const ChCustomization> ch_last_plane_;
+  obs::MetricsRegistry* ch_metrics_ = nullptr;
+
+  // Profile-query state: the window's plane lanes plus the two reusable
+  // multi-lane spaces and per-lane meet scratch.
+  std::unique_ptr<ChProfileQuery> ch_profile_;
+  std::vector<std::shared_ptr<const ChCustomization>> ch_planes_;
+  struct ChProfileScratch;
+  std::unique_ptr<ChProfileScratch> ch_profile_scratch_;
 };
 
 }  // namespace ecocharge

@@ -34,6 +34,7 @@
 #include "graph/io.h"
 #include "graph/landmarks.h"
 #include "graph/shortest_path.h"
+#include "ch/ch_customize.h"
 #include "ch/ch_index.h"
 #include "ch/contraction.h"
 #include "obs/statsz.h"
@@ -124,18 +125,23 @@ int Usage() {
                including landmark/CH section presence; --load also
                mmap-loads the full graph, reports the load time, and runs
                a sanity sweep)
-  graph ch     --in FILE.ecgs --out FILE.ecgs
+  graph ch     --in FILE.ecgs --out FILE.ecgs [--ch-threads N]
                (contract the snapshot's network and write a copy that also
                embeds the hierarchy: rank array + upward/downward shortcut
                CSR, mmap-loaded zero-copy by --derouting ch; landmark
-               tables in the input are preserved)
+               tables in the input are preserved; the summary also times
+               one full customization sweep with --ch-threads workers,
+               -1 = hardware concurrency, 0 = serial)
   rank         --kind KIND [--chargers N] [--k K] [--radius-km R]
                [--hour H] [--seed N] [--index BACKEND] [--landmarks N]
                [--no-batch-derouting] [--no-simd]
                [--graph-snapshot FILE.ecgs] [--derouting ch|exact]
+               [--ch-threads N]
                (query at a sample trip state; --landmarks builds N ALT
                landmarks that order the refinement candidates by
-               lower-bounded derouting cost)
+               lower-bounded derouting cost; --ch-threads sets the CH
+               customization worker count, -1 = hardware concurrency,
+               0 = serial — bit-identical either way)
   simulate     --kind KIND [--vehicles N] [--chargers N] [--seed N]
                [--index BACKEND] [--no-batch-derouting] [--no-simd]
                (fleet hoarding: EcoCharge vs nearest-charger policies)
@@ -143,7 +149,8 @@ int Usage() {
                [--requests N] [--queue-depth N] [--io-ms MS] [--seed N]
                [--statsz] [--statsz-period SEC]
                [--shards N] [--partition grid|bisect] [--corridor-cache]
-               [--corridor-bucket-s SEC] [--refresh-every N]
+               [--corridor-bucket-s SEC] [--corridor-prewarm N]
+               [--refresh-every N]
                [--fault-p P] [--fault-spike-p P] [--fault-stall-p P]
                [--fault-seed N] [--retry-attempts N] [--deadline-ms MS]
                [--resilient] [--no-batch-derouting] [--no-simd]
@@ -160,7 +167,9 @@ int Usage() {
                and RCU world-epoch refreshes every --refresh-every
                requests; --corridor-cache shares Offering Tables across
                vehicles on the same corridor, bucketed by
-               --corridor-bucket-s seconds of ETA; rankings stay
+               --corridor-bucket-s seconds of ETA, and --corridor-prewarm
+               speculatively fills that many future ETA buckets after
+               each corridor miss; rankings stay
                bit-identical to single-shard serving either way)
   stats        [--kind KIND] [--chargers N] [--requests N] [--threads N]
                [--format text|json] [--seed N] [--shards N]
@@ -297,6 +306,21 @@ int GraphCh(const Args& args) {
   double build_s = std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - start)
                        .count();
+  // Time one full metric customization of the freshly contracted
+  // hierarchy (the per-bucket cost every serving process will pay): the
+  // summary line then covers both preprocessing phases.
+  int ch_threads = static_cast<int>(args.GetI64("ch-threads", -1));
+  if (ch_threads < 0) {
+    ch_threads =
+        static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  }
+  ChCustomizer customizer(**ch, ch_threads);
+  auto customize_start = std::chrono::steady_clock::now();
+  customizer.Customize(kChLengthWeights);
+  double customize_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    customize_start)
+          .count();
   ChSnapshotViews views = ToSnapshotViews(*ch);
   Status st = SaveSnapshot(network, out, loaded->landmarks.get(), &views);
   if (!st.ok()) {
@@ -307,7 +331,10 @@ int GraphCh(const Args& args) {
             << network.NumEdges() << " edges, " << stats.shortcuts
             << " shortcuts; contracted in " << build_s << " s, "
             << stats.ordering_pops << " queue pops, max live degree "
-            << stats.max_live_degree;
+            << stats.max_live_degree << "; customized in " << customize_s
+            << " s (" << customizer.threads() << " threads, "
+            << customizer.num_levels() << " levels, "
+            << customizer.total_arcs() << " arcs)";
   if (loaded->landmarks) {
     std::cout << "; " << loaded->landmarks->num_landmarks()
               << " landmarks preserved";
@@ -401,6 +428,7 @@ Result<std::unique_ptr<Environment>> BuildEnv(const Args& args) {
     return Status::InvalidArgument("unknown derouting backend '" + backend +
                                    "' (ch|exact)");
   }
+  opts.ch_threads = static_cast<int>(args.GetI64("ch-threads", -1));
   ECOCHARGE_ASSIGN_OR_RETURN(
       opts.index_kind, ParseSpatialIndexKind(args.Get("index", "quadtree")));
   return MakeEnvironment(opts);
@@ -560,6 +588,8 @@ int ServeFleet(const Args& args, std::unique_ptr<Environment> env,
     fleet_opts.corridor.eta_bucket_s = args.GetDouble("corridor-bucket-s",
                                                       300.0);
   }
+  fleet_opts.corridor.prewarm_buckets =
+      static_cast<size_t>(args.GetU64("corridor-prewarm", 0));
   fleet_opts.server = server_opts;
   auto fleet_result = fleet::FleetServer::Create(
       env.get(), ScoreWeights::AWE(), EcoOptionsFor(args, *env), fleet_opts);
@@ -632,7 +662,8 @@ int ServeFleet(const Args& args, std::unique_ptr<Environment> env,
     uint64_t lookups = stats.corridor.hits + stats.corridor.misses;
     std::cout << "corridor cache: hits=" << stats.corridor.hits
               << " misses=" << stats.corridor.misses
-              << " inserts=" << stats.corridor_inserts << " hit-rate="
+              << " inserts=" << stats.corridor_inserts
+              << " prewarmed=" << stats.corridor_prewarmed << " hit-rate="
               << (lookups > 0
                       ? static_cast<double>(stats.corridor.hits) / lookups
                       : 0.0)
